@@ -1,0 +1,61 @@
+// Ablation bench: prediction-converter policy.
+//
+// The paper's converter "simply computes the average score of each label"
+// (Section 3.2) and flags it as a design point. This bench compares the
+// average against element-wise max and a product (log-sum) combiner on
+// two domains, full system configuration.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace lsd;
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  ExperimentConfig base_config;
+  base_config.samples =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "samples", 1));
+  base_config.num_listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 40 : 60));
+
+  struct Policy {
+    const char* name;
+    ConverterPolicy policy;
+  };
+  const Policy kPolicies[] = {
+      {"average (paper)", ConverterPolicy::kAverage},
+      {"max", ConverterPolicy::kMax},
+      {"product", ConverterPolicy::kProduct},
+  };
+
+  std::printf(
+      "Prediction-converter ablation: full-system accuracy (%%)\n"
+      "(samples=%zu, listings/source=%zu)\n",
+      base_config.samples, base_config.num_listings);
+  bench::Rule(70);
+  std::printf("%-18s |", "Domain");
+  for (const Policy& policy : kPolicies) std::printf(" %16s", policy.name);
+  std::printf("\n");
+  bench::Rule(70);
+
+  for (const std::string& domain :
+       {std::string("real-estate-1"), std::string("time-schedule")}) {
+    std::printf("%-18s |", domain.c_str());
+    for (const Policy& policy : kPolicies) {
+      ExperimentConfig config = base_config;
+      config.lsd.converter_policy = policy.policy;
+      SystemVariant variant;
+      variant.name = "full";
+      auto stats = RunDomainExperiment(domain, config, {variant});
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %16.1f", 100.0 * stats->at("full").mean());
+    }
+    std::printf("\n");
+  }
+  bench::Rule(70);
+  return 0;
+}

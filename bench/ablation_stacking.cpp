@@ -1,0 +1,105 @@
+// Ablation bench: design choices in the stacking meta-learner.
+//
+// DESIGN.md calls out three deviations/knobs around the paper's
+// least-squares stacking: per-label weight normalization, shrinkage toward
+// uniform weights, and class-balanced regression. This bench scores each
+// combination (plus a plain unweighted average and the hindsight-best
+// single base learner) under the standard protocol so the defaults are
+// justified by measurement, not taste.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace {
+
+struct MetaAblation {
+  const char* name;
+  lsd::MetaLearnerOptions options;
+  /// When false, use the plain average instead of the meta-learner.
+  bool use_meta = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lsd;
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  ExperimentConfig base_config;
+  base_config.samples =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "samples", 1));
+  base_config.num_listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 40 : 60));
+
+  MetaLearnerOptions raw;
+  raw.normalize_per_label = false;
+  raw.uniform_shrinkage = 0.0;
+  MetaLearnerOptions normalized;
+  normalized.normalize_per_label = true;
+  normalized.uniform_shrinkage = 0.0;
+  MetaLearnerOptions shrunk;  // the default
+  MetaLearnerOptions balanced = shrunk;
+  balanced.balance_classes = true;
+
+  const MetaAblation kAblations[] = {
+      {"raw-least-squares", raw, true},
+      {"normalized", normalized, true},
+      {"normalized+shrinkage", shrunk, true},
+      {"+balanced-classes", balanced, true},
+      {"plain-average", shrunk, false},
+  };
+
+  std::printf(
+      "Stacking ablation: accuracy (%%) of the meta stage (no constraint "
+      "handler)\n(samples=%zu, listings/source=%zu)\n",
+      base_config.samples, base_config.num_listings);
+  bench::Rule(118);
+  std::printf("%-18s | %10s |", "Domain", "BestBase");
+  for (const MetaAblation& ablation : kAblations) {
+    std::printf(" %20s", ablation.name);
+  }
+  std::printf("\n");
+  bench::Rule(118);
+
+  for (const std::string& domain :
+       {std::string("real-estate-1"), std::string("time-schedule")}) {
+    bool county = ConfigForDomain(domain, base_config.lsd).use_county_recognizer;
+    std::printf("%-18s |", domain.c_str());
+    // Best base learner (shared across ablations; uses default options).
+    {
+      auto stats = RunDomainExperiment(domain, base_config,
+                                       BaseLearnerVariants(county));
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      double best = 0;
+      for (const auto& [name, stat] : *stats) best = std::max(best, stat.mean());
+      std::printf(" %9.1f |", 100.0 * best);
+    }
+    for (const MetaAblation& ablation : kAblations) {
+      ExperimentConfig config = base_config;
+      config.lsd.meta_options = ablation.options;
+      SystemVariant variant;
+      variant.name = "meta";
+      // Same roster as Figure 8a's "meta" bar: every learner except the
+      // XML learner, so the comparison against BestBase is like for like.
+      variant.options.learners = {kNameMatcherName, kContentMatcherName,
+                                  kNaiveBayesName};
+      if (county) variant.options.learners.push_back(kCountyRecognizerName);
+      variant.options.use_meta_learner = ablation.use_meta;
+      variant.options.use_constraint_handler = false;
+      auto stats = RunDomainExperiment(domain, config, {variant});
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(" %20.1f", 100.0 * stats->at("meta").mean());
+    }
+    std::printf("\n");
+  }
+  bench::Rule(118);
+  return 0;
+}

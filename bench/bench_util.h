@@ -1,0 +1,43 @@
+#ifndef LSD_BENCH_BENCH_UTIL_H_
+#define LSD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace lsd::bench {
+
+/// Reads "--key=value" style flags from argv; returns `fallback` when the
+/// flag is absent. Benches accept a few flags so the full paper-scale
+/// protocol and a quick smoke run use the same binary:
+///   --samples=N     data samples per domain (paper: 3)
+///   --listings=N    listings per source (paper: 300)
+///   --quick         shrink everything for a fast sanity pass
+inline int IntFlag(int argc, char** argv, const char* key, int fallback) {
+  std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atoi(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline bool BoolFlag(int argc, char** argv, const char* key) {
+  std::string flag = std::string("--") + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Prints a horizontal rule sized to `width`.
+inline void Rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace lsd::bench
+
+#endif  // LSD_BENCH_BENCH_UTIL_H_

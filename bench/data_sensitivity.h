@@ -1,0 +1,65 @@
+// Shared driver for Figures 8b and 8c: accuracy as a function of the
+// number of data listings available per source, for the four cumulative
+// configurations.
+
+#ifndef LSD_BENCH_DATA_SENSITIVITY_H_
+#define LSD_BENCH_DATA_SENSITIVITY_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "eval/experiment.h"
+
+namespace lsd::bench {
+
+inline int RunDataSensitivity(const std::string& domain_name, int argc, char** argv) {
+  bool quick = BoolFlag(argc, argv, "quick");
+  std::vector<size_t> listing_counts =
+      quick ? std::vector<size_t>{5, 20, 60}
+            : std::vector<size_t>{5, 10, 20, 50, 100, 200};
+
+  ExperimentConfig config;
+  config.samples =
+      static_cast<size_t>(IntFlag(argc, argv, "samples", quick ? 1 : 2));
+
+  std::printf(
+      "Accuracy vs. data listings per source — %s (samples=%zu)\n",
+      domain_name.c_str(), config.samples);
+  Rule(86);
+  std::printf("%9s | %14s %8s %18s %12s\n", "Listings", "BestBaseLearner",
+              "+Meta", "+ConstraintHandler", "+XmlLearner");
+  Rule(86);
+
+  bool county = ConfigForDomain(domain_name, config.lsd).use_county_recognizer;
+  for (size_t listings : listing_counts) {
+    config.num_listings = listings;
+    auto stats =
+        RunDomainExperiment(domain_name, config, Figure8aVariants(county));
+    if (!stats.ok()) {
+      std::printf("error: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    double best_base = 0.0;
+    for (const auto& [variant, stat] : *stats) {
+      if (variant.rfind("base:", 0) == 0) {
+        best_base = std::max(best_base, stat.mean());
+      }
+    }
+    std::printf("%9zu | %14.1f %8.1f %18.1f %12.1f\n", listings,
+                100.0 * best_base, 100.0 * stats->at("meta").mean(),
+                100.0 * stats->at("meta+constraints").mean(),
+                100.0 * stats->at("full").mean());
+  }
+  Rule(86);
+  std::printf(
+      "Paper shape: steep climb 5-20 listings, minimal change 20-200, flat "
+      "after 200.\n");
+  return 0;
+}
+
+}  // namespace lsd::bench
+
+
+#endif  // LSD_BENCH_DATA_SENSITIVITY_H_

@@ -1,0 +1,10 @@
+// Reproduces Figure 8b: accuracy vs. listings per source on Real Estate I.
+//
+// Paper shape: accuracy climbs steeply between 5 and 20 listings, changes
+// minimally from 20 to 200, and levels off after 200.
+
+#include "data_sensitivity.h"
+
+int main(int argc, char** argv) {
+  return lsd::bench::RunDataSensitivity("real-estate-1", argc, argv);
+}

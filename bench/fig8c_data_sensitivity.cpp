@@ -1,0 +1,10 @@
+// Reproduces Figure 8c: accuracy vs. listings per source on Time Schedule.
+//
+// Paper shape: same as Figure 8b — steep climb to ~20 listings, flat past
+// 200.
+
+#include "data_sensitivity.h"
+
+int main(int argc, char** argv) {
+  return lsd::bench::RunDataSensitivity("time-schedule", argc, argv);
+}

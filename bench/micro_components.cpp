@@ -1,0 +1,195 @@
+// Engineering microbenchmarks (google-benchmark) for LSD's substrates:
+// tokenizer and stemmer throughput, TF/IDF vectorization, Naive Bayes and
+// Whirl train/predict, XML and DTD parsing, extraction, and the constraint
+// handler's A* search. These are not paper experiments; they document the
+// cost profile of the building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "constraints/astar_searcher.h"
+#include "constraints/constraint.h"
+#include "datagen/domains.h"
+#include "ml/naive_bayes.h"
+#include "ml/whirl.h"
+#include "schema/extraction.h"
+#include "text/stemmer.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace lsd {
+namespace {
+
+const char* kSampleText =
+    "Fantastic craftsman house with hardwood floors, granite counters and a "
+    "large backyard. Close to great schools; priced at $450,000. Contact "
+    "Kate Richardson at (206) 523 4719 for showings.";
+
+void BM_Tokenize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(kSampleText));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(strlen(kSampleText)));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem("generalization"));
+    benchmark::DoNotOptimize(PorterStem("fantastic"));
+    benchmark::DoNotOptimize(PorterStem("listings"));
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+std::vector<std::vector<std::string>> MakeCorpus(size_t docs) {
+  Rng rng(99);
+  static const std::vector<std::string> kWords = {
+      "house", "great", "fantastic", "yard",  "seattle", "miami", "phone",
+      "price", "granite", "kitchen", "school", "garage", "view",  "floor"};
+  std::vector<std::vector<std::string>> corpus;
+  for (size_t d = 0; d < docs; ++d) {
+    std::vector<std::string> doc;
+    size_t len = static_cast<size_t>(rng.UniformInt(4, 14));
+    for (size_t w = 0; w < len; ++w) doc.push_back(rng.Pick(kWords));
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+void BM_TfIdfVectorize(benchmark::State& state) {
+  auto corpus = MakeCorpus(1000);
+  TfIdfModel model;
+  for (const auto& doc : corpus) model.AddDocument(doc);
+  model.Finalize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Vectorize(corpus[i++ % corpus.size()]));
+  }
+}
+BENCHMARK(BM_TfIdfVectorize);
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  std::vector<int> labels(corpus.size());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 8);
+  for (auto _ : state) {
+    NaiveBayesClassifier nb;
+    benchmark::DoNotOptimize(nb.Train(corpus, labels, 8));
+  }
+}
+BENCHMARK(BM_NaiveBayesTrain)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_NaiveBayesPredict(benchmark::State& state) {
+  auto corpus = MakeCorpus(2000);
+  std::vector<int> labels(corpus.size());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 8);
+  NaiveBayesClassifier nb;
+  (void)nb.Train(corpus, labels, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nb.Predict(corpus[i++ % corpus.size()]));
+  }
+}
+BENCHMARK(BM_NaiveBayesPredict);
+
+void BM_WhirlPredict(benchmark::State& state) {
+  auto corpus = MakeCorpus(static_cast<size_t>(state.range(0)));
+  std::vector<int> labels(corpus.size());
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = static_cast<int>(i % 8);
+  WhirlClassifier whirl;
+  (void)whirl.Train(corpus, labels, 8);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(whirl.Predict(corpus[i++ % corpus.size()]));
+  }
+}
+BENCHMARK(BM_WhirlPredict)->Arg(500)->Arg(5000);
+
+void BM_XmlParse(benchmark::State& state) {
+  std::string doc =
+      "<house-listing><location>Seattle, WA</location><price>$70,000</price>"
+      "<contact><name>Kate Richardson</name><phone>(206) 523 4719</phone>"
+      "</contact><description>" +
+      std::string(kSampleText) + "</description></house-listing>";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseXml(doc));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_DtdParseAndValidate(benchmark::State& state) {
+  const char* dtd_text = R"(
+    <!ELEMENT house-listing (location?, price, contact)>
+    <!ELEMENT location (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT contact (name, phone)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT phone (#PCDATA)>
+  )";
+  auto doc = ParseXml(
+      "<house-listing><location>x</location><price>1</price>"
+      "<contact><name>k</name><phone>2</phone></contact></house-listing>");
+  for (auto _ : state) {
+    auto dtd = ParseDtd(dtd_text);
+    benchmark::DoNotOptimize(dtd->ValidateDocument(doc->root));
+  }
+}
+BENCHMARK(BM_DtdParseAndValidate);
+
+void BM_ExtractColumns(benchmark::State& state) {
+  auto domain = MakeEvaluationDomain("real-estate-1", 1,
+                                     static_cast<size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractColumns(domain->sources[0].source));
+  }
+}
+BENCHMARK(BM_ExtractColumns)->Arg(50)->Arg(300);
+
+void BM_AStarSearch(benchmark::State& state) {
+  auto domain = MakeEvaluationDomain("real-estate-1", 1, 30, 7);
+  const GeneratedSource& gen = domain->sources[0];
+  auto columns = ExtractColumns(gen.source).value();
+  ConstraintContext context(&gen.source.schema, &columns);
+  LabelSpace labels(domain->mediated.AllTags());
+  // Gold-leaning noisy predictions.
+  Rng rng(3);
+  std::vector<Prediction> predictions;
+  for (const std::string& tag : context.tags()) {
+    Prediction p(labels.size());
+    for (double& s : p.scores) s = rng.Uniform(0.0, 0.2);
+    int gold = labels.IndexOf(gen.gold.LabelOrOther(tag));
+    if (gold >= 0) p.scores[static_cast<size_t>(gold)] += 0.6;
+    p.Normalize();
+    predictions.push_back(std::move(p));
+  }
+  ConstraintSet constraints;
+  for (auto& c : MakeDomainConstraints(*domain)) constraints.Add(std::move(c));
+  AStarSearcher searcher;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        searcher.Search(predictions, constraints, labels, context));
+  }
+}
+BENCHMARK(BM_AStarSearch);
+
+void BM_GenerateDomain(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MakeEvaluationDomain("real-estate-2", 5,
+                             static_cast<size_t>(state.range(0)), 7));
+  }
+}
+BENCHMARK(BM_GenerateDomain)->Arg(50);
+
+}  // namespace
+}  // namespace lsd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Developer probe: times each stage of one train/match cycle so pipeline
+// regressions are easy to localize. Not a paper experiment.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "eval/metrics.h"
+#include "eval/experiment.h"
+
+using Clock = std::chrono::steady_clock;
+
+static double Ms(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+int main(int argc, char** argv) {
+  using namespace lsd;
+  const char* domain_name = bench::BoolFlag(argc, argv, "re2")
+                                ? "real-estate-2"
+                                : "real-estate-1";
+  size_t listings =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "listings", 40));
+
+  auto t0 = Clock::now();
+  auto domain = MakeEvaluationDomain(domain_name, 5, listings, 7);
+  auto t1 = Clock::now();
+  std::printf("generate domain: %.1f ms\n", Ms(t0, t1));
+
+  LsdConfig config = ConfigForDomain(domain_name, LsdConfig());
+  LsdSystem system(domain->mediated, config, &domain->synonyms);
+  for (auto& c : MakeDomainConstraints(*domain)) system.AddConstraint(std::move(c));
+  for (int s = 0; s < 3; ++s) {
+    auto status = system.AddTrainingSource(domain->sources[static_cast<size_t>(s)].source,
+                                           domain->sources[static_cast<size_t>(s)].gold);
+    if (!status.ok()) { std::printf("%s\n", status.ToString().c_str()); return 1; }
+  }
+  auto t2 = Clock::now();
+  std::printf("extract training: %.1f ms\n", Ms(t1, t2));
+  auto status = system.Train();
+  if (!status.ok()) { std::printf("%s\n", status.ToString().c_str()); return 1; }
+  auto t3 = Clock::now();
+  std::printf("train (CV + meta): %.1f ms\n", Ms(t2, t3));
+
+  auto preds = system.PredictSource(domain->sources[3].source);
+  if (!preds.ok()) { std::printf("%s\n", preds.status().ToString().c_str()); return 1; }
+  auto t4 = Clock::now();
+  std::printf("predict source: %.1f ms\n", Ms(t3, t4));
+
+  MatchOptions options;
+  auto result = system.MatchWithPredictions(*preds, domain->sources[3].source, options);
+  if (!result.ok()) { std::printf("%s\n", result.status().ToString().c_str()); return 1; }
+  auto t5 = Clock::now();
+  std::printf("match w/ constraints: %.1f ms (expanded=%zu truncated=%d)\n",
+              Ms(t4, t5), result->search_expanded, result->search_truncated);
+
+  options.use_constraint_handler = false;
+  auto argmax = system.MatchWithPredictions(*preds, domain->sources[3].source, options);
+  auto t6 = Clock::now();
+  std::printf("match argmax: %.1f ms\n", Ms(t5, t6));
+  std::printf("accuracy (full): %.3f\n",
+              MatchingAccuracy(result->mapping, domain->sources[3].gold));
+  std::printf("accuracy (argmax): %.3f\n",
+              MatchingAccuracy(argmax->mapping, domain->sources[3].gold));
+
+  // Per-learner diagnostics.
+  for (const std::string& learner : system.LearnerNames()) {
+    MatchOptions solo;
+    solo.learners = {learner};
+    solo.use_meta_learner = false;
+    solo.use_constraint_handler = false;
+    auto solo_result =
+        system.MatchWithPredictions(*preds, domain->sources[3].source, solo);
+    std::printf("accuracy (%s alone): %.3f\n", learner.c_str(),
+                MatchingAccuracy(solo_result->mapping, domain->sources[3].gold));
+  }
+  if (bench::BoolFlag(argc, argv, "weights")) {
+    std::printf("meta weights:\n%s",
+                system.meta_learner()
+                    .WeightsToString(system.labels(), system.LearnerNames())
+                    .c_str());
+  }
+  return 0;
+}

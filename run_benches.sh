@@ -1,0 +1,18 @@
+#!/bin/bash
+# Runs every paper bench; scale flags chosen so the whole suite fits a
+# single-core budget (the binaries default to a larger protocol).
+cd /root/repo
+{
+  echo "=== table3_domains ===";        build/bench/table3_domains; echo
+  echo "=== fig8a_accuracy ===";        build/bench/fig8a_accuracy --samples=1 --listings=80; echo
+  echo "=== fig8b_data_sensitivity ==="; build/bench/fig8b_data_sensitivity --samples=1; echo
+  echo "=== fig8c_data_sensitivity ==="; build/bench/fig8c_data_sensitivity --samples=1; echo
+  echo "=== fig9a_lesion ===";          build/bench/fig9a_lesion --samples=1 --listings=80; echo
+  echo "=== fig9b_schema_vs_data ===";  build/bench/fig9b_schema_vs_data --samples=1 --listings=80; echo
+  echo "=== sec63_feedback ===";        build/bench/sec63_feedback --runs=3 --listings=80; echo
+  echo "=== ablation_stacking ===";     build/bench/ablation_stacking --listings=60; echo
+  echo "=== ablation_converter ===";    build/bench/ablation_converter --listings=60; echo
+  echo "=== micro_components ===";      build/bench/micro_components --benchmark_min_time=0.2; echo
+  echo "=== profile_probe ===";         build/bench/profile_probe; echo
+  echo "=== DONE ==="
+} 2>&1 | grep -v "WARNING conda" > /root/repo/bench_output.txt

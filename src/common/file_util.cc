@@ -1,0 +1,36 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+
+namespace lsd {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::string contents;
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, n);
+  }
+  bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::Internal("read error: " + path);
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size();
+  if (std::fclose(file) != 0) failed = true;
+  if (failed) return Status::Internal("write error: " + path);
+  return Status::OK();
+}
+
+}  // namespace lsd

@@ -1,0 +1,20 @@
+#ifndef LSD_COMMON_FILE_UTIL_H_
+#define LSD_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Reads an entire file into a string. Returns NotFound when the file
+/// cannot be opened and Internal on read errors.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_FILE_UTIL_H_

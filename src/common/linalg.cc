@@ -1,0 +1,159 @@
+#include "common/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lsd {
+
+Matrix Matrix::TransposeTimesSelf() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t i = 0; i < cols_; ++i) {
+      double a_ri = at(r, i);
+      if (a_ri == 0.0) continue;
+      for (size_t j = 0; j < cols_; ++j) {
+        out.at(i, j) += a_ri * at(r, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeTimesVector(
+    const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out[c] += at(r, c) * v[r];
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: matrix not square");
+  }
+  if (b.size() != n) {
+    return Status::InvalidArgument("SolveLinearSystem: rhs size mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a.at(r, col)) > std::fabs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a.at(pivot, col)) < 1e-12) {
+      return Status::FailedPrecondition("SolveLinearSystem: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a.at(pivot, c), a.at(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a.at(r, c) -= factor * a.at(col, c);
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+namespace {
+
+// Solves the ridge-regularized normal equations restricted to the columns
+// whose `active[i]` is true; inactive coefficients are fixed at zero.
+StatusOr<std::vector<double>> SolveActive(const Matrix& ata,
+                                          const std::vector<double>& atb,
+                                          const std::vector<bool>& active,
+                                          double ridge) {
+  const size_t k = ata.rows();
+  std::vector<size_t> index;
+  for (size_t i = 0; i < k; ++i) {
+    if (active[i]) index.push_back(i);
+  }
+  std::vector<double> full(k, 0.0);
+  if (index.empty()) return full;
+  Matrix sys(index.size(), index.size());
+  std::vector<double> rhs(index.size());
+  for (size_t i = 0; i < index.size(); ++i) {
+    for (size_t j = 0; j < index.size(); ++j) {
+      sys.at(i, j) = ata.at(index[i], index[j]);
+    }
+    sys.at(i, i) += ridge;
+    rhs[i] = atb[index[i]];
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<double> sol,
+                       SolveLinearSystem(std::move(sys), std::move(rhs)));
+  for (size_t i = 0; i < index.size(); ++i) full[index[i]] = sol[i];
+  return full;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> LeastSquares(const Matrix& a,
+                                           const std::vector<double>& b,
+                                           const LeastSquaresOptions& options) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("LeastSquares: empty design matrix");
+  }
+  if (b.size() != a.rows()) {
+    return Status::InvalidArgument("LeastSquares: target size mismatch");
+  }
+  Matrix ata = a.TransposeTimesSelf();
+  std::vector<double> atb = a.TransposeTimesVector(b);
+  const size_t k = a.cols();
+  double ridge = options.ridge > 0 ? options.ridge : 1e-9;
+
+  std::vector<bool> active(k, true);
+  for (int iter = 0; iter < static_cast<int>(k) + 1; ++iter) {
+    LSD_ASSIGN_OR_RETURN(std::vector<double> x,
+                         SolveActive(ata, atb, active, ridge));
+    if (!options.non_negative) return x;
+    bool any_negative = false;
+    for (size_t i = 0; i < k; ++i) {
+      if (x[i] < 0.0) {
+        active[i] = false;
+        any_negative = true;
+      }
+    }
+    if (!any_negative) return x;
+  }
+  return Status::Internal("LeastSquares: NNLS failed to converge");
+}
+
+void NormalizeToDistribution(std::vector<double>* v) {
+  double total = 0.0;
+  for (double& x : *v) {
+    if (x < 0.0) x = 0.0;
+    total += x;
+  }
+  if (total <= 0.0) {
+    if (v->empty()) return;
+    double uniform = 1.0 / static_cast<double>(v->size());
+    for (double& x : *v) x = uniform;
+    return;
+  }
+  for (double& x : *v) x /= total;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double out = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) out += a[i] * b[i];
+  return out;
+}
+
+double Norm(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace lsd

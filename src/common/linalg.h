@@ -1,0 +1,73 @@
+#ifndef LSD_COMMON_LINALG_H_
+#define LSD_COMMON_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Small dense row-major matrix of doubles. Sized for the meta-learner's
+/// regression problems (a handful of columns, hundreds of rows); not a
+/// general-purpose BLAS.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns A^T * A (cols x cols).
+  Matrix TransposeTimesSelf() const;
+
+  /// Returns A^T * v; requires v.size() == rows().
+  std::vector<double> TransposeTimesVector(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solves the square linear system `a * x = b` with partial-pivot Gaussian
+/// elimination. Returns InvalidArgument on shape mismatch and
+/// FailedPrecondition when the matrix is (numerically) singular.
+StatusOr<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                std::vector<double> b);
+
+/// Options for `LeastSquares`.
+struct LeastSquaresOptions {
+  /// Ridge (L2) regularization added to the normal equations' diagonal.
+  /// Keeps the tiny stacking problems well conditioned when base learners
+  /// produce (nearly) collinear confidence columns.
+  double ridge = 1e-6;
+  /// When true, negative coefficients are clamped to zero and the solve is
+  /// repeated on the surviving columns (simple active-set NNLS). Stacked
+  /// generalization traditionally constrains weights to be non-negative.
+  bool non_negative = false;
+};
+
+/// Minimizes ||a*x - b||^2 (+ ridge * ||x||^2). `a` is n x k with n >= 1.
+StatusOr<std::vector<double>> LeastSquares(
+    const Matrix& a, const std::vector<double>& b,
+    const LeastSquaresOptions& options = LeastSquaresOptions());
+
+/// Normalizes `v` in place so its entries sum to 1. If the sum is not
+/// positive, resets to the uniform distribution.
+void NormalizeToDistribution(std::vector<double>* v);
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm(const std::vector<double>& v);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_LINALG_H_

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace lsd {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < g_level.load()) return;
+  std::string text = stream_.str();
+  std::fprintf(stderr, "%s\n", text.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace lsd

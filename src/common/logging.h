@@ -1,0 +1,54 @@
+#ifndef LSD_COMMON_LOGGING_H_
+#define LSD_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lsd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via the LSD_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lsd
+
+/// Usage: LSD_LOG(kInfo) << "trained " << n << " learners";
+#define LSD_LOG(severity)                                          \
+  ::lsd::internal_logging::LogMessage(::lsd::LogLevel::severity,   \
+                                      __FILE__, __LINE__)          \
+      .stream()
+
+/// Fatal invariant check; aborts with a message when `cond` is false.
+#define LSD_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::lsd::internal_logging::LogMessage(::lsd::LogLevel::kError,        \
+                                          __FILE__, __LINE__)             \
+              .stream()                                                   \
+          << "CHECK failed: " #cond;                                      \
+      ::abort();                                                          \
+    }                                                                     \
+  } while (0)
+
+#endif  // LSD_COMMON_LOGGING_H_

@@ -1,0 +1,114 @@
+#ifndef LSD_COMMON_SERIAL_H_
+#define LSD_COMMON_SERIAL_H_
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace lsd {
+
+/// Line/field cursor over the text model format used by the persistence
+/// layer (`Serialize`/`Deserialize` on classifiers, `LsdSystem::SaveModel`).
+/// The format is line-oriented with space-separated fields; tokens written
+/// by the library never contain whitespace (the tokenizers guarantee it),
+/// so no quoting is needed.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  size_t line_number() const { return line_number_; }
+
+  /// Returns the fields of the next non-empty line.
+  StatusOr<std::vector<std::string>> Next() {
+    while (!AtEnd()) {
+      size_t end = text_.find('\n', pos_);
+      if (end == std::string_view::npos) end = text_.size();
+      std::string_view line = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+      ++line_number_;
+      std::vector<std::string> fields = SplitAny(line, " \t\r");
+      if (!fields.empty()) return fields;
+    }
+    return Status::ParseError("unexpected end of model text");
+  }
+
+  /// Like Next(), but requires the first field to equal `keyword` and the
+  /// field count (including the keyword) to be at least `min_fields`.
+  StatusOr<std::vector<std::string>> Expect(std::string_view keyword,
+                                            size_t min_fields) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields, Next());
+    if (fields[0] != keyword || fields.size() < min_fields) {
+      return Status::ParseError(
+          StrFormat("model line %zu: expected '%s' with >=%zu fields",
+                    line_number_, std::string(keyword).c_str(), min_fields));
+    }
+    return fields;
+  }
+
+  /// Consumes and returns the next `n` raw lines verbatim (including empty
+  /// ones) joined with '\n' — used for framed nested payloads.
+  StatusOr<std::string> TakeLines(size_t n) {
+    std::string out;
+    for (size_t i = 0; i < n; ++i) {
+      if (AtEnd()) return Status::ParseError("framed payload truncated");
+      size_t end = text_.find('\n', pos_);
+      if (end == std::string_view::npos) end = text_.size();
+      out.append(text_.substr(pos_, end - pos_));
+      out.push_back('\n');
+      pos_ = end + 1;
+      ++line_number_;
+    }
+    return out;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_number_ = 0;
+};
+
+/// Field conversion helpers; all return ParseError with context on failure.
+inline StatusOr<double> FieldToDouble(const std::string& field) {
+  double value;
+  if (!ParseDouble(field, &value)) {
+    return Status::ParseError("bad numeric field: " + field);
+  }
+  return value;
+}
+
+inline StatusOr<size_t> FieldToSize(const std::string& field) {
+  if (!IsAllDigits(field)) {
+    return Status::ParseError("bad integer field: " + field);
+  }
+  return static_cast<size_t>(std::strtoull(field.c_str(), nullptr, 10));
+}
+
+inline StatusOr<int> FieldToInt(const std::string& field) {
+  std::string digits = field;
+  bool negative = !digits.empty() && digits[0] == '-';
+  if (negative) digits.erase(0, 1);
+  if (!IsAllDigits(digits)) {
+    return Status::ParseError("bad integer field: " + field);
+  }
+  int value = std::atoi(field.c_str());
+  return value;
+}
+
+/// Counts the lines of `text` (as written by the serializers: every line
+/// ends with '\n').
+inline size_t CountLines(std::string_view text) {
+  size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_SERIAL_H_

@@ -1,0 +1,154 @@
+#ifndef LSD_COMMON_STATUS_H_
+#define LSD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lsd {
+
+/// Canonical error codes used throughout the library. Modeled after the
+/// database-systems convention (RocksDB / Arrow) of returning rich status
+/// objects instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A `Status` describes the outcome of a fallible operation: either OK or
+/// an error code plus a human-readable message. `Status` is cheap to copy
+/// and move; the OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// `StatusOr<T>` holds either a value of type `T` or an error `Status`.
+/// Callers must check `ok()` before dereferencing. Typical use:
+///
+///   StatusOr<Document> doc = ParseXml(text);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status.ok()` must be false.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lsd
+
+/// Evaluates `expr` (a Status expression) and returns it from the current
+/// function if it is not OK.
+#define LSD_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::lsd::Status _lsd_status = (expr);          \
+    if (!_lsd_status.ok()) return _lsd_status;   \
+  } while (0)
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns its status
+/// from the current function, otherwise assigns the value to `lhs`.
+#define LSD_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  auto LSD_CONCAT_(_lsd_sor_, __LINE__) = (rexpr);          \
+  if (!LSD_CONCAT_(_lsd_sor_, __LINE__).ok())               \
+    return LSD_CONCAT_(_lsd_sor_, __LINE__).status();       \
+  lhs = std::move(LSD_CONCAT_(_lsd_sor_, __LINE__)).value()
+
+#define LSD_CONCAT_IMPL_(a, b) a##b
+#define LSD_CONCAT_(a, b) LSD_CONCAT_IMPL_(a, b)
+
+#endif  // LSD_COMMON_STATUS_H_

@@ -1,0 +1,56 @@
+#ifndef LSD_COMMON_STRINGS_H_
+#define LSD_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsd {
+
+/// Returns `s` lower-cased (ASCII only).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` upper-cased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, omitting empty pieces when `skip_empty` is true.
+std::vector<std::string> Split(std::string_view s, char sep,
+                               bool skip_empty = false);
+
+/// Splits `s` on any character in `seps`, omitting empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view seps);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Returns true if `haystack` contains `needle`.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Returns true if `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Replaces every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns true if every character of `s` is an ASCII digit (and `s` is
+/// non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// Parses a double, accepting surrounding whitespace. Returns false on
+/// failure.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_STRINGS_H_

@@ -1,0 +1,240 @@
+#include "constraints/astar_searcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace lsd {
+namespace {
+
+struct Node {
+  Assignment assignment;
+  /// Number of tags (in search order) already assigned.
+  size_t level = 0;
+  /// Accumulated -α·log s(label|tag) over assigned tags.
+  double prob_cost = 0.0;
+  /// Accumulated soft-constraint cost of the partial assignment.
+  double soft_cost = 0.0;
+  /// g = prob_cost + soft_cost.
+  double g = 0.0;
+  double f = 0.0;
+};
+
+struct NodeCompare {
+  bool operator()(const Node& a, const Node& b) const { return a.f > b.f; }
+};
+
+}  // namespace
+
+std::vector<size_t> AStarSearcher::TagOrder(const ConstraintContext& context) {
+  const std::vector<std::string>& tags = context.tags();
+  std::vector<size_t> order(tags.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<size_t> scores(tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    scores[i] = context.schema().DescendantCount(tags[i]);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](size_t a, size_t b) { return scores[a] > scores[b]; });
+  return order;
+}
+
+StatusOr<SearchResult> AStarSearcher::Search(
+    const std::vector<Prediction>& predictions, const ConstraintSet& constraints,
+    const LabelSpace& labels, const ConstraintContext& context) const {
+  const size_t n_tags = context.tags().size();
+  if (predictions.size() != n_tags) {
+    return Status::InvalidArgument("AStarSearcher: one prediction per tag required");
+  }
+  const size_t n_labels = labels.size();
+  for (const Prediction& p : predictions) {
+    if (p.size() != n_labels) {
+      return Status::InvalidArgument("AStarSearcher: label-count mismatch");
+    }
+  }
+
+  // -α log s, floored.
+  auto label_cost = [&](size_t tag, int label) {
+    double score = std::max(predictions[tag].scores[static_cast<size_t>(label)],
+                            options_.score_floor);
+    return -options_.alpha * std::log(score);
+  };
+
+  // Candidate labels per tag: top beam_width by score plus OTHER.
+  std::vector<std::vector<int>> candidates(n_tags);
+  for (size_t t = 0; t < n_tags; ++t) {
+    std::vector<int> all(n_labels);
+    for (size_t c = 0; c < n_labels; ++c) all[c] = static_cast<int>(c);
+    std::sort(all.begin(), all.end(), [&](int a, int b) {
+      return predictions[t].scores[static_cast<size_t>(a)] >
+             predictions[t].scores[static_cast<size_t>(b)];
+    });
+    size_t width = options_.beam_width == 0
+                       ? n_labels
+                       : std::min(options_.beam_width, n_labels);
+    candidates[t].assign(all.begin(), all.begin() + static_cast<long>(width));
+    int other = labels.other_index();
+    if (other >= 0 &&
+        std::find(candidates[t].begin(), candidates[t].end(), other) ==
+            candidates[t].end()) {
+      candidates[t].push_back(other);
+    }
+  }
+
+  // Per-tag admissible lower bound on the probability term.
+  std::vector<double> best_label_cost(n_tags, 0.0);
+  for (size_t t = 0; t < n_tags; ++t) {
+    double best = kInfiniteCost;
+    for (int label : candidates[t]) {
+      best = std::min(best, label_cost(t, label));
+    }
+    best_label_cost[t] = best;
+  }
+
+  // Incremental constraint evaluation: index constraints by the labels
+  // that can affect them, so extending a partial assignment with (tag,
+  // label) only re-checks the constraints triggered by that label (plus
+  // the few that must always be re-checked). Constraint costs are
+  // monotone, so untouched constraints stay satisfied.
+  std::vector<std::vector<size_t>> by_label(n_labels);
+  std::vector<size_t> always;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    std::vector<std::string> triggers = constraints.at(i).TriggerLabels();
+    if (triggers.empty()) {
+      always.push_back(i);
+      continue;
+    }
+    bool any_known = false;
+    for (const std::string& name : triggers) {
+      int label = labels.IndexOf(name);
+      if (label >= 0) {
+        by_label[static_cast<size_t>(label)].push_back(i);
+        any_known = true;
+      }
+    }
+    // Constraints whose labels are all outside the label space are inert.
+    (void)any_known;
+  }
+  // Dedupe per-label lists (a constraint may list a label twice).
+  for (auto& list : by_label) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  std::vector<size_t> order = TagOrder(context);
+  // Suffix sums of best costs along the search order.
+  std::vector<double> heuristic(n_tags + 1, 0.0);
+  for (size_t i = n_tags; i-- > 0;) {
+    heuristic[i] = heuristic[i + 1] + best_label_cost[order[i]];
+  }
+
+  // Constraint-respecting greedy completion, used when A* exhausts its
+  // expansion budget or no feasible completion exists: assign tags in
+  // search order, picking each tag's cheapest candidate that keeps the
+  // partial assignment feasible; when no candidate is feasible, prefer
+  // OTHER (it participates in no hard constraints), else the argmax.
+  auto greedy_fallback = [&](size_t expanded) {
+    SearchResult result;
+    result.assignment = Assignment(n_tags);
+    double total = 0.0;
+    for (size_t t : order) {
+      int chosen = -1;
+      double chosen_cost = kInfiniteCost;
+      for (int label : candidates[t]) {
+        result.assignment.labels[t] = label;
+        if (constraints.TotalCost(result.assignment, labels, context) ==
+            kInfiniteCost) {
+          continue;
+        }
+        double cost = label_cost(t, label);
+        if (cost < chosen_cost) {
+          chosen = label;
+          chosen_cost = cost;
+        }
+      }
+      if (chosen < 0) {
+        chosen = labels.other_index() >= 0 ? labels.other_index()
+                                           : predictions[t].Best();
+        chosen_cost = label_cost(t, chosen);
+      }
+      result.assignment.labels[t] = chosen;
+      total += chosen_cost;
+    }
+    double soft = constraints.TotalCost(result.assignment, labels, context);
+    result.cost = soft == kInfiniteCost ? kInfiniteCost : total + soft;
+    result.expanded = expanded;
+    result.truncated = true;
+    return result;
+  };
+
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
+  Node root;
+  root.assignment = Assignment(n_tags);
+  // One full evaluation at the root; everything after is incremental.
+  double root_cost = constraints.TotalCost(root.assignment, labels, context);
+  if (root_cost == kInfiniteCost) return greedy_fallback(0);
+  root.soft_cost = root_cost;
+  root.g = root.soft_cost;
+  root.f = root.g + heuristic[0];
+  open.push(std::move(root));
+
+  size_t expanded = 0;
+  while (!open.empty()) {
+    Node node = open.top();
+    open.pop();
+    if (node.level == n_tags) {
+      SearchResult result;
+      result.assignment = std::move(node.assignment);
+      result.cost = node.g;
+      result.expanded = expanded;
+      result.truncated = false;
+      return result;
+    }
+    if (++expanded > options_.max_expansions) {
+      return greedy_fallback(expanded);
+    }
+    size_t tag = order[node.level];
+    for (int label : candidates[tag]) {
+      Node child;
+      child.assignment = node.assignment;
+      child.assignment.labels[tag] = label;
+      child.level = node.level + 1;
+      // Re-check only constraints this label (or "always" constraints) can
+      // affect. Hard violations prune; soft deltas accumulate into g.
+      bool feasible = true;
+      double soft_delta = 0.0;
+      auto check = [&](size_t index) {
+        const Constraint& c = constraints.at(index);
+        double child_cost = c.Cost(child.assignment, labels, context);
+        if (child_cost == kInfiniteCost) {
+          feasible = false;
+          return;
+        }
+        if (!c.IsHard()) {
+          soft_delta +=
+              child_cost - c.Cost(node.assignment, labels, context);
+        }
+      };
+      for (size_t index : by_label[static_cast<size_t>(label)]) {
+        check(index);
+        if (!feasible) break;
+      }
+      if (feasible) {
+        for (size_t index : always) {
+          check(index);
+          if (!feasible) break;
+        }
+      }
+      if (!feasible) continue;
+      child.prob_cost = node.prob_cost + label_cost(tag, label);
+      child.soft_cost = node.soft_cost + soft_delta;
+      child.g = child.prob_cost + child.soft_cost;
+      child.f = child.g + heuristic[child.level];
+      open.push(std::move(child));
+    }
+  }
+  // Every completion violated a hard constraint: fall back to greedy.
+  return greedy_fallback(expanded);
+}
+
+}  // namespace lsd

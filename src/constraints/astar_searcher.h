@@ -1,0 +1,77 @@
+#ifndef LSD_CONSTRAINTS_ASTAR_SEARCHER_H_
+#define LSD_CONSTRAINTS_ASTAR_SEARCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// Options for `AStarSearcher`.
+struct AStarOptions {
+  /// Scaling coefficient α of the -log prob(m) term in
+  /// cost(m) = Σ γ_i cost(m, T_i) - α log prob(m) (Section 4.2). Soft
+  /// constraints carry their γ in their own weights.
+  double alpha = 1.0;
+  /// Per-tag branching: only the top `beam_width` labels by converter
+  /// score are considered for each tag (OTHER is always included).
+  /// 0 = consider every label.
+  size_t beam_width = 8;
+  /// Confidence floor: scores are clamped up to this before taking logs so
+  /// a zero score stays assignable (hard constraints may force it).
+  double score_floor = 1e-6;
+  /// Abort after this many node expansions and fall back to greedy
+  /// argmax completion (keeps the matcher interactive; Section 7 notes
+  /// the constraint handler can take minutes unoptimized).
+  size_t max_expansions = 200000;
+};
+
+/// Result of a constraint-handler search.
+struct SearchResult {
+  Assignment assignment;
+  double cost = 0.0;
+  size_t expanded = 0;
+  /// True when the search exhausted `max_expansions` and completed
+  /// greedily instead of optimally.
+  bool truncated = false;
+};
+
+/// A* search over the space of candidate 1-1 mappings (Section 4.2).
+/// States are partial assignments in a fixed tag order (most-structured
+/// tags first, the Section 6.3 ordering); successors extend the next tag
+/// with each candidate label. g = accumulated -α·log s(label|tag) plus
+/// soft-constraint costs; hard violations prune. h = Σ over unassigned
+/// tags of -α·log(best score) — admissible because soft costs are
+/// monotone and each tag's best label lower-bounds its contribution.
+class AStarSearcher {
+ public:
+  explicit AStarSearcher(AStarOptions options = AStarOptions())
+      : options_(options) {}
+
+  /// Finds the minimum-cost complete assignment.
+  ///   predictions[i] — the prediction-converter distribution for tag i
+  ///                    (indexed per `context.tags()`);
+  ///   constraints    — the domain constraints (may be empty);
+  /// Returns InvalidArgument on shape mismatch. When every complete
+  /// assignment violates a hard constraint the search falls back to the
+  /// unconstrained argmax assignment with `truncated` set.
+  StatusOr<SearchResult> Search(const std::vector<Prediction>& predictions,
+                                const ConstraintSet& constraints,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context) const;
+
+  /// The tag processing order: indices into `context.tags()` sorted by
+  /// decreasing structure score (DescendantCount), ties by index.
+  /// Exposed for tests and for the feedback loop's question ordering.
+  static std::vector<size_t> TagOrder(const ConstraintContext& context);
+
+ private:
+  AStarOptions options_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CONSTRAINTS_ASTAR_SEARCHER_H_

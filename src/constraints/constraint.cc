@@ -1,0 +1,530 @@
+#include "constraints/constraint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+constexpr int kDisconnectedDistance = 1000;
+
+// Collects element names referenced by a particle in declaration order
+// (unlike ContentParticle::CollectElementNames, which sorts).
+void CollectOrdered(const ContentParticle& particle,
+                    std::vector<std::string>* out) {
+  if (particle.kind == ParticleKind::kElement) {
+    out->push_back(particle.element_name);
+  }
+  for (const ContentParticle& child : particle.children) {
+    CollectOrdered(child, out);
+  }
+}
+
+}  // namespace
+
+ConstraintContext::ConstraintContext(const Dtd* schema,
+                                     const std::vector<Column>* columns)
+    : schema_(schema), columns_(columns) {
+  tags_ = schema_->AllTags();
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    tag_index_[tags_[i]] = static_cast<int>(i);
+  }
+  parent_.assign(tags_.size(), -1);
+  sibling_rank_.assign(tags_.size(), -1);
+  // First declaring parent wins; declaration order gives sibling ranks.
+  for (size_t p = 0; p < tags_.size(); ++p) {
+    const ElementDecl* decl = schema_->Find(tags_[p]);
+    if (decl == nullptr) continue;
+    std::vector<std::string> ordered;
+    CollectOrdered(decl->content, &ordered);
+    std::set<std::string> seen;
+    int rank = 0;
+    for (const std::string& child : ordered) {
+      if (!seen.insert(child).second) continue;
+      int ci = TagIndex(child);
+      if (ci >= 0 && parent_[static_cast<size_t>(ci)] < 0 &&
+          child != tags_[p]) {
+        parent_[static_cast<size_t>(ci)] = static_cast<int>(p);
+        sibling_rank_[static_cast<size_t>(ci)] = rank;
+      }
+      ++rank;
+    }
+  }
+  depth_.assign(tags_.size(), 0);
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    int d = 0;
+    int cur = static_cast<int>(i);
+    while (parent_[static_cast<size_t>(cur)] >= 0 && d < kDisconnectedDistance) {
+      cur = parent_[static_cast<size_t>(cur)];
+      ++d;
+    }
+    depth_[i] = d;
+  }
+  values_.assign(tags_.size(), {});
+  if (columns_ != nullptr) {
+    for (const Column& column : *columns_) {
+      int ti = TagIndex(column.tag);
+      if (ti < 0) continue;
+      auto& bucket = values_[static_cast<size_t>(ti)];
+      for (const Instance& instance : column.instances) {
+        bucket.emplace_back(instance.listing_index, instance.content);
+      }
+    }
+  }
+}
+
+int ConstraintContext::TagIndex(const std::string& tag) const {
+  auto it = tag_index_.find(tag);
+  return it == tag_index_.end() ? -1 : it->second;
+}
+
+bool ConstraintContext::IsNestedIn(int inner_tag, int outer_tag) const {
+  int cur = inner_tag;
+  int steps = 0;
+  while (cur >= 0 && steps < kDisconnectedDistance) {
+    cur = parent_[static_cast<size_t>(cur)];
+    if (cur == outer_tag) return true;
+    ++steps;
+  }
+  return false;
+}
+
+bool ConstraintContext::AreSiblings(int a, int b) const {
+  if (a == b) return false;
+  int pa = parent_[static_cast<size_t>(a)];
+  int pb = parent_[static_cast<size_t>(b)];
+  return pa >= 0 && pa == pb;
+}
+
+std::vector<int> ConstraintContext::TagsBetween(int a, int b) const {
+  std::vector<int> out;
+  if (!AreSiblings(a, b)) return out;
+  int parent = parent_[static_cast<size_t>(a)];
+  int ra = sibling_rank_[static_cast<size_t>(a)];
+  int rb = sibling_rank_[static_cast<size_t>(b)];
+  if (ra > rb) std::swap(ra, rb);
+  for (size_t i = 0; i < tags_.size(); ++i) {
+    if (parent_[i] == parent && sibling_rank_[i] > ra &&
+        sibling_rank_[i] < rb) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+int ConstraintContext::TreeDistance(int a, int b) const {
+  if (a == b) return 0;
+  // Walk both chains to the root, find the lowest common ancestor.
+  std::vector<int> chain_a;
+  int cur = a;
+  while (cur >= 0) {
+    chain_a.push_back(cur);
+    cur = parent_[static_cast<size_t>(cur)];
+    if (chain_a.size() > tags_.size()) break;  // cycle guard
+  }
+  int dist_b = 0;
+  cur = b;
+  while (cur >= 0) {
+    auto it = std::find(chain_a.begin(), chain_a.end(), cur);
+    if (it != chain_a.end()) {
+      return dist_b + static_cast<int>(it - chain_a.begin());
+    }
+    cur = parent_[static_cast<size_t>(cur)];
+    ++dist_b;
+    if (dist_b > static_cast<int>(tags_.size())) break;
+  }
+  return kDisconnectedDistance;
+}
+
+const std::vector<std::pair<int, std::string>>& ConstraintContext::ValuesOf(
+    int tag) const {
+  return values_[static_cast<size_t>(tag)];
+}
+
+bool ConstraintContext::ColumnLooksLikeKey(int tag) const {
+  if (columns_ == nullptr) return true;
+  if (key_cache_.empty()) key_cache_.assign(tags_.size(), -1);
+  int8_t& cached = key_cache_[static_cast<size_t>(tag)];
+  if (cached >= 0) return cached != 0;
+  const auto& values = values_[static_cast<size_t>(tag)];
+  std::set<std::string> seen;
+  bool is_key = true;
+  for (const auto& [listing, value] : values) {
+    if (!seen.insert(value).second) {
+      is_key = false;
+      break;
+    }
+  }
+  cached = is_key ? 1 : 0;
+  return is_key;
+}
+
+bool ConstraintContext::FunctionalDependencyHolds(int a, int b, int c) const {
+  if (columns_ == nullptr) return true;
+  auto key = std::make_tuple(a, b, c);
+  auto it = fd_cache_.find(key);
+  if (it != fd_cache_.end()) return it->second;
+  bool holds = ComputeFunctionalDependency(a, b, c);
+  fd_cache_.emplace(key, holds);
+  return holds;
+}
+
+bool ConstraintContext::ComputeFunctionalDependency(int a, int b, int c) const {
+  // Align values by listing index, taking the first instance per listing.
+  auto by_listing = [](const std::vector<std::pair<int, std::string>>& values) {
+    std::map<int, std::string> out;
+    for (const auto& [listing, value] : values) {
+      out.emplace(listing, value);  // keeps the first
+    }
+    return out;
+  };
+  std::map<int, std::string> va = by_listing(ValuesOf(a));
+  std::map<int, std::string> vb = by_listing(ValuesOf(b));
+  std::map<int, std::string> vc = by_listing(ValuesOf(c));
+  std::map<std::pair<std::string, std::string>, std::string> determined;
+  for (const auto& [listing, value_a] : va) {
+    auto itb = vb.find(listing);
+    auto itc = vc.find(listing);
+    if (itb == vb.end() || itc == vc.end()) continue;
+    auto key = std::make_pair(value_a, itb->second);
+    auto [it, inserted] = determined.emplace(key, itc->second);
+    if (!inserted && it->second != itc->second) return false;
+  }
+  return true;
+}
+
+double ConstraintSet::TotalCost(const Assignment& assignment,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context) const {
+  double total = 0.0;
+  for (const auto& constraint : constraints_) {
+    double cost = constraint->Cost(assignment, labels, context);
+    if (cost == kInfiniteCost) return kInfiniteCost;
+    total += cost;
+  }
+  return total;
+}
+
+std::vector<const Constraint*> ConstraintSet::All() const {
+  std::vector<const Constraint*> out;
+  out.reserve(constraints_.size());
+  for (const auto& constraint : constraints_) out.push_back(constraint.get());
+  return out;
+}
+
+std::vector<const Constraint*> ConstraintSet::HardConstraints() const {
+  std::vector<const Constraint*> out;
+  for (const auto& constraint : constraints_) {
+    if (constraint->IsHard()) out.push_back(constraint.get());
+  }
+  return out;
+}
+
+std::vector<const Constraint*> ConstraintSet::SoftConstraints() const {
+  std::vector<const Constraint*> out;
+  for (const auto& constraint : constraints_) {
+    if (!constraint->IsHard()) out.push_back(constraint.get());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FrequencyConstraint
+// ---------------------------------------------------------------------------
+
+std::string FrequencyConstraint::Describe() const {
+  return StrFormat("between %zu and %zu source elements match %s", min_count_,
+                   max_count_, label_.c_str());
+}
+
+std::string FrequencyConstraint::ToConfigLine() const {
+  return StrFormat("frequency %s %zu %zu", label_.c_str(), min_count_,
+                   max_count_);
+}
+
+double FrequencyConstraint::Cost(const Assignment& assignment,
+                                 const LabelSpace& labels,
+                                 const ConstraintContext& context) const {
+  (void)context;
+  int label = labels.IndexOf(label_);
+  if (label < 0) return 0.0;
+  size_t count = 0;
+  size_t unassigned = 0;
+  for (int l : assignment.labels) {
+    if (l == Assignment::kUnassigned) {
+      ++unassigned;
+    } else if (l == label) {
+      ++count;
+    }
+  }
+  if (count > max_count_) return kInfiniteCost;
+  if (count + unassigned < min_count_) return kInfiniteCost;
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// NestingConstraint
+// ---------------------------------------------------------------------------
+
+std::string NestingConstraint::Describe() const {
+  return StrFormat("elements matching %s %s be nested in elements matching %s",
+                   inner_label_.c_str(), required_ ? "must" : "must not",
+                   outer_label_.c_str());
+}
+
+std::string NestingConstraint::ToConfigLine() const {
+  return StrFormat("nesting %s %s %s", outer_label_.c_str(),
+                   inner_label_.c_str(), required_ ? "required" : "forbidden");
+}
+
+double NestingConstraint::Cost(const Assignment& assignment,
+                               const LabelSpace& labels,
+                               const ConstraintContext& context) const {
+  int outer = labels.IndexOf(outer_label_);
+  int inner = labels.IndexOf(inner_label_);
+  if (outer < 0 || inner < 0) return 0.0;
+  // Collect matched tags first: one linear scan, then (tiny) pair checks.
+  std::vector<size_t> outers, inners;
+  for (size_t i = 0; i < assignment.labels.size(); ++i) {
+    if (assignment.labels[i] == outer) outers.push_back(i);
+    if (assignment.labels[i] == inner) inners.push_back(i);
+  }
+  for (size_t i : outers) {
+    for (size_t j : inners) {
+      if (i == j) continue;
+      bool nested = context.IsNestedIn(static_cast<int>(j), static_cast<int>(i));
+      if (required_ && !nested) return kInfiniteCost;
+      if (!required_ && nested) return kInfiniteCost;
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// ContiguityConstraint
+// ---------------------------------------------------------------------------
+
+std::string ContiguityConstraint::Describe() const {
+  return StrFormat(
+      "elements matching %s and %s must be siblings with only OTHER between",
+      label_a_.c_str(), label_b_.c_str());
+}
+
+std::string ContiguityConstraint::ToConfigLine() const {
+  return StrFormat("contiguity %s %s", label_a_.c_str(), label_b_.c_str());
+}
+
+double ContiguityConstraint::Cost(const Assignment& assignment,
+                                  const LabelSpace& labels,
+                                  const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  int other = labels.other_index();
+  std::vector<size_t> as, bs;
+  for (size_t i = 0; i < assignment.labels.size(); ++i) {
+    if (assignment.labels[i] == la) as.push_back(i);
+    if (assignment.labels[i] == lb) bs.push_back(i);
+  }
+  for (size_t i : as) {
+    for (size_t j : bs) {
+      if (!context.AreSiblings(static_cast<int>(i), static_cast<int>(j))) {
+        return kInfiniteCost;
+      }
+      for (int between : context.TagsBetween(static_cast<int>(i),
+                                             static_cast<int>(j))) {
+        int l = assignment.labels[static_cast<size_t>(between)];
+        if (l != Assignment::kUnassigned && l != other) return kInfiniteCost;
+      }
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// ExclusivityConstraint
+// ---------------------------------------------------------------------------
+
+std::string ExclusivityConstraint::Describe() const {
+  return StrFormat("%s and %s cannot both be matched", label_a_.c_str(),
+                   label_b_.c_str());
+}
+
+std::string ExclusivityConstraint::ToConfigLine() const {
+  return StrFormat("exclusivity %s %s", label_a_.c_str(), label_b_.c_str());
+}
+
+double ExclusivityConstraint::Cost(const Assignment& assignment,
+                                   const LabelSpace& labels,
+                                   const ConstraintContext& context) const {
+  (void)context;
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  bool has_a = false, has_b = false;
+  for (int l : assignment.labels) {
+    if (l == la) has_a = true;
+    if (l == lb) has_b = true;
+  }
+  return (has_a && has_b) ? kInfiniteCost : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// KeyConstraint
+// ---------------------------------------------------------------------------
+
+std::string KeyConstraint::Describe() const {
+  return StrFormat("the element matching %s must be a key", label_.c_str());
+}
+
+std::string KeyConstraint::ToConfigLine() const {
+  return StrFormat("key %s", label_.c_str());
+}
+
+double KeyConstraint::Cost(const Assignment& assignment,
+                           const LabelSpace& labels,
+                           const ConstraintContext& context) const {
+  int label = labels.IndexOf(label_);
+  if (label < 0) return 0.0;
+  for (size_t i = 0; i < assignment.labels.size(); ++i) {
+    if (assignment.labels[i] == label &&
+        !context.ColumnLooksLikeKey(static_cast<int>(i))) {
+      return kInfiniteCost;
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// FunctionalDependencyConstraint
+// ---------------------------------------------------------------------------
+
+std::string FunctionalDependencyConstraint::Describe() const {
+  return StrFormat("%s, %s functionally determine %s", label_a_.c_str(),
+                   label_b_.c_str(), label_c_.c_str());
+}
+
+std::string FunctionalDependencyConstraint::ToConfigLine() const {
+  return StrFormat("fd %s %s %s", label_a_.c_str(), label_b_.c_str(),
+                   label_c_.c_str());
+}
+
+double FunctionalDependencyConstraint::Cost(
+    const Assignment& assignment, const LabelSpace& labels,
+    const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  int lc = labels.IndexOf(label_c_);
+  if (la < 0 || lb < 0 || lc < 0) return 0.0;
+  std::vector<size_t> as, bs, cs;
+  for (size_t i = 0; i < assignment.labels.size(); ++i) {
+    if (assignment.labels[i] == la) as.push_back(i);
+    if (assignment.labels[i] == lb) bs.push_back(i);
+    if (assignment.labels[i] == lc) cs.push_back(i);
+  }
+  for (size_t i : as) {
+    for (size_t j : bs) {
+      for (size_t k : cs) {
+        if (!context.FunctionalDependencyHolds(static_cast<int>(i),
+                                               static_cast<int>(j),
+                                               static_cast<int>(k))) {
+          return kInfiniteCost;
+        }
+      }
+    }
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// CountLimitSoftConstraint
+// ---------------------------------------------------------------------------
+
+std::string CountLimitSoftConstraint::Describe() const {
+  return StrFormat("prefer at most %zu elements matching %s", max_count_,
+                   label_.c_str());
+}
+
+std::string CountLimitSoftConstraint::ToConfigLine() const {
+  return StrFormat("count-limit %s %zu %g", label_.c_str(), max_count_,
+                   weight_);
+}
+
+double CountLimitSoftConstraint::Cost(const Assignment& assignment,
+                                      const LabelSpace& labels,
+                                      const ConstraintContext& context) const {
+  (void)context;
+  int label = labels.IndexOf(label_);
+  if (label < 0) return 0.0;
+  size_t count = 0;
+  for (int l : assignment.labels) {
+    if (l == label) ++count;
+  }
+  if (count <= max_count_) return 0.0;
+  return weight_ * static_cast<double>(count - max_count_);
+}
+
+// ---------------------------------------------------------------------------
+// ProximitySoftConstraint
+// ---------------------------------------------------------------------------
+
+std::string ProximitySoftConstraint::Describe() const {
+  return StrFormat("prefer elements matching %s and %s to be close",
+                   label_a_.c_str(), label_b_.c_str());
+}
+
+std::string ProximitySoftConstraint::ToConfigLine() const {
+  return StrFormat("proximity %s %s %g", label_a_.c_str(), label_b_.c_str(),
+                   weight_);
+}
+
+double ProximitySoftConstraint::Cost(const Assignment& assignment,
+                                     const LabelSpace& labels,
+                                     const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  double total = 0.0;
+  std::vector<size_t> as, bs;
+  for (size_t i = 0; i < assignment.labels.size(); ++i) {
+    if (assignment.labels[i] == la) as.push_back(i);
+    if (assignment.labels[i] == lb) bs.push_back(i);
+  }
+  for (size_t i : as) {
+    for (size_t j : bs) {
+      int distance =
+          context.TreeDistance(static_cast<int>(i), static_cast<int>(j));
+      // Siblings sit at distance 2; anything closer is impossible for
+      // distinct leaves, anything farther accrues cost.
+      if (distance > 2) total += weight_ * static_cast<double>(distance - 2);
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackConstraint
+// ---------------------------------------------------------------------------
+
+std::string FeedbackConstraint::Describe() const {
+  return StrFormat("%s %s match %s", tag_.c_str(),
+                   must_equal_ ? "must" : "must not", label_.c_str());
+}
+
+double FeedbackConstraint::Cost(const Assignment& assignment,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context) const {
+  int tag = context.TagIndex(tag_);
+  int label = labels.IndexOf(label_);
+  if (tag < 0) return 0.0;
+  if (label < 0) return must_equal_ ? kInfiniteCost : 0.0;
+  int assigned = assignment.labels[static_cast<size_t>(tag)];
+  if (assigned == Assignment::kUnassigned) return 0.0;
+  if (must_equal_ && assigned != label) return kInfiniteCost;
+  if (!must_equal_ && assigned == label) return kInfiniteCost;
+  return 0.0;
+}
+
+}  // namespace lsd

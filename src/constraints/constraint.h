@@ -1,0 +1,397 @@
+#ifndef LSD_CONSTRAINTS_CONSTRAINT_H_
+#define LSD_CONSTRAINTS_CONSTRAINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ml/prediction.h"
+#include "schema/extraction.h"
+#include "schema/schema.h"
+#include "xml/dtd.h"
+
+namespace lsd {
+
+/// The constraint types of Table 1 (plus user feedback, Section 4.3).
+enum class ConstraintType {
+  kFrequency,    // hard: bounds on how many source elements match a label
+  kNesting,      // hard: required/forbidden nesting between matched tags
+  kContiguity,   // hard: matched tags must be siblings with OTHER between
+  kExclusivity,  // hard: two labels cannot both be matched
+  kColumn,       // hard: key / functional-dependency checks against data
+  kBinarySoft,   // soft, violation cost 1
+  kNumericSoft,  // soft, graded violation cost
+  kFeedback,     // hard: user-supplied equality / inequality on one tag
+};
+
+/// The cost of violating a hard constraint.
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// Everything a constraint may consult about the target source: its schema
+/// and (optionally) the extracted data columns. Precomputes the schema
+/// tree's parent/depth relations and per-tag column values. Tags are
+/// addressed by the dense indices used by `Assignment`.
+class ConstraintContext {
+ public:
+  /// `columns` may be null for schema-only evaluation. Both referents must
+  /// outlive the context.
+  ConstraintContext(const Dtd* schema, const std::vector<Column>* columns);
+
+  const Dtd& schema() const { return *schema_; }
+  bool has_data() const { return columns_ != nullptr; }
+
+  const std::vector<std::string>& tags() const { return tags_; }
+  /// Dense index of `tag`, or -1.
+  int TagIndex(const std::string& tag) const;
+
+  /// True when `inner` is a proper descendant of `outer` in the schema.
+  bool IsNestedIn(int inner_tag, int outer_tag) const;
+
+  /// True when the two tags share a declaring parent element.
+  bool AreSiblings(int a, int b) const;
+
+  /// Dense tag indices of the declared children of `tag` that lie strictly
+  /// between `a` and `b` in their shared parent's declaration order; empty
+  /// when not siblings.
+  std::vector<int> TagsBetween(int a, int b) const;
+
+  /// Number of parent-child edges on the path between the two tags in the
+  /// schema tree; a large sentinel when disconnected.
+  int TreeDistance(int a, int b) const;
+
+  /// The column's data values in listing order: (listing_index, value)
+  /// pairs. Empty when data is unavailable.
+  const std::vector<std::pair<int, std::string>>& ValuesOf(int tag) const;
+
+  /// True when the tag's extracted values contain no duplicate — the
+  /// column may be a key. Vacuously true without data.
+  bool ColumnLooksLikeKey(int tag) const;
+
+  /// True when, in the extracted data, the pair (values of a, values of b)
+  /// functionally determines the value of c. Vacuously true without data.
+  bool FunctionalDependencyHolds(int a, int b, int c) const;
+
+ private:
+  bool ComputeFunctionalDependency(int a, int b, int c) const;
+
+  const Dtd* schema_;
+  const std::vector<Column>* columns_;
+  std::vector<std::string> tags_;
+  std::map<std::string, int> tag_index_;
+  /// parent_[i] = dense index of the first declaring parent, -1 for root.
+  std::vector<int> parent_;
+  /// Declaration-order position within the parent's child list.
+  std::vector<int> sibling_rank_;
+  std::vector<int> depth_;
+  std::vector<std::vector<std::pair<int, std::string>>> values_;
+  /// Memoization: data predicates are pure functions of tag indices but
+  /// expensive to compute, and the A* search asks for them millions of
+  /// times. -1 = unknown, else 0/1.
+  mutable std::vector<int8_t> key_cache_;
+  mutable std::map<std::tuple<int, int, int>, bool> fd_cache_;
+};
+
+/// A (possibly partial) candidate mapping during search: `labels[i]` is
+/// the label index assigned to tag i, or `kUnassigned`.
+struct Assignment {
+  static constexpr int kUnassigned = -1;
+  std::vector<int> labels;
+
+  explicit Assignment(size_t n_tags = 0)
+      : labels(n_tags, kUnassigned) {}
+
+  bool IsComplete() const {
+    for (int label : labels) {
+      if (label == kUnassigned) return false;
+    }
+    return true;
+  }
+  size_t AssignedCount() const {
+    size_t n = 0;
+    for (int label : labels) {
+      if (label != kUnassigned) ++n;
+    }
+    return n;
+  }
+};
+
+/// Base class for domain constraints (Section 4). `Cost` must be
+/// *monotone on partial assignments*: extending an assignment may only
+/// keep or increase the cost, never decrease it — this is what lets the
+/// A* searcher prune on partial violations and keeps its heuristic
+/// admissible. Hard constraints return 0 or kInfiniteCost; soft
+/// constraints return finite costs (already scaled by their weight).
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  virtual ConstraintType type() const = 0;
+  virtual bool IsHard() const {
+    ConstraintType t = type();
+    return t != ConstraintType::kBinarySoft &&
+           t != ConstraintType::kNumericSoft;
+  }
+
+  /// Human-readable statement, e.g. "at most 1 element matches HOUSE".
+  virtual std::string Describe() const = 0;
+
+  /// Violation cost of `assignment` under `context`. `labels` provides
+  /// label-name/index translation.
+  virtual double Cost(const Assignment& assignment, const LabelSpace& labels,
+                      const ConstraintContext& context) const = 0;
+
+  /// Renders the constraint in the line format understood by
+  /// `ParseConstraints` (constraint_parser.h), or an empty string for
+  /// kinds that have no file representation (feedback constraints are
+  /// per-source, not part of a domain's constraint file).
+  virtual std::string ToConfigLine() const { return ""; }
+
+  /// Labels whose assignment to a tag can change this constraint's cost.
+  /// The A* searcher uses this to re-evaluate only affected constraints
+  /// when it extends a partial assignment. An empty list means "any
+  /// assignment may affect me" (re-evaluate on every extension) — the
+  /// conservative default. Constraints whose trigger labels are all absent
+  /// from the label space are inert and never evaluated.
+  virtual std::vector<std::string> TriggerLabels() const { return {}; }
+};
+
+/// An ordered collection of constraints with convenience cost evaluation.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void Add(std::unique_ptr<Constraint> constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+  const Constraint& at(size_t i) const { return *constraints_[i]; }
+
+  /// Sum of all constraint costs; kInfiniteCost as soon as a hard
+  /// constraint is violated.
+  double TotalCost(const Assignment& assignment, const LabelSpace& labels,
+                   const ConstraintContext& context) const;
+
+  /// Borrowed pointers to every constraint, in insertion order.
+  std::vector<const Constraint*> All() const;
+
+  /// Filters by hardness; useful for the lesion configs.
+  std::vector<const Constraint*> HardConstraints() const;
+  std::vector<const Constraint*> SoftConstraints() const;
+
+ private:
+  std::vector<std::unique_ptr<Constraint>> constraints_;
+};
+
+// ---------------------------------------------------------------------------
+// Concrete constraint types (Table 1).
+// ---------------------------------------------------------------------------
+
+/// Frequency: between `min_count` and `max_count` source elements match
+/// `label` ("at most one source element matches HOUSE" = [0,1]; "exactly
+/// one matches PRICE" = [1,1]).
+class FrequencyConstraint : public Constraint {
+ public:
+  FrequencyConstraint(std::string label, size_t min_count, size_t max_count)
+      : label_(std::move(label)), min_count_(min_count), max_count_(max_count) {}
+
+  ConstraintType type() const override { return ConstraintType::kFrequency; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override {
+    // A minimum count depends on how many tags remain unassigned, so it
+    // must be re-checked on every extension.
+    if (min_count_ > 0) return {};
+    return {label_};
+  }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_;
+  size_t min_count_;
+  size_t max_count_;
+};
+
+/// Nesting: when a matches `outer_label` and b matches `inner_label`,
+/// require (or forbid) that b is nested within a in the source schema.
+class NestingConstraint : public Constraint {
+ public:
+  NestingConstraint(std::string outer_label, std::string inner_label,
+                    bool required)
+      : outer_label_(std::move(outer_label)),
+        inner_label_(std::move(inner_label)),
+        required_(required) {}
+
+  ConstraintType type() const override { return ConstraintType::kNesting; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override {
+    return {outer_label_, inner_label_};
+  }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string outer_label_;
+  std::string inner_label_;
+  bool required_;
+};
+
+/// Contiguity: tags matching the two labels must be siblings, and any
+/// declared siblings between them may only match OTHER.
+class ContiguityConstraint : public Constraint {
+ public:
+  ContiguityConstraint(std::string label_a, std::string label_b)
+      : label_a_(std::move(label_a)), label_b_(std::move(label_b)) {}
+
+  ConstraintType type() const override { return ConstraintType::kContiguity; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_a_;
+  std::string label_b_;
+};
+
+/// Exclusivity: the two labels cannot both be matched by source elements.
+class ExclusivityConstraint : public Constraint {
+ public:
+  ExclusivityConstraint(std::string label_a, std::string label_b)
+      : label_a_(std::move(label_a)), label_b_(std::move(label_b)) {}
+
+  ConstraintType type() const override { return ConstraintType::kExclusivity; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override {
+    return {label_a_, label_b_};
+  }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_a_;
+  std::string label_b_;
+};
+
+/// Column/key: a tag matching `label` must be a key — its extracted data
+/// values contain no duplicates. Verified against data when available.
+class KeyConstraint : public Constraint {
+ public:
+  explicit KeyConstraint(std::string label) : label_(std::move(label)) {}
+
+  ConstraintType type() const override { return ConstraintType::kColumn; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override { return {label_}; }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_;
+};
+
+/// Column/FD: tags matching `label_a` and `label_b` must functionally
+/// determine the tag matching `label_c` in the extracted data.
+class FunctionalDependencyConstraint : public Constraint {
+ public:
+  FunctionalDependencyConstraint(std::string label_a, std::string label_b,
+                                 std::string label_c)
+      : label_a_(std::move(label_a)),
+        label_b_(std::move(label_b)),
+        label_c_(std::move(label_c)) {}
+
+  ConstraintType type() const override { return ConstraintType::kColumn; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override {
+    return {label_a_, label_b_, label_c_};
+  }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_a_;
+  std::string label_b_;
+  std::string label_c_;
+};
+
+/// Binary soft: at most `max_count` elements match `label`; each extra
+/// match costs `weight`.
+class CountLimitSoftConstraint : public Constraint {
+ public:
+  CountLimitSoftConstraint(std::string label, size_t max_count,
+                           double weight = 1.0)
+      : label_(std::move(label)), max_count_(max_count), weight_(weight) {}
+
+  ConstraintType type() const override { return ConstraintType::kBinarySoft; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override { return {label_}; }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_;
+  size_t max_count_;
+  double weight_;
+};
+
+/// Numeric soft: prefer the tags matching the two labels to be close in
+/// the schema tree; cost = weight * (tree distance - 2) clamped at 0
+/// (distance 2 = siblings, the ideal).
+class ProximitySoftConstraint : public Constraint {
+ public:
+  ProximitySoftConstraint(std::string label_a, std::string label_b,
+                          double weight = 0.1)
+      : label_a_(std::move(label_a)),
+        label_b_(std::move(label_b)),
+        weight_(weight) {}
+
+  ConstraintType type() const override { return ConstraintType::kNumericSoft; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+  std::vector<std::string> TriggerLabels() const override {
+    return {label_a_, label_b_};
+  }
+  std::string ToConfigLine() const override;
+
+ private:
+  std::string label_a_;
+  std::string label_b_;
+  double weight_;
+};
+
+/// User feedback (Section 4.3): tag `tag` must (or must not) match
+/// `label`.
+class FeedbackConstraint : public Constraint {
+ public:
+  FeedbackConstraint(std::string tag, std::string label, bool must_equal)
+      : tag_(std::move(tag)), label_(std::move(label)), must_equal_(must_equal) {}
+
+  ConstraintType type() const override { return ConstraintType::kFeedback; }
+  std::string Describe() const override;
+  double Cost(const Assignment& assignment, const LabelSpace& labels,
+              const ConstraintContext& context) const override;
+
+  const std::string& tag() const { return tag_; }
+  const std::string& label() const { return label_; }
+  bool must_equal() const { return must_equal_; }
+
+ private:
+  std::string tag_;
+  std::string label_;
+  bool must_equal_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,100 @@
+#include "constraints/constraint_parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+Status LineError(size_t line, const std::string& what) {
+  return Status::ParseError(
+      StrFormat("constraint line %zu: %s", line, what.c_str()));
+}
+
+bool ParseSize(const std::string& token, size_t* out) {
+  if (!IsAllDigits(token)) return false;
+  *out = static_cast<size_t>(std::strtoull(token.c_str(), nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::unique_ptr<Constraint>>> ParseConstraints(
+    std::string_view text) {
+  std::vector<std::unique_ptr<Constraint>> out;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> tokens = SplitAny(line, " \t");
+    const std::string& kind = tokens[0];
+
+    if (kind == "frequency") {
+      size_t min_count, max_count;
+      if (tokens.size() != 4 || !ParseSize(tokens[2], &min_count) ||
+          !ParseSize(tokens[3], &max_count)) {
+        return LineError(line_number, "expected: frequency LABEL MIN MAX");
+      }
+      if (min_count > max_count) {
+        return LineError(line_number, "MIN exceeds MAX");
+      }
+      out.push_back(std::make_unique<FrequencyConstraint>(tokens[1], min_count,
+                                                          max_count));
+    } else if (kind == "nesting") {
+      if (tokens.size() != 4 ||
+          (tokens[3] != "required" && tokens[3] != "forbidden")) {
+        return LineError(line_number,
+                         "expected: nesting OUTER INNER required|forbidden");
+      }
+      out.push_back(std::make_unique<NestingConstraint>(
+          tokens[1], tokens[2], tokens[3] == "required"));
+    } else if (kind == "contiguity") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected: contiguity A B");
+      }
+      out.push_back(
+          std::make_unique<ContiguityConstraint>(tokens[1], tokens[2]));
+    } else if (kind == "exclusivity") {
+      if (tokens.size() != 3) {
+        return LineError(line_number, "expected: exclusivity A B");
+      }
+      out.push_back(
+          std::make_unique<ExclusivityConstraint>(tokens[1], tokens[2]));
+    } else if (kind == "key") {
+      if (tokens.size() != 2) {
+        return LineError(line_number, "expected: key LABEL");
+      }
+      out.push_back(std::make_unique<KeyConstraint>(tokens[1]));
+    } else if (kind == "fd") {
+      if (tokens.size() != 4) {
+        return LineError(line_number, "expected: fd A B C");
+      }
+      out.push_back(std::make_unique<FunctionalDependencyConstraint>(
+          tokens[1], tokens[2], tokens[3]));
+    } else if (kind == "count-limit") {
+      size_t max_count;
+      double weight;
+      if (tokens.size() != 4 || !ParseSize(tokens[2], &max_count) ||
+          !ParseDouble(tokens[3], &weight)) {
+        return LineError(line_number,
+                         "expected: count-limit LABEL MAX WEIGHT");
+      }
+      out.push_back(std::make_unique<CountLimitSoftConstraint>(
+          tokens[1], max_count, weight));
+    } else if (kind == "proximity") {
+      double weight;
+      if (tokens.size() != 4 || !ParseDouble(tokens[3], &weight)) {
+        return LineError(line_number, "expected: proximity A B WEIGHT");
+      }
+      out.push_back(std::make_unique<ProximitySoftConstraint>(
+          tokens[1], tokens[2], weight));
+    } else {
+      return LineError(line_number, "unknown constraint kind '" + kind + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd

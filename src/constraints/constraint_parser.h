@@ -1,0 +1,32 @@
+#ifndef LSD_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define LSD_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint.h"
+
+namespace lsd {
+
+/// Parses a line-oriented domain-constraint file (used by the lsd_match
+/// CLI and handy for checking constraint sets into version control).
+/// Blank lines and lines starting with '#' are ignored. One constraint per
+/// line:
+///
+///   frequency LABEL MIN MAX        # between MIN and MAX tags match LABEL
+///   nesting OUTER INNER required   # INNER tags nest inside OUTER tags
+///   nesting OUTER INNER forbidden
+///   contiguity A B                 # siblings, only OTHER between
+///   exclusivity A B                # never both matched
+///   key LABEL                      # matched column must be a key
+///   fd A B C                       # A,B functionally determine C
+///   count-limit LABEL MAX WEIGHT   # soft: extra matches cost WEIGHT each
+///   proximity A B WEIGHT           # soft: prefer A,B close in the tree
+StatusOr<std::vector<std::unique_ptr<Constraint>>> ParseConstraints(
+    std::string_view text);
+
+}  // namespace lsd
+
+#endif  // LSD_CONSTRAINTS_CONSTRAINT_PARSER_H_

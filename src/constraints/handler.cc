@@ -1,0 +1,103 @@
+#include "constraints/handler.h"
+
+namespace lsd {
+
+StatusOr<Mapping> ArgmaxMapping(const std::vector<Prediction>& predictions,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context) {
+  const std::vector<std::string>& tags = context.tags();
+  if (predictions.size() != tags.size()) {
+    return Status::InvalidArgument("ArgmaxMapping: one prediction per tag required");
+  }
+  Mapping mapping;
+  for (size_t t = 0; t < tags.size(); ++t) {
+    int best = predictions[t].Best();
+    if (best < 0) {
+      return Status::InvalidArgument("ArgmaxMapping: empty prediction");
+    }
+    mapping.Set(tags[t], labels.NameOf(best));
+  }
+  return mapping;
+}
+
+namespace {
+
+/// Borrows a constraint owned elsewhere so a per-call working set can mix
+/// domain constraints with per-source feedback without cloning machinery.
+class ForwardConstraint : public Constraint {
+ public:
+  explicit ForwardConstraint(const Constraint* inner) : inner_(inner) {}
+  ConstraintType type() const override { return inner_->type(); }
+  bool IsHard() const override { return inner_->IsHard(); }
+  std::string Describe() const override { return inner_->Describe(); }
+  double Cost(const Assignment& a, const LabelSpace& l,
+              const ConstraintContext& ctx) const override {
+    return inner_->Cost(a, l, ctx);
+  }
+  std::vector<std::string> TriggerLabels() const override {
+    return inner_->TriggerLabels();
+  }
+
+ private:
+  const Constraint* inner_;
+};
+
+}  // namespace
+
+StatusOr<HandlerResult> ConstraintHandler::ComputeMapping(
+    const std::vector<Prediction>& predictions,
+    const std::vector<const Constraint*>& domain,
+    const std::vector<FeedbackConstraint>& feedback, const LabelSpace& labels,
+    const ConstraintContext& context) const {
+  // Merge feedback into a working constraint set. Feedback constraints are
+  // used only for the current source (Section 4.3), hence the copy.
+  ConstraintSet working;
+  for (const Constraint* c : domain) {
+    working.Add(std::make_unique<ForwardConstraint>(c));
+  }
+  for (const FeedbackConstraint& fb : feedback) {
+    working.Add(std::make_unique<FeedbackConstraint>(fb));
+  }
+
+  if (working.empty()) {
+    LSD_ASSIGN_OR_RETURN(Mapping mapping,
+                         ArgmaxMapping(predictions, labels, context));
+    HandlerResult result;
+    result.mapping = std::move(mapping);
+    return result;
+  }
+
+  // Fold feedback directly into the predictions as well: a "tag must
+  // match L" statement makes L the tag's top candidate (so the searcher's
+  // beam always contains it), and a "must not" zeroes L out. The feedback
+  // constraints above still provide the hard guarantee.
+  std::vector<Prediction> adjusted = predictions;
+  for (const FeedbackConstraint& fb : feedback) {
+    int tag = context.TagIndex(fb.tag());
+    int label = labels.IndexOf(fb.label());
+    if (tag < 0 || label < 0) continue;
+    Prediction& p = adjusted[static_cast<size_t>(tag)];
+    if (fb.must_equal()) {
+      p = Prediction::PointMass(labels.size(), label);
+    } else {
+      p.scores[static_cast<size_t>(label)] = 0.0;
+      p.Normalize();
+    }
+  }
+
+  LSD_ASSIGN_OR_RETURN(SearchResult search,
+                       searcher_.Search(adjusted, working, labels, context));
+  HandlerResult result;
+  result.cost = search.cost;
+  result.expanded = search.expanded;
+  result.truncated = search.truncated;
+  const std::vector<std::string>& tags = context.tags();
+  for (size_t t = 0; t < tags.size(); ++t) {
+    int label = search.assignment.labels[t];
+    if (label == Assignment::kUnassigned) label = labels.other_index();
+    result.mapping.Set(tags[t], labels.NameOf(label));
+  }
+  return result;
+}
+
+}  // namespace lsd

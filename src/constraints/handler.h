@@ -1,0 +1,57 @@
+#ifndef LSD_CONSTRAINTS_HANDLER_H_
+#define LSD_CONSTRAINTS_HANDLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/astar_searcher.h"
+#include "constraints/constraint.h"
+#include "ml/prediction.h"
+#include "schema/schema.h"
+
+namespace lsd {
+
+/// Output of the constraint handler: the chosen 1-1 mapping and search
+/// diagnostics.
+struct HandlerResult {
+  Mapping mapping;
+  double cost = 0.0;
+  size_t expanded = 0;
+  bool truncated = false;
+};
+
+/// The constraint handler of Section 4.2: takes the prediction converter's
+/// per-tag distributions plus the domain constraints (and any user-feedback
+/// constraints) and emits the least-cost 1-1 mapping via A* search. With
+/// no constraints it reduces to per-tag argmax, exactly as the paper
+/// specifies.
+class ConstraintHandler {
+ public:
+  explicit ConstraintHandler(AStarOptions options = AStarOptions())
+      : searcher_(options) {}
+
+  /// Computes the mapping for the target source.
+  ///   predictions[i] corresponds to context.tags()[i].
+  ///   domain     — the domain's standing constraints (borrowed; must
+  ///                outlive the call);
+  ///   feedback   — per-source user feedback constraints (may be empty).
+  StatusOr<HandlerResult> ComputeMapping(
+      const std::vector<Prediction>& predictions,
+      const std::vector<const Constraint*>& domain,
+      const std::vector<FeedbackConstraint>& feedback, const LabelSpace& labels,
+      const ConstraintContext& context) const;
+
+ private:
+  AStarSearcher searcher_;
+};
+
+/// Per-tag argmax mapping — the "no constraints" baseline of Section 3.2
+/// step 3 and the handler-lesion configuration of Section 6.2.
+StatusOr<Mapping> ArgmaxMapping(const std::vector<Prediction>& predictions,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context);
+
+}  // namespace lsd
+
+#endif  // LSD_CONSTRAINTS_HANDLER_H_

@@ -1,0 +1,85 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+namespace lsd {
+
+Status FeedbackSession::Initialize() {
+  LSD_ASSIGN_OR_RETURN(predictions_, system_->PredictSource(*source_));
+  initialized_ = true;
+  return Status::OK();
+}
+
+StatusOr<MatchResult> FeedbackSession::CurrentMapping(
+    const MatchOptions& options) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("FeedbackSession: call Initialize()");
+  }
+  return system_->MatchWithPredictions(predictions_, *source_, options,
+                                       feedback_);
+}
+
+void FeedbackSession::AddFeedback(FeedbackConstraint feedback) {
+  feedback_.push_back(std::move(feedback));
+}
+
+std::vector<std::string> FeedbackSession::ReviewOrder() const {
+  std::vector<std::string> tags = source_->schema.AllTags();
+  std::vector<size_t> scores(tags.size());
+  for (size_t i = 0; i < tags.size(); ++i) {
+    scores[i] = source_->schema.DescendantCount(tags[i]);
+  }
+  std::vector<size_t> order(tags.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  std::vector<std::string> out;
+  out.reserve(tags.size());
+  for (size_t index : order) out.push_back(tags[index]);
+  return out;
+}
+
+StatusOr<FeedbackStats> FeedbackSession::RunWithOracle(
+    const Mapping& gold, const MatchOptions& options, size_t max_corrections) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("FeedbackSession: call Initialize()");
+  }
+  FeedbackStats stats;
+  stats.tags_total = source_->schema.AllTags().size();
+  std::vector<std::string> order = ReviewOrder();
+  while (stats.corrections < max_corrections) {
+    LSD_ASSIGN_OR_RETURN(MatchResult result, CurrentMapping(options));
+    ++stats.iterations;
+    const std::string* wrong_tag = nullptr;
+    std::string wanted;
+    for (const std::string& tag : order) {
+      std::string predicted = result.mapping.LabelOrOther(tag);
+      std::string expected = gold.LabelOrOther(tag);
+      if (predicted != expected) {
+        wrong_tag = &tag;
+        wanted = expected;
+        break;
+      }
+    }
+    if (wrong_tag == nullptr) {
+      stats.reached_perfect = true;
+      return stats;
+    }
+    feedback_.emplace_back(*wrong_tag, wanted, /*must_equal=*/true);
+    ++stats.corrections;
+  }
+  // Final check after exhausting the budget.
+  LSD_ASSIGN_OR_RETURN(MatchResult result, CurrentMapping(options));
+  ++stats.iterations;
+  stats.reached_perfect = true;
+  for (const std::string& tag : order) {
+    if (result.mapping.LabelOrOther(tag) != gold.LabelOrOther(tag)) {
+      stats.reached_perfect = false;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace lsd

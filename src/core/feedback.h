@@ -1,0 +1,67 @@
+#ifndef LSD_CORE_FEEDBACK_H_
+#define LSD_CORE_FEEDBACK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/lsd_system.h"
+
+namespace lsd {
+
+/// Result of a feedback-to-perfection run (the Section 6.3 experiment).
+struct FeedbackStats {
+  /// Correct labels the user had to provide before the mapping was perfect.
+  size_t corrections = 0;
+  /// Constraint-handler re-runs performed.
+  size_t iterations = 0;
+  /// Tags in the source schema.
+  size_t tags_total = 0;
+  bool reached_perfect = false;
+};
+
+/// Interactive feedback loop over one target source (Sections 4.3, 6.3).
+/// Learner predictions are computed once; each round of feedback only
+/// re-runs the constraint handler, matching the paper's interaction model.
+/// Tags are reviewed in decreasing structure-score order — the number of
+/// distinct tags nestable below a tag — which is also the A* refinement
+/// order (Section 6.3, footnote 1).
+class FeedbackSession {
+ public:
+  /// Both referents must outlive the session; `system` must be trained.
+  FeedbackSession(LsdSystem* system, const DataSource* source)
+      : system_(system), source_(source) {}
+
+  /// Runs the learners over the source. Must be called before the other
+  /// methods.
+  Status Initialize();
+
+  /// Computes the mapping under the feedback accumulated so far.
+  StatusOr<MatchResult> CurrentMapping(
+      const MatchOptions& options = MatchOptions());
+
+  /// Records one user feedback statement for this source.
+  void AddFeedback(FeedbackConstraint feedback);
+  const std::vector<FeedbackConstraint>& feedback() const { return feedback_; }
+
+  /// The tag review order (decreasing structure score).
+  std::vector<std::string> ReviewOrder() const;
+
+  /// Simulates the Section 6.3 protocol with `gold` as the oracle user:
+  /// repeatedly present tags in review order, correct the first wrong
+  /// label, and re-run the constraint handler, until the mapping is
+  /// perfect or `max_corrections` is reached.
+  StatusOr<FeedbackStats> RunWithOracle(
+      const Mapping& gold, const MatchOptions& options = MatchOptions(),
+      size_t max_corrections = 100);
+
+ private:
+  LsdSystem* system_;
+  const DataSource* source_;
+  SourcePredictions predictions_;
+  std::vector<FeedbackConstraint> feedback_;
+  bool initialized_ = false;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_FEEDBACK_H_

@@ -1,0 +1,97 @@
+#ifndef LSD_CORE_LSD_CONFIG_H_
+#define LSD_CORE_LSD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/astar_searcher.h"
+#include "ml/meta_learner.h"
+#include "ml/prediction_converter.h"
+#include "ml/whirl.h"
+
+namespace lsd {
+
+/// Canonical learner names used in configs, lesion studies and reports.
+inline constexpr const char* kNameMatcherName = "name-matcher";
+inline constexpr const char* kContentMatcherName = "content-matcher";
+inline constexpr const char* kNaiveBayesName = "naive-bayes";
+inline constexpr const char* kXmlLearnerName = "xml-learner";
+inline constexpr const char* kCountyRecognizerName = "county-recognizer";
+inline constexpr const char* kFormatLearnerName = "format-learner";
+
+/// System-wide configuration for an `LsdSystem` instance. Defaults
+/// reproduce the paper's complete system.
+struct LsdConfig {
+  // --- Learner roster -----------------------------------------------------
+  bool use_name_matcher = true;
+  bool use_content_matcher = true;
+  bool use_naive_bayes = true;
+  bool use_xml_learner = true;
+  /// Domain recognizer (real-estate domains only in the paper).
+  bool use_county_recognizer = false;
+  /// The Section 7 extension learner for alpha-numeric formats.
+  bool use_format_learner = false;
+  /// Mediated label the county recognizer vouches for.
+  std::string county_label = "COUNTY";
+
+  // --- Training -----------------------------------------------------------
+  /// Stacking cross-validation folds (the paper uses 5).
+  size_t cv_folds = 5;
+  /// Master seed: fold assignment and any sampling derive from it.
+  uint64_t seed = 42;
+  /// Cap on listings consumed per training source (0 = all).
+  size_t max_listings_train = 300;
+  /// Cap on training instances kept per source-schema tag; extraction can
+  /// produce hundreds per tag and the nearest-neighbour learners scale
+  /// with stored examples. 0 = all.
+  size_t max_instances_per_column_train = 60;
+
+  // --- Matching -----------------------------------------------------------
+  size_t max_listings_match = 300;
+  size_t max_instances_per_column_match = 60;
+
+  // --- Component options ---------------------------------------------------
+  MetaLearnerOptions meta_options;
+  AStarOptions astar_options;
+  ConverterPolicy converter_policy = ConverterPolicy::kAverage;
+  WhirlOptions whirl_options;
+  /// Laplace smoothing for the Naive-Bayes-based learners.
+  double nb_alpha = 0.1;
+};
+
+/// Selects which registered domain constraints a matching call may use —
+/// the Figure 9b schema-information / data-information split.
+enum class ConstraintFilter {
+  kAll,
+  /// Only constraints verifiable from the source schema alone: frequency,
+  /// nesting, contiguity, exclusivity, numeric-proximity.
+  kSchemaOnly,
+  /// Only constraints that consult extracted data: column (key / FD).
+  kDataOnly,
+};
+
+/// Per-call matching options: which trained learners participate and which
+/// combination stages run. Drives the Figure 8a configurations and the
+/// Figure 9a/9b lesion studies without retraining base learners.
+struct MatchOptions {
+  /// Learner names to use; empty = every trained learner.
+  std::vector<std::string> learners;
+  /// Combine with the stacking meta-learner (true) or a plain average of
+  /// the participating learners' scores (false).
+  bool use_meta_learner = true;
+  /// Run the constraint handler (true) or per-tag argmax (false).
+  bool use_constraint_handler = true;
+  /// Which registered constraints the handler may use.
+  ConstraintFilter constraint_filter = ConstraintFilter::kAll;
+  /// Reject-option threshold for low-overlap domains (the paper's
+  /// Section 7 "Overlapping of Schemas" discussion): when the converter's
+  /// best label scores below this, the tag's prediction is redirected to
+  /// OTHER before the mapping is computed. 0 disables (the paper's
+  /// aggregator-domain setting, and the default).
+  double other_threshold = 0.0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_LSD_CONFIG_H_

@@ -1,0 +1,483 @@
+#include "core/lsd_system.h"
+
+#include <algorithm>
+
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/serial.h"
+#include "common/strings.h"
+#include "learners/content_matcher.h"
+#include "learners/county_recognizer.h"
+#include "learners/format_learner.h"
+#include "learners/name_matcher.h"
+#include "learners/naive_bayes_learner.h"
+
+namespace lsd {
+
+LsdSystem::LsdSystem(Dtd mediated_schema, LsdConfig config,
+                     const SynonymDictionary* synonyms)
+    : mediated_schema_(std::move(mediated_schema)),
+      config_(config),
+      synonyms_(synonyms),
+      labels_(mediated_schema_.AllTags()),
+      converter_(config.converter_policy),
+      handler_(config.astar_options) {
+  if (config_.use_name_matcher) {
+    learners_.push_back(std::make_unique<NameMatcher>(config_.whirl_options));
+  }
+  if (config_.use_content_matcher) {
+    learners_.push_back(
+        std::make_unique<ContentMatcher>(config_.whirl_options));
+  }
+  if (config_.use_naive_bayes) {
+    learners_.push_back(std::make_unique<NaiveBayesLearner>(config_.nb_alpha));
+  }
+  if (config_.use_xml_learner) {
+    learners_.push_back(
+        std::make_unique<XmlLearner>(&node_labeler_, config_.nb_alpha));
+  }
+  if (config_.use_county_recognizer) {
+    learners_.push_back(
+        std::make_unique<CountyRecognizer>(config_.county_label));
+  }
+  if (config_.use_format_learner) {
+    learners_.push_back(std::make_unique<FormatLearner>(config_.nb_alpha));
+  }
+}
+
+std::vector<std::string> LsdSystem::LearnerNames() const {
+  std::vector<std::string> out;
+  out.reserve(learners_.size());
+  for (const auto& learner : learners_) out.push_back(learner->name());
+  return out;
+}
+
+int LsdSystem::LearnerIndex(const std::string& name) const {
+  for (size_t i = 0; i < learners_.size(); ++i) {
+    if (learners_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<Instance> LsdSystem::CapInstances(const std::vector<Instance>& in,
+                                              size_t cap) {
+  if (cap == 0 || in.size() <= cap) return in;
+  // Deterministic stride sampling keeps coverage across listings.
+  std::vector<Instance> out;
+  out.reserve(cap);
+  double stride = static_cast<double>(in.size()) / static_cast<double>(cap);
+  for (size_t i = 0; i < cap; ++i) {
+    out.push_back(in[static_cast<size_t>(static_cast<double>(i) * stride)]);
+  }
+  return out;
+}
+
+Status LsdSystem::AddTrainingSource(const DataSource& source,
+                                    const Mapping& gold) {
+  if (trained_) {
+    return Status::FailedPrecondition(
+        "AddTrainingSource: system already trained; create a new system or "
+        "add sources before Train()");
+  }
+  ExtractionOptions options;
+  options.max_listings = config_.max_listings_train;
+  options.synonyms = synonyms_;
+  LSD_ASSIGN_OR_RETURN(std::vector<Column> columns,
+                       ExtractColumns(source, options));
+  for (Column& column : columns) {
+    column.instances =
+        CapInstances(column.instances, config_.max_instances_per_column_train);
+  }
+  // One stacking group per (source, tag) column: grouped cross-validation
+  // keeps a held-out column's tag name out of the fold's training data.
+  size_t added = 0;
+  for (const Column& column : columns) {
+    std::string label_name = gold.LabelOrOther(column.tag);
+    int label = labels_.IndexOf(label_name);
+    if (label < 0) continue;
+    int group = next_group_id_++;
+    for (const Instance& instance : column.instances) {
+      training_examples_.push_back(TrainingExample{instance, label});
+      training_group_ids_.push_back(group);
+      ++added;
+    }
+  }
+  if (added == 0) {
+    return Status::InvalidArgument("AddTrainingSource: source '" +
+                                   source.name + "' produced no examples");
+  }
+  for (const auto& [tag, label] : gold.entries()) {
+    gold_node_labels_[tag] = label;
+  }
+  return Status::OK();
+}
+
+Status LsdSystem::Train() {
+  if (learners_.empty()) {
+    return Status::FailedPrecondition("Train: no learners configured");
+  }
+  if (training_examples_.empty()) {
+    return Status::FailedPrecondition("Train: no training sources added");
+  }
+  // Gold labels drive the XML learner's structure tokens during training.
+  node_labeler_.Clear();
+  for (const auto& [tag, label] : gold_node_labels_) {
+    node_labeler_.Set(tag, label);
+  }
+
+  true_labels_.clear();
+  true_labels_.reserve(training_examples_.size());
+  for (const TrainingExample& example : training_examples_) {
+    true_labels_.push_back(example.label);
+  }
+
+  cv_predictions_.clear();
+  cv_predictions_.reserve(learners_.size());
+  CrossValidationOptions cv_options;
+  cv_options.folds = config_.cv_folds;
+  cv_options.seed = config_.seed;
+  cv_options.group_ids = training_group_ids_;
+  for (auto& learner : learners_) {
+    // Stacking first (the learner must not have seen the held-out folds),
+    // then the final model on the full training set.
+    LSD_ASSIGN_OR_RETURN(
+        std::vector<Prediction> cv,
+        CrossValidatePredictions(*learner, training_examples_, labels_,
+                                 cv_options));
+    cv_predictions_.push_back(std::move(cv));
+    LSD_RETURN_IF_ERROR(learner->Train(training_examples_, labels_));
+  }
+
+  LSD_RETURN_IF_ERROR(full_meta_.Train(cv_predictions_, true_labels_,
+                                       labels_.size(), config_.meta_options));
+  meta_cache_.clear();
+  meta_cache_[std::vector<bool>(learners_.size(), true)] = full_meta_;
+  trained_ = true;
+  return Status::OK();
+}
+
+void LsdSystem::AddConstraint(std::unique_ptr<Constraint> constraint) {
+  constraints_.Add(std::move(constraint));
+}
+
+StatusOr<std::vector<bool>> LsdSystem::ResolveLearnerMask(
+    const std::vector<std::string>& names) const {
+  std::vector<bool> mask(learners_.size(), names.empty());
+  for (const std::string& name : names) {
+    int index = LearnerIndex(name);
+    if (index < 0) {
+      return Status::NotFound("unknown or inactive learner: " + name);
+    }
+    mask[static_cast<size_t>(index)] = true;
+  }
+  bool any = false;
+  for (bool b : mask) any = any || b;
+  if (!any) {
+    return Status::InvalidArgument("MatchOptions: no learners selected");
+  }
+  return mask;
+}
+
+StatusOr<const MetaLearner*> LsdSystem::MetaForMask(
+    const std::vector<bool>& mask) {
+  auto it = meta_cache_.find(mask);
+  if (it != meta_cache_.end()) return &it->second;
+  if (cv_predictions_.empty()) {
+    return Status::FailedPrecondition(
+        "subset meta-learners are unavailable on a model restored with "
+        "LoadModel; match with the full learner roster or set "
+        "use_meta_learner = false");
+  }
+  std::vector<std::vector<Prediction>> subset;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) subset.push_back(cv_predictions_[i]);
+  }
+  MetaLearner meta;
+  LSD_RETURN_IF_ERROR(
+      meta.Train(subset, true_labels_, labels_.size(), config_.meta_options));
+  auto [inserted, unused] = meta_cache_.emplace(mask, std::move(meta));
+  return &inserted->second;
+}
+
+StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
+  if (!trained_) {
+    return Status::FailedPrecondition("PredictSource: call Train() first");
+  }
+  SourcePredictions out;
+  ExtractionOptions options;
+  options.max_listings = config_.max_listings_match;
+  options.synonyms = synonyms_;
+  LSD_ASSIGN_OR_RETURN(out.columns, ExtractColumns(source, options));
+  for (Column& column : out.columns) {
+    column.instances =
+        CapInstances(column.instances, config_.max_instances_per_column_match);
+    if (column.instances.empty()) {
+      // A declared tag with no sampled data still needs a prediction; the
+      // name matcher can work from the tag name alone.
+      Instance synthetic;
+      synthetic.tag_name = column.tag;
+      synthetic.name_path = column.tag;
+      column.instances.push_back(std::move(synthetic));
+    }
+    out.tags.push_back(column.tag);
+  }
+
+  const size_t n_tags = out.columns.size();
+  const size_t n_learners = learners_.size();
+  int xml_index = LearnerIndex(kXmlLearnerName);
+  out.predictions.assign(n_tags, {});
+
+  // Pass 1: every learner except the XML learner predicts each instance.
+  for (size_t t = 0; t < n_tags; ++t) {
+    const Column& column = out.columns[t];
+    out.predictions[t].assign(n_learners, {});
+    for (size_t l = 0; l < n_learners; ++l) {
+      if (static_cast<int>(l) == xml_index) continue;
+      auto& bucket = out.predictions[t][l];
+      bucket.reserve(column.instances.size());
+      for (const Instance& instance : column.instances) {
+        bucket.push_back(learners_[l]->Predict(instance));
+      }
+    }
+  }
+
+  if (xml_index >= 0) {
+    // Provisional node labels for the target source: equal-weight average
+    // of the other learners per tag, then argmax (Table 2 testing step 2).
+    node_labeler_.Clear();
+    for (const auto& [tag, label] : gold_node_labels_) {
+      node_labeler_.Set(tag, label);
+    }
+    for (size_t t = 0; t < n_tags; ++t) {
+      std::vector<Prediction> instance_preds;
+      const size_t n_instances = out.columns[t].instances.size();
+      for (size_t i = 0; i < n_instances; ++i) {
+        Prediction combined(labels_.size());
+        size_t used = 0;
+        for (size_t l = 0; l < n_learners; ++l) {
+          if (static_cast<int>(l) == xml_index) continue;
+          for (size_t c = 0; c < labels_.size(); ++c) {
+            combined.scores[c] += out.predictions[t][l][i].scores[c];
+          }
+          ++used;
+        }
+        if (used == 0) combined = Prediction::Uniform(labels_.size());
+        combined.Normalize();
+        instance_preds.push_back(std::move(combined));
+      }
+      LSD_ASSIGN_OR_RETURN(Prediction tag_pred,
+                           converter_.Convert(instance_preds));
+      int best = tag_pred.Best();
+      // Target-source tags override gold entries with the same name.
+      node_labeler_.Set(out.tags[t], labels_.NameOf(best));
+    }
+    // Pass 2: the XML learner with provisional labels in place.
+    auto& xml_learner = learners_[static_cast<size_t>(xml_index)];
+    for (size_t t = 0; t < n_tags; ++t) {
+      auto& bucket = out.predictions[t][static_cast<size_t>(xml_index)];
+      bucket.reserve(out.columns[t].instances.size());
+      for (const Instance& instance : out.columns[t].instances) {
+        bucket.push_back(xml_learner->Predict(instance));
+      }
+    }
+    // Restore gold labels so later training-phase consumers see them.
+    node_labeler_.Clear();
+    for (const auto& [tag, label] : gold_node_labels_) {
+      node_labeler_.Set(tag, label);
+    }
+  }
+  return out;
+}
+
+StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
+    const SourcePredictions& predictions, const DataSource& source,
+    const MatchOptions& options,
+    const std::vector<FeedbackConstraint>& feedback) {
+  if (!trained_) {
+    return Status::FailedPrecondition("MatchWithPredictions: call Train() first");
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<bool> mask,
+                       ResolveLearnerMask(options.learners));
+  const MetaLearner* meta = nullptr;
+  if (options.use_meta_learner) {
+    LSD_ASSIGN_OR_RETURN(meta, MetaForMask(mask));
+  }
+
+  MatchResult result;
+  result.tags = predictions.tags;
+  const size_t n_tags = predictions.tags.size();
+  result.tag_predictions.reserve(n_tags);
+  for (size_t t = 0; t < n_tags; ++t) {
+    const size_t n_instances = predictions.columns[t].instances.size();
+    std::vector<Prediction> instance_preds;
+    instance_preds.reserve(n_instances);
+    for (size_t i = 0; i < n_instances; ++i) {
+      std::vector<Prediction> subset;
+      for (size_t l = 0; l < learners_.size(); ++l) {
+        if (mask[l]) subset.push_back(predictions.predictions[t][l][i]);
+      }
+      if (meta != nullptr) {
+        LSD_ASSIGN_OR_RETURN(Prediction combined, meta->Combine(subset));
+        instance_preds.push_back(std::move(combined));
+      } else {
+        LSD_ASSIGN_OR_RETURN(Prediction combined, AveragePredictions(subset));
+        instance_preds.push_back(std::move(combined));
+      }
+    }
+    LSD_ASSIGN_OR_RETURN(Prediction tag_pred,
+                         converter_.Convert(instance_preds));
+    // Reject option (Section 7): a tag whose best label is weaker than the
+    // threshold probably matches nothing in the mediated schema.
+    if (options.other_threshold > 0.0) {
+      int best = tag_pred.Best();
+      int other = labels_.other_index();
+      if (best >= 0 && best != other &&
+          tag_pred.scores[static_cast<size_t>(best)] <
+              options.other_threshold) {
+        double boosted = std::max(tag_pred.scores[static_cast<size_t>(other)],
+                                  options.other_threshold);
+        tag_pred.scores[static_cast<size_t>(other)] = boosted;
+        tag_pred.Normalize();
+      }
+    }
+    result.tag_predictions.push_back(std::move(tag_pred));
+  }
+
+  ConstraintContext context(&source.schema, &predictions.columns);
+  std::vector<const Constraint*> active_constraints;
+  for (const Constraint* c : constraints_.All()) {
+    bool is_column = c->type() == ConstraintType::kColumn;
+    switch (options.constraint_filter) {
+      case ConstraintFilter::kAll:
+        active_constraints.push_back(c);
+        break;
+      case ConstraintFilter::kSchemaOnly:
+        if (!is_column) active_constraints.push_back(c);
+        break;
+      case ConstraintFilter::kDataOnly:
+        if (is_column) active_constraints.push_back(c);
+        break;
+    }
+  }
+  if (options.use_constraint_handler &&
+      (!active_constraints.empty() || !feedback.empty())) {
+    LSD_ASSIGN_OR_RETURN(
+        HandlerResult handled,
+        handler_.ComputeMapping(result.tag_predictions, active_constraints,
+                                feedback, labels_, context));
+    result.mapping = std::move(handled.mapping);
+    result.search_cost = handled.cost;
+    result.search_expanded = handled.expanded;
+    result.search_truncated = handled.truncated;
+  } else {
+    LSD_ASSIGN_OR_RETURN(
+        result.mapping,
+        ArgmaxMapping(result.tag_predictions, labels_, context));
+  }
+  return result;
+}
+
+StatusOr<MatchResult> LsdSystem::MatchSource(
+    const DataSource& source, const MatchOptions& options,
+    const std::vector<FeedbackConstraint>& feedback) {
+  LSD_ASSIGN_OR_RETURN(SourcePredictions predictions, PredictSource(source));
+  return MatchWithPredictions(predictions, source, options, feedback);
+}
+
+
+Status LsdSystem::SaveModel(const std::string& path) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("SaveModel: call Train() first");
+  }
+  std::string out = "lsd-model 1\n";
+  out += StrFormat("labels %zu\n", labels_.size());
+  for (const std::string& label : labels_.labels()) {
+    out += "l " + label + "\n";
+  }
+  out += StrFormat("node-labels %zu\n", gold_node_labels_.size());
+  for (const auto& [tag, label] : gold_node_labels_) {
+    out += "nl " + tag + " " + label + "\n";
+  }
+  for (const auto& learner : learners_) {
+    LSD_ASSIGN_OR_RETURN(std::string payload, learner->SerializeModel());
+    out += StrFormat("learner %s %zu\n", learner->name().c_str(),
+                     CountLines(payload));
+    out += payload;
+  }
+  std::string meta = full_meta_.Serialize();
+  out += StrFormat("meta-block %zu\n", CountLines(meta));
+  out += meta;
+  return WriteStringToFile(path, out);
+}
+
+Status LsdSystem::LoadModel(const std::string& path) {
+  if (trained_) {
+    return Status::FailedPrecondition(
+        "LoadModel: system already trained; construct a fresh LsdSystem");
+  }
+  LSD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("lsd-model", 2));
+  if (header[1] != "1") {
+    return Status::ParseError("lsd-model: unknown version");
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> labels_line,
+                       reader.Expect("labels", 2));
+  LSD_ASSIGN_OR_RETURN(size_t n_labels, FieldToSize(labels_line[1]));
+  if (n_labels != labels_.size()) {
+    return Status::FailedPrecondition(
+        "LoadModel: label count differs from the mediated schema");
+  }
+  for (size_t c = 0; c < n_labels; ++c) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> label_line,
+                         reader.Expect("l", 2));
+    if (label_line[1] != labels_.NameOf(static_cast<int>(c))) {
+      return Status::FailedPrecondition(
+          "LoadModel: label '" + label_line[1] +
+          "' does not match the mediated schema at position " +
+          std::to_string(c));
+    }
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> nl_header,
+                       reader.Expect("node-labels", 2));
+  LSD_ASSIGN_OR_RETURN(size_t n_node_labels, FieldToSize(nl_header[1]));
+  gold_node_labels_.clear();
+  for (size_t i = 0; i < n_node_labels; ++i) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> nl, reader.Expect("nl", 3));
+    gold_node_labels_[nl[1]] = nl[2];
+  }
+  for (auto& learner : learners_) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> frame,
+                         reader.Expect("learner", 3));
+    if (frame[1] != learner->name()) {
+      return Status::FailedPrecondition(
+          "LoadModel: model has learner '" + frame[1] +
+          "' where the configured roster expects '" + learner->name() +
+          "' — construct the system with the same LsdConfig");
+    }
+    LSD_ASSIGN_OR_RETURN(size_t lines, FieldToSize(frame[2]));
+    LSD_ASSIGN_OR_RETURN(std::string payload, reader.TakeLines(lines));
+    LSD_RETURN_IF_ERROR(learner->LoadModel(payload));
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> meta_frame,
+                       reader.Expect("meta-block", 2));
+  LSD_ASSIGN_OR_RETURN(size_t meta_lines, FieldToSize(meta_frame[1]));
+  LSD_ASSIGN_OR_RETURN(std::string meta_payload, reader.TakeLines(meta_lines));
+  LSD_ASSIGN_OR_RETURN(full_meta_, MetaLearner::Deserialize(meta_payload));
+  if (full_meta_.learner_count() != learners_.size() ||
+      full_meta_.label_count() != labels_.size()) {
+    return Status::FailedPrecondition(
+        "LoadModel: meta-learner shape does not match the configuration");
+  }
+  node_labeler_.Clear();
+  for (const auto& [tag, label] : gold_node_labels_) {
+    node_labeler_.Set(tag, label);
+  }
+  meta_cache_.clear();
+  meta_cache_[std::vector<bool>(learners_.size(), true)] = full_meta_;
+  trained_ = true;
+  return Status::OK();
+}
+
+}  // namespace lsd

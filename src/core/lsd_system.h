@@ -1,0 +1,191 @@
+#ifndef LSD_CORE_LSD_SYSTEM_H_
+#define LSD_CORE_LSD_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/handler.h"
+#include "core/lsd_config.h"
+#include "learners/xml_learner.h"
+#include "ml/cross_validation.h"
+#include "ml/learner.h"
+#include "ml/meta_learner.h"
+#include "ml/prediction.h"
+#include "ml/prediction_converter.h"
+#include "schema/extraction.h"
+#include "schema/schema.h"
+#include "xml/dtd.h"
+
+namespace lsd {
+
+/// All per-learner, per-instance predictions for one target source —
+/// computed once, reusable across `MatchOptions` (the evaluation harness
+/// exploits this to score many system configurations without re-running
+/// the learners).
+struct SourcePredictions {
+  /// Source-schema tags, in schema declaration order.
+  std::vector<std::string> tags;
+  /// The extracted columns (instances point into the source's listings;
+  /// the source must stay alive while this object is used).
+  std::vector<Column> columns;
+  /// predictions[tag][learner][instance].
+  std::vector<std::vector<std::vector<Prediction>>> predictions;
+};
+
+/// The outcome of matching one source.
+struct MatchResult {
+  Mapping mapping;
+  /// Source tags in schema order, aligned with `tag_predictions`.
+  std::vector<std::string> tags;
+  /// The prediction converter's element-level distribution per tag.
+  std::vector<Prediction> tag_predictions;
+  /// Constraint-handler diagnostics (cost 0 / expanded 0 when the handler
+  /// was bypassed).
+  double search_cost = 0.0;
+  size_t search_expanded = 0;
+  bool search_truncated = false;
+};
+
+/// The LSD system (Sections 3-5): multi-strategy schema matching against a
+/// mediated schema. Lifecycle:
+///
+///   LsdSystem lsd(mediated_dtd, config);
+///   lsd.AddTrainingSource(src1, gold1);       // Section 3.1 steps 1-3
+///   lsd.AddTrainingSource(src2, gold2);
+///   lsd.Train();                              // steps 4-5 (CV + stacking)
+///   MatchResult r = lsd.MatchSource(new_src).value();   // Section 3.2
+///
+/// Training sources must outlive the system (extracted instances point
+/// into their listings). Domain constraints are registered with
+/// `AddConstraint` at any time before matching; user feedback is passed
+/// per `MatchSource` call.
+class LsdSystem {
+ public:
+  /// `synonyms` may be null; when given it must outlive the system.
+  LsdSystem(Dtd mediated_schema, LsdConfig config,
+            const SynonymDictionary* synonyms = nullptr);
+
+  LsdSystem(const LsdSystem&) = delete;
+  LsdSystem& operator=(const LsdSystem&) = delete;
+
+  const Dtd& mediated_schema() const { return mediated_schema_; }
+  const LabelSpace& labels() const { return labels_; }
+  const LsdConfig& config() const { return config_; }
+
+  /// Names of the active learners, in ensemble order.
+  std::vector<std::string> LearnerNames() const;
+
+  /// Registers a training source with its user-specified 1-1 mapping.
+  /// The source object must remain alive until after `Train`.
+  Status AddTrainingSource(const DataSource& source, const Mapping& gold);
+
+  /// Trains every base learner and the stacking meta-learner. Requires at
+  /// least one training source.
+  Status Train();
+  bool trained() const { return trained_; }
+
+  /// Adds a standing domain constraint.
+  void AddConstraint(std::unique_ptr<Constraint> constraint);
+  const ConstraintSet& constraints() const { return constraints_; }
+
+  /// Runs every trained learner over the source's extracted instances.
+  /// The XML learner's node labels come from a first pass over the other
+  /// learners (Section 5, Table 2 testing step 2).
+  StatusOr<SourcePredictions> PredictSource(const DataSource& source);
+
+  /// Combines precomputed predictions into a mapping under `options` and
+  /// `feedback`. Cheap relative to `PredictSource`.
+  StatusOr<MatchResult> MatchWithPredictions(
+      const SourcePredictions& predictions, const DataSource& source,
+      const MatchOptions& options = MatchOptions(),
+      const std::vector<FeedbackConstraint>& feedback = {});
+
+  /// PredictSource + MatchWithPredictions in one call.
+  StatusOr<MatchResult> MatchSource(
+      const DataSource& source, const MatchOptions& options = MatchOptions(),
+      const std::vector<FeedbackConstraint>& feedback = {});
+
+  /// The meta-learner trained over the full ensemble; valid after Train().
+  const MetaLearner& meta_learner() const { return full_meta_; }
+
+  /// Persists the trained system (every learner's model, the full-roster
+  /// meta-learner weights, and the gold node-label map) to `path` in the
+  /// library's text model format. Requires `trained()`. Constraints are
+  /// not part of the model file — keep them in a `.constraints` file
+  /// (constraints/constraint_parser.h) and re-register after loading.
+  Status SaveModel(const std::string& path) const;
+
+  /// Restores a model saved by `SaveModel` into this system, which must be
+  /// untrained and configured with the same mediated schema and learner
+  /// roster. Limitation: a loaded system has no stored cross-validation
+  /// predictions, so `MatchOptions::learners` subsets that need a freshly
+  /// trained subset meta-learner are unavailable — match with the full
+  /// roster (or with `use_meta_learner = false`).
+  Status LoadModel(const std::string& path);
+
+ private:
+  /// NodeLabeler backed by a tag→label map; the system points the XML
+  /// learner at one of these and swaps the contents between phases.
+  class MapNodeLabeler : public NodeLabeler {
+   public:
+    std::string LabelOf(const std::string& tag_name) const override {
+      auto it = map_.find(tag_name);
+      return it == map_.end() ? std::string() : it->second;
+    }
+    void Clear() { map_.clear(); }
+    void Set(const std::string& tag, const std::string& label) {
+      map_[tag] = label;
+    }
+
+   private:
+    std::map<std::string, std::string> map_;
+  };
+
+  /// Index of the learner with `name` in `learners_`, or -1.
+  int LearnerIndex(const std::string& name) const;
+
+  /// Resolves MatchOptions.learners to a mask over `learners_`.
+  StatusOr<std::vector<bool>> ResolveLearnerMask(
+      const std::vector<std::string>& names) const;
+
+  /// Returns (training lazily, cached) the meta-learner for a subset mask.
+  StatusOr<const MetaLearner*> MetaForMask(const std::vector<bool>& mask);
+
+  /// Subsamples a column's instances to `cap` (deterministic stride).
+  static std::vector<Instance> CapInstances(const std::vector<Instance>& in,
+                                            size_t cap);
+
+  Dtd mediated_schema_;
+  LsdConfig config_;
+  const SynonymDictionary* synonyms_;
+  LabelSpace labels_;
+
+  std::vector<std::unique_ptr<BaseLearner>> learners_;
+  MapNodeLabeler node_labeler_;
+  /// Gold tag→label map accumulated from training sources; restored into
+  /// `node_labeler_` after each matching pass.
+  std::map<std::string, std::string> gold_node_labels_;
+
+  std::vector<TrainingExample> training_examples_;
+  /// Stacking group per example: one id per (source, tag) column.
+  std::vector<int> training_group_ids_;
+  int next_group_id_ = 0;
+  /// CV predictions per learner per training example (stacking input).
+  std::vector<std::vector<Prediction>> cv_predictions_;
+  std::vector<int> true_labels_;
+
+  MetaLearner full_meta_;
+  std::map<std::vector<bool>, MetaLearner> meta_cache_;
+
+  ConstraintSet constraints_;
+  PredictionConverter converter_;
+  ConstraintHandler handler_;
+  bool trained_ = false;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_LSD_SYSTEM_H_

@@ -1,0 +1,119 @@
+#ifndef LSD_DATAGEN_DOMAIN_SPEC_H_
+#define LSD_DATAGEN_DOMAIN_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/value_generators.h"
+#include "schema/schema.h"
+#include "xml/dtd.h"
+
+namespace lsd {
+
+/// One concept of a synthetic domain's mediated schema: a mediated tag
+/// plus everything needed to realize it in generated sources — candidate
+/// source tag names, a value generator for leaves, presence probability,
+/// and structural children for non-leaf concepts.
+struct ConceptSpec {
+  /// The mediated-schema tag, e.g. "AGENT-PHONE".
+  std::string label;
+  /// Candidate source-schema tag names; source k prefers name k mod size,
+  /// so five sources see materially different vocabularies.
+  std::vector<std::string> source_names;
+  /// Value generator for leaf concepts (ignored for non-leaves).
+  ValueKind kind = ValueKind::kYesNo;
+  /// Probability that a generated source includes this concept at all.
+  /// Concepts below 1.0 create the paper's "tag absent from all training
+  /// sources" effect and the <100% matchable rates of Table 3.
+  double presence_prob = 1.0;
+  /// Non-leaf concepts may be flattened away in a source (children are
+  /// promoted to the parent) with this probability — the source-to-source
+  /// structural variation of Table 3's depth/tag ranges. Ignored for the
+  /// root.
+  double flatten_prob = 0.0;
+  /// Correlated-value group: concepts sharing a non-empty group name draw
+  /// from one record per listing (e.g. office name/phone/address), making
+  /// functional dependencies hold in the data. `correlation_field` selects
+  /// the record field: 0 = name, 1 = phone, 2 = address.
+  std::string correlation_group;
+  int correlation_field = 0;
+  /// Child concepts (non-leaf when non-empty).
+  std::vector<ConceptSpec> children;
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+/// A filler concept generated into sources but absent from the mediated
+/// schema; its gold label is OTHER.
+struct OtherConceptSpec {
+  std::vector<std::string> source_names;
+  ValueKind kind;
+  double presence_prob = 0.4;
+};
+
+/// A complete synthetic domain specification.
+struct DomainSpec {
+  std::string name;
+  /// The mediated schema as a concept tree (root included).
+  ConceptSpec root;
+  /// Unmatchable filler concepts available to sources.
+  std::vector<OtherConceptSpec> other_concepts;
+  /// Word-level synonym groups for the name matcher.
+  std::vector<std::vector<std::string>> synonym_groups;
+  /// Probability that any generated leaf value is replaced by a dirty
+  /// token ("unknown", "-", ...).
+  double dirty_prob = 0.04;
+  /// Probability that a leaf value is replaced by a value drawn from a
+  /// random *other* concept of the same source — simulating the wrapper
+  /// segmentation/extraction errors of real scraped data. Key-like and
+  /// correlated fields are exempt.
+  double extraction_noise_prob = 0.06;
+  /// Probability that a source names a concept with a vacuous generic tag
+  /// ("item", "field", "info", ...) instead of a descriptive one — the
+  /// paper's realestate sources did exactly this, and it is what makes the
+  /// name matcher fallible and multi-strategy learning worthwhile.
+  double vague_name_prob = 0.18;
+};
+
+/// A generated source together with its gold mapping (what the user would
+/// specify in Section 3.1 step 1).
+struct GeneratedSource {
+  DataSource source;
+  Mapping gold;
+};
+
+/// A fully realized domain: mediated DTD, synonym dictionary, and the five
+/// generated sources of the paper's experimental setup.
+struct Domain {
+  std::string name;
+  Dtd mediated;
+  SynonymDictionary synonyms;
+  std::vector<GeneratedSource> sources;
+};
+
+/// Builds the mediated DTD from a domain spec's concept tree.
+Dtd BuildMediatedDtd(const DomainSpec& spec);
+
+/// Generates one source from the spec.
+///   source_index   — 0-based; drives tag-name choice and format variants;
+///   num_listings   — data listings to generate;
+///   structure_seed — seeds the schema-shaping decisions (presence,
+///                    flattening, tag names);
+///   data_seed      — seeds listing generation; varying it while keeping
+///                    `structure_seed` fixed re-samples data from the same
+///                    source, the paper's "new sample of data" protocol.
+///                    0 derives it from the structure seed.
+GeneratedSource GenerateSource(const DomainSpec& spec, int source_index,
+                               size_t num_listings, uint64_t structure_seed,
+                               uint64_t data_seed = 0);
+
+/// Realizes a full domain: mediated DTD, synonyms, and `num_sources`
+/// sources with `num_listings` listings each. `data_seed` re-samples data
+/// while keeping source schemas fixed (0 = derive from `seed`).
+Domain RealizeDomain(const DomainSpec& spec, size_t num_sources,
+                     size_t num_listings, uint64_t seed,
+                     uint64_t data_seed = 0);
+
+}  // namespace lsd
+
+#endif  // LSD_DATAGEN_DOMAIN_SPEC_H_

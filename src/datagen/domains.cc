@@ -1,0 +1,788 @@
+#include "datagen/domains.h"
+
+namespace lsd {
+namespace {
+
+ConceptSpec Leaf(std::string label, std::vector<std::string> names,
+                 ValueKind kind, double presence = 1.0) {
+  ConceptSpec c;
+  c.label = std::move(label);
+  c.source_names = std::move(names);
+  c.kind = kind;
+  c.presence_prob = presence;
+  return c;
+}
+
+ConceptSpec Group(std::string label, std::vector<std::string> names,
+                  double flatten_prob, std::vector<ConceptSpec> children,
+                  double presence = 1.0) {
+  ConceptSpec c;
+  c.label = std::move(label);
+  c.source_names = std::move(names);
+  c.flatten_prob = flatten_prob;
+  c.presence_prob = presence;
+  c.children = std::move(children);
+  return c;
+}
+
+ConceptSpec Correlated(std::string label, std::vector<std::string> names,
+                       std::string group, int field, double presence = 1.0) {
+  ConceptSpec c = Leaf(std::move(label), std::move(names), ValueKind::kYesNo,
+                       presence);
+  c.correlation_group = std::move(group);
+  c.correlation_field = field;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Real Estate I: 20 tags, 4 non-leaf, depth 3.
+// ---------------------------------------------------------------------------
+
+DomainSpec RealEstate1Spec() {
+  DomainSpec spec;
+  spec.name = "real-estate-1";
+  spec.root = Group(
+      "HOUSE",
+      {"house-listing", "listing", "house", "home-listing", "property"}, 0.0,
+      {
+          Group("LOCATION",
+                {"location-info", "where", "locale", "location-details",
+                 "place-info"},
+                0.5,
+                {
+                    Leaf("ADDRESS",
+                         {"address", "location", "house-addr",
+                          "street-address", "area"},
+                         ValueKind::kStreetAddress),
+                    Leaf("CITY",
+                         {"city", "town", "municipality", "city-name",
+                          "locality"},
+                         ValueKind::kCity),
+                    Leaf("STATE",
+                         {"state", "st", "state-code", "province", "region"},
+                         ValueKind::kState),
+                    Leaf("ZIP",
+                         {"zip", "zipcode", "postal-code", "zip-code",
+                          "postal"},
+                         ValueKind::kZip),
+                    Leaf("COUNTY",
+                         {"county", "county-name", "cnty", "parish",
+                          "district"},
+                         ValueKind::kCounty, 0.7),
+                }),
+          Leaf("PRICE",
+               {"price", "listed-price", "asking-price", "list-price", "cost"},
+               ValueKind::kPrice),
+          Leaf("DESCRIPTION",
+               {"description", "comments", "extra-info", "detailed-desc",
+                "listing-text"},
+               ValueKind::kDescription),
+          Leaf("NUM-BEDROOMS",
+               {"bedrooms", "num-beds", "beds", "br", "bed-rooms"},
+               ValueKind::kBedrooms),
+          Leaf("NUM-BATHROOMS",
+               {"bathrooms", "num-baths", "baths", "ba", "bath-rooms"},
+               ValueKind::kBathrooms),
+          Leaf("SQUARE-FEET",
+               {"sqft", "square-feet", "living-area", "sq-ft", "floor-space"},
+               ValueKind::kSquareFeet, 0.9),
+          Leaf("LOT-SIZE",
+               {"lot-size", "lot", "lot-area", "land-size", "parcel-size"},
+               ValueKind::kLotSize, 0.8),
+          Leaf("YEAR-BUILT",
+               {"year-built", "built", "yr-built", "construction-year",
+                "year"},
+               ValueKind::kYearBuilt, 0.8),
+          Group("CONTACT-INFO",
+                {"contact", "contact-info", "agent-contact", "contact-details",
+                 "how-to-reach"},
+                0.5,
+                {
+                    Leaf("AGENT-NAME",
+                         {"agent-name", "name", "realtor", "agent",
+                          "listing-agent"},
+                         ValueKind::kPersonName),
+                    Leaf("AGENT-PHONE",
+                         {"phone", "contact-phone", "agent-phone",
+                          "work-phone", "telephone"},
+                         ValueKind::kPhone),
+                }),
+          Group("OFFICE-INFO",
+                {"office", "office-info", "brokerage", "firm-info", "broker"},
+                0.5,
+                {
+                    Correlated("OFFICE-NAME",
+                               {"office-name", "firm", "firm-name",
+                                "brokerage-name", "company"},
+                               "office", 0),
+                    Correlated("OFFICE-PHONE",
+                               {"office-phone", "firm-phone", "main-phone",
+                                "office-tel", "broker-phone"},
+                               "office", 1),
+                }),
+      });
+  spec.other_concepts = {
+      {{"ad-id", "listing-ref", "ad-number", "ref-no", "internal-id"},
+       ValueKind::kAdId, 0.4},
+      {{"date-posted", "posted-on", "entry-date", "added", "post-date"},
+       ValueKind::kDate, 0.4},
+      {{"page-views", "hits", "views", "times-viewed", "popularity"},
+       ValueKind::kPageViews, 0.3},
+      {{"more-info", "details-url", "link", "full-listing", "listing-url"},
+       ValueKind::kUrl, 0.3},
+      {{"mls", "mls-number", "mls-id", "board-id", "mls-no"},
+       ValueKind::kMlsNumber, 0.3},
+  };
+  spec.synonym_groups = {
+      {"address", "location", "area", "street", "addr"},
+      {"phone", "telephone", "tel"},
+      {"description", "comments", "remarks", "desc"},
+      {"bedrooms", "beds", "br"},
+      {"bathrooms", "baths", "ba"},
+      {"price", "cost"},
+      {"firm", "office", "brokerage", "company", "broker"},
+      {"agent", "realtor"},
+      {"city", "town", "locality"},
+      {"county", "parish"},
+      {"zip", "zipcode", "postal"},
+      {"sqft", "square", "area"},
+      {"lot", "land", "parcel"},
+      {"year", "built", "yr"},
+      {"contact", "reach"},
+      {"house", "home", "property", "listing"},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Time Schedule: 23 tags, 6 non-leaf, depth 4.
+// ---------------------------------------------------------------------------
+
+DomainSpec TimeScheduleSpec() {
+  DomainSpec spec;
+  spec.name = "time-schedule";
+  spec.root = Group(
+      "COURSE-LISTING",
+      {"course-listing", "course-offering", "class-listing", "course-entry",
+       "offering"},
+      0.0,
+      {
+          Leaf("TERM", {"term", "quarter", "semester", "session", "period"},
+               ValueKind::kTerm, 0.8),
+          Group("COURSE-INFO",
+                {"course-info", "course-details", "class-info", "course-data",
+                 "about-course"},
+                0.5,
+                {
+                    Leaf("COURSE-CODE",
+                         {"course-code", "code", "course-number", "course-id",
+                          "catalog-number"},
+                         ValueKind::kCourseCode),
+                    Leaf("COURSE-TITLE",
+                         {"title", "course-title", "course-name",
+                          "class-title", "name"},
+                         ValueKind::kCourseTitle),
+                    Leaf("COURSE-CREDITS",
+                         {"credits", "credit-hours", "units",
+                          "course-credits", "hours"},
+                         ValueKind::kCredits, 0.85),
+                    Leaf("DEPARTMENT",
+                         {"department", "dept", "division", "school",
+                          "program"},
+                         ValueKind::kDepartment, 0.85),
+                }),
+          Group(
+              "SECTION",
+              {"section", "section-info", "sect", "class-section",
+               "section-details"},
+              0.35,
+              {
+                  Leaf("SECTION-NUMBER",
+                       {"section-number", "sec-no", "section-id", "sect-num",
+                        "section-code"},
+                       ValueKind::kSectionNumber),
+                  Leaf("ENROLLMENT",
+                       {"enrollment", "enrolled", "students", "class-size",
+                        "current-enrollment"},
+                       ValueKind::kEnrollment, 0.8),
+                  Leaf("CAPACITY",
+                       {"limit", "capacity", "max-enrollment", "seats",
+                        "max-size"},
+                       ValueKind::kEnrollment, 0.7),
+                  Group("SCHEDULE",
+                        {"schedule", "meeting-times", "times", "when",
+                         "time-info"},
+                        0.45,
+                        {
+                            Leaf("DAYS",
+                                 {"days", "meeting-days", "day",
+                                  "days-of-week", "weekdays"},
+                                 ValueKind::kDays),
+                            Leaf("START-TIME",
+                                 {"start-time", "begins", "start", "from-time",
+                                  "time-start"},
+                                 ValueKind::kTime),
+                            Leaf("END-TIME",
+                                 {"end-time", "ends", "end", "to-time",
+                                  "time-end"},
+                                 ValueKind::kTime, 0.85),
+                        }),
+                  Group("ROOM-INFO",
+                        {"room-info", "location", "where-held", "place",
+                         "room-details"},
+                        0.5,
+                        {
+                            Leaf("BUILDING",
+                                 {"building", "bldg", "hall", "building-name",
+                                  "facility"},
+                                 ValueKind::kBuilding),
+                            Leaf("ROOM-NUMBER",
+                                 {"room", "room-number", "room-no", "rm",
+                                  "room-num"},
+                                 ValueKind::kRoomNumber),
+                        }),
+              }),
+          Group("INSTRUCTOR-INFO",
+                {"instructor", "instructor-info", "teacher", "professor-info",
+                 "taught-by"},
+                0.45,
+                {
+                    Leaf("INSTRUCTOR-NAME",
+                         {"instructor-name", "name", "professor",
+                          "teacher-name", "faculty-name"},
+                         ValueKind::kPersonName),
+                    Leaf("INSTRUCTOR-EMAIL",
+                         {"email", "e-mail", "instructor-email",
+                          "contact-email", "mail"},
+                         ValueKind::kEmail, 0.7),
+                    Leaf("INSTRUCTOR-OFFICE",
+                         {"office", "office-room", "office-location",
+                          "instructor-office", "office-no"},
+                         ValueKind::kOfficeRoom, 0.6),
+                }),
+          Leaf("NOTES", {"notes", "comments", "remarks", "info", "misc"},
+               ValueKind::kCourseNotes, 0.6),
+      });
+  spec.other_concepts = {
+      {{"course-url", "url", "web-page", "link", "homepage"}, ValueKind::kUrl,
+       0.4},
+      {{"fee", "course-fee", "lab-fee", "extra-fee", "charges"},
+       ValueKind::kMoneySmall, 0.3},
+      {{"last-updated", "updated", "modified", "as-of", "refresh-date"},
+       ValueKind::kDate, 0.4},
+  };
+  spec.synonym_groups = {
+      {"course", "class", "offering"},
+      {"credits", "units", "hours"},
+      {"department", "dept", "division", "school"},
+      {"section", "sect"},
+      {"instructor", "teacher", "professor", "faculty"},
+      {"room", "rm"},
+      {"building", "bldg", "hall", "facility"},
+      {"days", "day", "weekdays"},
+      {"start", "begins", "from"},
+      {"end", "ends", "to"},
+      {"email", "mail"},
+      {"enrollment", "enrolled", "students"},
+      {"limit", "capacity", "seats"},
+      {"term", "quarter", "semester", "session"},
+      {"title", "name"},
+      {"code", "number", "id"},
+      {"schedule", "times", "when"},
+      {"notes", "comments", "remarks", "info"},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Faculty Listings: 14 tags, 4 non-leaf, depth 3.
+// ---------------------------------------------------------------------------
+
+DomainSpec FacultyListingsSpec() {
+  DomainSpec spec;
+  spec.name = "faculty-listings";
+  spec.root = Group(
+      "FACULTY-MEMBER",
+      {"faculty-member", "professor", "faculty", "person", "staff-member"},
+      0.0,
+      {
+          Group("NAME",
+                {"name", "full-name", "faculty-name", "person-name", "who"},
+                0.5,
+                {
+                    Leaf("FIRST-NAME",
+                         {"first-name", "fname", "given-name", "first",
+                          "firstname"},
+                         ValueKind::kFirstName),
+                    Leaf("LAST-NAME",
+                         {"last-name", "lname", "surname", "last", "lastname"},
+                         ValueKind::kLastName),
+                }),
+          Leaf("POSITION",
+               {"position", "title", "rank", "job-title", "appointment"},
+               ValueKind::kPosition),
+          Leaf("RESEARCH-INTERESTS",
+               {"research-interests", "interests", "research",
+                "research-areas", "specialization"},
+               ValueKind::kResearchInterests, 0.9),
+          Leaf("BIO", {"bio", "biography", "about", "profile", "background"},
+               ValueKind::kBio, 0.7),
+          Group("EDUCATION",
+                {"education", "degrees", "academic-background", "credentials",
+                 "schooling"},
+                0.5,
+                {
+                    Leaf("DEGREE",
+                         {"degree", "highest-degree", "degree-type",
+                          "qualification", "diploma"},
+                         ValueKind::kDegree),
+                    Leaf("UNIVERSITY",
+                         {"university", "school", "alma-mater", "institution",
+                          "college"},
+                         ValueKind::kUniversity),
+                }),
+          Group("CONTACT",
+                {"contact", "contact-info", "reach", "contact-details",
+                 "coordinates"},
+                0.5,
+                {
+                    Leaf("EMAIL",
+                         {"email", "e-mail", "mail", "email-address",
+                          "electronic-mail"},
+                         ValueKind::kEmail),
+                    Leaf("PHONE",
+                         {"phone", "telephone", "phone-number", "office-phone",
+                          "tel"},
+                         ValueKind::kPhone, 0.85),
+                    Leaf("OFFICE-ROOM",
+                         {"office", "office-room", "room", "office-location",
+                          "office-number"},
+                         ValueKind::kOfficeRoom, 0.8),
+                }),
+      });
+  spec.other_concepts = {
+      {{"homepage", "web-page", "url", "website", "home-page"},
+       ValueKind::kUrl, 0.5},
+      {{"last-updated", "updated", "modified", "as-of", "page-date"},
+       ValueKind::kDate, 0.3},
+      {{"person-id", "id", "employee-id", "record-no", "uid"},
+       ValueKind::kAdId, 0.3},
+  };
+  spec.synonym_groups = {
+      {"name", "who"},
+      {"first", "fname", "given"},
+      {"last", "lname", "surname"},
+      {"position", "title", "rank", "appointment"},
+      {"research", "interests", "specialization"},
+      {"bio", "biography", "about", "profile", "background"},
+      {"education", "degrees", "credentials", "schooling"},
+      {"university", "school", "institution", "college"},
+      {"email", "mail"},
+      {"phone", "telephone", "tel"},
+      {"office", "room"},
+      {"faculty", "professor", "person", "staff"},
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Real Estate II: 66 tags, 13 non-leaf, depth 4.
+// ---------------------------------------------------------------------------
+
+DomainSpec RealEstate2Spec() {
+  DomainSpec spec;
+  spec.name = "real-estate-2";
+  spec.root = Group(
+      "LISTING",
+      {"listing", "house-listing", "property-listing", "home",
+       "real-estate-listing"},
+      0.0,
+      {
+          Group("GENERAL-INFO",
+                {"general-info", "listing-info", "general", "basic-info",
+                 "overview"},
+                0.35,
+                {
+                    Leaf("MLS-NUMBER",
+                         {"mls", "mls-number", "mls-id", "listing-number",
+                          "listing-id"},
+                         ValueKind::kMlsNumber),
+                    Leaf("LISTING-DATE",
+                         {"listing-date", "date-listed", "listed-on",
+                          "entry-date", "posted"},
+                         ValueKind::kDate, 0.8),
+                    Leaf("LISTING-TYPE",
+                         {"type", "listing-type", "property-type", "home-type",
+                          "category"},
+                         ValueKind::kListingType),
+                    Leaf("STATUS",
+                         {"status", "listing-status", "sale-status",
+                          "availability", "stage"},
+                         ValueKind::kListingStatus, 0.8),
+                    Leaf("PRICE",
+                         {"price", "listed-price", "asking-price",
+                          "list-price", "cost"},
+                         ValueKind::kPrice),
+                    Leaf("TAX-AMOUNT",
+                         {"taxes", "tax", "annual-tax", "property-tax",
+                          "tax-amount"},
+                         ValueKind::kMoneySmall, 0.7),
+                    Leaf("HOA-FEE",
+                         {"hoa", "hoa-fee", "association-fee", "hoa-dues",
+                          "monthly-hoa"},
+                         ValueKind::kMoneySmall, 0.6),
+                }),
+          Group("LOCATION",
+                {"location-info", "where", "locale", "location-details",
+                 "place-info"},
+                0.3,
+                {
+                    Leaf("STREET-ADDRESS",
+                         {"address", "location", "house-addr",
+                          "street-address", "street"},
+                         ValueKind::kStreetAddress),
+                    Leaf("CITY",
+                         {"city", "town", "municipality", "city-name",
+                          "locality"},
+                         ValueKind::kCity),
+                    Leaf("STATE",
+                         {"state", "st", "state-code", "province", "region"},
+                         ValueKind::kState),
+                    Leaf("ZIP",
+                         {"zip", "zipcode", "postal-code", "zip-code",
+                          "postal"},
+                         ValueKind::kZip),
+                    Leaf("COUNTY",
+                         {"county", "county-name", "cnty", "parish",
+                          "jurisdiction"},
+                         ValueKind::kCounty, 0.7),
+                    Leaf("NEIGHBORHOOD",
+                         {"neighborhood", "area-name", "community",
+                          "subdivision", "development"},
+                         ValueKind::kNeighborhood, 0.7),
+                    Leaf("SCHOOL-DISTRICT",
+                         {"school-district", "schools", "school-dist",
+                          "district-schools", "school-info"},
+                         ValueKind::kSchoolDistrict, 0.6),
+                }),
+          Group(
+              "HOUSE-INFO",
+              {"house-info", "property-details", "home-info", "details",
+               "property-info"},
+              0.25,
+              {
+                  Group("BASIC-FEATURES",
+                        {"basic-features", "features", "main-features",
+                         "basics", "key-facts"},
+                        0.4,
+                        {
+                            Leaf("NUM-BEDROOMS",
+                                 {"bedrooms", "num-beds", "beds", "br",
+                                  "bed-rooms"},
+                                 ValueKind::kBedrooms),
+                            Leaf("NUM-BATHROOMS",
+                                 {"bathrooms", "num-baths", "baths", "ba",
+                                  "bath-rooms"},
+                                 ValueKind::kBathrooms),
+                            Leaf("HALF-BATHS",
+                                 {"half-baths", "half-bathrooms",
+                                  "powder-rooms", "partial-baths", "half-ba"},
+                                 ValueKind::kHalfBaths, 0.7),
+                            Leaf("SQUARE-FEET",
+                                 {"sqft", "square-feet", "living-area",
+                                  "sq-ft", "floor-space"},
+                                 ValueKind::kSquareFeet),
+                            Leaf("LOT-SIZE",
+                                 {"lot-size", "lot", "lot-area", "land-size",
+                                  "parcel-size"},
+                                 ValueKind::kLotSize, 0.8),
+                            Leaf("YEAR-BUILT",
+                                 {"year-built", "built", "yr-built",
+                                  "construction-year", "vintage"},
+                                 ValueKind::kYearBuilt, 0.8),
+                            Leaf("STORIES",
+                                 {"stories", "levels", "floors", "num-stories",
+                                  "story-count"},
+                                 ValueKind::kStories, 0.7),
+                            Leaf("STYLE",
+                                 {"style", "house-style", "architecture",
+                                  "home-style", "design"},
+                                 ValueKind::kHouseStyle, 0.8),
+                        }),
+                  Group("INTERIOR",
+                        {"interior", "interior-features", "inside",
+                         "interior-details", "indoor-features"},
+                        0.4,
+                        {
+                            Leaf("FLOORING",
+                                 {"flooring", "floors-type", "floor-covering",
+                                  "floor-material", "floor-finish"},
+                                 ValueKind::kFlooring),
+                            Leaf("HEATING",
+                                 {"heating", "heat", "heating-type",
+                                  "heat-system", "heating-fuel"},
+                                 ValueKind::kHeating),
+                            Leaf("COOLING",
+                                 {"cooling", "ac", "air-conditioning",
+                                  "cooling-type", "climate-control"},
+                                 ValueKind::kCooling, 0.8),
+                            Leaf("FIREPLACE",
+                                 {"fireplace", "fire-place", "has-fireplace",
+                                  "fireplaces", "hearth"},
+                                 ValueKind::kYesNo, 0.8),
+                            Leaf("BASEMENT",
+                                 {"basement", "has-basement", "lower-level",
+                                  "cellar", "bsmt"},
+                                 ValueKind::kYesNo, 0.8),
+                            Leaf("APPLIANCES",
+                                 {"appliances", "included-appliances",
+                                  "kitchen-appliances", "appliances-included",
+                                  "equipment"},
+                                 ValueKind::kAppliances, 0.8),
+                        }),
+                  Group("EXTERIOR",
+                        {"exterior", "exterior-features", "outside",
+                         "exterior-details", "outdoor-features"},
+                        0.4,
+                        {
+                            Leaf("ROOF",
+                                 {"roof", "roofing", "roof-type",
+                                  "roof-material", "roof-cover"},
+                                 ValueKind::kRoof, 0.8),
+                            Leaf("SIDING",
+                                 {"siding", "exterior-finish", "cladding",
+                                  "facade", "exterior-material"},
+                                 ValueKind::kSiding, 0.8),
+                            Leaf("GARAGE",
+                                 {"garage", "garage-type", "garage-spaces",
+                                  "car-storage", "garage-info"},
+                                 ValueKind::kGarage),
+                            Leaf("POOL",
+                                 {"pool", "swimming-pool", "has-pool",
+                                  "pool-spa", "spa"},
+                                 ValueKind::kYesNo, 0.8),
+                            Leaf("WATERFRONT",
+                                 {"waterfront", "water-front", "on-water",
+                                  "waterview", "water-access"},
+                                 ValueKind::kYesNo, 0.7),
+                            Leaf("VIEW",
+                                 {"view", "views", "vista", "outlook",
+                                  "scenery"},
+                                 ValueKind::kView, 0.7),
+                            Leaf("PARKING",
+                                 {"parking", "parking-type", "park",
+                                  "parking-info", "parking-spaces"},
+                                 ValueKind::kParking, 0.7),
+                        }),
+              }),
+          Leaf("DESCRIPTION",
+               {"description", "comments", "extra-info", "detailed-desc",
+                "listing-text"},
+               ValueKind::kDescription),
+          Leaf("REMARKS",
+               {"remarks", "agent-remarks", "private-remarks", "broker-notes",
+                "seller-notes"},
+               ValueKind::kRemarks, 0.7),
+          Leaf("VIRTUAL-TOUR",
+               {"virtual-tour", "tour", "video-tour", "tour-link", "3d-tour"},
+               ValueKind::kUrl, 0.5),
+          Group("CONTACT-INFO",
+                {"contact", "contact-info", "agent-contact", "contact-details",
+                 "how-to-reach"},
+                0.3,
+                {
+                    Group("AGENT-INFO",
+                          {"agent-info", "agent", "listing-agent-info",
+                           "realtor-info", "agent-details"},
+                          0.4,
+                          {
+                              Leaf("AGENT-NAME",
+                                   {"agent-name", "name", "realtor",
+                                    "listing-agent", "salesperson"},
+                                   ValueKind::kPersonName),
+                              Leaf("AGENT-PHONE",
+                                   {"phone", "contact-phone", "agent-phone",
+                                    "work-phone", "telephone"},
+                                   ValueKind::kPhone),
+                              Leaf("AGENT-EMAIL",
+                                   {"agent-email", "email", "e-mail",
+                                    "agent-mail", "contact-email"},
+                                   ValueKind::kEmail, 0.8),
+                          }),
+                    Group("OFFICE-INFO",
+                          {"office", "office-info", "brokerage", "firm-info",
+                           "broker"},
+                          0.4,
+                          {
+                              Correlated("OFFICE-NAME",
+                                         {"office-name", "firm", "firm-name",
+                                          "brokerage-name", "company"},
+                                         "office", 0),
+                              Correlated("OFFICE-PHONE",
+                                         {"office-phone", "firm-phone",
+                                          "main-phone", "office-tel",
+                                          "broker-phone"},
+                                         "office", 1),
+                              Correlated("OFFICE-ADDRESS",
+                                         {"office-address", "firm-address",
+                                          "office-location", "broker-address",
+                                          "company-address"},
+                                         "office", 2, 0.8),
+                          }),
+                }),
+          Group("OPEN-HOUSE",
+                {"open-house", "openhouse", "oh-info", "open-house-info",
+                 "showing"},
+                0.4,
+                {
+                    Leaf("OH-DATE",
+                         {"oh-date", "open-date", "show-date", "when-open",
+                          "open-on"},
+                         ValueKind::kDate),
+                    Leaf("OH-START",
+                         {"oh-start", "open-from", "start-time", "begins",
+                          "from"},
+                         ValueKind::kTime),
+                    Leaf("OH-END",
+                         {"oh-end", "open-until", "end-time", "ends", "until"},
+                         ValueKind::kTime, 0.8),
+                },
+                0.7),
+          Group("UTILITIES",
+                {"utilities", "utility-info", "services", "utils",
+                 "connections"},
+                0.4,
+                {
+                    Leaf("WATER",
+                         {"water", "water-service", "water-source",
+                          "water-supply", "water-co"},
+                         ValueKind::kWaterService),
+                    Leaf("SEWER",
+                         {"sewer", "sewer-service", "septic-sewer", "waste",
+                          "sewage"},
+                         ValueKind::kSewerService),
+                    Leaf("ELECTRIC",
+                         {"electric", "electricity", "power",
+                          "electric-service", "power-company"},
+                         ValueKind::kElectricService, 0.8),
+                },
+                0.7),
+          Group("FINANCIAL",
+                {"financial", "financing", "financial-info", "money-info",
+                 "terms"},
+                0.4,
+                {
+                    Leaf("DOWN-PAYMENT",
+                         {"down-payment", "down", "downpayment", "min-down",
+                          "deposit"},
+                         ValueKind::kMoneySmall),
+                    Leaf("MORTGAGE-RATE",
+                         {"rate", "mortgage-rate", "interest-rate", "apr",
+                          "loan-rate"},
+                         ValueKind::kRate),
+                    Leaf("MONTHLY-PAYMENT",
+                         {"monthly-payment", "payment", "est-payment",
+                          "monthly", "per-month"},
+                         ValueKind::kMoneySmall, 0.8),
+                },
+                0.6),
+      });
+  spec.other_concepts = {
+      {{"ad-id", "listing-ref", "ad-number", "ref-no", "internal-id"},
+       ValueKind::kAdId, 0.4},
+      {{"page-views", "hits", "views-count", "times-viewed", "popularity"},
+       ValueKind::kPageViews, 0.3},
+      {{"more-info", "details-url", "link", "full-listing", "listing-url"},
+       ValueKind::kUrl, 0.3},
+      {{"date-crawled", "fetched-on", "snapshot-date", "crawl-date",
+        "retrieved"},
+       ValueKind::kDate, 0.3},
+  };
+  // Reuse Real Estate I's word-level synonyms plus RE-II specific groups.
+  spec.synonym_groups = RealEstate1Spec().synonym_groups;
+  spec.synonym_groups.push_back({"mls", "listing", "id", "number"});
+  spec.synonym_groups.push_back({"taxes", "tax"});
+  spec.synonym_groups.push_back({"hoa", "association", "dues"});
+  spec.synonym_groups.push_back({"neighborhood", "community", "subdivision"});
+  spec.synonym_groups.push_back({"heating", "heat"});
+  spec.synonym_groups.push_back({"cooling", "ac", "air"});
+  spec.synonym_groups.push_back({"garage", "parking", "car"});
+  spec.synonym_groups.push_back({"roof", "roofing"});
+  spec.synonym_groups.push_back({"water", "sewer", "septic"});
+  spec.synonym_groups.push_back({"rate", "apr", "interest"});
+  spec.synonym_groups.push_back({"payment", "monthly"});
+  spec.synonym_groups.push_back({"open", "showing", "tour"});
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<std::string>& EvaluationDomainNames() {
+  static const auto* const kNames = new std::vector<std::string>{
+      "real-estate-1", "time-schedule", "faculty-listings", "real-estate-2"};
+  return *kNames;
+}
+
+StatusOr<DomainSpec> GetDomainSpec(const std::string& name) {
+  if (name == "real-estate-1") return RealEstate1Spec();
+  if (name == "time-schedule") return TimeScheduleSpec();
+  if (name == "faculty-listings") return FacultyListingsSpec();
+  if (name == "real-estate-2") return RealEstate2Spec();
+  return Status::NotFound("unknown evaluation domain: " + name);
+}
+
+std::vector<std::unique_ptr<Constraint>> MakeDomainConstraints(
+    const Domain& domain) {
+  std::vector<std::unique_ptr<Constraint>> out;
+  // 1-1 mappings: every mediated tag is matched by at most one source tag.
+  for (const std::string& label : domain.mediated.AllTags()) {
+    out.push_back(std::make_unique<FrequencyConstraint>(label, 0, 1));
+  }
+  // The root concept is always present: exactly one source tag matches it.
+  out.push_back(std::make_unique<FrequencyConstraint>(
+      domain.mediated.root_name(), 1, 1));
+  // Always-present anchors per domain.
+  if (domain.name == "real-estate-1" || domain.name == "real-estate-2") {
+    out.push_back(std::make_unique<FrequencyConstraint>("PRICE", 1, 1));
+    out.push_back(std::make_unique<ContiguityConstraint>("NUM-BEDROOMS",
+                                                         "NUM-BATHROOMS"));
+    out.push_back(std::make_unique<NestingConstraint>(
+        "CONTACT-INFO", "PRICE", /*required=*/false));
+  }
+  if (domain.name == "time-schedule") {
+    out.push_back(std::make_unique<FrequencyConstraint>("COURSE-CODE", 1, 1));
+  }
+  if (domain.name == "faculty-listings") {
+    out.push_back(std::make_unique<FrequencyConstraint>("LAST-NAME", 1, 1));
+  }
+  // All applicable nesting constraints, derived from the mediated schema:
+  // each mediated parent/child pair must nest when both are matched.
+  for (const std::string& parent : domain.mediated.NonLeafTags()) {
+    for (const std::string& child : domain.mediated.ChildTags(parent)) {
+      out.push_back(std::make_unique<NestingConstraint>(parent, child,
+                                                        /*required=*/true));
+    }
+  }
+  // Column constraints.
+  if (domain.name == "real-estate-2") {
+    out.push_back(std::make_unique<KeyConstraint>("MLS-NUMBER"));
+    out.push_back(std::make_unique<FunctionalDependencyConstraint>(
+        "OFFICE-NAME", "OFFICE-NAME", "OFFICE-PHONE"));
+    out.push_back(std::make_unique<ProximitySoftConstraint>(
+        "AGENT-NAME", "AGENT-PHONE", 0.02));
+  }
+  if (domain.name == "real-estate-1") {
+    out.push_back(std::make_unique<FunctionalDependencyConstraint>(
+        "OFFICE-NAME", "OFFICE-NAME", "OFFICE-PHONE"));
+  }
+  return out;
+}
+
+StatusOr<Domain> MakeEvaluationDomain(const std::string& name,
+                                      size_t num_sources, size_t num_listings,
+                                      uint64_t seed) {
+  LSD_ASSIGN_OR_RETURN(DomainSpec spec, GetDomainSpec(name));
+  return RealizeDomain(spec, num_sources, num_listings, seed);
+}
+
+}  // namespace lsd

@@ -1,0 +1,41 @@
+#ifndef LSD_DATAGEN_DOMAINS_H_
+#define LSD_DATAGEN_DOMAINS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "datagen/domain_spec.h"
+
+namespace lsd {
+
+/// Names of the four evaluation domains of Table 3, in paper order:
+/// "real-estate-1", "time-schedule", "faculty-listings", "real-estate-2".
+const std::vector<std::string>& EvaluationDomainNames();
+
+/// Returns the specification of one evaluation domain.
+///   real-estate-1    — 20 mediated tags, 4 non-leaf, depth 3;
+///   time-schedule    — 23 tags, 6 non-leaf, depth 4;
+///   faculty-listings — 14 tags, 4 non-leaf, depth 3;
+///   real-estate-2    — 66 tags, 13 non-leaf, depth 4.
+StatusOr<DomainSpec> GetDomainSpec(const std::string& name);
+
+/// The domain's standing hard (and a few soft) constraints, as Section 6
+/// prescribes: at-most-one frequency constraints for every mediated tag,
+/// exactly-one constraints for always-present anchors, all applicable
+/// nesting constraints (derived from the mediated schema), a contiguity
+/// constraint per real-estate domain, and column (key/FD) constraints
+/// where the data supports them.
+std::vector<std::unique_ptr<Constraint>> MakeDomainConstraints(
+    const Domain& domain);
+
+/// Convenience: GetDomainSpec + RealizeDomain.
+StatusOr<Domain> MakeEvaluationDomain(const std::string& name,
+                                      size_t num_sources, size_t num_listings,
+                                      uint64_t seed);
+
+}  // namespace lsd
+
+#endif  // LSD_DATAGEN_DOMAINS_H_

@@ -1,0 +1,293 @@
+#include "datagen/domain_spec.h"
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace lsd {
+namespace {
+
+/// A spec_node tree after per-source structural decisions: which concepts
+/// are present, which non-leaves were flattened, and the concrete source
+/// tag names.
+struct ResolvedNode {
+  std::string tag;
+  std::string label;  // mediated label, or "OTHER"
+  ValueKind kind = ValueKind::kYesNo;
+  std::string correlation_group;
+  int correlation_field = 0;
+  std::vector<ResolvedNode> children;
+
+  bool IsLeaf() const { return children.empty(); }
+};
+
+void AddConceptToDtd(const ConceptSpec& spec_node, Dtd* dtd) {
+  ElementDecl decl;
+  decl.name = spec_node.label;
+  if (spec_node.IsLeaf()) {
+    decl.content = ContentParticle::Pcdata();
+  } else {
+    std::vector<ContentParticle> parts;
+    for (const ConceptSpec& child : spec_node.children) {
+      Occurrence occ = child.presence_prob < 1.0 ? Occurrence::kOptional
+                                                 : Occurrence::kOne;
+      parts.push_back(ContentParticle::Element(child.label, occ));
+    }
+    decl.content = ContentParticle::Sequence(std::move(parts));
+  }
+  LSD_CHECK(dtd->AddElement(std::move(decl)).ok());
+  for (const ConceptSpec& child : spec_node.children) {
+    AddConceptToDtd(child, dtd);
+  }
+}
+
+/// Vacuous tag names the generator occasionally uses instead of a
+/// descriptive one (see DomainSpec::vague_name_prob).
+const std::vector<std::string>& VagueNames() {
+  static const auto* const kVague = new std::vector<std::string>{
+      "item", "field", "info", "data", "value", "misc", "entry", "attr",
+      "detail", "extra"};
+  return *kVague;
+}
+
+/// Picks a tag name for `spec_node` in source `source_index`, avoiding names
+/// already used in this source.
+std::string PickTagName(const std::vector<std::string>& pool, int source_index,
+                        std::set<std::string>* used) {
+  LSD_CHECK(!pool.empty());
+  for (size_t offset = 0; offset < pool.size(); ++offset) {
+    const std::string& candidate =
+        pool[(static_cast<size_t>(source_index) + offset) % pool.size()];
+    if (used->insert(candidate).second) return candidate;
+  }
+  // Every pool name taken: disambiguate with a numeric suffix.
+  for (int i = 2;; ++i) {
+    std::string candidate = pool[0] + "-" + std::to_string(i);
+    if (used->insert(candidate).second) return candidate;
+  }
+}
+
+// Resolves `spec_node`'s subtree for one source. Children of flattened
+// non-leaves are promoted into `out_children`.
+void ResolveConcept(const ConceptSpec& spec_node, int source_index,
+                    double vague_name_prob, Rng* rng,
+                    std::set<std::string>* used,
+                    std::vector<ResolvedNode>* out_children) {
+  if (!rng->Bernoulli(spec_node.presence_prob)) return;
+  bool flatten = !spec_node.IsLeaf() && rng->Bernoulli(spec_node.flatten_prob);
+  if (flatten) {
+    for (const ConceptSpec& child : spec_node.children) {
+      ResolveConcept(child, source_index, vague_name_prob, rng, used,
+                     out_children);
+    }
+    return;
+  }
+  ResolvedNode node;
+  // Some sources use vacuous names ("item", "field") that carry no signal
+  // for the name matcher; the concept is then learnable only from data.
+  node.tag = rng->Bernoulli(vague_name_prob)
+                 ? PickTagName(VagueNames(), source_index, used)
+                 : PickTagName(spec_node.source_names, source_index, used);
+  node.label = spec_node.label;
+  node.kind = spec_node.kind;
+  node.correlation_group = spec_node.correlation_group;
+  node.correlation_field = spec_node.correlation_field;
+  for (const ConceptSpec& child : spec_node.children) {
+    ResolveConcept(child, source_index, vague_name_prob, rng, used,
+                   &node.children);
+  }
+  if (!spec_node.IsLeaf() && node.children.empty()) {
+    // All children were dropped: a childless non-leaf would be an empty
+    // element; drop it entirely.
+    used->erase(node.tag);
+    return;
+  }
+  out_children->push_back(std::move(node));
+}
+
+void BuildSourceDtd(const ResolvedNode& node, Dtd* dtd) {
+  ElementDecl decl;
+  decl.name = node.tag;
+  if (node.IsLeaf()) {
+    decl.content = ContentParticle::Pcdata();
+  } else {
+    std::vector<ContentParticle> parts;
+    for (const ResolvedNode& child : node.children) {
+      parts.push_back(ContentParticle::Element(child.tag));
+    }
+    decl.content = ContentParticle::Sequence(std::move(parts));
+  }
+  LSD_CHECK(dtd->AddElement(std::move(decl)).ok());
+  for (const ResolvedNode& child : node.children) {
+    BuildSourceDtd(child, dtd);
+  }
+}
+
+void CollectGold(const ResolvedNode& node, Mapping* gold) {
+  gold->Set(node.tag, node.label);
+  for (const ResolvedNode& child : node.children) {
+    CollectGold(child, gold);
+  }
+}
+
+struct NoiseProfile {
+  double dirty_prob = 0.0;
+  /// Value kinds of this source's leaves; extraction noise samples from
+  /// them.
+  std::vector<ValueKind> leaf_kinds;
+  double extraction_noise_prob = 0.0;
+};
+
+XmlNode GenerateListingNode(const ResolvedNode& node, int source_index,
+                            int listing_index, const NoiseProfile& noise,
+                            Rng* rng,
+                            const std::map<std::string, size_t>& group_record) {
+  XmlNode out(node.tag);
+  if (node.IsLeaf()) {
+    std::string value;
+    // Correlated fields and key-like identifiers stay clean: dirtying them
+    // would break the very FD/key constraints they are designed to satisfy.
+    bool exempt_from_dirt = !node.correlation_group.empty() ||
+                            node.kind == ValueKind::kMlsNumber ||
+                            node.kind == ValueKind::kAdId;
+    if (!node.correlation_group.empty()) {
+      size_t count = 0;
+      const OfficeRecord* offices = OfficeTable(&count);
+      size_t record = group_record.at(node.correlation_group) % count;
+      switch (node.correlation_field) {
+        case 0:
+          value = offices[record].name;
+          break;
+        case 1:
+          value = offices[record].phone;
+          break;
+        default:
+          value = offices[record].address;
+          break;
+      }
+    } else {
+      ValueKind kind = node.kind;
+      // Wrapper extraction noise: occasionally the scraped value belongs
+      // to a different field of the listing.
+      if (!exempt_from_dirt && !noise.leaf_kinds.empty() &&
+          rng->Bernoulli(noise.extraction_noise_prob)) {
+        kind = rng->Pick(noise.leaf_kinds);
+      }
+      value = GenerateValue(kind, source_index, listing_index, rng);
+    }
+    out.text = exempt_from_dirt
+                   ? std::move(value)
+                   : MaybeDirty(std::move(value), noise.dirty_prob, rng);
+    return out;
+  }
+  for (const ResolvedNode& child : node.children) {
+    out.children.push_back(GenerateListingNode(
+        child, source_index, listing_index, noise, rng, group_record));
+  }
+  return out;
+}
+
+void CollectLeafKinds(const ResolvedNode& node, std::vector<ValueKind>* out) {
+  if (node.IsLeaf()) {
+    if (node.correlation_group.empty() &&
+        node.kind != ValueKind::kMlsNumber && node.kind != ValueKind::kAdId) {
+      out->push_back(node.kind);
+    }
+    return;
+  }
+  for (const ResolvedNode& child : node.children) {
+    CollectLeafKinds(child, out);
+  }
+}
+
+void CollectGroups(const ResolvedNode& node, std::set<std::string>* groups) {
+  if (!node.correlation_group.empty()) groups->insert(node.correlation_group);
+  for (const ResolvedNode& child : node.children) {
+    CollectGroups(child, groups);
+  }
+}
+
+}  // namespace
+
+Dtd BuildMediatedDtd(const DomainSpec& spec) {
+  Dtd dtd;
+  AddConceptToDtd(spec.root, &dtd);
+  return dtd;
+}
+
+GeneratedSource GenerateSource(const DomainSpec& spec, int source_index,
+                               size_t num_listings, uint64_t structure_seed,
+                               uint64_t data_seed) {
+  Rng rng(structure_seed);
+  GeneratedSource out;
+  out.source.name =
+      spec.name + "-source-" + std::to_string(source_index) + ".example.com";
+
+  // Resolve structure. The root is always present and never flattened.
+  std::set<std::string> used;
+  ResolvedNode root;
+  root.tag = PickTagName(spec.root.source_names, source_index, &used);
+  root.label = spec.root.label;
+  for (const ConceptSpec& child : spec.root.children) {
+    ResolveConcept(child, source_index, spec.vague_name_prob, &rng, &used,
+                   &root.children);
+  }
+  // Unmatchable filler tags go to the end of the root's child list.
+  for (const OtherConceptSpec& other : spec.other_concepts) {
+    if (!rng.Bernoulli(other.presence_prob)) continue;
+    ResolvedNode node;
+    node.tag = PickTagName(other.source_names, source_index, &used);
+    node.label = "OTHER";
+    node.kind = other.kind;
+    root.children.push_back(std::move(node));
+  }
+
+  BuildSourceDtd(root, &out.source.schema);
+  CollectGold(root, &out.gold);
+
+  std::set<std::string> groups;
+  CollectGroups(root, &groups);
+
+  // Data uses its own stream so experiments can re-sample listings while
+  // keeping the source schema fixed.
+  Rng data_rng(data_seed != 0 ? data_seed ^ structure_seed
+                              : structure_seed + 0x5bd1e995);
+  NoiseProfile noise;
+  noise.dirty_prob = spec.dirty_prob;
+  noise.extraction_noise_prob = spec.extraction_noise_prob;
+  CollectLeafKinds(root, &noise.leaf_kinds);
+
+  out.source.listings.reserve(num_listings);
+  for (size_t i = 0; i < num_listings; ++i) {
+    std::map<std::string, size_t> group_record;
+    for (const std::string& group : groups) {
+      group_record[group] = static_cast<size_t>(data_rng.UniformInt(0, 1 << 20));
+    }
+    out.source.listings.emplace_back(
+        GenerateListingNode(root, source_index, static_cast<int>(i), noise,
+                            &data_rng, group_record));
+  }
+  return out;
+}
+
+Domain RealizeDomain(const DomainSpec& spec, size_t num_sources,
+                     size_t num_listings, uint64_t seed, uint64_t data_seed) {
+  Domain domain;
+  domain.name = spec.name;
+  domain.mediated = BuildMediatedDtd(spec);
+  for (const auto& group : spec.synonym_groups) {
+    domain.synonyms.AddGroup(group);
+  }
+  Rng master(seed);
+  Rng data_master(data_seed != 0 ? data_seed : seed + 0x9e3779b9);
+  for (size_t s = 0; s < num_sources; ++s) {
+    domain.sources.push_back(GenerateSource(spec, static_cast<int>(s),
+                                            num_listings, master.Next(),
+                                            data_master.Next()));
+  }
+  return domain;
+}
+
+}  // namespace lsd

@@ -1,0 +1,585 @@
+#include "datagen/value_generators.h"
+
+#include <array>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+const std::vector<std::string>& FirstNames() {
+  static const auto* const kNames = new std::vector<std::string>{
+      "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+      "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+      "Joseph", "Jessica", "Thomas", "Sarah", "Kate", "Karen", "Mike",
+      "Nancy", "Matt", "Lisa", "Daniel", "Betty", "Paul", "Helen", "Mark",
+      "Sandra", "Gail", "Donna", "Steven", "Carol", "Andrew", "Ruth",
+      "Kenneth", "Sharon", "Joshua", "Michelle", "Kevin", "Laura", "Brian",
+      "Emily", "George", "Kimberly", "Edward", "Deborah", "Ronald", "Amy"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const auto* const kNames = new std::vector<std::string>{
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+      "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+      "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+      "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+      "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+      "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+      "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+      "Carter", "Richardson", "Murphy", "Kendall"};
+  return *kNames;
+}
+
+struct CityRecord {
+  const char* city;
+  const char* state;
+  const char* county;
+};
+
+const std::vector<CityRecord>& Cities() {
+  static const auto* const kCities = new std::vector<CityRecord>{
+      {"Seattle", "WA", "King"},        {"Tacoma", "WA", "Pierce"},
+      {"Everett", "WA", "Snohomish"},   {"Spokane", "WA", "Spokane"},
+      {"Kent", "WA", "King"},           {"Bellevue", "WA", "King"},
+      {"Olympia", "WA", "Thurston"},    {"Portland", "OR", "Multnomah"},
+      {"Eugene", "OR", "Lane"},         {"Salem", "OR", "Marion"},
+      {"Bend", "OR", "Deschutes"},      {"Miami", "FL", "Miami-Dade"},
+      {"Orlando", "FL", "Orange"},      {"Tampa", "FL", "Hillsborough"},
+      {"Jacksonville", "FL", "Duval"},  {"Boston", "MA", "Suffolk"},
+      {"Worcester", "MA", "Worcester"}, {"Cambridge", "MA", "Middlesex"},
+      {"Austin", "TX", "Travis"},       {"Dallas", "TX", "Dallas"},
+      {"Houston", "TX", "Harris"},      {"Plano", "TX", "Collin"},
+      {"Denver", "CO", "Denver"},       {"Boulder", "CO", "Boulder"},
+      {"Phoenix", "AZ", "Maricopa"},    {"Tucson", "AZ", "Pima"},
+      {"Chicago", "IL", "Cook"},        {"Naperville", "IL", "DuPage"},
+      {"Atlanta", "GA", "Fulton"},      {"Marietta", "GA", "Cobb"},
+      {"Charlotte", "NC", "Mecklenburg"}, {"Raleigh", "NC", "Wake"},
+      {"Detroit", "MI", "Wayne"},       {"Ann Arbor", "MI", "Washtenaw"},
+      {"Columbus", "OH", "Franklin"},   {"Cleveland", "OH", "Cuyahoga"},
+      {"Minneapolis", "MN", "Hennepin"}, {"St. Paul", "MN", "Ramsey"},
+      {"Nashville", "TN", "Davidson"},  {"Memphis", "TN", "Shelby"},
+      {"Richmond", "VA", "Henrico"},    {"Arlington", "VA", "Arlington"},
+      {"Baltimore", "MD", "Baltimore"}, {"Columbia", "MD", "Howard"},
+      {"Milwaukee", "WI", "Milwaukee"}, {"Madison", "WI", "Dane"},
+      {"Sacramento", "CA", "Sacramento"}, {"San Jose", "CA", "Santa Clara"},
+      {"Fresno", "CA", "Fresno"},       {"Oakland", "CA", "Alameda"}};
+  return *kCities;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const auto* const kStreets = new std::vector<std::string>{
+      "Maple",    "Oak",     "Pine",      "Cedar",    "Elm",      "Main",
+      "Lake",     "Hill",    "Park",      "River",    "Sunset",   "Highland",
+      "Meadow",   "Forest",  "Washington", "Lincoln",  "Jefferson", "Madison",
+      "Franklin", "Spring",  "Valley",    "Ridge",    "Cherry",   "Walnut",
+      "Chestnut", "Spruce",  "Birch",     "Willow",   "Magnolia", "Juniper"};
+  return *kStreets;
+}
+
+const std::vector<std::string>& StreetSuffixes() {
+  static const auto* const kSuffixes = new std::vector<std::string>{
+      "St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Way", "Ct", "Pl"};
+  return *kSuffixes;
+}
+
+constexpr std::array<OfficeRecord, 12> kOffices = {{
+    {"MAX Realtors", "(206) 555 0100", "1200 5th Ave, Seattle, WA"},
+    {"Windermere Real Estate", "(206) 555 0111", "800 Pike St, Seattle, WA"},
+    {"Century 21 Gold", "(305) 555 0122", "455 Ocean Dr, Miami, FL"},
+    {"RE/MAX Premier", "(617) 555 0133", "50 Beacon St, Boston, MA"},
+    {"Coldwell Banker Bain", "(503) 555 0144", "900 SW 5th Ave, Portland, OR"},
+    {"Keller Williams Realty", "(512) 555 0155", "1801 Congress Ave, Austin, TX"},
+    {"Berkshire Hathaway Homes", "(303) 555 0166", "1700 Broadway, Denver, CO"},
+    {"Sotheby's International", "(415) 555 0177", "117 Greenwich St, San Francisco, CA"},
+    {"ERA Brokers", "(602) 555 0188", "2400 Camelback Rd, Phoenix, AZ"},
+    {"Redfin Partners", "(312) 555 0199", "875 Michigan Ave, Chicago, IL"},
+    {"Compass Realty Group", "(404) 555 0200", "3350 Peachtree Rd, Atlanta, GA"},
+    {"John L. Scott Realty", "(253) 555 0211", "1145 Broadway, Tacoma, WA"},
+}};
+
+const std::vector<std::string>& Departments() {
+  static const auto* const kDepartments = new std::vector<std::string>{
+      "Computer Science", "Mathematics",      "Physics",
+      "Chemistry",        "Biology",          "Economics",
+      "History",          "Philosophy",       "Psychology",
+      "Electrical Engineering", "Statistics", "Linguistics"};
+  return *kDepartments;
+}
+
+const std::vector<std::string>& DeptCodes() {
+  static const auto* const kCodes = new std::vector<std::string>{
+      "CSE", "MATH", "PHYS", "CHEM", "BIOL", "ECON", "HIST", "PHIL", "PSYC",
+      "EE",  "STAT", "LING"};
+  return *kCodes;
+}
+
+const std::vector<std::string>& CourseTopics() {
+  static const auto* const kTopics = new std::vector<std::string>{
+      "Introduction to Programming",   "Data Structures",
+      "Algorithms",                    "Operating Systems",
+      "Database Systems",              "Machine Learning",
+      "Computer Networks",             "Linear Algebra",
+      "Calculus",                      "Differential Equations",
+      "Quantum Mechanics",             "Organic Chemistry",
+      "Molecular Biology",             "Microeconomics",
+      "Macroeconomics",                "World History",
+      "Ethics",                        "Cognitive Psychology",
+      "Signal Processing",             "Probability and Statistics",
+      "Compilers",                     "Artificial Intelligence",
+      "Software Engineering",          "Computer Graphics"};
+  return *kTopics;
+}
+
+const std::vector<std::string>& Buildings() {
+  static const auto* const kBuildings = new std::vector<std::string>{
+      "Sieg Hall",    "Guggenheim Hall", "Smith Hall",   "Johnson Hall",
+      "Savery Hall",  "Thomson Hall",    "Gould Hall",   "Bagley Hall",
+      "Mary Gates Hall", "Kane Hall",    "Anderson Hall", "Loew Hall"};
+  return *kBuildings;
+}
+
+const std::vector<std::string>& Universities() {
+  static const auto* const kUniversities = new std::vector<std::string>{
+      "University of Washington", "Stanford University", "MIT",
+      "Carnegie Mellon University", "UC Berkeley", "University of Michigan",
+      "Cornell University", "Princeton University", "University of Texas",
+      "University of Illinois", "Georgia Tech", "University of Wisconsin"};
+  return *kUniversities;
+}
+
+const std::vector<std::string>& ResearchAreas() {
+  static const auto* const kAreas = new std::vector<std::string>{
+      "machine learning",        "databases",
+      "data integration",        "computer vision",
+      "natural language processing", "distributed systems",
+      "programming languages",   "human computer interaction",
+      "computational biology",   "theory of computation",
+      "computer architecture",   "robotics",
+      "information retrieval",   "security and privacy"};
+  return *kAreas;
+}
+
+
+// Per-source vocabulary skew: each source prefers a contiguous slice of a
+// value pool (with probability 1-kSkewEscape it samples from its slice,
+// otherwise from the whole pool). Mirrors the regional/vocabulary drift
+// between the paper's real WWW sources — a Seattle site and a Miami site
+// list different cities, agents, and buildings — and is what keeps the
+// content learners from transferring perfectly across sources.
+constexpr double kSkewEscape = 0.25;
+
+template <typename T>
+const T& PickSkewed(const std::vector<T>& items, int source_variant,
+                    Rng* rng) {
+  if (items.size() < 6 || rng->Bernoulli(kSkewEscape)) {
+    return items[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+  }
+  size_t slice = items.size() / 3 + 1;
+  size_t offset = (static_cast<size_t>(source_variant) * items.size() / 5) %
+                  items.size();
+  size_t index =
+      (offset + static_cast<size_t>(
+                    rng->UniformInt(0, static_cast<int64_t>(slice) - 1))) %
+      items.size();
+  return items[index];
+}
+
+std::string TwoDigit(int64_t v) {
+  return (v < 10 ? "0" : "") + std::to_string(v);
+}
+
+std::string PhoneNumber(int source_variant, Rng* rng) {
+  static const char* kAreaCodes[] = {"206", "305", "617", "503", "512",
+                                     "303", "415", "602", "312", "404"};
+  const char* area = kAreaCodes[rng->UniformInt(0, 9)];
+  int64_t mid = rng->UniformInt(200, 999);
+  int64_t last = rng->UniformInt(0, 9999);
+  switch (source_variant % 4) {
+    case 0:
+      return StrFormat("(%s) %ld %04ld", area, mid, last);
+    case 1:
+      return StrFormat("%s-%ld-%04ld", area, mid, last);
+    case 2:
+      return StrFormat("%s.%ld.%04ld", area, mid, last);
+    default:
+      return StrFormat("(%s) %ld-%04ld", area, mid, last);
+  }
+}
+
+std::string PersonName(Rng* rng) {
+  return rng->Pick(FirstNames()) + " " + rng->Pick(LastNames());
+}
+
+}  // namespace
+
+const OfficeRecord* OfficeTable(size_t* count) {
+  *count = kOffices.size();
+  return kOffices.data();
+}
+
+std::string GenerateHouseDescription(int source_variant, Rng* rng) {
+  // Signal adjectives and phrases that make DESCRIPTION learnable from
+  // token frequencies, with mild per-source vocabulary skew.
+  static const std::vector<std::string> kAdjectives = {
+      "fantastic", "great",  "beautiful", "spacious",  "charming",
+      "stunning",  "lovely", "gorgeous",  "immaculate", "cozy",
+      "bright",    "updated", "remodeled", "elegant",   "delightful"};
+  static const std::vector<std::string> kFeatures = {
+      "hardwood floors", "granite counters",  "large backyard",
+      "open floor plan", "vaulted ceilings",  "new roof",
+      "finished basement", "gourmet kitchen", "walk-in closets",
+      "covered patio",   "mountain views",    "mature landscaping",
+      "two car garage",  "close to schools",  "quiet street",
+      "water view",      "close to highway",  "great location"};
+  static const std::vector<std::string> kOpeners = {
+      "Must see", "Name your price", "Won't last", "Move-in ready",
+      "A rare find", "Priced to sell", "Pride of ownership"};
+  std::string out;
+  out += PickSkewed(kAdjectives, source_variant, rng);
+  // Per-source skew: each source favors one extra adjective.
+  if (rng->Bernoulli(0.5)) {
+    out += " " + kAdjectives[static_cast<size_t>(source_variant) %
+                             kAdjectives.size()];
+  }
+  out += " home with " + PickSkewed(kFeatures, source_variant, rng);
+  if (rng->Bernoulli(0.7)) {
+    out += " and " + PickSkewed(kFeatures, source_variant, rng);
+  }
+  if (rng->Bernoulli(0.5)) out += ". " + rng->Pick(kOpeners) + "!";
+  // Free text bleeds other concepts' vocabulary — descriptions name the
+  // agent, the office, and the price, exactly like the paper's example
+  // "To see it, contact Gail Murphy at MAX Realtors". This is what makes
+  // flat bag-of-words learners confuse DESCRIPTION with CONTACT-INFO.
+  if (rng->Bernoulli(0.4)) {
+    size_t count = 0;
+    const OfficeRecord* offices = OfficeTable(&count);
+    out += ". Contact " + PersonName(rng) + " at " +
+           offices[static_cast<size_t>(
+                       rng->UniformInt(0, static_cast<int64_t>(count) - 1))]
+               .name;
+  }
+  if (rng->Bernoulli(0.25)) {
+    out += ". Offered at $" + std::to_string(rng->UniformInt(80, 900)) +
+           ",000";
+  }
+  return out;
+}
+
+std::string MaybeDirty(std::string value, double p, Rng* rng) {
+  if (!rng->Bernoulli(p)) return value;
+  static const std::vector<std::string> kDirty = {"unknown", "unk", "n/a",
+                                                  "-", ""};
+  return rng->Pick(kDirty);
+}
+
+std::string GenerateValue(ValueKind kind, int source_variant,
+                          int listing_index, Rng* rng) {
+  switch (kind) {
+    case ValueKind::kStreetAddress: {
+      std::string number = std::to_string(rng->UniformInt(100, 19999));
+      return number + " " + rng->Pick(StreetNames()) + " " +
+             rng->Pick(StreetSuffixes());
+    }
+    case ValueKind::kCity:
+      return PickSkewed(Cities(), source_variant, rng).city;
+    case ValueKind::kState:
+      return PickSkewed(Cities(), source_variant, rng).state;
+    case ValueKind::kZip:
+      return StrFormat("%05ld", rng->UniformInt(1000, 99950));
+    case ValueKind::kCounty: {
+      std::string county = PickSkewed(Cities(), source_variant, rng).county;
+      return source_variant % 2 == 0 ? county : county + " County";
+    }
+    case ValueKind::kNeighborhood: {
+      static const std::vector<std::string> kHoods = {
+          "Downtown",   "Capitol Hill", "Ballard",   "Fremont",
+          "Queen Anne", "Greenwood",    "Ravenna",   "Laurelhurst",
+          "Northgate",  "West End",     "Riverside", "Old Town"};
+      return PickSkewed(kHoods, source_variant, rng);
+    }
+    case ValueKind::kSchoolDistrict: {
+      static const std::vector<std::string> kDistricts = {
+          "Seattle Public Schools", "Lake Washington SD", "Bellevue SD",
+          "Northshore SD",          "Issaquah SD",        "Tacoma SD",
+          "Mukilteo SD",            "Edmonds SD"};
+      return PickSkewed(kDistricts, source_variant, rng);
+    }
+    case ValueKind::kPrice: {
+      // Regional price skew: cheap-market and expensive-market sources.
+      int64_t lo = 60 + 40 * (source_variant % 5);
+      int64_t hi = 550 + 80 * (source_variant % 5);
+      int64_t thousands = rng->UniformInt(lo, hi);
+      int64_t price = thousands * 1000;
+      switch (source_variant % 3) {
+        case 0:
+          return StrFormat("$ %ld,000", thousands);
+        case 1:
+          return StrFormat("$%ld", price);
+        default:
+          return StrFormat("%ld", price);
+      }
+    }
+    case ValueKind::kBedrooms:
+      return std::to_string(rng->UniformInt(1, 6));
+    case ValueKind::kBathrooms: {
+      int64_t whole = rng->UniformInt(1, 4);
+      return rng->Bernoulli(0.3) ? std::to_string(whole) + ".5"
+                                 : std::to_string(whole);
+    }
+    case ValueKind::kHalfBaths:
+      return std::to_string(rng->UniformInt(0, 2));
+    case ValueKind::kSquareFeet:
+      return std::to_string(rng->UniformInt(70, 520) * 10);
+    case ValueKind::kLotSize: {
+      if (source_variant % 2 == 0) {
+        return StrFormat("%.2f acres", rng->Uniform(0.1, 2.5));
+      }
+      return std::to_string(rng->UniformInt(4000, 90000)) + " sqft";
+    }
+    case ValueKind::kYearBuilt:
+      return std::to_string(rng->UniformInt(1900, 2000));
+    case ValueKind::kStories:
+      return std::to_string(rng->UniformInt(1, 3));
+    case ValueKind::kHouseStyle: {
+      static const std::vector<std::string> kStyles = {
+          "Colonial", "Ranch",     "Victorian",   "Craftsman", "Tudor",
+          "Cape Cod", "Split-Level", "Contemporary", "Bungalow", "Townhouse"};
+      return PickSkewed(kStyles, source_variant, rng);
+    }
+    case ValueKind::kFlooring: {
+      static const std::vector<std::string> kFloors = {
+          "hardwood", "carpet", "tile", "laminate", "vinyl", "bamboo"};
+      return PickSkewed(kFloors, source_variant, rng);
+    }
+    case ValueKind::kHeating: {
+      static const std::vector<std::string> kHeat = {
+          "forced air", "radiant", "baseboard", "heat pump", "gas furnace"};
+      return rng->Pick(kHeat);
+    }
+    case ValueKind::kCooling: {
+      static const std::vector<std::string> kCool = {
+          "central air", "window units", "heat pump", "none", "evaporative"};
+      return rng->Pick(kCool);
+    }
+    case ValueKind::kYesNo:
+      return rng->Bernoulli(0.5) ? "yes" : "no";
+    case ValueKind::kAppliances: {
+      static const std::vector<std::string> kAppliances = {
+          "dishwasher, range, refrigerator", "washer, dryer, dishwasher",
+          "range, microwave, disposal",      "refrigerator, oven, dishwasher"};
+      return rng->Pick(kAppliances);
+    }
+    case ValueKind::kRoof: {
+      static const std::vector<std::string> kRoofs = {
+          "composition", "tile", "metal", "cedar shake", "asphalt shingle"};
+      return rng->Pick(kRoofs);
+    }
+    case ValueKind::kSiding: {
+      static const std::vector<std::string> kSidings = {
+          "vinyl", "brick", "wood", "stucco", "fiber cement", "aluminum"};
+      return rng->Pick(kSidings);
+    }
+    case ValueKind::kGarage: {
+      if (source_variant % 2 == 0) {
+        return std::to_string(rng->UniformInt(0, 3)) + " car";
+      }
+      static const std::vector<std::string> kGarages = {
+          "attached", "detached", "carport", "none"};
+      return rng->Pick(kGarages);
+    }
+    case ValueKind::kDescription:
+      return GenerateHouseDescription(source_variant, rng);
+    case ValueKind::kRemarks: {
+      static const std::vector<std::string> kRemarks = {
+          "Seller motivated, bring all offers",
+          "Sold as-is, inspection welcome",
+          "New listing, showings start Saturday",
+          "Back on market, financing fell through",
+          "Estate sale, no disclosures",
+          "Tenant occupied, 24 hour notice required"};
+      return PickSkewed(kRemarks, source_variant, rng);
+    }
+    case ValueKind::kPersonName:
+      return PersonName(rng);
+    case ValueKind::kPhone:
+      return PhoneNumber(source_variant, rng);
+    case ValueKind::kEmail: {
+      std::string first = ToLower(rng->Pick(FirstNames()));
+      std::string last = ToLower(rng->Pick(LastNames()));
+      static const std::vector<std::string> kHosts = {
+          "example.com", "mail.com", "realty.net", "university.edu"};
+      return first + "." + last + "@" + rng->Pick(kHosts);
+    }
+    case ValueKind::kOfficeName:
+      return kOffices[static_cast<size_t>(
+                          rng->UniformInt(0, static_cast<int64_t>(kOffices.size()) - 1))]
+          .name;
+    case ValueKind::kOfficeAddress:
+      return kOffices[static_cast<size_t>(
+                          rng->UniformInt(0, static_cast<int64_t>(kOffices.size()) - 1))]
+          .address;
+    case ValueKind::kDate: {
+      int64_t month = rng->UniformInt(1, 12);
+      int64_t day = rng->UniformInt(1, 28);
+      int64_t year = rng->UniformInt(1999, 2001);
+      switch (source_variant % 3) {
+        case 0:
+          return StrFormat("%ld/%ld/%ld", month, day, year);
+        case 1:
+          return StrFormat("%ld-%s-%s", year, TwoDigit(month).c_str(),
+                           TwoDigit(day).c_str());
+        default: {
+          static const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr",
+                                          "May", "Jun", "Jul", "Aug",
+                                          "Sep", "Oct", "Nov", "Dec"};
+          return StrFormat("%s %ld, %ld", kMonths[month - 1], day, year);
+        }
+      }
+    }
+    case ValueKind::kTime: {
+      int64_t hour = rng->UniformInt(8, 17);
+      int64_t minute = rng->Bernoulli(0.5) ? 30 : 0;
+      if (source_variant % 2 == 0) {
+        int64_t display = hour > 12 ? hour - 12 : hour;
+        return StrFormat("%ld:%s %s", display, TwoDigit(minute).c_str(),
+                         hour >= 12 ? "PM" : "AM");
+      }
+      return StrFormat("%s:%s", TwoDigit(hour).c_str(), TwoDigit(minute).c_str());
+    }
+    case ValueKind::kMoneySmall:
+      return StrFormat("$%ld", rng->UniformInt(50, 900));
+    case ValueKind::kRate:
+      return StrFormat("%.2f%%", rng->Uniform(5.0, 9.5));
+    case ValueKind::kMlsNumber:
+      // Unique per listing: satisfies key constraints by construction.
+      return StrFormat("MLS%d%04d", source_variant, listing_index);
+    case ValueKind::kListingType: {
+      static const std::vector<std::string> kTypes = {
+          "single family", "condo", "townhouse", "multi-family", "land"};
+      return rng->Pick(kTypes);
+    }
+    case ValueKind::kListingStatus: {
+      static const std::vector<std::string> kStatuses = {
+          "active", "pending", "contingent", "new", "price reduced"};
+      return rng->Pick(kStatuses);
+    }
+    case ValueKind::kWaterService:
+      return rng->Bernoulli(0.8) ? "public" : "well";
+    case ValueKind::kSewerService:
+      return rng->Bernoulli(0.7) ? "public sewer" : "septic";
+    case ValueKind::kElectricService: {
+      static const std::vector<std::string> kElectric = {
+          "city light", "puget sound energy", "pacific power", "duke energy"};
+      return rng->Pick(kElectric);
+    }
+    case ValueKind::kParking: {
+      static const std::vector<std::string> kParking = {
+          "street", "driveway", "garage", "off-street", "assigned"};
+      return rng->Pick(kParking);
+    }
+    case ValueKind::kView: {
+      static const std::vector<std::string> kViews = {
+          "mountain", "lake", "city", "territorial", "sound", "none"};
+      return rng->Pick(kViews);
+    }
+    case ValueKind::kUrl:
+      return StrFormat("http://listings.example.com/%d/%04d", source_variant,
+                       listing_index);
+    case ValueKind::kCourseCode: {
+      const auto& codes = DeptCodes();
+      return codes[static_cast<size_t>(
+                 rng->UniformInt(0, static_cast<int64_t>(codes.size()) - 1))] +
+             std::to_string(rng->UniformInt(100, 599));
+    }
+    case ValueKind::kCourseTitle:
+      return PickSkewed(CourseTopics(), source_variant, rng);
+    case ValueKind::kCredits:
+      return std::to_string(rng->UniformInt(1, 5));
+    case ValueKind::kDepartment:
+      return PickSkewed(Departments(), source_variant, rng);
+    case ValueKind::kSectionNumber: {
+      if (source_variant % 2 == 0) {
+        return std::to_string(rng->UniformInt(1, 9));
+      }
+      return std::string(1, static_cast<char>('A' + rng->UniformInt(0, 5)));
+    }
+    case ValueKind::kEnrollment:
+      return std::to_string(rng->UniformInt(5, 300));
+    case ValueKind::kDays: {
+      static const std::vector<std::string> kDayPatterns = {
+          "MWF", "TTh", "MW", "F", "M", "W", "MTWThF", "Daily"};
+      return rng->Pick(kDayPatterns);
+    }
+    case ValueKind::kBuilding:
+      return PickSkewed(Buildings(), source_variant, rng);
+    case ValueKind::kRoomNumber:
+      return std::to_string(rng->UniformInt(100, 499));
+    case ValueKind::kTerm: {
+      static const std::vector<std::string> kTerms = {
+          "Fall 2000", "Winter 2001", "Spring 2001", "Summer 2001"};
+      return rng->Pick(kTerms);
+    }
+    case ValueKind::kCourseNotes: {
+      static const std::vector<std::string> kNotes = {
+          "Prerequisite required",          "Open to majors only",
+          "Meets writing requirement",      "Lab section required",
+          "Instructor permission required", "No prerequisites"};
+      std::string note = PickSkewed(kNotes, source_variant, rng);
+      if (rng->Bernoulli(0.4)) {
+        note += ". See " + PersonName(rng) + " in " +
+                rng->Pick(Buildings()) + " " +
+                std::to_string(rng->UniformInt(100, 499));
+      }
+      return note;
+    }
+    case ValueKind::kFirstName:
+      return PickSkewed(FirstNames(), source_variant, rng);
+    case ValueKind::kLastName:
+      return PickSkewed(LastNames(), source_variant, rng);
+    case ValueKind::kPosition: {
+      static const std::vector<std::string> kPositions = {
+          "Professor",           "Associate Professor", "Assistant Professor",
+          "Lecturer",            "Research Professor",  "Professor Emeritus",
+          "Adjunct Professor",   "Affiliate Professor"};
+      return PickSkewed(kPositions, source_variant, rng);
+    }
+    case ValueKind::kResearchInterests: {
+      std::string out = PickSkewed(ResearchAreas(), source_variant, rng);
+      if (rng->Bernoulli(0.7)) {
+        out += ", " + PickSkewed(ResearchAreas(), source_variant, rng);
+      }
+      if (rng->Bernoulli(0.4)) {
+        out += ", " + PickSkewed(ResearchAreas(), source_variant, rng);
+      }
+      return out;
+    }
+    case ValueKind::kBio: {
+      std::string name = PersonName(rng);
+      return name + " works on " + rng->Pick(ResearchAreas()) +
+             " and teaches courses on " + rng->Pick(CourseTopics()) +
+             ". Prior to joining the faculty, " + name + " was at " +
+             rng->Pick(Universities()) + ".";
+    }
+    case ValueKind::kDegree: {
+      static const std::vector<std::string> kDegrees = {
+          "PhD", "Ph.D.", "MS", "M.S.", "ScD"};
+      return rng->Pick(kDegrees);
+    }
+    case ValueKind::kUniversity:
+      return PickSkewed(Universities(), source_variant, rng);
+    case ValueKind::kOfficeRoom:
+      return rng->Pick(Buildings()) + " " +
+             std::to_string(rng->UniformInt(100, 499));
+    case ValueKind::kAdId:
+      return StrFormat("AD-%d-%05d", source_variant, listing_index);
+    case ValueKind::kPageViews:
+      return std::to_string(rng->UniformInt(3, 25000));
+  }
+  return "";
+}
+
+}  // namespace lsd

@@ -1,0 +1,120 @@
+#ifndef LSD_DATAGEN_VALUE_GENERATORS_H_
+#define LSD_DATAGEN_VALUE_GENERATORS_H_
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace lsd {
+
+/// The kinds of atomic values the synthetic domains can generate. Each
+/// mediated-schema leaf concept is bound to one kind; the generator varies
+/// surface formatting by `source_variant` so different sources of a domain
+/// exhibit different formats (phone punctuation, price symbols, ...), the
+/// generalization axis the paper's experiments measure.
+enum class ValueKind {
+  // Real-estate / shared.
+  kStreetAddress,
+  kCity,
+  kState,
+  kZip,
+  kCounty,
+  kNeighborhood,
+  kSchoolDistrict,
+  kPrice,
+  kBedrooms,
+  kBathrooms,
+  kHalfBaths,
+  kSquareFeet,
+  kLotSize,
+  kYearBuilt,
+  kStories,
+  kHouseStyle,
+  kFlooring,
+  kHeating,
+  kCooling,
+  kYesNo,
+  kAppliances,
+  kRoof,
+  kSiding,
+  kGarage,
+  kDescription,
+  kRemarks,
+  kPersonName,
+  kPhone,
+  kEmail,
+  kOfficeName,
+  kOfficeAddress,
+  kDate,
+  kTime,
+  kMoneySmall,
+  kRate,
+  kMlsNumber,
+  kListingType,
+  kListingStatus,
+  kWaterService,
+  kSewerService,
+  kElectricService,
+  kParking,
+  kView,
+  kUrl,
+  // Time-schedule domain.
+  kCourseCode,
+  kCourseTitle,
+  kCredits,
+  kDepartment,
+  kSectionNumber,
+  kEnrollment,
+  kDays,
+  kBuilding,
+  kRoomNumber,
+  kTerm,
+  kCourseNotes,
+  // Faculty domain.
+  kFirstName,
+  kLastName,
+  kPosition,
+  kResearchInterests,
+  kBio,
+  kDegree,
+  kUniversity,
+  kOfficeRoom,
+  // Filler concepts for unmatchable (OTHER) tags.
+  kAdId,
+  kPageViews,
+};
+
+/// A small fixed table of (office name, office phone, office address)
+/// triples: drawing contact info from it makes the functional dependency
+/// OFFICE-NAME → OFFICE-PHONE/ADDRESS hold in generated data.
+struct OfficeRecord {
+  const char* name;
+  const char* phone;
+  const char* address;
+};
+
+/// The shared office table (per-domain generators index into it).
+const OfficeRecord* OfficeTable(size_t* count);
+
+/// Generates one value of `kind`.
+///   source_variant — per-source formatting style (0-4 typical);
+///   listing_index  — sequential listing number; kinds that must be keys
+///                    (kMlsNumber, kAdId) incorporate it;
+///   rng            — the caller's deterministic stream.
+std::string GenerateValue(ValueKind kind, int source_variant,
+                          int listing_index, Rng* rng);
+
+/// The descriptive signal vocabulary used by house descriptions — the
+/// frequency cues ("fantastic", "great", "beautiful") that the paper's
+/// Naive Bayes learner keys on.
+std::string GenerateHouseDescription(int source_variant, Rng* rng);
+
+/// Dirty-value injection: with probability `p`, replaces `value` with a
+/// typical dirty token ("unknown", "unk", "n/a", "-", ""). The paper's
+/// preprocessing removed such tokens; LSD's learners are expected to
+/// tolerate them.
+std::string MaybeDirty(std::string value, double p, Rng* rng);
+
+}  // namespace lsd
+
+#endif  // LSD_DATAGEN_VALUE_GENERATORS_H_

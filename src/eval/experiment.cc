@@ -1,0 +1,272 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "core/lsd_system.h"
+
+namespace lsd {
+namespace {
+
+bool IsRealEstate(const std::string& domain_name) {
+  return StartsWith(domain_name, "real-estate");
+}
+
+std::vector<std::string> NonXmlLearners(bool county_active) {
+  std::vector<std::string> out = {kNameMatcherName, kContentMatcherName,
+                                  kNaiveBayesName};
+  if (county_active) out.push_back(kCountyRecognizerName);
+  return out;
+}
+
+std::vector<std::string> AllLearners(bool county_active) {
+  std::vector<std::string> out = NonXmlLearners(county_active);
+  out.push_back(kXmlLearnerName);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> Combinations(size_t n, size_t k) {
+  std::vector<std::vector<size_t>> out;
+  if (k > n) return out;
+  std::vector<size_t> current(k);
+  for (size_t i = 0; i < k; ++i) current[i] = i;
+  while (true) {
+    out.push_back(current);
+    // Advance to the next combination.
+    size_t i = k;
+    while (i-- > 0) {
+      if (current[i] != i + n - k) {
+        ++current[i];
+        for (size_t j = i + 1; j < k; ++j) current[j] = current[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return out;
+    }
+  }
+}
+
+std::vector<SystemVariant> BaseLearnerVariants(bool county_active) {
+  std::vector<SystemVariant> out;
+  for (const std::string& learner : NonXmlLearners(county_active)) {
+    SystemVariant v;
+    v.name = "base:" + learner;
+    v.options.learners = {learner};
+    v.options.use_meta_learner = false;
+    v.options.use_constraint_handler = false;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<SystemVariant> Figure8aVariants(bool county_active) {
+  std::vector<SystemVariant> out = BaseLearnerVariants(county_active);
+  {
+    SystemVariant v;
+    v.name = "meta";
+    v.options.learners = NonXmlLearners(county_active);
+    v.options.use_meta_learner = true;
+    v.options.use_constraint_handler = false;
+    out.push_back(std::move(v));
+  }
+  {
+    SystemVariant v;
+    v.name = "meta+constraints";
+    v.options.learners = NonXmlLearners(county_active);
+    v.options.use_meta_learner = true;
+    v.options.use_constraint_handler = true;
+    out.push_back(std::move(v));
+  }
+  {
+    SystemVariant v;
+    v.name = "full";  // meta + constraints + XML learner
+    v.options.learners = AllLearners(county_active);
+    v.options.use_meta_learner = true;
+    v.options.use_constraint_handler = true;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<SystemVariant> LesionVariants(bool county_active) {
+  std::vector<SystemVariant> out;
+  auto all = AllLearners(county_active);
+  auto without = [&](const std::string& dropped) {
+    std::vector<std::string> kept;
+    for (const std::string& learner : all) {
+      if (learner != dropped) kept.push_back(learner);
+    }
+    return kept;
+  };
+  for (const char* dropped :
+       {kNameMatcherName, kNaiveBayesName, kContentMatcherName}) {
+    SystemVariant v;
+    v.name = std::string("without-") + dropped;
+    v.options.learners = without(dropped);
+    out.push_back(std::move(v));
+  }
+  {
+    SystemVariant v;
+    v.name = "without-constraint-handler";
+    v.options.learners = all;
+    v.options.use_constraint_handler = false;
+    out.push_back(std::move(v));
+  }
+  {
+    SystemVariant v;
+    v.name = "full";
+    v.options.learners = all;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+std::vector<SystemVariant> SchemaVsDataVariants(bool county_active) {
+  std::vector<SystemVariant> out;
+  {
+    // Schema information only: the name matcher plus schema constraints.
+    SystemVariant v;
+    v.name = "schema-only";
+    v.options.learners = {kNameMatcherName};
+    v.options.constraint_filter = ConstraintFilter::kSchemaOnly;
+    out.push_back(std::move(v));
+  }
+  {
+    // Data information only: the content learners plus data constraints.
+    SystemVariant v;
+    v.name = "data-only";
+    v.options.learners = {kContentMatcherName, kNaiveBayesName,
+                          kXmlLearnerName};
+    if (county_active) {
+      v.options.learners.push_back(kCountyRecognizerName);
+    }
+    v.options.constraint_filter = ConstraintFilter::kDataOnly;
+    out.push_back(std::move(v));
+  }
+  {
+    SystemVariant v;
+    v.name = "full";
+    v.options.learners = AllLearners(county_active);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+LsdConfig ConfigForDomain(const std::string& domain_name,
+                          const LsdConfig& base) {
+  LsdConfig config = base;
+  config.use_county_recognizer = IsRealEstate(domain_name);
+  config.county_label = "COUNTY";
+  return config;
+}
+
+StatusOr<VariantStats> RunDomainExperiment(
+    const std::string& domain_name, const ExperimentConfig& config,
+    const std::vector<SystemVariant>& variants) {
+  VariantStats stats;
+  LsdConfig lsd_config = ConfigForDomain(domain_name, config.lsd);
+  bool county_active = lsd_config.use_county_recognizer;
+  // Validate variant learner names against the active roster up front so a
+  // typo fails loudly rather than skewing results.
+  for (const SystemVariant& variant : variants) {
+    for (const std::string& learner : variant.options.learners) {
+      if (learner == kCountyRecognizerName && !county_active) {
+        return Status::InvalidArgument(
+            "variant '" + variant.name +
+            "' uses the county recognizer, inactive in domain " + domain_name);
+      }
+    }
+  }
+
+  std::vector<std::vector<size_t>> splits =
+      Combinations(config.num_sources, config.train_count);
+
+  for (size_t sample = 0; sample < config.samples; ++sample) {
+    // Fixed structure seed (the sources' schemas stay put across samples);
+    // fresh data seed per sample.
+    LSD_ASSIGN_OR_RETURN(DomainSpec spec, GetDomainSpec(domain_name));
+    Domain domain =
+        RealizeDomain(spec, config.num_sources, config.num_listings,
+                      config.seed, config.seed + 7919 * (sample + 1));
+
+    for (const std::vector<size_t>& train_set : splits) {
+      LsdSystem system(domain.mediated, lsd_config, &domain.synonyms);
+      if (config.install_constraints) {
+        for (auto& constraint : MakeDomainConstraints(domain)) {
+          system.AddConstraint(std::move(constraint));
+        }
+      }
+      for (size_t index : train_set) {
+        LSD_RETURN_IF_ERROR(system.AddTrainingSource(
+            domain.sources[index].source, domain.sources[index].gold));
+      }
+      LSD_RETURN_IF_ERROR(system.Train());
+
+      for (size_t test = 0; test < domain.sources.size(); ++test) {
+        if (std::find(train_set.begin(), train_set.end(), test) !=
+            train_set.end()) {
+          continue;
+        }
+        const GeneratedSource& held_out = domain.sources[test];
+        LSD_ASSIGN_OR_RETURN(SourcePredictions predictions,
+                             system.PredictSource(held_out.source));
+        for (const SystemVariant& variant : variants) {
+          LSD_ASSIGN_OR_RETURN(
+              MatchResult result,
+              system.MatchWithPredictions(predictions, held_out.source,
+                                          variant.options));
+          stats[variant.name].Add(
+              MatchingAccuracy(result.mapping, held_out.gold));
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+DomainStats ComputeDomainStats(const Domain& domain) {
+  DomainStats out;
+  out.name = domain.name;
+  out.mediated_tags = domain.mediated.AllTags().size();
+  out.mediated_non_leaf = domain.mediated.NonLeafTags().size();
+  out.mediated_depth = domain.mediated.MaxDepth();
+  out.num_sources = domain.sources.size();
+  bool first = true;
+  for (const GeneratedSource& gen : domain.sources) {
+    size_t tags = gen.source.schema.AllTags().size();
+    size_t non_leaf = gen.source.schema.NonLeafTags().size();
+    size_t depth = gen.source.schema.MaxDepth();
+    size_t listings = gen.source.listings.size();
+    size_t matchable = 0;
+    for (const auto& [tag, label] : gen.gold.entries()) {
+      if (label != "OTHER") ++matchable;
+    }
+    double pct = gen.gold.empty()
+                     ? 0.0
+                     : 100.0 * static_cast<double>(matchable) /
+                           static_cast<double>(gen.gold.size());
+    if (first) {
+      out.min_tags = out.max_tags = tags;
+      out.min_non_leaf = out.max_non_leaf = non_leaf;
+      out.min_depth = out.max_depth = depth;
+      out.min_listings = out.max_listings = listings;
+      out.min_matchable_pct = out.max_matchable_pct = pct;
+      first = false;
+    } else {
+      out.min_tags = std::min(out.min_tags, tags);
+      out.max_tags = std::max(out.max_tags, tags);
+      out.min_non_leaf = std::min(out.min_non_leaf, non_leaf);
+      out.max_non_leaf = std::max(out.max_non_leaf, non_leaf);
+      out.min_depth = std::min(out.min_depth, depth);
+      out.max_depth = std::max(out.max_depth, depth);
+      out.min_listings = std::min(out.min_listings, listings);
+      out.max_listings = std::max(out.max_listings, listings);
+      out.min_matchable_pct = std::min(out.min_matchable_pct, pct);
+      out.max_matchable_pct = std::max(out.max_matchable_pct, pct);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd

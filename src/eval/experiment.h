@@ -1,0 +1,93 @@
+#ifndef LSD_EVAL_EXPERIMENT_H_
+#define LSD_EVAL_EXPERIMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lsd_config.h"
+#include "datagen/domains.h"
+#include "eval/metrics.h"
+
+namespace lsd {
+
+/// One system configuration to evaluate — a named MatchOptions bundle.
+/// Because variants share the trained base learners, a whole family of
+/// configurations (Figure 8a's four bars, Figure 9's lesions) is scored
+/// from each training run.
+struct SystemVariant {
+  std::string name;
+  MatchOptions options;
+};
+
+/// Parameters of the Section 6 protocol.
+struct ExperimentConfig {
+  /// Sources per domain (paper: 5).
+  size_t num_sources = 5;
+  /// Listings generated per source.
+  size_t num_listings = 150;
+  /// Independent data samples (paper: 3; each re-samples listings while
+  /// keeping the source schemas fixed).
+  size_t samples = 3;
+  /// Training sources per run (paper: 3 train / 2 test, all 10 subsets).
+  size_t train_count = 3;
+  /// Master seed for domain realization.
+  uint64_t seed = 7;
+  /// Base LSD configuration (the learner roster is adjusted per domain:
+  /// the county recognizer activates on real-estate domains).
+  LsdConfig lsd;
+  /// Register the domain's standing constraints with each trained system.
+  bool install_constraints = true;
+};
+
+/// Accuracy statistics per variant name.
+using VariantStats = std::map<std::string, RunningStat>;
+
+/// Runs the full protocol on one domain: for every data sample and every
+/// C(num_sources, train_count) training subset, trains LSD once and scores
+/// every variant on each held-out source. Returns mean accuracy stats per
+/// variant.
+StatusOr<VariantStats> RunDomainExperiment(
+    const std::string& domain_name, const ExperimentConfig& config,
+    const std::vector<SystemVariant>& variants);
+
+/// All k-subsets of {0..n-1} in lexicographic order.
+std::vector<std::vector<size_t>> Combinations(size_t n, size_t k);
+
+/// The standard variant families.
+/// Single-base-learner variants ("base:<learner>"), no meta, no handler.
+std::vector<SystemVariant> BaseLearnerVariants(bool county_active);
+/// The four Figure 8a configurations (plus the base variants needed to
+/// compute "best base learner").
+std::vector<SystemVariant> Figure8aVariants(bool county_active);
+/// Figure 9a lesion variants: full system minus one component at a time.
+std::vector<SystemVariant> LesionVariants(bool county_active);
+/// Figure 9b: schema-information-only, data-information-only, and full.
+std::vector<SystemVariant> SchemaVsDataVariants(bool county_active);
+
+/// Table 3 row: structural statistics of a realized domain.
+struct DomainStats {
+  std::string name;
+  size_t mediated_tags = 0;
+  size_t mediated_non_leaf = 0;
+  size_t mediated_depth = 0;
+  size_t num_sources = 0;
+  size_t min_listings = 0, max_listings = 0;
+  size_t min_tags = 0, max_tags = 0;
+  size_t min_non_leaf = 0, max_non_leaf = 0;
+  size_t min_depth = 0, max_depth = 0;
+  /// Percent of source tags with a 1-1 match, min/max across sources.
+  double min_matchable_pct = 0.0, max_matchable_pct = 0.0;
+};
+
+DomainStats ComputeDomainStats(const Domain& domain);
+
+/// Applies the per-domain learner-roster tweaks (county recognizer on the
+/// real-estate domains) to a base config.
+LsdConfig ConfigForDomain(const std::string& domain_name,
+                          const LsdConfig& base);
+
+}  // namespace lsd
+
+#endif  // LSD_EVAL_EXPERIMENT_H_

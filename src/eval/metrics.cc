@@ -1,0 +1,41 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "ml/prediction.h"
+
+namespace lsd {
+
+AccuracyBreakdown ScoreMapping(const Mapping& predicted, const Mapping& gold) {
+  AccuracyBreakdown out;
+  for (const auto& [tag, gold_label] : gold.entries()) {
+    ++out.total_tags;
+    std::string predicted_label = predicted.LabelOrOther(tag);
+    if (gold_label == kOtherLabel) {
+      ++out.other_total;
+      if (predicted_label == gold_label) ++out.other_correct;
+      continue;
+    }
+    ++out.matchable;
+    if (predicted_label == gold_label) ++out.correct;
+  }
+  return out;
+}
+
+double MatchingAccuracy(const Mapping& predicted, const Mapping& gold) {
+  return ScoreMapping(predicted, gold).accuracy();
+}
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+}  // namespace lsd

@@ -1,0 +1,57 @@
+#ifndef LSD_EVAL_METRICS_H_
+#define LSD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "schema/schema.h"
+
+namespace lsd {
+
+/// Per-source accuracy breakdown.
+struct AccuracyBreakdown {
+  /// Tags whose gold label is not OTHER (the "matchable" tags of
+  /// Section 6's metric).
+  size_t matchable = 0;
+  /// Matchable tags whose predicted label equals the gold label.
+  size_t correct = 0;
+  /// Total tags in the gold mapping.
+  size_t total_tags = 0;
+  /// Unmatchable (gold = OTHER) tags correctly mapped to OTHER.
+  size_t other_correct = 0;
+  size_t other_total = 0;
+
+  /// correct / matchable in [0, 1]; 1.0 when nothing is matchable.
+  double accuracy() const {
+    if (matchable == 0) return 1.0;
+    return static_cast<double>(correct) / static_cast<double>(matchable);
+  }
+};
+
+/// Scores `predicted` against `gold` with the paper's metric: the
+/// percentage of matchable source-schema tags (gold label != OTHER) that
+/// are matched correctly. Tags missing from `predicted` count as wrong.
+AccuracyBreakdown ScoreMapping(const Mapping& predicted, const Mapping& gold);
+
+/// Shorthand for ScoreMapping(...).accuracy().
+double MatchingAccuracy(const Mapping& predicted, const Mapping& gold);
+
+/// Streaming mean/min/max accumulator for accuracy series.
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_EVAL_METRICS_H_

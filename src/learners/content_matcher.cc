@@ -1,0 +1,41 @@
+#include "learners/content_matcher.h"
+
+#include "text/tokenizer.h"
+
+namespace lsd {
+
+Status ContentMatcher::Train(const std::vector<TrainingExample>& examples,
+                             const LabelSpace& labels) {
+  n_labels_ = labels.size();
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int> train_labels;
+  documents.reserve(examples.size());
+  train_labels.reserve(examples.size());
+  for (const TrainingExample& example : examples) {
+    documents.push_back(Tokenize(example.instance.content));
+    train_labels.push_back(example.label);
+  }
+  whirl_ = WhirlClassifier(options_);
+  return whirl_.Train(documents, train_labels, n_labels_);
+}
+
+Prediction ContentMatcher::Predict(const Instance& instance) const {
+  if (!whirl_.trained()) return Prediction::Uniform(n_labels_);
+  return whirl_.Predict(Tokenize(instance.content));
+}
+
+StatusOr<std::string> ContentMatcher::SerializeModel() const {
+  if (!whirl_.trained()) {
+    return Status::FailedPrecondition("content-matcher: not trained");
+  }
+  return whirl_.Serialize();
+}
+
+Status ContentMatcher::LoadModel(std::string_view text) {
+  LSD_ASSIGN_OR_RETURN(whirl_, WhirlClassifier::Deserialize(text));
+  n_labels_ = whirl_.label_count();
+  return Status::OK();
+}
+
+
+}  // namespace lsd

@@ -1,0 +1,44 @@
+#ifndef LSD_LEARNERS_CONTENT_MATCHER_H_
+#define LSD_LEARNERS_CONTENT_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "ml/whirl.h"
+
+namespace lsd {
+
+/// The Content Matcher of Section 3.3: Whirl nearest-neighbour
+/// classification over the element's data content instead of its name.
+/// Strong on long textual elements (descriptions) and elements with
+/// distinctive value vocabularies (colors); weak on short numeric fields.
+class ContentMatcher : public BaseLearner {
+ public:
+  explicit ContentMatcher(WhirlOptions options = WhirlOptions())
+      : options_(options), whirl_(options) {}
+
+  std::string name() const override { return "content-matcher"; }
+
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override;
+
+  Prediction Predict(const Instance& instance) const override;
+
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<ContentMatcher>(options_);
+  }
+
+  StatusOr<std::string> SerializeModel() const override;
+  Status LoadModel(std::string_view text) override;
+
+ private:
+  WhirlOptions options_;
+  WhirlClassifier whirl_;
+  size_t n_labels_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_LEARNERS_CONTENT_MATCHER_H_

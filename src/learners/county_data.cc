@@ -1,0 +1,60 @@
+#include "learners/county_recognizer.h"
+
+namespace lsd {
+
+// A representative sample of real US county names (lower-case, without
+// the word "county"). The paper's recognizer consulted a Web-extracted
+// database; this built-in list provides the same lookup semantics.
+const std::vector<std::string>& UsCountyNames() {
+  static const std::vector<std::string>* const kCounties =
+      new std::vector<std::string>{
+          "king",        "pierce",      "snohomish",  "spokane",
+          "clark",       "thurston",    "kitsap",     "yakima",
+          "whatcom",     "benton",      "skagit",     "cowlitz",
+          "island",      "chelan",      "douglas",    "grant",
+          "miami-dade",  "broward",     "palm beach", "hillsborough",
+          "orange",      "pinellas",    "duval",      "polk",
+          "brevard",     "volusia",     "pasco",      "seminole",
+          "sarasota",    "marion",      "lake",       "collier",
+          "los angeles", "san diego",   "riverside",  "san bernardino",
+          "santa clara", "alameda",     "sacramento", "contra costa",
+          "fresno",      "ventura",     "kern",       "san francisco",
+          "san mateo",   "stanislaus",  "sonoma",     "tulare",
+          "cook",        "dupage",      "will",       "kane",
+          "mclean",      "peoria",      "sangamon",   "champaign",
+          "harris",      "dallas",      "tarrant",    "bexar",
+          "travis",      "collin",      "denton",     "el paso",
+          "hidalgo",     "fort bend",   "montgomery", "williamson",
+          "maricopa",    "pima",        "pinal",      "yavapai",
+          "suffolk",     "nassau",      "westchester", "erie",
+          "monroe",      "onondaga",    "rockland",   "albany",
+          "middlesex",   "worcester",   "essex",      "norfolk",
+          "plymouth",    "bristol",     "hampden",    "barnstable",
+          "wayne",       "oakland",     "macomb",     "kent",
+          "genesee",     "washtenaw",   "ingham",     "ottawa",
+          "cuyahoga",    "franklin",    "hamilton",   "summit",
+          "lucas",       "stark",       "butler",     "lorain",
+          "philadelphia", "allegheny",  "bucks",      "delaware",
+          "chester",     "lancaster",   "york",       "berks",
+          "hennepin",    "ramsey",      "dakota",     "anoka",
+          "fulton",      "gwinnett",    "cobb",       "dekalb",
+          "chatham",     "clayton",     "cherokee",   "forsyth",
+          "mecklenburg", "wake",        "guilford",   "durham",
+          "cumberland",  "buncombe",    "union",      "gaston",
+          "jefferson",   "shelby",      "davidson",   "knox",
+          "arapahoe",    "denver",      "boulder",    "larimer",
+          "adams",       "weld",        "pueblo",     "mesa",
+          "salt lake",   "utah",        "davis",      "weber",
+          "multnomah",   "washington",  "clackamas",  "lane",
+          "marion",      "jackson",     "deschutes",  "linn",
+          "fairfax",     "prince william", "loudoun", "henrico",
+          "chesterfield", "virginia beach", "arlington", "richmond",
+          "baltimore",   "prince george", "anne arundel", "howard",
+          "st. louis",   "greene",      "clay",       "boone",
+          "milwaukee",   "dane",        "waukesha",   "brown",
+          "racine",      "outagamie",   "winnebago",  "kenosha",
+      };
+  return *kCounties;
+}
+
+}  // namespace lsd

@@ -1,0 +1,86 @@
+#include "learners/county_recognizer.h"
+
+#include "common/serial.h"
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace lsd {
+
+CountyRecognizer::CountyRecognizer(std::string target_label,
+                                   const std::vector<std::string>* dictionary)
+    : target_label_(std::move(target_label)) {
+  const std::vector<std::string>& names =
+      dictionary != nullptr ? *dictionary : UsCountyNames();
+  for (const std::string& name : names) {
+    dictionary_.insert(ToLower(name));
+    // Also index individual words of multi-word county names so "palm" and
+    // "beach" each count.
+    for (const std::string& word : SplitAny(name, " -.")) {
+      dictionary_.insert(ToLower(word));
+    }
+  }
+}
+
+Status CountyRecognizer::Train(const std::vector<TrainingExample>& examples,
+                               const LabelSpace& labels) {
+  (void)examples;  // the dictionary is fixed; training only binds the label
+  n_labels_ = labels.size();
+  target_index_ = labels.IndexOf(target_label_);
+  return Status::OK();
+}
+
+double CountyRecognizer::RecognitionScore(const std::string& content) const {
+  TokenizerOptions options;
+  options.stem = false;
+  options.keep_symbols = false;
+  options.keep_numbers = false;
+  std::vector<std::string> words = Tokenize(content, options);
+  if (words.empty()) return 0.0;
+  size_t hits = 0;
+  for (const std::string& word : words) {
+    if (dictionary_.count(word) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(words.size());
+}
+
+Prediction CountyRecognizer::Predict(const Instance& instance) const {
+  Prediction out = Prediction::Uniform(n_labels_);
+  if (target_index_ < 0 || n_labels_ == 0) return out;
+  double score = RecognitionScore(instance.content);
+  // Blend: a full match puts 0.9 on the target label; a non-match spreads
+  // the target's uniform share over the other labels.
+  double target_mass = 0.9 * score;
+  double rest = (1.0 - target_mass) / static_cast<double>(n_labels_ - 1);
+  for (size_t c = 0; c < n_labels_; ++c) {
+    out.scores[c] =
+        static_cast<int>(c) == target_index_ ? target_mass : rest;
+  }
+  out.Normalize();
+  return out;
+}
+
+std::unique_ptr<BaseLearner> CountyRecognizer::CloneUntrained() const {
+  auto clone = std::make_unique<CountyRecognizer>(target_label_);
+  clone->dictionary_ = dictionary_;
+  return clone;
+}
+
+StatusOr<std::string> CountyRecognizer::SerializeModel() const {
+  // The dictionary is built-in; only the label binding is state.
+  return StrFormat("county 1 %s %zu %d\n", target_label_.c_str(), n_labels_,
+                   target_index_);
+}
+
+Status CountyRecognizer::LoadModel(std::string_view text) {
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                       reader.Expect("county", 5));
+  if (fields[1] != "1") return Status::ParseError("county: unknown version");
+  target_label_ = fields[2];
+  LSD_ASSIGN_OR_RETURN(n_labels_, FieldToSize(fields[3]));
+  LSD_ASSIGN_OR_RETURN(target_index_, FieldToInt(fields[4]));
+  return Status::OK();
+}
+
+
+}  // namespace lsd

@@ -1,0 +1,117 @@
+#include "learners/format_learner.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+// Buckets a run length: exact up to 4, then "5+".
+std::string LengthBucket(size_t n) {
+  if (n <= 4) return std::to_string(n);
+  return "5+";
+}
+
+// Character-class signature of one token: letter runs → A<len>,
+// digit runs → 9<len>, other chars verbatim.
+std::string Signature(std::string_view word) {
+  std::string out;
+  size_t i = 0;
+  while (i < word.size()) {
+    unsigned char c = static_cast<unsigned char>(word[i]);
+    if (std::isalpha(c)) {
+      size_t start = i;
+      while (i < word.size() &&
+             std::isalpha(static_cast<unsigned char>(word[i]))) {
+        ++i;
+      }
+      out += "A" + LengthBucket(i - start);
+    } else if (std::isdigit(c)) {
+      size_t start = i;
+      while (i < word.size() &&
+             std::isdigit(static_cast<unsigned char>(word[i]))) {
+        ++i;
+      }
+      out += "9" + LengthBucket(i - start);
+    } else {
+      out += word[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> FormatLearner::FormatTokens(
+    const std::string& content) {
+  std::vector<std::string> out;
+  std::vector<std::string> words = SplitAny(content, " \t\n\r");
+  size_t letters = 0, digits = 0, symbols = 0;
+  for (const std::string& word : words) {
+    out.push_back("sig:" + Signature(word));
+    for (char ch : word) {
+      unsigned char c = static_cast<unsigned char>(ch);
+      if (std::isalpha(c)) {
+        ++letters;
+      } else if (std::isdigit(c)) {
+        ++digits;
+      } else {
+        ++symbols;
+      }
+    }
+  }
+  // Whole-value indicators.
+  out.push_back("words:" + LengthBucket(words.size()));
+  size_t total = letters + digits + symbols;
+  if (total > 0) {
+    if (digits == 0) {
+      out.push_back("type:alpha");
+    } else if (letters == 0) {
+      out.push_back("type:numeric");
+    } else {
+      out.push_back("type:mixed");
+    }
+    if (digits * 2 > total) out.push_back("type:digit-heavy");
+  } else {
+    out.push_back("type:empty");
+  }
+  return out;
+}
+
+Status FormatLearner::Train(const std::vector<TrainingExample>& examples,
+                            const LabelSpace& labels) {
+  n_labels_ = labels.size();
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int> train_labels;
+  documents.reserve(examples.size());
+  train_labels.reserve(examples.size());
+  for (const TrainingExample& example : examples) {
+    documents.push_back(FormatTokens(example.instance.content));
+    train_labels.push_back(example.label);
+  }
+  classifier_ = NaiveBayesClassifier(alpha_);
+  return classifier_.Train(documents, train_labels, n_labels_);
+}
+
+Prediction FormatLearner::Predict(const Instance& instance) const {
+  if (!classifier_.trained()) return Prediction::Uniform(n_labels_);
+  return classifier_.Predict(FormatTokens(instance.content));
+}
+
+StatusOr<std::string> FormatLearner::SerializeModel() const {
+  if (!classifier_.trained()) {
+    return Status::FailedPrecondition("format-learner: not trained");
+  }
+  return classifier_.Serialize();
+}
+
+Status FormatLearner::LoadModel(std::string_view text) {
+  LSD_ASSIGN_OR_RETURN(classifier_, NaiveBayesClassifier::Deserialize(text));
+  n_labels_ = classifier_.label_count();
+  return Status::OK();
+}
+
+
+}  // namespace lsd

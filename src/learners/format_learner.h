@@ -1,0 +1,54 @@
+#ifndef LSD_LEARNERS_FORMAT_LEARNER_H_
+#define LSD_LEARNERS_FORMAT_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "ml/naive_bayes.h"
+
+namespace lsd {
+
+/// The format learner suggested in the paper's Section 7 as future work:
+/// it classifies an element by the *shape* of its values rather than
+/// their vocabulary, which is exactly what short alpha-numeric fields
+/// like course codes ("CSE142"), zip codes, and phone numbers need.
+/// Values are abstracted into character-class signatures — letters → 'A',
+/// digits → '9', other characters kept verbatim, runs collapsed with their
+/// length bucketed — and a Naive Bayes model is trained over signature
+/// tokens. "CSE142" → "A3 9 3" signature tokens; "(206) 523 4719" →
+/// "(9)3 9 3 9 4"-style tokens.
+class FormatLearner : public BaseLearner {
+ public:
+  explicit FormatLearner(double alpha = 0.1)
+      : alpha_(alpha), classifier_(alpha) {}
+
+  std::string name() const override { return "format-learner"; }
+
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override;
+
+  Prediction Predict(const Instance& instance) const override;
+
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<FormatLearner>(alpha_);
+  }
+
+  StatusOr<std::string> SerializeModel() const override;
+  Status LoadModel(std::string_view text) override;
+
+  /// The format-feature token bag derived from a content string; exposed
+  /// for tests. Includes the whole-value signature, per-word signatures,
+  /// and coarse length/type indicator tokens.
+  static std::vector<std::string> FormatTokens(const std::string& content);
+
+ private:
+  double alpha_;
+  NaiveBayesClassifier classifier_;
+  size_t n_labels_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_LEARNERS_FORMAT_LEARNER_H_

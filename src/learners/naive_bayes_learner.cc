@@ -1,0 +1,41 @@
+#include "learners/naive_bayes_learner.h"
+
+#include "text/tokenizer.h"
+
+namespace lsd {
+
+Status NaiveBayesLearner::Train(const std::vector<TrainingExample>& examples,
+                                const LabelSpace& labels) {
+  n_labels_ = labels.size();
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int> train_labels;
+  documents.reserve(examples.size());
+  train_labels.reserve(examples.size());
+  for (const TrainingExample& example : examples) {
+    documents.push_back(Tokenize(example.instance.content));
+    train_labels.push_back(example.label);
+  }
+  classifier_ = NaiveBayesClassifier(alpha_);
+  return classifier_.Train(documents, train_labels, n_labels_);
+}
+
+Prediction NaiveBayesLearner::Predict(const Instance& instance) const {
+  if (!classifier_.trained()) return Prediction::Uniform(n_labels_);
+  return classifier_.Predict(Tokenize(instance.content));
+}
+
+StatusOr<std::string> NaiveBayesLearner::SerializeModel() const {
+  if (!classifier_.trained()) {
+    return Status::FailedPrecondition("naive-bayes: not trained");
+  }
+  return classifier_.Serialize();
+}
+
+Status NaiveBayesLearner::LoadModel(std::string_view text) {
+  LSD_ASSIGN_OR_RETURN(classifier_, NaiveBayesClassifier::Deserialize(text));
+  n_labels_ = classifier_.label_count();
+  return Status::OK();
+}
+
+
+}  // namespace lsd

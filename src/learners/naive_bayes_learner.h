@@ -1,0 +1,45 @@
+#ifndef LSD_LEARNERS_NAIVE_BAYES_LEARNER_H_
+#define LSD_LEARNERS_NAIVE_BAYES_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "ml/naive_bayes.h"
+
+namespace lsd {
+
+/// The Naive Bayes learner of Section 3.3: treats an element's data
+/// content as a bag of parsed and stemmed tokens and classifies with
+/// multinomial Naive Bayes. Strong when token frequencies are indicative
+/// ("beautiful", "great" in house descriptions); weak on short numeric
+/// fields.
+class NaiveBayesLearner : public BaseLearner {
+ public:
+  explicit NaiveBayesLearner(double alpha = 0.1)
+      : alpha_(alpha), classifier_(alpha) {}
+
+  std::string name() const override { return "naive-bayes"; }
+
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override;
+
+  Prediction Predict(const Instance& instance) const override;
+
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<NaiveBayesLearner>(alpha_);
+  }
+
+  StatusOr<std::string> SerializeModel() const override;
+  Status LoadModel(std::string_view text) override;
+
+ private:
+  double alpha_;
+  NaiveBayesClassifier classifier_;
+  size_t n_labels_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_LEARNERS_NAIVE_BAYES_LEARNER_H_

@@ -1,0 +1,55 @@
+#include "learners/name_matcher.h"
+
+#include "text/tokenizer.h"
+
+namespace lsd {
+
+std::vector<std::string> NameMatcher::NameTokens(const Instance& instance) {
+  // The element's own name is the strongest signal; path context and
+  // synonyms are appended so TF/IDF weighting can still use them.
+  std::vector<std::string> tokens = TokenizeName(instance.tag_name);
+  // Repeat own-name tokens to up-weight them against path context.
+  std::vector<std::string> own = tokens;
+  tokens.insert(tokens.end(), own.begin(), own.end());
+  std::vector<std::string> path = TokenizeName(instance.name_path);
+  tokens.insert(tokens.end(), path.begin(), path.end());
+  std::vector<std::string> synonyms = TokenizeName(instance.name_synonyms);
+  tokens.insert(tokens.end(), synonyms.begin(), synonyms.end());
+  return tokens;
+}
+
+Status NameMatcher::Train(const std::vector<TrainingExample>& examples,
+                          const LabelSpace& labels) {
+  n_labels_ = labels.size();
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int> train_labels;
+  documents.reserve(examples.size());
+  train_labels.reserve(examples.size());
+  for (const TrainingExample& example : examples) {
+    documents.push_back(NameTokens(example.instance));
+    train_labels.push_back(example.label);
+  }
+  whirl_ = WhirlClassifier(options_);
+  return whirl_.Train(documents, train_labels, n_labels_);
+}
+
+Prediction NameMatcher::Predict(const Instance& instance) const {
+  if (!whirl_.trained()) return Prediction::Uniform(n_labels_);
+  return whirl_.Predict(NameTokens(instance));
+}
+
+StatusOr<std::string> NameMatcher::SerializeModel() const {
+  if (!whirl_.trained()) {
+    return Status::FailedPrecondition("name-matcher: not trained");
+  }
+  return whirl_.Serialize();
+}
+
+Status NameMatcher::LoadModel(std::string_view text) {
+  LSD_ASSIGN_OR_RETURN(whirl_, WhirlClassifier::Deserialize(text));
+  n_labels_ = whirl_.label_count();
+  return Status::OK();
+}
+
+
+}  // namespace lsd

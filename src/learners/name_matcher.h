@@ -1,0 +1,50 @@
+#ifndef LSD_LEARNERS_NAME_MATCHER_H_
+#define LSD_LEARNERS_NAME_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "ml/whirl.h"
+
+namespace lsd {
+
+/// The Name Matcher of Section 3.3: classifies an XML element from its tag
+/// name, expanded with synonyms and with all tag names on the path from
+/// the root. Uses the Whirl TF/IDF nearest-neighbour model, so "listed-price"
+/// lands near a stored "price" even without an exact match. Weak on
+/// vacuous ("item") or unshared names — by design; the meta-learner learns
+/// when to discount it.
+class NameMatcher : public BaseLearner {
+ public:
+  explicit NameMatcher(WhirlOptions options = WhirlOptions())
+      : options_(options), whirl_(options) {}
+
+  std::string name() const override { return "name-matcher"; }
+
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override;
+
+  Prediction Predict(const Instance& instance) const override;
+
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<NameMatcher>(options_);
+  }
+
+  StatusOr<std::string> SerializeModel() const override;
+  Status LoadModel(std::string_view text) override;
+
+  /// The token bag the matcher derives from an instance's name features;
+  /// exposed for tests.
+  static std::vector<std::string> NameTokens(const Instance& instance);
+
+ private:
+  WhirlOptions options_;
+  WhirlClassifier whirl_;
+  size_t n_labels_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_LEARNERS_NAME_MATCHER_H_

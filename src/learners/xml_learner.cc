@@ -1,0 +1,101 @@
+#include "learners/xml_learner.h"
+
+#include "text/tokenizer.h"
+
+namespace lsd {
+namespace {
+
+// The generic root label of Table 2 step 1(b).
+constexpr const char* kGenericRoot = "d";
+
+std::string LabelForNode(const XmlNode& node, const NodeLabeler* labeler) {
+  if (labeler != nullptr) {
+    std::string label = labeler->LabelOf(node.name);
+    if (!label.empty()) return label;
+  }
+  return node.name;
+}
+
+// Emits tokens for `node`, whose enclosing element carries `parent_label`.
+void EmitTokens(const XmlNode& node, const std::string& parent_label,
+                const NodeLabeler* labeler, std::vector<std::string>* out) {
+  std::string label = LabelForNode(node, labeler);
+  // Node token for this (non-root) element.
+  out->push_back("n:" + label);
+  // Edge token parent → this element.
+  out->push_back("e:" + parent_label + ">" + label);
+  // Text tokens and label → word edge tokens for direct text.
+  for (const std::string& word : Tokenize(node.text)) {
+    out->push_back("w:" + word);
+    out->push_back("e:" + label + ">" + word);
+  }
+  for (const XmlNode& child : node.children) {
+    EmitTokens(child, label, labeler, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> XmlLearner::StructureTokens(const XmlNode& node,
+                                                     const NodeLabeler* labeler) {
+  std::vector<std::string> out;
+  // The instance's own root is replaced by the generic root d; its direct
+  // text contributes text tokens and d→word edges.
+  for (const std::string& word : Tokenize(node.text)) {
+    out.push_back("w:" + word);
+    out.push_back(std::string("e:") + kGenericRoot + ">" + word);
+  }
+  for (const XmlNode& child : node.children) {
+    EmitTokens(child, kGenericRoot, labeler, &out);
+  }
+  return out;
+}
+
+std::vector<std::string> XmlLearner::TokensFor(const Instance& instance) const {
+  if (instance.node != nullptr) {
+    return StructureTokens(*instance.node, labeler_);
+  }
+  // Fallback when no tree is available: text tokens only (reduces to the
+  // Naive Bayes learner's view).
+  std::vector<std::string> out;
+  for (const std::string& word : Tokenize(instance.content)) {
+    out.push_back("w:" + word);
+  }
+  return out;
+}
+
+Status XmlLearner::Train(const std::vector<TrainingExample>& examples,
+                         const LabelSpace& labels) {
+  n_labels_ = labels.size();
+  std::vector<std::vector<std::string>> documents;
+  std::vector<int> train_labels;
+  documents.reserve(examples.size());
+  train_labels.reserve(examples.size());
+  for (const TrainingExample& example : examples) {
+    documents.push_back(TokensFor(example.instance));
+    train_labels.push_back(example.label);
+  }
+  classifier_ = NaiveBayesClassifier(alpha_);
+  return classifier_.Train(documents, train_labels, n_labels_);
+}
+
+Prediction XmlLearner::Predict(const Instance& instance) const {
+  if (!classifier_.trained()) return Prediction::Uniform(n_labels_);
+  return classifier_.Predict(TokensFor(instance));
+}
+
+StatusOr<std::string> XmlLearner::SerializeModel() const {
+  if (!classifier_.trained()) {
+    return Status::FailedPrecondition("xml-learner: not trained");
+  }
+  return classifier_.Serialize();
+}
+
+Status XmlLearner::LoadModel(std::string_view text) {
+  LSD_ASSIGN_OR_RETURN(classifier_, NaiveBayesClassifier::Deserialize(text));
+  n_labels_ = classifier_.label_count();
+  return Status::OK();
+}
+
+
+}  // namespace lsd

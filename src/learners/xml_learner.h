@@ -1,0 +1,74 @@
+#ifndef LSD_LEARNERS_XML_LEARNER_H_
+#define LSD_LEARNERS_XML_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+#include "ml/naive_bayes.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// Supplies mediated-schema labels for XML sub-elements. The XML learner
+/// (Section 5) replaces each non-root, non-leaf node of an instance's tree
+/// with its label before tokenizing; during training the labels come from
+/// the user's gold mapping, during matching from LSD's own first-pass
+/// predictions. The LSD system implements this interface and keeps it
+/// current across phases.
+class NodeLabeler {
+ public:
+  virtual ~NodeLabeler() = default;
+
+  /// Returns the label for the element `tag_name`, or an empty string when
+  /// unknown (the learner then falls back to the tag name itself).
+  virtual std::string LabelOf(const std::string& tag_name) const = 0;
+};
+
+/// The XML learner of Section 5 (pseudo-code in Table 2): a Naive Bayes
+/// classifier over a bag of *text*, *node*, and *edge* tokens. Text tokens
+/// are the subtree's words; node tokens are the labels of non-root
+/// element nodes; edge tokens join a parent label to a child label or to
+/// a direct text word (e.g. d→AGENT-NAME, WATERFRONT→"yes"). Structure
+/// tokens let it separate classes that share vocabulary but differ in
+/// shape — exactly where flat Naive Bayes fails.
+class XmlLearner : public BaseLearner {
+ public:
+  /// `labeler` may be null: the learner then uses raw tag names as node
+  /// labels, which still captures structure but does not generalize across
+  /// sources. Not owned; must outlive the learner.
+  explicit XmlLearner(const NodeLabeler* labeler = nullptr, double alpha = 0.1)
+      : labeler_(labeler), alpha_(alpha), classifier_(alpha) {}
+
+  std::string name() const override { return "xml-learner"; }
+
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override;
+
+  Prediction Predict(const Instance& instance) const override;
+
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<XmlLearner>(labeler_, alpha_);
+  }
+
+  StatusOr<std::string> SerializeModel() const override;
+  Status LoadModel(std::string_view text) override;
+
+  /// Builds the text/node/edge token bag for an element subtree; exposed
+  /// for tests. `labeler` may be null.
+  static std::vector<std::string> StructureTokens(const XmlNode& node,
+                                                  const NodeLabeler* labeler);
+
+ private:
+  std::vector<std::string> TokensFor(const Instance& instance) const;
+
+  const NodeLabeler* labeler_;
+  double alpha_;
+  NaiveBayesClassifier classifier_;
+  size_t n_labels_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_LEARNERS_XML_LEARNER_H_

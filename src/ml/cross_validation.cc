@@ -1,0 +1,85 @@
+#include "ml/cross_validation.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace lsd {
+
+std::vector<size_t> MakeFoldAssignment(size_t n, size_t folds, uint64_t seed) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+  std::vector<size_t> assignment(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    assignment[order[i]] = folds == 0 ? 0 : i % folds;
+  }
+  return assignment;
+}
+
+std::vector<size_t> MakeGroupedFoldAssignment(const std::vector<int>& group_ids,
+                                              size_t folds, uint64_t seed) {
+  // Distinct groups in first-appearance order.
+  std::vector<int> groups;
+  std::map<int, size_t> group_fold;
+  for (int id : group_ids) {
+    if (group_fold.emplace(id, 0).second) groups.push_back(id);
+  }
+  std::vector<size_t> group_order = MakeFoldAssignment(groups.size(),
+                                                       folds, seed);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    group_fold[groups[g]] = group_order[g];
+  }
+  std::vector<size_t> assignment(group_ids.size());
+  for (size_t i = 0; i < group_ids.size(); ++i) {
+    assignment[i] = group_fold[group_ids[i]];
+  }
+  return assignment;
+}
+
+StatusOr<std::vector<Prediction>> CrossValidatePredictions(
+    const BaseLearner& prototype, const std::vector<TrainingExample>& examples,
+    const LabelSpace& labels, const CrossValidationOptions& options) {
+  if (examples.empty()) {
+    return Status::InvalidArgument("CrossValidate: no examples");
+  }
+  if (!options.group_ids.empty() &&
+      options.group_ids.size() != examples.size()) {
+    return Status::InvalidArgument("CrossValidate: group_ids size mismatch");
+  }
+  size_t folds = std::min(options.folds, examples.size());
+  if (folds == 0) folds = 1;
+  std::vector<Prediction> out(examples.size(),
+                              Prediction::Uniform(labels.size()));
+  if (examples.size() < 2) return out;
+
+  std::vector<size_t> assignment =
+      options.group_ids.empty()
+          ? MakeFoldAssignment(examples.size(), folds, options.seed)
+          : MakeGroupedFoldAssignment(options.group_ids, folds, options.seed);
+
+  for (size_t fold = 0; fold < folds; ++fold) {
+    std::vector<TrainingExample> train_split;
+    std::vector<size_t> held_out;
+    for (size_t i = 0; i < examples.size(); ++i) {
+      if (assignment[i] == fold) {
+        held_out.push_back(i);
+      } else {
+        train_split.push_back(examples[i]);
+      }
+    }
+    if (held_out.empty()) continue;
+    if (train_split.empty()) continue;  // leaves uniform predictions
+    std::unique_ptr<BaseLearner> model = prototype.CloneUntrained();
+    LSD_RETURN_IF_ERROR(model->Train(train_split, labels));
+    for (size_t index : held_out) {
+      out[index] = model->Predict(examples[index].instance);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd

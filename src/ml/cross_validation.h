@@ -1,0 +1,49 @@
+#ifndef LSD_ML_CROSS_VALIDATION_H_
+#define LSD_ML_CROSS_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/learner.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// Options for `CrossValidatePredictions`.
+struct CrossValidationOptions {
+  /// Number of folds `d`; the paper uses d = 5.
+  size_t folds = 5;
+  /// Seed for the random partition of examples into folds.
+  uint64_t seed = 42;
+  /// Optional grouping: examples with the same group id are assigned to
+  /// the same fold. LSD groups by (source, tag) column so that a held-out
+  /// column's tag name never appears in the fold's training data — the
+  /// stacking weights then measure cross-source generalization instead of
+  /// rewarding learners that memorize tag names. Empty = ungrouped.
+  std::vector<int> group_ids;
+};
+
+/// Computes the stacking set CV(L) of Section 3.1 step 5(a): randomly
+/// partitions `examples` into `folds` parts; for each part, trains a fresh
+/// clone of `prototype` on the remaining parts and predicts the held-out
+/// examples. Returns one prediction per input example, in input order.
+/// When there are fewer examples than folds, the fold count is reduced;
+/// with a single example the prediction falls back to uniform.
+StatusOr<std::vector<Prediction>> CrossValidatePredictions(
+    const BaseLearner& prototype, const std::vector<TrainingExample>& examples,
+    const LabelSpace& labels,
+    const CrossValidationOptions& options = CrossValidationOptions());
+
+/// Deterministically assigns each of `n` items to one of `folds` folds,
+/// balanced to within one item, shuffled by `seed`. Exposed for tests.
+std::vector<size_t> MakeFoldAssignment(size_t n, size_t folds, uint64_t seed);
+
+/// Grouped variant: items sharing a group id land in the same fold; groups
+/// are distributed round-robin in shuffled order.
+std::vector<size_t> MakeGroupedFoldAssignment(const std::vector<int>& group_ids,
+                                              size_t folds, uint64_t seed);
+
+}  // namespace lsd
+
+#endif  // LSD_ML_CROSS_VALIDATION_H_

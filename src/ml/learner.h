@@ -1,0 +1,89 @@
+#ifndef LSD_ML_LEARNER_H_
+#define LSD_ML_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/prediction.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// One XML element instance presented to the learners: the unit that base
+/// learners classify (Section 3 of the paper). The LSD extraction step
+/// fills every field; individual learners read only the features they
+/// understand.
+struct Instance {
+  /// The source-schema tag of the element, e.g. "extra-info".
+  std::string tag_name;
+  /// The tag name expanded with all tag names on the path from the listing
+  /// root, e.g. "house-listing contact agent-phone" — the name matcher's
+  /// input (Section 3.3).
+  std::string name_path;
+  /// Synonym expansion of the tag name (empty when no synonyms known).
+  std::string name_synonyms;
+  /// The element's full text content (subtree text, space-joined).
+  std::string content;
+  /// The element subtree itself, for structure-aware learners. May be null
+  /// for schema-only configurations; owned by the caller and must outlive
+  /// any Train/Predict call using this instance.
+  const XmlNode* node = nullptr;
+  /// Index of the source listing this instance was extracted from; -1 when
+  /// unknown. Lets the constraint handler line instances up into rows when
+  /// verifying key and functional-dependency constraints.
+  int listing_index = -1;
+};
+
+/// A labeled training example.
+struct TrainingExample {
+  Instance instance;
+  int label = -1;
+};
+
+/// The base-learner interface (Section 3.3). A learner is trained once on
+/// labeled instances, then produces a confidence-score distribution over
+/// labels for new instances. Implementations must be deterministic given
+/// the same training set.
+class BaseLearner {
+ public:
+  virtual ~BaseLearner() = default;
+
+  /// Stable learner name used in reports and lesion configs, e.g.
+  /// "name-matcher".
+  virtual std::string name() const = 0;
+
+  /// Trains on `examples` whose labels index into `labels`. May be called
+  /// again to retrain from scratch (cross-validation does this).
+  virtual Status Train(const std::vector<TrainingExample>& examples,
+                       const LabelSpace& labels) = 0;
+
+  /// Predicts the label distribution for one instance. Requires a prior
+  /// successful `Train`.
+  virtual Prediction Predict(const Instance& instance) const = 0;
+
+  /// Creates an untrained copy configured identically — used by
+  /// cross-validation to train per-fold models.
+  virtual std::unique_ptr<BaseLearner> CloneUntrained() const = 0;
+
+  /// Serializes the trained model (text; common/serial.h format). Used by
+  /// `LsdSystem::SaveModel`. Learners without persistence support return
+  /// Unimplemented.
+  virtual StatusOr<std::string> SerializeModel() const {
+    return Status::Unimplemented("learner '" + name() +
+                                 "' does not support persistence");
+  }
+
+  /// Restores state produced by `SerializeModel` into this
+  /// identically-configured instance.
+  virtual Status LoadModel(std::string_view text) {
+    (void)text;
+    return Status::Unimplemented("learner '" + name() +
+                                 "' does not support persistence");
+  }
+};
+
+}  // namespace lsd
+
+#endif  // LSD_ML_LEARNER_H_

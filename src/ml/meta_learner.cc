@@ -1,0 +1,169 @@
+#include "ml/meta_learner.h"
+
+#include <cmath>
+
+#include "common/linalg.h"
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+
+Status MetaLearner::Train(
+    const std::vector<std::vector<Prediction>>& cv_predictions,
+    const std::vector<int>& true_labels, size_t n_labels,
+    const MetaLearnerOptions& options) {
+  if (cv_predictions.empty()) {
+    return Status::InvalidArgument("MetaLearner: no base learners");
+  }
+  const size_t n_learners = cv_predictions.size();
+  const size_t n_examples = true_labels.size();
+  if (n_examples == 0) {
+    return Status::InvalidArgument("MetaLearner: no training examples");
+  }
+  for (const auto& preds : cv_predictions) {
+    if (preds.size() != n_examples) {
+      return Status::InvalidArgument(
+          "MetaLearner: prediction count mismatch across learners");
+    }
+    for (const Prediction& p : preds) {
+      if (p.size() != n_labels) {
+        return Status::InvalidArgument("MetaLearner: label-count mismatch");
+      }
+    }
+  }
+
+  weights_.assign(n_labels, std::vector<double>(n_learners, 0.0));
+  LeastSquaresOptions ls_options;
+  ls_options.ridge = options.ridge;
+  ls_options.non_negative = options.non_negative;
+
+  // One regression per label: design matrix T(ML, c) of Section 3.1 5(b).
+  for (size_t c = 0; c < n_labels; ++c) {
+    size_t n_pos = 0;
+    for (int label : true_labels) {
+      if (static_cast<size_t>(label) == c) ++n_pos;
+    }
+    size_t n_neg = n_examples - n_pos;
+    double pos_scale = 1.0, neg_scale = 1.0;
+    if (options.balance_classes && n_pos > 0 && n_neg > 0) {
+      // Give the positive and negative rows equal total weight; least
+      // squares with row weights w is least squares with rows scaled by
+      // sqrt(w).
+      pos_scale = std::sqrt(0.5 * static_cast<double>(n_examples) /
+                            static_cast<double>(n_pos));
+      neg_scale = std::sqrt(0.5 * static_cast<double>(n_examples) /
+                            static_cast<double>(n_neg));
+    }
+    Matrix design(n_examples, n_learners);
+    std::vector<double> target(n_examples);
+    for (size_t x = 0; x < n_examples; ++x) {
+      bool positive = static_cast<size_t>(true_labels[x]) == c;
+      double scale = positive ? pos_scale : neg_scale;
+      for (size_t l = 0; l < n_learners; ++l) {
+        design.at(x, l) = scale * cv_predictions[l][x].scores[c];
+      }
+      target[x] = positive ? scale : 0.0;
+    }
+    auto solved = LeastSquares(design, target, ls_options);
+    if (solved.ok()) {
+      weights_[c] = std::move(solved).value();
+    } else {
+      // Degenerate label (e.g. never appears, collinear columns even after
+      // ridge): fall back to equal weights rather than failing training.
+      weights_[c].assign(n_learners, 1.0 / static_cast<double>(n_learners));
+    }
+    if (options.normalize_per_label) {
+      double total = 0.0;
+      for (double w : weights_[c]) total += w;
+      if (total > 0.0) {
+        for (double& w : weights_[c]) w /= total;
+      } else {
+        weights_[c].assign(n_learners, 1.0 / static_cast<double>(n_learners));
+      }
+      double s = options.uniform_shrinkage;
+      if (s > 0.0) {
+        double uniform = 1.0 / static_cast<double>(n_learners);
+        for (double& w : weights_[c]) w = (1.0 - s) * w + s * uniform;
+      }
+    }
+  }
+  learner_count_ = n_learners;
+  trained_ = true;
+  return Status::OK();
+}
+
+StatusOr<Prediction> MetaLearner::Combine(
+    const std::vector<Prediction>& learner_predictions) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("MetaLearner: not trained");
+  }
+  if (learner_predictions.size() != learner_count_) {
+    return Status::InvalidArgument("MetaLearner: learner count mismatch");
+  }
+  const size_t n_labels = weights_.size();
+  Prediction out(n_labels);
+  for (size_t c = 0; c < n_labels; ++c) {
+    double score = 0.0;
+    for (size_t l = 0; l < learner_count_; ++l) {
+      if (learner_predictions[l].size() != n_labels) {
+        return Status::InvalidArgument("MetaLearner: label-count mismatch");
+      }
+      score += weights_[c][l] * learner_predictions[l].scores[c];
+    }
+    out.scores[c] = score;
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string MetaLearner::WeightsToString(
+    const LabelSpace& labels,
+    const std::vector<std::string>& learner_names) const {
+  std::string out;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    out += labels.NameOf(static_cast<int>(c));
+    out += ":";
+    for (size_t l = 0; l < learner_count_; ++l) {
+      const std::string& name =
+          l < learner_names.size() ? learner_names[l] : "learner";
+      out += StrFormat(" %s=%.3f", name.c_str(), weights_[c][l]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetaLearner::Serialize() const {
+  std::string out =
+      StrFormat("meta 1 %zu %zu\n", weights_.size(), learner_count_);
+  for (const std::vector<double>& row : weights_) {
+    out += "w";
+    for (double w : row) out += StrFormat(" %.17g", w);
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<MetaLearner> MetaLearner::Deserialize(std::string_view text) {
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("meta", 4));
+  if (header[1] != "1") return Status::ParseError("meta: unknown version");
+  MetaLearner out;
+  LSD_ASSIGN_OR_RETURN(size_t n_labels, FieldToSize(header[2]));
+  LSD_ASSIGN_OR_RETURN(out.learner_count_, FieldToSize(header[3]));
+  for (size_t c = 0; c < n_labels; ++c) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> row,
+                         reader.Expect("w", 1 + out.learner_count_));
+    std::vector<double> weights;
+    for (size_t l = 0; l < out.learner_count_; ++l) {
+      LSD_ASSIGN_OR_RETURN(double w, FieldToDouble(row[1 + l]));
+      weights.push_back(w);
+    }
+    out.weights_.push_back(std::move(weights));
+  }
+  out.trained_ = true;
+  return out;
+}
+
+}  // namespace lsd

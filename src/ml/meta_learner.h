@@ -1,0 +1,96 @@
+#ifndef LSD_ML_META_LEARNER_H_
+#define LSD_ML_META_LEARNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// Options for `MetaLearner::Train`.
+struct MetaLearnerOptions {
+  /// Ridge regularization for the per-label least-squares problems.
+  double ridge = 1e-4;
+  /// Constrain learner weights to be non-negative (classic stacked
+  /// generalization); negative weights would let one learner's confidence
+  /// *reduce* a label's combined score.
+  bool non_negative = true;
+  /// Rescale each label's weights to sum to 1 after the regression. The
+  /// raw least-squares weights calibrate each label's score in isolation,
+  /// which can blow a rarely-confident label's weight up to 10x and wreck
+  /// the cross-label argmax; normalizing keeps the regression's *relative*
+  /// trust between learners while making combined scores comparable across
+  /// labels. Requires non_negative.
+  bool normalize_per_label = true;
+  /// Balance each label's regression: rows where the label is the true
+  /// answer carry as much total weight as rows where it is not. Without
+  /// this, positives are ~1/|labels| of the rows and the regression mostly
+  /// rewards learners for scoring 0 on negatives — a learner that never
+  /// detects the label can still look good. Implemented as weighted least
+  /// squares (rows scaled by sqrt of their weight). Off by default:
+  /// empirically it over-rewards confidently-wrong positives (see
+  /// bench/ablation_stacking).
+  bool balance_classes = false;
+  /// Shrink each label's (normalized) weights toward the uniform vector:
+  /// W ← (1-s)·W + s·(1/k). The regression happily gives a label entirely
+  /// to the learner that predicted it best *in cross-validation*; shrinkage
+  /// keeps every label reachable through every learner, hedging against a
+  /// trusted learner failing on an unseen source.
+  double uniform_shrinkage = 0.5;
+};
+
+/// The stacking meta-learner of Section 3.1 step 5: for each label c and
+/// base learner L it learns a weight W[c][L] by least-squares regression
+/// from the base learners' cross-validation confidence scores to the 0/1
+/// truth indicator, minimizing
+///   sum_x ( l(c,x) - sum_L s(c|x,L) * W[c][L] )^2.
+/// At matching time `Combine` forms, per label, the weighted sum of the
+/// base learners' scores and normalizes (Section 3.2 step 2).
+class MetaLearner {
+ public:
+  MetaLearner() = default;
+
+  /// Trains the weight matrix.
+  ///   cv_predictions[L][x] — learner L's CV prediction for example x;
+  ///   true_labels[x]       — gold label index of example x.
+  /// All predictions must have `n_labels` scores.
+  Status Train(const std::vector<std::vector<Prediction>>& cv_predictions,
+               const std::vector<int>& true_labels, size_t n_labels,
+               const MetaLearnerOptions& options = MetaLearnerOptions());
+
+  /// Combines one prediction per base learner (same order as training)
+  /// into a single normalized prediction.
+  StatusOr<Prediction> Combine(
+      const std::vector<Prediction>& learner_predictions) const;
+
+  bool trained() const { return trained_; }
+  size_t learner_count() const { return learner_count_; }
+  size_t label_count() const { return weights_.size(); }
+
+  /// W[label][learner].
+  double WeightOf(int label, size_t learner) const {
+    return weights_[static_cast<size_t>(label)][learner];
+  }
+
+  /// Human-readable weight table for reports.
+  std::string WeightsToString(const LabelSpace& labels,
+                              const std::vector<std::string>& learner_names) const;
+
+  /// Serializes the trained weight matrix (common/serial.h text format).
+  std::string Serialize() const;
+
+  /// Restores a weight matrix produced by `Serialize`.
+  static StatusOr<MetaLearner> Deserialize(std::string_view text);
+
+ private:
+  bool trained_ = false;
+  size_t learner_count_ = 0;
+  /// weights_[label][learner]
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_ML_META_LEARNER_H_

@@ -1,0 +1,188 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+/// Stand-in for log(0): small enough that an empty class can never win,
+/// large enough to avoid NaNs in the softmax.
+constexpr double kLogZero = -1e30;
+
+}  // namespace
+
+Status NaiveBayesClassifier::Train(
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int>& labels, size_t n_labels) {
+  if (documents.size() != labels.size()) {
+    return Status::InvalidArgument("NaiveBayes: documents/labels mismatch");
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument("NaiveBayes: empty training set");
+  }
+  if (n_labels == 0) {
+    return Status::InvalidArgument("NaiveBayes: no labels");
+  }
+  n_labels_ = n_labels;
+  token_index_.clear();
+  token_counts_.assign(n_labels, {});
+  label_token_totals_.assign(n_labels, 0.0);
+  std::vector<double> label_doc_counts(n_labels, 0.0);
+
+  for (size_t d = 0; d < documents.size(); ++d) {
+    int label = labels[d];
+    if (label < 0 || static_cast<size_t>(label) >= n_labels) {
+      return Status::InvalidArgument("NaiveBayes: label out of range");
+    }
+    label_doc_counts[static_cast<size_t>(label)] += 1.0;
+    for (const std::string& token : documents[d]) {
+      auto [it, inserted] =
+          token_index_.emplace(token, static_cast<int>(token_index_.size()));
+      size_t id = static_cast<size_t>(it->second);
+      auto& counts = token_counts_[static_cast<size_t>(label)];
+      if (counts.size() <= id) counts.resize(id + 1, 0.0);
+      counts[id] += 1.0;
+      label_token_totals_[static_cast<size_t>(label)] += 1.0;
+    }
+  }
+
+  log_priors_.assign(n_labels, 0.0);
+  double total_docs = static_cast<double>(documents.size());
+  for (size_t c = 0; c < n_labels; ++c) {
+    // Unsmoothed (MLE) priors: a class with no training documents gets
+    // zero posterior. Smoothing priors instead would make empty classes
+    // attract out-of-vocabulary documents (their tiny token totals inflate
+    // unseen-token probabilities).
+    log_priors_[c] = label_doc_counts[c] > 0.0
+                         ? std::log(label_doc_counts[c] / total_docs)
+                         : kLogZero;
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+double NaiveBayesClassifier::TokenLogProb(const std::string& token,
+                                          int label) const {
+  size_t c = static_cast<size_t>(label);
+  double vocab = static_cast<double>(token_index_.size());
+  double denom = label_token_totals_[c] + alpha_ * (vocab + 1.0);
+  auto it = token_index_.find(token);
+  double count = 0.0;
+  if (it != token_index_.end()) {
+    size_t id = static_cast<size_t>(it->second);
+    const auto& counts = token_counts_[c];
+    if (id < counts.size()) count = counts[id];
+  }
+  return std::log((count + alpha_) / denom);
+}
+
+Prediction NaiveBayesClassifier::Predict(
+    const std::vector<std::string>& tokens) const {
+  Prediction out(n_labels_);
+  if (!trained_ || n_labels_ == 0) return out;
+  std::vector<double> log_scores(n_labels_);
+  for (size_t c = 0; c < n_labels_; ++c) {
+    double score = log_priors_[c];
+    for (const std::string& token : tokens) {
+      score += TokenLogProb(token, static_cast<int>(c));
+    }
+    log_scores[c] = score;
+  }
+  // Softmax with max subtraction for numerical stability.
+  double max_score = *std::max_element(log_scores.begin(), log_scores.end());
+  double total = 0.0;
+  for (size_t c = 0; c < n_labels_; ++c) {
+    out.scores[c] = std::exp(log_scores[c] - max_score);
+    total += out.scores[c];
+  }
+  for (double& s : out.scores) s /= total;
+  return out;
+}
+
+std::string NaiveBayesClassifier::Serialize() const {
+  std::string out = StrFormat("nb 1 %.17g %zu %zu\n", alpha_, n_labels_,
+                              token_index_.size());
+  out += "priors";
+  for (double p : log_priors_) out += StrFormat(" %.17g", p);
+  out += "\ntotals";
+  for (double t : label_token_totals_) out += StrFormat(" %.17g", t);
+  out += "\n";
+  // Vocabulary in id order.
+  std::vector<const std::string*> tokens(token_index_.size());
+  for (const auto& [token, id] : token_index_) {
+    tokens[static_cast<size_t>(id)] = &token;
+  }
+  for (const std::string* token : tokens) {
+    out += "token " + *token + "\n";
+  }
+  // Sparse per-label counts.
+  for (size_t c = 0; c < n_labels_; ++c) {
+    const auto& counts = token_counts_[c];
+    size_t nnz = 0;
+    for (double count : counts) {
+      if (count != 0.0) ++nnz;
+    }
+    out += StrFormat("counts %zu %zu", c, nnz);
+    for (size_t id = 0; id < counts.size(); ++id) {
+      if (counts[id] != 0.0) out += StrFormat(" %zu %.17g", id, counts[id]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<NaiveBayesClassifier> NaiveBayesClassifier::Deserialize(
+    std::string_view text) {
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("nb", 5));
+  if (header[1] != "1") return Status::ParseError("nb: unknown version");
+  NaiveBayesClassifier out;
+  LSD_ASSIGN_OR_RETURN(out.alpha_, FieldToDouble(header[2]));
+  LSD_ASSIGN_OR_RETURN(out.n_labels_, FieldToSize(header[3]));
+  LSD_ASSIGN_OR_RETURN(size_t vocab, FieldToSize(header[4]));
+
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> priors,
+                       reader.Expect("priors", 1 + out.n_labels_));
+  for (size_t c = 0; c < out.n_labels_; ++c) {
+    LSD_ASSIGN_OR_RETURN(double p, FieldToDouble(priors[1 + c]));
+    out.log_priors_.push_back(p);
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> totals,
+                       reader.Expect("totals", 1 + out.n_labels_));
+  for (size_t c = 0; c < out.n_labels_; ++c) {
+    LSD_ASSIGN_OR_RETURN(double t, FieldToDouble(totals[1 + c]));
+    out.label_token_totals_.push_back(t);
+  }
+  for (size_t id = 0; id < vocab; ++id) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> token,
+                         reader.Expect("token", 2));
+    out.token_index_.emplace(token[1], static_cast<int>(id));
+  }
+  out.token_counts_.assign(out.n_labels_, {});
+  for (size_t c = 0; c < out.n_labels_; ++c) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> counts,
+                         reader.Expect("counts", 3));
+    LSD_ASSIGN_OR_RETURN(size_t label, FieldToSize(counts[1]));
+    LSD_ASSIGN_OR_RETURN(size_t nnz, FieldToSize(counts[2]));
+    if (label >= out.n_labels_ || counts.size() != 3 + 2 * nnz) {
+      return Status::ParseError("nb: malformed counts line");
+    }
+    auto& bucket = out.token_counts_[label];
+    bucket.assign(vocab, 0.0);
+    for (size_t i = 0; i < nnz; ++i) {
+      LSD_ASSIGN_OR_RETURN(size_t id, FieldToSize(counts[3 + 2 * i]));
+      LSD_ASSIGN_OR_RETURN(double count, FieldToDouble(counts[4 + 2 * i]));
+      if (id >= vocab) return Status::ParseError("nb: token id out of range");
+      bucket[id] = count;
+    }
+  }
+  out.trained_ = true;
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,64 @@
+#ifndef LSD_ML_NAIVE_BAYES_H_
+#define LSD_ML_NAIVE_BAYES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// Multinomial Naive Bayes text classifier over bags of tokens
+/// (Section 3.3): assigns d = {w1..wk} to the class maximizing
+/// P(c) * prod_j P(wj | c), with Laplace-smoothed token estimates
+/// P(w|c) = (n(w,c) + alpha) / (n(c) + alpha * |V|). Computation is done
+/// in log space; the returned distribution is the softmax of the class
+/// log-posteriors.
+class NaiveBayesClassifier {
+ public:
+  /// `alpha` is the Laplace smoothing pseudo-count.
+  explicit NaiveBayesClassifier(double alpha = 0.1) : alpha_(alpha) {}
+
+  /// Trains from (token-bag, label) pairs; labels must lie in
+  /// [0, n_labels). Resets any previous model.
+  Status Train(const std::vector<std::vector<std::string>>& documents,
+               const std::vector<int>& labels, size_t n_labels);
+
+  /// Returns the class distribution for a token bag. Unknown tokens are
+  /// smoothed, not dropped, so heavily out-of-vocabulary documents drift
+  /// toward the class priors.
+  Prediction Predict(const std::vector<std::string>& tokens) const;
+
+  bool trained() const { return trained_; }
+  size_t vocabulary_size() const { return token_index_.size(); }
+  size_t label_count() const { return n_labels_; }
+
+  /// log P(token|label), exposed for the XML learner's diagnostics and
+  /// tests. Unknown tokens receive the smoothed unseen-token estimate.
+  double TokenLogProb(const std::string& token, int label) const;
+
+  /// Serializes the trained model to the library's line-oriented text
+  /// format (see common/serial.h). Requires `trained()`.
+  std::string Serialize() const;
+
+  /// Restores a model produced by `Serialize`.
+  static StatusOr<NaiveBayesClassifier> Deserialize(std::string_view text);
+
+ private:
+  double alpha_;
+  bool trained_ = false;
+  size_t n_labels_ = 0;
+  std::unordered_map<std::string, int> token_index_;
+  /// token_counts_[label][token_id]
+  std::vector<std::vector<double>> token_counts_;
+  /// Total token count per label.
+  std::vector<double> label_token_totals_;
+  /// log P(c)
+  std::vector<double> log_priors_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_ML_NAIVE_BAYES_H_

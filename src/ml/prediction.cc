@@ -1,0 +1,80 @@
+#include "ml/prediction.h"
+
+#include "common/linalg.h"
+#include "common/strings.h"
+
+namespace lsd {
+
+LabelSpace::LabelSpace(std::vector<std::string> labels)
+    : labels_(std::move(labels)) {
+  bool has_other = false;
+  for (const std::string& label : labels_) {
+    if (label == kOtherLabel) has_other = true;
+  }
+  if (!has_other) labels_.emplace_back(kOtherLabel);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    index_[labels_[i]] = static_cast<int>(i);
+    if (labels_[i] == kOtherLabel) other_index_ = static_cast<int>(i);
+  }
+}
+
+int LabelSpace::IndexOf(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Prediction Prediction::Uniform(size_t n_labels) {
+  Prediction p(n_labels);
+  if (n_labels == 0) return p;
+  double w = 1.0 / static_cast<double>(n_labels);
+  for (double& s : p.scores) s = w;
+  return p;
+}
+
+Prediction Prediction::PointMass(size_t n_labels, int label) {
+  Prediction p(n_labels);
+  p.scores[static_cast<size_t>(label)] = 1.0;
+  return p;
+}
+
+int Prediction::Best() const {
+  if (scores.empty()) return -1;
+  int best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i] > scores[static_cast<size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void Prediction::Normalize() { NormalizeToDistribution(&scores); }
+
+std::string Prediction::ToString(const LabelSpace& labels) const {
+  std::string out = "<";
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += labels.NameOf(static_cast<int>(i));
+    out += StrFormat(":%.3f", scores[i]);
+  }
+  out += ">";
+  return out;
+}
+
+StatusOr<Prediction> AveragePredictions(
+    const std::vector<Prediction>& predictions) {
+  if (predictions.empty()) {
+    return Status::InvalidArgument("AveragePredictions: no predictions");
+  }
+  Prediction out(predictions[0].size());
+  for (const Prediction& p : predictions) {
+    if (p.size() != out.size()) {
+      return Status::InvalidArgument("AveragePredictions: size mismatch");
+    }
+    for (size_t i = 0; i < p.size(); ++i) out.scores[i] += p.scores[i];
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace lsd

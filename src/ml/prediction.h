@@ -1,0 +1,86 @@
+#ifndef LSD_ML_PREDICTION_H_
+#define LSD_ML_PREDICTION_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// The reserved label assigned to source tags that match no mediated-schema
+/// element (Section 2.2 of the paper).
+inline constexpr std::string_view kOtherLabel = "OTHER";
+
+/// The ordered set of class labels for a matching problem: the mediated
+/// schema's tags plus the reserved OTHER label (always last).
+class LabelSpace {
+ public:
+  LabelSpace() = default;
+
+  /// Builds a label space from mediated-schema tag names. OTHER is appended
+  /// automatically when not already present.
+  explicit LabelSpace(std::vector<std::string> labels);
+
+  size_t size() const { return labels_.size(); }
+
+  /// Index of `name`, or -1 when unknown.
+  int IndexOf(std::string_view name) const;
+
+  const std::string& NameOf(int index) const {
+    return labels_[static_cast<size_t>(index)];
+  }
+
+  int other_index() const { return other_index_; }
+
+  const std::vector<std::string>& labels() const { return labels_; }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, int> index_;
+  int other_index_ = -1;
+};
+
+/// A soft prediction: one confidence score per label, summing to 1
+/// (the form <s(c1|x), ..., s(cn|x)> of Section 2.2).
+struct Prediction {
+  std::vector<double> scores;
+
+  Prediction() = default;
+  explicit Prediction(size_t n_labels) : scores(n_labels, 0.0) {}
+
+  /// The uniform distribution over `n_labels` labels.
+  static Prediction Uniform(size_t n_labels);
+
+  /// A point mass on `label`.
+  static Prediction PointMass(size_t n_labels, int label);
+
+  size_t size() const { return scores.size(); }
+
+  /// Index of the highest-scoring label (lowest index wins ties); -1 when
+  /// empty.
+  int Best() const;
+
+  /// Score of `label`.
+  double ScoreOf(int label) const {
+    return scores[static_cast<size_t>(label)];
+  }
+
+  /// Clamps negatives to zero and rescales to sum 1 (uniform when the mass
+  /// is zero).
+  void Normalize();
+
+  /// Renders like "<ADDRESS:0.7, PHONE:0.3>" using `labels`.
+  std::string ToString(const LabelSpace& labels) const;
+};
+
+/// Averages a set of predictions element-wise and normalizes. Returns
+/// InvalidArgument when `predictions` is empty or sizes disagree.
+StatusOr<Prediction> AveragePredictions(
+    const std::vector<Prediction>& predictions);
+
+}  // namespace lsd
+
+#endif  // LSD_ML_PREDICTION_H_

@@ -1,0 +1,52 @@
+#include "ml/prediction_converter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsd {
+
+StatusOr<Prediction> PredictionConverter::Convert(
+    const std::vector<Prediction>& instance_predictions) const {
+  if (instance_predictions.empty()) {
+    return Status::InvalidArgument("PredictionConverter: no predictions");
+  }
+  const size_t n_labels = instance_predictions[0].size();
+  for (const Prediction& p : instance_predictions) {
+    if (p.size() != n_labels) {
+      return Status::InvalidArgument("PredictionConverter: size mismatch");
+    }
+  }
+  Prediction out(n_labels);
+  switch (policy_) {
+    case ConverterPolicy::kAverage:
+      for (const Prediction& p : instance_predictions) {
+        for (size_t c = 0; c < n_labels; ++c) out.scores[c] += p.scores[c];
+      }
+      break;
+    case ConverterPolicy::kMax:
+      for (const Prediction& p : instance_predictions) {
+        for (size_t c = 0; c < n_labels; ++c) {
+          out.scores[c] = std::max(out.scores[c], p.scores[c]);
+        }
+      }
+      break;
+    case ConverterPolicy::kProduct: {
+      constexpr double kFloor = 1e-9;  // avoid log(0) wiping a label out
+      std::vector<double> log_scores(n_labels, 0.0);
+      for (const Prediction& p : instance_predictions) {
+        for (size_t c = 0; c < n_labels; ++c) {
+          log_scores[c] += std::log(std::max(p.scores[c], kFloor));
+        }
+      }
+      double max_log = *std::max_element(log_scores.begin(), log_scores.end());
+      for (size_t c = 0; c < n_labels; ++c) {
+        out.scores[c] = std::exp(log_scores[c] - max_log);
+      }
+      break;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,46 @@
+#ifndef LSD_ML_PREDICTION_CONVERTER_H_
+#define LSD_ML_PREDICTION_CONVERTER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// How the prediction converter aggregates instance-level predictions
+/// into one element-level prediction.
+enum class ConverterPolicy {
+  /// Arithmetic mean of the instance score vectors (the paper's current
+  /// converter, Section 3.2).
+  kAverage,
+  /// Element-wise maximum, normalized — more aggressive; provided as an
+  /// ablation knob.
+  kMax,
+  /// Product of scores (log-sum), normalized — rewards consistent
+  /// instance-level agreement.
+  kProduct,
+};
+
+/// The prediction converter of Section 3.2 step 2: combines the
+/// meta-learner's predictions for every data instance in a source-schema
+/// element's column into a single prediction for the element.
+class PredictionConverter {
+ public:
+  explicit PredictionConverter(ConverterPolicy policy = ConverterPolicy::kAverage)
+      : policy_(policy) {}
+
+  /// Combines instance predictions. Returns InvalidArgument when
+  /// `instance_predictions` is empty or sizes disagree.
+  StatusOr<Prediction> Convert(
+      const std::vector<Prediction>& instance_predictions) const;
+
+  ConverterPolicy policy() const { return policy_; }
+
+ private:
+  ConverterPolicy policy_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_ML_PREDICTION_CONVERTER_H_

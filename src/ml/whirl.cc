@@ -1,0 +1,170 @@
+#include "ml/whirl.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+
+Status WhirlClassifier::Train(
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int>& labels, size_t n_labels) {
+  if (documents.size() != labels.size()) {
+    return Status::InvalidArgument("Whirl: documents/labels mismatch");
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument("Whirl: empty training set");
+  }
+  if (n_labels == 0) return Status::InvalidArgument("Whirl: no labels");
+  n_labels_ = n_labels;
+  tfidf_ = TfIdfModel();
+  examples_.clear();
+  for (const auto& doc : documents) tfidf_.AddDocument(doc);
+  tfidf_.Finalize();
+  examples_.reserve(documents.size());
+  postings_.assign(tfidf_.vocabulary().size(), {});
+  for (size_t i = 0; i < documents.size(); ++i) {
+    if (labels[i] < 0 || static_cast<size_t>(labels[i]) >= n_labels) {
+      return Status::InvalidArgument("Whirl: label out of range");
+    }
+    SparseVector vec = tfidf_.Vectorize(documents[i]);
+    for (const auto& [token, weight] : vec.entries()) {
+      postings_[static_cast<size_t>(token)].emplace_back(static_cast<int>(i),
+                                                         weight);
+    }
+    examples_.push_back({std::move(vec), labels[i]});
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Prediction WhirlClassifier::Predict(
+    const std::vector<std::string>& tokens) const {
+  Prediction out(n_labels_);
+  if (!trained_) return out;
+  SparseVector query = tfidf_.Vectorize(tokens);
+  if (query.empty()) {
+    out.Normalize();  // uniform: nothing to go on
+    return out;
+  }
+  // Accumulate similarities through the inverted index: only examples
+  // sharing a token with the query are touched. Vectors are unit-norm, so
+  // the accumulated dot product is the cosine similarity.
+  std::unordered_map<int, double> accumulator;
+  for (const auto& [token, q_weight] : query.entries()) {
+    for (const auto& [example, e_weight] :
+         postings_[static_cast<size_t>(token)]) {
+      accumulator[example] += q_weight * e_weight;
+    }
+  }
+  // (similarity, example index); ties broken by example index so results
+  // do not depend on hash iteration order.
+  std::vector<std::pair<double, int>> neighbours;
+  neighbours.reserve(accumulator.size());
+  for (const auto& [example, sim] : accumulator) {
+    if (sim >= options_.min_similarity) {
+      neighbours.emplace_back(sim, example);
+    }
+  }
+  if (neighbours.empty()) {
+    out.Normalize();
+    return out;
+  }
+  size_t k = std::min(options_.k, neighbours.size());
+  std::partial_sort(neighbours.begin(), neighbours.begin() + static_cast<long>(k),
+                    neighbours.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  // Noisy-or per label over the top-k neighbours. Similarity is capped
+  // below 1 so an exact duplicate cannot zero out every other label — the
+  // meta-learner needs soft scores to weigh learners against each other.
+  constexpr double kSimilarityCap = 0.95;
+  std::vector<double> miss(n_labels_, 1.0);
+  for (size_t i = 0; i < k; ++i) {
+    double sim = std::min(neighbours[i].first, kSimilarityCap);
+    int label = examples_[static_cast<size_t>(neighbours[i].second)].label;
+    miss[static_cast<size_t>(label)] *= (1.0 - sim);
+  }
+  // A small smoothing floor keeps the normalized output soft even when a
+  // single label holds all neighbours — downstream stacking needs graded
+  // confidences, not 1/0 votes.
+  constexpr double kScoreFloor = 1e-3;
+  for (size_t c = 0; c < n_labels_; ++c) {
+    out.scores[c] = (1.0 - miss[c]) + kScoreFloor;
+  }
+  out.Normalize();
+  return out;
+}
+
+
+std::string WhirlClassifier::Serialize() const {
+  std::string out = StrFormat("whirl 1 %zu %.17g %zu %zu\n", options_.k,
+                              options_.min_similarity, n_labels_,
+                              examples_.size());
+  std::string tfidf = tfidf_.Serialize();
+  out += StrFormat("tfidf-block %zu\n", CountLines(tfidf));
+  out += tfidf;
+  for (const StoredExample& example : examples_) {
+    out += StrFormat("example %d %zu", example.label, example.vector.size());
+    for (const auto& [id, weight] : example.vector.entries()) {
+      out += StrFormat(" %d %.17g", id, weight);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<WhirlClassifier> WhirlClassifier::Deserialize(std::string_view text) {
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("whirl", 6));
+  if (header[1] != "1") return Status::ParseError("whirl: unknown version");
+  WhirlClassifier out;
+  LSD_ASSIGN_OR_RETURN(out.options_.k, FieldToSize(header[2]));
+  LSD_ASSIGN_OR_RETURN(out.options_.min_similarity, FieldToDouble(header[3]));
+  LSD_ASSIGN_OR_RETURN(out.n_labels_, FieldToSize(header[4]));
+  LSD_ASSIGN_OR_RETURN(size_t n_examples, FieldToSize(header[5]));
+
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> block,
+                       reader.Expect("tfidf-block", 2));
+  LSD_ASSIGN_OR_RETURN(size_t tfidf_lines, FieldToSize(block[1]));
+  LSD_ASSIGN_OR_RETURN(std::string tfidf_text, reader.TakeLines(tfidf_lines));
+  LSD_ASSIGN_OR_RETURN(out.tfidf_, TfIdfModel::Deserialize(tfidf_text));
+
+  out.postings_.assign(out.tfidf_.vocabulary().size(), {});
+  for (size_t e = 0; e < n_examples; ++e) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         reader.Expect("example", 3));
+    StoredExample example;
+    LSD_ASSIGN_OR_RETURN(example.label, FieldToInt(fields[1]));
+    LSD_ASSIGN_OR_RETURN(size_t nnz, FieldToSize(fields[2]));
+    if (fields.size() != 3 + 2 * nnz ||
+        example.label < 0 ||
+        static_cast<size_t>(example.label) >= out.n_labels_) {
+      return Status::ParseError("whirl: malformed example line");
+    }
+    std::vector<std::pair<int, double>> pairs;
+    pairs.reserve(nnz);
+    for (size_t i = 0; i < nnz; ++i) {
+      LSD_ASSIGN_OR_RETURN(int id, FieldToInt(fields[3 + 2 * i]));
+      LSD_ASSIGN_OR_RETURN(double weight, FieldToDouble(fields[4 + 2 * i]));
+      if (id < 0 || static_cast<size_t>(id) >= out.postings_.size()) {
+        return Status::ParseError("whirl: token id out of range");
+      }
+      pairs.emplace_back(id, weight);
+    }
+    example.vector = SparseVector::FromPairs(std::move(pairs));
+    for (const auto& [id, weight] : example.vector.entries()) {
+      out.postings_[static_cast<size_t>(id)].emplace_back(
+          static_cast<int>(e), weight);
+    }
+    out.examples_.push_back(std::move(example));
+  }
+  out.trained_ = true;
+  return out;
+}
+
+}  // namespace lsd

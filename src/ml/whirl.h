@@ -1,0 +1,72 @@
+#ifndef LSD_ML_WHIRL_H_
+#define LSD_ML_WHIRL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/prediction.h"
+#include "text/tfidf.h"
+
+namespace lsd {
+
+/// Options for `WhirlClassifier`.
+struct WhirlOptions {
+  /// Number of nearest neighbours consulted per query.
+  size_t k = 7;
+  /// Neighbours with cosine similarity below this threshold are ignored —
+  /// the paper's "within a Δ distance" rule.
+  double min_similarity = 0.05;
+};
+
+/// Whirl-style soft nearest-neighbour classifier (Cohen & Hirsh 1998, as
+/// used by the paper's name and content matchers): training examples are
+/// stored as TF/IDF vectors; a query is scored against its k nearest
+/// stored examples by cosine similarity, and each label's confidence is
+/// the noisy-or combination 1 - prod(1 - sim_i) of its supporting
+/// neighbours, normalized across labels.
+class WhirlClassifier {
+ public:
+  explicit WhirlClassifier(WhirlOptions options = WhirlOptions())
+      : options_(options) {}
+
+  /// Trains from (token-bag, label) pairs; rebuilds the TF/IDF corpus.
+  Status Train(const std::vector<std::vector<std::string>>& documents,
+               const std::vector<int>& labels, size_t n_labels);
+
+  /// Returns the label distribution for a token bag; uniform-zero (all
+  /// mass on nothing → normalized to uniform) when no stored example is
+  /// within the similarity threshold.
+  Prediction Predict(const std::vector<std::string>& tokens) const;
+
+  bool trained() const { return trained_; }
+  size_t example_count() const { return examples_.size(); }
+  size_t label_count() const { return n_labels_; }
+
+  /// Serializes the trained model (options, TF/IDF statistics, stored
+  /// example vectors); the inverted index is rebuilt on load.
+  std::string Serialize() const;
+
+  /// Restores a model produced by `Serialize`.
+  static StatusOr<WhirlClassifier> Deserialize(std::string_view text);
+
+ private:
+  struct StoredExample {
+    SparseVector vector;
+    int label;
+  };
+
+  WhirlOptions options_;
+  bool trained_ = false;
+  size_t n_labels_ = 0;
+  TfIdfModel tfidf_;
+  std::vector<StoredExample> examples_;
+  /// Inverted index: postings_[token_id] lists (example index, weight) so
+  /// a query only touches examples sharing at least one token. Makes
+  /// Predict O(query postings) instead of O(|examples|).
+  std::vector<std::vector<std::pair<int, double>>> postings_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_ML_WHIRL_H_

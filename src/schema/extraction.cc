@@ -1,0 +1,89 @@
+#include "schema/extraction.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "text/tokenizer.h"
+
+namespace lsd {
+namespace {
+
+void CollectInstances(const XmlNode& node, std::vector<std::string>* path,
+                      const SynonymDictionary* synonyms, int listing_index,
+                      std::map<std::string, Column>* columns) {
+  path->push_back(node.name);
+  auto it = columns->find(node.name);
+  if (it != columns->end()) {
+    Instance instance = MakeInstance(node, *path, synonyms);
+    instance.listing_index = listing_index;
+    it->second.instances.push_back(std::move(instance));
+  }
+  for (const XmlNode& child : node.children) {
+    CollectInstances(child, path, synonyms, listing_index, columns);
+  }
+  path->pop_back();
+}
+
+}  // namespace
+
+Instance MakeInstance(const XmlNode& node,
+                      const std::vector<std::string>& path_names,
+                      const SynonymDictionary* synonyms) {
+  Instance instance;
+  instance.tag_name = node.name;
+  instance.name_path = Join(path_names, " ");
+  if (synonyms != nullptr) {
+    TokenizerOptions options;
+    options.stem = false;  // synonym keys are unstemmed words
+    std::vector<std::string> tokens = TokenizeName(node.name, options);
+    std::vector<std::string> expanded = synonyms->Expand(tokens);
+    // Record only the genuinely new words.
+    std::vector<std::string> extra(expanded.begin() + static_cast<long>(tokens.size()),
+                                   expanded.end());
+    instance.name_synonyms = Join(extra, " ");
+  }
+  instance.content = node.DeepText();
+  instance.node = &node;
+  return instance;
+}
+
+StatusOr<std::vector<Column>> ExtractColumns(const DataSource& source,
+                                             const ExtractionOptions& options) {
+  LSD_RETURN_IF_ERROR(source.schema.Validate());
+  std::map<std::string, Column> columns;
+  for (const std::string& tag : source.schema.AllTags()) {
+    columns[tag].tag = tag;
+  }
+  size_t limit = options.max_listings == 0
+                     ? source.listings.size()
+                     : std::min(options.max_listings, source.listings.size());
+  std::vector<std::string> path;
+  for (size_t i = 0; i < limit; ++i) {
+    CollectInstances(source.listings[i].root, &path, options.synonyms,
+                     static_cast<int>(i), &columns);
+  }
+  // Preserve schema declaration order.
+  std::vector<Column> out;
+  out.reserve(columns.size());
+  for (const std::string& tag : source.schema.AllTags()) {
+    out.push_back(std::move(columns[tag]));
+  }
+  return out;
+}
+
+std::vector<TrainingExample> MakeTrainingExamples(
+    const std::vector<Column>& columns, const Mapping& gold,
+    const LabelSpace& labels) {
+  std::vector<TrainingExample> out;
+  for (const Column& column : columns) {
+    std::string label_name = gold.LabelOrOther(column.tag);
+    int label = labels.IndexOf(label_name);
+    if (label < 0) continue;
+    for (const Instance& instance : column.instances) {
+      out.push_back(TrainingExample{instance, label});
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,56 @@
+#ifndef LSD_SCHEMA_EXTRACTION_H_
+#define LSD_SCHEMA_EXTRACTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/learner.h"
+#include "schema/schema.h"
+
+namespace lsd {
+
+/// Options for `ExtractColumns`.
+struct ExtractionOptions {
+  /// Use at most this many listings from the source (0 = all). The paper
+  /// extracts 20-300 listings per source.
+  size_t max_listings = 0;
+  /// Synonym dictionary used to fill `Instance::name_synonyms`; may be
+  /// null.
+  const SynonymDictionary* synonyms = nullptr;
+};
+
+/// All extracted data instances for one source-schema tag — the "column"
+/// of Figure 2.b and Section 3.2 step 1.
+struct Column {
+  std::string tag;
+  std::vector<Instance> instances;
+};
+
+/// Extracts one column per source-schema tag from the source's listings
+/// (first `max_listings` of them). Every element occurrence, leaf or
+/// non-leaf, yields an Instance whose `node` points into the source's
+/// listings — the source must outlive the returned columns. Tags declared
+/// in the schema but absent from the sampled data still get an (empty)
+/// column so the matcher can emit a mapping for them.
+StatusOr<std::vector<Column>> ExtractColumns(
+    const DataSource& source,
+    const ExtractionOptions& options = ExtractionOptions());
+
+/// Builds an Instance for `node` found along `path_names` (tag names from
+/// the listing root inclusive to the node inclusive).
+Instance MakeInstance(const XmlNode& node,
+                      const std::vector<std::string>& path_names,
+                      const SynonymDictionary* synonyms);
+
+/// Flattens columns and a gold mapping into learner training examples:
+/// one example per instance, labeled via the mapping (OTHER when the tag
+/// is unmapped). Tags whose label is missing from `labels` are skipped.
+std::vector<TrainingExample> MakeTrainingExamples(
+    const std::vector<Column>& columns, const Mapping& gold,
+    const LabelSpace& labels);
+
+}  // namespace lsd
+
+#endif  // LSD_SCHEMA_EXTRACTION_H_

@@ -1,0 +1,114 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace lsd {
+
+Status DataSource::ValidateListings() const {
+  LSD_RETURN_IF_ERROR(schema.Validate());
+  for (size_t i = 0; i < listings.size(); ++i) {
+    Status status = schema.ValidateDocument(listings[i].root);
+    if (!status.ok()) {
+      return Status(status.code(), "listing " + std::to_string(i) + " of '" +
+                                       name + "': " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+void Mapping::Set(std::string source_tag, std::string label) {
+  entries_[std::move(source_tag)] = std::move(label);
+}
+
+const std::string* Mapping::Find(std::string_view source_tag) const {
+  auto it = entries_.find(std::string(source_tag));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::string Mapping::LabelOrOther(std::string_view source_tag) const {
+  const std::string* label = Find(source_tag);
+  return label != nullptr ? *label : std::string("OTHER");
+}
+
+std::vector<std::string> Mapping::TagsWithLabel(std::string_view label) const {
+  std::vector<std::string> out;
+  for (const auto& [tag, tag_label] : entries_) {
+    if (tag_label == label) out.push_back(tag);
+  }
+  return out;
+}
+
+std::string Mapping::ToString() const {
+  std::string out;
+  for (const auto& [tag, label] : entries_) {
+    out += tag + " <=> " + label + "\n";
+  }
+  return out;
+}
+
+StatusOr<Mapping> ParseMapping(std::string_view text) {
+  Mapping out;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    size_t arrow = line.find("<=>");
+    if (arrow == std::string_view::npos) {
+      return Status::ParseError(StrFormat(
+          "mapping line %zu: expected 'tag <=> LABEL'", line_number));
+    }
+    std::string tag(StripWhitespace(line.substr(0, arrow)));
+    std::string label(StripWhitespace(line.substr(arrow + 3)));
+    if (tag.empty() || label.empty()) {
+      return Status::ParseError(
+          StrFormat("mapping line %zu: empty tag or label", line_number));
+    }
+    if (out.Find(tag) != nullptr) {
+      return Status::ParseError(
+          StrFormat("mapping line %zu: duplicate tag '%s'", line_number,
+                    tag.c_str()));
+    }
+    out.Set(std::move(tag), std::move(label));
+  }
+  return out;
+}
+
+void SynonymDictionary::AddGroup(const std::vector<std::string>& words) {
+  for (const std::string& word : words) {
+    std::vector<std::string>& bucket = groups_[word];
+    for (const std::string& other : words) {
+      if (other == word) continue;
+      if (std::find(bucket.begin(), bucket.end(), other) == bucket.end()) {
+        bucket.push_back(other);
+      }
+    }
+  }
+}
+
+std::vector<std::string> SynonymDictionary::SynonymsOf(
+    std::string_view word) const {
+  auto it = groups_.find(word);
+  if (it == groups_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::string> SynonymDictionary::Expand(
+    const std::vector<std::string>& tokens) const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const std::string& token : tokens) {
+    if (seen.insert(token).second) out.push_back(token);
+  }
+  for (const std::string& token : tokens) {
+    for (const std::string& synonym : SynonymsOf(token)) {
+      if (seen.insert(synonym).second) out.push_back(synonym);
+    }
+  }
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,91 @@
+#ifndef LSD_SCHEMA_SCHEMA_H_
+#define LSD_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/dtd.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// A data source participating in integration: a named source schema (DTD)
+/// plus the data listings downloaded from it. Listings are XML documents
+/// conforming to the schema.
+struct DataSource {
+  std::string name;
+  Dtd schema;
+  std::vector<XmlDocument> listings;
+
+  /// Validates every listing against the source schema.
+  Status ValidateListings() const;
+};
+
+/// A 1-1 semantic mapping from source-schema tags to mediated-schema
+/// labels (Section 2). Tags that match nothing map to OTHER.
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Sets (or overwrites) the label for a source tag.
+  void Set(std::string source_tag, std::string label);
+
+  /// Returns the label for `source_tag`, or nullptr when unmapped.
+  const std::string* Find(std::string_view source_tag) const;
+
+  /// Returns the label or OTHER when unmapped.
+  std::string LabelOrOther(std::string_view source_tag) const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Ordered (tag, label) pairs.
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  /// Source tags currently mapped to `label`.
+  std::vector<std::string> TagsWithLabel(std::string_view label) const;
+
+  /// Renders one "tag <=> LABEL" line per entry.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Parses the text format produced by `Mapping::ToString`: one
+/// "tag <=> LABEL" entry per line; blank lines and lines starting with '#'
+/// are ignored. Rejects duplicate tags and malformed lines.
+StatusOr<Mapping> ParseMapping(std::string_view text);
+
+/// Domain synonym dictionary used by the name matcher's expansion: each
+/// known word maps to the words it is interchangeable with ("phone" ->
+/// {"telephone", "contact"}). Lookup is symmetric only if entries are
+/// added in both directions; `AddGroup` adds a full clique.
+class SynonymDictionary {
+ public:
+  SynonymDictionary() = default;
+
+  /// Declares `words` mutually synonymous.
+  void AddGroup(const std::vector<std::string>& words);
+
+  /// Returns synonyms of `word` (excluding the word itself).
+  std::vector<std::string> SynonymsOf(std::string_view word) const;
+
+  /// Expands a list of name tokens with all their synonyms (deduplicated,
+  /// original tokens first).
+  std::vector<std::string> Expand(const std::vector<std::string>& tokens) const;
+
+  size_t size() const { return groups_.size(); }
+
+ private:
+  std::map<std::string, std::vector<std::string>, std::less<>> groups_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SCHEMA_SCHEMA_H_

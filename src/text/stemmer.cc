@@ -1,0 +1,302 @@
+#include "text/stemmer.h"
+
+namespace lsd {
+namespace {
+
+// Implementation of the Porter stemming algorithm, following the original
+// 1980 paper's step structure. Operates on a mutable buffer `b` with the
+// current end offset `k` (inclusive).
+class PorterContext {
+ public:
+  explicit PorterContext(std::string word) : b_(std::move(word)) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ < 2) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measures the number of consonant-vowel sequences in b[0..j].
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b_[static_cast<size_t>(j)] != b_[static_cast<size_t>(j - 1)]) {
+      return false;
+    }
+    return IsConsonant(j);
+  }
+
+  // cvc, where the second c is not w, x or y; e.g. "hop" (so "hopping"
+  // restores the final e to give "hope"... actually "hop"+e rule).
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool EndsWith(const char* suffix) {
+    int len = 0;
+    while (suffix[len] != '\0') ++len;
+    if (len > k_ + 1) return false;
+    for (int i = 0; i < len; ++i) {
+      if (b_[static_cast<size_t>(k_ - len + 1 + i)] != suffix[i]) return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* replacement) {
+    int len = 0;
+    while (replacement[len] != '\0') ++len;
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(replacement, static_cast<size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfMeasure(const char* replacement) {
+    if (Measure(j_) > 0) SetTo(replacement);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem(j_)) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfMeasure("tion"); break; }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfMeasure("ance"); break; }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfMeasure("ize"); break; }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfMeasure("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfMeasure("ate"); break; }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfMeasure("ous"); break; }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfMeasure("ble"); break; }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfMeasure("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfMeasure(""); break; }
+        if (EndsWith("alize")) { ReplaceIfMeasure("al"); break; }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfMeasure("ic"); break; }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfMeasure(""); break; }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfMeasure(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        matched = EndsWith("al");
+        break;
+      case 'c':
+        matched = EndsWith("ance") || EndsWith("ence");
+        break;
+      case 'e':
+        matched = EndsWith("er");
+        break;
+      case 'i':
+        matched = EndsWith("ic");
+        break;
+      case 'l':
+        matched = EndsWith("able") || EndsWith("ible");
+        break;
+      case 'n':
+        matched = EndsWith("ant") || EndsWith("ement") || EndsWith("ment") ||
+                  EndsWith("ent");
+        break;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          matched = true;
+        } else {
+          matched = EndsWith("ou");
+        }
+        break;
+      case 's':
+        matched = EndsWith("ism");
+        break;
+      case 't':
+        matched = EndsWith("ate") || EndsWith("iti");
+        break;
+      case 'u':
+        matched = EndsWith("ous");
+        break;
+      case 'v':
+        matched = EndsWith("ive");
+        break;
+      case 'z':
+        matched = EndsWith("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure(k_ - 1) > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = -1;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);
+  }
+  PorterContext ctx{std::string(word)};
+  return ctx.Run();
+}
+
+}  // namespace lsd

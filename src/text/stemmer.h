@@ -1,0 +1,17 @@
+#ifndef LSD_TEXT_STEMMER_H_
+#define LSD_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace lsd {
+
+/// Porter's suffix-stripping stemmer (Porter, 1980). Maps inflected
+/// English words to a common stem: "fantastic"→"fantast",
+/// "listings"→"list". Input should be lower-case ASCII letters; words
+/// shorter than three characters are returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace lsd
+
+#endif  // LSD_TEXT_STEMMER_H_

@@ -1,0 +1,159 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+
+int Vocabulary::GetOrAdd(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int Vocabulary::Find(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? -1 : it->second;
+}
+
+SparseVector SparseVector::FromPairs(
+    std::vector<std::pair<int, double>> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  SparseVector out;
+  for (auto& [id, weight] : pairs) {
+    if (!out.entries_.empty() && out.entries_.back().first == id) {
+      out.entries_.back().second += weight;
+    } else {
+      out.entries_.emplace_back(id, weight);
+    }
+  }
+  return out;
+}
+
+double SparseVector::Norm() const {
+  double total = 0.0;
+  for (const auto& [id, weight] : entries_) total += weight * weight;
+  return std::sqrt(total);
+}
+
+void SparseVector::Normalize() {
+  double norm = Norm();
+  if (norm <= 0.0) return;
+  for (auto& [id, weight] : entries_) weight /= norm;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double total = 0.0;
+  size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].first < other.entries_[j].first) {
+      ++i;
+    } else if (entries_[i].first > other.entries_[j].first) {
+      ++j;
+    } else {
+      total += entries_[i].second * other.entries_[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  double na = Norm();
+  double nb = other.Norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+void TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
+  assert(!finalized_);
+  ++document_count_;
+  std::set<int> distinct;
+  for (const std::string& token : tokens) {
+    distinct.insert(vocab_.GetOrAdd(token));
+  }
+  if (document_frequency_.size() < vocab_.size()) {
+    document_frequency_.resize(vocab_.size(), 0);
+  }
+  for (int id : distinct) {
+    ++document_frequency_[static_cast<size_t>(id)];
+  }
+}
+
+void TfIdfModel::Finalize() {
+  assert(!finalized_);
+  idf_.resize(vocab_.size(), 0.0);
+  for (size_t i = 0; i < vocab_.size(); ++i) {
+    idf_[i] = std::log((1.0 + static_cast<double>(document_count_)) /
+                       (1.0 + static_cast<double>(document_frequency_[i]))) +
+              1.0;
+  }
+  finalized_ = true;
+}
+
+SparseVector TfIdfModel::Vectorize(
+    const std::vector<std::string>& tokens) const {
+  assert(finalized_);
+  std::vector<std::pair<int, double>> pairs;
+  pairs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    int id = vocab_.Find(token);
+    if (id < 0) continue;
+    pairs.emplace_back(id, 1.0);
+  }
+  SparseVector vec = SparseVector::FromPairs(std::move(pairs));
+  // Apply log-scaled term frequency times IDF, then L2 normalize.
+  std::vector<std::pair<int, double>> weighted;
+  weighted.reserve(vec.entries().size());
+  for (const auto& [id, count] : vec.entries()) {
+    double tf = 1.0 + std::log(count);
+    weighted.emplace_back(id, tf * idf_[static_cast<size_t>(id)]);
+  }
+  SparseVector out = SparseVector::FromPairs(std::move(weighted));
+  out.Normalize();
+  return out;
+}
+
+std::string TfIdfModel::Serialize() const {
+  assert(finalized_);
+  std::string out =
+      StrFormat("tfidf 1 %zu %zu\n", document_count_, vocab_.size());
+  for (size_t id = 0; id < vocab_.size(); ++id) {
+    out += StrFormat("t %s %zu\n", vocab_.TokenOf(static_cast<int>(id)).c_str(),
+                     document_frequency_[id]);
+  }
+  return out;
+}
+
+StatusOr<TfIdfModel> TfIdfModel::Deserialize(std::string_view text) {
+  LineReader reader(text);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("tfidf", 4));
+  if (header[1] != "1") return Status::ParseError("tfidf: unknown version");
+  TfIdfModel out;
+  LSD_ASSIGN_OR_RETURN(out.document_count_, FieldToSize(header[2]));
+  LSD_ASSIGN_OR_RETURN(size_t vocab, FieldToSize(header[3]));
+  for (size_t id = 0; id < vocab; ++id) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         reader.Expect("t", 3));
+    int assigned = out.vocab_.GetOrAdd(fields[1]);
+    if (assigned != static_cast<int>(id)) {
+      return Status::ParseError("tfidf: duplicate token " + fields[1]);
+    }
+    LSD_ASSIGN_OR_RETURN(size_t df, FieldToSize(fields[2]));
+    out.document_frequency_.push_back(df);
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace lsd

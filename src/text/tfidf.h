@@ -1,0 +1,99 @@
+#ifndef LSD_TEXT_TFIDF_H_
+#define LSD_TEXT_TFIDF_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Interns token strings to dense integer ids.
+class Vocabulary {
+ public:
+  /// Returns the id for `token`, adding it if absent.
+  int GetOrAdd(std::string_view token);
+
+  /// Returns the id for `token` or -1 when unknown.
+  int Find(std::string_view token) const;
+
+  size_t size() const { return tokens_.size(); }
+  const std::string& TokenOf(int id) const { return tokens_[static_cast<size_t>(id)]; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> tokens_;
+};
+
+/// A sparse vector of (token-id, weight) pairs kept sorted by id.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from unsorted (id, weight) pairs, merging duplicate ids.
+  static SparseVector FromPairs(std::vector<std::pair<int, double>> pairs);
+
+  const std::vector<std::pair<int, double>>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Euclidean norm.
+  double Norm() const;
+
+  /// Scales entries so the norm is 1 (no-op on the zero vector).
+  void Normalize();
+
+  /// Sparse dot product.
+  double Dot(const SparseVector& other) const;
+
+  /// Cosine similarity in [0, 1] for non-negative weights.
+  double Cosine(const SparseVector& other) const;
+
+ private:
+  std::vector<std::pair<int, double>> entries_;
+};
+
+/// A TF/IDF weighting model over a corpus of token-bag documents: the
+/// standard information-retrieval scheme the paper's Whirl-based matchers
+/// rely on. Usage: add all training documents, call `Finalize`, then
+/// `Vectorize` training and query documents alike.
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Adds one document's tokens to the corpus statistics. Must not be
+  /// called after `Finalize`.
+  void AddDocument(const std::vector<std::string>& tokens);
+
+  /// Computes IDF weights: idf(t) = log((1 + N) / (1 + df(t))) + 1
+  /// (smoothed so unseen and ubiquitous tokens keep a positive weight).
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t document_count() const { return document_count_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Maps a token bag to an L2-normalized TF/IDF vector. Tokens unseen
+  /// during training are ignored. Requires `Finalize` to have been called.
+  SparseVector Vectorize(const std::vector<std::string>& tokens) const;
+
+  /// Serializes the finalized model (line-oriented text; common/serial.h).
+  std::string Serialize() const;
+
+  /// Restores a model produced by `Serialize` (returned finalized).
+  static StatusOr<TfIdfModel> Deserialize(std::string_view text);
+
+ private:
+  Vocabulary vocab_;
+  std::vector<size_t> document_frequency_;
+  std::vector<double> idf_;
+  size_t document_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_TEXT_TFIDF_H_

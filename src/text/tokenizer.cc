@@ -1,0 +1,121 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "text/stemmer.h"
+
+namespace lsd {
+namespace {
+
+constexpr std::string_view kSymbols = "$%#@/:()-";
+
+bool IsSymbolToken(char c) {
+  return kSymbols.find(c) != std::string_view::npos;
+}
+
+void EmitWord(std::string word, const TokenizerOptions& options,
+              std::vector<std::string>* out) {
+  if (word.empty()) return;
+  if (options.lowercase) word = ToLower(word);
+  if (options.drop_stopwords && IsStopword(word)) return;
+  if (options.stem) word = PorterStem(word);
+  out->push_back(std::move(word));
+}
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  static const std::unordered_set<std::string_view> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "he",   "in",   "is",   "it",   "its",
+      "of",   "on",   "or",   "that", "the",  "to",   "was",  "were",
+      "will", "with", "this", "but",  "they", "have", "had",  "what",
+      "when", "where", "who", "which", "why",  "how",  "all",  "each",
+      "she",  "do",   "their", "if",  "we",   "you",  "your", "our",
+  };
+  return kStopwords.count(word) > 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isalpha(c)) {
+      size_t start = i;
+      while (i < text.size() &&
+             std::isalpha(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      EmitWord(std::string(text.substr(start, i - start)), options, &out);
+    } else if (std::isdigit(c)) {
+      std::string number;
+      while (i < text.size()) {
+        char d = text[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          number += d;
+          ++i;
+        } else if (d == ',' && i + 1 < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+          ++i;  // grouping comma inside a number
+        } else {
+          break;
+        }
+      }
+      if (options.keep_numbers) out.push_back(std::move(number));
+    } else {
+      if (options.keep_symbols && IsSymbolToken(text[i])) {
+        out.emplace_back(1, text[i]);
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TokenizeName(std::string_view name,
+                                      const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&]() {
+    if (current.empty()) return;
+    bool numeric = std::isdigit(static_cast<unsigned char>(current[0])) != 0;
+    if (numeric) {
+      if (options.keep_numbers) out.push_back(current);
+    } else {
+      EmitWord(current, options, &out);
+    }
+    current.clear();
+  };
+  for (size_t i = 0; i < name.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(name[i]);
+    if (std::isalpha(c)) {
+      // Camel-case boundary: previous lowercase, current uppercase.
+      if (!current.empty() && std::isupper(c) &&
+          std::islower(static_cast<unsigned char>(current.back()))) {
+        flush();
+      }
+      // Letter after digits starts a new token.
+      if (!current.empty() &&
+          std::isdigit(static_cast<unsigned char>(current.back()))) {
+        flush();
+      }
+      current += static_cast<char>(c);
+    } else if (std::isdigit(c)) {
+      if (!current.empty() &&
+          std::isalpha(static_cast<unsigned char>(current.back()))) {
+        flush();
+      }
+      current += static_cast<char>(c);
+    } else {
+      flush();  // separators: -, _, ., /, whitespace, anything else
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,44 @@
+#ifndef LSD_TEXT_TOKENIZER_H_
+#define LSD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsd {
+
+/// Options controlling `Tokenize`.
+struct TokenizerOptions {
+  /// Lower-case word tokens.
+  bool lowercase = true;
+  /// Apply the Porter stemmer to word tokens.
+  bool stem = true;
+  /// Drop common English stopwords ("the", "and", ...).
+  bool drop_stopwords = false;
+  /// Emit meaningful symbol characters ($ % # @ / - : ( )) as their own
+  /// single-character tokens; the paper's preprocessing splits "$70000"
+  /// into "$" and "70000".
+  bool keep_symbols = true;
+  /// Emit digit runs as number tokens. Grouping commas inside a number
+  /// ("70,000") are absorbed so one token "70000" is produced.
+  bool keep_numbers = true;
+};
+
+/// Splits text into tokens: maximal letter runs (optionally lower-cased
+/// and stemmed), digit runs, and selected symbols. Other punctuation and
+/// whitespace is discarded.
+std::vector<std::string> Tokenize(
+    std::string_view text, const TokenizerOptions& options = TokenizerOptions());
+
+/// Tokenizes a schema tag name: in addition to the word rules, splits on
+/// '-', '_', '.', '/' and on lowercase→uppercase camel-case boundaries
+/// ("listedPrice" → {"listed","price"}). Numbers are kept, symbols dropped.
+std::vector<std::string> TokenizeName(
+    std::string_view name, const TokenizerOptions& options = TokenizerOptions());
+
+/// Returns true for common English stopwords (lower-case input expected).
+bool IsStopword(std::string_view word);
+
+}  // namespace lsd
+
+#endif  // LSD_TEXT_TOKENIZER_H_

@@ -1,0 +1,341 @@
+#include "xml/dtd.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+const char* OccurrenceSuffix(Occurrence occ) {
+  switch (occ) {
+    case Occurrence::kOne:
+      return "";
+    case Occurrence::kOptional:
+      return "?";
+    case Occurrence::kZeroOrMore:
+      return "*";
+    case Occurrence::kOneOrMore:
+      return "+";
+  }
+  return "";
+}
+
+// Backtracking content-model matcher. `Match` returns every position in
+// `children` reachable by consuming a prefix that matches `particle`,
+// starting at `pos`. Content models in practice are tiny, so exponential
+// worst cases do not matter here.
+void MatchParticle(const ContentParticle& particle,
+                   const std::vector<XmlNode>& children, size_t pos,
+                   std::set<size_t>* out);
+
+// Matches exactly one occurrence of the particle body (ignoring its own
+// occurrence indicator).
+void MatchOnce(const ContentParticle& particle,
+               const std::vector<XmlNode>& children, size_t pos,
+               std::set<size_t>* out) {
+  switch (particle.kind) {
+    case ParticleKind::kPcdata:
+    case ParticleKind::kEmpty:
+    case ParticleKind::kMixed:
+    case ParticleKind::kAny:
+      // Handled at the element level, not inside particle matching.
+      out->insert(pos);
+      return;
+    case ParticleKind::kElement:
+      if (pos < children.size() && children[pos].name == particle.element_name) {
+        out->insert(pos + 1);
+      }
+      return;
+    case ParticleKind::kSequence: {
+      std::set<size_t> frontier = {pos};
+      for (const ContentParticle& part : particle.children) {
+        std::set<size_t> next;
+        for (size_t p : frontier) MatchParticle(part, children, p, &next);
+        frontier.swap(next);
+        if (frontier.empty()) return;
+      }
+      out->insert(frontier.begin(), frontier.end());
+      return;
+    }
+    case ParticleKind::kChoice:
+      for (const ContentParticle& part : particle.children) {
+        MatchParticle(part, children, pos, out);
+      }
+      return;
+  }
+}
+
+void MatchParticle(const ContentParticle& particle,
+                   const std::vector<XmlNode>& children, size_t pos,
+                   std::set<size_t>* out) {
+  switch (particle.occurrence) {
+    case Occurrence::kOne:
+      MatchOnce(particle, children, pos, out);
+      return;
+    case Occurrence::kOptional:
+      out->insert(pos);
+      MatchOnce(particle, children, pos, out);
+      return;
+    case Occurrence::kZeroOrMore:
+    case Occurrence::kOneOrMore: {
+      std::set<size_t> reachable;
+      if (particle.occurrence == Occurrence::kZeroOrMore) {
+        reachable.insert(pos);
+      }
+      std::set<size_t> frontier = {pos};
+      while (!frontier.empty()) {
+        std::set<size_t> next;
+        for (size_t p : frontier) MatchOnce(particle, children, p, &next);
+        std::set<size_t> fresh;
+        for (size_t p : next) {
+          if (reachable.insert(p).second) fresh.insert(p);
+        }
+        frontier.swap(fresh);
+      }
+      out->insert(reachable.begin(), reachable.end());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void ContentParticle::CollectElementNames(std::set<std::string>* out) const {
+  if (kind == ParticleKind::kElement) out->insert(element_name);
+  for (const ContentParticle& child : children) {
+    child.CollectElementNames(out);
+  }
+}
+
+std::string ContentParticle::ToString() const {
+  switch (kind) {
+    case ParticleKind::kPcdata:
+      return "(#PCDATA)";
+    case ParticleKind::kEmpty:
+      return "EMPTY";
+    case ParticleKind::kAny:
+      return "ANY";
+    case ParticleKind::kElement:
+      return element_name + OccurrenceSuffix(occurrence);
+    case ParticleKind::kMixed: {
+      std::string out = "(#PCDATA";
+      for (const ContentParticle& child : children) {
+        out += " | " + child.element_name;
+      }
+      out += ")*";
+      return out;
+    }
+    case ParticleKind::kSequence:
+    case ParticleKind::kChoice: {
+      const char* sep = kind == ParticleKind::kSequence ? ", " : " | ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i].ToString();
+      }
+      out += ")";
+      out += OccurrenceSuffix(occurrence);
+      return out;
+    }
+  }
+  return "";
+}
+
+Status Dtd::AddElement(ElementDecl decl) {
+  if (index_.count(decl.name) > 0) {
+    return Status::AlreadyExists("duplicate element declaration: " + decl.name);
+  }
+  if (root_name_.empty()) root_name_ = decl.name;
+  index_[decl.name] = elements_.size();
+  elements_.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status Dtd::SetRoot(std::string_view name) {
+  if (!Contains(name)) {
+    return Status::NotFound("root element not declared: " + std::string(name));
+  }
+  root_name_ = std::string(name);
+  return Status::OK();
+}
+
+bool Dtd::Contains(std::string_view name) const {
+  return index_.find(name) != index_.end();
+}
+
+const ElementDecl* Dtd::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &elements_[it->second];
+}
+
+std::vector<std::string> Dtd::AllTags() const {
+  std::vector<std::string> out;
+  out.reserve(elements_.size());
+  for (const ElementDecl& decl : elements_) out.push_back(decl.name);
+  return out;
+}
+
+std::vector<std::string> Dtd::LeafTags() const {
+  std::vector<std::string> out;
+  for (const ElementDecl& decl : elements_) {
+    if (decl.IsLeaf()) out.push_back(decl.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Dtd::NonLeafTags() const {
+  std::vector<std::string> out;
+  for (const ElementDecl& decl : elements_) {
+    if (!decl.IsLeaf()) out.push_back(decl.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Dtd::ChildTags(std::string_view name) const {
+  const ElementDecl* decl = Find(name);
+  if (decl == nullptr) return {};
+  std::set<std::string> names;
+  decl->content.CollectElementNames(&names);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+std::vector<std::string> Dtd::ParentTags(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const ElementDecl& decl : elements_) {
+    std::set<std::string> names;
+    decl.content.CollectElementNames(&names);
+    if (names.count(std::string(name)) > 0) out.push_back(decl.name);
+  }
+  return out;
+}
+
+bool Dtd::IsDescendant(std::string_view ancestor,
+                       std::string_view descendant) const {
+  std::set<std::string> visited;
+  std::vector<std::string> stack = ChildTags(ancestor);
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    if (!visited.insert(current).second) continue;
+    if (current == descendant) return true;
+    for (std::string& child : ChildTags(current)) {
+      stack.push_back(std::move(child));
+    }
+  }
+  return false;
+}
+
+size_t Dtd::DescendantCount(std::string_view name) const {
+  std::set<std::string> visited;
+  std::vector<std::string> stack = ChildTags(name);
+  while (!stack.empty()) {
+    std::string current = stack.back();
+    stack.pop_back();
+    if (!visited.insert(current).second) continue;
+    for (std::string& child : ChildTags(current)) {
+      stack.push_back(std::move(child));
+    }
+  }
+  return visited.size();
+}
+
+size_t Dtd::DepthOf(const std::string& name,
+                    std::set<std::string>* on_path) const {
+  if (on_path->size() > 32 || !on_path->insert(name).second) return 1;
+  size_t deepest = 0;
+  for (const std::string& child : ChildTags(name)) {
+    deepest = std::max(deepest, DepthOf(child, on_path));
+  }
+  on_path->erase(name);
+  return deepest + 1;
+}
+
+size_t Dtd::MaxDepth() const {
+  if (root_name_.empty()) return 0;
+  std::set<std::string> on_path;
+  return DepthOf(root_name_, &on_path);
+}
+
+Status Dtd::Validate() const {
+  if (elements_.empty()) return Status::FailedPrecondition("empty DTD");
+  if (!Contains(root_name_)) {
+    return Status::FailedPrecondition("root element not declared: " +
+                                      root_name_);
+  }
+  for (const ElementDecl& decl : elements_) {
+    std::set<std::string> referenced;
+    decl.content.CollectElementNames(&referenced);
+    for (const std::string& name : referenced) {
+      if (!Contains(name)) {
+        return Status::FailedPrecondition("element '" + decl.name +
+                                          "' references undeclared '" + name +
+                                          "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Dtd::ValidateDocument(const XmlNode& node) const {
+  const ElementDecl* decl = Find(node.name);
+  if (decl == nullptr) {
+    return Status::FailedPrecondition("undeclared element: " + node.name);
+  }
+  switch (decl->content.kind) {
+    case ParticleKind::kEmpty:
+      if (!node.children.empty() || !node.text.empty()) {
+        return Status::FailedPrecondition("element '" + node.name +
+                                          "' declared EMPTY has content");
+      }
+      break;
+    case ParticleKind::kPcdata:
+      if (!node.children.empty()) {
+        return Status::FailedPrecondition(
+            "element '" + node.name + "' declared (#PCDATA) has children");
+      }
+      break;
+    case ParticleKind::kAny:
+      break;
+    case ParticleKind::kMixed: {
+      std::set<std::string> allowed;
+      decl->content.CollectElementNames(&allowed);
+      for (const XmlNode& child : node.children) {
+        if (allowed.count(child.name) == 0) {
+          return Status::FailedPrecondition("element '" + child.name +
+                                            "' not allowed in mixed content of '" +
+                                            node.name + "'");
+        }
+      }
+      break;
+    }
+    case ParticleKind::kElement:
+    case ParticleKind::kSequence:
+    case ParticleKind::kChoice: {
+      std::set<size_t> ends;
+      MatchParticle(decl->content, node.children, 0, &ends);
+      if (ends.count(node.children.size()) == 0) {
+        return Status::FailedPrecondition(
+            "children of '" + node.name + "' do not match content model " +
+            decl->content.ToString());
+      }
+      break;
+    }
+  }
+  for (const XmlNode& child : node.children) {
+    LSD_RETURN_IF_ERROR(ValidateDocument(child));
+  }
+  return Status::OK();
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const ElementDecl& decl : elements_) {
+    out += "<!ELEMENT " + decl.name + " " + decl.content.ToString() + ">\n";
+  }
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,160 @@
+#ifndef LSD_XML_DTD_H_
+#define LSD_XML_DTD_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// Kinds of content-model particles in a DTD element declaration.
+enum class ParticleKind {
+  kPcdata,    // (#PCDATA)
+  kElement,   // a child element reference
+  kSequence,  // (a, b, c)
+  kChoice,    // (a | b | c)
+  kMixed,     // (#PCDATA | a | b)*
+  kEmpty,     // EMPTY
+  kAny,       // ANY
+};
+
+/// Occurrence indicator attached to a particle.
+enum class Occurrence {
+  kOne,         // no suffix
+  kOptional,    // ?
+  kZeroOrMore,  // *
+  kOneOrMore,   // +
+};
+
+/// One node of a content model's particle tree.
+struct ContentParticle {
+  ParticleKind kind = ParticleKind::kEmpty;
+  Occurrence occurrence = Occurrence::kOne;
+  /// Set for kElement particles.
+  std::string element_name;
+  /// Sub-particles for kSequence / kChoice; the allowed element particles
+  /// for kMixed.
+  std::vector<ContentParticle> children;
+
+  static ContentParticle Pcdata() {
+    ContentParticle p;
+    p.kind = ParticleKind::kPcdata;
+    return p;
+  }
+  static ContentParticle Element(std::string name,
+                                 Occurrence occ = Occurrence::kOne) {
+    ContentParticle p;
+    p.kind = ParticleKind::kElement;
+    p.element_name = std::move(name);
+    p.occurrence = occ;
+    return p;
+  }
+  static ContentParticle Sequence(std::vector<ContentParticle> parts,
+                                  Occurrence occ = Occurrence::kOne) {
+    ContentParticle p;
+    p.kind = ParticleKind::kSequence;
+    p.children = std::move(parts);
+    p.occurrence = occ;
+    return p;
+  }
+  static ContentParticle Choice(std::vector<ContentParticle> parts,
+                                Occurrence occ = Occurrence::kOne) {
+    ContentParticle p;
+    p.kind = ParticleKind::kChoice;
+    p.children = std::move(parts);
+    p.occurrence = occ;
+    return p;
+  }
+
+  /// Collects the names of all element particles in this subtree.
+  void CollectElementNames(std::set<std::string>* out) const;
+
+  /// Renders the particle in DTD syntax, e.g. "(a, b?, (c | d)*)".
+  std::string ToString() const;
+};
+
+/// A single `<!ELEMENT name content>` declaration.
+struct ElementDecl {
+  std::string name;
+  ContentParticle content;
+
+  /// A leaf element holds only character data (or nothing).
+  bool IsLeaf() const {
+    return content.kind == ParticleKind::kPcdata ||
+           content.kind == ParticleKind::kEmpty;
+  }
+};
+
+/// A Document Type Definition: an ordered set of element declarations with
+/// a designated root. This is LSD's notion of a schema (both mediated and
+/// source schemas are DTDs, per Section 2.1 of the paper).
+class Dtd {
+ public:
+  Dtd() = default;
+
+  /// Adds a declaration. Returns AlreadyExists on duplicate names. The
+  /// first declaration added becomes the root unless `set_root` is called.
+  Status AddElement(ElementDecl decl);
+
+  /// Overrides the root element name.
+  Status SetRoot(std::string_view name);
+  const std::string& root_name() const { return root_name_; }
+
+  bool Contains(std::string_view name) const;
+  const ElementDecl* Find(std::string_view name) const;
+
+  /// Declarations in insertion order.
+  const std::vector<ElementDecl>& elements() const { return elements_; }
+
+  /// All declared tag names, in insertion order.
+  std::vector<std::string> AllTags() const;
+  /// Tags whose content is (#PCDATA) or EMPTY.
+  std::vector<std::string> LeafTags() const;
+  /// Tags with element content.
+  std::vector<std::string> NonLeafTags() const;
+
+  /// Names of the elements that may appear as direct children of `name`.
+  std::vector<std::string> ChildTags(std::string_view name) const;
+
+  /// Names of declared elements that can contain `name` directly.
+  std::vector<std::string> ParentTags(std::string_view name) const;
+
+  /// True when `descendant` is reachable from `ancestor` through child
+  /// edges (proper descendant).
+  bool IsDescendant(std::string_view ancestor, std::string_view descendant) const;
+
+  /// Number of distinct tags reachable strictly below `name` (the paper's
+  /// Section 6.3 "structure score" used to order feedback queries).
+  size_t DescendantCount(std::string_view name) const;
+
+  /// Maximum nesting depth of the schema tree, counting the root as 1.
+  /// Recursive DTDs are truncated at a fixed bound.
+  size_t MaxDepth() const;
+
+  /// Checks internal consistency: root declared, every referenced element
+  /// declared.
+  Status Validate() const;
+
+  /// Validates `node` (and subtree) against this DTD: its tag is declared
+  /// and each element's children match its content model.
+  Status ValidateDocument(const XmlNode& node) const;
+
+  /// Renders the whole DTD in `<!ELEMENT ...>` syntax.
+  std::string ToString() const;
+
+ private:
+  size_t DepthOf(const std::string& name, std::set<std::string>* on_path) const;
+
+  std::vector<ElementDecl> elements_;
+  std::map<std::string, size_t, std::less<>> index_;
+  std::string root_name_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_XML_DTD_H_

@@ -1,0 +1,234 @@
+#include "xml/dtd_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ||
+         c == '.' || c == ':';
+}
+
+/// Cursor-based parser for DTD declaration syntax.
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view input) : input_(input) {}
+
+  StatusOr<Dtd> ParseAll() {
+    Dtd dtd;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      if (LookingAt("<!ELEMENT")) {
+        pos_ += 9;
+        LSD_ASSIGN_OR_RETURN(ElementDecl decl, ParseElementDecl());
+        LSD_RETURN_IF_ERROR(dtd.AddElement(std::move(decl)));
+      } else if (LookingAt("<!ATTLIST")) {
+        LSD_RETURN_IF_ERROR(SkipDeclaration());
+      } else if (LookingAt("<!ENTITY") || LookingAt("<!NOTATION")) {
+        LSD_RETURN_IF_ERROR(SkipDeclaration());
+      } else {
+        return Error("expected a DTD declaration");
+      }
+    }
+    LSD_RETURN_IF_ERROR(dtd.Validate());
+    return dtd;
+  }
+
+  StatusOr<ContentParticle> ParseModelOnly() {
+    SkipWhitespaceAndComments();
+    LSD_ASSIGN_OR_RETURN(ContentParticle particle, ParseContentSpec());
+    SkipWhitespaceAndComments();
+    if (!AtEnd()) return Error("trailing content after content model");
+    return particle;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::ParseError(
+        StrFormat("DTD parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status SkipDeclaration() {
+    size_t end = input_.find('>', pos_);
+    if (end == std::string_view::npos) return Error("unterminated declaration");
+    pos_ = end + 1;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ParseName() {
+    SkipWhitespace();
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Occurrence ParseOccurrence() {
+    if (AtEnd()) return Occurrence::kOne;
+    switch (Peek()) {
+      case '?':
+        ++pos_;
+        return Occurrence::kOptional;
+      case '*':
+        ++pos_;
+        return Occurrence::kZeroOrMore;
+      case '+':
+        ++pos_;
+        return Occurrence::kOneOrMore;
+      default:
+        return Occurrence::kOne;
+    }
+  }
+
+  StatusOr<ElementDecl> ParseElementDecl() {
+    ElementDecl decl;
+    LSD_ASSIGN_OR_RETURN(decl.name, ParseName());
+    SkipWhitespace();
+    LSD_ASSIGN_OR_RETURN(decl.content, ParseContentSpec());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("expected '>' after content model");
+    ++pos_;
+    return decl;
+  }
+
+  StatusOr<ContentParticle> ParseContentSpec() {
+    SkipWhitespace();
+    if (LookingAt("EMPTY")) {
+      pos_ += 5;
+      ContentParticle p;
+      p.kind = ParticleKind::kEmpty;
+      return p;
+    }
+    if (LookingAt("ANY")) {
+      pos_ += 3;
+      ContentParticle p;
+      p.kind = ParticleKind::kAny;
+      return p;
+    }
+    if (AtEnd() || Peek() != '(') return Error("expected '(' in content model");
+    return ParseGroup();
+  }
+
+  // Parses a parenthesized group: '(' already at cursor.
+  StatusOr<ContentParticle> ParseGroup() {
+    ++pos_;  // consume '('
+    SkipWhitespace();
+    if (LookingAt("#PCDATA")) {
+      pos_ += 7;
+      return ParseMixedTail();
+    }
+    std::vector<ContentParticle> parts;
+    char separator = 0;
+    while (true) {
+      LSD_ASSIGN_OR_RETURN(ContentParticle part, ParseCp());
+      parts.push_back(std::move(part));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated group");
+      char c = Peek();
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      if (c != ',' && c != '|') return Error("expected ',', '|' or ')'");
+      if (separator != 0 && c != separator) {
+        return Error("mixed ',' and '|' in one group");
+      }
+      separator = c;
+      ++pos_;
+    }
+    ContentParticle group;
+    group.kind =
+        separator == '|' ? ParticleKind::kChoice : ParticleKind::kSequence;
+    group.children = std::move(parts);
+    group.occurrence = ParseOccurrence();
+    // Collapse single-child sequences to the child with merged occurrence
+    // only when the group carries no indicator of its own.
+    if (group.children.size() == 1 && group.occurrence == Occurrence::kOne) {
+      return std::move(group.children[0]);
+    }
+    return group;
+  }
+
+  // After "#PCDATA": either ")" or "| name | name )*".
+  StatusOr<ContentParticle> ParseMixedTail() {
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ')') {
+      ++pos_;
+      ParseOccurrence();  // "(#PCDATA)*" is legal; indicator is irrelevant.
+      return ContentParticle::Pcdata();
+    }
+    ContentParticle mixed;
+    mixed.kind = ParticleKind::kMixed;
+    mixed.occurrence = Occurrence::kZeroOrMore;
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated mixed content");
+      if (Peek() == ')') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '*') ++pos_;
+        return mixed;
+      }
+      if (Peek() != '|') return Error("expected '|' in mixed content");
+      ++pos_;
+      LSD_ASSIGN_OR_RETURN(std::string name, ParseName());
+      mixed.children.push_back(ContentParticle::Element(std::move(name)));
+    }
+  }
+
+  // cp ::= (name | group) occurrence?
+  StatusOr<ContentParticle> ParseCp() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of content model");
+    if (Peek() == '(') return ParseGroup();
+    LSD_ASSIGN_OR_RETURN(std::string name, ParseName());
+    ContentParticle p = ContentParticle::Element(std::move(name));
+    p.occurrence = ParseOccurrence();
+    return p;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Dtd> ParseDtd(std::string_view input) {
+  DtdParser parser(input);
+  return parser.ParseAll();
+}
+
+StatusOr<ContentParticle> ParseContentModel(std::string_view input) {
+  DtdParser parser(input);
+  return parser.ParseModelOnly();
+}
+
+}  // namespace lsd

@@ -1,0 +1,22 @@
+#ifndef LSD_XML_DTD_PARSER_H_
+#define LSD_XML_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/dtd.h"
+
+namespace lsd {
+
+/// Parses DTD text consisting of `<!ELEMENT ...>` declarations (plus
+/// `<!ATTLIST ...>` declarations and comments, which are skipped). The
+/// first declared element becomes the DTD root. Returns ParseError on
+/// malformed input and the `Dtd::Validate` error on dangling references.
+StatusOr<Dtd> ParseDtd(std::string_view input);
+
+/// Parses a single content-model expression, e.g. "(a, b?, (c | d)*)".
+StatusOr<ContentParticle> ParseContentModel(std::string_view input);
+
+}  // namespace lsd
+
+#endif  // LSD_XML_DTD_PARSER_H_

@@ -1,0 +1,140 @@
+#include "xml/xml.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lsd {
+
+const XmlNode* XmlNode::FindChild(std::string_view tag) const {
+  for (const XmlNode& child : children) {
+    if (child.name == tag) return &child;
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::FindChild(std::string_view tag) {
+  for (XmlNode& child : children) {
+    if (child.name == tag) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(std::string_view tag) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& child : children) {
+    if (child.name == tag) out.push_back(&child);
+  }
+  return out;
+}
+
+std::string XmlNode::DeepText() const {
+  std::string out;
+  Visit([&out](const XmlNode& node, size_t) {
+    if (node.text.empty()) return;
+    if (!out.empty()) out += ' ';
+    out += node.text;
+  });
+  return out;
+}
+
+std::string_view XmlNode::Attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t count = 1;
+  for (const XmlNode& child : children) count += child.SubtreeSize();
+  return count;
+}
+
+size_t XmlNode::Depth() const {
+  size_t deepest = 0;
+  for (const XmlNode& child : children) {
+    deepest = std::max(deepest, child.Depth());
+  }
+  return deepest + 1;
+}
+
+bool XmlNode::operator==(const XmlNode& other) const {
+  return name == other.name && text == other.text &&
+         attributes == other.attributes && children == other.children;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string XmlUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out += s[i++];
+      continue;
+    }
+    size_t semi = s.find(';', i);
+    if (semi == std::string_view::npos) {
+      out += s[i++];
+      continue;
+    }
+    std::string_view entity = s.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; emit as a single byte when it fits.
+      long code;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code > 0 && code < 128) {
+        out += static_cast<char>(code);
+      } else {
+        out += '?';
+      }
+    } else {
+      // Unknown entity: keep verbatim.
+      out.append(s.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace lsd

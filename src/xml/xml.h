@@ -1,0 +1,90 @@
+#ifndef LSD_XML_XML_H_
+#define LSD_XML_XML_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lsd {
+
+/// A single XML element: a tag name, optional attributes, text content,
+/// and child elements. Mixed content is normalized: all character data
+/// directly inside an element is concatenated into `text` (whitespace
+/// collapsed by the parser), preserving the information LSD's learners
+/// consume. Value semantics: nodes own their subtree.
+struct XmlNode {
+  std::string name;
+  std::string text;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<XmlNode> children;
+
+  XmlNode() = default;
+  explicit XmlNode(std::string tag) : name(std::move(tag)) {}
+  XmlNode(std::string tag, std::string content)
+      : name(std::move(tag)), text(std::move(content)) {}
+
+  /// True when the element has no child elements.
+  bool IsLeaf() const { return children.empty(); }
+
+  /// Appends a child element and returns a reference to it.
+  XmlNode& AddChild(std::string tag) {
+    children.emplace_back(std::move(tag));
+    return children.back();
+  }
+  XmlNode& AddChild(std::string tag, std::string content) {
+    children.emplace_back(std::move(tag), std::move(content));
+    return children.back();
+  }
+
+  /// Returns the first child with the given tag, or nullptr.
+  const XmlNode* FindChild(std::string_view tag) const;
+  XmlNode* FindChild(std::string_view tag);
+
+  /// Returns all children with the given tag.
+  std::vector<const XmlNode*> FindChildren(std::string_view tag) const;
+
+  /// Concatenates the text of this node and its whole subtree, separating
+  /// pieces with single spaces.
+  std::string DeepText() const;
+
+  /// Returns the value of an attribute, or empty string when absent.
+  std::string_view Attribute(std::string_view key) const;
+
+  /// Number of nodes in the subtree rooted here (including this node).
+  size_t SubtreeSize() const;
+
+  /// Height of the subtree: 1 for a leaf.
+  size_t Depth() const;
+
+  /// Invokes `fn(node, depth)` on this node and every descendant,
+  /// pre-order.
+  template <typename Fn>
+  void Visit(Fn&& fn, size_t depth = 0) const {
+    fn(*this, depth);
+    for (const XmlNode& child : children) child.Visit(fn, depth + 1);
+  }
+
+  bool operator==(const XmlNode& other) const;
+};
+
+/// An XML document: a prolog-free wrapper around the unique root element.
+struct XmlDocument {
+  XmlNode root;
+
+  XmlDocument() = default;
+  explicit XmlDocument(XmlNode root_node) : root(std::move(root_node)) {}
+};
+
+/// Escapes `&`, `<`, `>`, `"`, `'` for inclusion in XML text or attribute
+/// values.
+std::string XmlEscape(std::string_view s);
+
+/// Reverses `XmlEscape` for the five predefined entities plus numeric
+/// character references (&#...; and &#x...;), leaving unknown entities
+/// verbatim.
+std::string XmlUnescape(std::string_view s);
+
+}  // namespace lsd
+
+#endif  // LSD_XML_XML_H_

@@ -1,0 +1,248 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Recursive-descent XML parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  StatusOr<XmlNode> ParseDocumentRoot() {
+    LSD_RETURN_IF_ERROR(SkipProlog());
+    XmlNode root;
+    LSD_RETURN_IF_ERROR(ParseElement(&root));
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(StrFormat("XML parse error at line %zu col %zu: %s",
+                                        line, col, what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Status SkipUntil(std::string_view terminator) {
+    size_t hit = input_.find(terminator, pos_);
+    if (hit == std::string_view::npos) {
+      return Error("unterminated construct; expected '" +
+                   std::string(terminator) + "'");
+    }
+    pos_ = hit + terminator.size();
+    return Status::OK();
+  }
+
+  // Skips comments and processing instructions at the current position.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        if (!SkipUntil("-->").ok()) {
+          pos_ = input_.size();
+          return;
+        }
+      } else if (LookingAt("<?")) {
+        if (!SkipUntil("?>").ok()) {
+          pos_ = input_.size();
+          return;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status SkipProlog() {
+    SkipMisc();
+    if (LookingAt("<!DOCTYPE")) {
+      // Skip, honoring a bracketed internal subset.
+      size_t depth = 0;
+      while (!AtEnd()) {
+        char c = Peek();
+        ++pos_;
+        if (c == '[') {
+          ++depth;
+        } else if (c == ']') {
+          if (depth > 0) --depth;
+        } else if (c == '>' && depth == 0) {
+          break;
+        }
+      }
+      SkipMisc();
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Status ParseAttributes(XmlNode* node, bool* self_closing) {
+    *self_closing = false;
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (LookingAt("/>")) {
+        pos_ += 2;
+        *self_closing = true;
+        return Status::OK();
+      }
+      LSD_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) ++pos_;
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value = XmlUnescape(input_.substr(start, pos_ - start));
+      ++pos_;
+      node->attributes.emplace_back(std::move(key), std::move(value));
+    }
+  }
+
+  // Appends `raw` (already unescaped) to node->text with whitespace
+  // normalization: internal runs collapse to one space; a space separates
+  // successive pieces.
+  static void AppendText(XmlNode* node, std::string_view raw) {
+    std::string normalized;
+    bool in_space = true;
+    for (char c : raw) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) normalized += ' ';
+        in_space = true;
+      } else {
+        normalized += c;
+        in_space = false;
+      }
+    }
+    while (!normalized.empty() && normalized.back() == ' ') {
+      normalized.pop_back();
+    }
+    if (normalized.empty()) return;
+    if (!node->text.empty()) node->text += ' ';
+    node->text += normalized;
+  }
+
+  Status ParseContent(XmlNode* node) {
+    while (true) {
+      if (AtEnd()) return Error("unterminated element '" + node->name + "'");
+      if (LookingAt("</")) return Status::OK();
+      if (LookingAt("<!--")) {
+        LSD_RETURN_IF_ERROR(SkipUntil("-->"));
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        pos_ += 9;
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) return Error("unterminated CDATA");
+        AppendText(node, input_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+        continue;
+      }
+      if (LookingAt("<?")) {
+        LSD_RETURN_IF_ERROR(SkipUntil("?>"));
+        continue;
+      }
+      if (Peek() == '<') {
+        node->children.emplace_back();
+        LSD_RETURN_IF_ERROR(ParseElement(&node->children.back()));
+        continue;
+      }
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '<') ++pos_;
+      AppendText(node, XmlUnescape(input_.substr(start, pos_ - start)));
+    }
+  }
+
+  Status ParseElement(XmlNode* node) {
+    if (AtEnd() || Peek() != '<') return Error("expected start tag");
+    ++pos_;
+    LSD_ASSIGN_OR_RETURN(node->name, ParseName());
+    bool self_closing = false;
+    LSD_RETURN_IF_ERROR(ParseAttributes(node, &self_closing));
+    if (self_closing) return Status::OK();
+    LSD_RETURN_IF_ERROR(ParseContent(node));
+    // At "</".
+    pos_ += 2;
+    LSD_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+    if (close_name != node->name) {
+      return Error("mismatched close tag '" + close_name + "' for '" +
+                   node->name + "'");
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') return Error("malformed close tag");
+    ++pos_;
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<XmlDocument> ParseXml(std::string_view input) {
+  Parser parser(input);
+  LSD_ASSIGN_OR_RETURN(XmlNode root, parser.ParseDocumentRoot());
+  return XmlDocument(std::move(root));
+}
+
+StatusOr<XmlNode> ParseXmlElement(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocumentRoot();
+}
+
+}  // namespace lsd

@@ -1,0 +1,29 @@
+#ifndef LSD_XML_XML_PARSER_H_
+#define LSD_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// Parses an XML document from `input`. Supported subset (everything LSD's
+/// data pipeline produces and consumes):
+///   * elements with attributes, self-closing tags;
+///   * character data with the predefined entities and numeric references;
+///   * CDATA sections;
+///   * comments and processing instructions (skipped);
+///   * an XML declaration and a DOCTYPE clause (skipped; use `ParseDtd`
+///     for the DTD itself).
+/// Character data directly inside an element is whitespace-normalized and
+/// accumulated into the element's `text`.
+/// Returns ParseError with a line/column locator on malformed input.
+StatusOr<XmlDocument> ParseXml(std::string_view input);
+
+/// Parses a fragment: like `ParseXml` but returns the root element.
+StatusOr<XmlNode> ParseXmlElement(std::string_view input);
+
+}  // namespace lsd
+
+#endif  // LSD_XML_XML_PARSER_H_

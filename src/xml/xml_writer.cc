@@ -1,0 +1,67 @@
+#include "xml/xml_writer.h"
+
+namespace lsd {
+namespace {
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& options, int depth,
+               std::string* out) {
+  std::string indent;
+  if (options.pretty) {
+    indent.assign(static_cast<size_t>(depth * options.indent_width), ' ');
+  }
+  *out += indent;
+  *out += '<';
+  *out += node.name;
+  for (const auto& [key, value] : node.attributes) {
+    *out += ' ';
+    *out += key;
+    *out += "=\"";
+    *out += XmlEscape(value);
+    *out += '"';
+  }
+  if (node.text.empty() && node.children.empty()) {
+    *out += "/>";
+    if (options.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (node.children.empty()) {
+    *out += XmlEscape(node.text);
+  } else {
+    if (options.pretty) *out += '\n';
+    if (!node.text.empty()) {
+      if (options.pretty) {
+        *out += indent;
+        *out += std::string(static_cast<size_t>(options.indent_width), ' ');
+      }
+      *out += XmlEscape(node.text);
+      if (options.pretty) *out += '\n';
+    }
+    for (const XmlNode& child : node.children) {
+      WriteNode(child, options, depth + 1, out);
+    }
+    *out += indent;
+  }
+  *out += "</";
+  *out += node.name;
+  *out += '>';
+  if (options.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += '\n';
+  }
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  return WriteXml(doc.root, options);
+}
+
+}  // namespace lsd

@@ -1,0 +1,31 @@
+#ifndef LSD_XML_XML_WRITER_H_
+#define LSD_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// Serialization options for `WriteXml`.
+struct XmlWriteOptions {
+  /// When true, children are placed on their own lines with `indent_width`
+  /// spaces per nesting level; leaf text stays inline.
+  bool pretty = true;
+  int indent_width = 2;
+  /// When true an XML declaration ("<?xml version=...?>") is emitted.
+  bool declaration = false;
+};
+
+/// Serializes a node (and its subtree) to XML text. Round-trips with
+/// `ParseXml` up to whitespace normalization.
+std::string WriteXml(const XmlNode& node,
+                     const XmlWriteOptions& options = XmlWriteOptions());
+
+/// Serializes a document.
+std::string WriteXml(const XmlDocument& doc,
+                     const XmlWriteOptions& options = XmlWriteOptions());
+
+}  // namespace lsd
+
+#endif  // LSD_XML_XML_WRITER_H_

@@ -1,0 +1,398 @@
+#include <cmath>
+#include <set>
+
+#include "common/linalg.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, FactoryCodesAreDistinct) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::FailedPrecondition("").code(),
+      Status::OutOfRange("").code(),      Status::ParseError("").code(),
+      Status::Unimplemented("").code(),   Status::Internal("").code()};
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> extracted = std::move(v).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UseMacros(int x, int* out) {
+  LSD_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  LSD_RETURN_IF_ERROR(Status::OK());
+  *out = value * 2;
+  return Status::OK();
+}
+
+TEST(StatusOrTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(5, &out).ok());
+  EXPECT_EQ(out, 10);
+  Status failed = UseMacros(-1, &out);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("Hello-World 42"), "hello-world 42");
+  EXPECT_EQ(ToUpper("Hello"), "HELLO");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitAny) {
+  EXPECT_EQ(SplitAny("a-b_c", "-_"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAny("  a  b ", " "), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringsTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+  EXPECT_TRUE(Contains("haystack", "stack"));
+  EXPECT_TRUE(ContainsIgnoreCase("AgentPhone", "phone"));
+  EXPECT_FALSE(ContainsIgnoreCase("agent", "phone"));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("0123"));
+  EXPECT_FALSE(IsAllDigits(""));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits("-1"));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble(" 3.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("12x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values should appear
+}
+
+TEST(RngTest, UniformIntDegenerate) {
+  Rng rng(9);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.5) ? 1 : 0;
+  EXPECT_GT(heads, 4700);
+  EXPECT_LT(heads, 5300);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, PickWeightedFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.PickWeighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[1], counts[2] * 5);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+// ---------------------------------------------------------------------------
+// Linalg
+// ---------------------------------------------------------------------------
+
+TEST(LinalgTest, SolveIdentity) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;
+  auto x = SolveLinearSystem(a, {3.0, 4.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 4.0);
+}
+
+TEST(LinalgTest, SolveRequiresPivoting) {
+  // First pivot is zero; partial pivoting must handle it.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {5.0, 6.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 6.0);
+  EXPECT_DOUBLE_EQ((*x)[1], 5.0);
+}
+
+TEST(LinalgTest, SolveSingularFails) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {1.0, 2.0});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LinalgTest, SolveShapeErrors) {
+  Matrix rect(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(rect, {1, 2}).ok());
+  Matrix sq(2, 2);
+  EXPECT_FALSE(SolveLinearSystem(sq, {1, 2, 3}).ok());
+}
+
+TEST(LinalgTest, LeastSquaresExactFit) {
+  // y = 2*x1 + 3*x2, overdetermined.
+  Matrix a(4, 2);
+  std::vector<double> b(4);
+  double xs[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  for (int i = 0; i < 4; ++i) {
+    a.at(i, 0) = xs[i][0];
+    a.at(i, 1) = xs[i][1];
+    b[static_cast<size_t>(i)] = 2 * xs[i][0] + 3 * xs[i][1];
+  }
+  auto x = LeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-3);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-3);
+}
+
+TEST(LinalgTest, LeastSquaresNonNegativeClampsNegatives) {
+  // Best unconstrained fit has a negative coefficient on column 1.
+  Matrix a(3, 2);
+  double rows[3][2] = {{1, 1}, {1, 0}, {0, 1}};
+  std::vector<double> b = {0.0, 1.0, -1.0};
+  for (int i = 0; i < 3; ++i) {
+    a.at(i, 0) = rows[i][0];
+    a.at(i, 1) = rows[i][1];
+  }
+  LeastSquaresOptions options;
+  options.non_negative = true;
+  auto x = LeastSquares(a, b, options);
+  ASSERT_TRUE(x.ok());
+  EXPECT_GE((*x)[0], 0.0);
+  EXPECT_GE((*x)[1], 0.0);
+  EXPECT_NEAR((*x)[1], 0.0, 1e-9);  // clamped
+}
+
+TEST(LinalgTest, LeastSquaresCollinearColumnsSurviveViaRidge) {
+  Matrix a(3, 2);
+  for (int i = 0; i < 3; ++i) {
+    a.at(i, 0) = i + 1.0;
+    a.at(i, 1) = 2.0 * (i + 1.0);  // exactly collinear
+  }
+  std::vector<double> b = {1, 2, 3};
+  LeastSquaresOptions options;
+  options.ridge = 1e-4;
+  auto x = LeastSquares(a, b, options);
+  ASSERT_TRUE(x.ok());
+  // Fit should still reproduce b approximately: x0 + 2*x1 ≈ 1.
+  EXPECT_NEAR((*x)[0] + 2 * (*x)[1], 1.0, 1e-2);
+}
+
+TEST(LinalgTest, LeastSquaresRejectsEmptyAndMismatch) {
+  Matrix empty;
+  EXPECT_FALSE(LeastSquares(empty, {}).ok());
+  Matrix a(2, 1);
+  EXPECT_FALSE(LeastSquares(a, {1.0}).ok());
+}
+
+TEST(LinalgTest, NormalizeToDistribution) {
+  std::vector<double> v = {1.0, 3.0};
+  NormalizeToDistribution(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(LinalgTest, NormalizeNegativesClampedThenUniformFallback) {
+  std::vector<double> v = {-1.0, -2.0};
+  NormalizeToDistribution(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  std::vector<double> mixed = {-1.0, 1.0};
+  NormalizeToDistribution(&mixed);
+  EXPECT_DOUBLE_EQ(mixed[0], 0.0);
+  EXPECT_DOUBLE_EQ(mixed[1], 1.0);
+}
+
+TEST(LinalgTest, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(LinalgTest, TransposeTimesSelf) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix ata = a.TransposeTimesSelf();
+  EXPECT_DOUBLE_EQ(ata.at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ata.at(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(ata.at(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(ata.at(1, 1), 20.0);
+}
+
+}  // namespace
+}  // namespace lsd

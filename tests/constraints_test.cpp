@@ -1,0 +1,473 @@
+#include <memory>
+
+#include "constraints/astar_searcher.h"
+#include "constraints/constraint.h"
+#include "constraints/handler.h"
+#include "gtest/gtest.h"
+#include "schema/extraction.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+// Shared fixture: a small real-estate-like source schema with nesting.
+//   listing -> (location, price, contact(name, phone), beds, baths, ad-id)
+class ConstraintFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_.name = "fixture";
+    source_.schema = ParseDtd(R"(
+      <!ELEMENT listing (location, price, contact, beds, baths, ad-id)>
+      <!ELEMENT location (#PCDATA)>
+      <!ELEMENT price (#PCDATA)>
+      <!ELEMENT contact (name, phone)>
+      <!ELEMENT name (#PCDATA)>
+      <!ELEMENT phone (#PCDATA)>
+      <!ELEMENT beds (#PCDATA)>
+      <!ELEMENT baths (#PCDATA)>
+      <!ELEMENT ad-id (#PCDATA)>
+    )").value();
+    source_.listings.push_back(ParseXml(R"(
+      <listing><location>Miami</location><price>$100</price>
+        <contact><name>Kate</name><phone>111</phone></contact>
+        <beds>3</beds><baths>2</baths><ad-id>A1</ad-id></listing>)").value());
+    source_.listings.push_back(ParseXml(R"(
+      <listing><location>Boston</location><price>$200</price>
+        <contact><name>Kate</name><phone>111</phone></contact>
+        <beds>3</beds><baths>1</baths><ad-id>A2</ad-id></listing>)").value());
+    columns_ = ExtractColumns(source_).value();
+    context_ = std::make_unique<ConstraintContext>(&source_.schema, &columns_);
+    labels_ = LabelSpace({"HOUSE", "ADDRESS", "PRICE", "CONTACT", "AGENT-NAME",
+                          "AGENT-PHONE", "BEDS", "BATHS"});
+  }
+
+  // Builds the gold assignment.
+  Assignment GoldAssignment() const {
+    Assignment a(context_->tags().size());
+    auto set = [&](const char* tag, const char* label) {
+      a.labels[static_cast<size_t>(context_->TagIndex(tag))] =
+          labels_.IndexOf(label);
+    };
+    set("listing", "HOUSE");
+    set("location", "ADDRESS");
+    set("price", "PRICE");
+    set("contact", "CONTACT");
+    set("name", "AGENT-NAME");
+    set("phone", "AGENT-PHONE");
+    set("beds", "BEDS");
+    set("baths", "BATHS");
+    set("ad-id", "OTHER");
+    return a;
+  }
+
+  DataSource source_;
+  std::vector<Column> columns_;
+  std::unique_ptr<ConstraintContext> context_;
+  LabelSpace labels_;
+};
+
+// ---------------------------------------------------------------------------
+// ConstraintContext
+// ---------------------------------------------------------------------------
+
+TEST_F(ConstraintFixture, TagIndexing) {
+  EXPECT_EQ(context_->tags().size(), 9u);
+  EXPECT_GE(context_->TagIndex("phone"), 0);
+  EXPECT_EQ(context_->TagIndex("zzz"), -1);
+}
+
+TEST_F(ConstraintFixture, NestingRelations) {
+  int listing = context_->TagIndex("listing");
+  int contact = context_->TagIndex("contact");
+  int phone = context_->TagIndex("phone");
+  int price = context_->TagIndex("price");
+  EXPECT_TRUE(context_->IsNestedIn(phone, contact));
+  EXPECT_TRUE(context_->IsNestedIn(phone, listing));  // transitive
+  EXPECT_TRUE(context_->IsNestedIn(contact, listing));
+  EXPECT_FALSE(context_->IsNestedIn(price, contact));
+  EXPECT_FALSE(context_->IsNestedIn(contact, phone));  // not symmetric
+}
+
+TEST_F(ConstraintFixture, SiblingsAndBetween) {
+  int location = context_->TagIndex("location");
+  int price = context_->TagIndex("price");
+  int beds = context_->TagIndex("beds");
+  int baths = context_->TagIndex("baths");
+  int phone = context_->TagIndex("phone");
+  EXPECT_TRUE(context_->AreSiblings(location, price));
+  EXPECT_TRUE(context_->AreSiblings(beds, baths));
+  EXPECT_FALSE(context_->AreSiblings(location, phone));
+  EXPECT_TRUE(context_->TagsBetween(beds, baths).empty());
+  // location .. beds has price and contact between them.
+  auto between = context_->TagsBetween(location, beds);
+  EXPECT_EQ(between.size(), 2u);
+}
+
+TEST_F(ConstraintFixture, TreeDistance) {
+  int location = context_->TagIndex("location");
+  int price = context_->TagIndex("price");
+  int phone = context_->TagIndex("phone");
+  int listing = context_->TagIndex("listing");
+  EXPECT_EQ(context_->TreeDistance(location, location), 0);
+  EXPECT_EQ(context_->TreeDistance(location, price), 2);
+  EXPECT_EQ(context_->TreeDistance(location, phone), 3);
+  EXPECT_EQ(context_->TreeDistance(listing, phone), 2);
+}
+
+TEST_F(ConstraintFixture, ColumnKeyDetection) {
+  // ad-id values are unique; name values repeat.
+  EXPECT_TRUE(context_->ColumnLooksLikeKey(context_->TagIndex("ad-id")));
+  EXPECT_FALSE(context_->ColumnLooksLikeKey(context_->TagIndex("name")));
+}
+
+TEST_F(ConstraintFixture, FunctionalDependency) {
+  int name = context_->TagIndex("name");
+  int phone = context_->TagIndex("phone");
+  int baths = context_->TagIndex("baths");
+  // (name, name) -> phone holds: Kate always has phone 111.
+  EXPECT_TRUE(context_->FunctionalDependencyHolds(name, name, phone));
+  // (name, phone) -> baths fails: same pair maps to 2 and 1.
+  EXPECT_FALSE(context_->FunctionalDependencyHolds(name, phone, baths));
+}
+
+TEST_F(ConstraintFixture, SchemaOnlyContextHasNoData) {
+  ConstraintContext schema_only(&source_.schema, nullptr);
+  EXPECT_FALSE(schema_only.has_data());
+  EXPECT_TRUE(schema_only.ColumnLooksLikeKey(0));  // vacuous
+}
+
+// ---------------------------------------------------------------------------
+// Individual constraints
+// ---------------------------------------------------------------------------
+
+TEST_F(ConstraintFixture, FrequencyAtMostOne) {
+  FrequencyConstraint c("PRICE", 0, 1);
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels_.IndexOf("PRICE");
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, FrequencyExactlyOnePartialIsLenient) {
+  FrequencyConstraint c("PRICE", 1, 1);
+  Assignment partial(context_->tags().size());
+  // Nothing assigned yet: a completion could still satisfy min=1.
+  EXPECT_EQ(c.Cost(partial, labels_, *context_), 0.0);
+  // All assigned, none to PRICE: now min is violated.
+  Assignment full = GoldAssignment();
+  full.labels[static_cast<size_t>(context_->TagIndex("price"))] =
+      labels_.IndexOf("BEDS");
+  EXPECT_EQ(c.Cost(full, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, NestingRequired) {
+  NestingConstraint c("CONTACT", "AGENT-PHONE", /*required=*/true);
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  // Move AGENT-PHONE outside the contact subtree.
+  a.labels[static_cast<size_t>(context_->TagIndex("phone"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels_.IndexOf("AGENT-PHONE");
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, NestingForbidden) {
+  NestingConstraint c("CONTACT", "PRICE", /*required=*/false);
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  a.labels[static_cast<size_t>(context_->TagIndex("phone"))] =
+      labels_.IndexOf("PRICE");
+  a.labels[static_cast<size_t>(context_->TagIndex("price"))] =
+      labels_.other_index();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, NestingVacuousWhenLabelUnmatched) {
+  NestingConstraint c("CONTACT", "AGENT-PHONE", /*required=*/true);
+  Assignment a = GoldAssignment();
+  // Remove CONTACT entirely: constraint is vacuous.
+  a.labels[static_cast<size_t>(context_->TagIndex("contact"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels_.IndexOf("AGENT-PHONE");  // phone anywhere is fine now
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+}
+
+TEST_F(ConstraintFixture, ContiguitySiblingsWithOtherBetween) {
+  ContiguityConstraint c("BEDS", "BATHS");
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  // Non-siblings: BATHS deep inside contact.
+  a.labels[static_cast<size_t>(context_->TagIndex("baths"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("phone"))] =
+      labels_.IndexOf("BATHS");
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, ContiguityRejectsNonOtherBetween) {
+  ContiguityConstraint c("ADDRESS", "BEDS");
+  Assignment a = GoldAssignment();
+  // location(ADDRESS) .. beds(BEDS) have price and contact between, which
+  // are labeled PRICE and CONTACT — not OTHER.
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+  // Relabel the two in-between tags as OTHER: now satisfied.
+  a.labels[static_cast<size_t>(context_->TagIndex("price"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("contact"))] =
+      labels_.other_index();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+}
+
+TEST_F(ConstraintFixture, Exclusivity) {
+  ExclusivityConstraint c("BEDS", "BATHS");
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+  a.labels[static_cast<size_t>(context_->TagIndex("baths"))] =
+      labels_.other_index();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+}
+
+TEST_F(ConstraintFixture, KeyConstraint) {
+  KeyConstraint c("HOUSE-ID");
+  LabelSpace labels({"HOUSE-ID"});
+  Assignment a(context_->tags().size());
+  // ad-id is unique: can be HOUSE-ID.
+  a.labels[static_cast<size_t>(context_->TagIndex("ad-id"))] =
+      labels.IndexOf("HOUSE-ID");
+  EXPECT_EQ(c.Cost(a, labels, *context_), 0.0);
+  // beds has duplicates: cannot be a key (the paper's num-bedrooms
+  // example).
+  a.labels[static_cast<size_t>(context_->TagIndex("ad-id"))] =
+      Assignment::kUnassigned;
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels.IndexOf("HOUSE-ID");
+  EXPECT_EQ(c.Cost(a, labels, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, FunctionalDependencyConstraintCost) {
+  FunctionalDependencyConstraint c("AGENT-NAME", "AGENT-NAME", "AGENT-PHONE");
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  // Map AGENT-PHONE to baths: (Kate, Kate) -> {2, 1} violates the FD.
+  a.labels[static_cast<size_t>(context_->TagIndex("phone"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("baths"))] =
+      labels_.IndexOf("AGENT-PHONE");
+  EXPECT_EQ(c.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, CountLimitSoftCost) {
+  CountLimitSoftConstraint c("OTHER", 1, 2.0);
+  Assignment a(context_->tags().size());
+  EXPECT_EQ(c.Cost(a, labels_, *context_), 0.0);
+  a.labels[0] = labels_.other_index();
+  a.labels[1] = labels_.other_index();
+  a.labels[2] = labels_.other_index();
+  EXPECT_DOUBLE_EQ(c.Cost(a, labels_, *context_), 4.0);  // 2 extras x 2.0
+}
+
+TEST_F(ConstraintFixture, ProximitySoftCost) {
+  ProximitySoftConstraint c("AGENT-NAME", "AGENT-PHONE", 1.0);
+  Assignment a = GoldAssignment();
+  // name and phone are siblings (distance 2): no cost.
+  EXPECT_DOUBLE_EQ(c.Cost(a, labels_, *context_), 0.0);
+  // Move AGENT-PHONE to beds (distance name..beds = 3): cost 1.
+  a.labels[static_cast<size_t>(context_->TagIndex("phone"))] =
+      labels_.other_index();
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels_.IndexOf("AGENT-PHONE");
+  EXPECT_DOUBLE_EQ(c.Cost(a, labels_, *context_), 1.0);
+}
+
+TEST_F(ConstraintFixture, FeedbackConstraints) {
+  FeedbackConstraint must("price", "PRICE", /*must_equal=*/true);
+  FeedbackConstraint must_not("ad-id", "PRICE", /*must_equal=*/false);
+  Assignment a = GoldAssignment();
+  EXPECT_EQ(must.Cost(a, labels_, *context_), 0.0);
+  EXPECT_EQ(must_not.Cost(a, labels_, *context_), 0.0);
+  a.labels[static_cast<size_t>(context_->TagIndex("price"))] =
+      labels_.IndexOf("BEDS");
+  EXPECT_EQ(must.Cost(a, labels_, *context_), kInfiniteCost);
+  a.labels[static_cast<size_t>(context_->TagIndex("ad-id"))] =
+      labels_.IndexOf("PRICE");
+  EXPECT_EQ(must_not.Cost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, FeedbackUnassignedTagIsFree) {
+  FeedbackConstraint must("price", "PRICE", true);
+  Assignment partial(context_->tags().size());
+  EXPECT_EQ(must.Cost(partial, labels_, *context_), 0.0);
+}
+
+TEST_F(ConstraintFixture, ConstraintSetTotalAndFilters) {
+  ConstraintSet set;
+  set.Add(std::make_unique<FrequencyConstraint>("PRICE", 0, 1));
+  set.Add(std::make_unique<CountLimitSoftConstraint>("OTHER", 0, 0.5));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.HardConstraints().size(), 1u);
+  EXPECT_EQ(set.SoftConstraints().size(), 1u);
+  Assignment a = GoldAssignment();
+  // One OTHER assignment -> soft cost 0.5; hard satisfied.
+  EXPECT_DOUBLE_EQ(set.TotalCost(a, labels_, *context_), 0.5);
+  a.labels[static_cast<size_t>(context_->TagIndex("beds"))] =
+      labels_.IndexOf("PRICE");
+  EXPECT_EQ(set.TotalCost(a, labels_, *context_), kInfiniteCost);
+}
+
+TEST_F(ConstraintFixture, DescribeIsHumanReadable) {
+  EXPECT_NE(FrequencyConstraint("PRICE", 1, 1).Describe().find("PRICE"),
+            std::string::npos);
+  EXPECT_NE(NestingConstraint("A", "B", true).Describe().find("must"),
+            std::string::npos);
+  EXPECT_NE(FeedbackConstraint("t", "L", false).Describe().find("must not"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// A* searcher + handler
+// ---------------------------------------------------------------------------
+
+// Builds per-tag predictions that put `peak` mass on the gold label and
+// spread the rest.
+std::vector<Prediction> GoldLeaningPredictions(const ConstraintContext& context,
+                                               const LabelSpace& labels,
+                                               const Assignment& gold,
+                                               double peak) {
+  std::vector<Prediction> out;
+  for (size_t t = 0; t < context.tags().size(); ++t) {
+    Prediction p(labels.size());
+    double rest = (1.0 - peak) / static_cast<double>(labels.size() - 1);
+    for (size_t c = 0; c < labels.size(); ++c) p.scores[c] = rest;
+    p.scores[static_cast<size_t>(gold.labels[t])] = peak;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST_F(ConstraintFixture, SearchRecoversArgmaxWithoutConstraints) {
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  AStarSearcher searcher;
+  ConstraintSet empty;
+  auto result = searcher.Search(predictions, empty, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->truncated);
+  EXPECT_EQ(result->assignment.labels, gold.labels);
+}
+
+TEST_F(ConstraintFixture, SearchRepairsDuplicateLabelConflict) {
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  // Corrupt: beds' top label is PRICE (0.6) but its second-best is BEDS.
+  size_t beds = static_cast<size_t>(context_->TagIndex("beds"));
+  predictions[beds].scores.assign(labels_.size(), 0.01);
+  predictions[beds].scores[static_cast<size_t>(labels_.IndexOf("PRICE"))] = 0.5;
+  predictions[beds].scores[static_cast<size_t>(labels_.IndexOf("BEDS"))] = 0.4;
+  predictions[beds].Normalize();
+
+  ConstraintSet constraints;
+  for (const std::string& label : labels_.labels()) {
+    if (label != "OTHER") {
+      constraints.Add(std::make_unique<FrequencyConstraint>(label, 0, 1));
+    }
+  }
+  AStarSearcher searcher;
+  auto result = searcher.Search(predictions, constraints, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  // price keeps PRICE (it has 0.6), beds must fall back to BEDS.
+  EXPECT_EQ(result->assignment.labels[beds], labels_.IndexOf("BEDS"));
+  EXPECT_EQ(result->assignment
+                .labels[static_cast<size_t>(context_->TagIndex("price"))],
+            labels_.IndexOf("PRICE"));
+}
+
+TEST_F(ConstraintFixture, SearchOrderPutsStructuredTagsFirst) {
+  auto order = AStarSearcher::TagOrder(*context_);
+  ASSERT_EQ(order.size(), context_->tags().size());
+  // The root (8 descendants) comes first, then contact (2 descendants).
+  EXPECT_EQ(context_->tags()[order[0]], "listing");
+  EXPECT_EQ(context_->tags()[order[1]], "contact");
+}
+
+TEST_F(ConstraintFixture, HandlerAppliesFeedback) {
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  ConstraintHandler handler;
+  std::vector<const Constraint*> no_domain;
+  std::vector<FeedbackConstraint> feedback = {
+      FeedbackConstraint("beds", "BATHS", /*must_equal=*/true)};
+  auto result = handler.ComputeMapping(predictions, no_domain, feedback,
+                                       labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->mapping.LabelOrOther("beds"), "BATHS");
+}
+
+TEST_F(ConstraintFixture, HandlerWithoutConstraintsIsArgmax) {
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  ConstraintHandler handler;
+  auto result =
+      handler.ComputeMapping(predictions, {}, {}, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->expanded, 0u);
+  auto argmax = ArgmaxMapping(predictions, labels_, *context_);
+  ASSERT_TRUE(argmax.ok());
+  EXPECT_EQ(result->mapping.entries(), argmax->entries());
+}
+
+TEST_F(ConstraintFixture, UnsatisfiableConstraintsFallBackToGreedy) {
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  ConstraintSet constraints;
+  // Impossible: at least 2 tags must match PRICE but at most 0 may.
+  constraints.Add(std::make_unique<FrequencyConstraint>("PRICE", 2, 0));
+  AStarSearcher searcher;
+  auto result = searcher.Search(predictions, constraints, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_TRUE(result->assignment.IsComplete());
+}
+
+TEST_F(ConstraintFixture, SearchValidatesShapes) {
+  AStarSearcher searcher;
+  ConstraintSet empty;
+  std::vector<Prediction> too_few(2, Prediction::Uniform(labels_.size()));
+  EXPECT_FALSE(searcher.Search(too_few, empty, labels_, *context_).ok());
+  std::vector<Prediction> wrong_width(context_->tags().size(),
+                                      Prediction::Uniform(2));
+  EXPECT_FALSE(searcher.Search(wrong_width, empty, labels_, *context_).ok());
+}
+
+TEST_F(ConstraintFixture, BeamAlwaysIncludesOther) {
+  // With beam width 1 and a prediction peaked on PRICE everywhere, the
+  // frequency constraint forces all but one tag to fall back to OTHER.
+  AStarOptions options;
+  options.beam_width = 1;
+  AStarSearcher searcher(options);
+  std::vector<Prediction> predictions;
+  for (size_t t = 0; t < context_->tags().size(); ++t) {
+    Prediction p(labels_.size());
+    p.scores[static_cast<size_t>(labels_.IndexOf("PRICE"))] = 0.9;
+    p.Normalize();
+    predictions.push_back(std::move(p));
+  }
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<FrequencyConstraint>("PRICE", 0, 1));
+  auto result = searcher.Search(predictions, constraints, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->truncated);
+  size_t price_count = 0, other_count = 0;
+  for (int label : result->assignment.labels) {
+    if (label == labels_.IndexOf("PRICE")) ++price_count;
+    if (label == labels_.other_index()) ++other_count;
+  }
+  EXPECT_EQ(price_count, 1u);
+  EXPECT_EQ(other_count, context_->tags().size() - 1);
+}
+
+}  // namespace
+}  // namespace lsd

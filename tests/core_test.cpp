@@ -1,0 +1,423 @@
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/feedback.h"
+#include "core/lsd_system.h"
+#include "gtest/gtest.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+// Small two-source real-estate world with disjoint vocabularies plus
+// shared phone/name words — enough signal for all learners.
+class LsdSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mediated_ = ParseDtd(R"(
+      <!ELEMENT HOUSE (ADDRESS, DESCRIPTION, CONTACT-INFO)>
+      <!ELEMENT ADDRESS (#PCDATA)>
+      <!ELEMENT DESCRIPTION (#PCDATA)>
+      <!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+      <!ELEMENT AGENT-NAME (#PCDATA)>
+      <!ELEMENT AGENT-PHONE (#PCDATA)>
+    )").value();
+
+    source_a_ = MakeSource(
+        "a.com",
+        R"(<!ELEMENT house-listing (location, comments, contact)>
+           <!ELEMENT location (#PCDATA)>
+           <!ELEMENT comments (#PCDATA)>
+           <!ELEMENT contact (name, phone)>
+           <!ELEMENT name (#PCDATA)>
+           <!ELEMENT phone (#PCDATA)>)",
+        {"house-listing", "location", "comments", "contact", "name", "phone"},
+        11);
+    gold_a_.Set("house-listing", "HOUSE");
+    gold_a_.Set("location", "ADDRESS");
+    gold_a_.Set("comments", "DESCRIPTION");
+    gold_a_.Set("contact", "CONTACT-INFO");
+    gold_a_.Set("name", "AGENT-NAME");
+    gold_a_.Set("phone", "AGENT-PHONE");
+
+    source_b_ = MakeSource(
+        "b.com",
+        R"(<!ELEMENT listing (house-addr, detailed-desc, agent-info)>
+           <!ELEMENT house-addr (#PCDATA)>
+           <!ELEMENT detailed-desc (#PCDATA)>
+           <!ELEMENT agent-info (agent-name, agent-phone)>
+           <!ELEMENT agent-name (#PCDATA)>
+           <!ELEMENT agent-phone (#PCDATA)>)",
+        {"listing", "house-addr", "detailed-desc", "agent-info", "agent-name",
+         "agent-phone"},
+        22);
+    gold_b_.Set("listing", "HOUSE");
+    gold_b_.Set("house-addr", "ADDRESS");
+    gold_b_.Set("detailed-desc", "DESCRIPTION");
+    gold_b_.Set("agent-info", "CONTACT-INFO");
+    gold_b_.Set("agent-name", "AGENT-NAME");
+    gold_b_.Set("agent-phone", "AGENT-PHONE");
+
+    target_ = MakeSource(
+        "c.com",
+        R"(<!ELEMENT home (area, extra-info, reach)>
+           <!ELEMENT area (#PCDATA)>
+           <!ELEMENT extra-info (#PCDATA)>
+           <!ELEMENT reach (realtor, work-phone)>
+           <!ELEMENT realtor (#PCDATA)>
+           <!ELEMENT work-phone (#PCDATA)>)",
+        {"home", "area", "extra-info", "reach", "realtor", "work-phone"}, 33);
+    gold_target_.Set("home", "HOUSE");
+    gold_target_.Set("area", "ADDRESS");
+    gold_target_.Set("extra-info", "DESCRIPTION");
+    gold_target_.Set("reach", "CONTACT-INFO");
+    gold_target_.Set("realtor", "AGENT-NAME");
+    gold_target_.Set("work-phone", "AGENT-PHONE");
+  }
+
+  static DataSource MakeSource(const std::string& name,
+                               const std::string& dtd_text,
+                               const std::vector<std::string>& tags,
+                               uint64_t seed) {
+    static const std::vector<std::string> kCities = {
+        "Miami, FL",  "Boston, MA",  "Seattle, WA",
+        "Austin, TX", "Portland, OR", "Denver, CO"};
+    static const std::vector<std::string> kDescs = {
+        "Fantastic house great location",
+        "Beautiful home spacious yard",
+        "Great views close to river",
+        "Charming cottage near great schools",
+        "Spacious home fantastic neighborhood"};
+    static const std::vector<std::string> kNames = {
+        "Kate Richardson", "Mike Smith", "Jane Kendall", "Matt Brown"};
+    DataSource source;
+    source.name = name;
+    source.schema = ParseDtd(dtd_text).value();
+    Rng rng(seed);
+    for (int i = 0; i < 30; ++i) {
+      std::string phone = "(" + std::to_string(rng.UniformInt(200, 999)) +
+                          ") " + std::to_string(rng.UniformInt(200, 999)) +
+                          " " + std::to_string(rng.UniformInt(1000, 9999));
+      std::string xml = "<" + tags[0] + ">" +
+                        "<" + tags[1] + ">" + rng.Pick(kCities) + "</" + tags[1] + ">" +
+                        "<" + tags[2] + ">" + rng.Pick(kDescs) + "</" + tags[2] + ">" +
+                        "<" + tags[3] + ">" +
+                        "<" + tags[4] + ">" + rng.Pick(kNames) + "</" + tags[4] + ">" +
+                        "<" + tags[5] + ">" + phone + "</" + tags[5] + ">" +
+                        "</" + tags[3] + ">" +
+                        "</" + tags[0] + ">";
+      source.listings.push_back(ParseXml(xml).value());
+    }
+    return source;
+  }
+
+  std::unique_ptr<LsdSystem> MakeTrainedSystem(LsdConfig config = LsdConfig()) {
+    auto system = std::make_unique<LsdSystem>(mediated_, config);
+    EXPECT_TRUE(system->AddTrainingSource(source_a_, gold_a_).ok());
+    EXPECT_TRUE(system->AddTrainingSource(source_b_, gold_b_).ok());
+    EXPECT_TRUE(system->Train().ok());
+    return system;
+  }
+
+  Dtd mediated_;
+  DataSource source_a_, source_b_, target_;
+  Mapping gold_a_, gold_b_, gold_target_;
+};
+
+TEST_F(LsdSystemTest, LearnerRosterFollowsConfig) {
+  LsdConfig config;
+  config.use_xml_learner = false;
+  config.use_format_learner = true;
+  LsdSystem system(mediated_, config);
+  auto names = system.LearnerNames();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"name-matcher", "content-matcher",
+                                      "naive-bayes", "format-learner"}));
+}
+
+TEST_F(LsdSystemTest, TrainRequiresSources) {
+  LsdSystem system(mediated_, LsdConfig());
+  EXPECT_EQ(system.Train().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LsdSystemTest, MatchRequiresTraining) {
+  LsdSystem system(mediated_, LsdConfig());
+  EXPECT_FALSE(system.PredictSource(target_).ok());
+}
+
+TEST_F(LsdSystemTest, AddSourceAfterTrainRejected) {
+  auto system = MakeTrainedSystem();
+  EXPECT_EQ(system->AddTrainingSource(target_, gold_target_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LsdSystemTest, MatchesUnseenSourceByData) {
+  auto system = MakeTrainedSystem();
+  auto result = system->MatchSource(target_);
+  ASSERT_TRUE(result.ok());
+  // Data-driven tags must be recovered despite disjoint vocabulary.
+  EXPECT_EQ(result->mapping.LabelOrOther("area"), "ADDRESS");
+  EXPECT_EQ(result->mapping.LabelOrOther("extra-info"), "DESCRIPTION");
+  EXPECT_EQ(result->mapping.LabelOrOther("work-phone"), "AGENT-PHONE");
+}
+
+TEST_F(LsdSystemTest, TagPredictionsAreDistributions) {
+  auto system = MakeTrainedSystem();
+  auto result = system->MatchSource(target_);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tags.size(), 6u);
+  for (const Prediction& p : result->tag_predictions) {
+    double total = 0;
+    for (double s : p.scores) {
+      EXPECT_GE(s, 0.0);
+      total += s;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(LsdSystemTest, DeterministicAcrossRuns) {
+  auto run = [this] {
+    auto system = MakeTrainedSystem();
+    return system->MatchSource(target_)->mapping.ToString();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_F(LsdSystemTest, LearnerSubsetSelection) {
+  auto system = MakeTrainedSystem();
+  MatchOptions options;
+  options.learners = {"naive-bayes"};
+  options.use_meta_learner = false;
+  auto result = system->MatchSource(target_, options);
+  ASSERT_TRUE(result.ok());
+  // Still mostly correct from content alone.
+  EXPECT_EQ(result->mapping.LabelOrOther("extra-info"), "DESCRIPTION");
+}
+
+TEST_F(LsdSystemTest, UnknownLearnerRejected) {
+  auto system = MakeTrainedSystem();
+  MatchOptions options;
+  options.learners = {"no-such-learner"};
+  EXPECT_FALSE(system->MatchSource(target_, options).ok());
+}
+
+TEST_F(LsdSystemTest, ConstraintsRepairFrequencyViolations) {
+  auto system = MakeTrainedSystem();
+  // At most one tag per label.
+  for (const std::string& label : system->labels().labels()) {
+    if (label != "OTHER") {
+      system->AddConstraint(
+          std::make_unique<FrequencyConstraint>(label, 0, 1));
+    }
+  }
+  auto result = system->MatchSource(target_);
+  ASSERT_TRUE(result.ok());
+  // No label (except OTHER) may be used twice.
+  std::map<std::string, int> counts;
+  for (const auto& [tag, label] : result->mapping.entries()) {
+    if (label != "OTHER") ++counts[label];
+  }
+  for (const auto& [label, count] : counts) EXPECT_LE(count, 1);
+}
+
+TEST_F(LsdSystemTest, OtherThresholdRedirectsWeakTags) {
+  auto system = MakeTrainedSystem();
+  auto preds = system->PredictSource(target_);
+  ASSERT_TRUE(preds.ok());
+  // An absurd threshold forces every tag to OTHER (nothing scores >= 1).
+  MatchOptions options;
+  options.other_threshold = 1.01;
+  options.use_constraint_handler = false;
+  auto all_other = system->MatchWithPredictions(*preds, target_, options);
+  ASSERT_TRUE(all_other.ok());
+  for (const auto& [tag, label] : all_other->mapping.entries()) {
+    EXPECT_EQ(label, "OTHER") << tag;
+  }
+  // Threshold 0 (default) leaves predictions untouched.
+  options.other_threshold = 0.0;
+  auto untouched = system->MatchWithPredictions(*preds, target_, options);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(untouched->mapping.LabelOrOther("extra-info"), "DESCRIPTION");
+  // A moderate threshold keeps confident tags while weak ones may move.
+  options.other_threshold = 0.3;
+  auto moderate = system->MatchWithPredictions(*preds, target_, options);
+  ASSERT_TRUE(moderate.ok());
+  EXPECT_EQ(moderate->mapping.LabelOrOther("extra-info"), "DESCRIPTION");
+}
+
+TEST_F(LsdSystemTest, FeedbackOverridesPrediction) {
+  auto system = MakeTrainedSystem();
+  std::vector<FeedbackConstraint> feedback = {
+      FeedbackConstraint("area", "DESCRIPTION", /*must_equal=*/true)};
+  auto result = system->MatchSource(target_, MatchOptions(), feedback);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->mapping.LabelOrOther("area"), "DESCRIPTION");
+}
+
+TEST_F(LsdSystemTest, PredictionsReusableAcrossOptions) {
+  auto system = MakeTrainedSystem();
+  auto preds = system->PredictSource(target_);
+  ASSERT_TRUE(preds.ok());
+  MatchOptions with_meta;
+  MatchOptions without_meta;
+  without_meta.use_meta_learner = false;
+  auto a = system->MatchWithPredictions(*preds, target_, with_meta);
+  auto b = system->MatchWithPredictions(*preds, target_, without_meta);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tags, b->tags);
+}
+
+TEST_F(LsdSystemTest, MetaLearnerTrainedPerLabel) {
+  auto system = MakeTrainedSystem();
+  const MetaLearner& meta = system->meta_learner();
+  EXPECT_TRUE(meta.trained());
+  EXPECT_EQ(meta.learner_count(), system->LearnerNames().size());
+  EXPECT_EQ(meta.label_count(), system->labels().size());
+  // Non-negative stacking weights by default.
+  for (size_t c = 0; c < meta.label_count(); ++c) {
+    for (size_t l = 0; l < meta.learner_count(); ++l) {
+      EXPECT_GE(meta.WeightOf(static_cast<int>(c), l), 0.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model persistence
+// ---------------------------------------------------------------------------
+
+TEST_F(LsdSystemTest, SaveLoadRoundTripReproducesMappings) {
+  std::string path = ::testing::TempDir() + "/lsd_model_roundtrip.model";
+  auto original = MakeTrainedSystem();
+  ASSERT_TRUE(original->SaveModel(path).ok());
+  auto expected = original->MatchSource(target_);
+  ASSERT_TRUE(expected.ok());
+
+  LsdSystem restored(mediated_, LsdConfig());
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  EXPECT_TRUE(restored.trained());
+  auto actual = restored.MatchSource(target_);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual->mapping.entries(), expected->mapping.entries());
+  // Converter outputs match to numerical round-trip precision.
+  for (size_t t = 0; t < expected->tags.size(); ++t) {
+    for (size_t c = 0; c < expected->tag_predictions[t].size(); ++c) {
+      EXPECT_NEAR(actual->tag_predictions[t].scores[c],
+                  expected->tag_predictions[t].scores[c], 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(LsdSystemTest, SaveRequiresTrainedLoadRequiresUntrained) {
+  std::string path = ::testing::TempDir() + "/lsd_model_guards.model";
+  LsdSystem untrained(mediated_, LsdConfig());
+  EXPECT_EQ(untrained.SaveModel(path).code(), StatusCode::kFailedPrecondition);
+  auto trained = MakeTrainedSystem();
+  ASSERT_TRUE(trained->SaveModel(path).ok());
+  EXPECT_EQ(trained->LoadModel(path).code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST_F(LsdSystemTest, LoadRejectsRosterMismatch) {
+  std::string path = ::testing::TempDir() + "/lsd_model_roster.model";
+  auto trained = MakeTrainedSystem();  // default roster (includes XML learner)
+  ASSERT_TRUE(trained->SaveModel(path).ok());
+  LsdConfig other_config;
+  other_config.use_xml_learner = false;
+  LsdSystem mismatched(mediated_, other_config);
+  EXPECT_FALSE(mismatched.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(LsdSystemTest, LoadRejectsSchemaMismatch) {
+  std::string path = ::testing::TempDir() + "/lsd_model_schema.model";
+  auto trained = MakeTrainedSystem();
+  ASSERT_TRUE(trained->SaveModel(path).ok());
+  Dtd other = ParseDtd(R"(
+    <!ELEMENT ROOT (ONLY)>
+    <!ELEMENT ONLY (#PCDATA)>
+  )").value();
+  LsdSystem mismatched(other, LsdConfig());
+  EXPECT_FALSE(mismatched.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(LsdSystemTest, LoadedModelRejectsSubsetMeta) {
+  std::string path = ::testing::TempDir() + "/lsd_model_subset.model";
+  auto trained = MakeTrainedSystem();
+  ASSERT_TRUE(trained->SaveModel(path).ok());
+  LsdSystem restored(mediated_, LsdConfig());
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  MatchOptions subset;
+  subset.learners = {"naive-bayes"};
+  auto result = restored.MatchSource(target_, subset);
+  EXPECT_FALSE(result.ok());
+  // But the same subset works without the meta-learner.
+  subset.use_meta_learner = false;
+  EXPECT_TRUE(restored.MatchSource(target_, subset).ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// FeedbackSession
+// ---------------------------------------------------------------------------
+
+TEST_F(LsdSystemTest, FeedbackSessionRequiresInitialize) {
+  auto system = MakeTrainedSystem();
+  FeedbackSession session(system.get(), &target_);
+  EXPECT_FALSE(session.CurrentMapping().ok());
+  EXPECT_FALSE(session.RunWithOracle(gold_target_).ok());
+}
+
+TEST_F(LsdSystemTest, FeedbackSessionReviewOrderByStructure) {
+  auto system = MakeTrainedSystem();
+  FeedbackSession session(system.get(), &target_);
+  auto order = session.ReviewOrder();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order[0], "home");   // 5 descendants
+  EXPECT_EQ(order[1], "reach");  // 2 descendants
+}
+
+TEST_F(LsdSystemTest, OracleReachesPerfectMatching) {
+  auto system = MakeTrainedSystem();
+  // At-most-one constraints so the handler can propagate corrections.
+  for (const std::string& label : system->labels().labels()) {
+    if (label != "OTHER") {
+      system->AddConstraint(
+          std::make_unique<FrequencyConstraint>(label, 0, 1));
+    }
+  }
+  FeedbackSession session(system.get(), &target_);
+  ASSERT_TRUE(session.Initialize().ok());
+  auto stats = session.RunWithOracle(gold_target_);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->reached_perfect);
+  EXPECT_EQ(stats->tags_total, 6u);
+  // The system is already good; few corrections should be needed.
+  EXPECT_LE(stats->corrections, 4u);
+  // Final mapping really is perfect.
+  auto final_mapping = session.CurrentMapping();
+  ASSERT_TRUE(final_mapping.ok());
+  for (const auto& [tag, label] : gold_target_.entries()) {
+    EXPECT_EQ(final_mapping->mapping.LabelOrOther(tag), label) << tag;
+  }
+}
+
+TEST_F(LsdSystemTest, ManualFeedbackAccumulates) {
+  auto system = MakeTrainedSystem();
+  FeedbackSession session(system.get(), &target_);
+  ASSERT_TRUE(session.Initialize().ok());
+  session.AddFeedback(FeedbackConstraint("area", "ADDRESS", true));
+  session.AddFeedback(FeedbackConstraint("extra-info", "DESCRIPTION", true));
+  EXPECT_EQ(session.feedback().size(), 2u);
+  auto result = session.CurrentMapping();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->mapping.LabelOrOther("area"), "ADDRESS");
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,322 @@
+#include <set>
+
+#include "datagen/domains.h"
+#include "datagen/value_generators.h"
+#include "eval/experiment.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Value generators
+// ---------------------------------------------------------------------------
+
+TEST(ValueGeneratorTest, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(GenerateValue(ValueKind::kStreetAddress, 0, i, &a),
+              GenerateValue(ValueKind::kStreetAddress, 0, i, &b));
+  }
+}
+
+TEST(ValueGeneratorTest, MlsNumbersAreKeys) {
+  Rng rng(1);
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(
+        seen.insert(GenerateValue(ValueKind::kMlsNumber, 2, i, &rng)).second);
+  }
+}
+
+TEST(ValueGeneratorTest, PriceFormatsVaryBySource) {
+  Rng rng(2);
+  std::string v0 = GenerateValue(ValueKind::kPrice, 0, 0, &rng);
+  EXPECT_NE(v0.find("$ "), std::string::npos);   // "$ 123,000"
+  std::string v2 = GenerateValue(ValueKind::kPrice, 2, 0, &rng);
+  EXPECT_EQ(v2.find('$'), std::string::npos);    // bare number
+}
+
+TEST(ValueGeneratorTest, PhoneFormatsVaryBySource) {
+  Rng rng(3);
+  std::string v0 = GenerateValue(ValueKind::kPhone, 0, 0, &rng);
+  EXPECT_EQ(v0.front(), '(');
+  std::string v1 = GenerateValue(ValueKind::kPhone, 1, 0, &rng);
+  EXPECT_NE(v1.find('-'), std::string::npos);
+}
+
+TEST(ValueGeneratorTest, DescriptionsCarrySignalWords) {
+  Rng rng(4);
+  int signal_hits = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string description = GenerateHouseDescription(0, &rng);
+    for (const char* word : {"fantastic", "great", "beautiful", "spacious",
+                             "charming", "stunning", "lovely", "gorgeous",
+                             "immaculate", "cozy", "bright", "updated",
+                             "remodeled", "elegant", "delightful"}) {
+      if (description.find(word) != std::string::npos) {
+        ++signal_hits;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(signal_hits, 50);  // every description has a signal adjective
+}
+
+TEST(ValueGeneratorTest, MaybeDirtyRespectsProbability) {
+  Rng rng(6);
+  int dirty = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (MaybeDirty("clean", 0.2, &rng) != "clean") ++dirty;
+  }
+  EXPECT_GT(dirty, 120);
+  EXPECT_LT(dirty, 280);
+  EXPECT_EQ(MaybeDirty("clean", 0.0, &rng), "clean");
+}
+
+TEST(ValueGeneratorTest, EveryKindProducesNonEmptyOrDirtyOnly) {
+  Rng rng(8);
+  for (int k = 0; k <= static_cast<int>(ValueKind::kPageViews); ++k) {
+    std::string v =
+        GenerateValue(static_cast<ValueKind>(k), 1, 3, &rng);
+    EXPECT_FALSE(v.empty()) << "kind " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Domain realization
+// ---------------------------------------------------------------------------
+
+class DomainParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DomainParamTest, MediatedSchemaIsValid) {
+  auto spec = GetDomainSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  Dtd mediated = BuildMediatedDtd(*spec);
+  EXPECT_TRUE(mediated.Validate().ok());
+}
+
+TEST_P(DomainParamTest, SourcesValidateAgainstTheirSchemas) {
+  auto domain = MakeEvaluationDomain(GetParam(), 5, 15, 7);
+  ASSERT_TRUE(domain.ok());
+  ASSERT_EQ(domain->sources.size(), 5u);
+  for (const GeneratedSource& gen : domain->sources) {
+    EXPECT_TRUE(gen.source.ValidateListings().ok()) << gen.source.name;
+    EXPECT_EQ(gen.source.listings.size(), 15u);
+  }
+}
+
+TEST_P(DomainParamTest, GoldMappingCoversEveryTagWithValidLabels) {
+  auto domain = MakeEvaluationDomain(GetParam(), 5, 5, 7);
+  ASSERT_TRUE(domain.ok());
+  for (const GeneratedSource& gen : domain->sources) {
+    for (const std::string& tag : gen.source.schema.AllTags()) {
+      const std::string* label = gen.gold.Find(tag);
+      ASSERT_NE(label, nullptr) << tag;
+      EXPECT_TRUE(*label == "OTHER" || domain->mediated.Contains(*label))
+          << *label;
+    }
+    // 1-1: no mediated label claimed by two tags.
+    std::map<std::string, int> counts;
+    for (const auto& [tag, label] : gen.gold.entries()) {
+      if (label != "OTHER") ++counts[label];
+    }
+    for (const auto& [label, count] : counts) {
+      EXPECT_EQ(count, 1) << label;
+    }
+  }
+}
+
+TEST_P(DomainParamTest, SourcesDifferInVocabulary) {
+  auto domain = MakeEvaluationDomain(GetParam(), 5, 5, 7);
+  ASSERT_TRUE(domain.ok());
+  // Across source pairs, tag vocabularies must not be identical.
+  std::set<std::string> tag_sets;
+  for (const GeneratedSource& gen : domain->sources) {
+    std::string joined;
+    for (const std::string& tag : gen.source.schema.AllTags()) {
+      joined += tag + "|";
+    }
+    tag_sets.insert(joined);
+  }
+  EXPECT_GE(tag_sets.size(), 4u);  // at least 4 of 5 distinct
+}
+
+TEST_P(DomainParamTest, GoldSatisfiesDomainConstraints) {
+  auto domain = MakeEvaluationDomain(GetParam(), 5, 25, 7);
+  ASSERT_TRUE(domain.ok());
+  auto constraints = MakeDomainConstraints(*domain);
+  LabelSpace labels(domain->mediated.AllTags());
+  for (const GeneratedSource& gen : domain->sources) {
+    auto columns = ExtractColumns(gen.source);
+    ASSERT_TRUE(columns.ok());
+    ConstraintContext context(&gen.source.schema, &*columns);
+    Assignment assignment(context.tags().size());
+    for (size_t t = 0; t < context.tags().size(); ++t) {
+      assignment.labels[t] =
+          labels.IndexOf(gen.gold.LabelOrOther(context.tags()[t]));
+      ASSERT_GE(assignment.labels[t], 0);
+    }
+    for (const auto& constraint : constraints) {
+      if (!constraint->IsHard()) continue;
+      EXPECT_EQ(constraint->Cost(assignment, labels, context), 0.0)
+          << gen.source.name << " violates: " << constraint->Describe();
+    }
+  }
+}
+
+TEST_P(DomainParamTest, DataSeedResamplesDataNotSchema) {
+  auto spec = GetDomainSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  Domain a = RealizeDomain(*spec, 2, 5, 7, 100);
+  Domain b = RealizeDomain(*spec, 2, 5, 7, 200);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(a.sources[s].source.schema.ToString(),
+              b.sources[s].source.schema.ToString());
+    EXPECT_FALSE(a.sources[s].source.listings[0].root ==
+                 b.sources[s].source.listings[0].root);
+  }
+}
+
+TEST_P(DomainParamTest, RealizationIsDeterministic) {
+  auto spec = GetDomainSpec(GetParam());
+  ASSERT_TRUE(spec.ok());
+  Domain a = RealizeDomain(*spec, 3, 5, 7);
+  Domain b = RealizeDomain(*spec, 3, 5, 7);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.sources[s].source.schema.ToString(),
+              b.sources[s].source.schema.ToString());
+    EXPECT_TRUE(a.sources[s].source.listings[2].root ==
+                b.sources[s].source.listings[2].root);
+    EXPECT_EQ(a.sources[s].gold.ToString(), b.sources[s].gold.ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainParamTest,
+                         ::testing::Values("real-estate-1", "time-schedule",
+                                           "faculty-listings",
+                                           "real-estate-2"));
+
+TEST(DomainTest, UnknownDomainRejected) {
+  EXPECT_FALSE(GetDomainSpec("no-such-domain").ok());
+  EXPECT_FALSE(MakeEvaluationDomain("no-such-domain", 5, 5, 7).ok());
+}
+
+TEST(DomainTest, MediatedShapesMatchTable3) {
+  struct Expected {
+    const char* name;
+    size_t tags, non_leaf, depth;
+  };
+  for (const Expected& e :
+       {Expected{"real-estate-1", 20, 4, 3}, Expected{"time-schedule", 23, 6, 4},
+        Expected{"faculty-listings", 14, 4, 3},
+        Expected{"real-estate-2", 66, 13, 4}}) {
+    auto spec = GetDomainSpec(e.name);
+    ASSERT_TRUE(spec.ok());
+    Dtd mediated = BuildMediatedDtd(*spec);
+    EXPECT_EQ(mediated.AllTags().size(), e.tags) << e.name;
+    EXPECT_EQ(mediated.NonLeafTags().size(), e.non_leaf) << e.name;
+    EXPECT_EQ(mediated.MaxDepth(), e.depth) << e.name;
+  }
+}
+
+TEST(DomainTest, OfficeFunctionalDependencyHoldsInData) {
+  auto domain = MakeEvaluationDomain("real-estate-1", 5, 40, 7);
+  ASSERT_TRUE(domain.ok());
+  for (const GeneratedSource& gen : domain->sources) {
+    int name_tag = -1, phone_tag = -1;
+    for (const auto& [tag, label] : gen.gold.entries()) {
+      if (label == "OFFICE-NAME") name_tag = 1;
+      if (label == "OFFICE-PHONE") phone_tag = 1;
+    }
+    if (name_tag < 0 || phone_tag < 0) continue;  // source lacks office info
+    auto columns = ExtractColumns(gen.source);
+    ASSERT_TRUE(columns.ok());
+    ConstraintContext context(&gen.source.schema, &*columns);
+    int a = context.TagIndex(gen.gold.TagsWithLabel("OFFICE-NAME")[0]);
+    int c = context.TagIndex(gen.gold.TagsWithLabel("OFFICE-PHONE")[0]);
+    EXPECT_TRUE(context.FunctionalDependencyHolds(a, a, c)) << gen.source.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Experiment scaffolding
+// ---------------------------------------------------------------------------
+
+TEST(CombinationsTest, CountsAndContents) {
+  auto c53 = Combinations(5, 3);
+  EXPECT_EQ(c53.size(), 10u);  // the paper's 10 train/test splits
+  std::set<std::vector<size_t>> unique(c53.begin(), c53.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const auto& combo : c53) {
+    EXPECT_EQ(combo.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(combo.begin(), combo.end()));
+  }
+  EXPECT_EQ(Combinations(3, 3).size(), 1u);
+  EXPECT_TRUE(Combinations(2, 3).empty());
+}
+
+TEST(MetricsTest, AccuracyCountsOnlyMatchable) {
+  Mapping gold;
+  gold.Set("a", "X");
+  gold.Set("b", "Y");
+  gold.Set("c", "OTHER");
+  Mapping predicted;
+  predicted.Set("a", "X");
+  predicted.Set("b", "WRONG");
+  predicted.Set("c", "X");  // wrong, but unmatchable: not counted
+  AccuracyBreakdown breakdown = ScoreMapping(predicted, gold);
+  EXPECT_EQ(breakdown.matchable, 2u);
+  EXPECT_EQ(breakdown.correct, 1u);
+  EXPECT_DOUBLE_EQ(breakdown.accuracy(), 0.5);
+  EXPECT_EQ(breakdown.other_total, 1u);
+  EXPECT_EQ(breakdown.other_correct, 0u);
+}
+
+TEST(MetricsTest, MissingPredictionsCountWrong) {
+  Mapping gold;
+  gold.Set("a", "X");
+  Mapping empty;
+  EXPECT_DOUBLE_EQ(MatchingAccuracy(empty, gold), 0.0);
+}
+
+TEST(MetricsTest, RunningStat) {
+  RunningStat stat;
+  stat.Add(0.5);
+  stat.Add(1.0);
+  stat.Add(0.0);
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.5);
+  EXPECT_DOUBLE_EQ(stat.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 1.0);
+}
+
+TEST(VariantsTest, RostersAreConsistent) {
+  auto fig8a = Figure8aVariants(/*county_active=*/true);
+  // 4 base + meta + meta+constraints + full.
+  EXPECT_EQ(fig8a.size(), 7u);
+  auto lesions = LesionVariants(false);
+  EXPECT_EQ(lesions.size(), 5u);
+  for (const SystemVariant& v : LesionVariants(true)) {
+    if (v.name == "without-name-matcher") {
+      for (const std::string& learner : v.options.learners) {
+        EXPECT_NE(learner, "name-matcher");
+      }
+    }
+  }
+  auto svd = SchemaVsDataVariants(false);
+  EXPECT_EQ(svd.size(), 3u);
+  EXPECT_EQ(svd[0].options.constraint_filter, ConstraintFilter::kSchemaOnly);
+  EXPECT_EQ(svd[1].options.constraint_filter, ConstraintFilter::kDataOnly);
+}
+
+TEST(VariantsTest, ConfigForDomainTogglesCountyRecognizer) {
+  LsdConfig base;
+  EXPECT_TRUE(ConfigForDomain("real-estate-1", base).use_county_recognizer);
+  EXPECT_TRUE(ConfigForDomain("real-estate-2", base).use_county_recognizer);
+  EXPECT_FALSE(ConfigForDomain("time-schedule", base).use_county_recognizer);
+  EXPECT_FALSE(ConfigForDomain("faculty-listings", base).use_county_recognizer);
+}
+
+}  // namespace
+}  // namespace lsd

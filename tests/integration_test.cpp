@@ -1,0 +1,182 @@
+// End-to-end integration tests: full train/match cycles over the
+// synthetic evaluation domains, exercising every module together the way
+// the experiment harness does. These are the "does the whole pipeline
+// produce sane mappings" checks; the per-module suites cover details.
+
+#include <algorithm>
+
+#include "core/feedback.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+struct TrainedWorld {
+  Domain domain;
+  std::unique_ptr<LsdSystem> system;
+};
+
+TrainedWorld MakeWorld(const std::string& domain_name, size_t listings = 40,
+                       bool constraints = true) {
+  TrainedWorld world;
+  world.domain =
+      *MakeEvaluationDomain(domain_name, /*num_sources=*/5, listings, 7);
+  LsdConfig config = ConfigForDomain(domain_name, LsdConfig());
+  world.system = std::make_unique<LsdSystem>(world.domain.mediated, config,
+                                             &world.domain.synonyms);
+  if (constraints) {
+    for (auto& c : MakeDomainConstraints(world.domain)) {
+      world.system->AddConstraint(std::move(c));
+    }
+  }
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(world.system
+                    ->AddTrainingSource(
+                        world.domain.sources[static_cast<size_t>(s)].source,
+                        world.domain.sources[static_cast<size_t>(s)].gold)
+                    .ok());
+  }
+  EXPECT_TRUE(world.system->Train().ok());
+  return world;
+}
+
+class DomainIntegrationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DomainIntegrationTest, FullSystemBeatsChance) {
+  TrainedWorld world = MakeWorld(GetParam());
+  for (size_t s = 3; s < 5; ++s) {
+    const GeneratedSource& held_out = world.domain.sources[s];
+    auto result = world.system->MatchSource(held_out.source);
+    ASSERT_TRUE(result.ok());
+    double accuracy = MatchingAccuracy(result->mapping, held_out.gold);
+    // Chance is ~1/|labels|; the trained system must far exceed it.
+    EXPECT_GT(accuracy, 0.4) << held_out.source.name;
+    // Every source tag received some label.
+    EXPECT_EQ(result->mapping.size(),
+              held_out.source.schema.AllTags().size());
+  }
+}
+
+TEST_P(DomainIntegrationTest, ConstraintsNeverApplyLabelTwice) {
+  TrainedWorld world = MakeWorld(GetParam());
+  const GeneratedSource& held_out = world.domain.sources[4];
+  auto result = world.system->MatchSource(held_out.source);
+  ASSERT_TRUE(result.ok());
+  std::map<std::string, int> counts;
+  for (const auto& [tag, label] : result->mapping.entries()) {
+    if (label != "OTHER") ++counts[label];
+  }
+  for (const auto& [label, count] : counts) {
+    EXPECT_LE(count, 1) << label;
+  }
+}
+
+TEST_P(DomainIntegrationTest, HandlerNotWorseThanArgmaxOnAverage) {
+  TrainedWorld world = MakeWorld(GetParam());
+  double with = 0, without = 0;
+  for (size_t s = 3; s < 5; ++s) {
+    const GeneratedSource& held_out = world.domain.sources[s];
+    auto preds = world.system->PredictSource(held_out.source);
+    ASSERT_TRUE(preds.ok());
+    MatchOptions handler_on, handler_off;
+    handler_off.use_constraint_handler = false;
+    auto a = world.system->MatchWithPredictions(*preds, held_out.source,
+                                                handler_on);
+    auto b = world.system->MatchWithPredictions(*preds, held_out.source,
+                                                handler_off);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    with += MatchingAccuracy(a->mapping, held_out.gold);
+    without += MatchingAccuracy(b->mapping, held_out.gold);
+  }
+  // The constraint handler may not help on every single source, but it
+  // must not be a systematic regression.
+  EXPECT_GE(with, without - 0.101);
+}
+
+TEST_P(DomainIntegrationTest, FeedbackMonotonicallyFixesTags) {
+  TrainedWorld world = MakeWorld(GetParam());
+  const GeneratedSource& target = world.domain.sources[3];
+  FeedbackSession session(world.system.get(), &target.source);
+  ASSERT_TRUE(session.Initialize().ok());
+  auto before = session.CurrentMapping();
+  ASSERT_TRUE(before.ok());
+  double acc_before = MatchingAccuracy(before->mapping, target.gold);
+  auto stats = session.RunWithOracle(target.gold, MatchOptions(),
+                                     /*max_corrections=*/60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->reached_perfect);
+  auto after = session.CurrentMapping();
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(MatchingAccuracy(after->mapping, target.gold), 1.0);
+  EXPECT_GE(1.0, acc_before);
+  // Corrections needed must be no more than the initially wrong tags.
+  AccuracyBreakdown breakdown = ScoreMapping(before->mapping, target.gold);
+  size_t initially_wrong = (breakdown.matchable - breakdown.correct) +
+                           (breakdown.other_total - breakdown.other_correct);
+  EXPECT_LE(stats->corrections, initially_wrong + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainIntegrationTest,
+                         ::testing::Values("real-estate-1", "time-schedule",
+                                           "faculty-listings"));
+
+// Real Estate II is big; run a single cheaper end-to-end check.
+TEST(RealEstate2IntegrationTest, FullCycle) {
+  TrainedWorld world = MakeWorld("real-estate-2", /*listings=*/30);
+  const GeneratedSource& held_out = world.domain.sources[4];
+  auto result = world.system->MatchSource(held_out.source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(MatchingAccuracy(result->mapping, held_out.gold), 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentTest, RunDomainExperimentProducesAllVariants) {
+  ExperimentConfig config;
+  config.samples = 1;
+  config.num_listings = 20;
+  std::vector<SystemVariant> variants = {
+      {"full", MatchOptions{}},
+      {"argmax",
+       MatchOptions{{}, true, /*use_constraint_handler=*/false,
+                    ConstraintFilter::kAll}},
+  };
+  auto stats = RunDomainExperiment("faculty-listings", config, variants);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->size(), 2u);
+  // 1 sample x 10 splits x 2 test sources = 20 measurements per variant.
+  EXPECT_EQ(stats->at("full").count(), 20u);
+  EXPECT_EQ(stats->at("argmax").count(), 20u);
+  EXPECT_GT(stats->at("full").mean(), 0.3);
+}
+
+TEST(ExperimentTest, CountyVariantRejectedOutsideRealEstate) {
+  ExperimentConfig config;
+  config.samples = 1;
+  config.num_listings = 10;
+  std::vector<SystemVariant> variants(1);
+  variants[0].name = "bad";
+  variants[0].options.learners = {kCountyRecognizerName};
+  EXPECT_FALSE(RunDomainExperiment("time-schedule", config, variants).ok());
+}
+
+TEST(ExperimentTest, SamplesVaryDataButKeepSchemas) {
+  // With two samples, the measurement count doubles.
+  ExperimentConfig config;
+  config.samples = 2;
+  config.num_listings = 10;
+  std::vector<SystemVariant> variants = {{"full", MatchOptions{}}};
+  auto stats = RunDomainExperiment("faculty-listings", config, variants);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->at("full").count(), 40u);
+}
+
+}  // namespace
+}  // namespace lsd

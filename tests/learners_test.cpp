@@ -1,0 +1,363 @@
+#include <algorithm>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "learners/content_matcher.h"
+#include "learners/county_recognizer.h"
+#include "learners/format_learner.h"
+#include "learners/name_matcher.h"
+#include "learners/naive_bayes_learner.h"
+#include "learners/xml_learner.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+Instance MakeInstance(const std::string& tag, const std::string& path,
+                      const std::string& content) {
+  Instance instance;
+  instance.tag_name = tag;
+  instance.name_path = path;
+  instance.content = content;
+  return instance;
+}
+
+TrainingExample Example(const std::string& tag, const std::string& content,
+                        int label) {
+  TrainingExample e;
+  e.instance = MakeInstance(tag, tag, content);
+  e.label = label;
+  return e;
+}
+
+// A small real-estate training set: ADDRESS=0, DESCRIPTION=1, PHONE=2.
+std::vector<TrainingExample> RealEstateExamples() {
+  return {
+      Example("location", "Miami, FL", 0),
+      Example("location", "Boston, MA", 0),
+      Example("house-addr", "Seattle, WA", 0),
+      Example("house-addr", "Portland, OR", 0),
+      Example("comments", "Fantastic house great location", 1),
+      Example("comments", "Nice area close to river", 1),
+      Example("detailed-desc", "Great yard beautiful home", 1),
+      Example("detailed-desc", "Fantastic views must see", 1),
+      Example("contact", "(305) 729 0831", 2),
+      Example("contact", "(617) 253 1429", 2),
+      Example("phone", "(206) 753 2605", 2),
+      Example("phone", "(515) 273 4312", 2),
+  };
+}
+
+LabelSpace RealEstateLabels() {
+  return LabelSpace({"ADDRESS", "DESCRIPTION", "AGENT-PHONE"});
+}
+
+// ---------------------------------------------------------------------------
+// Name matcher
+// ---------------------------------------------------------------------------
+
+TEST(NameMatcherTest, MatchesSharedNameWords) {
+  NameMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  // "agent-phone" shares the word "phone" with trained AGENT-PHONE names.
+  Prediction p = matcher.Predict(
+      MakeInstance("agent-phone", "listing agent-phone", "(111) 222 3333"));
+  EXPECT_EQ(p.Best(), labels.IndexOf("AGENT-PHONE"));
+}
+
+TEST(NameMatcherTest, UsesSynonymExpansion) {
+  NameMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  Instance instance = MakeInstance("tel", "listing tel", "123");
+  instance.name_synonyms = "phone telephone";
+  Prediction with_synonyms = matcher.Predict(instance);
+  EXPECT_EQ(with_synonyms.Best(), labels.IndexOf("AGENT-PHONE"));
+}
+
+TEST(NameMatcherTest, VacuousNameGivesLowConfidence) {
+  NameMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  Prediction p = matcher.Predict(MakeInstance("item", "listing item", "x"));
+  // No overlap at all: close to uniform.
+  double spread = *std::max_element(p.scores.begin(), p.scores.end()) -
+                  *std::min_element(p.scores.begin(), p.scores.end());
+  EXPECT_LT(spread, 0.1);
+}
+
+TEST(NameMatcherTest, NameTokensUpweightOwnName) {
+  Instance instance = MakeInstance("agent-phone", "listing contact agent-phone",
+                                   "ignored");
+  auto tokens = NameMatcher::NameTokens(instance);
+  // Own-name tokens are doubled relative to path context.
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "phone"), 3);
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "contact"), 1);
+}
+
+TEST(NameMatcherTest, CloneUntrainedIsIndependent) {
+  NameMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  auto clone = matcher.CloneUntrained();
+  // Untrained clone must not crash and returns uniform-zero.
+  Prediction p = clone->Predict(MakeInstance("phone", "phone", "1"));
+  EXPECT_EQ(p.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Content matcher
+// ---------------------------------------------------------------------------
+
+TEST(ContentMatcherTest, MatchesByVocabulary) {
+  ContentMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  Prediction p = matcher.Predict(
+      MakeInstance("x", "x", "Fantastic location great house"));
+  EXPECT_EQ(p.Best(), labels.IndexOf("DESCRIPTION"));
+}
+
+TEST(ContentMatcherTest, MatchesCityContent) {
+  ContentMatcher matcher;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(matcher.Train(RealEstateExamples(), labels).ok());
+  Prediction p = matcher.Predict(MakeInstance("y", "y", "Miami, FL"));
+  EXPECT_EQ(p.Best(), labels.IndexOf("ADDRESS"));
+}
+
+// ---------------------------------------------------------------------------
+// Naive Bayes learner
+// ---------------------------------------------------------------------------
+
+TEST(NaiveBayesLearnerTest, FrequencySignalWords) {
+  NaiveBayesLearner learner;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), labels).ok());
+  Prediction p = learner.Predict(
+      MakeInstance("extra-info", "extra-info", "Great location fantastic"));
+  EXPECT_EQ(p.Best(), labels.IndexOf("DESCRIPTION"));
+}
+
+TEST(NaiveBayesLearnerTest, PhoneDigitsViaSymbols) {
+  NaiveBayesLearner learner;
+  LabelSpace labels = RealEstateLabels();
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), labels).ok());
+  // Phone parentheses tokens are learned from the training phones.
+  Prediction p = learner.Predict(
+      MakeInstance("work-phone", "work-phone", "(425) 555 1234"));
+  EXPECT_EQ(p.Best(), labels.IndexOf("AGENT-PHONE"));
+}
+
+// ---------------------------------------------------------------------------
+// County recognizer
+// ---------------------------------------------------------------------------
+
+TEST(CountyRecognizerTest, RecognitionScore) {
+  CountyRecognizer recognizer("COUNTY");
+  EXPECT_DOUBLE_EQ(recognizer.RecognitionScore("King"), 1.0);
+  EXPECT_DOUBLE_EQ(recognizer.RecognitionScore("not a real word zzz"), 0.0);
+  EXPECT_GT(recognizer.RecognitionScore("King county"), 0.0);
+}
+
+TEST(CountyRecognizerTest, PredictsTargetLabelOnMatch) {
+  CountyRecognizer recognizer("COUNTY");
+  LabelSpace labels({"COUNTY", "PRICE"});
+  ASSERT_TRUE(recognizer.Train({}, labels).ok());
+  Prediction hit = recognizer.Predict(MakeInstance("cnty", "cnty", "Pierce"));
+  EXPECT_EQ(hit.Best(), labels.IndexOf("COUNTY"));
+  Prediction miss =
+      recognizer.Predict(MakeInstance("price", "price", "$250,000"));
+  EXPECT_LT(miss.ScoreOf(labels.IndexOf("COUNTY")),
+            miss.ScoreOf(labels.IndexOf("PRICE")));
+}
+
+TEST(CountyRecognizerTest, MissingTargetLabelFallsBackToUniform) {
+  CountyRecognizer recognizer("COUNTY");
+  LabelSpace labels({"PRICE", "ADDRESS"});
+  ASSERT_TRUE(recognizer.Train({}, labels).ok());
+  Prediction p = recognizer.Predict(MakeInstance("cnty", "cnty", "King"));
+  for (double s : p.scores) EXPECT_NEAR(s, 1.0 / labels.size(), 1e-9);
+}
+
+TEST(CountyRecognizerTest, MultiWordCountiesIndexed) {
+  CountyRecognizer recognizer("COUNTY");
+  EXPECT_GT(recognizer.RecognitionScore("palm beach"), 0.9);
+  EXPECT_GT(recognizer.RecognitionScore("san diego"), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Format learner
+// ---------------------------------------------------------------------------
+
+TEST(FormatLearnerTest, FormatTokensAbstractShape) {
+  auto tokens = FormatLearner::FormatTokens("CSE142");
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "sig:A393"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "type:mixed"),
+            tokens.end());
+}
+
+TEST(FormatLearnerTest, DistinguishesCourseCodesFromTitles) {
+  FormatLearner learner;
+  LabelSpace labels({"COURSE-CODE", "COURSE-TITLE"});
+  std::vector<TrainingExample> examples = {
+      Example("code", "CSE142", 0),     Example("code", "MATH126", 0),
+      Example("code", "PHYS121", 0),    Example("code", "EE205", 0),
+      Example("title", "Introduction to Programming", 1),
+      Example("title", "Linear Algebra", 1),
+      Example("title", "Quantum Mechanics", 1),
+      Example("title", "Data Structures", 1),
+  };
+  ASSERT_TRUE(learner.Train(examples, labels).ok());
+  EXPECT_EQ(learner.Predict(MakeInstance("x", "x", "BIOL180")).Best(),
+            labels.IndexOf("COURSE-CODE"));
+  EXPECT_EQ(learner.Predict(MakeInstance("x", "x", "Operating Systems")).Best(),
+            labels.IndexOf("COURSE-TITLE"));
+}
+
+TEST(FormatLearnerTest, DistinguishesPhonesFromZips) {
+  FormatLearner learner;
+  LabelSpace labels({"PHONE", "ZIP"});
+  std::vector<TrainingExample> examples = {
+      Example("p", "(206) 555 0123", 0), Example("p", "(425) 555 9876", 0),
+      Example("p", "(305) 555 4567", 0), Example("z", "98105", 1),
+      Example("z", "02139", 1),          Example("z", "33109", 1),
+  };
+  ASSERT_TRUE(learner.Train(examples, labels).ok());
+  EXPECT_EQ(learner.Predict(MakeInstance("x", "x", "(617) 555 1111")).Best(),
+            labels.IndexOf("PHONE"));
+  EXPECT_EQ(learner.Predict(MakeInstance("x", "x", "60601")).Best(),
+            labels.IndexOf("ZIP"));
+}
+
+// ---------------------------------------------------------------------------
+// XML learner
+// ---------------------------------------------------------------------------
+
+class TestLabeler : public NodeLabeler {
+ public:
+  void Set(const std::string& tag, const std::string& label) {
+    map_[tag] = label;
+  }
+  std::string LabelOf(const std::string& tag) const override {
+    auto it = map_.find(tag);
+    return it == map_.end() ? std::string() : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> map_;
+};
+
+TEST(XmlLearnerTest, StructureTokensMatchTable2) {
+  // The paper's Figure 7: <contact><name>Gail Murphy</name>
+  //                       <firm>MAX Realtors</firm></contact>
+  auto node = ParseXmlElement(
+      "<contact><name>Gail Murphy</name><firm>MAX Realtors</firm></contact>");
+  ASSERT_TRUE(node.ok());
+  TestLabeler labeler;
+  labeler.Set("name", "AGENT-NAME");
+  labeler.Set("firm", "OFFICE-NAME");
+  auto tokens = XmlLearner::StructureTokens(*node, &labeler);
+  auto has = [&](const std::string& token) {
+    return std::find(tokens.begin(), tokens.end(), token) != tokens.end();
+  };
+  // Node tokens (Figure 7.f).
+  EXPECT_TRUE(has("n:AGENT-NAME"));
+  EXPECT_TRUE(has("n:OFFICE-NAME"));
+  // Edge tokens from the generic root d.
+  EXPECT_TRUE(has("e:d>AGENT-NAME"));
+  EXPECT_TRUE(has("e:d>OFFICE-NAME"));
+  // Label -> word edge tokens.
+  EXPECT_TRUE(has("e:AGENT-NAME>gail"));
+  EXPECT_TRUE(has("e:OFFICE-NAME>realtor"));
+  // Text tokens (stemmed).
+  EXPECT_TRUE(has("w:gail"));
+  EXPECT_TRUE(has("w:murphi"));
+}
+
+TEST(XmlLearnerTest, NullLabelerFallsBackToTagNames) {
+  auto node = ParseXmlElement("<contact><name>Gail</name></contact>");
+  ASSERT_TRUE(node.ok());
+  auto tokens = XmlLearner::StructureTokens(*node, nullptr);
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "n:name"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "e:d>name"), tokens.end());
+}
+
+TEST(XmlLearnerTest, DistinguishesClassesSharingWords) {
+  // CONTACT-INFO and DESCRIPTION share all words; only structure (node and
+  // edge tokens) separates them — the paper's motivating case (Figure 7.a).
+  TestLabeler labeler;
+  labeler.Set("name", "AGENT-NAME");
+  labeler.Set("firm", "OFFICE-NAME");
+  XmlLearner learner(&labeler);
+  LabelSpace labels({"CONTACT-INFO", "DESCRIPTION"});
+
+  std::vector<XmlNode> keep_alive;
+  auto structured = [&](const std::string& who, const std::string& office) {
+    keep_alive.push_back(
+        ParseXmlElement("<contact><name>" + who + "</name><firm>" + office +
+                        "</firm></contact>")
+            .value());
+    return keep_alive.size() - 1;
+  };
+  auto flat = [&](const std::string& text) {
+    keep_alive.push_back(
+        ParseXmlElement("<description>" + text + "</description>").value());
+    return keep_alive.size() - 1;
+  };
+  // Build examples; reserve so node pointers stay valid.
+  keep_alive.reserve(16);
+  std::vector<std::pair<size_t, int>> spec = {
+      {structured("Gail Murphy", "MAX Realtors"), 0},
+      {structured("Kate Smith", "Windermere"), 0},
+      {structured("Mike Brown", "RE MAX"), 0},
+      {flat("Victorian house contact Gail Murphy at MAX Realtors"), 1},
+      {flat("Great home call Kate Smith of Windermere"), 1},
+      {flat("Must see ask for Mike Brown RE MAX"), 1},
+  };
+  std::vector<TrainingExample> examples;
+  for (auto& [index, label] : spec) {
+    TrainingExample e;
+    e.instance.tag_name = keep_alive[index].name;
+    e.instance.name_path = keep_alive[index].name;
+    e.instance.content = keep_alive[index].DeepText();
+    e.instance.node = &keep_alive[index];
+    e.label = label;
+    examples.push_back(e);
+  }
+  ASSERT_TRUE(learner.Train(examples, labels).ok());
+
+  keep_alive.push_back(
+      ParseXmlElement("<info><name>Jane Kendall</name>"
+                      "<firm>Coldwell Banker</firm></info>")
+          .value());
+  Instance query;
+  query.tag_name = "info";
+  query.node = &keep_alive.back();
+  query.content = keep_alive.back().DeepText();
+  EXPECT_EQ(learner.Predict(query).Best(), labels.IndexOf("CONTACT-INFO"));
+
+  keep_alive.push_back(
+      ParseXmlElement("<blurb>lovely place call Jane Kendall of Coldwell "
+                      "Banker today</blurb>")
+          .value());
+  Instance flat_query;
+  flat_query.tag_name = "blurb";
+  flat_query.node = &keep_alive.back();
+  flat_query.content = keep_alive.back().DeepText();
+  EXPECT_EQ(learner.Predict(flat_query).Best(), labels.IndexOf("DESCRIPTION"));
+}
+
+TEST(XmlLearnerTest, NullNodeFallsBackToContent) {
+  XmlLearner learner(nullptr);
+  LabelSpace labels({"A", "B"});
+  std::vector<TrainingExample> examples = {
+      Example("x", "alpha beta", 0), Example("y", "gamma delta", 1),
+      Example("x2", "alpha alpha", 0), Example("y2", "delta gamma", 1)};
+  ASSERT_TRUE(learner.Train(examples, labels).ok());
+  EXPECT_EQ(learner.Predict(MakeInstance("q", "q", "alpha")).Best(), 0);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,435 @@
+#include <cmath>
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "ml/cross_validation.h"
+#include "ml/learner.h"
+#include "ml/meta_learner.h"
+#include "ml/naive_bayes.h"
+#include "ml/prediction.h"
+#include "ml/prediction_converter.h"
+#include "ml/whirl.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LabelSpace / Prediction
+// ---------------------------------------------------------------------------
+
+TEST(LabelSpaceTest, AppendsOtherAutomatically) {
+  LabelSpace labels({"ADDRESS", "PRICE"});
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels.NameOf(labels.other_index()), "OTHER");
+  EXPECT_EQ(labels.IndexOf("PRICE"), 1);
+  EXPECT_EQ(labels.IndexOf("missing"), -1);
+}
+
+TEST(LabelSpaceTest, DoesNotDuplicateOther) {
+  LabelSpace labels({"A", "OTHER", "B"});
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_EQ(labels.other_index(), 1);
+}
+
+TEST(PredictionTest, UniformAndPointMass) {
+  Prediction u = Prediction::Uniform(4);
+  for (double s : u.scores) EXPECT_DOUBLE_EQ(s, 0.25);
+  Prediction p = Prediction::PointMass(4, 2);
+  EXPECT_EQ(p.Best(), 2);
+  EXPECT_DOUBLE_EQ(p.ScoreOf(2), 1.0);
+}
+
+TEST(PredictionTest, BestBreaksTiesLow) {
+  Prediction p(3);
+  p.scores = {0.4, 0.4, 0.2};
+  EXPECT_EQ(p.Best(), 0);
+  EXPECT_EQ(Prediction().Best(), -1);
+}
+
+TEST(PredictionTest, NormalizeClampsNegatives) {
+  Prediction p(3);
+  p.scores = {-1.0, 1.0, 3.0};
+  p.Normalize();
+  EXPECT_DOUBLE_EQ(p.scores[0], 0.0);
+  EXPECT_DOUBLE_EQ(p.scores[1], 0.25);
+  EXPECT_DOUBLE_EQ(p.scores[2], 0.75);
+}
+
+TEST(PredictionTest, AveragePredictions) {
+  Prediction a(2), b(2);
+  a.scores = {1.0, 0.0};
+  b.scores = {0.0, 1.0};
+  auto avg = AveragePredictions({a, b});
+  ASSERT_TRUE(avg.ok());
+  EXPECT_DOUBLE_EQ(avg->scores[0], 0.5);
+  EXPECT_FALSE(AveragePredictions({}).ok());
+  Prediction c(3);
+  EXPECT_FALSE(AveragePredictions({a, c}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Naive Bayes
+// ---------------------------------------------------------------------------
+
+TEST(NaiveBayesTest, LearnsTokenFrequencies) {
+  NaiveBayesClassifier nb;
+  std::vector<std::vector<std::string>> docs = {
+      {"fantastic", "great", "location"},
+      {"beautiful", "great", "yard"},
+      {"206", "523", "4719"},
+      {"305", "729", "0831"},
+  };
+  std::vector<int> labels = {0, 0, 1, 1};
+  ASSERT_TRUE(nb.Train(docs, labels, 2).ok());
+  EXPECT_EQ(nb.Predict({"great", "fantastic", "view"}).Best(), 0);
+  EXPECT_EQ(nb.Predict({"305", "523", "1429"}).Best(), 1);
+}
+
+TEST(NaiveBayesTest, PredictionIsDistribution) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train({{"a"}, {"b"}}, {0, 1}, 2).ok());
+  Prediction p = nb.Predict({"a", "b", "c"});
+  double total = 0;
+  for (double s : p.scores) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, PriorsMatterForUnknownTokens) {
+  NaiveBayesClassifier nb;
+  // Equal token mass per class (so unseen-token smoothing cancels) but
+  // three docs for class 0 vs one for class 1: priors favor 0.
+  ASSERT_TRUE(
+      nb.Train({{"x"}, {"x"}, {"x"}, {"y", "y", "y"}}, {0, 0, 0, 1}, 2).ok());
+  EXPECT_EQ(nb.Predict({"unseen", "tokens"}).Best(), 0);
+}
+
+TEST(NaiveBayesTest, InputValidation) {
+  NaiveBayesClassifier nb;
+  EXPECT_FALSE(nb.Train({{"a"}}, {0, 1}, 2).ok());       // size mismatch
+  EXPECT_FALSE(nb.Train({}, {}, 2).ok());                // empty
+  EXPECT_FALSE(nb.Train({{"a"}}, {5}, 2).ok());          // label out of range
+  EXPECT_FALSE(nb.Train({{"a"}}, {0}, 0).ok());          // no labels
+}
+
+TEST(NaiveBayesTest, TokenLogProbMonotoneInCount) {
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train({{"a", "a", "a", "b"}, {"c"}}, {0, 1}, 2).ok());
+  EXPECT_GT(nb.TokenLogProb("a", 0), nb.TokenLogProb("b", 0));
+  EXPECT_GT(nb.TokenLogProb("b", 0), nb.TokenLogProb("zzz", 0));
+}
+
+TEST(NaiveBayesTest, UntrainedPredictEmpty) {
+  NaiveBayesClassifier nb;
+  EXPECT_EQ(nb.Predict({"a"}).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whirl
+// ---------------------------------------------------------------------------
+
+TEST(WhirlTest, NearestNeighbourByVocabulary) {
+  WhirlClassifier whirl;
+  std::vector<std::vector<std::string>> docs = {
+      {"seattle", "wa"}, {"miami", "fl"},          // label 0: addresses
+      {"fantastic", "house"}, {"great", "yard"},   // label 1: descriptions
+  };
+  ASSERT_TRUE(whirl.Train(docs, {0, 0, 1, 1}, 2).ok());
+  EXPECT_EQ(whirl.Predict({"seattle", "downtown"}).Best(), 0);
+  EXPECT_EQ(whirl.Predict({"fantastic", "location"}).Best(), 1);
+}
+
+TEST(WhirlTest, NoOverlapYieldsUniform) {
+  WhirlClassifier whirl;
+  ASSERT_TRUE(whirl.Train({{"a"}, {"b"}}, {0, 1}, 2).ok());
+  Prediction p = whirl.Predict({"zzz"});
+  EXPECT_NEAR(p.scores[0], p.scores[1], 1e-9);
+}
+
+TEST(WhirlTest, SimilarityCapKeepsScoresSoft) {
+  WhirlClassifier whirl;
+  ASSERT_TRUE(whirl.Train({{"exact"}, {"other"}}, {0, 1}, 2).ok());
+  Prediction p = whirl.Predict({"exact"});
+  EXPECT_EQ(p.Best(), 0);
+  EXPECT_LT(p.scores[0], 1.0);  // capped, not a hard 1/0 prediction
+  EXPECT_GT(p.scores[0], 0.9);
+}
+
+TEST(WhirlTest, KLimitsNeighbours) {
+  WhirlOptions options;
+  options.k = 1;
+  WhirlClassifier whirl(options);
+  // Two label-1 docs share a weak token with the query, one label-0 doc
+  // matches strongly; with k=1 only the strong one votes.
+  ASSERT_TRUE(whirl.Train({{"alpha", "beta", "gamma"},
+                           {"alpha", "x"},
+                           {"alpha", "y"}},
+                          {0, 1, 1}, 2)
+                  .ok());
+  Prediction p = whirl.Predict({"alpha", "beta", "gamma"});
+  EXPECT_EQ(p.Best(), 0);
+  EXPECT_LT(p.scores[1], 0.01);  // only the smoothing floor remains
+}
+
+TEST(WhirlTest, InputValidation) {
+  WhirlClassifier whirl;
+  EXPECT_FALSE(whirl.Train({{"a"}}, {0, 1}, 2).ok());
+  EXPECT_FALSE(whirl.Train({}, {}, 2).ok());
+  EXPECT_FALSE(whirl.Train({{"a"}}, {-1}, 2).ok());
+}
+
+TEST(WhirlTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    WhirlClassifier whirl;
+    (void)whirl.Train({{"a", "b"}, {"b", "c"}, {"c", "d"}}, {0, 1, 0}, 2);
+    return whirl.Predict({"b", "c", "d"}).scores;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation
+// ---------------------------------------------------------------------------
+
+/// Deterministic learner: predicts the majority label of its training set.
+class MajorityLearner : public BaseLearner {
+ public:
+  std::string name() const override { return "majority"; }
+  Status Train(const std::vector<TrainingExample>& examples,
+               const LabelSpace& labels) override {
+    std::vector<int> counts(labels.size(), 0);
+    for (const auto& e : examples) ++counts[static_cast<size_t>(e.label)];
+    majority_ = 0;
+    for (size_t i = 1; i < counts.size(); ++i) {
+      if (counts[i] > counts[static_cast<size_t>(majority_)]) {
+        majority_ = static_cast<int>(i);
+      }
+    }
+    n_labels_ = labels.size();
+    return Status::OK();
+  }
+  Prediction Predict(const Instance&) const override {
+    return Prediction::PointMass(n_labels_, majority_);
+  }
+  std::unique_ptr<BaseLearner> CloneUntrained() const override {
+    return std::make_unique<MajorityLearner>();
+  }
+
+ private:
+  int majority_ = 0;
+  size_t n_labels_ = 0;
+};
+
+std::vector<TrainingExample> MakeExamples(const std::vector<int>& labels) {
+  std::vector<TrainingExample> out;
+  for (int label : labels) {
+    TrainingExample e;
+    e.instance.tag_name = "t" + std::to_string(out.size());
+    e.label = label;
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(FoldAssignmentTest, BalancedAndDeterministic) {
+  std::vector<size_t> a = MakeFoldAssignment(10, 5, 42);
+  std::vector<size_t> b = MakeFoldAssignment(10, 5, 42);
+  EXPECT_EQ(a, b);
+  std::vector<int> counts(5, 0);
+  for (size_t fold : a) ++counts[fold];
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(FoldAssignmentTest, GroupedKeepsGroupsTogether) {
+  std::vector<int> groups = {7, 7, 7, 3, 3, 9, 9, 9, 9, 5};
+  std::vector<size_t> folds = MakeGroupedFoldAssignment(groups, 3, 1);
+  EXPECT_EQ(folds[0], folds[1]);
+  EXPECT_EQ(folds[1], folds[2]);
+  EXPECT_EQ(folds[3], folds[4]);
+  EXPECT_EQ(folds[5], folds[6]);
+  EXPECT_EQ(folds[6], folds[7]);
+  EXPECT_EQ(folds[7], folds[8]);
+}
+
+TEST(CrossValidationTest, PredictionsComeFromOtherFolds) {
+  // 10 examples of label 0 and 10 of label 1, folds of mixed labels: the
+  // majority learner trained without an example's fold still sees both
+  // labels, so every prediction must be a valid point mass.
+  LabelSpace labels({"A", "B"});
+  auto examples = MakeExamples({0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                                1, 1, 1, 1, 1, 1, 1, 1, 1, 1});
+  MajorityLearner prototype;
+  auto cv = CrossValidatePredictions(prototype, examples, labels);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(cv->size(), examples.size());
+  for (const Prediction& p : *cv) {
+    EXPECT_EQ(p.size(), labels.size());
+  }
+}
+
+TEST(CrossValidationTest, SingleExampleFallsBackToUniform) {
+  LabelSpace labels({"A", "B"});
+  auto examples = MakeExamples({0});
+  MajorityLearner prototype;
+  auto cv = CrossValidatePredictions(prototype, examples, labels);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_NEAR((*cv)[0].scores[0], 1.0 / 3, 1e-9);
+}
+
+TEST(CrossValidationTest, EmptyFails) {
+  LabelSpace labels({"A"});
+  MajorityLearner prototype;
+  EXPECT_FALSE(CrossValidatePredictions(prototype, {}, labels).ok());
+}
+
+TEST(CrossValidationTest, GroupSizeMismatchFails) {
+  LabelSpace labels({"A"});
+  MajorityLearner prototype;
+  CrossValidationOptions options;
+  options.group_ids = {1, 2};
+  EXPECT_FALSE(
+      CrossValidatePredictions(prototype, MakeExamples({0}), labels, options)
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Meta-learner
+// ---------------------------------------------------------------------------
+
+TEST(MetaLearnerTest, WeightsTrackLearnerQuality) {
+  // Learner 0 is a perfect predictor, learner 1 is anti-correlated.
+  const size_t n = 40;
+  std::vector<int> truth(n);
+  std::vector<std::vector<Prediction>> cv(2);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(i % 2);
+    Prediction good(2), bad(2);
+    good.scores[static_cast<size_t>(truth[i])] = 0.9;
+    good.scores[static_cast<size_t>(1 - truth[i])] = 0.1;
+    bad.scores[static_cast<size_t>(truth[i])] = 0.1;
+    bad.scores[static_cast<size_t>(1 - truth[i])] = 0.9;
+    cv[0].push_back(good);
+    cv[1].push_back(bad);
+  }
+  MetaLearner meta;
+  ASSERT_TRUE(meta.Train(cv, truth, 2).ok());
+  for (int label = 0; label < 2; ++label) {
+    EXPECT_GT(meta.WeightOf(label, 0), meta.WeightOf(label, 1));
+    EXPECT_GE(meta.WeightOf(label, 1), 0.0);  // non-negative stacking
+  }
+}
+
+TEST(MetaLearnerTest, CombineWeightsPerLabel) {
+  // Learner 0 reliable for label 0 only; learner 1 reliable for label 1
+  // only: the per-label weight matrix is what makes LSD multi-strategy.
+  const size_t n = 60;
+  std::vector<int> truth(n);
+  std::vector<std::vector<Prediction>> cv(2);
+  for (size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(i % 3);  // labels 0,1,2
+    Prediction l0(3), l1(3);
+    // Learner 0: confident and right when truth==0, noise otherwise.
+    if (truth[i] == 0) {
+      l0.scores = {0.9, 0.05, 0.05};
+    } else {
+      l0.scores = {0.34, 0.33, 0.33};
+    }
+    // Learner 1: confident and right when truth==1, noise otherwise.
+    if (truth[i] == 1) {
+      l1.scores = {0.05, 0.9, 0.05};
+    } else {
+      l1.scores = {0.33, 0.34, 0.33};
+    }
+    cv[0].push_back(l0);
+    cv[1].push_back(l1);
+  }
+  MetaLearner meta;
+  ASSERT_TRUE(meta.Train(cv, truth, 3).ok());
+  EXPECT_GT(meta.WeightOf(0, 0), meta.WeightOf(0, 1));
+  EXPECT_GT(meta.WeightOf(1, 1), meta.WeightOf(1, 0));
+
+  // Combination of fresh predictions follows the learned trust.
+  Prediction from0(3), from1(3);
+  from0.scores = {0.8, 0.1, 0.1};   // learner 0 says label 0
+  from1.scores = {0.1, 0.8, 0.1};   // learner 1 says label 1
+  auto combined = meta.Combine({from0, from1});
+  ASSERT_TRUE(combined.ok());
+  // Both are trusted for their own label; result must be a distribution.
+  double total = 0;
+  for (double s : combined->scores) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MetaLearnerTest, InputValidation) {
+  MetaLearner meta;
+  EXPECT_FALSE(meta.Train({}, {0}, 2).ok());
+  std::vector<std::vector<Prediction>> cv(1);
+  cv[0].push_back(Prediction::Uniform(2));
+  EXPECT_FALSE(meta.Train(cv, {0, 1}, 2).ok());  // count mismatch
+  EXPECT_FALSE(meta.Combine({Prediction::Uniform(2)}).ok());  // untrained
+}
+
+TEST(MetaLearnerTest, CombineValidatesShape) {
+  std::vector<std::vector<Prediction>> cv(2);
+  std::vector<int> truth = {0, 1};
+  for (int i = 0; i < 2; ++i) {
+    cv[0].push_back(Prediction::PointMass(2, i));
+    cv[1].push_back(Prediction::PointMass(2, i));
+  }
+  MetaLearner meta;
+  ASSERT_TRUE(meta.Train(cv, truth, 2).ok());
+  EXPECT_FALSE(meta.Combine({Prediction::Uniform(2)}).ok());  // 1 of 2
+  EXPECT_FALSE(
+      meta.Combine({Prediction::Uniform(3), Prediction::Uniform(3)}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Prediction converter
+// ---------------------------------------------------------------------------
+
+TEST(PredictionConverterTest, AverageMatchesPaperExample) {
+  // Section 3.2: three instance predictions for tag "area" average to
+  // <ADDRESS:0.7, DESCRIPTION:0.163, AGENT-PHONE:0.137>.
+  Prediction a(3), b(3), c(3);
+  a.scores = {0.7, 0.2, 0.1};
+  b.scores = {0.5, 0.2, 0.3};
+  c.scores = {0.9, 0.09, 0.01};
+  PredictionConverter converter;
+  auto out = converter.Convert({a, b, c});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->scores[0], 0.7, 1e-9);
+  EXPECT_NEAR(out->scores[1], 0.163, 1e-3);
+  EXPECT_NEAR(out->scores[2], 0.137, 1e-3);
+}
+
+TEST(PredictionConverterTest, MaxPolicy) {
+  Prediction a(2), b(2);
+  a.scores = {0.9, 0.1};
+  b.scores = {0.2, 0.8};
+  PredictionConverter converter(ConverterPolicy::kMax);
+  auto out = converter.Convert({a, b});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->scores[0], 0.9 / 1.7, 1e-9);
+}
+
+TEST(PredictionConverterTest, ProductPolicyRewardsConsistency) {
+  Prediction consistent(2), noisy(2);
+  consistent.scores = {0.6, 0.4};
+  noisy.scores = {0.6, 0.4};
+  PredictionConverter converter(ConverterPolicy::kProduct);
+  auto out = converter.Convert({consistent, noisy});
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->scores[0], 0.6);  // product sharpens agreement
+}
+
+TEST(PredictionConverterTest, RejectsEmptyAndMismatched) {
+  PredictionConverter converter;
+  EXPECT_FALSE(converter.Convert({}).ok());
+  EXPECT_FALSE(
+      converter.Convert({Prediction::Uniform(2), Prediction::Uniform(3)}).ok());
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,190 @@
+#include <cstdio>
+#include <string>
+
+#include "common/file_util.h"
+#include "constraints/constraint_parser.h"
+#include "datagen/domains.h"
+#include "gtest/gtest.h"
+#include "schema/schema.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mapping text format
+// ---------------------------------------------------------------------------
+
+TEST(ParseMappingTest, ParsesEntriesSkippingCommentsAndBlanks) {
+  auto mapping = ParseMapping(R"(# gold mapping
+location <=> ADDRESS
+
+phone <=> AGENT-PHONE
+)");
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->size(), 2u);
+  EXPECT_EQ(mapping->LabelOrOther("location"), "ADDRESS");
+  EXPECT_EQ(mapping->LabelOrOther("phone"), "AGENT-PHONE");
+}
+
+TEST(ParseMappingTest, RoundTripsToString) {
+  Mapping original;
+  original.Set("a", "X");
+  original.Set("b-c", "Y-Z");
+  auto reparsed = ParseMapping(original.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->entries(), original.entries());
+}
+
+TEST(ParseMappingTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseMapping("location ADDRESS").ok());
+  EXPECT_FALSE(ParseMapping("<=> ADDRESS").ok());
+  EXPECT_FALSE(ParseMapping("location <=>").ok());
+}
+
+TEST(ParseMappingTest, RejectsDuplicateTags) {
+  auto mapping = ParseMapping("a <=> X\na <=> Y\n");
+  ASSERT_FALSE(mapping.ok());
+  EXPECT_NE(mapping.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParseMappingTest, ReportsLineNumbers) {
+  auto mapping = ParseMapping("a <=> X\nbroken line\n");
+  ASSERT_FALSE(mapping.ok());
+  EXPECT_NE(mapping.status().message().find("line 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Constraint file format
+// ---------------------------------------------------------------------------
+
+TEST(ParseConstraintsTest, ParsesEveryKind) {
+  auto constraints = ParseConstraints(R"(# domain constraints
+frequency PRICE 1 1
+nesting CONTACT-INFO AGENT-PHONE required
+nesting CONTACT-INFO PRICE forbidden
+contiguity NUM-BEDROOMS NUM-BATHROOMS
+exclusivity COURSE-CREDIT SECTION-CREDIT
+key HOUSE-ID
+fd CITY FIRM-NAME FIRM-ADDRESS
+count-limit DESCRIPTION 3 1.0
+proximity AGENT-NAME AGENT-PHONE 0.1
+)");
+  ASSERT_TRUE(constraints.ok());
+  ASSERT_EQ(constraints->size(), 9u);
+  EXPECT_EQ((*constraints)[0]->type(), ConstraintType::kFrequency);
+  EXPECT_EQ((*constraints)[1]->type(), ConstraintType::kNesting);
+  EXPECT_EQ((*constraints)[3]->type(), ConstraintType::kContiguity);
+  EXPECT_EQ((*constraints)[4]->type(), ConstraintType::kExclusivity);
+  EXPECT_EQ((*constraints)[5]->type(), ConstraintType::kColumn);
+  EXPECT_EQ((*constraints)[6]->type(), ConstraintType::kColumn);
+  EXPECT_EQ((*constraints)[7]->type(), ConstraintType::kBinarySoft);
+  EXPECT_EQ((*constraints)[8]->type(), ConstraintType::kNumericSoft);
+}
+
+TEST(ParseConstraintsTest, RoundTripsThroughToConfigLine) {
+  const char* text = R"(frequency PRICE 1 1
+nesting CONTACT-INFO AGENT-PHONE required
+contiguity NUM-BEDROOMS NUM-BATHROOMS
+exclusivity A B
+key HOUSE-ID
+fd CITY FIRM-NAME FIRM-ADDRESS
+count-limit DESCRIPTION 3 1
+proximity AGENT-NAME AGENT-PHONE 0.1
+)";
+  auto first = ParseConstraints(text);
+  ASSERT_TRUE(first.ok());
+  std::string rendered;
+  for (const auto& constraint : *first) {
+    rendered += constraint->ToConfigLine() + "\n";
+  }
+  auto second = ParseConstraints(rendered);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), first->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*second)[i]->ToConfigLine(), (*first)[i]->ToConfigLine());
+    EXPECT_EQ((*second)[i]->Describe(), (*first)[i]->Describe());
+  }
+}
+
+TEST(ParseConstraintsTest, DomainConstraintsSerializeAndReload) {
+  auto domain = MakeEvaluationDomain("real-estate-2", 2, 5, 7);
+  ASSERT_TRUE(domain.ok());
+  std::string text;
+  size_t expected = 0;
+  for (const auto& constraint : MakeDomainConstraints(*domain)) {
+    std::string line = constraint->ToConfigLine();
+    ASSERT_FALSE(line.empty()) << constraint->Describe();
+    text += line + "\n";
+    ++expected;
+  }
+  auto reloaded = ParseConstraints(text);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->size(), expected);
+}
+
+TEST(ParseConstraintsTest, RejectsErrorsWithLineNumbers) {
+  auto r1 = ParseConstraints("frequency PRICE 2 1\n");
+  EXPECT_FALSE(r1.ok());  // min > max
+  auto r2 = ParseConstraints("nesting A B sometimes\n");
+  EXPECT_FALSE(r2.ok());
+  auto r3 = ParseConstraints("key\n");
+  EXPECT_FALSE(r3.ok());
+  auto r4 = ParseConstraints("frobnicate A B\n");
+  ASSERT_FALSE(r4.ok());
+  EXPECT_NE(r4.status().message().find("line 1"), std::string::npos);
+  auto r5 = ParseConstraints("frequency PRICE 1 1\ncount-limit X y z\n");
+  ASSERT_FALSE(r5.ok());
+  EXPECT_NE(r5.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseConstraintsTest, ParsedConstraintsEvaluate) {
+  auto constraints = ParseConstraints("frequency PRICE 0 1\n");
+  ASSERT_TRUE(constraints.ok());
+  LabelSpace labels({"PRICE"});
+  Dtd schema;
+  ASSERT_TRUE(schema.AddElement({"root", ContentParticle::Sequence(
+                                             {ContentParticle::Element("a"),
+                                              ContentParticle::Element("b")})})
+                  .ok());
+  ASSERT_TRUE(schema.AddElement({"a", ContentParticle::Pcdata()}).ok());
+  ASSERT_TRUE(schema.AddElement({"b", ContentParticle::Pcdata()}).ok());
+  ConstraintContext context(&schema, nullptr);
+  Assignment assignment(3);
+  assignment.labels[1] = labels.IndexOf("PRICE");
+  assignment.labels[2] = labels.IndexOf("PRICE");
+  EXPECT_EQ((*constraints)[0]->Cost(assignment, labels, context),
+            kInfiniteCost);
+}
+
+// ---------------------------------------------------------------------------
+// File utilities
+// ---------------------------------------------------------------------------
+
+TEST(FileUtilTest, WriteThenReadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/lsd_file_util_test.txt";
+  std::string contents = "line one\nline two\0with a nul";
+  ASSERT_TRUE(WriteStringToFile(path, contents).ok());
+  auto read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, contents);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFileIsNotFound) {
+  auto result = ReadFileToString("/nonexistent/definitely/missing.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileUtilTest, OverwriteReplaces) {
+  std::string path = ::testing::TempDir() + "/lsd_file_util_test2.txt";
+  ASSERT_TRUE(WriteStringToFile(path, "first version, long").ok());
+  ASSERT_TRUE(WriteStringToFile(path, "short").ok());
+  auto read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, "short");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lsd

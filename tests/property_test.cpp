@@ -1,0 +1,312 @@
+// Property-based tests: randomized inputs checked against invariants
+// rather than fixed expectations. Seeds are fixed, so failures reproduce.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "constraints/astar_searcher.h"
+#include "constraints/constraint.h"
+#include "gtest/gtest.h"
+#include "ml/naive_bayes.h"
+#include "ml/prediction.h"
+#include "ml/whirl.h"
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XML write→parse round trip on random trees
+// ---------------------------------------------------------------------------
+
+std::string RandomToken(Rng* rng) {
+  static const std::vector<std::string> kWords = {
+      "house", "price", "agent", "great",  "view", "123", "a&b", "<tag>",
+      "it's",  "99%",   "x=y",   "\"quo\"", "semi;colon"};
+  return rng->Pick(kWords);
+}
+
+XmlNode RandomTree(Rng* rng, int depth) {
+  static const std::vector<std::string> kNames = {"a", "b", "c", "item",
+                                                  "node-x", "deep_tag"};
+  XmlNode node(rng->Pick(kNames));
+  if (rng->Bernoulli(0.4)) {
+    node.attributes.emplace_back("k" + std::to_string(rng->UniformInt(0, 3)),
+                                 RandomToken(rng));
+  }
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    // Leaf with (possibly empty) text.
+    if (rng->Bernoulli(0.8)) {
+      node.text = RandomToken(rng) + " " + RandomToken(rng);
+    }
+    return node;
+  }
+  int n_children = static_cast<int>(rng->UniformInt(1, 3));
+  for (int i = 0; i < n_children; ++i) {
+    node.children.push_back(RandomTree(rng, depth - 1));
+  }
+  return node;
+}
+
+class XmlRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTripTest, WriteParseIsIdentity) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  XmlNode tree = RandomTree(&rng, 4);
+  for (bool pretty : {true, false}) {
+    XmlWriteOptions options;
+    options.pretty = pretty;
+    auto parsed = ParseXmlElement(WriteXml(tree, options));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, tree) << "pretty=" << pretty;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Tokenizer invariants
+// ---------------------------------------------------------------------------
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TokenizerPropertyTest, TokensNonEmptyAndClassified) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1000);
+  std::string text;
+  for (int i = 0; i < 30; ++i) {
+    text += RandomToken(&rng);
+    text += rng.Bernoulli(0.3) ? ", " : " ";
+  }
+  for (const std::string& token : Tokenize(text)) {
+    ASSERT_FALSE(token.empty());
+    // A token is a word (all lower alpha after stemming), a number, or a
+    // single symbol character.
+    bool word = std::all_of(token.begin(), token.end(), [](char c) {
+      return c >= 'a' && c <= 'z';
+    });
+    bool number = IsAllDigits(token);
+    bool symbol = token.size() == 1 &&
+                  std::string("$%#@/:()-").find(token[0]) != std::string::npos;
+    EXPECT_TRUE(word || number || symbol) << "token: '" << token << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest, ::testing::Range(0, 10));
+
+TEST(StemmerPropertyTest, DeterministicAndNonEmptyOnWords) {
+  // Porter is famously *not* idempotent ("houses"→"hous"→"hou"), but it
+  // must be deterministic and never erase a word entirely.
+  static const std::vector<std::string> kWords = {
+      "houses",   "listings", "fantastic", "beautiful", "locations",
+      "agencies", "running",  "hoping",    "relational", "connections",
+      "described", "matching", "learning", "schemas",    "constraints"};
+  for (const std::string& word : kWords) {
+    std::string once = PorterStem(word);
+    EXPECT_FALSE(once.empty()) << word;
+    EXPECT_EQ(PorterStem(word), once) << word;
+    EXPECT_LE(once.size(), word.size()) << word;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Classifier output invariants
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::string>> RandomCorpus(Rng* rng, size_t docs) {
+  std::vector<std::vector<std::string>> corpus;
+  for (size_t d = 0; d < docs; ++d) {
+    std::vector<std::string> doc;
+    size_t len = static_cast<size_t>(rng->UniformInt(1, 8));
+    for (size_t w = 0; w < len; ++w) {
+      doc.push_back("w" + std::to_string(rng->UniformInt(0, 20)));
+    }
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+class ClassifierPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassifierPropertyTest, PredictionsAreDistributions) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 5000);
+  const size_t n_labels = static_cast<size_t>(rng.UniformInt(2, 6));
+  auto corpus = RandomCorpus(&rng, 40);
+  std::vector<int> labels;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    labels.push_back(static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1)));
+  }
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(corpus, labels, n_labels).ok());
+  WhirlClassifier whirl;
+  ASSERT_TRUE(whirl.Train(corpus, labels, n_labels).ok());
+  for (int q = 0; q < 10; ++q) {
+    auto query = RandomCorpus(&rng, 1)[0];
+    for (const Prediction& p : {nb.Predict(query), whirl.Predict(query)}) {
+      ASSERT_EQ(p.size(), n_labels);
+      double total = 0;
+      for (double s : p.scores) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0 + 1e-9);
+        total += s;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierPropertyTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// A* optimality against brute force on small random problems
+// ---------------------------------------------------------------------------
+
+struct SmallProblem {
+  Dtd schema;
+  LabelSpace labels;
+  std::vector<Prediction> predictions;
+  ConstraintSet constraints;
+};
+
+SmallProblem MakeSmallProblem(Rng* rng) {
+  SmallProblem problem;
+  // Flat schema: root with 4 leaf children (5 tags total).
+  std::vector<ContentParticle> parts;
+  for (int i = 0; i < 4; ++i) {
+    parts.push_back(ContentParticle::Element("t" + std::to_string(i)));
+  }
+  EXPECT_TRUE(
+      problem.schema.AddElement({"root", ContentParticle::Sequence(parts)})
+          .ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(problem.schema
+                    .AddElement({"t" + std::to_string(i),
+                                 ContentParticle::Pcdata()})
+                    .ok());
+  }
+  problem.labels = LabelSpace({"A", "B", "C"});
+  for (int t = 0; t < 5; ++t) {
+    Prediction p(problem.labels.size());
+    for (double& s : p.scores) s = rng->Uniform(0.05, 1.0);
+    p.Normalize();
+    problem.predictions.push_back(std::move(p));
+  }
+  // Random at-most-one constraints.
+  for (const char* label : {"A", "B"}) {
+    if (rng->Bernoulli(0.7)) {
+      problem.constraints.Add(
+          std::make_unique<FrequencyConstraint>(label, 0, 1));
+    }
+  }
+  if (rng->Bernoulli(0.5)) {
+    problem.constraints.Add(std::make_unique<FrequencyConstraint>("C", 1, 2));
+  }
+  if (rng->Bernoulli(0.5)) {
+    problem.constraints.Add(
+        std::make_unique<CountLimitSoftConstraint>("OTHER", 1, 0.4));
+  }
+  return problem;
+}
+
+// Exhaustive minimum over all |labels|^|tags| assignments.
+double BruteForceBestCost(const SmallProblem& problem,
+                          const ConstraintContext& context, double alpha,
+                          double floor) {
+  const size_t n_tags = context.tags().size();
+  const size_t n_labels = problem.labels.size();
+  size_t total = 1;
+  for (size_t t = 0; t < n_tags; ++t) total *= n_labels;
+  double best = kInfiniteCost;
+  for (size_t code = 0; code < total; ++code) {
+    Assignment assignment(n_tags);
+    size_t rest = code;
+    double prob_cost = 0;
+    for (size_t t = 0; t < n_tags; ++t) {
+      int label = static_cast<int>(rest % n_labels);
+      rest /= n_labels;
+      assignment.labels[t] = label;
+      prob_cost +=
+          -alpha * std::log(std::max(
+                       problem.predictions[t].scores[static_cast<size_t>(label)],
+                       floor));
+    }
+    double constraint_cost = problem.constraints.TotalCost(
+        assignment, problem.labels, context);
+    if (constraint_cost == kInfiniteCost) continue;
+    best = std::min(best, prob_cost + constraint_cost);
+  }
+  return best;
+}
+
+class AStarOptimalityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AStarOptimalityTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 31337);
+  SmallProblem problem = MakeSmallProblem(&rng);
+  ConstraintContext context(&problem.schema, nullptr);
+  AStarOptions options;
+  options.beam_width = 0;  // consider every label: exact search
+  AStarSearcher searcher(options);
+  auto result = searcher.Search(problem.predictions, problem.constraints,
+                                problem.labels, context);
+  ASSERT_TRUE(result.ok());
+  double brute = BruteForceBestCost(problem, context, options.alpha,
+                                    options.score_floor);
+  if (brute == kInfiniteCost) {
+    EXPECT_TRUE(result->truncated);  // no feasible assignment exists
+  } else {
+    ASSERT_FALSE(result->truncated);
+    EXPECT_NEAR(result->cost, brute, 1e-9);
+    // And the returned assignment really has that cost.
+    double check = problem.constraints.TotalCost(result->assignment,
+                                                 problem.labels, context);
+    ASSERT_NE(check, kInfiniteCost);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarOptimalityTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Constraint monotonicity (the property A* relies on)
+// ---------------------------------------------------------------------------
+
+class MonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityTest, ExtendingNeverLowersCost) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 999);
+  SmallProblem problem = MakeSmallProblem(&rng);
+  ConstraintContext context(&problem.schema, nullptr);
+  const size_t n_tags = context.tags().size();
+  // Random fill order and labels.
+  std::vector<size_t> order(n_tags);
+  for (size_t i = 0; i < n_tags; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  Assignment assignment(n_tags);
+  double previous =
+      problem.constraints.TotalCost(assignment, problem.labels, context);
+  for (size_t t : order) {
+    assignment.labels[t] = static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(problem.labels.size()) - 1));
+    double current =
+        problem.constraints.TotalCost(assignment, problem.labels, context);
+    if (previous == kInfiniteCost) {
+      EXPECT_EQ(current, kInfiniteCost);
+    } else if (current != kInfiniteCost) {
+      EXPECT_GE(current, previous - 1e-12);
+    }
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,254 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "text/stemmer.h"
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Porter stemmer
+// ---------------------------------------------------------------------------
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStemTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemTest, StemsToExpected) {
+  EXPECT_EQ(PorterStem(GetParam().input), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownVectors, PorterStemTest,
+    ::testing::Values(
+        // Classic vectors from Porter's paper and reference implementation.
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valency", "valenc"}, StemCase{"hesitancy", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformably", "conform"},
+        StemCase{"radically", "radic"}, StemCase{"differently", "differ"},
+        StemCase{"vilely", "vile"}, StemCase{"analogously", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formality", "formal"},
+        StemCase{"sensitivity", "sensit"}, StemCase{"sensibility", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electricity", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemTest, ShortAndNonAlphaUnchanged) {
+  EXPECT_EQ(PorterStem("ab"), "ab");
+  EXPECT_EQ(PorterStem(""), "");
+  EXPECT_EQ(PorterStem("42"), "42");
+  EXPECT_EQ(PorterStem("don't"), "don't");
+  EXPECT_EQ(PorterStem("UPPER"), "UPPER");  // only lower-case is stemmed
+}
+
+TEST(PorterStemTest, PaperSignalWords) {
+  // Words the Naive Bayes learner keys on must stem consistently.
+  EXPECT_EQ(PorterStem("fantastic"), PorterStem("fantastic"));
+  EXPECT_EQ(PorterStem("listings"), PorterStem("listing"));
+  EXPECT_EQ(PorterStem("houses"), PorterStem("house"));
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsPriceLikeThePaper) {
+  // The paper's data cleaning splits "$70000" into "$" and "70000".
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(Tokenize("$70000", options),
+            (std::vector<std::string>{"$", "70000"}));
+}
+
+TEST(TokenizerTest, AbsorbsGroupingCommas) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(Tokenize("$250,000", options),
+            (std::vector<std::string>{"$", "250000"}));
+}
+
+TEST(TokenizerTest, CommaWithoutDigitsIsSeparator) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(Tokenize("Miami, FL", options),
+            (std::vector<std::string>{"miami", "fl"}));
+}
+
+TEST(TokenizerTest, PhoneNumber) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(Tokenize("(305) 729 0831", options),
+            (std::vector<std::string>{"(", "305", ")", "729", "0831"}));
+}
+
+TEST(TokenizerTest, StemsWords) {
+  EXPECT_EQ(Tokenize("fantastic houses"),
+            (std::vector<std::string>{"fantast", "hous"}));
+}
+
+TEST(TokenizerTest, StopwordsDroppedWhenRequested) {
+  TokenizerOptions options;
+  options.stem = false;
+  options.drop_stopwords = true;
+  EXPECT_EQ(Tokenize("the house is great", options),
+            (std::vector<std::string>{"house", "great"}));
+}
+
+TEST(TokenizerTest, SymbolAndNumberSuppression) {
+  TokenizerOptions options;
+  options.stem = false;
+  options.keep_symbols = false;
+  options.keep_numbers = false;
+  EXPECT_EQ(Tokenize("$70,000 great 42nd", options),
+            (std::vector<std::string>{"great", "nd"}));
+}
+
+TEST(TokenizerTest, EmptyInput) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(TokenizeNameTest, SplitsHyphensAndUnderscores) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(TokenizeName("agent-phone", options),
+            (std::vector<std::string>{"agent", "phone"}));
+  EXPECT_EQ(TokenizeName("agent_phone", options),
+            (std::vector<std::string>{"agent", "phone"}));
+}
+
+TEST(TokenizeNameTest, SplitsCamelCase) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(TokenizeName("listedPrice", options),
+            (std::vector<std::string>{"listed", "price"}));
+  EXPECT_EQ(TokenizeName("ListedPrice", options),
+            (std::vector<std::string>{"listed", "price"}));
+}
+
+TEST(TokenizeNameTest, SplitsLetterDigitBoundaries) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(TokenizeName("addr2line", options),
+            (std::vector<std::string>{"addr", "2", "line"}));
+}
+
+TEST(TokenizeNameTest, PathNames) {
+  TokenizerOptions options;
+  options.stem = false;
+  EXPECT_EQ(TokenizeName("house-listing contact phone", options),
+            (std::vector<std::string>{"house", "listing", "contact", "phone"}));
+}
+
+// ---------------------------------------------------------------------------
+// TF/IDF
+// ---------------------------------------------------------------------------
+
+TEST(VocabularyTest, InternsStably) {
+  Vocabulary vocab;
+  int a = vocab.GetOrAdd("alpha");
+  int b = vocab.GetOrAdd("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), a);
+  EXPECT_EQ(vocab.Find("beta"), b);
+  EXPECT_EQ(vocab.Find("gamma"), -1);
+  EXPECT_EQ(vocab.TokenOf(a), "alpha");
+  EXPECT_EQ(vocab.size(), 2u);
+}
+
+TEST(SparseVectorTest, FromPairsMergesAndSorts) {
+  SparseVector v = SparseVector::FromPairs({{3, 1.0}, {1, 2.0}, {3, 4.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].first, 1);
+  EXPECT_DOUBLE_EQ(v.entries()[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(v.entries()[1].second, 5.0);
+}
+
+TEST(SparseVectorTest, DotAndCosine) {
+  SparseVector a = SparseVector::FromPairs({{0, 1.0}, {2, 1.0}});
+  SparseVector b = SparseVector::FromPairs({{2, 2.0}, {5, 1.0}});
+  EXPECT_DOUBLE_EQ(a.Dot(b), 2.0);
+  EXPECT_NEAR(a.Cosine(b), 2.0 / (std::sqrt(2.0) * std::sqrt(5.0)), 1e-12);
+  SparseVector zero;
+  EXPECT_DOUBLE_EQ(a.Cosine(zero), 0.0);
+}
+
+TEST(SparseVectorTest, NormalizeMakesUnitNorm) {
+  SparseVector v = SparseVector::FromPairs({{0, 3.0}, {1, 4.0}});
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, IdfOrdersRareAboveCommon) {
+  TfIdfModel model;
+  model.AddDocument({"common", "rare"});
+  model.AddDocument({"common"});
+  model.AddDocument({"common"});
+  model.Finalize();
+  SparseVector v = model.Vectorize({"common", "rare"});
+  ASSERT_EQ(v.size(), 2u);
+  double common_weight = 0, rare_weight = 0;
+  for (const auto& [id, w] : v.entries()) {
+    if (model.vocabulary().TokenOf(id) == "common") common_weight = w;
+    if (model.vocabulary().TokenOf(id) == "rare") rare_weight = w;
+  }
+  EXPECT_GT(rare_weight, common_weight);
+}
+
+TEST(TfIdfTest, UnknownTokensIgnored) {
+  TfIdfModel model;
+  model.AddDocument({"a", "b"});
+  model.Finalize();
+  EXPECT_TRUE(model.Vectorize({"zzz"}).empty());
+}
+
+TEST(TfIdfTest, VectorsAreUnitNorm) {
+  TfIdfModel model;
+  model.AddDocument({"a", "b", "c"});
+  model.AddDocument({"a", "d"});
+  model.Finalize();
+  EXPECT_NEAR(model.Vectorize({"a", "b", "d"}).Norm(), 1.0, 1e-12);
+}
+
+TEST(TfIdfTest, IdenticalDocumentsHaveCosineOne) {
+  TfIdfModel model;
+  model.AddDocument({"x", "y"});
+  model.AddDocument({"z"});
+  model.Finalize();
+  SparseVector a = model.Vectorize({"x", "y"});
+  SparseVector b = model.Vectorize({"x", "y"});
+  EXPECT_NEAR(a.Dot(b), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsd

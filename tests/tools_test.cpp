@@ -1,0 +1,92 @@
+// Process-level tests of the lsd_generate / lsd_match command-line tools:
+// generate a small benchmark to a temp directory, match one source, and
+// check the emitted mapping. Binary paths are injected by CMake.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/file_util.h"
+#include "gtest/gtest.h"
+#include "schema/schema.h"
+
+namespace lsd {
+namespace {
+
+#ifndef LSD_GENERATE_BIN
+#define LSD_GENERATE_BIN "lsd_generate"
+#endif
+#ifndef LSD_MATCH_BIN
+#define LSD_MATCH_BIN "lsd_match"
+#endif
+
+std::string TempDir() {
+  std::string dir = ::testing::TempDir() + "/lsd_tools_test";
+  std::string command = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+  EXPECT_EQ(std::system(command.c_str()), 0);
+  return dir;
+}
+
+TEST(ToolsTest, GenerateThenMatchEndToEnd) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  // All expected files exist and parse.
+  for (const char* name :
+       {"mediated.dtd", "domain.constraints", "source-0.dtd", "source-0.xml",
+        "source-0.mapping", "source-4.mapping", "README.txt"}) {
+    auto contents = ReadFileToString(dir + "/" + name);
+    ASSERT_TRUE(contents.ok()) << name;
+    EXPECT_FALSE(contents->empty()) << name;
+  }
+
+  std::string out_mapping = dir + "/predicted.mapping";
+  std::string match = std::string(LSD_MATCH_BIN) + " --mediated '" + dir +
+                      "/mediated.dtd'";
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    match += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+             ".mapping'";
+  }
+  match += " --target '" + dir + "/source-4.dtd' '" + dir + "/source-4.xml'";
+  match += " --constraints '" + dir + "/domain.constraints'";
+  match += " --gold '" + dir + "/source-4.mapping'";
+  match += " > '" + out_mapping + "' 2>/dev/null";
+  ASSERT_EQ(std::system(match.c_str()), 0);
+
+  // The tool's stdout is a parseable mapping covering every target tag.
+  auto predicted_text = ReadFileToString(out_mapping);
+  ASSERT_TRUE(predicted_text.ok());
+  auto predicted = ParseMapping(*predicted_text);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  auto gold_text = ReadFileToString(dir + "/source-4.mapping");
+  ASSERT_TRUE(gold_text.ok());
+  auto gold = ParseMapping(*gold_text);
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(predicted->size(), gold->size());
+  for (const auto& [tag, label] : predicted->entries()) {
+    EXPECT_NE(gold->Find(tag), nullptr) << tag;
+  }
+}
+
+TEST(ToolsTest, MatchRejectsMissingInputs) {
+  std::string command =
+      std::string(LSD_MATCH_BIN) + " --mediated /nonexistent.dtd 2>/dev/null";
+  EXPECT_NE(std::system(command.c_str()), 0);
+  EXPECT_NE(std::system((std::string(LSD_MATCH_BIN) + " 2>/dev/null").c_str()),
+            0);
+}
+
+TEST(ToolsTest, GenerateRejectsUnknownDomain) {
+  std::string dir = TempDir();
+  std::string command = std::string(LSD_GENERATE_BIN) +
+                        " --domain not-a-domain --out '" + dir +
+                        "' 2>/dev/null";
+  EXPECT_NE(std::system(command.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,431 @@
+#include "gtest/gtest.h"
+#include "xml/dtd.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// XmlNode model
+// ---------------------------------------------------------------------------
+
+TEST(XmlNodeTest, FindChildAndChildren) {
+  XmlNode root("house");
+  root.AddChild("price", "100");
+  root.AddChild("phone", "111");
+  root.AddChild("phone", "222");
+  ASSERT_NE(root.FindChild("price"), nullptr);
+  EXPECT_EQ(root.FindChild("price")->text, "100");
+  EXPECT_EQ(root.FindChild("nope"), nullptr);
+  EXPECT_EQ(root.FindChildren("phone").size(), 2u);
+}
+
+TEST(XmlNodeTest, DeepTextJoinsSubtree) {
+  XmlNode root("contact");
+  root.AddChild("name", "Gail Murphy");
+  root.AddChild("firm", "MAX Realtors");
+  EXPECT_EQ(root.DeepText(), "Gail Murphy MAX Realtors");
+}
+
+TEST(XmlNodeTest, SubtreeSizeAndDepth) {
+  XmlNode root("a");
+  XmlNode& b = root.AddChild("b");
+  b.AddChild("c");
+  root.AddChild("d");
+  EXPECT_EQ(root.SubtreeSize(), 4u);
+  EXPECT_EQ(root.Depth(), 3u);
+  EXPECT_EQ(b.Depth(), 2u);
+}
+
+TEST(XmlNodeTest, AttributesLookup) {
+  XmlNode node("x");
+  node.attributes.emplace_back("id", "7");
+  EXPECT_EQ(node.Attribute("id"), "7");
+  EXPECT_EQ(node.Attribute("missing"), "");
+}
+
+TEST(XmlNodeTest, VisitPreOrderWithDepth) {
+  XmlNode root("a");
+  root.AddChild("b").AddChild("c");
+  std::vector<std::pair<std::string, size_t>> seen;
+  root.Visit([&seen](const XmlNode& n, size_t d) { seen.emplace_back(n.name, d); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, size_t>{"a", 0}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, size_t>{"b", 1}));
+  EXPECT_EQ(seen[2], (std::pair<std::string, size_t>{"c", 2}));
+}
+
+TEST(XmlEscapeTest, RoundTrip) {
+  std::string nasty = "a<b>&\"quoted\"'x'";
+  EXPECT_EQ(XmlUnescape(XmlEscape(nasty)), nasty);
+}
+
+TEST(XmlEscapeTest, NumericReferences) {
+  EXPECT_EQ(XmlUnescape("&#65;&#x42;"), "AB");
+  EXPECT_EQ(XmlUnescape("&unknown;"), "&unknown;");
+}
+
+// ---------------------------------------------------------------------------
+// XML parser
+// ---------------------------------------------------------------------------
+
+TEST(XmlParserTest, ParsesSimpleDocument) {
+  auto doc = ParseXml("<house><price>$70,000</price></house>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.name, "house");
+  ASSERT_EQ(doc->root.children.size(), 1u);
+  EXPECT_EQ(doc->root.children[0].name, "price");
+  EXPECT_EQ(doc->root.children[0].text, "$70,000");
+}
+
+TEST(XmlParserTest, ParsesNestedPaperExample) {
+  auto doc = ParseXml(R"(
+    <house-listing>
+      <location>Seattle, WA</location>
+      <price> $70,000</price>
+      <contact><name>Kate Richardson</name>
+        <phone>(206) 523 4719</phone>
+      </contact>
+    </house-listing>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.name, "house-listing");
+  ASSERT_EQ(doc->root.children.size(), 3u);
+  const XmlNode* contact = doc->root.FindChild("contact");
+  ASSERT_NE(contact, nullptr);
+  EXPECT_EQ(contact->FindChild("phone")->text, "(206) 523 4719");
+}
+
+TEST(XmlParserTest, NormalizesWhitespace) {
+  auto doc = ParseXml("<a>  hello\n   world  </a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "hello world");
+}
+
+TEST(XmlParserTest, ParsesAttributes) {
+  auto doc = ParseXml(R"(<a id="1" name='two &amp; three'/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.Attribute("id"), "1");
+  EXPECT_EQ(doc->root.Attribute("name"), "two & three");
+}
+
+TEST(XmlParserTest, SelfClosingTag) {
+  auto doc = ParseXml("<a><b/><c>x</c></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.children.size(), 2u);
+  EXPECT_TRUE(doc->root.children[0].IsLeaf());
+}
+
+TEST(XmlParserTest, SkipsCommentsAndProcessingInstructions) {
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?><!-- comment --><a><!-- inner -->x<?pi data?></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "x");
+}
+
+TEST(XmlParserTest, SkipsDoctypeWithInternalSubset) {
+  auto doc = ParseXml(
+      "<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>content</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "content");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto doc = ParseXml("<a><![CDATA[5 < 6 & 7 > 2]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "5 < 6 & 7 > 2");
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  auto doc = ParseXml("<a>&lt;tag&gt; &amp; &quot;text&quot;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root.text, "<tag> & \"text\"");
+}
+
+TEST(XmlParserTest, MismatchedCloseTagFails) {
+  auto doc = ParseXml("<a><b>x</c></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParserTest, UnterminatedElementFails) {
+  EXPECT_FALSE(ParseXml("<a><b>x</b>").ok());
+}
+
+TEST(XmlParserTest, TrailingContentFails) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, ErrorsReportLineAndColumn) {
+  auto doc = ParseXml("<a>\n<b>\n</wrong>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(XmlParserTest, EmptyInputFails) { EXPECT_FALSE(ParseXml("").ok()); }
+
+// ---------------------------------------------------------------------------
+// XML writer
+// ---------------------------------------------------------------------------
+
+TEST(XmlWriterTest, RoundTripsThroughParser) {
+  XmlNode root("listing");
+  root.AddChild("price", "$70,000");
+  XmlNode& contact = root.AddChild("contact");
+  contact.AddChild("name", "Kate & Co");
+  contact.attributes.emplace_back("kind", "agent");
+  std::string text = WriteXml(root);
+  auto parsed = ParseXmlElement(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, root);
+}
+
+TEST(XmlWriterTest, CompactMode) {
+  XmlNode root("a");
+  root.AddChild("b", "x");
+  XmlWriteOptions options;
+  options.pretty = false;
+  EXPECT_EQ(WriteXml(root, options), "<a><b>x</b></a>");
+}
+
+TEST(XmlWriterTest, EmptyElementSelfCloses) {
+  XmlNode root("a");
+  XmlWriteOptions options;
+  options.pretty = false;
+  EXPECT_EQ(WriteXml(root, options), "<a/>");
+}
+
+TEST(XmlWriterTest, DeclarationEmitted) {
+  XmlNode root("a");
+  XmlWriteOptions options;
+  options.pretty = false;
+  options.declaration = true;
+  EXPECT_EQ(WriteXml(root, options),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+}
+
+// ---------------------------------------------------------------------------
+// DTD model
+// ---------------------------------------------------------------------------
+
+Dtd PaperMediatedDtd() {
+  return ParseDtd(R"(
+    <!ELEMENT house-listing (location?, price, contact)>
+    <!ELEMENT location (#PCDATA)>
+    <!ELEMENT price (#PCDATA)>
+    <!ELEMENT contact (name, phone)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT phone (#PCDATA)>
+  )").value();
+}
+
+TEST(DtdTest, BasicAccessors) {
+  Dtd dtd = PaperMediatedDtd();
+  EXPECT_EQ(dtd.root_name(), "house-listing");
+  EXPECT_EQ(dtd.AllTags().size(), 6u);
+  EXPECT_EQ(dtd.LeafTags().size(), 4u);
+  EXPECT_EQ(dtd.NonLeafTags(),
+            (std::vector<std::string>{"house-listing", "contact"}));
+  EXPECT_TRUE(dtd.Contains("phone"));
+  EXPECT_FALSE(dtd.Contains("zip"));
+}
+
+TEST(DtdTest, ChildAndParentTags) {
+  Dtd dtd = PaperMediatedDtd();
+  EXPECT_EQ(dtd.ChildTags("contact"), (std::vector<std::string>{"name", "phone"}));
+  EXPECT_EQ(dtd.ParentTags("phone"), (std::vector<std::string>{"contact"}));
+  EXPECT_TRUE(dtd.ChildTags("price").empty());
+}
+
+TEST(DtdTest, DescendantsAndDepth) {
+  Dtd dtd = PaperMediatedDtd();
+  EXPECT_TRUE(dtd.IsDescendant("house-listing", "phone"));
+  EXPECT_TRUE(dtd.IsDescendant("contact", "name"));
+  EXPECT_FALSE(dtd.IsDescendant("contact", "price"));
+  EXPECT_FALSE(dtd.IsDescendant("phone", "contact"));
+  EXPECT_EQ(dtd.DescendantCount("house-listing"), 5u);
+  EXPECT_EQ(dtd.DescendantCount("contact"), 2u);
+  EXPECT_EQ(dtd.DescendantCount("phone"), 0u);
+  EXPECT_EQ(dtd.MaxDepth(), 3u);
+}
+
+TEST(DtdTest, DuplicateDeclarationRejected) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddElement({"a", ContentParticle::Pcdata()}).ok());
+  EXPECT_EQ(dtd.AddElement({"a", ContentParticle::Pcdata()}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DtdTest, ValidateCatchesDanglingReference) {
+  Dtd dtd;
+  ASSERT_TRUE(dtd.AddElement(
+                     {"a", ContentParticle::Sequence(
+                               {ContentParticle::Element("missing")})})
+                  .ok());
+  EXPECT_FALSE(dtd.Validate().ok());
+}
+
+TEST(DtdTest, RecursiveDtdDepthBounded) {
+  Dtd dtd;
+  ASSERT_TRUE(
+      dtd.AddElement({"a", ContentParticle::Sequence(
+                               {ContentParticle::Element("a", Occurrence::kOptional)})})
+          .ok());
+  EXPECT_GE(dtd.MaxDepth(), 1u);  // must terminate
+}
+
+TEST(DtdTest, ValidateDocumentAcceptsConforming) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml(R"(
+    <house-listing>
+      <location>Seattle</location><price>1</price>
+      <contact><name>K</name><phone>2</phone></contact>
+    </house-listing>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ValidateDocumentOptionalMayBeAbsent) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml(
+      "<house-listing><price>1</price>"
+      "<contact><name>K</name><phone>2</phone></contact></house-listing>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ValidateDocumentRejectsMissingRequired) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml("<house-listing><price>1</price></house-listing>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ValidateDocumentRejectsWrongOrder) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml(
+      "<house-listing><contact><name>K</name><phone>2</phone></contact>"
+      "<price>1</price></house-listing>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ValidateDocumentRejectsUndeclared) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml("<mystery/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ValidateDocumentPcdataWithChildrenRejected) {
+  Dtd dtd = PaperMediatedDtd();
+  auto doc = ParseXml(
+      "<house-listing><price><x>1</x></price>"
+      "<contact><name>K</name><phone>2</phone></contact></house-listing>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(dtd.ValidateDocument(doc->root).ok());
+}
+
+TEST(DtdTest, ChoiceAndRepetitionContentModels) {
+  Dtd dtd = ParseDtd(R"(
+    <!ELEMENT list ((a | b)*, c+)>
+    <!ELEMENT a (#PCDATA)>
+    <!ELEMENT b (#PCDATA)>
+    <!ELEMENT c (#PCDATA)>
+  )").value();
+  auto ok1 = ParseXml("<list><a>1</a><b>2</b><a>3</a><c>4</c></list>");
+  EXPECT_TRUE(dtd.ValidateDocument(ok1->root).ok());
+  auto ok2 = ParseXml("<list><c>1</c><c>2</c></list>");
+  EXPECT_TRUE(dtd.ValidateDocument(ok2->root).ok());
+  auto bad1 = ParseXml("<list><a>1</a></list>");  // missing required c
+  EXPECT_FALSE(dtd.ValidateDocument(bad1->root).ok());
+  auto bad2 = ParseXml("<list><c>1</c><a>2</a></list>");  // a after c
+  EXPECT_FALSE(dtd.ValidateDocument(bad2->root).ok());
+}
+
+TEST(DtdTest, ToStringRoundTripsThroughParser) {
+  Dtd dtd = PaperMediatedDtd();
+  auto reparsed = ParseDtd(dtd.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->AllTags(), dtd.AllTags());
+  EXPECT_EQ(reparsed->ToString(), dtd.ToString());
+}
+
+// ---------------------------------------------------------------------------
+// DTD parser
+// ---------------------------------------------------------------------------
+
+TEST(DtdParserTest, ParsesOccurrenceIndicators) {
+  auto model = ParseContentModel("(a, b?, c*, d+)");
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->children.size(), 4u);
+  EXPECT_EQ(model->children[0].occurrence, Occurrence::kOne);
+  EXPECT_EQ(model->children[1].occurrence, Occurrence::kOptional);
+  EXPECT_EQ(model->children[2].occurrence, Occurrence::kZeroOrMore);
+  EXPECT_EQ(model->children[3].occurrence, Occurrence::kOneOrMore);
+}
+
+TEST(DtdParserTest, ParsesNestedGroups) {
+  auto model = ParseContentModel("((a | b)+, c)");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->kind, ParticleKind::kSequence);
+  EXPECT_EQ(model->children[0].kind, ParticleKind::kChoice);
+  EXPECT_EQ(model->children[0].occurrence, Occurrence::kOneOrMore);
+}
+
+TEST(DtdParserTest, ParsesMixedContent) {
+  auto dtd = ParseDtd(R"(
+    <!ELEMENT p (#PCDATA | em | strong)*>
+    <!ELEMENT em (#PCDATA)>
+    <!ELEMENT strong (#PCDATA)>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("p")->content.kind, ParticleKind::kMixed);
+  EXPECT_EQ(dtd->Find("p")->content.children.size(), 2u);
+}
+
+TEST(DtdParserTest, ParsesEmptyAndAny) {
+  auto dtd = ParseDtd(R"(
+    <!ELEMENT root (img, blob)>
+    <!ELEMENT img EMPTY>
+    <!ELEMENT blob ANY>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("img")->content.kind, ParticleKind::kEmpty);
+  EXPECT_EQ(dtd->Find("blob")->content.kind, ParticleKind::kAny);
+}
+
+TEST(DtdParserTest, SkipsAttlistAndComments) {
+  auto dtd = ParseDtd(R"(
+    <!-- mediated schema -->
+    <!ELEMENT a (#PCDATA)>
+    <!ATTLIST a id CDATA #REQUIRED>
+  )");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->AllTags().size(), 1u);
+}
+
+TEST(DtdParserTest, MixedSeparatorsRejected) {
+  EXPECT_FALSE(ParseContentModel("(a, b | c)").ok());
+}
+
+TEST(DtdParserTest, DanglingReferenceRejected) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b)>").ok());
+}
+
+TEST(DtdParserTest, GarbageRejected) {
+  EXPECT_FALSE(ParseDtd("<!ELEMNT a (#PCDATA)>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a #PCDATA>").ok());
+}
+
+TEST(DtdParserTest, SingleChildGroupCollapses) {
+  auto model = ParseContentModel("(a)");
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->kind, ParticleKind::kElement);
+  EXPECT_EQ(model->element_name, "a");
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,249 @@
+// lsd_match: command-line schema matcher.
+//
+// Trains LSD on user-mapped sources read from disk and proposes a 1-1
+// mapping for a target source — the full Section 3 pipeline as a tool.
+//
+// Usage:
+//   lsd_match --mediated mediated.dtd
+//             --train src1.dtd src1.xml src1.mapping
+//             --train src2.dtd src2.xml src2.mapping
+//             --target tgt.dtd tgt.xml
+//             [--constraints domain.constraints]
+//             [--feedback "tag <=> LABEL"]...
+//             [--gold tgt.mapping] [--no-xml-learner] [--no-meta]
+//             [--no-constraint-handler] [--county-label LABEL]
+//
+// File formats:
+//   *.dtd         — <!ELEMENT ...> declarations (see xml/dtd_parser.h)
+//   *.xml         — a single root element whose children are the data
+//                   listings, e.g. <listings><house>...</house>...</listings>
+//   *.mapping     — "tag <=> LABEL" lines; '#' comments
+//   *.constraints — see constraints/constraint_parser.h
+//
+// With --gold the tool also scores the proposal (paper metric: % of
+// matchable tags correct).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "constraints/constraint_parser.h"
+#include "core/lsd_system.h"
+#include "eval/metrics.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace lsd;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: lsd_match --mediated M.dtd"
+               " --train S.dtd S.xml S.mapping [--train ...]"
+               " --target T.dtd T.xml [--constraints F]"
+               " [--feedback \"tag <=> LABEL\"] [--gold T.mapping]"
+               " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
+               " [--county-label LABEL]\n");
+}
+
+StatusOr<DataSource> LoadSource(const std::string& name,
+                                const std::string& dtd_path,
+                                const std::string& xml_path) {
+  DataSource source;
+  source.name = name;
+  LSD_ASSIGN_OR_RETURN(std::string dtd_text, ReadFileToString(dtd_path));
+  LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(dtd_text));
+  LSD_ASSIGN_OR_RETURN(std::string xml_text, ReadFileToString(xml_path));
+  LSD_ASSIGN_OR_RETURN(XmlDocument wrapper, ParseXml(xml_text));
+  if (wrapper.root.children.empty()) {
+    return Status::InvalidArgument(xml_path +
+                                   ": the root element must wrap the listings");
+  }
+  for (XmlNode& listing : wrapper.root.children) {
+    source.listings.emplace_back(std::move(listing));
+  }
+  return source;
+}
+
+StatusOr<Mapping> LoadMapping(const std::string& path) {
+  LSD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return ParseMapping(text);
+}
+
+int Run(int argc, char** argv) {
+  std::string mediated_path;
+  struct TrainSpec {
+    std::string dtd, xml, mapping;
+  };
+  std::vector<TrainSpec> train_specs;
+  std::string target_dtd, target_xml, constraints_path, gold_path;
+  std::vector<std::string> feedback_lines;
+  LsdConfig config;
+  MatchOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--mediated") {
+      if (!next(&mediated_path)) { Usage(); return 2; }
+    } else if (arg == "--train") {
+      TrainSpec spec;
+      if (!next(&spec.dtd) || !next(&spec.xml) || !next(&spec.mapping)) {
+        Usage();
+        return 2;
+      }
+      train_specs.push_back(std::move(spec));
+    } else if (arg == "--target") {
+      if (!next(&target_dtd) || !next(&target_xml)) { Usage(); return 2; }
+    } else if (arg == "--constraints") {
+      if (!next(&constraints_path)) { Usage(); return 2; }
+    } else if (arg == "--feedback") {
+      std::string line;
+      if (!next(&line)) { Usage(); return 2; }
+      feedback_lines.push_back(std::move(line));
+    } else if (arg == "--gold") {
+      if (!next(&gold_path)) { Usage(); return 2; }
+    } else if (arg == "--no-xml-learner") {
+      config.use_xml_learner = false;
+    } else if (arg == "--no-meta") {
+      options.use_meta_learner = false;
+    } else if (arg == "--no-constraint-handler") {
+      options.use_constraint_handler = false;
+    } else if (arg == "--county-label") {
+      if (!next(&config.county_label)) { Usage(); return 2; }
+      config.use_county_recognizer = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (mediated_path.empty() || train_specs.empty() || target_dtd.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto mediated_text = ReadFileToString(mediated_path);
+  if (!mediated_text.ok()) {
+    std::fprintf(stderr, "%s\n", mediated_text.status().ToString().c_str());
+    return 1;
+  }
+  auto mediated = ParseDtd(*mediated_text);
+  if (!mediated.ok()) {
+    std::fprintf(stderr, "%s\n", mediated.status().ToString().c_str());
+    return 1;
+  }
+
+  LsdSystem system(*mediated, config);
+
+  // Training sources must outlive Train(); keep them here.
+  std::vector<DataSource> train_sources;
+  train_sources.reserve(train_specs.size());
+  for (const TrainSpec& spec : train_specs) {
+    auto source = LoadSource(spec.dtd, spec.dtd, spec.xml);
+    if (!source.ok()) {
+      std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+      return 1;
+    }
+    train_sources.push_back(std::move(*source));
+  }
+  for (size_t s = 0; s < train_specs.size(); ++s) {
+    auto gold = LoadMapping(train_specs[s].mapping);
+    if (!gold.ok()) {
+      std::fprintf(stderr, "%s\n", gold.status().ToString().c_str());
+      return 1;
+    }
+    Status status = system.AddTrainingSource(train_sources[s], *gold);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!constraints_path.empty()) {
+    auto text = ReadFileToString(constraints_path);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto constraints = ParseConstraints(*text);
+    if (!constraints.ok()) {
+      std::fprintf(stderr, "%s\n", constraints.status().ToString().c_str());
+      return 1;
+    }
+    for (auto& constraint : *constraints) {
+      system.AddConstraint(std::move(constraint));
+    }
+  }
+
+  Status status = system.Train();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "trained %zu learners on %zu sources\n",
+               system.LearnerNames().size(), train_specs.size());
+
+  auto target = LoadSource(target_dtd, target_dtd, target_xml);
+  if (!target.ok()) {
+    std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<FeedbackConstraint> feedback;
+  for (const std::string& line : feedback_lines) {
+    bool must_equal = line.find("!=") == std::string::npos;
+    auto parsed = ParseMapping(must_equal
+                                   ? line
+                                   : ReplaceAll(line, "!=", "<=>"));
+    if (!parsed.ok() || parsed->size() != 1) {
+      std::fprintf(stderr, "bad --feedback '%s' (want \"tag <=> LABEL\" or "
+                           "\"tag != LABEL\")\n",
+                   line.c_str());
+      return 2;
+    }
+    const auto& [tag, label] = *parsed->entries().begin();
+    feedback.emplace_back(tag, label, must_equal);
+  }
+
+  auto result = system.MatchSource(*target, options, feedback);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // Mapping to stdout (machine-readable, same format ParseMapping reads);
+  // confidence table to stderr.
+  std::printf("%s", result->mapping.ToString().c_str());
+  for (size_t t = 0; t < result->tags.size(); ++t) {
+    const Prediction& p = result->tag_predictions[t];
+    std::fprintf(stderr, "  %-20s -> %-18s confidence %.2f\n",
+                 result->tags[t].c_str(),
+                 system.labels().NameOf(p.Best()).c_str(),
+                 p.scores[static_cast<size_t>(p.Best())]);
+  }
+
+  if (!gold_path.empty()) {
+    auto gold = LoadMapping(gold_path);
+    if (!gold.ok()) {
+      std::fprintf(stderr, "%s\n", gold.status().ToString().c_str());
+      return 1;
+    }
+    AccuracyBreakdown score = ScoreMapping(result->mapping, *gold);
+    std::fprintf(stderr, "matching accuracy: %.1f%% (%zu/%zu matchable)\n",
+                 100.0 * score.accuracy(), score.correct, score.matchable);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
