@@ -1,0 +1,184 @@
+// Measures the deterministic parallel runtime: Train + Match wall-clock on
+// the Table-3 domain workload at 1/2/4/8 threads, verifying along the way
+// that every thread count produces bit-identical results (meta-learner
+// weights, per-tag predictions, and the final mapping).
+//
+// Emits a machine-readable trajectory record (BENCH_parallel.json by
+// default) so successive PRs accumulate comparable perf numbers:
+//   --listings=N   listings per source (default 100)
+//   --quick        40 listings, real-estate-1 only
+//   --out=PATH     JSON output path ("" disables)
+//
+// Speedups are relative to --threads=1 (the serial path). Interpret them
+// against "hardware_concurrency" in the JSON: a 1-core container will
+// honestly report ~1.0x.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace lsd;
+
+/// String flag "--key=value"; returns `fallback` when absent.
+std::string StringFlag(int argc, char** argv, const char* key,
+                       const std::string& fallback) {
+  std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// One timed Train+Match run of a realized domain: train on the first 3
+/// sources, match the remaining ones.
+struct RunResult {
+  double train_seconds = 0.0;
+  double match_seconds = 0.0;
+  /// Fingerprint of everything determinism promises: meta weights plus,
+  /// per target source, the mapping and the exact tag-prediction bytes.
+  std::string fingerprint;
+  Status status;
+};
+
+RunResult RunDomain(const Domain& domain, const std::string& domain_name,
+                    size_t num_threads) {
+  RunResult result;
+  LsdConfig config;
+  config = ConfigForDomain(domain_name, config);
+  config.num_threads = num_threads;
+  LsdSystem system(domain.mediated, config);
+
+  const size_t train_count = 3;
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < train_count && s < domain.sources.size(); ++s) {
+    result.status = system.AddTrainingSource(domain.sources[s].source,
+                                             domain.sources[s].gold);
+    if (!result.status.ok()) return result;
+  }
+  result.status = system.Train();
+  if (!result.status.ok()) return result;
+  auto t1 = std::chrono::steady_clock::now();
+  result.train_seconds = Seconds(t0, t1);
+
+  result.fingerprint = system.meta_learner().Serialize();
+  for (size_t s = train_count; s < domain.sources.size(); ++s) {
+    auto match = system.MatchSource(domain.sources[s].source);
+    if (!match.ok()) {
+      result.status = match.status();
+      return result;
+    }
+    result.fingerprint += match->mapping.ToString();
+    for (const Prediction& p : match->tag_predictions) {
+      for (double score : p.scores) {
+        result.fingerprint += StrFormat("%.17g,", score);
+      }
+    }
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  result.match_seconds = Seconds(t1, t2);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  size_t listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 40 : 100));
+  std::string out_path =
+      StringFlag(argc, argv, "out", "BENCH_parallel.json");
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  std::vector<std::string> domains =
+      quick ? std::vector<std::string>{"real-estate-1"}
+            : EvaluationDomainNames();
+
+  std::printf(
+      "bench_parallel: Train+Match wall-clock vs. thread count\n"
+      "(listings/source=%zu, 3 train / 2 match, hardware threads: %u)\n",
+      listings, std::thread::hardware_concurrency());
+  bench::Rule(84);
+  std::printf("%-18s | %7s | %9s %9s %9s | %8s | %s\n", "Domain", "Threads",
+              "Train s", "Match s", "Total s", "Speedup", "Identical");
+  bench::Rule(84);
+
+  std::string json = "{\n  \"bench\": \"bench_parallel\",\n";
+  json += StrFormat("  \"listings\": %zu,\n", listings);
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += "  \"results\": [\n";
+
+  bool all_identical = true;
+  bool first_row = true;
+  for (const std::string& name : domains) {
+    auto domain = MakeEvaluationDomain(name, /*num_sources=*/5, listings,
+                                       /*seed=*/7);
+    if (!domain.ok()) {
+      std::fprintf(stderr, "error: %s\n", domain.status().ToString().c_str());
+      return 1;
+    }
+    double serial_total = 0.0;
+    std::string serial_fingerprint;
+    for (size_t threads : thread_counts) {
+      RunResult run = RunDomain(*domain, name, threads);
+      if (!run.status.ok()) {
+        std::fprintf(stderr, "error: %s\n", run.status.ToString().c_str());
+        return 1;
+      }
+      double total = run.train_seconds + run.match_seconds;
+      bool identical = true;
+      if (threads == 1) {
+        serial_total = total;
+        serial_fingerprint = run.fingerprint;
+      } else {
+        identical = run.fingerprint == serial_fingerprint;
+        all_identical = all_identical && identical;
+      }
+      double speedup = total > 0.0 ? serial_total / total : 1.0;
+      std::printf("%-18s | %7zu | %9.3f %9.3f %9.3f | %7.2fx | %s\n",
+                  name.c_str(), threads, run.train_seconds, run.match_seconds,
+                  total, speedup, identical ? "yes" : "NO");
+      if (!first_row) json += ",\n";
+      first_row = false;
+      json += StrFormat(
+          "    {\"domain\": \"%s\", \"threads\": %zu, "
+          "\"train_seconds\": %.4f, \"match_seconds\": %.4f, "
+          "\"total_seconds\": %.4f, \"speedup_vs_serial\": %.3f, "
+          "\"identical_to_serial\": %s}",
+          name.c_str(), threads, run.train_seconds, run.match_seconds, total,
+          speedup, identical ? "true" : "false");
+    }
+  }
+  json += "\n  ]\n}\n";
+  bench::Rule(84);
+  std::printf("outputs bit-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — determinism bug");
+
+  if (!out_path.empty()) {
+    Status status = WriteStringToFile(out_path, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

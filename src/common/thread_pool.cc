@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace lsd {
+
+size_t ResolveThreadCount(size_t requested) {
+  // Cap absurd requests (e.g. a negative CLI value wrapped through
+  // size_t) — spawning cannot help past a small multiple of the
+  // hardware, and std::vector::reserve(huge) aborts.
+  constexpr size_t kMaxThreads = 256;
+  if (requested != 0) return std::min(std::max<size_t>(requested, 1), kMaxThreads);
+  size_t hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : std::min(hardware, kMaxThreads);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t total = ResolveThreadCount(num_threads);
+  workers_.reserve(total - 1);
+  for (size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::shared_ptr<ThreadPool::Batch> ThreadPool::PickBatchLocked() {
+  while (!queue_.empty() && queue_.front()->Exhausted()) queue_.pop_front();
+  for (const std::shared_ptr<Batch>& batch : queue_) {
+    if (!batch->Exhausted()) return batch;
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, &batch] {
+        batch = PickBatchLocked();
+        return stopping_ || batch != nullptr;
+      });
+      if (batch == nullptr) return;  // stopping
+    }
+    RunBatch(batch.get());
+  }
+}
+
+void ThreadPool::RunBatch(Batch* batch) {
+  for (;;) {
+    size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch->n) return;
+    Status status;
+    if (!batch->failed.load(std::memory_order_acquire)) {
+      status = batch->fn(index);
+    }
+    std::lock_guard<std::mutex> lock(batch->mu);
+    if (!status.ok()) {
+      batch->failed.store(true, std::memory_order_release);
+      if (!batch->has_error || index < batch->error_index) {
+        batch->has_error = true;
+        batch->error_index = index;
+        batch->error = std::move(status);
+      }
+    }
+    if (++batch->completed == batch->n) batch->done_cv.notify_all();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) LSD_RETURN_IF_ERROR(fn(i));
+    return Status::OK();
+  }
+  auto batch = std::make_shared<Batch>(n, fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  // The calling thread works its own batch, so completion never depends
+  // on a worker being free (this is what makes nested calls safe).
+  RunBatch(batch.get());
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] { return batch->completed == batch->n; });
+  if (batch->has_error) return batch->error;
+  return Status::OK();
+}
+
+}  // namespace lsd

@@ -1,0 +1,118 @@
+#ifndef LSD_COMMON_THREAD_POOL_H_
+#define LSD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Resolves the user-facing `num_threads` knob: 0 means "use the hardware
+/// concurrency", any other value is clamped to [1, 256].
+size_t ResolveThreadCount(size_t requested);
+
+/// A fixed-size pool of worker threads exposing a deterministic fork-join
+/// API. Design rules, chosen so that parallel results are bit-identical to
+/// the serial path for any thread count:
+///
+///  * `ParallelFor(n, fn)` runs `fn(0) .. fn(n-1)` with task index as the
+///    only coordination: each task must write exclusively into its own
+///    pre-sized output slot. The pool never reorders, merges, or splits
+///    outputs, so result ordering equals input ordering by construction.
+///  * Error handling is "first error wins, remaining tasks drained": once
+///    any task fails, tasks that have not started are skipped (their slots
+///    keep their initial values), every in-flight task finishes, and the
+///    lowest-indexed error among the tasks that actually ran is returned.
+///    With a single failing task this is exactly the serial loop's error;
+///    when several tasks would fail, draining may skip an earlier-indexed
+///    one, so which failure is reported is the only thing that may vary
+///    with thread count — never any successful result.
+///  * A pool of size 1 has no worker threads and runs everything inline on
+///    the calling thread (exactly today's serial path).
+///
+/// Nested use is safe: a task may itself call `ParallelFor` on the same
+/// pool. The calling thread always participates in executing its own
+/// batch, so progress never depends on a free worker, and idle workers
+/// pick up whatever non-exhausted batch is oldest.
+class ThreadPool {
+ public:
+  /// Creates `ResolveThreadCount(num_threads)` execution threads in total:
+  /// the calling thread plus that many minus one workers.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute tasks (workers + the calling thread).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs `fn(i)` for every `i` in `[0, n)` across the pool and blocks
+  /// until all started tasks finished. See the class comment for the
+  /// ordering and error-propagation contract.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+  /// Like `ParallelFor` but collects `fn(i)`'s values into a vector whose
+  /// slot `i` holds the result of task `i` (input ordering preserved).
+  /// `T` must be default-constructible; on error the vector is discarded.
+  template <typename T, typename Fn>
+  StatusOr<std::vector<T>> ParallelMap(size_t n, Fn fn) {
+    std::vector<T> out(n);
+    Status status = ParallelFor(n, [&](size_t i) -> Status {
+      LSD_ASSIGN_OR_RETURN(out[i], fn(i));
+      return Status::OK();
+    });
+    if (!status.ok()) return status;
+    return out;
+  }
+
+ private:
+  /// Shared state of one ParallelFor call. Tasks are claimed in index
+  /// order through `next`; `completed` counts claimed indices that have
+  /// been executed or drained.
+  struct Batch {
+    Batch(size_t n_tasks, std::function<Status(size_t)> task_fn)
+        : n(n_tasks), fn(std::move(task_fn)) {}
+
+    bool Exhausted() const { return next.load(std::memory_order_relaxed) >= n; }
+
+    const size_t n;
+    const std::function<Status(size_t)> fn;
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t completed = 0;        // guarded by mu
+    size_t error_index = 0;      // guarded by mu; valid when has_error
+    bool has_error = false;      // guarded by mu
+    Status error;                // guarded by mu
+  };
+
+  /// Claims and runs tasks from `batch` until none are left to claim.
+  static void RunBatch(Batch* batch);
+
+  void WorkerLoop();
+
+  /// Pops exhausted front batches and returns the oldest batch that still
+  /// has unclaimed tasks, or null. Requires `mu_` held.
+  std::shared_ptr<Batch> PickBatchLocked();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;  // guarded by mu_
+  bool stopping_ = false;                     // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_THREAD_POOL_H_

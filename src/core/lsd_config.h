@@ -51,6 +51,15 @@ struct LsdConfig {
   size_t max_listings_match = 300;
   size_t max_instances_per_column_match = 60;
 
+  // --- Execution ----------------------------------------------------------
+  /// Threads used for training (per-learner CV + fit) and matching
+  /// (per-column × per-learner prediction). 0 = hardware concurrency,
+  /// 1 = serial (the default). Results are bit-identical for any value:
+  /// every parallel region writes into pre-sized slots indexed by task id
+  /// and all randomness stays seeded per task (see DESIGN.md "Threading
+  /// model & determinism").
+  size_t num_threads = 1;
+
   // --- Component options ---------------------------------------------------
   MetaLearnerOptions meta_options;
   AStarOptions astar_options;

@@ -21,7 +21,8 @@ LsdSystem::LsdSystem(Dtd mediated_schema, LsdConfig config,
       synonyms_(synonyms),
       labels_(mediated_schema_.AllTags()),
       converter_(config.converter_policy),
-      handler_(config.astar_options) {
+      handler_(config.astar_options),
+      pool_(config.num_threads) {
   if (config_.use_name_matcher) {
     learners_.push_back(std::make_unique<NameMatcher>(config_.whirl_options));
   }
@@ -59,17 +60,18 @@ int LsdSystem::LearnerIndex(const std::string& name) const {
   return -1;
 }
 
-std::vector<Instance> LsdSystem::CapInstances(const std::vector<Instance>& in,
-                                              size_t cap) {
-  if (cap == 0 || in.size() <= cap) return in;
-  // Deterministic stride sampling keeps coverage across listings.
-  std::vector<Instance> out;
-  out.reserve(cap);
+void LsdSystem::CapInstances(std::vector<Instance>* instances, size_t cap) {
+  std::vector<Instance>& in = *instances;
+  if (cap == 0 || in.size() <= cap) return;
+  // Deterministic stride sampling keeps coverage across listings. The
+  // sampled indices are strictly increasing, so the kept instances can be
+  // moved down in place and the tail dropped — no copies either way.
   double stride = static_cast<double>(in.size()) / static_cast<double>(cap);
   for (size_t i = 0; i < cap; ++i) {
-    out.push_back(in[static_cast<size_t>(static_cast<double>(i) * stride)]);
+    size_t pick = static_cast<size_t>(static_cast<double>(i) * stride);
+    if (pick != i) in[i] = std::move(in[pick]);
   }
-  return out;
+  in.resize(cap);
 }
 
 Status LsdSystem::AddTrainingSource(const DataSource& source,
@@ -85,8 +87,7 @@ Status LsdSystem::AddTrainingSource(const DataSource& source,
   LSD_ASSIGN_OR_RETURN(std::vector<Column> columns,
                        ExtractColumns(source, options));
   for (Column& column : columns) {
-    column.instances =
-        CapInstances(column.instances, config_.max_instances_per_column_train);
+    CapInstances(&column.instances, config_.max_instances_per_column_train);
   }
   // One stacking group per (source, tag) column: grouped cross-validation
   // keeps a held-out column's tag name out of the fold's training data.
@@ -131,22 +132,28 @@ Status LsdSystem::Train() {
     true_labels_.push_back(example.label);
   }
 
-  cv_predictions_.clear();
-  cv_predictions_.reserve(learners_.size());
+  cv_predictions_.assign(learners_.size(), {});
   CrossValidationOptions cv_options;
   cv_options.folds = config_.cv_folds;
   cv_options.seed = config_.seed;
   cv_options.group_ids = training_group_ids_;
-  for (auto& learner : learners_) {
-    // Stacking first (the learner must not have seen the held-out folds),
-    // then the final model on the full training set.
-    LSD_ASSIGN_OR_RETURN(
-        std::vector<Prediction> cv,
-        CrossValidatePredictions(*learner, training_examples_, labels_,
-                                 cv_options));
-    cv_predictions_.push_back(std::move(cv));
-    LSD_RETURN_IF_ERROR(learner->Train(training_examples_, labels_));
-  }
+  cv_options.pool = &pool_;
+  // Each learner's CV + final fit is independent of every other learner's
+  // (they read the shared training set and the frozen node-label map, and
+  // write only their own model state and cv_predictions_ slot), so the
+  // roster trains concurrently; folds inside each CV run nest on the same
+  // pool. Fold seeds derive from config_.seed per learner, never from a
+  // shared RNG, keeping results bit-identical for any thread count.
+  LSD_RETURN_IF_ERROR(pool_.ParallelFor(
+      learners_.size(), [&](size_t l) -> Status {
+        // Stacking first (the learner must not have seen the held-out
+        // folds), then the final model on the full training set.
+        LSD_ASSIGN_OR_RETURN(
+            cv_predictions_[l],
+            CrossValidatePredictions(*learners_[l], training_examples_,
+                                     labels_, cv_options));
+        return learners_[l]->Train(training_examples_, labels_);
+      }));
 
   LSD_RETURN_IF_ERROR(full_meta_.Train(cv_predictions_, true_labels_,
                                        labels_.size(), config_.meta_options));
@@ -209,8 +216,7 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
   options.synonyms = synonyms_;
   LSD_ASSIGN_OR_RETURN(out.columns, ExtractColumns(source, options));
   for (Column& column : out.columns) {
-    column.instances =
-        CapInstances(column.instances, config_.max_instances_per_column_match);
+    CapInstances(&column.instances, config_.max_instances_per_column_match);
     if (column.instances.empty()) {
       // A declared tag with no sampled data still needs a prediction; the
       // name matcher can work from the tag name alone.
@@ -227,19 +233,32 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
   int xml_index = LearnerIndex(kXmlLearnerName);
   out.predictions.assign(n_tags, {});
 
-  // Pass 1: every learner except the XML learner predicts each instance.
   for (size_t t = 0; t < n_tags; ++t) {
-    const Column& column = out.columns[t];
     out.predictions[t].assign(n_learners, {});
+  }
+
+  // Pass 1: every learner except the XML learner predicts each instance.
+  // One task per (column, learner) pair; each task owns exactly one
+  // pre-sized prediction bucket and Predict() is const on every learner,
+  // so tasks share no mutable state and output order is fixed by the slot.
+  std::vector<std::pair<size_t, size_t>> pass1;
+  pass1.reserve(n_tags * n_learners);
+  for (size_t t = 0; t < n_tags; ++t) {
     for (size_t l = 0; l < n_learners; ++l) {
       if (static_cast<int>(l) == xml_index) continue;
-      auto& bucket = out.predictions[t][l];
-      bucket.reserve(column.instances.size());
-      for (const Instance& instance : column.instances) {
-        bucket.push_back(learners_[l]->Predict(instance));
-      }
+      pass1.emplace_back(t, l);
     }
   }
+  LSD_RETURN_IF_ERROR(pool_.ParallelFor(pass1.size(), [&](size_t k) -> Status {
+    const auto [t, l] = pass1[k];
+    const Column& column = out.columns[t];
+    auto& bucket = out.predictions[t][l];
+    bucket.reserve(column.instances.size());
+    for (const Instance& instance : column.instances) {
+      bucket.push_back(learners_[l]->Predict(instance));
+    }
+    return Status::OK();
+  }));
 
   if (xml_index >= 0) {
     // Provisional node labels for the target source: equal-weight average
@@ -248,9 +267,14 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
     for (const auto& [tag, label] : gold_node_labels_) {
       node_labeler_.Set(tag, label);
     }
-    for (size_t t = 0; t < n_tags; ++t) {
+    // Each tag's provisional label depends only on that tag's pass-1
+    // predictions; compute them into per-tag slots, then apply to the
+    // (shared, hence serial) node labeler in tag order.
+    std::vector<int> provisional(n_tags, -1);
+    LSD_RETURN_IF_ERROR(pool_.ParallelFor(n_tags, [&](size_t t) -> Status {
       std::vector<Prediction> instance_preds;
       const size_t n_instances = out.columns[t].instances.size();
+      instance_preds.reserve(n_instances);
       for (size_t i = 0; i < n_instances; ++i) {
         Prediction combined(labels_.size());
         size_t used = 0;
@@ -267,19 +291,24 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
       }
       LSD_ASSIGN_OR_RETURN(Prediction tag_pred,
                            converter_.Convert(instance_preds));
-      int best = tag_pred.Best();
-      // Target-source tags override gold entries with the same name.
-      node_labeler_.Set(out.tags[t], labels_.NameOf(best));
-    }
-    // Pass 2: the XML learner with provisional labels in place.
-    auto& xml_learner = learners_[static_cast<size_t>(xml_index)];
+      provisional[t] = tag_pred.Best();
+      return Status::OK();
+    }));
     for (size_t t = 0; t < n_tags; ++t) {
+      // Target-source tags override gold entries with the same name.
+      node_labeler_.Set(out.tags[t], labels_.NameOf(provisional[t]));
+    }
+    // Pass 2: the XML learner with provisional labels in place (frozen for
+    // the duration of the parallel region; one task per column).
+    auto& xml_learner = learners_[static_cast<size_t>(xml_index)];
+    LSD_RETURN_IF_ERROR(pool_.ParallelFor(n_tags, [&](size_t t) -> Status {
       auto& bucket = out.predictions[t][static_cast<size_t>(xml_index)];
       bucket.reserve(out.columns[t].instances.size());
       for (const Instance& instance : out.columns[t].instances) {
         bucket.push_back(xml_learner->Predict(instance));
       }
-    }
+      return Status::OK();
+    }));
     // Restore gold labels so later training-phase consumers see them.
     node_labeler_.Clear();
     for (const auto& [tag, label] : gold_node_labels_) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "constraints/handler.h"
 #include "core/lsd_config.h"
 #include "learners/xml_learner.h"
@@ -154,9 +155,9 @@ class LsdSystem {
   /// Returns (training lazily, cached) the meta-learner for a subset mask.
   StatusOr<const MetaLearner*> MetaForMask(const std::vector<bool>& mask);
 
-  /// Subsamples a column's instances to `cap` (deterministic stride).
-  static std::vector<Instance> CapInstances(const std::vector<Instance>& in,
-                                            size_t cap);
+  /// Subsamples a column's instances to `cap` in place (deterministic
+  /// stride). No-op — and no copies — when no cap applies.
+  static void CapInstances(std::vector<Instance>* instances, size_t cap);
 
   Dtd mediated_schema_;
   LsdConfig config_;
@@ -183,6 +184,9 @@ class LsdSystem {
   ConstraintSet constraints_;
   PredictionConverter converter_;
   ConstraintHandler handler_;
+  /// Shared worker pool for Train() and PredictSource(); sized from
+  /// `config_.num_threads` (a size-1 pool runs everything inline).
+  ThreadPool pool_;
   bool trained_ = false;
 };
 

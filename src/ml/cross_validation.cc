@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace lsd {
 
@@ -61,7 +62,10 @@ StatusOr<std::vector<Prediction>> CrossValidatePredictions(
           ? MakeFoldAssignment(examples.size(), folds, options.seed)
           : MakeGroupedFoldAssignment(options.group_ids, folds, options.seed);
 
-  for (size_t fold = 0; fold < folds; ++fold) {
+  // Each fold trains an independent clone and writes only its own held-out
+  // indices of `out`, so folds can run concurrently without changing any
+  // result: the partition is fixed by `assignment` before training starts.
+  auto run_fold = [&](size_t fold) -> Status {
     std::vector<TrainingExample> train_split;
     std::vector<size_t> held_out;
     for (size_t i = 0; i < examples.size(); ++i) {
@@ -71,12 +75,20 @@ StatusOr<std::vector<Prediction>> CrossValidatePredictions(
         train_split.push_back(examples[i]);
       }
     }
-    if (held_out.empty()) continue;
-    if (train_split.empty()) continue;  // leaves uniform predictions
+    if (held_out.empty()) return Status::OK();
+    if (train_split.empty()) return Status::OK();  // leaves uniform predictions
     std::unique_ptr<BaseLearner> model = prototype.CloneUntrained();
     LSD_RETURN_IF_ERROR(model->Train(train_split, labels));
     for (size_t index : held_out) {
       out[index] = model->Predict(examples[index].instance);
+    }
+    return Status::OK();
+  };
+  if (options.pool != nullptr) {
+    LSD_RETURN_IF_ERROR(options.pool->ParallelFor(folds, run_fold));
+  } else {
+    for (size_t fold = 0; fold < folds; ++fold) {
+      LSD_RETURN_IF_ERROR(run_fold(fold));
     }
   }
   return out;

@@ -10,6 +10,8 @@
 
 namespace lsd {
 
+class ThreadPool;
+
 /// Options for `CrossValidatePredictions`.
 struct CrossValidationOptions {
   /// Number of folds `d`; the paper uses d = 5.
@@ -22,6 +24,11 @@ struct CrossValidationOptions {
   /// stacking weights then measure cross-source generalization instead of
   /// rewarding learners that memorize tag names. Empty = ungrouped.
   std::vector<int> group_ids;
+  /// Optional pool to train the fold clones concurrently (each fold is an
+  /// independent model over a disjoint held-out slice, and fold membership
+  /// is fixed by `seed` before any training starts, so predictions are
+  /// bit-identical to the serial path). Null = serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Computes the stacking set CV(L) of Section 3.1 step 5(a): randomly

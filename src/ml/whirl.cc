@@ -1,7 +1,6 @@
 #include "ml/whirl.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/serial.h"
 #include "common/strings.h"
@@ -51,23 +50,41 @@ Prediction WhirlClassifier::Predict(
   }
   // Accumulate similarities through the inverted index: only examples
   // sharing a token with the query are touched. Vectors are unit-norm, so
-  // the accumulated dot product is the cosine similarity.
-  std::unordered_map<int, double> accumulator;
+  // the accumulated dot product is the cosine similarity. The accumulator
+  // is a dense per-thread scratch slab (no hashing in the inner loop);
+  // -1 marks untouched slots and the touched list drives a sparse reset,
+  // so the slab amortizes to O(postings) per query. thread_local keeps
+  // Predict safe under the parallel matching runtime.
+  thread_local std::vector<double> accumulator;
+  thread_local std::vector<int> touched;
+  if (accumulator.size() < examples_.size()) {
+    accumulator.resize(examples_.size(), -1.0);
+  }
   for (const auto& [token, q_weight] : query.entries()) {
     for (const auto& [example, e_weight] :
          postings_[static_cast<size_t>(token)]) {
-      accumulator[example] += q_weight * e_weight;
+      double& slot = accumulator[static_cast<size_t>(example)];
+      if (slot < 0.0) {
+        slot = q_weight * e_weight;
+        touched.push_back(example);
+      } else {
+        slot += q_weight * e_weight;
+      }
     }
   }
-  // (similarity, example index); ties broken by example index so results
-  // do not depend on hash iteration order.
+  // (similarity, example index); examples visited in index order purely
+  // for tidiness — ties are broken by index below either way.
+  std::sort(touched.begin(), touched.end());
   std::vector<std::pair<double, int>> neighbours;
-  neighbours.reserve(accumulator.size());
-  for (const auto& [example, sim] : accumulator) {
+  neighbours.reserve(touched.size());
+  for (int example : touched) {
+    double sim = accumulator[static_cast<size_t>(example)];
+    accumulator[static_cast<size_t>(example)] = -1.0;  // sparse reset
     if (sim >= options_.min_similarity) {
       neighbours.emplace_back(sim, example);
     }
   }
+  touched.clear();
   if (neighbours.empty()) {
     out.Normalize();
     return out;

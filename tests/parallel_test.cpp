@@ -1,0 +1,240 @@
+// Tests for the deterministic parallel runtime: ThreadPool/ParallelFor
+// ordering and error propagation, and end-to-end thread-count invariance
+// of LsdSystem training and matching (the "bit-identical for any thread
+// count" contract of DESIGN.md "Threading model & determinism").
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "eval/experiment.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+  // Absurd requests (e.g. a negative CLI value wrapped through size_t)
+  // are capped instead of aborting in std::vector::reserve.
+  EXPECT_EQ(ResolveThreadCount(static_cast<size_t>(-3)), 256u);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](size_t) { return Status::OK(); }).ok());
+}
+
+TEST(ThreadPoolTest, ParallelForPreservesSlotOrdering) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<size_t> out(257, 0);
+    Status status = pool.ParallelFor(out.size(), [&](size_t i) {
+      out[i] = i * i;
+      return Status::OK();
+    });
+    ASSERT_TRUE(status.ok());
+    for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesInputOrdering) {
+  ThreadPool pool(4);
+  auto result = pool.ParallelMap<std::string>(64, [](size_t i) {
+    return StatusOr<std::string>("task-" + std::to_string(i));
+  });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 64u);
+  for (size_t i = 0; i < result->size(); ++i) {
+    EXPECT_EQ((*result)[i], "task-" + std::to_string(i));
+  }
+}
+
+TEST(ThreadPoolTest, ErrorPropagatesFromWorker) {
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Status status = pool.ParallelFor(16, [](size_t i) {
+      if (i == 9) return Status::Internal("task 9 failed");
+      return Status::OK();
+    });
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInternal);
+    EXPECT_EQ(status.message(), "task 9 failed");
+  }
+}
+
+TEST(ThreadPoolTest, SerialPathReportsFirstErrorInIndexOrder) {
+  // With one thread the pool is exactly the serial loop: task 3's error
+  // wins and task 11 is never reached.
+  ThreadPool pool(1);
+  std::atomic<bool> reached_11{false};
+  Status status = pool.ParallelFor(32, [&](size_t i) {
+    if (i == 3) return Status::InvalidArgument("first");
+    if (i == 11) reached_11.store(true);
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "first");
+  EXPECT_FALSE(reached_11.load());
+}
+
+TEST(ThreadPoolTest, MultipleFailuresReportLowestIndexedRanError) {
+  // When several tasks fail, the pool reports the lowest-indexed failure
+  // among tasks that ran — one of the two injected errors, never a
+  // fabricated OK.
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool pool(threads);
+    Status status = pool.ParallelFor(32, [](size_t i) {
+      if (i == 3) return Status::InvalidArgument("first");
+      if (i == 11) return Status::Internal("second");
+      return Status::OK();
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_TRUE(status.message() == "first" || status.message() == "second")
+        << status.ToString();
+  }
+}
+
+TEST(ThreadPoolTest, RemainingTasksDrainAfterError) {
+  // Task 0 is always the first index claimed; it fails and raises `seen`.
+  // Every other started task holds until `seen`, so only tasks already
+  // in flight at failure time (< thread count) can execute — the rest
+  // must be drained, not run.
+  ThreadPool pool(4);
+  std::atomic<bool> seen{false};
+  std::atomic<int> executed{0};
+  Status status = pool.ParallelFor(1000, [&](size_t i) {
+    if (i == 0) {
+      seen.store(true);
+      return Status::Internal("fail fast");
+    }
+    while (!seen.load()) std::this_thread::yield();
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "fail fast");
+  EXPECT_LT(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::vector<size_t>> out(8);
+  Status status = pool.ParallelFor(out.size(), [&](size_t i) {
+    out[i].assign(16, 0);
+    return pool.ParallelFor(16, [&out, i](size_t j) {
+      out[i][j] = i * 100 + j;
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(status.ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = 0; j < 16; ++j) EXPECT_EQ(out[i][j], i * 100 + j);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    ASSERT_TRUE(pool.ParallelFor(10, [&](size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+      return Status::OK();
+    }).ok());
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+// --- End-to-end thread-count invariance -----------------------------------
+
+struct TrainedOutputs {
+  std::string meta_weights;
+  std::vector<std::string> mappings;
+  std::vector<std::vector<std::vector<double>>> tag_scores;
+};
+
+/// Trains on the first 3 sources of a small realized domain and matches
+/// the rest, capturing everything determinism promises.
+TrainedOutputs RunWithThreads(const Domain& domain,
+                              const std::string& domain_name,
+                              size_t num_threads) {
+  TrainedOutputs out;
+  LsdConfig config = ConfigForDomain(domain_name, LsdConfig());
+  config.num_threads = num_threads;
+  LsdSystem system(domain.mediated, config);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(system
+                    .AddTrainingSource(domain.sources[s].source,
+                                       domain.sources[s].gold)
+                    .ok());
+  }
+  Status trained = system.Train();
+  EXPECT_TRUE(trained.ok()) << trained.ToString();
+  out.meta_weights = system.meta_learner().Serialize();
+  for (size_t s = 3; s < domain.sources.size(); ++s) {
+    auto match = system.MatchSource(domain.sources[s].source);
+    EXPECT_TRUE(match.ok()) << match.status().ToString();
+    if (!match.ok()) continue;
+    out.mappings.push_back(match->mapping.ToString());
+    out.tag_scores.emplace_back();
+    for (const Prediction& p : match->tag_predictions) {
+      out.tag_scores.back().push_back(p.scores);
+    }
+  }
+  return out;
+}
+
+TEST(ThreadInvarianceTest, TrainAndMatchAreBitIdenticalAcrossThreadCounts) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     /*num_listings=*/30, /*seed=*/7);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+
+  TrainedOutputs serial = RunWithThreads(*domain, "real-estate-1", 1);
+  ASSERT_FALSE(serial.mappings.empty());
+  for (size_t threads : {2u, 8u}) {
+    TrainedOutputs parallel = RunWithThreads(*domain, "real-estate-1", threads);
+    // Meta-learner weights: serialized with %.17g, so equality is
+    // bit-level on every double.
+    EXPECT_EQ(parallel.meta_weights, serial.meta_weights)
+        << "meta weights differ at num_threads=" << threads;
+    // Final mappings.
+    EXPECT_EQ(parallel.mappings, serial.mappings)
+        << "mapping differs at num_threads=" << threads;
+    // Per-tag prediction scores, compared exactly (no tolerance).
+    ASSERT_EQ(parallel.tag_scores.size(), serial.tag_scores.size());
+    for (size_t s = 0; s < serial.tag_scores.size(); ++s) {
+      ASSERT_EQ(parallel.tag_scores[s].size(), serial.tag_scores[s].size());
+      for (size_t t = 0; t < serial.tag_scores[s].size(); ++t) {
+        EXPECT_EQ(parallel.tag_scores[s][t], serial.tag_scores[s][t])
+            << "tag prediction differs at num_threads=" << threads
+            << " source " << s << " tag " << t;
+      }
+    }
+  }
+}
+
+TEST(ThreadInvarianceTest, HardwareConcurrencyKnobMatchesSerial) {
+  // num_threads = 0 resolves to "all cores"; results must still match.
+  auto domain = MakeEvaluationDomain("faculty-listings", /*num_sources=*/4,
+                                     /*num_listings=*/20, /*seed=*/11);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  TrainedOutputs serial = RunWithThreads(*domain, "faculty-listings", 1);
+  TrainedOutputs parallel = RunWithThreads(*domain, "faculty-listings", 0);
+  EXPECT_EQ(parallel.meta_weights, serial.meta_weights);
+  EXPECT_EQ(parallel.mappings, serial.mappings);
+  EXPECT_EQ(parallel.tag_scores, serial.tag_scores);
+}
+
+}  // namespace
+}  // namespace lsd

@@ -12,6 +12,7 @@
 //             [--feedback "tag <=> LABEL"]...
 //             [--gold tgt.mapping] [--no-xml-learner] [--no-meta]
 //             [--no-constraint-handler] [--county-label LABEL]
+//             [--threads N]          (0 = all cores, 1 = serial; default 1)
 //
 // File formats:
 //   *.dtd         — <!ELEMENT ...> declarations (see xml/dtd_parser.h)
@@ -24,6 +25,7 @@
 // matchable tags correct).
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -47,7 +49,7 @@ void Usage() {
                " --target T.dtd T.xml [--constraints F]"
                " [--feedback \"tag <=> LABEL\"] [--gold T.mapping]"
                " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
-               " [--county-label LABEL]\n");
+               " [--county-label LABEL] [--threads N]\n");
 }
 
 StatusOr<DataSource> LoadSource(const std::string& name,
@@ -120,6 +122,19 @@ int Run(int argc, char** argv) {
     } else if (arg == "--county-label") {
       if (!next(&config.county_label)) { Usage(); return 2; }
       config.use_county_recognizer = true;
+    } else if (arg == "--threads") {
+      // 0 = hardware concurrency, 1 = serial; the proposed mapping is
+      // bit-identical either way.
+      std::string value;
+      if (!next(&value)) { Usage(); return 2; }
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr, "--threads expects a non-negative integer, got: %s\n",
+                     value.c_str());
+        return 2;
+      }
+      config.num_threads = static_cast<size_t>(parsed);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
