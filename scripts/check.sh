@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full verification sweep: plain build + tests, then the same tree under
+# AddressSanitizer + UndefinedBehaviorSanitizer. Usage:
+#
+#   scripts/check.sh [JOBS]
+#
+# Exits nonzero on the first failing step. The sanitizer tree lives in
+# build-asan/ so it never disturbs the primary build/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "== plain build =="
+cmake -S . -B build >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== plain tests =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== ASan/UBSan build =="
+cmake -S . -B build-asan -DLSD_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "== ASan/UBSan tests =="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "check.sh: all green"

@@ -1,0 +1,56 @@
+#ifndef LSD_COMMON_DEADLINE_H_
+#define LSD_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace lsd {
+
+/// A point in time on the monotonic clock after which work should stop.
+/// Deadlines are cheap values threaded through training, matching, and the
+/// A* searcher; the default-constructed deadline never expires, so every
+/// existing call site keeps its unbounded behavior. Stages that hit an
+/// expired deadline degrade to an anytime result (greedy mapping, skipped
+/// refinement pass) instead of failing — see DESIGN.md "Failure taxonomy
+/// and degraded modes".
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. `AfterMillis(0)` is already
+  /// expired — useful to force every budgeted stage onto its fallback
+  /// path. Negative values mean "no deadline".
+  static Deadline AfterMillis(int64_t ms) {
+    if (ms < 0) return Infinite();
+    return Deadline(Clock::now() + std::chrono::milliseconds(ms));
+  }
+
+  bool is_infinite() const { return when_ == Clock::time_point::max(); }
+
+  /// True once the monotonic clock has reached the deadline. An infinite
+  /// deadline never expires and never reads the clock.
+  bool expired() const { return !is_infinite() && Clock::now() >= when_; }
+
+  /// Milliseconds left before expiry, clamped to >= 0. Infinite deadlines
+  /// report INT64_MAX.
+  int64_t remaining_millis() const {
+    if (is_infinite()) return INT64_MAX;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        when_ - Clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) : when_(when) {}
+
+  Clock::time_point when_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_DEADLINE_H_

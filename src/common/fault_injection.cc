@@ -1,0 +1,104 @@
+#include "common/fault_injection.h"
+
+namespace lsd {
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+/// FNV-1a over the seed, site, and key, finished with a splitmix64 mix so
+/// nearby keys land far apart. Stable across platforms and runs.
+uint64_t HashKey(uint64_t seed, FaultSite site, std::string_view key) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  mix_byte(static_cast<unsigned char>(site));
+  for (char c : key) mix_byte(static_cast<unsigned char>(c));
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFileRead:
+      return "file-read";
+    case FaultSite::kFileWrite:
+      return "file-write";
+    case FaultSite::kXmlParse:
+      return "xml-parse";
+    case FaultSite::kDtdParse:
+      return "dtd-parse";
+    case FaultSite::kLearnerTrain:
+      return "learner-train";
+    case FaultSite::kLearnerPredict:
+      return "learner-predict";
+    case FaultSite::kPoolTask:
+      return "pool-task";
+  }
+  return "unknown";
+}
+
+void FaultInjector::FailMatching(FaultSite site, std::string key_substring,
+                                 Status error) {
+  Rule rule;
+  rule.site = site;
+  rule.key_substring = std::move(key_substring);
+  rule.error = std::move(error);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::FailWithProbability(FaultSite site, double probability,
+                                        Status error) {
+  Rule rule;
+  rule.site = site;
+  rule.probability = probability;
+  rule.error = std::move(error);
+  rules_.push_back(std::move(rule));
+}
+
+Status FaultInjector::Check(FaultSite site, std::string_view key) {
+  for (const Rule& rule : rules_) {
+    if (rule.site != site) continue;
+    bool hit;
+    if (rule.probability < 0.0) {
+      hit = rule.key_substring.empty() ||
+            key.find(rule.key_substring) != std::string_view::npos;
+    } else {
+      // Map the hash to [0, 1) and compare; depends only on the key.
+      double u = static_cast<double>(HashKey(seed_, site, key) >> 11) *
+                 (1.0 / 9007199254740992.0);
+      hit = u < rule.probability;
+    }
+    if (hit) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status(rule.error.code(),
+                    "[injected " + std::string(FaultSiteName(site)) + " '" +
+                        std::string(key) + "'] " + rule.error.message());
+    }
+  }
+  return Status::OK();
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector* injector)
+    : previous_(g_injector.exchange(injector, std::memory_order_acq_rel)) {}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_injector.store(previous_, std::memory_order_release);
+}
+
+bool FaultInjectionActive() {
+  return g_injector.load(std::memory_order_relaxed) != nullptr;
+}
+
+Status CheckFault(FaultSite site, std::string_view key) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return Status::OK();
+  return injector->Check(site, key);
+}
+
+}  // namespace lsd

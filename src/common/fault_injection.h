@@ -1,0 +1,102 @@
+#ifndef LSD_COMMON_FAULT_INJECTION_H_
+#define LSD_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Seams where a `FaultInjector` may force a failure. Each seam passes a
+/// stable key describing the call (a file path, a learner name, a
+/// "learner/tag" pair, a task index) so that which calls fail is a pure
+/// function of (rules, seed, site, key) — never of thread scheduling.
+/// That property is what lets the robustness tests assert bit-identical
+/// degraded outputs across 1/2/4/8 threads.
+enum class FaultSite {
+  kFileRead,
+  kFileWrite,
+  kXmlParse,
+  kDtdParse,
+  kLearnerTrain,
+  kLearnerPredict,
+  kPoolTask,
+};
+
+/// Short stable name for a site, e.g. "learner-train" (used in rule dumps
+/// and injected error messages).
+const char* FaultSiteName(FaultSite site);
+
+/// A deterministic, seeded fault injector. Tests configure rules, install
+/// the injector with `ScopedFaultInjection`, and run the pipeline; every
+/// call reaching an instrumented seam consults the rules.
+///
+/// Two rule flavors:
+///  * `FailMatching(site, substr, error)` — every call at `site` whose key
+///    contains `substr` fails (empty substring matches every call).
+///  * `FailWithProbability(site, p, error)` — a call at `site` with key K
+///    fails iff hash(seed, site, K) < p. The decision depends only on the
+///    key, so the same calls fail on every run and on every thread count.
+///
+/// Rules must be fully configured before the injector is installed;
+/// `Check` is safe to call concurrently from pool workers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  void FailMatching(FaultSite site, std::string key_substring, Status error);
+  void FailWithProbability(FaultSite site, double probability, Status error);
+
+  /// Returns OK or the first matching rule's error (annotated with the
+  /// site and key). Thread-safe.
+  Status Check(FaultSite site, std::string_view key);
+
+  /// Number of faults injected so far (for test assertions).
+  size_t injected_count() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Rule {
+    FaultSite site;
+    /// Substring rule when `probability` < 0, else probabilistic.
+    std::string key_substring;
+    double probability = -1.0;
+    Status error;
+  };
+
+  uint64_t seed_;
+  std::vector<Rule> rules_;
+  std::atomic<size_t> injected_{0};
+};
+
+/// Installs `injector` as the process-wide injector for its lifetime and
+/// restores the previous one on destruction. Instrumented seams see it
+/// immediately; pass nullptr to disable injection within a scope.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// True when an injector is installed. Seams whose key is costly to build
+/// (e.g. formatting a task index) should guard on this first.
+bool FaultInjectionActive();
+
+/// The seam entry point: OK when no injector is installed (one relaxed
+/// atomic load), otherwise the installed injector's verdict.
+Status CheckFault(FaultSite site, std::string_view key);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_FAULT_INJECTION_H_

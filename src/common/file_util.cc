@@ -2,9 +2,12 @@
 
 #include <cstdio>
 
+#include "common/fault_injection.h"
+
 namespace lsd {
 
 StatusOr<std::string> ReadFileToString(const std::string& path) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kFileRead, path));
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     return Status::NotFound("cannot open file: " + path);
@@ -22,6 +25,7 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kFileWrite, path));
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
     return Status::Internal("cannot open file for writing: " + path);

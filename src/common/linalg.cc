@@ -1,7 +1,8 @@
 #include "common/linalg.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "common/logging.h"
 
 namespace lsd {
 
@@ -21,7 +22,7 @@ Matrix Matrix::TransposeTimesSelf() const {
 
 std::vector<double> Matrix::TransposeTimesVector(
     const std::vector<double>& v) const {
-  assert(v.size() == rows_);
+  LSD_CHECK(v.size() == rows_);
   std::vector<double> out(cols_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t c = 0; c < cols_; ++c) {
@@ -148,7 +149,7 @@ void NormalizeToDistribution(std::vector<double>* v) {
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  assert(a.size() == b.size());
+  LSD_CHECK(a.size() == b.size());
   double out = 0.0;
   for (size_t i = 0; i < a.size(); ++i) out += a[i] * b[i];
   return out;

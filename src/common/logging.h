@@ -51,4 +51,20 @@ class LogMessage {
     }                                                                     \
   } while (0)
 
+/// Fatal check on a Status-returning expression; aborts with the status
+/// message when it is not OK. Unlike a bare `assert`, the check runs in
+/// release builds too — validation never silently disappears with NDEBUG.
+#define LSD_CHECK_OK(expr)                                                \
+  do {                                                                    \
+    const auto& _lsd_check_status = (expr);                               \
+    if (!_lsd_check_status.ok()) {                                        \
+      ::lsd::internal_logging::LogMessage(::lsd::LogLevel::kError,        \
+                                          __FILE__, __LINE__)             \
+              .stream()                                                   \
+          << "CHECK failed: " #expr " = "                                 \
+          << _lsd_check_status.ToString();                                \
+      ::abort();                                                          \
+    }                                                                     \
+  } while (0)
+
 #endif  // LSD_COMMON_LOGGING_H_

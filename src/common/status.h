@@ -21,6 +21,9 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  /// A Deadline (common/deadline.h) expired before the operation could
+  /// complete and no anytime fallback was possible.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/fault_injection.h"
 
 namespace lsd {
 
@@ -60,7 +63,13 @@ void ThreadPool::RunBatch(Batch* batch) {
     if (index >= batch->n) return;
     Status status;
     if (!batch->failed.load(std::memory_order_acquire)) {
-      status = batch->fn(index);
+      // Fault seam: tasks are addressed by index, so an injected failure
+      // hits the same task on every run and thread count. Key construction
+      // is gated on an active injector to keep the common path free.
+      if (FaultInjectionActive()) {
+        status = CheckFault(FaultSite::kPoolTask, std::to_string(index));
+      }
+      if (status.ok()) status = batch->fn(index);
     }
     std::lock_guard<std::mutex> lock(batch->mu);
     if (!status.ok()) {
@@ -79,7 +88,12 @@ Status ThreadPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
   if (workers_.empty() || n == 1) {
-    for (size_t i = 0; i < n; ++i) LSD_RETURN_IF_ERROR(fn(i));
+    for (size_t i = 0; i < n; ++i) {
+      if (FaultInjectionActive()) {
+        LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kPoolTask, std::to_string(i)));
+      }
+      LSD_RETURN_IF_ERROR(fn(i));
+    }
     return Status::OK();
   }
   auto batch = std::make_shared<Batch>(n, fn);

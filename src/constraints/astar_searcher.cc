@@ -41,7 +41,8 @@ std::vector<size_t> AStarSearcher::TagOrder(const ConstraintContext& context) {
 
 StatusOr<SearchResult> AStarSearcher::Search(
     const std::vector<Prediction>& predictions, const ConstraintSet& constraints,
-    const LabelSpace& labels, const ConstraintContext& context) const {
+    const LabelSpace& labels, const ConstraintContext& context,
+    const Deadline& deadline) const {
   const size_t n_tags = context.tags().size();
   if (predictions.size() != n_tags) {
     return Status::InvalidArgument("AStarSearcher: one prediction per tag required");
@@ -133,8 +134,9 @@ StatusOr<SearchResult> AStarSearcher::Search(
   // search order, picking each tag's cheapest candidate that keeps the
   // partial assignment feasible; when no candidate is feasible, prefer
   // OTHER (it participates in no hard constraints), else the argmax.
-  auto greedy_fallback = [&](size_t expanded) {
+  auto greedy_fallback = [&](size_t expanded, bool deadline_hit) {
     SearchResult result;
+    result.deadline_hit = deadline_hit;
     result.assignment = Assignment(n_tags);
     double total = 0.0;
     for (size_t t : order) {
@@ -167,12 +169,18 @@ StatusOr<SearchResult> AStarSearcher::Search(
     return result;
   };
 
+  // Anytime behavior: an expired deadline (even one that arrived already
+  // expired) yields the greedy constraint-respecting completion instead of
+  // an error. The in-loop check is amortized over 64 expansions so the
+  // clock read never dominates the search.
+  if (deadline.expired()) return greedy_fallback(0, /*deadline_hit=*/true);
+
   std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
   Node root;
   root.assignment = Assignment(n_tags);
   // One full evaluation at the root; everything after is incremental.
   double root_cost = constraints.TotalCost(root.assignment, labels, context);
-  if (root_cost == kInfiniteCost) return greedy_fallback(0);
+  if (root_cost == kInfiniteCost) return greedy_fallback(0, false);
   root.soft_cost = root_cost;
   root.g = root.soft_cost;
   root.f = root.g + heuristic[0];
@@ -191,7 +199,10 @@ StatusOr<SearchResult> AStarSearcher::Search(
       return result;
     }
     if (++expanded > options_.max_expansions) {
-      return greedy_fallback(expanded);
+      return greedy_fallback(expanded, false);
+    }
+    if ((expanded & 63) == 0 && deadline.expired()) {
+      return greedy_fallback(expanded, /*deadline_hit=*/true);
     }
     size_t tag = order[node.level];
     for (int label : candidates[tag]) {
@@ -234,7 +245,7 @@ StatusOr<SearchResult> AStarSearcher::Search(
     }
   }
   // Every completion violated a hard constraint: fall back to greedy.
-  return greedy_fallback(expanded);
+  return greedy_fallback(expanded, false);
 }
 
 }  // namespace lsd

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "constraints/constraint.h"
 #include "ml/prediction.h"
@@ -34,9 +35,11 @@ struct SearchResult {
   Assignment assignment;
   double cost = 0.0;
   size_t expanded = 0;
-  /// True when the search exhausted `max_expansions` and completed
-  /// greedily instead of optimally.
+  /// True when the search exhausted `max_expansions` (or its deadline) and
+  /// completed greedily instead of optimally.
   bool truncated = false;
+  /// True when the budget that ended the search was the deadline.
+  bool deadline_hit = false;
 };
 
 /// A* search over the space of candidate 1-1 mappings (Section 4.2).
@@ -55,13 +58,19 @@ class AStarSearcher {
   ///   predictions[i] — the prediction-converter distribution for tag i
   ///                    (indexed per `context.tags()`);
   ///   constraints    — the domain constraints (may be empty);
+  ///   deadline       — anytime budget: when it expires mid-search (checked
+  ///                    every few expansions) the result is the greedy
+  ///                    constraint-respecting completion, never an error —
+  ///                    an already-expired deadline yields the pure greedy
+  ///                    mapping immediately.
   /// Returns InvalidArgument on shape mismatch. When every complete
   /// assignment violates a hard constraint the search falls back to the
   /// unconstrained argmax assignment with `truncated` set.
   StatusOr<SearchResult> Search(const std::vector<Prediction>& predictions,
                                 const ConstraintSet& constraints,
                                 const LabelSpace& labels,
-                                const ConstraintContext& context) const;
+                                const ConstraintContext& context,
+                                const Deadline& deadline = Deadline()) const;
 
   /// The tag processing order: indices into `context.tags()` sorted by
   /// decreasing structure score (DescendantCount), ties by index.

@@ -48,7 +48,7 @@ StatusOr<HandlerResult> ConstraintHandler::ComputeMapping(
     const std::vector<Prediction>& predictions,
     const std::vector<const Constraint*>& domain,
     const std::vector<FeedbackConstraint>& feedback, const LabelSpace& labels,
-    const ConstraintContext& context) const {
+    const ConstraintContext& context, const Deadline& deadline) const {
   // Merge feedback into a working constraint set. Feedback constraints are
   // used only for the current source (Section 4.3), hence the copy.
   ConstraintSet working;
@@ -85,12 +85,14 @@ StatusOr<HandlerResult> ConstraintHandler::ComputeMapping(
     }
   }
 
-  LSD_ASSIGN_OR_RETURN(SearchResult search,
-                       searcher_.Search(adjusted, working, labels, context));
+  LSD_ASSIGN_OR_RETURN(
+      SearchResult search,
+      searcher_.Search(adjusted, working, labels, context, deadline));
   HandlerResult result;
   result.cost = search.cost;
   result.expanded = search.expanded;
   result.truncated = search.truncated;
+  result.deadline_hit = search.deadline_hit;
   const std::vector<std::string>& tags = context.tags();
   for (size_t t = 0; t < tags.size(); ++t) {
     int label = search.assignment.labels[t];

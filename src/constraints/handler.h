@@ -19,6 +19,9 @@ struct HandlerResult {
   double cost = 0.0;
   size_t expanded = 0;
   bool truncated = false;
+  /// True when the search deadline expired and the mapping is the greedy
+  /// anytime completion.
+  bool deadline_hit = false;
 };
 
 /// The constraint handler of Section 4.2: takes the prediction converter's
@@ -35,12 +38,15 @@ class ConstraintHandler {
   ///   predictions[i] corresponds to context.tags()[i].
   ///   domain     — the domain's standing constraints (borrowed; must
   ///                outlive the call);
-  ///   feedback   — per-source user feedback constraints (may be empty).
+  ///   feedback   — per-source user feedback constraints (may be empty);
+  ///   deadline   — anytime search budget; on expiry the result is the
+  ///                greedy constraint-respecting mapping, never an error.
   StatusOr<HandlerResult> ComputeMapping(
       const std::vector<Prediction>& predictions,
       const std::vector<const Constraint*>& domain,
       const std::vector<FeedbackConstraint>& feedback, const LabelSpace& labels,
-      const ConstraintContext& context) const;
+      const ConstraintContext& context,
+      const Deadline& deadline = Deadline()) const;
 
  private:
   AStarSearcher searcher_;

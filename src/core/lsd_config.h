@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "constraints/astar_searcher.h"
 #include "ml/meta_learner.h"
 #include "ml/prediction_converter.h"
@@ -99,6 +100,11 @@ struct MatchOptions {
   /// OTHER before the mapping is computed. 0 disables (the paper's
   /// aggregator-domain setting, and the default).
   double other_threshold = 0.0;
+  /// Anytime budget for the matching call. On expiry the system degrades
+  /// instead of erroring: the XML learner's refinement pass is skipped and
+  /// the A* search returns its greedy completion; `MatchResult::report`
+  /// records what was cut. Default: no deadline.
+  Deadline deadline;
 };
 
 }  // namespace lsd

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/logging.h"
 #include "common/serial.h"
@@ -113,7 +114,17 @@ Status LsdSystem::AddTrainingSource(const DataSource& source,
   return Status::OK();
 }
 
-Status LsdSystem::Train() {
+std::vector<std::string> LsdSystem::QuarantinedLearners() const {
+  std::vector<std::string> out;
+  for (size_t l = 0; l < learners_.size(); ++l) {
+    if (l < train_healthy_.size() && !train_healthy_[l]) {
+      out.push_back(learners_[l]->name());
+    }
+  }
+  return out;
+}
+
+Status LsdSystem::Train(const Deadline& deadline) {
   if (learners_.empty()) {
     return Status::FailedPrecondition("Train: no learners configured");
   }
@@ -144,21 +155,70 @@ Status LsdSystem::Train() {
   // roster trains concurrently; folds inside each CV run nest on the same
   // pool. Fold seeds derive from config_.seed per learner, never from a
   // shared RNG, keeping results bit-identical for any thread count.
+  //
+  // Fault tolerance: a learner whose CV or fit errors is quarantined, not
+  // fatal. Each task writes its outcome into its own slot and returns OK,
+  // so ParallelFor's first-error-wins semantics never mask which learners
+  // failed; the quarantined set depends only on per-learner outcomes,
+  // never on thread scheduling.
+  train_report_ = RunReport();
+  train_healthy_.assign(learners_.size(), true);
+  std::vector<Status> outcomes(learners_.size(), Status::OK());
   LSD_RETURN_IF_ERROR(pool_.ParallelFor(
       learners_.size(), [&](size_t l) -> Status {
-        // Stacking first (the learner must not have seen the held-out
-        // folds), then the final model on the full training set.
-        LSD_ASSIGN_OR_RETURN(
-            cv_predictions_[l],
-            CrossValidatePredictions(*learners_[l], training_examples_,
-                                     labels_, cv_options));
-        return learners_[l]->Train(training_examples_, labels_);
+        outcomes[l] = [&]() -> Status {
+          if (deadline.expired()) {
+            return Status::DeadlineExceeded(
+                "training deadline expired before learner '" +
+                learners_[l]->name() + "' started");
+          }
+          LSD_RETURN_IF_ERROR(
+              CheckFault(FaultSite::kLearnerTrain, learners_[l]->name()));
+          // Stacking first (the learner must not have seen the held-out
+          // folds), then the final model on the full training set.
+          LSD_ASSIGN_OR_RETURN(
+              cv_predictions_[l],
+              CrossValidatePredictions(*learners_[l], training_examples_,
+                                       labels_, cv_options));
+          return learners_[l]->Train(training_examples_, labels_);
+        }();
+        return Status::OK();
       }));
 
-  LSD_RETURN_IF_ERROR(full_meta_.Train(cv_predictions_, true_labels_,
+  size_t survivors = 0;
+  for (size_t l = 0; l < learners_.size(); ++l) {
+    if (outcomes[l].ok()) {
+      ++survivors;
+      continue;
+    }
+    train_healthy_[l] = false;
+    cv_predictions_[l].clear();
+    train_report_.Quarantine(learners_[l]->name(), "train", outcomes[l]);
+    if (outcomes[l].code() == StatusCode::kDeadlineExceeded) {
+      train_report_.deadline_hit = true;
+    }
+  }
+  if (survivors == 0) {
+    for (const Status& outcome : outcomes) {
+      if (!outcome.ok()) {
+        return Status(outcome.code(),
+                      "Train: every learner failed; first error: " +
+                          outcome.message());
+      }
+    }
+  }
+
+  // The stacking meta-learner trains over the survivors only, so its
+  // weights renormalize over the degraded roster automatically.
+  std::vector<std::vector<Prediction>> survivor_cv;
+  survivor_cv.reserve(survivors);
+  for (size_t l = 0; l < learners_.size(); ++l) {
+    if (train_healthy_[l]) survivor_cv.push_back(cv_predictions_[l]);
+  }
+  LSD_RETURN_IF_ERROR(full_meta_.Train(survivor_cv, true_labels_,
                                        labels_.size(), config_.meta_options));
   meta_cache_.clear();
-  meta_cache_[std::vector<bool>(learners_.size(), true)] = full_meta_;
+  meta_cache_[train_healthy_] = full_meta_;
   trained_ = true;
   return Status::OK();
 }
@@ -206,11 +266,14 @@ StatusOr<const MetaLearner*> LsdSystem::MetaForMask(
   return &inserted->second;
 }
 
-StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
+StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
+                                                     const Deadline& deadline) {
   if (!trained_) {
     return Status::FailedPrecondition("PredictSource: call Train() first");
   }
   SourcePredictions out;
+  out.learner_healthy = train_healthy_;
+  out.report = train_report_;
   ExtractionOptions options;
   options.max_listings = config_.max_listings_match;
   options.synonyms = synonyms_;
@@ -237,20 +300,32 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
     out.predictions[t].assign(n_learners, {});
   }
 
-  // Pass 1: every learner except the XML learner predicts each instance.
-  // One task per (column, learner) pair; each task owns exactly one
-  // pre-sized prediction bucket and Predict() is const on every learner,
-  // so tasks share no mutable state and output order is fixed by the slot.
+  // Pass 1: every healthy learner except the XML learner predicts each
+  // instance. One task per (column, learner) pair; each task owns exactly
+  // one pre-sized prediction bucket and Predict() is const on every
+  // learner, so tasks share no mutable state and output order is fixed by
+  // the slot. A pair that errors (fault injection at the Predict seam)
+  // records into its own outcome slot; the learner is then marked
+  // unhealthy for this run — the set of unhealthy learners is a function
+  // of per-pair outcomes only, identical for any thread count.
   std::vector<std::pair<size_t, size_t>> pass1;
   pass1.reserve(n_tags * n_learners);
   for (size_t t = 0; t < n_tags; ++t) {
     for (size_t l = 0; l < n_learners; ++l) {
       if (static_cast<int>(l) == xml_index) continue;
+      if (!out.learner_healthy[l]) continue;
       pass1.emplace_back(t, l);
     }
   }
+  std::vector<Status> pair_outcomes(pass1.size(), Status::OK());
   LSD_RETURN_IF_ERROR(pool_.ParallelFor(pass1.size(), [&](size_t k) -> Status {
     const auto [t, l] = pass1[k];
+    Status fault = CheckFault(FaultSite::kLearnerPredict,
+                              learners_[l]->name() + "/" + out.tags[t]);
+    if (!fault.ok()) {
+      pair_outcomes[k] = std::move(fault);
+      return Status::OK();
+    }
     const Column& column = out.columns[t];
     auto& bucket = out.predictions[t][l];
     bucket.reserve(column.instances.size());
@@ -259,8 +334,24 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
     }
     return Status::OK();
   }));
+  for (size_t k = 0; k < pass1.size(); ++k) {
+    if (pair_outcomes[k].ok()) continue;
+    const size_t l = pass1[k].second;
+    out.learner_healthy[l] = false;
+    out.report.Quarantine(learners_[l]->name(), "predict", pair_outcomes[k]);
+  }
 
-  if (xml_index >= 0) {
+  bool xml_healthy = xml_index >= 0 &&
+                     out.learner_healthy[static_cast<size_t>(xml_index)];
+  if (xml_healthy && deadline.expired()) {
+    out.learner_healthy[static_cast<size_t>(xml_index)] = false;
+    out.report.deadline_hit = true;
+    out.report.notes.push_back(
+        "deadline expired before the XML-learner refinement pass; matched "
+        "without the XML learner");
+    xml_healthy = false;
+  }
+  if (xml_healthy) {
     // Provisional node labels for the target source: equal-weight average
     // of the other learners per tag, then argmax (Table 2 testing step 2).
     node_labeler_.Clear();
@@ -280,6 +371,7 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
         size_t used = 0;
         for (size_t l = 0; l < n_learners; ++l) {
           if (static_cast<int>(l) == xml_index) continue;
+          if (!out.learner_healthy[l]) continue;
           for (size_t c = 0; c < labels_.size(); ++c) {
             combined.scores[c] += out.predictions[t][l][i].scores[c];
           }
@@ -299,9 +391,17 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
       node_labeler_.Set(out.tags[t], labels_.NameOf(provisional[t]));
     }
     // Pass 2: the XML learner with provisional labels in place (frozen for
-    // the duration of the parallel region; one task per column).
+    // the duration of the parallel region; one task per column). Same
+    // quarantine discipline as pass 1: per-column outcomes into slots.
     auto& xml_learner = learners_[static_cast<size_t>(xml_index)];
+    std::vector<Status> xml_outcomes(n_tags, Status::OK());
     LSD_RETURN_IF_ERROR(pool_.ParallelFor(n_tags, [&](size_t t) -> Status {
+      Status fault = CheckFault(FaultSite::kLearnerPredict,
+                                xml_learner->name() + "/" + out.tags[t]);
+      if (!fault.ok()) {
+        xml_outcomes[t] = std::move(fault);
+        return Status::OK();
+      }
       auto& bucket = out.predictions[t][static_cast<size_t>(xml_index)];
       bucket.reserve(out.columns[t].instances.size());
       for (const Instance& instance : out.columns[t].instances) {
@@ -309,11 +409,30 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source) {
       }
       return Status::OK();
     }));
+    for (size_t t = 0; t < n_tags; ++t) {
+      if (xml_outcomes[t].ok()) continue;
+      out.learner_healthy[static_cast<size_t>(xml_index)] = false;
+      out.report.Quarantine(xml_learner->name(), "predict", xml_outcomes[t]);
+    }
     // Restore gold labels so later training-phase consumers see them.
     node_labeler_.Clear();
     for (const auto& [tag, label] : gold_node_labels_) {
       node_labeler_.Set(tag, label);
     }
+  }
+
+  // Graceful degradation ends where the ensemble does: no survivors means
+  // there is nothing to combine, and that is a hard error.
+  bool any_healthy = false;
+  for (bool healthy : out.learner_healthy) any_healthy = any_healthy || healthy;
+  if (!any_healthy) {
+    std::string detail = out.report.incidents.empty()
+                             ? std::string("no incidents recorded")
+                             : out.report.incidents.front().learner + ": " +
+                                   out.report.incidents.front().error;
+    return Status::FailedPrecondition(
+        "PredictSource: every learner failed (first incident — " + detail +
+        ")");
   }
   return out;
 }
@@ -327,12 +446,47 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
   }
   LSD_ASSIGN_OR_RETURN(std::vector<bool> mask,
                        ResolveLearnerMask(options.learners));
-  const MetaLearner* meta = nullptr;
-  if (options.use_meta_learner) {
-    LSD_ASSIGN_OR_RETURN(meta, MetaForMask(mask));
+  MatchResult result;
+  result.report = predictions.report;
+
+  // Drop quarantined learners from the requested roster. A degraded
+  // ensemble still matches; only an empty one errors.
+  std::vector<bool> effective = mask;
+  if (predictions.learner_healthy.size() == learners_.size()) {
+    for (size_t l = 0; l < learners_.size(); ++l) {
+      if (effective[l] && !predictions.learner_healthy[l]) {
+        effective[l] = false;
+        if (!options.learners.empty()) {
+          result.report.notes.push_back("requested learner '" +
+                                        learners_[l]->name() +
+                                        "' is quarantined; matched without it");
+        }
+      }
+    }
+  }
+  bool any_effective = false;
+  for (bool b : effective) any_effective = any_effective || b;
+  if (!any_effective) {
+    return Status::FailedPrecondition(
+        "MatchWithPredictions: every selected learner is quarantined");
   }
 
-  MatchResult result;
+  const MetaLearner* meta = nullptr;
+  if (options.use_meta_learner) {
+    StatusOr<const MetaLearner*> meta_or = MetaForMask(effective);
+    if (meta_or.ok()) {
+      meta = meta_or.value();
+    } else if (effective != mask && cv_predictions_.empty()) {
+      // A LoadModel-restored system has no stored CV predictions, so a
+      // fresh survivor meta-learner cannot be trained; degrade to the
+      // unweighted average rather than refusing to match.
+      result.report.notes.push_back(
+          "meta-learner unavailable for the degraded roster on a loaded "
+          "model; combined surviving learners by unweighted average");
+    } else {
+      return meta_or.status();
+    }
+  }
   result.tags = predictions.tags;
   const size_t n_tags = predictions.tags.size();
   result.tag_predictions.reserve(n_tags);
@@ -343,7 +497,7 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
     for (size_t i = 0; i < n_instances; ++i) {
       std::vector<Prediction> subset;
       for (size_t l = 0; l < learners_.size(); ++l) {
-        if (mask[l]) subset.push_back(predictions.predictions[t][l][i]);
+        if (effective[l]) subset.push_back(predictions.predictions[t][l][i]);
       }
       if (meta != nullptr) {
         LSD_ASSIGN_OR_RETURN(Prediction combined, meta->Combine(subset));
@@ -393,11 +547,18 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
     LSD_ASSIGN_OR_RETURN(
         HandlerResult handled,
         handler_.ComputeMapping(result.tag_predictions, active_constraints,
-                                feedback, labels_, context));
+                                feedback, labels_, context,
+                                options.deadline));
     result.mapping = std::move(handled.mapping);
     result.search_cost = handled.cost;
     result.search_expanded = handled.expanded;
     result.search_truncated = handled.truncated;
+    if (handled.deadline_hit) {
+      result.report.deadline_hit = true;
+      result.report.notes.push_back(
+          "constraint-search deadline expired; mapping is the greedy "
+          "anytime completion");
+    }
   } else {
     LSD_ASSIGN_OR_RETURN(
         result.mapping,
@@ -409,7 +570,8 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
 StatusOr<MatchResult> LsdSystem::MatchSource(
     const DataSource& source, const MatchOptions& options,
     const std::vector<FeedbackConstraint>& feedback) {
-  LSD_ASSIGN_OR_RETURN(SourcePredictions predictions, PredictSource(source));
+  LSD_ASSIGN_OR_RETURN(SourcePredictions predictions,
+                       PredictSource(source, options.deadline));
   return MatchWithPredictions(predictions, source, options, feedback);
 }
 
@@ -417,6 +579,12 @@ StatusOr<MatchResult> LsdSystem::MatchSource(
 Status LsdSystem::SaveModel(const std::string& path) const {
   if (!trained_) {
     return Status::FailedPrecondition("SaveModel: call Train() first");
+  }
+  if (!QuarantinedLearners().empty()) {
+    return Status::FailedPrecondition(
+        "SaveModel: learner '" + QuarantinedLearners().front() +
+        "' is quarantined; a degraded ensemble cannot be persisted — retrain "
+        "cleanly first");
   }
   std::string out = "lsd-model 1\n";
   out += StrFormat("labels %zu\n", labels_.size());
@@ -505,6 +673,8 @@ Status LsdSystem::LoadModel(const std::string& path) {
   }
   meta_cache_.clear();
   meta_cache_[std::vector<bool>(learners_.size(), true)] = full_meta_;
+  train_healthy_.assign(learners_.size(), true);
+  train_report_ = RunReport();
   trained_ = true;
   return Status::OK();
 }

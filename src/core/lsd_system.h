@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "constraints/handler.h"
 #include "core/lsd_config.h"
+#include "core/run_report.h"
 #include "learners/xml_learner.h"
 #include "ml/cross_validation.h"
 #include "ml/learner.h"
@@ -32,8 +34,16 @@ struct SourcePredictions {
   /// The extracted columns (instances point into the source's listings;
   /// the source must stay alive while this object is used).
   std::vector<Column> columns;
-  /// predictions[tag][learner][instance].
+  /// predictions[tag][learner][instance]. Buckets of quarantined learners
+  /// are empty; consult `learner_healthy` before indexing.
   std::vector<std::vector<std::vector<Prediction>>> predictions;
+  /// learner_healthy[l] — whether learner l's predictions are usable for
+  /// this run (false for learners quarantined at training time or that
+  /// failed during this prediction pass).
+  std::vector<bool> learner_healthy;
+  /// Degradation record: training-time incidents carried forward plus
+  /// anything absorbed while predicting.
+  RunReport report;
 };
 
 /// The outcome of matching one source.
@@ -48,6 +58,9 @@ struct MatchResult {
   double search_cost = 0.0;
   size_t search_expanded = 0;
   bool search_truncated = false;
+  /// What (if anything) degraded on the way to this mapping: quarantined
+  /// learners, skipped passes, deadline-truncated search.
+  RunReport report;
 };
 
 /// The LSD system (Sections 3-5): multi-strategy schema matching against a
@@ -84,9 +97,20 @@ class LsdSystem {
   Status AddTrainingSource(const DataSource& source, const Mapping& gold);
 
   /// Trains every base learner and the stacking meta-learner. Requires at
-  /// least one training source.
-  Status Train();
+  /// least one training source. A learner whose cross-validation or fit
+  /// fails (or that misses `deadline`) is quarantined — recorded in
+  /// `train_report()` and excluded from the ensemble — rather than failing
+  /// the call; Train errors only when every learner fails. The stacking
+  /// meta-learner is trained over the surviving roster, so ensemble
+  /// weights renormalize automatically.
+  Status Train(const Deadline& deadline = Deadline());
   bool trained() const { return trained_; }
+
+  /// Training-time degradation record; clean when every learner trained.
+  const RunReport& train_report() const { return train_report_; }
+
+  /// Names of learners quarantined during Train(), in roster order.
+  std::vector<std::string> QuarantinedLearners() const;
 
   /// Adds a standing domain constraint.
   void AddConstraint(std::unique_ptr<Constraint> constraint);
@@ -94,8 +118,13 @@ class LsdSystem {
 
   /// Runs every trained learner over the source's extracted instances.
   /// The XML learner's node labels come from a first pass over the other
-  /// learners (Section 5, Table 2 testing step 2).
-  StatusOr<SourcePredictions> PredictSource(const DataSource& source);
+  /// learners (Section 5, Table 2 testing step 2). A learner that errors
+  /// on any column is marked unhealthy in the result (with an incident in
+  /// its report) instead of failing the call; the call errors only when no
+  /// learner survives. When `deadline` expires before the XML refinement
+  /// pass, that pass is skipped and noted.
+  StatusOr<SourcePredictions> PredictSource(
+      const DataSource& source, const Deadline& deadline = Deadline());
 
   /// Combines precomputed predictions into a mapping under `options` and
   /// `feedback`. Cheap relative to `PredictSource`.
@@ -109,7 +138,8 @@ class LsdSystem {
       const DataSource& source, const MatchOptions& options = MatchOptions(),
       const std::vector<FeedbackConstraint>& feedback = {});
 
-  /// The meta-learner trained over the full ensemble; valid after Train().
+  /// The meta-learner trained over the surviving ensemble (the full roster
+  /// on a clean run); valid after Train().
   const MetaLearner& meta_learner() const { return full_meta_; }
 
   /// Persists the trained system (every learner's model, the full-roster
@@ -117,6 +147,9 @@ class LsdSystem {
   /// library's text model format. Requires `trained()`. Constraints are
   /// not part of the model file — keep them in a `.constraints` file
   /// (constraints/constraint_parser.h) and re-register after loading.
+  /// A degraded system (quarantined learners) cannot be saved: the model
+  /// format stores the full roster, and persisting a partial ensemble
+  /// would silently bake the degradation into future sessions.
   Status SaveModel(const std::string& path) const;
 
   /// Restores a model saved by `SaveModel` into this system, which must be
@@ -180,6 +213,10 @@ class LsdSystem {
 
   MetaLearner full_meta_;
   std::map<std::vector<bool>, MetaLearner> meta_cache_;
+  /// train_healthy_[l] — learner l trained successfully (all-true after
+  /// LoadModel; sized by Train/LoadModel).
+  std::vector<bool> train_healthy_;
+  RunReport train_report_;
 
   ConstraintSet constraints_;
   PredictionConverter converter_;

@@ -1,0 +1,38 @@
+#include "core/run_report.h"
+
+namespace lsd {
+
+bool RunReport::IsQuarantined(const std::string& learner) const {
+  for (const LearnerIncident& incident : incidents) {
+    if (incident.learner == learner) return true;
+  }
+  return false;
+}
+
+void RunReport::Quarantine(const std::string& learner, const std::string& stage,
+                           const Status& status) {
+  for (const LearnerIncident& incident : incidents) {
+    if (incident.learner == learner && incident.stage == stage) return;
+  }
+  LearnerIncident incident;
+  incident.learner = learner;
+  incident.stage = stage;
+  incident.error = status.ToString();
+  incidents.push_back(std::move(incident));
+}
+
+std::string RunReport::ToString() const {
+  if (!degraded()) return "run report: clean\n";
+  std::string out = "run report: degraded\n";
+  for (const LearnerIncident& incident : incidents) {
+    out += "  quarantined [" + incident.stage + "] " + incident.learner + ": " +
+           incident.error + "\n";
+  }
+  for (const std::string& note : notes) {
+    out += "  note: " + note + "\n";
+  }
+  if (deadline_hit) out += "  deadline: expired (anytime fallback used)\n";
+  return out;
+}
+
+}  // namespace lsd

@@ -1,0 +1,52 @@
+#ifndef LSD_CORE_RUN_REPORT_H_
+#define LSD_CORE_RUN_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// One learner failure absorbed by the system instead of failing the run.
+struct LearnerIncident {
+  /// Canonical learner name (core/lsd_config.h).
+  std::string learner;
+  /// The pipeline stage that failed: "train" or "predict".
+  std::string stage;
+  /// The status that triggered the quarantine, rendered with its code.
+  std::string error;
+};
+
+/// Degradation record for one training or matching run. A clean run has an
+/// empty report; every absorbed failure — a quarantined learner, a skipped
+/// refinement pass, a deadline-truncated search — leaves a trace here so
+/// callers can tell a full-strength mapping from a degraded one.
+struct RunReport {
+  /// Learners isolated from the ensemble this run, in roster order.
+  std::vector<LearnerIncident> incidents;
+  /// Free-form degradation notes (skipped passes, fallback combiners).
+  std::vector<std::string> notes;
+  /// True when a deadline expired somewhere in the run and an anytime
+  /// fallback was substituted.
+  bool deadline_hit = false;
+
+  bool degraded() const {
+    return !incidents.empty() || !notes.empty() || deadline_hit;
+  }
+
+  /// True if `learner` has an incident recorded (any stage).
+  bool IsQuarantined(const std::string& learner) const;
+
+  /// Appends an incident for `learner` unless one for the same stage is
+  /// already recorded (a learner failing many columns yields one entry).
+  void Quarantine(const std::string& learner, const std::string& stage,
+                  const Status& status);
+
+  /// Multi-line human-readable rendering ("run report: clean" when empty).
+  std::string ToString() const;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_RUN_REPORT_H_

@@ -37,7 +37,7 @@ void AddConceptToDtd(const ConceptSpec& spec_node, Dtd* dtd) {
     }
     decl.content = ContentParticle::Sequence(std::move(parts));
   }
-  LSD_CHECK(dtd->AddElement(std::move(decl)).ok());
+  LSD_CHECK_OK(dtd->AddElement(std::move(decl)));
   for (const ConceptSpec& child : spec_node.children) {
     AddConceptToDtd(child, dtd);
   }
@@ -119,7 +119,7 @@ void BuildSourceDtd(const ResolvedNode& node, Dtd* dtd) {
     }
     decl.content = ContentParticle::Sequence(std::move(parts));
   }
-  LSD_CHECK(dtd->AddElement(std::move(decl)).ok());
+  LSD_CHECK_OK(dtd->AddElement(std::move(decl)));
   for (const ResolvedNode& child : node.children) {
     BuildSourceDtd(child, dtd);
   }

@@ -1,10 +1,10 @@
 #include "text/tfidf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <set>
 
+#include "common/logging.h"
 #include "common/serial.h"
 #include "common/strings.h"
 
@@ -75,7 +75,7 @@ double SparseVector::Cosine(const SparseVector& other) const {
 }
 
 void TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
-  assert(!finalized_);
+  LSD_CHECK(!finalized_);
   ++document_count_;
   std::set<int> distinct;
   for (const std::string& token : tokens) {
@@ -90,7 +90,7 @@ void TfIdfModel::AddDocument(const std::vector<std::string>& tokens) {
 }
 
 void TfIdfModel::Finalize() {
-  assert(!finalized_);
+  LSD_CHECK(!finalized_);
   idf_.resize(vocab_.size(), 0.0);
   for (size_t i = 0; i < vocab_.size(); ++i) {
     idf_[i] = std::log((1.0 + static_cast<double>(document_count_)) /
@@ -102,7 +102,7 @@ void TfIdfModel::Finalize() {
 
 SparseVector TfIdfModel::Vectorize(
     const std::vector<std::string>& tokens) const {
-  assert(finalized_);
+  LSD_CHECK(finalized_);
   std::vector<std::pair<int, double>> pairs;
   pairs.reserve(tokens.size());
   for (const std::string& token : tokens) {
@@ -124,7 +124,7 @@ SparseVector TfIdfModel::Vectorize(
 }
 
 std::string TfIdfModel::Serialize() const {
-  assert(finalized_);
+  LSD_CHECK(finalized_);
   std::string out =
       StrFormat("tfidf 1 %zu %zu\n", document_count_, vocab_.size());
   for (size_t id = 0; id < vocab_.size(); ++id) {

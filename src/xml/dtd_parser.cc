@@ -3,6 +3,7 @@
 #include <cctype>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace lsd {
@@ -13,35 +14,63 @@ bool IsNameChar(char c) {
          c == '.' || c == ':';
 }
 
-/// Cursor-based parser for DTD declaration syntax.
+/// Cap on recorded problems in lenient mode; a file this broken fails.
+constexpr size_t kMaxDiagnostics = 64;
+
+/// Cursor-based parser for DTD declaration syntax. Strict mode fails on
+/// the first malformed declaration; lenient mode skips it (recording a
+/// diagnostic) and keeps the declarations that parse. Content-model
+/// recursion is depth-guarded so `((((...))))` returns OutOfRange instead
+/// of overflowing the stack.
 class DtdParser {
  public:
-  explicit DtdParser(std::string_view input) : input_(input) {}
+  DtdParser(std::string_view input, const ParseLimits& limits, bool lenient,
+            DtdParseReport* report)
+      : input_(input), limits_(limits), lenient_(lenient), report_(report) {}
 
   StatusOr<Dtd> ParseAll() {
+    if (limits_.max_input_bytes != 0 &&
+        input_.size() > limits_.max_input_bytes) {
+      return Status::OutOfRange(
+          StrFormat("DTD input is %zu bytes; limit is %zu", input_.size(),
+                    limits_.max_input_bytes));
+    }
     Dtd dtd;
+    size_t declarations = 0;
     while (true) {
       SkipWhitespaceAndComments();
       if (AtEnd()) break;
-      if (LookingAt("<!ELEMENT")) {
-        pos_ += 9;
-        LSD_ASSIGN_OR_RETURN(ElementDecl decl, ParseElementDecl());
-        LSD_RETURN_IF_ERROR(dtd.AddElement(std::move(decl)));
-      } else if (LookingAt("<!ATTLIST")) {
-        LSD_RETURN_IF_ERROR(SkipDeclaration());
-      } else if (LookingAt("<!ENTITY") || LookingAt("<!NOTATION")) {
-        LSD_RETURN_IF_ERROR(SkipDeclaration());
-      } else {
-        return Error("expected a DTD declaration");
+      if (limits_.max_nodes != 0 && ++declarations > limits_.max_nodes) {
+        return Status::OutOfRange(StrFormat(
+            "DTD declaration count exceeds limit %zu", limits_.max_nodes));
+      }
+      size_t decl_start = pos_;
+      Status status = ParseOneDeclaration(&dtd);
+      if (!status.ok()) {
+        if (!lenient_ || status.code() == StatusCode::kOutOfRange) {
+          return status;
+        }
+        if (!RecordDiagnostic(status)) return status;
+        ++report_->skipped_declarations;
+        if (!SkipPastDeclaration(decl_start)) break;
       }
     }
-    LSD_RETURN_IF_ERROR(dtd.Validate());
+    Status valid = dtd.Validate();
+    if (!valid.ok()) {
+      // Lenient mode keeps a schema whose content models reference
+      // undeclared elements — downstream treats unknown references as
+      // absent tags. Everything else (e.g. no declarations at all) is
+      // still fatal.
+      if (!lenient_ || dtd.elements().empty() || !RecordDiagnostic(valid)) {
+        return valid;
+      }
+    }
     return dtd;
   }
 
   StatusOr<ContentParticle> ParseModelOnly() {
     SkipWhitespaceAndComments();
-    LSD_ASSIGN_OR_RETURN(ContentParticle particle, ParseContentSpec());
+    LSD_ASSIGN_OR_RETURN(ContentParticle particle, ParseContentSpec(1));
     SkipWhitespaceAndComments();
     if (!AtEnd()) return Error("trailing content after content model");
     return particle;
@@ -51,6 +80,57 @@ class DtdParser {
   Status Error(const std::string& what) const {
     return Status::ParseError(
         StrFormat("DTD parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  bool RecordDiagnostic(const Status& status) {
+    if (report_->diagnostics.size() >= kMaxDiagnostics) return false;
+    ParseDiagnostic diag;
+    diag.offset = pos_;
+    diag.message = status.message();
+    report_->diagnostics.push_back(std::move(diag));
+    return true;
+  }
+
+  /// Parses one declaration at the cursor into `dtd`.
+  Status ParseOneDeclaration(Dtd* dtd) {
+    if (LookingAt("<!ELEMENT")) {
+      pos_ += 9;
+      LSD_ASSIGN_OR_RETURN(ElementDecl decl, ParseElementDecl());
+      return dtd->AddElement(std::move(decl));
+    }
+    if (LookingAt("<!ATTLIST") || LookingAt("<!ENTITY") ||
+        LookingAt("<!NOTATION")) {
+      return SkipDeclaration();
+    }
+    return Error("expected a DTD declaration");
+  }
+
+  /// Recovery: advances past the current broken declaration — to just
+  /// after the next '>', or to the next "<!" if that comes first, so a
+  /// declaration missing its '>' doesn't swallow its neighbor. When the
+  /// failure already stopped at a fresh "<!" (a decl missing its '>'
+  /// erroring on its neighbor's opener), resume right here. Returns false
+  /// at end of input. Always makes forward progress past `decl_start`,
+  /// where the broken declaration began.
+  bool SkipPastDeclaration(size_t decl_start) {
+    if (AtEnd()) return false;
+    if (pos_ > decl_start && LookingAt("<!") && !LookingAt("<!--")) {
+      return true;
+    }
+    size_t from = pos_ + 1;
+    size_t close = input_.find('>', from);
+    size_t next_decl = input_.find("<!", from);
+    if (close == std::string_view::npos && next_decl == std::string_view::npos) {
+      pos_ = input_.size();
+      return false;
+    }
+    if (next_decl != std::string_view::npos &&
+        (close == std::string_view::npos || next_decl < close)) {
+      pos_ = next_decl;
+    } else {
+      pos_ = close + 1;
+    }
+    return true;
   }
 
   bool AtEnd() const { return pos_ >= input_.size(); }
@@ -113,14 +193,14 @@ class DtdParser {
     ElementDecl decl;
     LSD_ASSIGN_OR_RETURN(decl.name, ParseName());
     SkipWhitespace();
-    LSD_ASSIGN_OR_RETURN(decl.content, ParseContentSpec());
+    LSD_ASSIGN_OR_RETURN(decl.content, ParseContentSpec(1));
     SkipWhitespace();
     if (AtEnd() || Peek() != '>') return Error("expected '>' after content model");
     ++pos_;
     return decl;
   }
 
-  StatusOr<ContentParticle> ParseContentSpec() {
+  StatusOr<ContentParticle> ParseContentSpec(size_t depth) {
     SkipWhitespace();
     if (LookingAt("EMPTY")) {
       pos_ += 5;
@@ -135,11 +215,15 @@ class DtdParser {
       return p;
     }
     if (AtEnd() || Peek() != '(') return Error("expected '(' in content model");
-    return ParseGroup();
+    return ParseGroup(depth);
   }
 
   // Parses a parenthesized group: '(' already at cursor.
-  StatusOr<ContentParticle> ParseGroup() {
+  StatusOr<ContentParticle> ParseGroup(size_t depth) {
+    if (depth > limits_.max_depth) {
+      return Status::OutOfRange(StrFormat(
+          "content-model nesting depth exceeds limit %zu", limits_.max_depth));
+    }
     ++pos_;  // consume '('
     SkipWhitespace();
     if (LookingAt("#PCDATA")) {
@@ -149,7 +233,7 @@ class DtdParser {
     std::vector<ContentParticle> parts;
     char separator = 0;
     while (true) {
-      LSD_ASSIGN_OR_RETURN(ContentParticle part, ParseCp());
+      LSD_ASSIGN_OR_RETURN(ContentParticle part, ParseCp(depth));
       parts.push_back(std::move(part));
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated group");
@@ -205,10 +289,10 @@ class DtdParser {
   }
 
   // cp ::= (name | group) occurrence?
-  StatusOr<ContentParticle> ParseCp() {
+  StatusOr<ContentParticle> ParseCp(size_t depth) {
     SkipWhitespace();
     if (AtEnd()) return Error("unexpected end of content model");
-    if (Peek() == '(') return ParseGroup();
+    if (Peek() == '(') return ParseGroup(depth + 1);
     LSD_ASSIGN_OR_RETURN(std::string name, ParseName());
     ContentParticle p = ContentParticle::Element(std::move(name));
     p.occurrence = ParseOccurrence();
@@ -216,18 +300,33 @@ class DtdParser {
   }
 
   std::string_view input_;
+  ParseLimits limits_;
+  bool lenient_;
+  /// Null in strict mode.
+  DtdParseReport* report_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-StatusOr<Dtd> ParseDtd(std::string_view input) {
-  DtdParser parser(input);
+StatusOr<Dtd> ParseDtd(std::string_view input, const ParseLimits& limits) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kDtdParse, input.substr(0, 64)));
+  DtdParser parser(input, limits, /*lenient=*/false, nullptr);
   return parser.ParseAll();
 }
 
-StatusOr<ContentParticle> ParseContentModel(std::string_view input) {
-  DtdParser parser(input);
+StatusOr<DtdParseReport> ParseDtdLenient(std::string_view input,
+                                         const ParseLimits& limits) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kDtdParse, input.substr(0, 64)));
+  DtdParseReport report;
+  DtdParser parser(input, limits, /*lenient=*/true, &report);
+  LSD_ASSIGN_OR_RETURN(report.dtd, parser.ParseAll());
+  return report;
+}
+
+StatusOr<ContentParticle> ParseContentModel(std::string_view input,
+                                            const ParseLimits& limits) {
+  DtdParser parser(input, limits, /*lenient=*/false, nullptr);
   return parser.ParseModelOnly();
 }
 

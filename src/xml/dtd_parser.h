@@ -5,17 +5,30 @@
 
 #include "common/status.h"
 #include "xml/dtd.h"
+#include "xml/parse_report.h"
 
 namespace lsd {
 
 /// Parses DTD text consisting of `<!ELEMENT ...>` declarations (plus
 /// `<!ATTLIST ...>` declarations and comments, which are skipped). The
 /// first declared element becomes the DTD root. Returns ParseError on
-/// malformed input and the `Dtd::Validate` error on dangling references.
-StatusOr<Dtd> ParseDtd(std::string_view input);
+/// malformed input, the `Dtd::Validate` error on dangling references, and
+/// OutOfRange when a `ParseLimits` bound is broken (oversized input, a
+/// content model nested too deep for the recursive-descent stack, too
+/// many declarations).
+StatusOr<Dtd> ParseDtd(std::string_view input,
+                       const ParseLimits& limits = ParseLimits());
+
+/// Recovery-mode parse for dirty schemas: malformed declarations are
+/// skipped (recorded as diagnostics), duplicate declarations are dropped,
+/// and dangling content-model references are downgraded to diagnostics.
+/// Fails only when nothing can be recovered or a resource limit is hit.
+StatusOr<DtdParseReport> ParseDtdLenient(
+    std::string_view input, const ParseLimits& limits = ParseLimits());
 
 /// Parses a single content-model expression, e.g. "(a, b?, (c | d)*)".
-StatusOr<ContentParticle> ParseContentModel(std::string_view input);
+StatusOr<ContentParticle> ParseContentModel(
+    std::string_view input, const ParseLimits& limits = ParseLimits());
 
 }  // namespace lsd
 

@@ -1,0 +1,69 @@
+#ifndef LSD_XML_PARSE_REPORT_H_
+#define LSD_XML_PARSE_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "xml/dtd.h"
+#include "xml/xml.h"
+
+namespace lsd {
+
+/// Resource limits enforced by the XML and DTD parsers. Real-world sources
+/// are routinely malformed or adversarially large; the limits turn what
+/// would be a stack overflow or an OOM into a clean kOutOfRange status.
+struct ParseLimits {
+  /// Maximum input size in bytes (0 = unlimited).
+  size_t max_input_bytes = 64u << 20;
+  /// Maximum element (XML) or content-model group (DTD) nesting depth.
+  size_t max_depth = 256;
+  /// Maximum number of elements (XML) or declarations (DTD) parsed
+  /// (0 = unlimited).
+  size_t max_nodes = 1u << 20;
+};
+
+/// One recoverable problem found while parsing in lenient mode. `offset`
+/// is a byte offset into the input; `line`/`column` are 1-based and only
+/// filled by the XML parser (the DTD parser reports offsets).
+struct ParseDiagnostic {
+  size_t offset = 0;
+  size_t line = 0;
+  size_t column = 0;
+  std::string message;
+
+  std::string ToString() const {
+    if (line > 0) {
+      return StrFormat("line %zu col %zu: %s", line, column, message.c_str());
+    }
+    return StrFormat("offset %zu: %s", offset, message.c_str());
+  }
+};
+
+/// Output of `ParseXmlLenient`: the recovered document plus structured
+/// diagnostics, instead of all-or-nothing failure. `document` holds
+/// everything that parsed; each skipped element adds a diagnostic.
+struct XmlParseReport {
+  XmlDocument document;
+  std::vector<ParseDiagnostic> diagnostics;
+  /// Malformed elements dropped during recovery.
+  size_t skipped_elements = 0;
+
+  bool clean() const { return diagnostics.empty() && skipped_elements == 0; }
+};
+
+/// Output of `ParseDtdLenient`: the declarations that parsed, plus
+/// diagnostics for each skipped declaration and any validation issue
+/// (which lenient mode downgrades from an error to a diagnostic).
+struct DtdParseReport {
+  Dtd dtd;
+  std::vector<ParseDiagnostic> diagnostics;
+  size_t skipped_declarations = 0;
+
+  bool clean() const { return diagnostics.empty() && skipped_declarations == 0; }
+};
+
+}  // namespace lsd
+
+#endif  // LSD_XML_PARSE_REPORT_H_

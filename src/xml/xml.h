@@ -27,7 +27,9 @@ struct XmlNode {
   /// True when the element has no child elements.
   bool IsLeaf() const { return children.empty(); }
 
-  /// Appends a child element and returns a reference to it.
+  /// Appends a child element and returns a reference to it. The reference
+  /// is invalidated by any later insertion into the same `children` vector
+  /// — chain immediately or re-find the child instead of holding it.
   XmlNode& AddChild(std::string tag) {
     children.emplace_back(std::move(tag));
     return children.back();

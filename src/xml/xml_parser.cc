@@ -3,6 +3,7 @@
 #include <cctype>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 
 namespace lsd {
@@ -17,26 +18,58 @@ bool IsNameChar(char c) {
          c == '-' || c == '.';
 }
 
-/// Recursive-descent XML parser over a string_view cursor.
+/// Lenient mode stops recording diagnostics (and fails hard) past this
+/// many problems: a document this broken is noise, and the cap bounds the
+/// O(problems × recovery-scan) work on adversarial input.
+constexpr size_t kMaxDiagnostics = 64;
+
+/// Recursive-descent XML parser over a string_view cursor. In strict mode
+/// any malformed construct aborts the parse with ParseError (resource
+/// limits abort with OutOfRange). In lenient mode malformed elements are
+/// recorded in the report, skipped, and parsing resumes at the next tag —
+/// the dirty-input regime real sources exhibit.
 class Parser {
  public:
-  explicit Parser(std::string_view input) : input_(input) {}
+  Parser(std::string_view input, const ParseLimits& limits, bool lenient,
+         XmlParseReport* report)
+      : input_(input), limits_(limits), lenient_(lenient), report_(report) {}
 
   StatusOr<XmlNode> ParseDocumentRoot() {
+    if (limits_.max_input_bytes != 0 &&
+        input_.size() > limits_.max_input_bytes) {
+      return Status::OutOfRange(
+          StrFormat("XML input is %zu bytes; limit is %zu", input_.size(),
+                    limits_.max_input_bytes));
+    }
     LSD_RETURN_IF_ERROR(SkipProlog());
     XmlNode root;
-    LSD_RETURN_IF_ERROR(ParseElement(&root));
+    Status status = ParseElement(&root, 1);
+    while (!status.ok() && lenient_ && !IsResourceLimit(status)) {
+      // Recovery: note the failure, drop the partial root, and retry from
+      // the next tag. A document whose every candidate root fails returns
+      // the last error (with its diagnostics trail in the report).
+      if (!RecordDiagnostic(status)) return status;
+      ++report_->skipped_elements;
+      if (!SkipToNextTag()) return status;
+      SkipMisc();
+      if (AtEnd()) return status;
+      root = XmlNode();
+      status = ParseElement(&root, 1);
+    }
+    if (!status.ok()) return status;
     SkipMisc();
     if (pos_ != input_.size()) {
-      return Error("trailing content after root element");
+      Status trailing = Error("trailing content after root element");
+      if (!lenient_) return trailing;
+      RecordDiagnostic(trailing);
     }
     return root;
   }
 
  private:
-  Status Error(const std::string& what) const {
+  std::pair<size_t, size_t> Locate(size_t pos) const {
     size_t line = 1, col = 1;
-    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+    for (size_t i = 0; i < pos && i < input_.size(); ++i) {
       if (input_[i] == '\n') {
         ++line;
         col = 1;
@@ -44,8 +77,48 @@ class Parser {
         ++col;
       }
     }
+    return {line, col};
+  }
+
+  Status Error(const std::string& what) const {
+    auto [line, col] = Locate(pos_);
     return Status::ParseError(StrFormat("XML parse error at line %zu col %zu: %s",
                                         line, col, what.c_str()));
+  }
+
+  /// Resource-limit violations are never recovered from: skipping cannot
+  /// make the input smaller or shallower than the limit it already broke.
+  static bool IsResourceLimit(const Status& status) {
+    return status.code() == StatusCode::kOutOfRange;
+  }
+
+  /// Appends `status` to the report. Returns false once the diagnostic cap
+  /// is reached, at which point lenient parsing gives up.
+  bool RecordDiagnostic(const Status& status) {
+    if (report_->diagnostics.size() >= kMaxDiagnostics) return false;
+    ParseDiagnostic diag;
+    diag.offset = pos_;
+    auto [line, col] = Locate(pos_);
+    diag.line = line;
+    diag.column = col;
+    diag.message = status.message();
+    report_->diagnostics.push_back(std::move(diag));
+    return true;
+  }
+
+  /// Advances the cursor past at least one character to the next '<'.
+  /// Returns false at end of input. Guarantees forward progress, so
+  /// repeated recovery always terminates.
+  bool SkipToNextTag() {
+    if (AtEnd()) return false;
+    ++pos_;
+    size_t hit = input_.find('<', pos_);
+    if (hit == std::string_view::npos) {
+      pos_ = input_.size();
+      return false;
+    }
+    pos_ = hit;
+    return true;
   }
 
   bool AtEnd() const { return pos_ >= input_.size(); }
@@ -120,6 +193,15 @@ class Parser {
     return std::string(input_.substr(start, pos_ - start));
   }
 
+  /// Reads the name of a close tag without consuming anything. Cursor is
+  /// at "</". Returns an empty string when no name follows.
+  std::string PeekCloseName() const {
+    size_t p = pos_ + 2;
+    size_t start = p;
+    while (p < input_.size() && IsNameChar(input_[p])) ++p;
+    return std::string(input_.substr(start, p - start));
+  }
+
   Status ParseAttributes(XmlNode* node, bool* self_closing) {
     *self_closing = false;
     while (true) {
@@ -176,10 +258,38 @@ class Parser {
     node->text += normalized;
   }
 
-  Status ParseContent(XmlNode* node) {
+  /// On OK return the cursor is at the element's own close tag, at an
+  /// ancestor's close tag (lenient implicit close), or at end of input
+  /// (lenient truncation) — ParseElement disambiguates.
+  Status ParseContent(XmlNode* node, size_t depth) {
     while (true) {
-      if (AtEnd()) return Error("unterminated element '" + node->name + "'");
-      if (LookingAt("</")) return Status::OK();
+      if (AtEnd()) {
+        if (lenient_) {
+          RecordDiagnostic(
+              Error("unterminated element '" + node->name +
+                    "'; implicitly closed at end of input"));
+          return Status::OK();
+        }
+        return Error("unterminated element '" + node->name + "'");
+      }
+      if (LookingAt("</")) {
+        std::string close_name = PeekCloseName();
+        if (!lenient_ || close_name == node->name) return Status::OK();
+        if (IsOpenAncestor(close_name)) {
+          // `<a><b>text</a>`: close of an ancestor implicitly closes this
+          // element; leave the tag for the ancestor to consume.
+          RecordDiagnostic(Error("element '" + node->name +
+                                 "' implicitly closed by '</" + close_name +
+                                 ">'"));
+          return Status::OK();
+        }
+        // Stray close tag matching nothing on the open stack: drop it.
+        Status stray = Error("stray close tag '</" + close_name + ">'");
+        if (!RecordDiagnostic(stray)) return stray;
+        ++report_->skipped_elements;
+        if (!SkipUntil(">").ok()) pos_ = input_.size();
+        continue;
+      }
       if (LookingAt("<!--")) {
         LSD_RETURN_IF_ERROR(SkipUntil("-->"));
         continue;
@@ -198,7 +308,16 @@ class Parser {
       }
       if (Peek() == '<') {
         node->children.emplace_back();
-        LSD_RETURN_IF_ERROR(ParseElement(&node->children.back()));
+        Status child = ParseElement(&node->children.back(), depth + 1);
+        if (!child.ok()) {
+          if (!lenient_ || IsResourceLimit(child)) return child;
+          // Recovery: drop the malformed child and resume at the next tag
+          // (or at this element's close tag).
+          node->children.pop_back();
+          if (!RecordDiagnostic(child)) return child;
+          ++report_->skipped_elements;
+          if (!SkipToNextTag()) continue;  // loop sees AtEnd
+        }
         continue;
       }
       size_t start = pos_;
@@ -207,15 +326,30 @@ class Parser {
     }
   }
 
-  Status ParseElement(XmlNode* node) {
+  Status ParseElement(XmlNode* node, size_t depth) {
+    if (depth > limits_.max_depth) {
+      return Status::OutOfRange(
+          StrFormat("XML nesting depth exceeds limit %zu", limits_.max_depth));
+    }
+    if (limits_.max_nodes != 0 && ++node_count_ > limits_.max_nodes) {
+      return Status::OutOfRange(
+          StrFormat("XML element count exceeds limit %zu", limits_.max_nodes));
+    }
     if (AtEnd() || Peek() != '<') return Error("expected start tag");
     ++pos_;
     LSD_ASSIGN_OR_RETURN(node->name, ParseName());
     bool self_closing = false;
     LSD_RETURN_IF_ERROR(ParseAttributes(node, &self_closing));
     if (self_closing) return Status::OK();
-    LSD_RETURN_IF_ERROR(ParseContent(node));
+    open_names_.push_back(node->name);
+    Status content = ParseContent(node, depth);
+    open_names_.pop_back();
+    LSD_RETURN_IF_ERROR(content);
+    if (AtEnd()) return Status::OK();  // lenient implicit close
     // At "</".
+    if (lenient_ && PeekCloseName() != node->name) {
+      return Status::OK();  // ancestor's close tag; leave it in place
+    }
     pos_ += 2;
     LSD_ASSIGN_OR_RETURN(std::string close_name, ParseName());
     if (close_name != node->name) {
@@ -228,21 +362,51 @@ class Parser {
     return Status::OK();
   }
 
+  bool IsOpenAncestor(const std::string& name) const {
+    for (const std::string& open : open_names_) {
+      if (open == name) return true;
+    }
+    return false;
+  }
+
   std::string_view input_;
+  ParseLimits limits_;
+  bool lenient_;
+  /// Null in strict mode; strict parsing never records diagnostics.
+  XmlParseReport* report_;
   size_t pos_ = 0;
+  size_t node_count_ = 0;
+  /// Names of the elements currently being parsed, outermost first. Used
+  /// by lenient recovery to distinguish an ancestor's close tag from a
+  /// stray one.
+  std::vector<std::string> open_names_;
 };
 
 }  // namespace
 
-StatusOr<XmlDocument> ParseXml(std::string_view input) {
-  Parser parser(input);
+StatusOr<XmlDocument> ParseXml(std::string_view input,
+                               const ParseLimits& limits) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kXmlParse, input.substr(0, 64)));
+  Parser parser(input, limits, /*lenient=*/false, nullptr);
   LSD_ASSIGN_OR_RETURN(XmlNode root, parser.ParseDocumentRoot());
   return XmlDocument(std::move(root));
 }
 
-StatusOr<XmlNode> ParseXmlElement(std::string_view input) {
-  Parser parser(input);
+StatusOr<XmlNode> ParseXmlElement(std::string_view input,
+                                  const ParseLimits& limits) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kXmlParse, input.substr(0, 64)));
+  Parser parser(input, limits, /*lenient=*/false, nullptr);
   return parser.ParseDocumentRoot();
+}
+
+StatusOr<XmlParseReport> ParseXmlLenient(std::string_view input,
+                                         const ParseLimits& limits) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kXmlParse, input.substr(0, 64)));
+  XmlParseReport report;
+  Parser parser(input, limits, /*lenient=*/true, &report);
+  LSD_ASSIGN_OR_RETURN(XmlNode root, parser.ParseDocumentRoot());
+  report.document = XmlDocument(std::move(root));
+  return report;
 }
 
 }  // namespace lsd

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "xml/parse_report.h"
 #include "xml/xml.h"
 
 namespace lsd {
@@ -18,11 +19,25 @@ namespace lsd {
 ///     for the DTD itself).
 /// Character data directly inside an element is whitespace-normalized and
 /// accumulated into the element's `text`.
-/// Returns ParseError with a line/column locator on malformed input.
-StatusOr<XmlDocument> ParseXml(std::string_view input);
+/// Returns ParseError with a line/column locator on malformed input, and
+/// OutOfRange when the input breaks a `ParseLimits` bound (oversized
+/// input, nesting too deep for the recursive-descent stack, too many
+/// elements).
+StatusOr<XmlDocument> ParseXml(std::string_view input,
+                               const ParseLimits& limits = ParseLimits());
 
 /// Parses a fragment: like `ParseXml` but returns the root element.
-StatusOr<XmlNode> ParseXmlElement(std::string_view input);
+StatusOr<XmlNode> ParseXmlElement(std::string_view input,
+                                  const ParseLimits& limits = ParseLimits());
+
+/// Recovery-mode parse for dirty real-world sources: malformed elements
+/// are skipped (recorded as diagnostics in the report), unterminated
+/// elements are implicitly closed, and stray close tags are dropped.
+/// Returns an error only when no root element can be recovered at all or
+/// a resource limit is hit; a heavily damaged document fails once the
+/// diagnostic cap is reached rather than grinding through garbage.
+StatusOr<XmlParseReport> ParseXmlLenient(
+    std::string_view input, const ParseLimits& limits = ParseLimits());
 
 }  // namespace lsd
 

@@ -1,0 +1,519 @@
+// Fault-tolerance tests: hardened parsers (fuzz corpus, resource limits,
+// lenient recovery), deterministic fault injection, learner quarantine
+// with graceful degradation, and anytime deadlines.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "constraints/constraint_parser.h"
+#include "core/lsd_system.h"
+#include "gtest/gtest.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seeded fuzz corpus: mutated documents must never crash a parser — strict
+// mode may reject, lenient mode may recover or reject, but every outcome
+// is a Status, not a signal.
+
+std::string Mutate(const std::string& seed_text, Rng* rng) {
+  static const std::string kNoise = "<>&;!?()|*,\"'=/#[]";
+  std::string s = seed_text;
+  int edits = 1 + static_cast<int>(rng->UniformInt(0, 7));
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    size_t at = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(s.size()) - 1));
+    switch (rng->UniformInt(0, 3)) {
+      case 0: {  // delete a span
+        size_t len = static_cast<size_t>(rng->UniformInt(1, 12));
+        s.erase(at, len);
+        break;
+      }
+      case 1: {  // duplicate a span
+        size_t len = static_cast<size_t>(rng->UniformInt(1, 12));
+        s.insert(at, s.substr(at, len));
+        break;
+      }
+      case 2:  // flip a byte to markup noise
+        s[at] = kNoise[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(kNoise.size()) - 1))];
+        break;
+      default:  // insert markup noise
+        s.insert(at, 1,
+                 kNoise[static_cast<size_t>(rng->UniformInt(
+                     0, static_cast<int64_t>(kNoise.size()) - 1))]);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzCorpusTest, MutatedInputsNeverCrashTheParsers) {
+  const std::string xml_seed =
+      "<listings><house id=\"1\"><addr>12 Main St</addr>"
+      "<price>100,000</price><agent><name>Kate</name></agent></house>"
+      "<house><addr>9 Elm &amp; Oak</addr><!-- note --><price>88</price>"
+      "</house></listings>";
+  const std::string dtd_seed =
+      "<!ELEMENT listings (house*)>\n"
+      "<!ELEMENT house (addr, price?, agent*)>\n"
+      "<!ELEMENT addr (#PCDATA)>\n"
+      "<!ELEMENT price (#PCDATA)>\n"
+      "<!ELEMENT agent (name | #PCDATA)>\n";
+  ASSERT_TRUE(ParseXml(xml_seed).ok());
+
+  Rng rng(20260806);
+  size_t xml_recovered = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string xml = Mutate(xml_seed, &rng);
+    std::string dtd = Mutate(dtd_seed, &rng);
+    (void)ParseXml(xml);
+    (void)ParseDtd(dtd);
+    auto xml_report = ParseXmlLenient(xml);
+    if (xml_report.ok()) {
+      // A recovered document always has a real root element.
+      EXPECT_FALSE(xml_report->document.root.name.empty());
+      if (!xml_report->clean()) ++xml_recovered;
+    }
+    (void)ParseDtdLenient(dtd);
+  }
+  // The corpus must actually exercise the recovery paths, not just the
+  // happy path or total rejection.
+  EXPECT_GT(xml_recovered, 20u);
+}
+
+TEST(FuzzCorpusTest, MutatedConstraintFilesNeverCrashTheParser) {
+  const std::string seed_text =
+      "# domain constraints\n"
+      "frequency ADDRESS 1 1\n"
+      "nesting HOUSE ADDRESS required\n"
+      "contiguity AGENT-NAME AGENT-PHONE\n"
+      "exclusivity ADDRESS DESCRIPTION\n"
+      "key ADDRESS\n"
+      "fd AGENT-NAME AGENT-PHONE ADDRESS\n"
+      "count-limit DESCRIPTION 2 0.5\n"
+      "proximity AGENT-NAME AGENT-PHONE 0.25\n";
+  ASSERT_TRUE(ParseConstraints(seed_text).ok());
+  Rng rng(4242);
+  size_t accepted = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    auto result = ParseConstraints(Mutate(seed_text, &rng));
+    if (result.ok()) ++accepted;  // Ok or clean error; never a crash.
+  }
+  // Some mutants survive (comment/whitespace edits), most get rejected.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_LT(accepted, 300u);
+}
+
+TEST(FuzzCorpusTest, TightLimitsNeverCrashTheParsers) {
+  ParseLimits tight;
+  tight.max_input_bytes = 64;
+  tight.max_depth = 3;
+  tight.max_nodes = 8;
+  Rng rng(99);
+  const std::string seed_text = "<a><b><c>x</c></b><b>y</b></a>";
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string xml = Mutate(seed_text, &rng);
+    (void)ParseXml(xml, tight);
+    (void)ParseXmlLenient(xml, tight);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resource limits: adversarial inputs return kOutOfRange instead of
+// overflowing the recursion stack or exhausting memory — in both modes.
+
+TEST(ParseLimitsTest, DeepXmlNestingReturnsOutOfRange) {
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 600; ++i) deep += "</a>";
+  auto strict = ParseXml(deep);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kOutOfRange);
+  // Lenient mode must not "recover" a resource limit.
+  auto lenient = ParseXmlLenient(deep);
+  ASSERT_FALSE(lenient.ok());
+  EXPECT_EQ(lenient.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseLimitsTest, DeepDtdContentModelReturnsOutOfRange) {
+  std::string model;
+  for (int i = 0; i < 400; ++i) model += "(";
+  model += "b";
+  for (int i = 0; i < 400; ++i) model += ")";
+  auto spec = ParseContentModel(model);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kOutOfRange);
+  auto dtd = ParseDtd("<!ELEMENT a " + model + ">");
+  ASSERT_FALSE(dtd.ok());
+  EXPECT_EQ(dtd.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ParseLimitsTest, InputAndNodeBudgets) {
+  ParseLimits limits;
+  limits.max_input_bytes = 16;
+  auto oversized = ParseXml("<a>0123456789012345678</a>", limits);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kOutOfRange);
+
+  ParseLimits node_limit;
+  node_limit.max_nodes = 3;
+  auto too_many = ParseXml("<a><b/><c/><d/><e/></a>", node_limit);
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// Lenient recovery semantics.
+
+TEST(LenientXmlTest, SkipsMalformedElementKeepsSiblings) {
+  auto report = ParseXmlLenient(
+      "<root><good>1</good><bad <<<</bad><good>2</good></root>");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  EXPECT_GE(report->skipped_elements, 1u);
+  EXPECT_FALSE(report->diagnostics.empty());
+  EXPECT_EQ(report->document.root.FindChildren("good").size(), 2u);
+}
+
+TEST(LenientXmlTest, ImplicitlyClosesUnterminatedElements) {
+  auto report = ParseXmlLenient("<root><a><b>text</a><c>tail</c>");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  const XmlNode& root = report->document.root;
+  ASSERT_NE(root.FindChild("a"), nullptr);
+  EXPECT_NE(root.FindChild("a")->FindChild("b"), nullptr);
+  EXPECT_NE(root.FindChild("c"), nullptr);
+}
+
+TEST(LenientXmlTest, DropsStrayCloseTags) {
+  auto report = ParseXmlLenient("<root><a>x</a></nope></root>");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->clean());
+  EXPECT_NE(report->document.root.FindChild("a"), nullptr);
+}
+
+TEST(LenientDtdTest, SkipsBrokenDeclarationKeepsRest) {
+  auto report = ParseDtdLenient(
+      "<!ELEMENT broken (a, b\n<!ELEMENT house (#PCDATA)>\n");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->skipped_declarations, 1u);
+  EXPECT_NE(report->dtd.Find("house"), nullptr);
+}
+
+TEST(LenientDtdTest, DanglingReferenceBecomesDiagnostic) {
+  const std::string text = "<!ELEMENT a (b, ghost)>\n<!ELEMENT b (#PCDATA)>\n";
+  ASSERT_FALSE(ParseDtd(text).ok());
+  auto report = ParseDtdLenient(text);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->diagnostics.empty());
+  EXPECT_NE(report->dtd.Find("a"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// The fault injector itself: decisions are a pure function of
+// (rules, seed, site, key).
+
+TEST(FaultInjectorTest, ProbabilisticDecisionsAreKeyPure) {
+  FaultInjector a(7);
+  FaultInjector b(7);
+  a.FailWithProbability(FaultSite::kLearnerPredict, 0.5,
+                        Status::Internal("boom"));
+  b.FailWithProbability(FaultSite::kLearnerPredict, 0.5,
+                        Status::Internal("boom"));
+  size_t failures = 0;
+  for (int k = 0; k < 200; ++k) {
+    std::string key = "learner/" + std::to_string(k);
+    Status sa = a.Check(FaultSite::kLearnerPredict, key);
+    Status sb = b.Check(FaultSite::kLearnerPredict, key);
+    EXPECT_EQ(sa.ok(), sb.ok()) << key;
+    // Re-checking the same key must give the same verdict.
+    EXPECT_EQ(sa.ok(), a.Check(FaultSite::kLearnerPredict, key).ok());
+    if (!sa.ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50u);
+  EXPECT_LT(failures, 150u);
+  // Other sites are untouched by the rule.
+  EXPECT_TRUE(a.Check(FaultSite::kFileRead, "learner/1").ok());
+}
+
+TEST(FaultInjectorTest, SubstringRuleAnnotatesSiteAndKey) {
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kFileRead, "flaky",
+                        Status::Internal("disk error"));
+  Status status = injector.Check(FaultSite::kFileRead, "/data/flaky.xml");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("disk error"), std::string::npos);
+  EXPECT_NE(status.message().find("file-read"), std::string::npos);
+  EXPECT_TRUE(injector.Check(FaultSite::kFileRead, "/data/solid.xml").ok());
+  EXPECT_EQ(injector.injected_count(), 1u);
+}
+
+TEST(FaultInjectionTest, FileReadSeam) {
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kFileRead, "injected-io-target",
+                        Status::Internal("io fault"));
+  ScopedFaultInjection scoped(&injector);
+  auto result = ReadFileToString("/tmp/injected-io-target.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("io fault"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, PoolTaskSeamIsDeterministicAcrossThreadCounts) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kPoolTask, "7",
+                          Status::Internal("task fault"));
+    ScopedFaultInjection scoped(&injector);
+    ThreadPool pool(threads);
+    Status status =
+        pool.ParallelFor(16, [&](size_t) -> Status { return Status::OK(); });
+    ASSERT_FALSE(status.ok()) << threads << " threads";
+    EXPECT_NE(status.message().find("task fault"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System-level quarantine and deadlines: the two-source real-estate world
+// from core_test, under injected faults.
+
+class RobustnessSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mediated_ = ParseDtd(R"(
+      <!ELEMENT HOUSE (ADDRESS, DESCRIPTION, CONTACT-INFO)>
+      <!ELEMENT ADDRESS (#PCDATA)>
+      <!ELEMENT DESCRIPTION (#PCDATA)>
+      <!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+      <!ELEMENT AGENT-NAME (#PCDATA)>
+      <!ELEMENT AGENT-PHONE (#PCDATA)>
+    )").value();
+
+    source_a_ = MakeSource(
+        "a.com",
+        R"(<!ELEMENT house-listing (location, comments, contact)>
+           <!ELEMENT location (#PCDATA)>
+           <!ELEMENT comments (#PCDATA)>
+           <!ELEMENT contact (name, phone)>
+           <!ELEMENT name (#PCDATA)>
+           <!ELEMENT phone (#PCDATA)>)",
+        {"house-listing", "location", "comments", "contact", "name", "phone"},
+        11);
+    gold_a_.Set("house-listing", "HOUSE");
+    gold_a_.Set("location", "ADDRESS");
+    gold_a_.Set("comments", "DESCRIPTION");
+    gold_a_.Set("contact", "CONTACT-INFO");
+    gold_a_.Set("name", "AGENT-NAME");
+    gold_a_.Set("phone", "AGENT-PHONE");
+
+    source_b_ = MakeSource(
+        "b.com",
+        R"(<!ELEMENT listing (house-addr, detailed-desc, agent-info)>
+           <!ELEMENT house-addr (#PCDATA)>
+           <!ELEMENT detailed-desc (#PCDATA)>
+           <!ELEMENT agent-info (agent-name, agent-phone)>
+           <!ELEMENT agent-name (#PCDATA)>
+           <!ELEMENT agent-phone (#PCDATA)>)",
+        {"listing", "house-addr", "detailed-desc", "agent-info", "agent-name",
+         "agent-phone"},
+        22);
+    gold_b_.Set("listing", "HOUSE");
+    gold_b_.Set("house-addr", "ADDRESS");
+    gold_b_.Set("detailed-desc", "DESCRIPTION");
+    gold_b_.Set("agent-info", "CONTACT-INFO");
+    gold_b_.Set("agent-name", "AGENT-NAME");
+    gold_b_.Set("agent-phone", "AGENT-PHONE");
+
+    target_ = MakeSource(
+        "c.com",
+        R"(<!ELEMENT home (area, extra-info, reach)>
+           <!ELEMENT area (#PCDATA)>
+           <!ELEMENT extra-info (#PCDATA)>
+           <!ELEMENT reach (realtor, work-phone)>
+           <!ELEMENT realtor (#PCDATA)>
+           <!ELEMENT work-phone (#PCDATA)>)",
+        {"home", "area", "extra-info", "reach", "realtor", "work-phone"}, 33);
+  }
+
+  static DataSource MakeSource(const std::string& name,
+                               const std::string& dtd_text,
+                               const std::vector<std::string>& tags,
+                               uint64_t seed) {
+    static const std::vector<std::string> kCities = {
+        "Miami, FL",  "Boston, MA",   "Seattle, WA",
+        "Austin, TX", "Portland, OR", "Denver, CO"};
+    static const std::vector<std::string> kDescs = {
+        "Fantastic house great location",
+        "Beautiful home spacious yard",
+        "Great views close to river",
+        "Charming cottage near great schools",
+        "Spacious home fantastic neighborhood"};
+    static const std::vector<std::string> kNames = {
+        "Kate Richardson", "Mike Smith", "Jane Kendall", "Matt Brown"};
+    DataSource source;
+    source.name = name;
+    source.schema = ParseDtd(dtd_text).value();
+    Rng rng(seed);
+    for (int i = 0; i < 30; ++i) {
+      std::string phone = "(" + std::to_string(rng.UniformInt(200, 999)) +
+                          ") " + std::to_string(rng.UniformInt(200, 999)) +
+                          " " + std::to_string(rng.UniformInt(1000, 9999));
+      std::string xml = "<" + tags[0] + ">" +
+                        "<" + tags[1] + ">" + rng.Pick(kCities) + "</" + tags[1] + ">" +
+                        "<" + tags[2] + ">" + rng.Pick(kDescs) + "</" + tags[2] + ">" +
+                        "<" + tags[3] + ">" +
+                        "<" + tags[4] + ">" + rng.Pick(kNames) + "</" + tags[4] + ">" +
+                        "<" + tags[5] + ">" + phone + "</" + tags[5] + ">" +
+                        "</" + tags[3] + ">" +
+                        "</" + tags[0] + ">";
+      source.listings.push_back(ParseXml(xml).value());
+    }
+    return source;
+  }
+
+  std::unique_ptr<LsdSystem> MakeTrainedSystem(LsdConfig config = LsdConfig()) {
+    auto system = std::make_unique<LsdSystem>(mediated_, config);
+    EXPECT_TRUE(system->AddTrainingSource(source_a_, gold_a_).ok());
+    EXPECT_TRUE(system->AddTrainingSource(source_b_, gold_b_).ok());
+    EXPECT_TRUE(system->Train().ok());
+    return system;
+  }
+
+  Dtd mediated_;
+  DataSource source_a_, source_b_, target_;
+  Mapping gold_a_, gold_b_;
+};
+
+TEST_F(RobustnessSystemTest, TrainFaultQuarantinesLearnerDeterministically) {
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerTrain, kNaiveBayesName,
+                          Status::Internal("training exploded"));
+    ScopedFaultInjection scoped(&injector);
+    LsdConfig config;
+    config.num_threads = threads;
+    auto system = MakeTrainedSystem(config);
+    ASSERT_TRUE(system->trained());
+    EXPECT_TRUE(system->train_report().IsQuarantined(kNaiveBayesName));
+    EXPECT_EQ(system->QuarantinedLearners(),
+              std::vector<std::string>{kNaiveBayesName});
+
+    auto result = system->MatchSource(target_);
+    ASSERT_TRUE(result.ok()) << threads << " threads";
+    EXPECT_TRUE(result->report.degraded());
+    EXPECT_TRUE(result->report.IsQuarantined(kNaiveBayesName));
+    EXPECT_NE(result->report.ToString().find(kNaiveBayesName),
+              std::string::npos);
+
+    // Degraded output is bit-identical for any thread count.
+    std::string rendered =
+        result->mapping.ToString() + "\n" + result->report.ToString();
+    if (baseline.empty()) {
+      baseline = rendered;
+    } else {
+      EXPECT_EQ(rendered, baseline) << threads << " threads";
+    }
+
+    // A degraded ensemble must not be persisted.
+    Status saved = system->SaveModel("/tmp/lsd_degraded_model.txt");
+    EXPECT_EQ(saved.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(RobustnessSystemTest, PredictFaultQuarantinesLearnerDeterministically) {
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerPredict,
+                          std::string(kContentMatcherName) + "/",
+                          Status::Internal("predict exploded"));
+    ScopedFaultInjection scoped(&injector);
+    LsdConfig config;
+    config.num_threads = threads;
+    auto system = MakeTrainedSystem(config);
+    EXPECT_FALSE(system->train_report().degraded());
+
+    auto result = system->MatchSource(target_);
+    ASSERT_TRUE(result.ok()) << threads << " threads";
+    EXPECT_TRUE(result->report.IsQuarantined(kContentMatcherName));
+    std::string rendered =
+        result->mapping.ToString() + "\n" + result->report.ToString();
+    if (baseline.empty()) {
+      baseline = rendered;
+    } else {
+      EXPECT_EQ(rendered, baseline) << threads << " threads";
+    }
+  }
+}
+
+TEST_F(RobustnessSystemTest, AllLearnersFailingIsAHardError) {
+  {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerTrain, "",
+                          Status::Internal("everything exploded"));
+    ScopedFaultInjection scoped(&injector);
+    LsdSystem system(mediated_, LsdConfig());
+    ASSERT_TRUE(system.AddTrainingSource(source_a_, gold_a_).ok());
+    Status status = system.Train();
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("every learner failed"),
+              std::string::npos);
+  }
+  {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerPredict, "",
+                          Status::Internal("everything exploded"));
+    auto system = MakeTrainedSystem();
+    ScopedFaultInjection scoped(&injector);
+    auto result = system->MatchSource(target_);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(RobustnessSystemTest, ZeroDeadlineYieldsAnytimeMappingNotError) {
+  auto system = MakeTrainedSystem();
+  MatchOptions options;
+  options.deadline = Deadline::AfterMillis(0);
+  // Feedback forces the constraint handler (and so the A* searcher) to run.
+  std::vector<FeedbackConstraint> feedback;
+  feedback.emplace_back("area", "ADDRESS", /*must_equal=*/true);
+
+  auto result = system->MatchSource(target_, options, feedback);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.deadline_hit);
+  EXPECT_TRUE(result->search_truncated);
+  EXPECT_EQ(result->tags.size(), 6u);
+  // The greedy anytime completion still assigns every tag and respects
+  // the feedback constraint.
+  EXPECT_EQ(result->mapping.LabelOrOther("area"), "ADDRESS");
+
+  // An infinite deadline on the same system is a clean run.
+  auto unbounded = system->MatchSource(target_, MatchOptions(), feedback);
+  ASSERT_TRUE(unbounded.ok());
+  EXPECT_FALSE(unbounded->report.deadline_hit);
+}
+
+TEST_F(RobustnessSystemTest, ExpiredTrainingDeadlineIsDeadlineExceeded) {
+  LsdSystem system(mediated_, LsdConfig());
+  ASSERT_TRUE(system.AddTrainingSource(source_a_, gold_a_).ok());
+  Status status = system.Train(Deadline::AfterMillis(0));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(system.trained());
+}
+
+}  // namespace
+}  // namespace lsd

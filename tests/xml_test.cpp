@@ -32,12 +32,14 @@ TEST(XmlNodeTest, DeepTextJoinsSubtree) {
 
 TEST(XmlNodeTest, SubtreeSizeAndDepth) {
   XmlNode root("a");
-  XmlNode& b = root.AddChild("b");
-  b.AddChild("c");
+  // Note: AddChild references are invalidated by later sibling inserts
+  // (children live in a std::vector), so look "b" up again afterwards.
+  root.AddChild("b").AddChild("c");
   root.AddChild("d");
   EXPECT_EQ(root.SubtreeSize(), 4u);
   EXPECT_EQ(root.Depth(), 3u);
-  EXPECT_EQ(b.Depth(), 2u);
+  ASSERT_NE(root.FindChild("b"), nullptr);
+  EXPECT_EQ(root.FindChild("b")->Depth(), 2u);
 }
 
 TEST(XmlNodeTest, AttributesLookup) {

@@ -5,11 +5,17 @@
 // Usage:
 //   lsd_generate --domain real-estate-1 --out DIR
 //                [--sources 5] [--listings 100] [--seed 7] [--threads N]
+//                [--lenient]
 //
 // --threads parallelizes the per-source file serialization (0 = all
 // cores, 1 = serial; default 1). Output files are byte-identical for any
 // thread count: generation itself is seeded up front and serialization
 // writes into per-source slots.
+//
+// --lenient tolerates per-source write failures (disk full, permission
+// races): a source whose files cannot be written is dropped with a
+// warning and the exit code stays zero as long as the mediated schema,
+// the constraints, and at least one complete source landed on disk.
 //
 // Produces, under DIR:
 //   mediated.dtd          the mediated schema
@@ -39,6 +45,7 @@ int Run(int argc, char** argv) {
   size_t sources = 5, listings = 100;
   uint64_t seed = 7;
   size_t threads = 1;
+  bool lenient = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -75,10 +82,13 @@ int Run(int argc, char** argv) {
         return 2;
       }
       threads = static_cast<size_t>(parsed);
+    } else if (arg == "--lenient") {
+      lenient = true;
     } else {
       std::fprintf(stderr,
                    "usage: lsd_generate --domain NAME --out DIR"
-                   " [--sources N] [--listings N] [--seed N] [--threads N]\n");
+                   " [--sources N] [--listings N] [--seed N] [--threads N]"
+                   " [--lenient]\n");
       return 2;
     }
   }
@@ -93,17 +103,21 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  auto write = [&](const std::string& name, const std::string& contents) {
+  auto write = [&](const std::string& name,
+                   const std::string& contents) -> bool {
     Status status = WriteStringToFile(out_dir + "/" + name, contents);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      std::exit(1);
+      return false;
     }
     std::fprintf(stderr, "wrote %s/%s (%zu bytes)\n", out_dir.c_str(),
                  name.c_str(), contents.size());
+    return true;
   };
 
-  write("mediated.dtd", domain->mediated.ToString());
+  // The mediated schema and constraints are the benchmark's backbone;
+  // losing them is total failure in every mode.
+  if (!write("mediated.dtd", domain->mediated.ToString())) return 1;
 
   std::string constraints_text =
       "# standing domain constraints for " + domain_name + "\n";
@@ -111,7 +125,7 @@ int Run(int argc, char** argv) {
     std::string line = constraint->ToConfigLine();
     if (!line.empty()) constraints_text += line + "\n";
   }
-  write("domain.constraints", constraints_text);
+  if (!write("domain.constraints", constraints_text)) return 1;
 
   // Serializing a source (DTD + XML + mapping text) is CPU-bound and
   // independent per source; fan it out and write the results in order so
@@ -138,11 +152,24 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", serialized.status().ToString().c_str());
     return 1;
   }
+  size_t sources_written = 0;
   for (size_t s = 0; s < serialized->size(); ++s) {
     std::string base = "source-" + std::to_string(s);
-    write(base + ".dtd", (*serialized)[s].dtd);
-    write(base + ".xml", (*serialized)[s].xml);
-    write(base + ".mapping", (*serialized)[s].mapping);
+    bool ok = write(base + ".dtd", (*serialized)[s].dtd) &&
+              write(base + ".xml", (*serialized)[s].xml) &&
+              write(base + ".mapping", (*serialized)[s].mapping);
+    if (ok) {
+      ++sources_written;
+    } else if (lenient) {
+      std::fprintf(stderr, "warning: dropped incomplete source %s\n",
+                   base.c_str());
+    } else {
+      return 1;
+    }
+  }
+  if (sources_written == 0) {
+    std::fprintf(stderr, "error: no source written\n");
+    return 1;
   }
 
   std::string readme = StrFormat(
@@ -159,7 +186,7 @@ int Run(int argc, char** argv) {
                       " \\\n    --constraints domain.constraints"
                       " \\\n    --gold source-%zu.mapping\n",
                       target, target, target);
-  write("README.txt", readme);
+  if (!write("README.txt", readme) && !lenient) return 1;
   return 0;
 }
 

@@ -13,6 +13,18 @@
 //             [--gold tgt.mapping] [--no-xml-learner] [--no-meta]
 //             [--no-constraint-handler] [--county-label LABEL]
 //             [--threads N]          (0 = all cores, 1 = serial; default 1)
+//             [--strict | --lenient] (failure policy; default --strict)
+//             [--deadline-ms N]      (anytime matching budget)
+//
+// Failure policy:
+//   --strict   (default) any malformed input or degraded run is fatal.
+//   --lenient  recovery mode: schemas and listings parse with skip-and-
+//              continue recovery (diagnostics on stderr), unreadable
+//              training sources are dropped with a warning, and a degraded
+//              run (quarantined learners, expired deadlines) still emits
+//              its mapping. The run report is printed to stderr; the exit
+//              code is nonzero only on total failure — no training source
+//              usable, no learner survived, or the target is unreadable.
 //
 // File formats:
 //   *.dtd         — <!ELEMENT ...> declarations (see xml/dtd_parser.h)
@@ -49,18 +61,40 @@ void Usage() {
                " --target T.dtd T.xml [--constraints F]"
                " [--feedback \"tag <=> LABEL\"] [--gold T.mapping]"
                " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
-               " [--county-label LABEL] [--threads N]\n");
+               " [--county-label LABEL] [--threads N]"
+               " [--strict|--lenient] [--deadline-ms N]\n");
+}
+
+void PrintDiagnostics(const std::string& path,
+                      const std::vector<ParseDiagnostic>& diagnostics) {
+  for (const ParseDiagnostic& diag : diagnostics) {
+    std::fprintf(stderr, "%s: recovered: %s\n", path.c_str(),
+                 diag.ToString().c_str());
+  }
 }
 
 StatusOr<DataSource> LoadSource(const std::string& name,
                                 const std::string& dtd_path,
-                                const std::string& xml_path) {
+                                const std::string& xml_path, bool lenient) {
   DataSource source;
   source.name = name;
   LSD_ASSIGN_OR_RETURN(std::string dtd_text, ReadFileToString(dtd_path));
-  LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(dtd_text));
+  if (lenient) {
+    LSD_ASSIGN_OR_RETURN(DtdParseReport dtd_report, ParseDtdLenient(dtd_text));
+    PrintDiagnostics(dtd_path, dtd_report.diagnostics);
+    source.schema = std::move(dtd_report.dtd);
+  } else {
+    LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(dtd_text));
+  }
   LSD_ASSIGN_OR_RETURN(std::string xml_text, ReadFileToString(xml_path));
-  LSD_ASSIGN_OR_RETURN(XmlDocument wrapper, ParseXml(xml_text));
+  XmlDocument wrapper;
+  if (lenient) {
+    LSD_ASSIGN_OR_RETURN(XmlParseReport xml_report, ParseXmlLenient(xml_text));
+    PrintDiagnostics(xml_path, xml_report.diagnostics);
+    wrapper = std::move(xml_report.document);
+  } else {
+    LSD_ASSIGN_OR_RETURN(wrapper, ParseXml(xml_text));
+  }
   if (wrapper.root.children.empty()) {
     return Status::InvalidArgument(xml_path +
                                    ": the root element must wrap the listings");
@@ -86,6 +120,8 @@ int Run(int argc, char** argv) {
   std::vector<std::string> feedback_lines;
   LsdConfig config;
   MatchOptions options;
+  bool lenient = false;
+  long deadline_ms = -1;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -135,6 +171,22 @@ int Run(int argc, char** argv) {
         return 2;
       }
       config.num_threads = static_cast<size_t>(parsed);
+    } else if (arg == "--strict") {
+      lenient = false;
+    } else if (arg == "--lenient") {
+      lenient = true;
+    } else if (arg == "--deadline-ms") {
+      std::string value;
+      if (!next(&value)) { Usage(); return 2; }
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--deadline-ms expects a non-negative integer, got: %s\n",
+                     value.c_str());
+        return 2;
+      }
+      deadline_ms = parsed;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
@@ -159,28 +211,37 @@ int Run(int argc, char** argv) {
 
   LsdSystem system(*mediated, config);
 
-  // Training sources must outlive Train(); keep them here.
+  // Training sources must outlive Train(); keep them here. In lenient
+  // mode a source that fails to load or register is dropped with a
+  // warning — fatal only when nothing is left to train on.
   std::vector<DataSource> train_sources;
   train_sources.reserve(train_specs.size());
+  size_t sources_used = 0;
   for (const TrainSpec& spec : train_specs) {
-    auto source = LoadSource(spec.dtd, spec.dtd, spec.xml);
-    if (!source.ok()) {
-      std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
-      return 1;
+    auto source = LoadSource(spec.dtd, spec.dtd, spec.xml, lenient);
+    StatusOr<Mapping> gold =
+        source.ok() ? LoadMapping(spec.mapping)
+                    : StatusOr<Mapping>(source.status());
+    Status status = gold.ok() ? Status::OK() : gold.status();
+    if (status.ok()) {
+      train_sources.push_back(std::move(*source));
+      status = system.AddTrainingSource(train_sources.back(), *gold);
+      if (!status.ok()) train_sources.pop_back();
     }
-    train_sources.push_back(std::move(*source));
-  }
-  for (size_t s = 0; s < train_specs.size(); ++s) {
-    auto gold = LoadMapping(train_specs[s].mapping);
-    if (!gold.ok()) {
-      std::fprintf(stderr, "%s\n", gold.status().ToString().c_str());
-      return 1;
-    }
-    Status status = system.AddTrainingSource(train_sources[s], *gold);
     if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
+      if (!lenient) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "warning: skipping training source %s: %s\n",
+                   spec.dtd.c_str(), status.ToString().c_str());
+      continue;
     }
+    ++sources_used;
+  }
+  if (sources_used == 0) {
+    std::fprintf(stderr, "error: no usable training source\n");
+    return 1;
   }
 
   if (!constraints_path.empty()) {
@@ -205,9 +266,11 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "trained %zu learners on %zu sources\n",
-               system.LearnerNames().size(), train_specs.size());
+               system.LearnerNames().size(), sources_used);
 
-  auto target = LoadSource(target_dtd, target_dtd, target_xml);
+  // The target must load in every mode — with no target there is nothing
+  // to emit, which is total failure even leniently.
+  auto target = LoadSource(target_dtd, target_dtd, target_xml, lenient);
   if (!target.ok()) {
     std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
     return 1;
@@ -229,9 +292,21 @@ int Run(int argc, char** argv) {
     feedback.emplace_back(tag, label, must_equal);
   }
 
+  // The deadline clock starts at the matching call, not at process start:
+  // slow training should not eat the anytime budget the user gave the
+  // match itself.
+  if (deadline_ms >= 0) options.deadline = Deadline::AfterMillis(deadline_ms);
   auto result = system.MatchSource(*target, options, feedback);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s", result->report.ToString().c_str());
+  if (!lenient && result->report.degraded()) {
+    std::fprintf(stderr,
+                 "error: degraded run under --strict (re-run with --lenient "
+                 "to accept the mapping above)\n");
+    std::printf("%s", result->mapping.ToString().c_str());
     return 1;
   }
 
