@@ -1,0 +1,269 @@
+// Exercises the observability layer end-to-end and verifies its central
+// contract: counters in the metrics registry are bit-identical for any
+// thread count, because they count work (folds trained, nodes expanded,
+// instances predicted) and the parallel runtime keeps the work itself
+// invariant.
+//
+// The pipeline is deliberately the full product path: generate a domain,
+// serialize every source to DTD/XML text, corrupt the text slightly, parse
+// it back with the lenient parsers (populating the parse-recovery
+// counters), train with stacking, then match under the standing domain
+// constraints (populating the A* counters) — at 1/2/4/8 threads, resetting
+// the registry between runs and comparing both the result fingerprint and
+// the counter snapshot against the serial run.
+//
+// Flags:
+//   --listings=N       listings per source (default 60)
+//   --quick            30 listings, real-estate-1 only
+//   --out=PATH         trajectory JSON (BENCH_match.json; "" disables)
+//   --metrics-out=PATH also dump the serial run's metrics JSON snapshot
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "eval/experiment.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+using namespace lsd;
+
+std::string StringFlag(int argc, char** argv, const char* key,
+                       const std::string& fallback) {
+  std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Round-trips one generated source through text + the lenient parsers,
+/// with a deterministic blemish in each format so recovery actually runs:
+/// a stray close tag in the XML, an unknown declaration keyword in the
+/// DTD. Recovery skips both without touching the real content, so the
+/// rebuilt source is semantically identical to the generated one.
+StatusOr<DataSource> RoundTripLeniently(const GeneratedSource& gen) {
+  std::string dtd_text =
+      gen.source.schema.ToString() + "<!BOGUS not-a-declaration>\n";
+  XmlNode wrapper("listings");
+  for (const XmlDocument& listing : gen.source.listings) {
+    wrapper.children.push_back(listing.root);
+  }
+  std::string xml_text = WriteXml(wrapper);
+  size_t after_open = xml_text.find('>');
+  if (after_open != std::string::npos) {
+    xml_text.insert(after_open + 1, "</stray>");
+  }
+
+  DataSource source;
+  source.name = gen.source.name;
+  LSD_ASSIGN_OR_RETURN(DtdParseReport dtd_report, ParseDtdLenient(dtd_text));
+  source.schema = std::move(dtd_report.dtd);
+  LSD_ASSIGN_OR_RETURN(XmlParseReport xml_report, ParseXmlLenient(xml_text));
+  for (XmlNode& listing : xml_report.document.root.children) {
+    source.listings.emplace_back(std::move(listing));
+  }
+  return source;
+}
+
+struct RunResult {
+  double train_seconds = 0.0;
+  double match_seconds = 0.0;
+  /// Mapping + prediction bytes, as in bench_parallel.
+  std::string fingerprint;
+  /// "name=value" lines for every counter in the final snapshot. Gauges
+  /// and histograms are excluded by design: high-water marks depend on
+  /// scheduling and timings depend on the clock.
+  std::string counters;
+  MetricsSnapshot snapshot;
+  Status status;
+};
+
+RunResult RunDomain(const Domain& domain, const std::string& domain_name,
+                    size_t listings, size_t num_threads) {
+  RunResult result;
+  MetricsRegistry::Global().Reset();
+
+  LsdConfig config;
+  config = ConfigForDomain(domain_name, config);
+  config.num_threads = num_threads;
+  LsdSystem system(domain.mediated, config);
+  for (auto& constraint : MakeDomainConstraints(domain)) {
+    system.AddConstraint(std::move(constraint));
+  }
+
+  // Sources must outlive Train().
+  std::vector<DataSource> sources;
+  sources.reserve(domain.sources.size());
+  for (const GeneratedSource& gen : domain.sources) {
+    auto round_tripped = RoundTripLeniently(gen);
+    if (!round_tripped.ok()) {
+      result.status = round_tripped.status();
+      return result;
+    }
+    sources.push_back(std::move(*round_tripped));
+  }
+
+  const size_t train_count = 3;
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < train_count && s < sources.size(); ++s) {
+    result.status =
+        system.AddTrainingSource(sources[s], domain.sources[s].gold);
+    if (!result.status.ok()) return result;
+  }
+  result.status = system.Train();
+  if (!result.status.ok()) return result;
+  auto t1 = std::chrono::steady_clock::now();
+  result.train_seconds = Seconds(t0, t1);
+
+  result.fingerprint = system.meta_learner().Serialize();
+  for (size_t s = train_count; s < sources.size(); ++s) {
+    auto match = system.MatchSource(sources[s]);
+    if (!match.ok()) {
+      result.status = match.status();
+      return result;
+    }
+    result.fingerprint += match->mapping.ToString();
+    for (const Prediction& p : match->tag_predictions) {
+      for (double score : p.scores) {
+        result.fingerprint += StrFormat("%.17g,", score);
+      }
+    }
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  result.match_seconds = Seconds(t1, t2);
+
+  result.snapshot = MetricsRegistry::Global().Snapshot();
+  for (const auto& counter : result.snapshot.counters) {
+    result.counters +=
+        counter.name + "=" + std::to_string(counter.value) + "\n";
+  }
+  (void)listings;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  size_t listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 30 : 60));
+  std::string out_path = StringFlag(argc, argv, "out", "BENCH_match.json");
+  std::string metrics_out = StringFlag(argc, argv, "metrics-out", "");
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  std::vector<std::string> domains =
+      quick ? std::vector<std::string>{"real-estate-1"}
+            : EvaluationDomainNames();
+
+  std::printf(
+      "bench_match: observability pipeline, counter determinism vs threads\n"
+      "(listings/source=%zu, 3 train / 2 match, lenient round-trip, "
+      "hardware threads: %u)\n",
+      listings, std::thread::hardware_concurrency());
+  bench::Rule(96);
+  std::printf("%-16s | %7s | %8s %8s | %9s %8s %8s | %9s %9s\n", "Domain",
+              "Threads", "Train s", "Match s", "Expanded", "Tasks",
+              "Recov", "Identical", "Counters");
+  bench::Rule(96);
+
+  std::string json = "{\n  \"bench\": \"bench_match\",\n";
+  json += StrFormat("  \"listings\": %zu,\n", listings);
+  json += StrFormat("  \"hardware_concurrency\": %u,\n",
+                    std::thread::hardware_concurrency());
+  json += "  \"results\": [\n";
+
+  bool all_identical = true;
+  bool first_row = true;
+  for (const std::string& name : domains) {
+    auto domain = MakeEvaluationDomain(name, /*num_sources=*/5, listings,
+                                       /*seed=*/7);
+    if (!domain.ok()) {
+      std::fprintf(stderr, "error: %s\n", domain.status().ToString().c_str());
+      return 1;
+    }
+    std::string serial_fingerprint, serial_counters;
+    for (size_t threads : thread_counts) {
+      RunResult run = RunDomain(*domain, name, listings, threads);
+      if (!run.status.ok()) {
+        std::fprintf(stderr, "error: %s\n", run.status.ToString().c_str());
+        return 1;
+      }
+      bool identical = true, counters_identical = true;
+      if (threads == 1) {
+        serial_fingerprint = run.fingerprint;
+        serial_counters = run.counters;
+        if (!metrics_out.empty()) {
+          Status written =
+              WriteStringToFile(metrics_out, run.snapshot.ToJson());
+          if (!written.ok()) {
+            std::fprintf(stderr, "error: %s\n",
+                         written.ToString().c_str());
+            return 1;
+          }
+        }
+      } else {
+        identical = run.fingerprint == serial_fingerprint;
+        counters_identical = run.counters == serial_counters;
+        all_identical = all_identical && identical && counters_identical;
+      }
+      uint64_t expanded = run.snapshot.CounterOf("astar.expanded");
+      uint64_t tasks = run.snapshot.CounterOf("pool.tasks_run");
+      uint64_t recovered = run.snapshot.CounterOf("xml.parse.recovered") +
+                           run.snapshot.CounterOf("dtd.parse.recovered");
+      std::printf(
+          "%-16s | %7zu | %8.3f %8.3f | %9llu %8llu %8llu | %9s %9s\n",
+          name.c_str(), threads, run.train_seconds, run.match_seconds,
+          static_cast<unsigned long long>(expanded),
+          static_cast<unsigned long long>(tasks),
+          static_cast<unsigned long long>(recovered),
+          identical ? "yes" : "NO", counters_identical ? "yes" : "NO");
+      if (!first_row) json += ",\n";
+      first_row = false;
+      json += StrFormat(
+          "    {\"domain\": \"%s\", \"threads\": %zu, "
+          "\"train_seconds\": %.4f, \"match_seconds\": %.4f, "
+          "\"astar_expanded\": %llu, \"pool_tasks_run\": %llu, "
+          "\"parse_recovered\": %llu, "
+          "\"identical_to_serial\": %s, \"counters_identical\": %s}",
+          name.c_str(), threads, run.train_seconds, run.match_seconds,
+          static_cast<unsigned long long>(expanded),
+          static_cast<unsigned long long>(tasks),
+          static_cast<unsigned long long>(recovered),
+          identical ? "true" : "false",
+          counters_identical ? "true" : "false");
+    }
+  }
+  json += "\n  ]\n}\n";
+  bench::Rule(96);
+  std::printf("counters and outputs bit-identical across thread counts: %s\n",
+              all_identical ? "yes" : "NO — determinism bug");
+
+  if (!out_path.empty()) {
+    Status status = WriteStringToFile(out_path, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full verification sweep: plain build + tests, then the same tree under
-# AddressSanitizer + UndefinedBehaviorSanitizer. Usage:
+# Full verification sweep: plain build + tests, the same tree under
+# AddressSanitizer + UndefinedBehaviorSanitizer, a ThreadSanitizer pass
+# over the threaded metrics/runtime tests, and a bench_match smoke run
+# whose emitted metrics JSON is validated against the checked-in schema.
+# Usage:
 #
 #   scripts/check.sh [JOBS]
 #
-# Exits nonzero on the first failing step. The sanitizer tree lives in
-# build-asan/ so it never disturbs the primary build/.
+# Exits nonzero on the first failing step. Sanitizer trees live in
+# build-asan/ and build-tsan/ so they never disturb the primary build/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,5 +28,25 @@ cmake --build build-asan -j "$JOBS"
 
 echo "== ASan/UBSan tests =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== TSan build =="
+cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test
+
+echo "== TSan tests (threaded metrics + runtime) =="
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'MetricsTest|TraceTest|ThreadPool|Parallel'
+
+echo "== bench_match smoke (metrics schema) =="
+cmake --build build -j "$JOBS" --target bench_match
+METRICS_TMP="$(mktemp)"
+trap 'rm -f "$METRICS_TMP"' EXIT
+./build/bench/bench_match --quick --out= --metrics-out="$METRICS_TMP"
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_metrics.py "$METRICS_TMP"
+else
+    echo "python3 unavailable; skipping metrics JSON validation"
+fi
 
 echo "check.sh: all green"

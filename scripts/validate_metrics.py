@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates a --metrics-out snapshot against scripts/metrics_schema.json.
+
+Usage: validate_metrics.py METRICS_JSON [SCHEMA_JSON]
+
+Checks that the snapshot is well-formed (the three sections with the value
+shapes metrics.cc emits) and that every name the schema requires is
+present. Exits nonzero with one line per problem. Stdlib only.
+"""
+
+import json
+import os
+import sys
+
+
+def fail(errors):
+    for error in errors:
+        print("validate_metrics: " + error, file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    metrics_path = argv[1]
+    schema_path = (
+        argv[2]
+        if len(argv) == 3
+        else os.path.join(os.path.dirname(argv[0]), "metrics_schema.json")
+    )
+    with open(metrics_path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(section), dict):
+            errors.append("missing or non-object section: " + section)
+    if errors:
+        return fail(errors)
+
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    histograms = snapshot["histograms"]
+
+    for name, value in list(counters.items()) + list(gauges.items()):
+        if not isinstance(value, int) or value < 0:
+            errors.append("non-negative integer expected: %s=%r" % (name, value))
+    for name, value in histograms.items():
+        if not isinstance(value, dict):
+            errors.append("histogram is not an object: " + name)
+            continue
+        for key in ("count", "sum", "max", "buckets"):
+            if key not in value:
+                errors.append("histogram %s lacks %r" % (name, key))
+        if isinstance(value.get("buckets"), list):
+            total = sum(b for b in value["buckets"] if isinstance(b, int))
+            if total != value.get("count"):
+                errors.append(
+                    "histogram %s: bucket total %d != count %r"
+                    % (name, total, value.get("count"))
+                )
+
+    for name in schema.get("required_counters", []):
+        if name not in counters:
+            errors.append("required counter absent: " + name)
+    for name in schema.get("required_gauges", []):
+        if name not in gauges:
+            errors.append("required gauge absent: " + name)
+    for name in schema.get("required_histograms", []):
+        if name not in histograms:
+            errors.append("required histogram absent: " + name)
+    for prefix in schema.get("required_histogram_prefixes", []):
+        if not any(name.startswith(prefix) for name in histograms):
+            errors.append("no histogram with required prefix: " + prefix)
+
+    if errors:
+        return fail(errors)
+    print(
+        "validate_metrics: OK (%d counters, %d gauges, %d histograms)"
+        % (len(counters), len(gauges), len(histograms))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,408 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+/// Bucket index for `value`: floor(log2(value)) clamped to the table, with
+/// 0 and 1 mapping to bucket 0.
+size_t BucketOf(uint64_t value) {
+  size_t bucket = 0;
+  while (value > 1 && bucket + 1 < Histogram::kBuckets) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+/// Per-thread storage. Cells are atomics so the owning thread's relaxed
+/// writes never race with Snapshot()'s relaxed reads (TSan-clean without a
+/// lock on the hot path). Only the owner mutates cell *arrays* — and only
+/// under `mu`, which Snapshot also takes — so growth cannot invalidate a
+/// concurrent merge.
+struct MetricsRegistry::Shard {
+  template <typename Cell>
+  struct SlotArray {
+    std::unique_ptr<Cell[]> cells;
+    size_t size = 0;
+
+    /// Owner-only: returns the cell for `slot`, growing under `mu`.
+    Cell* At(size_t slot, std::mutex* mu) {
+      if (slot >= size) Grow(slot, mu);
+      return &cells[slot];
+    }
+
+    void Grow(size_t slot, std::mutex* mu) {
+      size_t new_size = std::max<size_t>(slot + 1, std::max<size_t>(8, size * 2));
+      auto grown = std::make_unique<Cell[]>(new_size);
+      for (size_t i = 0; i < size; ++i) grown[i].CopyFrom(cells[i]);
+      std::lock_guard<std::mutex> lock(*mu);
+      cells = std::move(grown);
+      size = new_size;
+    }
+  };
+
+  struct CounterCell {
+    std::atomic<uint64_t> value{0};
+    void CopyFrom(const CounterCell& other) {
+      value.store(other.value.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    }
+  };
+  struct HistogramCell {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[Histogram::kBuckets] = {};
+    void CopyFrom(const HistogramCell& other) {
+      count.store(other.count.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      sum.store(other.sum.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      max.store(other.max.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        buckets[b].store(other.buckets[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      }
+    }
+  };
+
+  /// Guards the cell arrays (growth and merge), never individual cells.
+  std::mutex mu;
+  SlotArray<CounterCell> counters;
+  SlotArray<CounterCell> gauges;
+  SlotArray<HistogramCell> histograms;
+
+  // Owner-only fast paths. A single-writer atomic needs no RMW: plain
+  // load+store keeps the write a couple of instructions.
+  void AddCounter(size_t slot, uint64_t delta) {
+    auto* cell = counters.At(slot, &mu);
+    cell->value.store(cell->value.load(std::memory_order_relaxed) + delta,
+                      std::memory_order_relaxed);
+  }
+  void MaxGauge(size_t slot, uint64_t value) {
+    auto* cell = gauges.At(slot, &mu);
+    if (value > cell->value.load(std::memory_order_relaxed)) {
+      cell->value.store(value, std::memory_order_relaxed);
+    }
+  }
+  void RecordHistogram(size_t slot, uint64_t value) {
+    auto* cell = histograms.At(slot, &mu);
+    cell->count.store(cell->count.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    cell->sum.store(cell->sum.load(std::memory_order_relaxed) + value,
+                    std::memory_order_relaxed);
+    if (value > cell->max.load(std::memory_order_relaxed)) {
+      cell->max.store(value, std::memory_order_relaxed);
+    }
+    auto& bucket = cell->buckets[BucketOf(value)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  }
+
+  /// Zeroes every cell (used by Reset; caller holds `mu`).
+  void ZeroLocked() {
+    for (size_t i = 0; i < counters.size; ++i) {
+      counters.cells[i].value.store(0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < gauges.size; ++i) {
+      gauges.cells[i].value.store(0, std::memory_order_relaxed);
+    }
+    for (size_t i = 0; i < histograms.size; ++i) {
+      HistogramCell& cell = histograms.cells[i];
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum.store(0, std::memory_order_relaxed);
+      cell.max.store(0, std::memory_order_relaxed);
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        cell.buckets[b].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Accumulates this shard into `out` (caller holds `mu`).
+  void MergeIntoLocked(MetricsRegistry::Totals* out) const {
+    if (out->counters.size() < counters.size) {
+      out->counters.resize(counters.size, 0);
+    }
+    for (size_t i = 0; i < counters.size; ++i) {
+      out->counters[i] += counters.cells[i].value.load(std::memory_order_relaxed);
+    }
+    if (out->gauges.size() < gauges.size) out->gauges.resize(gauges.size, 0);
+    for (size_t i = 0; i < gauges.size; ++i) {
+      out->gauges[i] = std::max(
+          out->gauges[i], gauges.cells[i].value.load(std::memory_order_relaxed));
+    }
+    if (out->histograms.size() < histograms.size) {
+      out->histograms.resize(histograms.size);
+    }
+    for (size_t i = 0; i < histograms.size; ++i) {
+      const HistogramCell& cell = histograms.cells[i];
+      HistogramTotals& total = out->histograms[i];
+      total.count += cell.count.load(std::memory_order_relaxed);
+      total.sum += cell.sum.load(std::memory_order_relaxed);
+      total.max =
+          std::max(total.max, cell.max.load(std::memory_order_relaxed));
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        total.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+namespace {
+
+/// Registries that are still alive, so a thread exiting after a (non
+/// global) registry was destroyed can skip retiring into it. Leaked to
+/// survive static destruction order.
+struct LivenessSet {
+  std::mutex mu;
+  std::vector<MetricsRegistry*> live;
+};
+LivenessSet& Liveness() {
+  static LivenessSet* set = new LivenessSet();
+  return *set;
+}
+
+}  // namespace
+
+/// One thread's shards across every registry it touched. The destructor
+/// runs at thread exit and folds each shard into its registry (when that
+/// registry is still alive).
+struct MetricsRegistry::ShardHandle {
+  struct Entry {
+    MetricsRegistry* registry;
+    std::unique_ptr<Shard> shard;
+  };
+  std::vector<Entry> entries;
+
+  Shard* Find(MetricsRegistry* registry) {
+    for (Entry& entry : entries) {
+      if (entry.registry == registry) return entry.shard.get();
+    }
+    return nullptr;
+  }
+
+  ~ShardHandle() {
+    for (Entry& entry : entries) {
+      LivenessSet& set = Liveness();
+      std::lock_guard<std::mutex> lock(set.mu);
+      bool alive = std::find(set.live.begin(), set.live.end(),
+                             entry.registry) != set.live.end();
+      if (alive) entry.registry->Retire(entry.shard.get());
+    }
+  }
+};
+
+MetricsRegistry::ShardHandle& MetricsRegistry::TlsShards() {
+  thread_local ShardHandle tls_shards;
+  return tls_shards;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::MetricsRegistry() {
+  LivenessSet& set = Liveness();
+  std::lock_guard<std::mutex> lock(set.mu);
+  set.live.push_back(this);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  LivenessSet& set = Liveness();
+  std::lock_guard<std::mutex> lock(set.mu);
+  set.live.erase(std::remove(set.live.begin(), set.live.end(), this),
+                 set.live.end());
+  // Live shards stay owned by their threads; with this registry removed
+  // from the liveness set their exit hooks become no-ops.
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  ShardHandle& handle = TlsShards();
+  Shard* shard = handle.Find(this);
+  if (shard != nullptr) return shard;
+  auto owned = std::make_unique<Shard>();
+  shard = owned.get();
+  handle.entries.push_back({this, std::move(owned)});
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(shard);
+  return shard;
+}
+
+void MetricsRegistry::Retire(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->MergeIntoLocked(&retired_);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counter_slots_.emplace(name, counter_handles_.size());
+  if (inserted) {
+    counter_handles_.emplace_back(new Counter(this, it->second));
+  }
+  return counter_handles_[it->second].get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauge_slots_.emplace(name, gauge_handles_.size());
+  if (inserted) {
+    gauge_handles_.emplace_back(new Gauge(this, it->second));
+  }
+  return gauge_handles_[it->second].get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      histogram_slots_.emplace(name, histogram_handles_.size());
+  if (inserted) {
+    histogram_handles_.emplace_back(new Histogram(this, it->second));
+  }
+  return histogram_handles_[it->second].get();
+}
+
+void Counter::Increment(uint64_t delta) {
+  registry_->LocalShard()->AddCounter(slot_, delta);
+}
+
+void Gauge::RecordMax(uint64_t value) {
+  registry_->LocalShard()->MaxGauge(slot_, value);
+}
+
+void Histogram::Record(uint64_t value) {
+  registry_->LocalShard()->RecordHistogram(slot_, value);
+}
+
+MetricsRegistry::Totals MetricsRegistry::MergeLocked() {
+  Totals totals = retired_;
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->MergeIntoLocked(&totals);
+  }
+  // Slots interned but never touched by any shard still exist: size the
+  // totals to the slot tables so every registered metric reports (as 0).
+  if (totals.counters.size() < counter_slots_.size()) {
+    totals.counters.resize(counter_slots_.size(), 0);
+  }
+  if (totals.gauges.size() < gauge_slots_.size()) {
+    totals.gauges.resize(gauge_slots_.size(), 0);
+  }
+  if (totals.histograms.size() < histogram_slots_.size()) {
+    totals.histograms.resize(histogram_slots_.size());
+  }
+  return totals;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Totals totals = MergeLocked();
+  MetricsSnapshot snapshot;
+  // std::map iteration is name-sorted already.
+  for (const auto& [name, slot] : counter_slots_) {
+    snapshot.counters.push_back({name, totals.counters[slot]});
+  }
+  for (const auto& [name, slot] : gauge_slots_) {
+    snapshot.gauges.push_back({name, totals.gauges[slot]});
+  }
+  for (const auto& [name, slot] : histogram_slots_) {
+    const HistogramTotals& h = totals.histograms[slot];
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = h.count;
+    value.sum = h.sum;
+    value.max = h.max;
+    value.buckets.assign(h.buckets, h.buckets + Histogram::kBuckets);
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_ = Totals();
+  for (Shard* shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->ZeroLocked();
+  }
+}
+
+uint64_t MetricsSnapshot::CounterOf(const std::string& name) const {
+  for (const CounterValue& counter : counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                     JsonEscape(counters[i].name).c_str(),
+                     static_cast<unsigned long long>(counters[i].value));
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                     JsonEscape(gauges[i].name).c_str(),
+                     static_cast<unsigned long long>(gauges[i].value));
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramValue& h = histograms[i];
+    out += StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+        "\"buckets\": [",
+        i == 0 ? "" : ",", JsonEscape(h.name).c_str(),
+        static_cast<unsigned long long>(h.count),
+        static_cast<unsigned long long>(h.sum),
+        static_cast<unsigned long long>(h.max));
+    // Trailing zero buckets are elided; the bucket base (2^i) is implicit.
+    size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (size_t b = 0; b < last; ++b) {
+      out += StrFormat("%s%llu", b == 0 ? "" : ", ",
+                       static_cast<unsigned long long>(h.buckets[b]));
+    }
+    out += "]}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const CounterValue& counter : counters) {
+    out += StrFormat("%s=%llu\n", counter.name.c_str(),
+                     static_cast<unsigned long long>(counter.value));
+  }
+  for (const GaugeValue& gauge : gauges) {
+    out += StrFormat("%s=%llu\n", gauge.name.c_str(),
+                     static_cast<unsigned long long>(gauge.value));
+  }
+  for (const HistogramValue& h : histograms) {
+    out += StrFormat("%s: count=%llu sum=%llu max=%llu\n", h.name.c_str(),
+                     static_cast<unsigned long long>(h.count),
+                     static_cast<unsigned long long>(h.sum),
+                     static_cast<unsigned long long>(h.max));
+  }
+  return out;
+}
+
+}  // namespace lsd

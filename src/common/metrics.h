@@ -1,0 +1,182 @@
+#ifndef LSD_COMMON_METRICS_H_
+#define LSD_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsd {
+
+/// Process-wide registry of counters, gauges, and histograms.
+///
+/// Design rules (see DESIGN.md "Metrics & tracing"):
+///
+///  * Updates go to a thread-local shard — one unsynchronized add per
+///    `Increment`/`Record`, no atomics or locks on the hot path. Shards
+///    register themselves with the registry on first use and fold their
+///    totals into a retired accumulator when their thread exits.
+///  * Merging is deterministic by construction: counters and histogram
+///    buckets are unsigned integers (addition is order-independent) and
+///    gauges merge by max. A pipeline whose *work* is thread-count
+///    invariant therefore reports bit-identical counter values at any
+///    `--threads` setting — the property tests/metrics_test.cpp asserts.
+///  * Handles (`Counter*` etc.) are interned per name and live for the
+///    process lifetime, so call sites look them up once into a static.
+///
+/// Histogram values (timings) are real measurements and naturally vary
+/// run to run; determinism is promised for counters and never for them.
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1);
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, size_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_;
+  size_t slot_;
+};
+
+/// High-water-mark gauge: `RecordMax` keeps the largest value seen.
+class Gauge {
+ public:
+  void RecordMax(uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, size_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_;
+  size_t slot_;
+};
+
+/// Exponentially bucketed histogram of non-negative values (canonically
+/// microseconds). Bucket b counts values in [2^b, 2^(b+1)) with bucket 0
+/// covering [0, 2).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  void Record(uint64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, size_t slot)
+      : registry_(registry), slot_(slot) {}
+  MetricsRegistry* registry_;
+  size_t slot_;
+};
+
+/// A deterministic merge of every shard at one point in time. Entries are
+/// sorted by name within each kind.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    std::vector<uint64_t> buckets;  // kBuckets entries
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Counter value by name; 0 when absent.
+  uint64_t CounterOf(const std::string& name) const;
+
+  /// Machine-readable rendering: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, max, buckets}}}. Stable key order.
+  std::string ToJson() const;
+
+  /// Compact "name=value" lines for reports (histograms render count/sum).
+  std::string ToString() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Handles interned here stay valid forever.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Interns a metric by name. Repeated calls with one name return the
+  /// same handle; a name is bound to a single kind for the process.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Deterministic merge of all live shards plus retired totals.
+  MetricsSnapshot Snapshot();
+
+  /// Zeroes every metric (live shards and retired totals). Handles stay
+  /// valid. Meant for tests and benchmarks that compare runs.
+  void Reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard;
+  struct ShardHandle;
+
+  /// Plain (unsynchronized) totals: the retired accumulator and the merge
+  /// scratch space of Snapshot().
+  struct HistogramTotals {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+    uint64_t buckets[Histogram::kBuckets] = {};
+  };
+  struct Totals {
+    std::vector<uint64_t> counters;
+    std::vector<uint64_t> gauges;
+    std::vector<HistogramTotals> histograms;
+  };
+
+  /// This thread's shard bundle (function-local thread_local).
+  static ShardHandle& TlsShards();
+  /// This thread's shard for this registry (created and registered on
+  /// first use).
+  Shard* LocalShard();
+  /// Folds `shard` into `retired_` and forgets it (thread exit).
+  void Retire(Shard* shard);
+  /// Merges live shards + retired totals under `mu_`.
+  Totals MergeLocked();
+
+  std::mutex mu_;
+  std::map<std::string, size_t> counter_slots_;    // guarded by mu_
+  std::map<std::string, size_t> gauge_slots_;      // guarded by mu_
+  std::map<std::string, size_t> histogram_slots_;  // guarded by mu_
+  std::vector<std::unique_ptr<Counter>> counter_handles_;
+  std::vector<std::unique_ptr<Gauge>> gauge_handles_;
+  std::vector<std::unique_ptr<Histogram>> histogram_handles_;
+  std::vector<Shard*> shards_;  // live per-thread shards; guarded by mu_
+  Totals retired_;              // totals from exited threads; guarded by mu_
+};
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_METRICS_H_

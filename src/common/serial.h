@@ -13,9 +13,11 @@ namespace lsd {
 
 /// Line/field cursor over the text model format used by the persistence
 /// layer (`Serialize`/`Deserialize` on classifiers, `LsdSystem::SaveModel`).
-/// The format is line-oriented with space-separated fields; tokens written
-/// by the library never contain whitespace (the tokenizers guarantee it),
-/// so no quoting is needed.
+/// The format is line-oriented with space-separated fields. Free-form
+/// tokens (vocabulary entries) are written through `EscapeToken`, which
+/// guarantees the field contains no whitespace and is non-empty — lenient-
+/// mode XML can hand the learners element names with embedded whitespace,
+/// so "tokenizers never emit whitespace" does not hold for every producer.
 class LineReader {
  public:
   explicit LineReader(std::string_view text) : text_(text) {}
@@ -71,6 +73,63 @@ class LineReader {
   size_t pos_ = 0;
   size_t line_number_ = 0;
 };
+
+/// Percent-escapes `token` into a single non-empty whitespace-free field:
+/// '%', ASCII whitespace, other control bytes, and DEL become "%XX" (two
+/// uppercase hex digits); everything else (including UTF-8 bytes) passes
+/// through. The empty token encodes as a lone "%", which `EscapeToken`
+/// can never otherwise produce (escapes always carry two hex digits).
+inline std::string EscapeToken(std::string_view token) {
+  if (token.empty()) return "%";
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(token.size());
+  for (char c : token) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    bool needs_escape = c == '%' || byte <= 0x20 || byte == 0x7f;
+    if (needs_escape) {
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Inverse of `EscapeToken`. Rejects malformed escapes so a truncated or
+/// hand-edited model file fails loudly instead of aliasing tokens.
+inline StatusOr<std::string> UnescapeToken(std::string_view field) {
+  if (field == "%") return std::string();
+  auto hex_value = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '%') {
+      out.push_back(field[i]);
+      continue;
+    }
+    if (i + 2 >= field.size()) {
+      return Status::ParseError("bad token escape in field: " +
+                                std::string(field));
+    }
+    int hi = hex_value(field[i + 1]);
+    int lo = hex_value(field[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::ParseError("bad token escape in field: " +
+                                std::string(field));
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
 
 /// Field conversion helpers; all return ParseError with context on failure.
 inline StatusOr<double> FieldToDouble(const std::string& field) {

@@ -101,6 +101,28 @@ std::string ReplaceAll(std::string_view s, std::string_view from,
   return out;
 }
 
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n";  break;
+      case '\r': out += "\\r";  break;
+      case '\t': out += "\\t";  break;
+      default:
+        if (byte < 0x20) {
+          out += StrFormat("\\u%04x", byte);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

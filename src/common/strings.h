@@ -39,6 +39,11 @@ bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
 std::string ReplaceAll(std::string_view s, std::string_view from,
                        std::string_view to);
 
+/// Escapes `s` for use inside a double-quoted JSON string: backslash,
+/// quote, and control characters become their JSON escape sequences;
+/// everything else (including UTF-8 bytes) passes through.
+std::string JsonEscape(std::string_view s);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,11 +1,40 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 
 namespace lsd {
+namespace {
+
+/// Pool-wide metric handles, interned once. Handle pointers are stable for
+/// the process lifetime (the registry is leaked), so caching them here
+/// keeps the per-task cost to one thread-local increment.
+struct PoolMetrics {
+  Counter* tasks_run;
+  Gauge* queue_depth_peak;
+  Histogram* task_micros;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics metrics{
+      MetricsRegistry::Global().GetCounter("pool.tasks_run"),
+      MetricsRegistry::Global().GetGauge("pool.queue_depth_peak"),
+      MetricsRegistry::Global().GetHistogram("pool.task_micros")};
+  return metrics;
+}
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 size_t ResolveThreadCount(size_t requested) {
   // Cap absurd requests (e.g. a negative CLI value wrapped through
@@ -69,7 +98,13 @@ void ThreadPool::RunBatch(Batch* batch) {
       if (FaultInjectionActive()) {
         status = CheckFault(FaultSite::kPoolTask, std::to_string(index));
       }
-      if (status.ok()) status = batch->fn(index);
+      if (status.ok()) {
+        PoolMetrics& metrics = GetPoolMetrics();
+        auto start = std::chrono::steady_clock::now();
+        status = batch->fn(index);
+        metrics.task_micros->Record(ElapsedMicros(start));
+        metrics.tasks_run->Increment();
+      }
     }
     std::lock_guard<std::mutex> lock(batch->mu);
     if (!status.ok()) {
@@ -88,11 +123,16 @@ Status ThreadPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();
   if (workers_.empty() || n == 1) {
+    PoolMetrics& metrics = GetPoolMetrics();
     for (size_t i = 0; i < n; ++i) {
       if (FaultInjectionActive()) {
         LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kPoolTask, std::to_string(i)));
       }
-      LSD_RETURN_IF_ERROR(fn(i));
+      auto start = std::chrono::steady_clock::now();
+      Status status = fn(i);
+      metrics.task_micros->Record(ElapsedMicros(start));
+      metrics.tasks_run->Increment();
+      LSD_RETURN_IF_ERROR(status);
     }
     return Status::OK();
   }
@@ -100,6 +140,7 @@ Status ThreadPool::ParallelFor(size_t n,
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(batch);
+    GetPoolMetrics().queue_depth_peak->RecordMax(queue_.size());
   }
   work_cv_.notify_all();
   // The calling thread works its own batch, so completion never depends

@@ -1,0 +1,200 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/file_util.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Recorders that are still alive (mirrors the metrics registry's
+/// liveness scheme; leaked to dodge static destruction order).
+struct LivenessSet {
+  std::mutex mu;
+  std::vector<TraceRecorder*> live;
+};
+LivenessSet& Liveness() {
+  static LivenessSet* set = new LivenessSet();
+  return *set;
+}
+
+}  // namespace
+
+/// Per-thread event storage. `mu` is held for every append and for the
+/// merge — appends happen a handful of times per pipeline phase, so the
+/// uncontended lock is noise next to the two clock reads.
+struct TraceRecorder::Buffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // guarded by mu
+  uint32_t tid = 0;
+};
+
+struct TraceRecorder::BufferHandle {
+  struct Entry {
+    TraceRecorder* recorder;
+    std::unique_ptr<Buffer> buffer;
+  };
+  std::vector<Entry> entries;
+
+  Buffer* Find(TraceRecorder* recorder) {
+    for (Entry& entry : entries) {
+      if (entry.recorder == recorder) return entry.buffer.get();
+    }
+    return nullptr;
+  }
+
+  ~BufferHandle() {
+    for (Entry& entry : entries) {
+      LivenessSet& set = Liveness();
+      std::lock_guard<std::mutex> lock(set.mu);
+      bool alive = std::find(set.live.begin(), set.live.end(),
+                             entry.recorder) != set.live.end();
+      if (alive) entry.recorder->Retire(entry.buffer.get());
+    }
+  }
+};
+
+TraceRecorder::BufferHandle& TraceRecorder::TlsBuffers() {
+  thread_local BufferHandle tls_buffers;
+  return tls_buffers;
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder() {
+  LivenessSet& set = Liveness();
+  std::lock_guard<std::mutex> lock(set.mu);
+  set.live.push_back(this);
+}
+
+TraceRecorder::~TraceRecorder() {
+  LivenessSet& set = Liveness();
+  std::lock_guard<std::mutex> lock(set.mu);
+  set.live.erase(std::remove(set.live.begin(), set.live.end(), this),
+                 set.live.end());
+}
+
+void TraceRecorder::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  retired_.clear();
+  for (Buffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  epoch_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  int64_t delta =
+      MonotonicNanos() - epoch_ns_.load(std::memory_order_relaxed);
+  return delta <= 0 ? 0 : static_cast<uint64_t>(delta) / 1000;
+}
+
+TraceRecorder::Buffer* TraceRecorder::LocalBuffer() {
+  BufferHandle& handle = TlsBuffers();
+  Buffer* buffer = handle.Find(this);
+  if (buffer != nullptr) return buffer;
+  auto owned = std::make_unique<Buffer>();
+  buffer = owned.get();
+  handle.entries.push_back({this, std::move(owned)});
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->tid = next_tid_++;
+  buffers_.push_back(buffer);
+  return buffer;
+}
+
+void TraceRecorder::Retire(Buffer* buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (TraceEvent& event : buffer->events) {
+      retired_.push_back(std::move(event));
+    }
+    buffer->events.clear();
+  }
+  buffers_.erase(std::remove(buffers_.begin(), buffers_.end(), buffer),
+                 buffers_.end());
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events = retired_;
+  for (Buffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.begin_us != b.begin_us) {
+                       return a.begin_us < b.begin_us;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeJson() {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out += StrFormat(
+        "%s\n  {\"name\": \"%s\", \"cat\": \"lsd\", \"ph\": \"X\", "
+        "\"pid\": 1, \"tid\": %u, \"ts\": %llu, \"dur\": %llu}",
+        i == 0 ? "" : ",", JsonEscape(event.name).c_str(), event.tid,
+        static_cast<unsigned long long>(event.begin_us),
+        static_cast<unsigned long long>(event.duration_us));
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) {
+  return WriteStringToFile(path, ToChromeJson());
+}
+
+TraceSpan::TraceSpan(const char* name, TraceRecorder& recorder)
+    : recorder_(&recorder), active_(recorder.enabled()) {
+  if (!active_) return;
+  name_ = name;
+  begin_us_ = recorder_->NowMicros();
+}
+
+TraceSpan::TraceSpan(const char* name, const std::string& detail,
+                     TraceRecorder& recorder)
+    : recorder_(&recorder), active_(recorder.enabled()) {
+  if (!active_) return;
+  name_ = std::string(name) + "(" + detail + ")";
+  begin_us_ = recorder_->NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  uint64_t end_us = recorder_->NowMicros();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.begin_us = begin_us_;
+  event.duration_us = end_us < begin_us_ ? 0 : end_us - begin_us_;
+  TraceRecorder::Buffer* buffer = recorder_->LocalBuffer();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+}  // namespace lsd

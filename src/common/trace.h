@@ -1,0 +1,110 @@
+#ifndef LSD_COMMON_TRACE_H_
+#define LSD_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// One completed span: a named interval on one thread.
+struct TraceEvent {
+  std::string name;
+  /// Microseconds since the recorder was started.
+  uint64_t begin_us = 0;
+  uint64_t duration_us = 0;
+  /// Small stable id assigned per thread in first-trace order.
+  uint32_t tid = 0;
+};
+
+/// Process-wide span recorder, off by default. When off, a `TraceSpan`
+/// costs a single relaxed atomic load; when on, each span reads the clock
+/// twice and appends one event to a per-thread buffer (its mutex is only
+/// ever contended by the final merge). `ToChromeJson` renders the Chrome
+/// `trace_event` format — load the file at chrome://tracing or
+/// https://ui.perfetto.dev.
+///
+/// Span naming convention (DESIGN.md "Metrics & tracing"): lowercase
+/// phase path segments joined with '/', with the dynamic operand (learner
+/// name, tag) appended in parentheses — e.g. "train/learner(whirl)",
+/// "cv/fold", "astar/search".
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Clears any previous events and starts recording; the epoch for
+  /// `TraceEvent::begin_us` is this call.
+  void Start();
+  /// Stops recording; buffered events stay available for rendering.
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// All completed spans, merged across threads and sorted by begin time
+  /// (ties by tid). Safe to call while recording (a snapshot).
+  std::vector<TraceEvent> Events();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ToChromeJson();
+
+  /// Renders `ToChromeJson` to `path`.
+  Status WriteChromeJson(const std::string& path);
+
+ private:
+  friend class TraceSpan;
+
+  struct Buffer;
+  struct BufferHandle;
+
+  static BufferHandle& TlsBuffers();
+  /// This thread's event buffer for this recorder.
+  Buffer* LocalBuffer();
+  /// Moves an exiting thread's events into `retired_`.
+  void Retire(Buffer* buffer);
+  /// Microseconds since Start().
+  uint64_t NowMicros() const;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> epoch_ns_{0};
+
+  std::mutex mu_;
+  std::vector<Buffer*> buffers_;      // live per-thread buffers
+  std::vector<TraceEvent> retired_;   // events from exited threads
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into the recorder when
+/// recording is on. Construct with a literal phase name; use the
+/// two-argument form when a dynamic operand is worth the string build.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     TraceRecorder& recorder = TraceRecorder::Global());
+  /// Renders as "name(detail)". `detail` is only evaluated by the caller;
+  /// prefer `recorder.enabled()` guards around expensive detail strings.
+  TraceSpan(const char* name, const std::string& detail,
+            TraceRecorder& recorder = TraceRecorder::Global());
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  bool active_;
+  uint64_t begin_us_ = 0;
+  std::string name_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_TRACE_H_

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <queue>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace lsd {
 namespace {
 
@@ -43,6 +46,7 @@ StatusOr<SearchResult> AStarSearcher::Search(
     const std::vector<Prediction>& predictions, const ConstraintSet& constraints,
     const LabelSpace& labels, const ConstraintContext& context,
     const Deadline& deadline) const {
+  TraceSpan span("astar/search");
   const size_t n_tags = context.tags().size();
   if (predictions.size() != n_tags) {
     return Status::InvalidArgument("AStarSearcher: one prediction per tag required");
@@ -129,12 +133,28 @@ StatusOr<SearchResult> AStarSearcher::Search(
     heuristic[i] = heuristic[i + 1] + best_label_cost[order[i]];
   }
 
+  // Search-shape counters. Each Search call is single-threaded and the
+  // inputs are fixed before it starts, so these are deterministic for a
+  // given match run regardless of how calls are spread across the pool.
+  size_t pruned = 0;
+  size_t frontier_peak = 0;
+  auto flush_metrics = [&](size_t expanded, bool greedy, bool deadline_hit) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("astar.searches")->Increment();
+    registry.GetCounter("astar.expanded")->Increment(expanded);
+    registry.GetCounter("astar.pruned")->Increment(pruned);
+    registry.GetGauge("astar.frontier_peak")->RecordMax(frontier_peak);
+    if (greedy) registry.GetCounter("astar.greedy_fallbacks")->Increment();
+    if (deadline_hit) registry.GetCounter("astar.deadline_hits")->Increment();
+  };
+
   // Constraint-respecting greedy completion, used when A* exhausts its
   // expansion budget or no feasible completion exists: assign tags in
   // search order, picking each tag's cheapest candidate that keeps the
   // partial assignment feasible; when no candidate is feasible, prefer
   // OTHER (it participates in no hard constraints), else the argmax.
   auto greedy_fallback = [&](size_t expanded, bool deadline_hit) {
+    flush_metrics(expanded, /*greedy=*/true, deadline_hit);
     SearchResult result;
     result.deadline_hit = deadline_hit;
     result.assignment = Assignment(n_tags);
@@ -185,12 +205,14 @@ StatusOr<SearchResult> AStarSearcher::Search(
   root.g = root.soft_cost;
   root.f = root.g + heuristic[0];
   open.push(std::move(root));
+  frontier_peak = open.size();
 
   size_t expanded = 0;
   while (!open.empty()) {
     Node node = open.top();
     open.pop();
     if (node.level == n_tags) {
+      flush_metrics(expanded, /*greedy=*/false, /*deadline_hit=*/false);
       SearchResult result;
       result.assignment = std::move(node.assignment);
       result.cost = node.g;
@@ -236,12 +258,16 @@ StatusOr<SearchResult> AStarSearcher::Search(
           if (!feasible) break;
         }
       }
-      if (!feasible) continue;
+      if (!feasible) {
+        ++pruned;
+        continue;
+      }
       child.prob_cost = node.prob_cost + label_cost(tag, label);
       child.soft_cost = node.soft_cost + soft_delta;
       child.g = child.prob_cost + child.soft_cost;
       child.f = child.g + heuristic[child.level];
       open.push(std::move(child));
+      frontier_peak = std::max(frontier_peak, open.size());
     }
   }
   // Every completion violated a hard constraint: fall back to greedy.

@@ -1,12 +1,15 @@
 #include "core/lsd_system.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/serial.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "learners/content_matcher.h"
 #include "learners/county_recognizer.h"
 #include "learners/format_learner.h"
@@ -14,6 +17,16 @@
 #include "learners/naive_bayes_learner.h"
 
 namespace lsd {
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 LsdSystem::LsdSystem(Dtd mediated_schema, LsdConfig config,
                      const SynonymDictionary* synonyms)
@@ -131,6 +144,10 @@ Status LsdSystem::Train(const Deadline& deadline) {
   if (training_examples_.empty()) {
     return Status::FailedPrecondition("Train: no training sources added");
   }
+  TraceSpan train_span("train/system");
+  MetricsRegistry::Global()
+      .GetCounter("train.examples")
+      ->Increment(training_examples_.size());
   // Gold labels drive the XML learner's structure tokens during training.
   node_labeler_.Clear();
   for (const auto& [tag, label] : gold_node_labels_) {
@@ -166,6 +183,8 @@ Status LsdSystem::Train(const Deadline& deadline) {
   std::vector<Status> outcomes(learners_.size(), Status::OK());
   LSD_RETURN_IF_ERROR(pool_.ParallelFor(
       learners_.size(), [&](size_t l) -> Status {
+        TraceSpan span("train/learner", learners_[l]->name());
+        auto start = std::chrono::steady_clock::now();
         outcomes[l] = [&]() -> Status {
           if (deadline.expired()) {
             return Status::DeadlineExceeded(
@@ -182,6 +201,9 @@ Status LsdSystem::Train(const Deadline& deadline) {
                                        labels_, cv_options));
           return learners_[l]->Train(training_examples_, labels_);
         }();
+        MetricsRegistry::Global()
+            .GetHistogram("train.micros." + learners_[l]->name())
+            ->Record(ElapsedMicros(start));
         return Status::OK();
       }));
 
@@ -196,6 +218,7 @@ Status LsdSystem::Train(const Deadline& deadline) {
     train_report_.Quarantine(learners_[l]->name(), "train", outcomes[l]);
     if (outcomes[l].code() == StatusCode::kDeadlineExceeded) {
       train_report_.deadline_hit = true;
+      MetricsRegistry::Global().GetCounter("deadline.train_hits")->Increment();
     }
   }
   if (survivors == 0) {
@@ -271,6 +294,7 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
   if (!trained_) {
     return Status::FailedPrecondition("PredictSource: call Train() first");
   }
+  TraceSpan predict_span("predict/source", source.name);
   SourcePredictions out;
   out.learner_healthy = train_healthy_;
   out.report = train_report_;
@@ -326,12 +350,18 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
       pair_outcomes[k] = std::move(fault);
       return Status::OK();
     }
+    TraceSpan span("predict/learner", learners_[l]->name());
+    auto start = std::chrono::steady_clock::now();
     const Column& column = out.columns[t];
     auto& bucket = out.predictions[t][l];
     bucket.reserve(column.instances.size());
     for (const Instance& instance : column.instances) {
       bucket.push_back(learners_[l]->Predict(instance));
     }
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetHistogram("predict.micros." + learners_[l]->name())
+        ->Record(ElapsedMicros(start));
+    registry.GetCounter("predict.instances")->Increment(column.instances.size());
     return Status::OK();
   }));
   for (size_t k = 0; k < pass1.size(); ++k) {
@@ -346,6 +376,7 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
   if (xml_healthy && deadline.expired()) {
     out.learner_healthy[static_cast<size_t>(xml_index)] = false;
     out.report.deadline_hit = true;
+    MetricsRegistry::Global().GetCounter("deadline.predict_hits")->Increment();
     out.report.notes.push_back(
         "deadline expired before the XML-learner refinement pass; matched "
         "without the XML learner");
@@ -402,11 +433,18 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
         xml_outcomes[t] = std::move(fault);
         return Status::OK();
       }
+      TraceSpan span("predict/learner", xml_learner->name());
+      auto start = std::chrono::steady_clock::now();
       auto& bucket = out.predictions[t][static_cast<size_t>(xml_index)];
       bucket.reserve(out.columns[t].instances.size());
       for (const Instance& instance : out.columns[t].instances) {
         bucket.push_back(xml_learner->Predict(instance));
       }
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      registry.GetHistogram("predict.micros." + xml_learner->name())
+          ->Record(ElapsedMicros(start));
+      registry.GetCounter("predict.instances")
+          ->Increment(out.columns[t].instances.size());
       return Status::OK();
     }));
     for (size_t t = 0; t < n_tags; ++t) {
@@ -444,6 +482,7 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
   if (!trained_) {
     return Status::FailedPrecondition("MatchWithPredictions: call Train() first");
   }
+  TraceSpan match_span("match/source", source.name);
   LSD_ASSIGN_OR_RETURN(std::vector<bool> mask,
                        ResolveLearnerMask(options.learners));
   MatchResult result;
@@ -555,6 +594,7 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
     result.search_truncated = handled.truncated;
     if (handled.deadline_hit) {
       result.report.deadline_hit = true;
+      MetricsRegistry::Global().GetCounter("deadline.search_hits")->Increment();
       result.report.notes.push_back(
           "constraint-search deadline expired; mapping is the greedy "
           "anytime completion");
@@ -564,6 +604,10 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
         result.mapping,
         ArgmaxMapping(result.tag_predictions, labels_, context));
   }
+  // Snapshot after the last pipeline stage so the report carries every
+  // counter this run touched (plus whatever earlier runs accumulated —
+  // the registry is process-wide).
+  result.report.metrics = MetricsRegistry::Global().Snapshot();
   return result;
 }
 

@@ -19,6 +19,9 @@ void RunReport::Quarantine(const std::string& learner, const std::string& stage,
   incident.stage = stage;
   incident.error = status.ToString();
   incidents.push_back(std::move(incident));
+  // Deduped above, so this counts quarantined (learner, stage) pairs, not
+  // raw failures; `stage` is "train" or "predict".
+  MetricsRegistry::Global().GetCounter("quarantine." + stage)->Increment();
 }
 
 std::string RunReport::ToString() const {
@@ -32,6 +35,12 @@ std::string RunReport::ToString() const {
     out += "  note: " + note + "\n";
   }
   if (deadline_hit) out += "  deadline: expired (anytime fallback used)\n";
+  if (!metrics.empty()) {
+    out += "  metrics: " + std::to_string(metrics.counters.size()) +
+           " counters, " + std::to_string(metrics.gauges.size()) +
+           " gauges, " + std::to_string(metrics.histograms.size()) +
+           " histograms (see --metrics-out)\n";
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace lsd {
@@ -30,6 +31,9 @@ struct RunReport {
   /// True when a deadline expired somewhere in the run and an anytime
   /// fallback was substituted.
   bool deadline_hit = false;
+  /// Registry snapshot taken when the run finished (timings, search and
+  /// parse counters). Purely informational: never affects degraded().
+  MetricsSnapshot metrics;
 
   bool degraded() const {
     return !incidents.empty() || !notes.empty() || deadline_hit;

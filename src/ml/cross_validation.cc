@@ -4,8 +4,10 @@
 #include <map>
 #include <numeric>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace lsd {
 
@@ -66,6 +68,7 @@ StatusOr<std::vector<Prediction>> CrossValidatePredictions(
   // indices of `out`, so folds can run concurrently without changing any
   // result: the partition is fixed by `assignment` before training starts.
   auto run_fold = [&](size_t fold) -> Status {
+    TraceSpan span("cv/fold");
     std::vector<TrainingExample> train_split;
     std::vector<size_t> held_out;
     for (size_t i = 0; i < examples.size(); ++i) {
@@ -82,6 +85,10 @@ StatusOr<std::vector<Prediction>> CrossValidatePredictions(
     for (size_t index : held_out) {
       out[index] = model->Predict(examples[index].instance);
     }
+    MetricsRegistry::Global().GetCounter("cv.folds_trained")->Increment();
+    MetricsRegistry::Global()
+        .GetCounter("cv.held_out_predictions")
+        ->Increment(held_out.size());
     return Status::OK();
   };
   if (options.pool != nullptr) {

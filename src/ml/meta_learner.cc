@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "common/linalg.h"
+#include "common/metrics.h"
 #include "common/serial.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace lsd {
 
@@ -32,6 +34,7 @@ Status MetaLearner::Train(
     }
   }
 
+  TraceSpan span("meta/train");
   weights_.assign(n_labels, std::vector<double>(n_learners, 0.0));
   LeastSquaresOptions ls_options;
   ls_options.ridge = options.ridge;
@@ -71,6 +74,7 @@ Status MetaLearner::Train(
       // Degenerate label (e.g. never appears, collinear columns even after
       // ridge): fall back to equal weights rather than failing training.
       weights_[c].assign(n_learners, 1.0 / static_cast<double>(n_learners));
+      MetricsRegistry::Global().GetCounter("meta.fallback_labels")->Increment();
     }
     if (options.normalize_per_label) {
       double total = 0.0;
@@ -89,6 +93,7 @@ Status MetaLearner::Train(
   }
   learner_count_ = n_learners;
   trained_ = true;
+  MetricsRegistry::Global().GetCounter("meta.trainings")->Increment();
   return Status::OK();
 }
 
@@ -113,6 +118,7 @@ StatusOr<Prediction> MetaLearner::Combine(
     out.scores[c] = score;
   }
   out.Normalize();
+  MetricsRegistry::Global().GetCounter("meta.combines")->Increment();
   return out;
 }
 

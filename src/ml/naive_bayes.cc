@@ -104,7 +104,10 @@ Prediction NaiveBayesClassifier::Predict(
 }
 
 std::string NaiveBayesClassifier::Serialize() const {
-  std::string out = StrFormat("nb 1 %.17g %zu %zu\n", alpha_, n_labels_,
+  // Format version 2: token fields are EscapeToken-encoded so vocabulary
+  // entries containing whitespace (possible via lenient-mode XML names)
+  // survive the line-oriented format. Version-1 files still load.
+  std::string out = StrFormat("nb 2 %.17g %zu %zu\n", alpha_, n_labels_,
                               token_index_.size());
   out += "priors";
   for (double p : log_priors_) out += StrFormat(" %.17g", p);
@@ -117,7 +120,7 @@ std::string NaiveBayesClassifier::Serialize() const {
     tokens[static_cast<size_t>(id)] = &token;
   }
   for (const std::string* token : tokens) {
-    out += "token " + *token + "\n";
+    out += "token " + EscapeToken(*token) + "\n";
   }
   // Sparse per-label counts.
   for (size_t c = 0; c < n_labels_; ++c) {
@@ -140,7 +143,12 @@ StatusOr<NaiveBayesClassifier> NaiveBayesClassifier::Deserialize(
   LineReader reader(text);
   LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
                        reader.Expect("nb", 5));
-  if (header[1] != "1") return Status::ParseError("nb: unknown version");
+  // Version 1 wrote tokens verbatim (legal only for whitespace-free
+  // vocabularies); version 2 escapes them.
+  bool escaped_tokens = header[1] == "2";
+  if (header[1] != "1" && header[1] != "2") {
+    return Status::ParseError("nb: unknown version");
+  }
   NaiveBayesClassifier out;
   LSD_ASSIGN_OR_RETURN(out.alpha_, FieldToDouble(header[2]));
   LSD_ASSIGN_OR_RETURN(out.n_labels_, FieldToSize(header[3]));
@@ -159,9 +167,20 @@ StatusOr<NaiveBayesClassifier> NaiveBayesClassifier::Deserialize(
     out.label_token_totals_.push_back(t);
   }
   for (size_t id = 0; id < vocab; ++id) {
-    LSD_ASSIGN_OR_RETURN(std::vector<std::string> token,
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                          reader.Expect("token", 2));
-    out.token_index_.emplace(token[1], static_cast<int>(id));
+    std::string token = fields[1];
+    if (escaped_tokens) {
+      LSD_ASSIGN_OR_RETURN(token, UnescapeToken(token));
+    }
+    // A duplicate would leave every later count id pointing at the wrong
+    // token (emplace keeps the first id) — corrupt input, not a model.
+    bool inserted =
+        out.token_index_.emplace(std::move(token), static_cast<int>(id)).second;
+    if (!inserted) {
+      return Status::ParseError("nb: duplicate vocabulary token: " +
+                                fields[1]);
+    }
   }
   out.token_counts_.assign(out.n_labels_, {});
   for (size_t c = 0; c < out.n_labels_; ++c) {

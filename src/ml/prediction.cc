@@ -1,6 +1,7 @@
 #include "ml/prediction.h"
 
 #include "common/linalg.h"
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace lsd {
@@ -32,6 +33,10 @@ Prediction Prediction::Uniform(size_t n_labels) {
 }
 
 Prediction Prediction::PointMass(size_t n_labels, int label) {
+  // Callers routinely feed LabelSpace::IndexOf results here; that returns
+  // -1 for unknown labels, which would index out of bounds. Fail loudly
+  // instead of corrupting memory.
+  LSD_CHECK(label >= 0 && static_cast<size_t>(label) < n_labels);
   Prediction p(n_labels);
   p.scores[static_cast<size_t>(label)] = 1.0;
   return p;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
+
 namespace lsd {
 
 StatusOr<Prediction> PredictionConverter::Convert(
@@ -46,6 +48,10 @@ StatusOr<Prediction> PredictionConverter::Convert(
     }
   }
   out.Normalize();
+  MetricsRegistry::Global().GetCounter("converter.conversions")->Increment();
+  MetricsRegistry::Global()
+      .GetCounter("converter.instances")
+      ->Increment(instance_predictions.size());
   return out;
 }
 

@@ -118,7 +118,9 @@ Prediction WhirlClassifier::Predict(
 
 
 std::string WhirlClassifier::Serialize() const {
-  std::string out = StrFormat("whirl 1 %zu %.17g %zu %zu\n", options_.k,
+  // Version 2 marks the framed tfidf block as the escaped-token format;
+  // whirl's own lines carry only numbers. Version-1 files still load.
+  std::string out = StrFormat("whirl 2 %zu %.17g %zu %zu\n", options_.k,
                               options_.min_similarity, n_labels_,
                               examples_.size());
   std::string tfidf = tfidf_.Serialize();
@@ -138,7 +140,9 @@ StatusOr<WhirlClassifier> WhirlClassifier::Deserialize(std::string_view text) {
   LineReader reader(text);
   LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
                        reader.Expect("whirl", 6));
-  if (header[1] != "1") return Status::ParseError("whirl: unknown version");
+  if (header[1] != "1" && header[1] != "2") {
+    return Status::ParseError("whirl: unknown version");
+  }
   WhirlClassifier out;
   LSD_ASSIGN_OR_RETURN(out.options_.k, FieldToSize(header[2]));
   LSD_ASSIGN_OR_RETURN(out.options_.min_similarity, FieldToDouble(header[3]));

@@ -125,10 +125,14 @@ SparseVector TfIdfModel::Vectorize(
 
 std::string TfIdfModel::Serialize() const {
   LSD_CHECK(finalized_);
+  // Format version 2: tokens are EscapeToken-encoded (vocabulary entries
+  // can carry whitespace via lenient-mode XML names). Version-1 files
+  // still load.
   std::string out =
-      StrFormat("tfidf 1 %zu %zu\n", document_count_, vocab_.size());
+      StrFormat("tfidf 2 %zu %zu\n", document_count_, vocab_.size());
   for (size_t id = 0; id < vocab_.size(); ++id) {
-    out += StrFormat("t %s %zu\n", vocab_.TokenOf(static_cast<int>(id)).c_str(),
+    out += StrFormat("t %s %zu\n",
+                     EscapeToken(vocab_.TokenOf(static_cast<int>(id))).c_str(),
                      document_frequency_[id]);
   }
   return out;
@@ -138,14 +142,21 @@ StatusOr<TfIdfModel> TfIdfModel::Deserialize(std::string_view text) {
   LineReader reader(text);
   LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
                        reader.Expect("tfidf", 4));
-  if (header[1] != "1") return Status::ParseError("tfidf: unknown version");
+  bool escaped_tokens = header[1] == "2";
+  if (header[1] != "1" && header[1] != "2") {
+    return Status::ParseError("tfidf: unknown version");
+  }
   TfIdfModel out;
   LSD_ASSIGN_OR_RETURN(out.document_count_, FieldToSize(header[2]));
   LSD_ASSIGN_OR_RETURN(size_t vocab, FieldToSize(header[3]));
   for (size_t id = 0; id < vocab; ++id) {
     LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
                          reader.Expect("t", 3));
-    int assigned = out.vocab_.GetOrAdd(fields[1]);
+    std::string token = fields[1];
+    if (escaped_tokens) {
+      LSD_ASSIGN_OR_RETURN(token, UnescapeToken(token));
+    }
+    int assigned = out.vocab_.GetOrAdd(token);
     if (assigned != static_cast<int>(id)) {
       return Status::ParseError("tfidf: duplicate token " + fields[1]);
     }

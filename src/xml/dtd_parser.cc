@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace lsd {
@@ -312,7 +313,15 @@ class DtdParser {
 StatusOr<Dtd> ParseDtd(std::string_view input, const ParseLimits& limits) {
   LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kDtdParse, input.substr(0, 64)));
   DtdParser parser(input, limits, /*lenient=*/false, nullptr);
-  return parser.ParseAll();
+  StatusOr<Dtd> dtd = parser.ParseAll();
+  if (dtd.ok()) {
+    // A strict parse that succeeded recovered nothing by definition;
+    // intern the counters anyway so every run's snapshot carries them.
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("dtd.parse.recovered");
+    registry.GetCounter("dtd.parse.skipped_declarations");
+  }
+  return dtd;
 }
 
 StatusOr<DtdParseReport> ParseDtdLenient(std::string_view input,
@@ -321,6 +330,13 @@ StatusOr<DtdParseReport> ParseDtdLenient(std::string_view input,
   DtdParseReport report;
   DtdParser parser(input, limits, /*lenient=*/true, &report);
   LSD_ASSIGN_OR_RETURN(report.dtd, parser.ParseAll());
+  // Intern the counters even for clean parses so a metrics snapshot of a
+  // lenient run always carries them (zero means "nothing recovered").
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("dtd.parse.recovered")
+      ->Increment(report.diagnostics.size());
+  registry.GetCounter("dtd.parse.skipped_declarations")
+      ->Increment(report.skipped_declarations);
   return report;
 }
 

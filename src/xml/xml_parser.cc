@@ -4,19 +4,20 @@
 #include <string>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace lsd {
 namespace {
 
 bool IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  // Digits lead names here, unlike spec XML: the DTD parser accepts them
+  // anywhere in a name and scraped schemas use tags like <3d-tour>, so
+  // rejecting them would make our own writer's output unreadable.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
 }
 
-bool IsNameChar(char c) {
-  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-         c == '-' || c == '.';
-}
+bool IsNameChar(char c) { return IsNameStartChar(c) || c == '-' || c == '.'; }
 
 /// Lenient mode stops recording diagnostics (and fails hard) past this
 /// many problems: a document this broken is noise, and the cap bounds the
@@ -389,6 +390,11 @@ StatusOr<XmlDocument> ParseXml(std::string_view input,
   LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kXmlParse, input.substr(0, 64)));
   Parser parser(input, limits, /*lenient=*/false, nullptr);
   LSD_ASSIGN_OR_RETURN(XmlNode root, parser.ParseDocumentRoot());
+  // A strict parse that succeeded recovered nothing by definition; intern
+  // the counters anyway so every run's snapshot carries them.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("xml.parse.recovered");
+  registry.GetCounter("xml.parse.skipped_elements");
   return XmlDocument(std::move(root));
 }
 
@@ -406,6 +412,13 @@ StatusOr<XmlParseReport> ParseXmlLenient(std::string_view input,
   Parser parser(input, limits, /*lenient=*/true, &report);
   LSD_ASSIGN_OR_RETURN(XmlNode root, parser.ParseDocumentRoot());
   report.document = XmlDocument(std::move(root));
+  // Intern the counters even for clean parses so a metrics snapshot of a
+  // lenient run always carries them (zero means "nothing recovered").
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("xml.parse.recovered")
+      ->Increment(report.diagnostics.size());
+  registry.GetCounter("xml.parse.skipped_elements")
+      ->Increment(report.skipped_elements);
   return report;
 }
 

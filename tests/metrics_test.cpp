@@ -1,0 +1,351 @@
+// Tests for the observability layer: MetricsRegistry semantics, the
+// shard-merge determinism contract (counter values bit-identical for any
+// thread count), and the trace recorder.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+// The registry is process-global; every test starts from zero.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.counter");
+  counter->Increment();
+  counter->Increment(41);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.counter"), 42u);
+}
+
+TEST_F(MetricsTest, HandleInterningIsStable) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.same");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MetricsRegistry::Global().GetCounter("test.other"));
+}
+
+TEST_F(MetricsTest, GaugeKeepsMaximum) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge("test.gauge");
+  gauge->RecordMax(7);
+  gauge->RecordMax(3);
+  gauge->RecordMax(11);
+  gauge->RecordMax(2);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name != "test.gauge") continue;
+    found = true;
+    EXPECT_EQ(gauge.value, 11u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, HistogramCountsSumsAndBuckets) {
+  Histogram* histogram = MetricsRegistry::Global().GetHistogram("test.histo");
+  histogram->Record(0);
+  histogram->Record(1);
+  histogram->Record(1000);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.histo") continue;
+    found = true;
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_EQ(h.sum, 1001u);
+    EXPECT_EQ(h.max, 1000u);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, 3u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, UntouchedMetricReportsZero) {
+  MetricsRegistry::Global().GetCounter("test.interned_only");
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.interned_only"), 0u);
+  // The name is present in the snapshot even though never incremented.
+  bool found = false;
+  for (const auto& counter : snapshot.counters) {
+    found = found || counter.name == "test.interned_only";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry::Global().GetCounter("test.zebra");
+  MetricsRegistry::Global().GetCounter("test.alpha");
+  MetricsRegistry::Global().GetCounter("test.middle");
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsNames) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.reset");
+  counter->Increment(5);
+  MetricsRegistry::Global().Reset();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.reset"), 0u);
+  // The handle survives the reset and keeps working.
+  counter->Increment(2);
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterOf("test.reset"), 2u);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.mt");
+  Histogram* histogram =
+      MetricsRegistry::Global().GetHistogram("test.mt_histo");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        histogram->Record(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.CounterOf("test.mt"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Interned names survive Reset(), so find ours by name rather than
+  // assuming it is the only histogram.
+  bool found = false;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name != "test.mt_histo") continue;
+    found = true;
+    EXPECT_EQ(h.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MetricsTest, SnapshotWhileWritersRun) {
+  Counter* counter = MetricsRegistry::Global().GetCounter("test.racing");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) counter->Increment();
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t now = MetricsRegistry::Global().Snapshot().CounterOf("test.racing");
+    EXPECT_GE(now, last);  // monotone under concurrent writes
+    last = now;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST_F(MetricsTest, ToJsonEmitsAllSections) {
+  MetricsRegistry::Global().GetCounter("test.c")->Increment(3);
+  MetricsRegistry::Global().GetGauge("test.g")->RecordMax(9);
+  MetricsRegistry::Global().GetHistogram("test.h")->Record(4);
+  std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.c\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.g\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.h\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, PoolCountersMatchWorkAcrossThreadCounts) {
+  // Same batch shape on pools of different sizes: identical task counts.
+  std::vector<uint64_t> counts;
+  for (size_t threads : {1u, 2u, 4u}) {
+    MetricsRegistry::Global().Reset();
+    ThreadPool pool(threads);
+    std::atomic<int> sink{0};
+    ASSERT_TRUE(pool.ParallelFor(37, [&](size_t) -> Status {
+                      sink.fetch_add(1);
+                      return Status::OK();
+                    }).ok());
+    counts.push_back(
+        MetricsRegistry::Global().Snapshot().CounterOf("pool.tasks_run"));
+  }
+  EXPECT_EQ(counts[0], 37u);
+  EXPECT_EQ(counts[1], 37u);
+  EXPECT_EQ(counts[2], 37u);
+}
+
+// The tentpole contract: run the full train+match pipeline at 1/2/4/8
+// threads and require every counter (name and value) to be bit-identical.
+// Gauges and histograms are deliberately outside the contract — high-water
+// marks depend on scheduling and timings on the clock.
+TEST_F(MetricsTest, PipelineCountersAreThreadCountInvariant) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/4,
+                                     /*listings_per_source=*/12, /*seed=*/3);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+
+  auto run = [&](size_t threads) -> std::string {
+    MetricsRegistry::Global().Reset();
+    LsdConfig config;
+    config.num_threads = threads;
+    LsdSystem system(domain->mediated, config);
+    for (auto& constraint : MakeDomainConstraints(*domain)) {
+      system.AddConstraint(std::move(constraint));
+    }
+    for (size_t s = 0; s + 1 < domain->sources.size(); ++s) {
+      LSD_CHECK_OK(system.AddTrainingSource(domain->sources[s].source,
+                                            domain->sources[s].gold));
+    }
+    LSD_CHECK_OK(system.Train());
+    auto match = system.MatchSource(domain->sources.back().source);
+    LSD_CHECK_OK(match.status());
+    std::string counters;
+    for (const auto& counter :
+         MetricsRegistry::Global().Snapshot().counters) {
+      counters += counter.name + "=" + std::to_string(counter.value) + "\n";
+    }
+    return counters;
+  };
+
+  std::string serial = run(1);
+  EXPECT_NE(serial.find("cv.folds_trained"), std::string::npos);
+  EXPECT_NE(serial.find("train.examples"), std::string::npos);
+  EXPECT_NE(serial.find("astar.expanded"), std::string::npos);
+  for (size_t threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(MetricsTest, RunReportCarriesSnapshot) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/3,
+                                     /*listings_per_source=*/10, /*seed=*/5);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  LsdConfig config;
+  LsdSystem system(domain->mediated, config);
+  for (size_t s = 0; s + 1 < domain->sources.size(); ++s) {
+    ASSERT_TRUE(system.AddTrainingSource(domain->sources[s].source,
+                                         domain->sources[s].gold)
+                    .ok());
+  }
+  ASSERT_TRUE(system.Train().ok());
+  auto match = system.MatchSource(domain->sources.back().source);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_FALSE(match->report.metrics.empty());
+  EXPECT_GT(match->report.metrics.CounterOf("train.examples"), 0u);
+  EXPECT_GT(match->report.metrics.CounterOf("predict.instances"), 0u);
+  // The snapshot never flips a clean report to degraded.
+  EXPECT_FALSE(match->report.degraded());
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceRecorder::Global().Stop(); }
+  void TearDown() override { TraceRecorder::Global().Stop(); }
+};
+
+TEST_F(TraceTest, DisabledRecorderCapturesNothing) {
+  { TraceSpan span("test/ignored"); }
+  TraceRecorder::Global().Start();
+  TraceRecorder::Global().Stop();
+  EXPECT_TRUE(TraceRecorder::Global().Events().empty());
+}
+
+TEST_F(TraceTest, CapturesNamedAndDetailedSpans) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/outer"); }
+  { TraceSpan span("test/learner", "whirl"); }
+  TraceRecorder::Global().Stop();
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "test/outer");
+  EXPECT_EQ(events[1].name, "test/learner(whirl)");
+  // Events are sorted by begin time.
+  EXPECT_LE(events[0].begin_us, events[1].begin_us);
+}
+
+TEST_F(TraceTest, MultiThreadedSpansGetDistinctTids) {
+  TraceRecorder::Global().Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] { TraceSpan span("test/worker"); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  TraceRecorder::Global().Stop();
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].tid != events[1].tid ||
+              events[1].tid != events[2].tid);
+}
+
+TEST_F(TraceTest, ChromeJsonShape) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/json \"quoted\""); }
+  TraceRecorder::Global().Stop();
+  std::string json = TraceRecorder::Global().ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, StartClearsPreviousEvents) {
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/first"); }
+  TraceRecorder::Global().Stop();
+  ASSERT_EQ(TraceRecorder::Global().Events().size(), 1u);
+  TraceRecorder::Global().Start();
+  { TraceSpan span("test/second"); }
+  TraceRecorder::Global().Stop();
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test/second");
+}
+
+TEST_F(TraceTest, PipelineEmitsExpectedSpanNames) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/3,
+                                     /*listings_per_source=*/10, /*seed=*/9);
+  ASSERT_TRUE(domain.ok()) << domain.status().ToString();
+  TraceRecorder::Global().Start();
+  LsdConfig config;
+  LsdSystem system(domain->mediated, config);
+  for (size_t s = 0; s + 1 < domain->sources.size(); ++s) {
+    ASSERT_TRUE(system.AddTrainingSource(domain->sources[s].source,
+                                         domain->sources[s].gold)
+                    .ok());
+  }
+  ASSERT_TRUE(system.Train().ok());
+  auto match = system.MatchSource(domain->sources.back().source);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  TraceRecorder::Global().Stop();
+  bool saw_train = false, saw_fold = false, saw_meta = false,
+       saw_predict = false, saw_match = false;
+  for (const TraceEvent& event : TraceRecorder::Global().Events()) {
+    saw_train = saw_train || event.name == "train/system";
+    saw_fold = saw_fold || event.name == "cv/fold";
+    saw_meta = saw_meta || event.name == "meta/train";
+    saw_predict = saw_predict ||
+                  event.name.rfind("predict/source", 0) == 0;
+    saw_match = saw_match || event.name.rfind("match/source", 0) == 0;
+  }
+  EXPECT_TRUE(saw_train);
+  EXPECT_TRUE(saw_fold);
+  EXPECT_TRUE(saw_meta);
+  EXPECT_TRUE(saw_predict);
+  EXPECT_TRUE(saw_match);
+}
+
+}  // namespace
+}  // namespace lsd

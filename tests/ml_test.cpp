@@ -39,6 +39,14 @@ TEST(PredictionTest, UniformAndPointMass) {
   EXPECT_DOUBLE_EQ(p.ScoreOf(2), 1.0);
 }
 
+TEST(PredictionDeathTest, PointMassRejectsOutOfRangeLabel) {
+  // LabelSpace::IndexOf returns -1 for unknown labels; feeding that (or any
+  // out-of-range index) to PointMass must abort rather than scribble out of
+  // bounds.
+  EXPECT_DEATH(Prediction::PointMass(4, -1), "CHECK failed");
+  EXPECT_DEATH(Prediction::PointMass(4, 4), "CHECK failed");
+}
+
 TEST(PredictionTest, BestBreaksTiesLow) {
   Prediction p(3);
   p.scores = {0.4, 0.4, 0.2};
@@ -124,6 +132,58 @@ TEST(NaiveBayesTest, TokenLogProbMonotoneInCount) {
 TEST(NaiveBayesTest, UntrainedPredictEmpty) {
   NaiveBayesClassifier nb;
   EXPECT_EQ(nb.Predict({"a"}).size(), 0u);
+}
+
+TEST(NaiveBayesTest, SerializeEscapesHostileTokens) {
+  NaiveBayesClassifier nb;
+  // Tokens with whitespace, the escape character, and an empty string —
+  // all legal vocabulary entries via lenient-mode parsing.
+  ASSERT_TRUE(nb.Train({{"a b", "100%"}, {"", "plain"}}, {0, 1}, 2).ok());
+  std::string text = nb.Serialize();
+  EXPECT_NE(text.find("token a%20b\n"), std::string::npos);
+  EXPECT_NE(text.find("token 100%25\n"), std::string::npos);
+  EXPECT_NE(text.find("token %\n"), std::string::npos);  // empty token
+  auto restored = NaiveBayesClassifier::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Serialize(), text);
+}
+
+TEST(NaiveBayesTest, DeserializeRejectsDuplicateVocabularyToken) {
+  // A duplicate token would silently remap every later count id; the
+  // reader must call the stream corrupt instead.
+  const std::string text =
+      "nb 2 1 2 2\n"
+      "priors -0.5 -0.5\n"
+      "totals 2 1\n"
+      "token foo\n"
+      "token foo\n"
+      "counts 0 1 0 2\n"
+      "counts 1 1 1 1\n";
+  auto restored = NaiveBayesClassifier::Deserialize(text);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().ToString().find("duplicate"),
+            std::string::npos);
+}
+
+TEST(NaiveBayesTest, ReadsVersion1VerbatimTokens) {
+  // Version-1 files wrote tokens verbatim; "100%" must load as the literal
+  // three characters, not go through escape decoding.
+  const std::string v1 =
+      "nb 1 1 2 2\n"
+      "priors -0.69 -0.69\n"
+      "totals 3 1\n"
+      "token cheap\n"
+      "token 100%\n"
+      "counts 0 2 0 2 1 1\n"
+      "counts 1 1 1 1\n";
+  auto restored = NaiveBayesClassifier::Deserialize(v1);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_GT(restored->TokenLogProb("100%", 0),
+            restored->TokenLogProb("unseen", 0));
+  // Re-serializing upgrades to the escaped version-2 format.
+  std::string upgraded = restored->Serialize();
+  EXPECT_EQ(upgraded.rfind("nb 2 ", 0), 0u);
+  EXPECT_NE(upgraded.find("token 100%25\n"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

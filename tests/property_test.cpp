@@ -9,6 +9,7 @@
 #include "constraints/astar_searcher.h"
 #include "constraints/constraint.h"
 #include "gtest/gtest.h"
+#include "ml/meta_learner.h"
 #include "ml/naive_bayes.h"
 #include "ml/prediction.h"
 #include "ml/whirl.h"
@@ -307,6 +308,110 @@ TEST_P(MonotonicityTest, ExtendingNeverLowersCost) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Model serialization round trips: Serialize → Deserialize → Serialize must
+// be byte-identical, over vocabularies hostile to a line-oriented format —
+// whitespace tokens, empty tokens, '%', UTF-8.
+// ---------------------------------------------------------------------------
+
+/// Tokens a naive "write it verbatim" serializer corrupts: embedded and
+/// leading/trailing whitespace, the escape character itself, control bytes,
+/// multi-byte UTF-8, and the empty string.
+std::string HostileToken(Rng* rng) {
+  static const std::vector<std::string> kTokens = {
+      "",       " ",      "\t",        "\n",       "a b",   " lead",
+      "trail ", "%",      "100%",      "%20",      "na\xc3\xafve",
+      "\xe6\x97\xa5\xe6\x9c\xac\xe8\xaa\x9e",      "plain", "x",
+      "two  spaces"};
+  return rng->Pick(kTokens);
+}
+
+std::vector<std::vector<std::string>> HostileCorpus(Rng* rng, size_t docs) {
+  std::vector<std::vector<std::string>> corpus;
+  for (size_t d = 0; d < docs; ++d) {
+    std::vector<std::string> doc;
+    size_t len = static_cast<size_t>(rng->UniformInt(1, 6));
+    for (size_t w = 0; w < len; ++w) doc.push_back(HostileToken(rng));
+    corpus.push_back(std::move(doc));
+  }
+  return corpus;
+}
+
+class SerializationRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationRoundTripTest, NaiveBayesBytesStable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9000);
+  const size_t n_labels = static_cast<size_t>(rng.UniformInt(2, 5));
+  auto corpus = HostileCorpus(&rng, 30);
+  std::vector<int> labels;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    labels.push_back(static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1)));
+  }
+  NaiveBayesClassifier nb;
+  ASSERT_TRUE(nb.Train(corpus, labels, n_labels).ok());
+  std::string first = nb.Serialize();
+  auto restored = NaiveBayesClassifier::Deserialize(first);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Serialize(), first);
+  // The restored model is behaviorally identical too.
+  auto query = HostileCorpus(&rng, 1)[0];
+  EXPECT_EQ(restored->Predict(query).scores, nb.Predict(query).scores);
+}
+
+TEST_P(SerializationRoundTripTest, WhirlBytesStable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9500);
+  const size_t n_labels = static_cast<size_t>(rng.UniformInt(2, 5));
+  auto corpus = HostileCorpus(&rng, 30);
+  std::vector<int> labels;
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    labels.push_back(static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1)));
+  }
+  WhirlClassifier whirl;
+  ASSERT_TRUE(whirl.Train(corpus, labels, n_labels).ok());
+  std::string first = whirl.Serialize();
+  auto restored = WhirlClassifier::Deserialize(first);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Serialize(), first);
+  auto query = HostileCorpus(&rng, 1)[0];
+  EXPECT_EQ(restored->Predict(query).scores, whirl.Predict(query).scores);
+}
+
+TEST_P(SerializationRoundTripTest, MetaLearnerBytesStable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 9900);
+  const size_t n_labels = static_cast<size_t>(rng.UniformInt(2, 5));
+  const size_t n_learners = static_cast<size_t>(rng.UniformInt(2, 4));
+  const size_t n_examples = 25;
+  std::vector<std::vector<Prediction>> cv_predictions(n_learners);
+  for (auto& per_learner : cv_predictions) {
+    for (size_t x = 0; x < n_examples; ++x) {
+      Prediction p(n_labels);
+      double total = 0;
+      for (double& s : p.scores) {
+        s = rng.Uniform();
+        total += s;
+      }
+      for (double& s : p.scores) s /= total;
+      per_learner.push_back(std::move(p));
+    }
+  }
+  std::vector<int> true_labels;
+  for (size_t x = 0; x < n_examples; ++x) {
+    true_labels.push_back(static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1)));
+  }
+  MetaLearner meta;
+  ASSERT_TRUE(meta.Train(cv_predictions, true_labels, n_labels).ok());
+  std::string first = meta.Serialize();
+  auto restored = MetaLearner::Deserialize(first);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Serialize(), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationRoundTripTest,
+                         ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace lsd

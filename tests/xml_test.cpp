@@ -120,6 +120,17 @@ TEST(XmlParserTest, SelfClosingTag) {
   EXPECT_TRUE(doc->root.children[0].IsLeaf());
 }
 
+TEST(XmlParserTest, DigitLeadingNamesRoundTrip) {
+  // Scraped schemas use tags like <3d-tour>; the DTD parser accepts
+  // digit-leading names everywhere, so the XML side must read back what
+  // the writer emits for them.
+  auto doc = ParseXml("<listing><3d-tour>http://x</3d-tour></listing>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->root.children.size(), 1u);
+  EXPECT_EQ(doc->root.children[0].name, "3d-tour");
+  EXPECT_EQ(doc->root.children[0].text, "http://x");
+}
+
 TEST(XmlParserTest, SkipsCommentsAndProcessingInstructions) {
   auto doc = ParseXml(
       "<?xml version=\"1.0\"?><!-- comment --><a><!-- inner -->x<?pi data?></a>");

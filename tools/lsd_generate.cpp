@@ -5,7 +5,7 @@
 // Usage:
 //   lsd_generate --domain real-estate-1 --out DIR
 //                [--sources 5] [--listings 100] [--seed 7] [--threads N]
-//                [--lenient]
+//                [--lenient] [--metrics-out FILE] [--trace-out FILE]
 //
 // --threads parallelizes the per-source file serialization (0 = all
 // cores, 1 = serial; default 1). Output files are byte-identical for any
@@ -30,8 +30,10 @@
 #include <string>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "datagen/domains.h"
 #include "xml/xml_writer.h"
 
@@ -46,6 +48,7 @@ int Run(int argc, char** argv) {
   uint64_t seed = 7;
   size_t threads = 1;
   bool lenient = false;
+  std::string metrics_out, trace_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next_value = [&]() -> const char* {
@@ -84,11 +87,19 @@ int Run(int argc, char** argv) {
       threads = static_cast<size_t>(parsed);
     } else if (arg == "--lenient") {
       lenient = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next_value();
+      if (v == nullptr) return 2;
+      trace_out = v;
     } else {
       std::fprintf(stderr,
                    "usage: lsd_generate --domain NAME --out DIR"
                    " [--sources N] [--listings N] [--seed N] [--threads N]"
-                   " [--lenient]\n");
+                   " [--lenient] [--metrics-out FILE] [--trace-out FILE]\n");
       return 2;
     }
   }
@@ -96,6 +107,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--out is required\n");
     return 2;
   }
+  if (!trace_out.empty()) TraceRecorder::Global().Start();
 
   auto domain = MakeEvaluationDomain(domain_name, sources, listings, seed);
   if (!domain.ok()) {
@@ -187,6 +199,23 @@ int Run(int argc, char** argv) {
                       " \\\n    --gold source-%zu.mapping\n",
                       target, target, target);
   if (!write("README.txt", readme) && !lenient) return 1;
+
+  if (!metrics_out.empty()) {
+    Status written = WriteStringToFile(
+        metrics_out, MetricsRegistry::Global().Snapshot().ToJson());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    TraceRecorder::Global().Stop();
+    Status written = TraceRecorder::Global().WriteChromeJson(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -15,6 +15,8 @@
 //             [--threads N]          (0 = all cores, 1 = serial; default 1)
 //             [--strict | --lenient] (failure policy; default --strict)
 //             [--deadline-ms N]      (anytime matching budget)
+//             [--metrics-out FILE]   (write a metrics-registry JSON snapshot)
+//             [--trace-out FILE]     (write Chrome trace_event JSON spans)
 //
 // Failure policy:
 //   --strict   (default) any malformed input or degraded run is fatal.
@@ -43,7 +45,9 @@
 #include <vector>
 
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "constraints/constraint_parser.h"
 #include "core/lsd_system.h"
 #include "eval/metrics.h"
@@ -62,7 +66,8 @@ void Usage() {
                " [--feedback \"tag <=> LABEL\"] [--gold T.mapping]"
                " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
                " [--county-label LABEL] [--threads N]"
-               " [--strict|--lenient] [--deadline-ms N]\n");
+               " [--strict|--lenient] [--deadline-ms N]"
+               " [--metrics-out FILE] [--trace-out FILE]\n");
 }
 
 void PrintDiagnostics(const std::string& path,
@@ -122,6 +127,7 @@ int Run(int argc, char** argv) {
   MatchOptions options;
   bool lenient = false;
   long deadline_ms = -1;
+  std::string metrics_out, trace_out;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -187,6 +193,10 @@ int Run(int argc, char** argv) {
         return 2;
       }
       deadline_ms = parsed;
+    } else if (arg == "--metrics-out") {
+      if (!next(&metrics_out)) { Usage(); return 2; }
+    } else if (arg == "--trace-out") {
+      if (!next(&trace_out)) { Usage(); return 2; }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
@@ -197,6 +207,9 @@ int Run(int argc, char** argv) {
     Usage();
     return 2;
   }
+  // Span recording is opt-in: without --trace-out, TraceSpan construction
+  // is a single relaxed load.
+  if (!trace_out.empty()) TraceRecorder::Global().Start();
 
   auto mediated_text = ReadFileToString(mediated_path);
   if (!mediated_text.ok()) {
@@ -302,6 +315,24 @@ int Run(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "%s", result->report.ToString().c_str());
+  // Observability outputs are written for degraded runs too — those are
+  // exactly the runs worth inspecting.
+  if (!metrics_out.empty()) {
+    Status written = WriteStringToFile(
+        metrics_out, MetricsRegistry::Global().Snapshot().ToJson());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    TraceRecorder::Global().Stop();
+    Status written = TraceRecorder::Global().WriteChromeJson(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
   if (!lenient && result->report.degraded()) {
     std::fprintf(stderr,
                  "error: degraded run under --strict (re-run with --lenient "
