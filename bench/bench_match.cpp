@@ -201,6 +201,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::string serial_fingerprint, serial_counters;
+    std::string serial_metrics_json;
     for (size_t threads : thread_counts) {
       RunResult run = RunDomain(*domain, name, listings, threads);
       if (!run.status.ok()) {
@@ -211,19 +212,21 @@ int main(int argc, char** argv) {
       if (threads == 1) {
         serial_fingerprint = run.fingerprint;
         serial_counters = run.counters;
-        if (!metrics_out.empty()) {
-          Status written =
-              WriteStringToFile(metrics_out, run.snapshot.ToJson());
-          if (!written.ok()) {
-            std::fprintf(stderr, "error: %s\n",
-                         written.ToString().c_str());
-            return 1;
-          }
-        }
+        // Deferred to after the loop: writing the file here would register
+        // the artifact-layer counters in the very registry under test, and
+        // they'd survive Reset() as zero-valued lines in later snapshots.
+        serial_metrics_json = run.snapshot.ToJson();
       } else {
         identical = run.fingerprint == serial_fingerprint;
         counters_identical = run.counters == serial_counters;
         all_identical = all_identical && identical && counters_identical;
+        if (!counters_identical) {
+          std::fprintf(stderr,
+                       "counter mismatch at %zu threads (serial vs parallel):\n"
+                       "--- serial\n%s--- %zu threads\n%s",
+                       threads, serial_counters.c_str(), threads,
+                       run.counters.c_str());
+        }
       }
       uint64_t expanded = run.snapshot.CounterOf("astar.expanded");
       uint64_t tasks = run.snapshot.CounterOf("pool.tasks_run");
@@ -250,6 +253,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(recovered),
           identical ? "true" : "false",
           counters_identical ? "true" : "false");
+    }
+    if (!metrics_out.empty()) {
+      Status written = WriteStringToFile(metrics_out, serial_metrics_json);
+      if (!written.ok()) {
+        std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+        return 1;
+      }
     }
   }
   json += "\n  ]\n}\n";

@@ -29,6 +29,61 @@ cmake --build build-asan -j "$JOBS"
 echo "== ASan/UBSan tests =="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
+echo "== crash-recovery fuzz (ASan/UBSan loader) =="
+if command -v python3 >/dev/null 2>&1; then
+    cmake --build build-asan -j "$JOBS" --target lsd_generate lsd_match
+    FUZZ_DIR="$(mktemp -d)"
+    trap 'rm -rf "${FUZZ_DIR:-}"; rm -f "${METRICS_TMP:-}"' EXIT
+    ./build-asan/tools/lsd_generate --domain real-estate-1 \
+        --out "$FUZZ_DIR" --listings 30 --seed 7 >/dev/null
+    MATCH_ARGS=(--mediated "$FUZZ_DIR/mediated.dtd"
+                --target "$FUZZ_DIR/source-4.dtd" "$FUZZ_DIR/source-4.xml")
+    ./build-asan/tools/lsd_match "${MATCH_ARGS[@]}" \
+        --train "$FUZZ_DIR/source-0.dtd" "$FUZZ_DIR/source-0.xml" \
+                "$FUZZ_DIR/source-0.mapping" \
+        --train "$FUZZ_DIR/source-1.dtd" "$FUZZ_DIR/source-1.xml" \
+                "$FUZZ_DIR/source-1.mapping" \
+        --save-model "$FUZZ_DIR/model" >/dev/null
+    # Each seeded corruption of the model must yield a *classified* outcome
+    # from the sanitizer-instrumented loader: clean load (0), hard failure
+    # (1), degraded (2), or last-good recovery (3) -- never a crash.
+    for mode in truncate bitflip; do
+        for seed in 1 2 3 4 5 6 7 8; do
+            python3 scripts/corrupt_artifact.py "$FUZZ_DIR/model" \
+                --mode "$mode" --seed "$seed" \
+                --out "$FUZZ_DIR/corrupt.model" >/dev/null
+            rc=0
+            ./build-asan/tools/lsd_match "${MATCH_ARGS[@]}" \
+                --load-model "$FUZZ_DIR/corrupt.model" \
+                >/dev/null 2>&1 || rc=$?
+            if [ "$rc" -gt 3 ]; then
+                echo "crash-recovery fuzz: $mode seed=$seed exited $rc" >&2
+                exit 1
+            fi
+        done
+        # With a last-good generation beside it, every corruption of the
+        # primary must recover (exit 3) or load clean (exit 0).
+        cp "$FUZZ_DIR/model" "$FUZZ_DIR/corrupt.model.lastgood"
+        for seed in 1 2 3 4; do
+            python3 scripts/corrupt_artifact.py "$FUZZ_DIR/model" \
+                --mode "$mode" --seed "$seed" \
+                --out "$FUZZ_DIR/corrupt.model" >/dev/null
+            rc=0
+            ./build-asan/tools/lsd_match "${MATCH_ARGS[@]}" \
+                --load-model "$FUZZ_DIR/corrupt.model" \
+                >/dev/null 2>&1 || rc=$?
+            if [ "$rc" -ne 0 ] && [ "$rc" -ne 3 ]; then
+                echo "crash-recovery fuzz: $mode seed=$seed with last-good" \
+                     "exited $rc (want 0 or 3)" >&2
+                exit 1
+            fi
+        done
+        rm -f "$FUZZ_DIR/corrupt.model.lastgood"
+    done
+else
+    echo "python3 unavailable; skipping crash-recovery fuzz"
+fi
+
 echo "== TSan build =="
 cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -41,7 +96,7 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 echo "== bench_match smoke (metrics schema) =="
 cmake --build build -j "$JOBS" --target bench_match
 METRICS_TMP="$(mktemp)"
-trap 'rm -f "$METRICS_TMP"' EXIT
+trap 'rm -rf "${FUZZ_DIR:-}"; rm -f "${METRICS_TMP:-}"' EXIT
 ./build/bench/bench_match --quick --out= --metrics-out="$METRICS_TMP"
 if command -v python3 >/dev/null 2>&1; then
     python3 scripts/validate_metrics.py "$METRICS_TMP"

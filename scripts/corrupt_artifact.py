@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Deterministically damage an artifact file for crash-recovery fuzzing.
+
+Simulates the two physical failure modes the validating loader
+(src/common/artifact_io.h) must classify instead of crashing on:
+
+  truncate  -- keep only a prefix, as a torn write or a crash mid-write
+               would leave behind;
+  bitflip   -- flip one bit at a seeded offset, as silent media corruption
+               would.
+
+The damage location is a pure function of --seed, so a failing case can be
+replayed exactly. Used by scripts/check.sh, which corrupts a trained model
+across a sweep of seeds and asserts that the (sanitizer-instrumented)
+loader always exits with a classified code -- never a signal.
+"""
+
+import argparse
+import pathlib
+import random
+import sys
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Deterministically truncate or bit-flip a file.")
+    parser.add_argument("path", help="file to damage")
+    parser.add_argument("--mode", choices=["truncate", "bitflip"],
+                        required=True)
+    parser.add_argument("--seed", type=int, required=True,
+                        help="selects the damage offset deterministically")
+    parser.add_argument("--out", default=None,
+                        help="write the damaged copy here (default: in place)")
+    args = parser.parse_args()
+
+    data = bytearray(pathlib.Path(args.path).read_bytes())
+    if not data:
+        sys.exit(f"corrupt_artifact: {args.path} is empty")
+
+    rng = random.Random(args.seed)
+    if args.mode == "truncate":
+        keep = rng.randrange(0, len(data))
+        data = data[:keep]
+        where = f"kept {keep}"
+    else:
+        at = rng.randrange(0, len(data))
+        bit = rng.randrange(8)
+        data[at] ^= 1 << bit
+        where = f"flipped bit {bit} of byte {at}"
+
+    out = pathlib.Path(args.out if args.out else args.path)
+    out.write_bytes(bytes(data))
+    print(f"corrupt_artifact: {args.mode} seed={args.seed}: {where} "
+          f"-> {out} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

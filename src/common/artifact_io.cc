@@ -1,0 +1,348 @@
+#include "common/artifact_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+constexpr std::string_view kMagic = "lsd-artifact";
+constexpr std::string_view kTableEnd = "---\n";
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+bool IsCleanField(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (byte <= 0x20 || byte == 0x7f) return false;
+  }
+  return true;
+}
+
+/// Consumes one '\n'-terminated line from `*rest`. Returns false when no
+/// newline remains (truncation, for a well-formed writer).
+bool TakeLine(std::string_view* rest, std::string_view* line) {
+  size_t end = rest->find('\n');
+  if (end == std::string_view::npos) return false;
+  *line = rest->substr(0, end);
+  rest->remove_prefix(end + 1);
+  return true;
+}
+
+StatusOr<uint32_t> ParseCrcField(const std::string& field) {
+  if (field.size() != 8) {
+    return Status::ParseError("artifact: bad checksum field '" + field + "'");
+  }
+  uint32_t value = 0;
+  for (char c : field) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::ParseError("artifact: bad checksum field '" + field +
+                                "'");
+    }
+    value = (value << 4) | static_cast<uint32_t>(digit);
+  }
+  return value;
+}
+
+/// Removes `path` if it exists; used to clean up temp files on failure.
+void BestEffortRemove(const std::string& path) { std::remove(path.c_str()); }
+
+/// fsync the directory containing `path` so the published rename itself is
+/// durable. Best-effort: some filesystems reject directory fsync.
+void SyncParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (char c : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const ArtifactSection* Artifact::Find(std::string_view name) const {
+  for (const ArtifactSection& section : sections) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kFileWrite, path));
+
+  // Injected torn-write/bit-flip corruption: the write still "succeeds",
+  // but the bytes that reach disk are damaged — the loader-classification
+  // tests depend on this seam.
+  std::string corrupted;
+  size_t offset = 0;
+  switch (CheckWriteCorruptionFault(path, contents.size(), &offset)) {
+    case WriteCorruption::kNone:
+      break;
+    case WriteCorruption::kTruncate:
+      contents = contents.substr(0, offset);
+      break;
+    case WriteCorruption::kBitFlip:
+      corrupted.assign(contents);
+      corrupted[offset] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[offset]) ^
+          (1u << (offset % 8)));
+      contents = corrupted;
+      break;
+  }
+
+  // Temp file in the destination directory so the final rename never
+  // crosses a filesystem boundary. The name is pid-qualified; concurrent
+  // writers to the same destination publish last-writer-wins but never
+  // interleave bytes.
+  std::string temp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Internal("cannot open temp file for writing: " + temp);
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  bool failed = written != contents.size();
+  if (!failed) failed = std::fflush(file) != 0;
+  if (!failed) {
+    Status sync_fault = CheckFault(FaultSite::kFileSync, path);
+    if (sync_fault.ok() && ::fsync(::fileno(file)) != 0) {
+      sync_fault = Status::Internal(std::string("fsync failed: ") + temp +
+                                    " (" + std::strerror(errno) + ")");
+    }
+    if (!sync_fault.ok()) {
+      std::fclose(file);
+      BestEffortRemove(temp);
+      return sync_fault;
+    }
+  }
+  if (std::fclose(file) != 0) failed = true;
+  if (failed) {
+    BestEffortRemove(temp);
+    return Status::Internal("write error: " + temp);
+  }
+
+  Status rename_fault = CheckFault(FaultSite::kFileRename, path);
+  if (rename_fault.ok() && std::rename(temp.c_str(), path.c_str()) != 0) {
+    rename_fault = Status::Internal("rename failed: " + temp + " -> " + path +
+                                    " (" + std::strerror(errno) + ")");
+  }
+  if (!rename_fault.ok()) {
+    BestEffortRemove(temp);
+    return rename_fault;
+  }
+  SyncParentDirectory(path);
+  MetricsRegistry::Global().GetCounter("artifact.atomic_writes")->Increment();
+  return Status::OK();
+}
+
+std::string EncodeArtifact(const Artifact& artifact) {
+  LSD_CHECK(IsCleanField(artifact.kind));
+  std::string table;
+  std::string payloads;
+  for (const ArtifactSection& section : artifact.sections) {
+    LSD_CHECK(IsCleanField(section.name));
+    table += StrFormat("s %s %zu %08x\n", section.name.c_str(),
+                       section.payload.size(), Crc32(section.payload));
+    payloads += section.payload;
+  }
+  std::string out =
+      StrFormat("%s %u %s %zu %08x\n", std::string(kMagic).c_str(),
+                kArtifactFormatVersion, artifact.kind.c_str(),
+                artifact.sections.size(), Crc32(table));
+  out += table;
+  out += kTableEnd;
+  out += payloads;
+  return out;
+}
+
+StatusOr<Artifact> DecodeArtifact(std::string_view bytes,
+                                  std::string_view expected_kind) {
+  std::string_view rest = bytes;
+  std::string_view header_line;
+  if (!TakeLine(&rest, &header_line)) {
+    // No complete first line: an empty or torn-at-birth file. When even
+    // the magic isn't present this was never an artifact.
+    if (StartsWith(bytes, kMagic)) {
+      return Status::OutOfRange("artifact truncated inside the header line");
+    }
+    return Status::ParseError("not an LSD artifact (missing magic)");
+  }
+  std::vector<std::string> header = SplitAny(header_line, " \t");
+  if (header.empty() || header[0] != kMagic) {
+    return Status::ParseError("not an LSD artifact (missing magic)");
+  }
+  if (header.size() != 5) {
+    return Status::ParseError("artifact: malformed header line");
+  }
+  if (!IsAllDigits(header[1])) {
+    return Status::ParseError("artifact: malformed version field '" +
+                              header[1] + "'");
+  }
+  if (header[1] != std::to_string(kArtifactFormatVersion)) {
+    return Status::FailedPrecondition(
+        "artifact version skew: file is version " + header[1] +
+        ", this build reads version " +
+        std::to_string(kArtifactFormatVersion));
+  }
+  std::string kind = header[2];
+  if (!IsAllDigits(header[3])) {
+    return Status::ParseError("artifact: malformed section count '" +
+                              header[3] + "'");
+  }
+  size_t n_sections = std::strtoull(header[3].c_str(), nullptr, 10);
+  // A flipped digit can inflate the count to something absurd; bound it by
+  // what the remaining bytes could possibly hold (every table line takes
+  // >= 6 bytes).
+  if (n_sections > rest.size() / 6 + 1) {
+    return Status::DataLoss(StrFormat(
+        "artifact: declared section count %zu exceeds what %zu bytes can "
+        "hold",
+        n_sections, rest.size()));
+  }
+  LSD_ASSIGN_OR_RETURN(uint32_t table_crc, ParseCrcField(header[4]));
+
+  // Section table. Its CRC is validated before the declared lengths are
+  // trusted, so a bit flip in a length or checksum field is caught here
+  // rather than misread as payload truncation.
+  std::string table;
+  struct PendingSection {
+    std::string name;
+    size_t bytes = 0;
+    uint32_t crc = 0;
+  };
+  std::vector<PendingSection> pending;
+  pending.reserve(n_sections);
+  for (size_t i = 0; i < n_sections; ++i) {
+    std::string_view line;
+    if (!TakeLine(&rest, &line)) {
+      return Status::OutOfRange(
+          StrFormat("artifact truncated in the section table (%zu of %zu "
+                    "entries present)",
+                    i, n_sections));
+    }
+    table.append(line);
+    table.push_back('\n');
+    std::vector<std::string> fields = SplitAny(line, " \t");
+    if (fields.size() != 4 || fields[0] != "s") {
+      return Status::DataLoss("artifact: damaged section-table entry '" +
+                              std::string(line) + "'");
+    }
+    PendingSection section;
+    section.name = fields[1];
+    if (!IsAllDigits(fields[2])) {
+      return Status::DataLoss("artifact: damaged section length field '" +
+                              fields[2] + "'");
+    }
+    section.bytes = std::strtoull(fields[2].c_str(), nullptr, 10);
+    StatusOr<uint32_t> crc = ParseCrcField(fields[3]);
+    if (!crc.ok()) {
+      return Status::DataLoss("artifact: damaged section checksum field '" +
+                              fields[3] + "'");
+    }
+    section.crc = *crc;
+    pending.push_back(std::move(section));
+  }
+  if (Crc32(table) != table_crc) {
+    return Status::DataLoss(
+        "artifact: section-table checksum mismatch (header or table bytes "
+        "were altered)");
+  }
+  std::string_view end_line;
+  std::string_view at_table_end = rest;
+  if (!TakeLine(&rest, &end_line)) {
+    return Status::OutOfRange("artifact truncated at the table terminator");
+  }
+  if (at_table_end.substr(0, kTableEnd.size()) != kTableEnd) {
+    return Status::DataLoss("artifact: damaged table terminator");
+  }
+
+  // Payloads: validate declared length against the remaining bytes first
+  // (truncation), then each section's CRC (bit flips).
+  Artifact out;
+  out.kind = std::move(kind);
+  size_t cursor = 0;
+  for (PendingSection& section : pending) {
+    if (section.bytes > rest.size() - cursor) {
+      return Status::OutOfRange(StrFormat(
+          "artifact truncated: section '%s' declares %zu bytes, %zu remain",
+          section.name.c_str(), section.bytes, rest.size() - cursor));
+    }
+    std::string_view payload = rest.substr(cursor, section.bytes);
+    cursor += section.bytes;
+    if (Crc32(payload) != section.crc) {
+      return Status::DataLoss(StrFormat(
+          "artifact: checksum mismatch in section '%s' (%zu bytes)",
+          section.name.c_str(), section.bytes));
+    }
+    out.sections.push_back(
+        ArtifactSection{std::move(section.name), std::string(payload)});
+  }
+  if (cursor != rest.size()) {
+    return Status::DataLoss(StrFormat(
+        "artifact: %zu trailing bytes after the last declared section",
+        rest.size() - cursor));
+  }
+  if (!expected_kind.empty() && out.kind != expected_kind) {
+    return Status::InvalidArgument("artifact kind mismatch: want '" +
+                                   std::string(expected_kind) + "', file is '" +
+                                   out.kind + "'");
+  }
+  return out;
+}
+
+Status WriteArtifact(const std::string& path, const Artifact& artifact) {
+  return WriteFileAtomic(path, EncodeArtifact(artifact));
+}
+
+StatusOr<Artifact> ReadArtifact(const std::string& path,
+                                std::string_view expected_kind,
+                                size_t max_bytes) {
+  if (max_bytes == 0) max_bytes = kDefaultMaxFileBytes;
+  LSD_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path, max_bytes));
+  StatusOr<Artifact> decoded = DecodeArtifact(bytes, expected_kind);
+  if (!decoded.ok()) {
+    return Status(decoded.status().code(),
+                  path + ": " + decoded.status().message());
+  }
+  return decoded;
+}
+
+}  // namespace lsd

@@ -1,0 +1,95 @@
+#ifndef LSD_COMMON_ARTIFACT_IO_H_
+#define LSD_COMMON_ARTIFACT_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Crash-safe artifact persistence. Every durable file the system writes —
+/// trained models, checkpoint manifests, run reports, metrics and trace
+/// snapshots — goes through this layer, which provides two guarantees:
+///
+///  1. **Atomic publication** (`WriteFileAtomic`): contents are written to
+///     a temp file in the destination directory, flushed, fsync'd, and
+///     renamed over the destination. A crash, full disk, or injected fault
+///     at any point leaves the destination either absent or holding its
+///     previous complete contents — never a torn prefix.
+///
+///  2. **Validated framing** (`WriteArtifact` / `ReadArtifact`): payloads
+///     are wrapped in a versioned header with per-section byte lengths and
+///     CRC32 checksums. The loader classifies damage instead of handing
+///     garbage to a deserializer:
+///        - not an artifact (bad magic)       -> kParseError
+///        - version skew (future format)      -> kFailedPrecondition
+///        - truncation (file ends early)      -> kOutOfRange
+///        - checksum mismatch (bit flip)      -> kDataLoss
+///
+/// On-disk layout (text header, binary-safe payloads):
+///
+///     lsd-artifact 1 <kind> <n-sections> <table-crc32-hex>\n
+///     s <name> <payload-bytes> <payload-crc32-hex>\n      (n-sections times)
+///     ---\n
+///     <section payloads, concatenated in table order>
+///
+/// The table CRC covers the section-table lines, so a bit flip anywhere in
+/// the file lands in a checksummed region.
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// One named payload inside an artifact. Payloads are arbitrary bytes;
+/// names must be non-empty and free of whitespace.
+struct ArtifactSection {
+  std::string name;
+  std::string payload;
+};
+
+/// A decoded artifact: its kind tag plus its sections in file order.
+struct Artifact {
+  std::string kind;
+  std::vector<ArtifactSection> sections;
+
+  /// First section named `name`, or nullptr.
+  const ArtifactSection* Find(std::string_view name) const;
+};
+
+/// The artifact format version this build writes and reads.
+inline constexpr uint32_t kArtifactFormatVersion = 1;
+
+/// Durably replaces `path` with `contents`: temp file + fsync + atomic
+/// rename (+ best-effort directory fsync). Fault seams: kFileWrite (open /
+/// write), kFileSync (fsync), kFileRename (publish rename); on any failure
+/// the temp file is removed and the destination is untouched. Injected
+/// write-corruption rules (FaultInjector::CorruptMatching) mangle the
+/// persisted bytes while still reporting success — simulating torn writes
+/// for loader tests.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Encodes `artifact` into the framed on-disk representation.
+/// `artifact.kind` and section names must be non-empty and whitespace-free
+/// (LSD_CHECK'd).
+std::string EncodeArtifact(const Artifact& artifact);
+
+/// Validates and decodes a framed artifact from memory. When
+/// `expected_kind` is non-empty, a structurally valid artifact of a
+/// different kind is rejected with kInvalidArgument.
+StatusOr<Artifact> DecodeArtifact(std::string_view bytes,
+                                  std::string_view expected_kind = {});
+
+/// EncodeArtifact + WriteFileAtomic.
+Status WriteArtifact(const std::string& path, const Artifact& artifact);
+
+/// Reads (size-capped, see `ReadFileToString`) and decodes the artifact at
+/// `path`, classifying corruption as documented above.
+StatusOr<Artifact> ReadArtifact(const std::string& path,
+                                std::string_view expected_kind = {},
+                                size_t max_bytes = 0);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_ARTIFACT_IO_H_

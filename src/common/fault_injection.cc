@@ -29,6 +29,10 @@ const char* FaultSiteName(FaultSite site) {
       return "file-read";
     case FaultSite::kFileWrite:
       return "file-write";
+    case FaultSite::kFileSync:
+      return "file-sync";
+    case FaultSite::kFileRename:
+      return "file-rename";
     case FaultSite::kXmlParse:
       return "xml-parse";
     case FaultSite::kDtdParse:
@@ -59,6 +63,36 @@ void FaultInjector::FailWithProbability(FaultSite site, double probability,
   rule.probability = probability;
   rule.error = std::move(error);
   rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::CorruptMatching(std::string key_substring,
+                                    WriteCorruption kind,
+                                    uint64_t offset_seed) {
+  CorruptionRule rule;
+  rule.key_substring = std::move(key_substring);
+  rule.kind = kind;
+  rule.offset_seed = offset_seed;
+  corruption_rules_.push_back(std::move(rule));
+}
+
+WriteCorruption FaultInjector::CheckWriteCorruption(std::string_view key,
+                                                    size_t size,
+                                                    size_t* offset) {
+  if (size == 0) return WriteCorruption::kNone;
+  for (const CorruptionRule& rule : corruption_rules_) {
+    if (rule.kind == WriteCorruption::kNone) continue;
+    if (!rule.key_substring.empty() &&
+        key.find(rule.key_substring) == std::string_view::npos) {
+      continue;
+    }
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    // Derive the damage position from (seed ^ rule seed, key, size) so
+    // repeated runs — and every thread count — corrupt identically.
+    uint64_t h = HashKey(seed_ ^ rule.offset_seed, FaultSite::kFileWrite, key);
+    *offset = static_cast<size_t>(h % size);
+    return rule.kind;
+  }
+  return WriteCorruption::kNone;
 }
 
 Status FaultInjector::Check(FaultSite site, std::string_view key) {
@@ -99,6 +133,13 @@ Status CheckFault(FaultSite site, std::string_view key) {
   FaultInjector* injector = g_injector.load(std::memory_order_acquire);
   if (injector == nullptr) return Status::OK();
   return injector->Check(site, key);
+}
+
+WriteCorruption CheckWriteCorruptionFault(std::string_view key, size_t size,
+                                          size_t* offset) {
+  FaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return WriteCorruption::kNone;
+  return injector->CheckWriteCorruption(key, size, offset);
 }
 
 }  // namespace lsd

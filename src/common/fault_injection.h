@@ -20,6 +20,14 @@ namespace lsd {
 enum class FaultSite {
   kFileRead,
   kFileWrite,
+  /// fsync of a freshly written temp file (common/artifact_io.cc). A hit
+  /// simulates a full disk or dying device: the atomic writer aborts and
+  /// the destination path is left untouched.
+  kFileSync,
+  /// The rename that publishes a temp file at its final path. A hit
+  /// simulates a crash between write and publish ("torn rename"): the
+  /// destination keeps its previous contents.
+  kFileRename,
   kXmlParse,
   kDtdParse,
   kLearnerTrain,
@@ -27,9 +35,38 @@ enum class FaultSite {
   kPoolTask,
 };
 
+/// Every seam, for exhaustiveness tests: a parameterized test iterates this
+/// list and asserts each seam is reachable under the standard pipeline, so
+/// a newly added site cannot silently go untested. Keep in sync with
+/// `FaultSite` (the static_assert below counts it).
+inline constexpr FaultSite kAllFaultSites[] = {
+    FaultSite::kFileRead,     FaultSite::kFileWrite,
+    FaultSite::kFileSync,     FaultSite::kFileRename,
+    FaultSite::kXmlParse,     FaultSite::kDtdParse,
+    FaultSite::kLearnerTrain, FaultSite::kLearnerPredict,
+    FaultSite::kPoolTask,
+};
+inline constexpr size_t kFaultSiteCount =
+    sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
+static_assert(static_cast<size_t>(FaultSite::kPoolTask) + 1 ==
+                  kFaultSiteCount,
+              "kAllFaultSites must list every FaultSite value");
+
 /// Short stable name for a site, e.g. "learner-train" (used in rule dumps
 /// and injected error messages).
 const char* FaultSiteName(FaultSite site);
+
+/// How an injected corruption mangles bytes on their way to disk. Unlike a
+/// `FaultSite` failure (a clean Status), a corruption rule lets the write
+/// "succeed" while persisting damaged bytes — the torn-write/bit-flip cases
+/// a validating loader must classify instead of crashing on.
+enum class WriteCorruption {
+  kNone = 0,
+  /// Keep only a prefix: a short write / write torn by a crash.
+  kTruncate,
+  /// Flip one bit at a seeded offset.
+  kBitFlip,
+};
 
 /// A deterministic, seeded fault injector. Tests configure rules, install
 /// the injector with `ScopedFaultInjection`, and run the pipeline; every
@@ -51,9 +88,24 @@ class FaultInjector {
   void FailMatching(FaultSite site, std::string key_substring, Status error);
   void FailWithProbability(FaultSite site, double probability, Status error);
 
+  /// Every atomic write whose destination path contains `key_substring`
+  /// persists corrupted bytes: `kind` selects the damage, and the byte/bit
+  /// position is derived from (`offset_seed`, key, payload size) — a pure
+  /// function, so the same writes corrupt identically on every run and
+  /// thread count.
+  void CorruptMatching(std::string key_substring, WriteCorruption kind,
+                       uint64_t offset_seed);
+
   /// Returns OK or the first matching rule's error (annotated with the
   /// site and key). Thread-safe.
   Status Check(FaultSite site, std::string_view key);
+
+  /// Consults the corruption rules for a write of `size` bytes to `key`
+  /// (the destination path). On a hit, sets `*offset` to the byte offset
+  /// (kTruncate: keep bytes [0, offset); kBitFlip: flip a bit inside byte
+  /// `offset`) and returns the kind. Thread-safe.
+  WriteCorruption CheckWriteCorruption(std::string_view key, size_t size,
+                                       size_t* offset);
 
   /// Number of faults injected so far (for test assertions).
   size_t injected_count() const {
@@ -68,9 +120,15 @@ class FaultInjector {
     double probability = -1.0;
     Status error;
   };
+  struct CorruptionRule {
+    std::string key_substring;
+    WriteCorruption kind = WriteCorruption::kNone;
+    uint64_t offset_seed = 0;
+  };
 
   uint64_t seed_;
   std::vector<Rule> rules_;
+  std::vector<CorruptionRule> corruption_rules_;
   std::atomic<size_t> injected_{0};
 };
 
@@ -96,6 +154,12 @@ bool FaultInjectionActive();
 /// The seam entry point: OK when no injector is installed (one relaxed
 /// atomic load), otherwise the installed injector's verdict.
 Status CheckFault(FaultSite site, std::string_view key);
+
+/// Corruption seam entry point used by the atomic writer: kNone when no
+/// injector is installed, otherwise the injector's verdict (with `*offset`
+/// filled on a hit).
+WriteCorruption CheckWriteCorruptionFault(std::string_view key, size_t size,
+                                          size_t* offset);
 
 }  // namespace lsd
 

@@ -1,12 +1,16 @@
 #include "common/file_util.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 
+#include "common/artifact_io.h"
 #include "common/fault_injection.h"
 
 namespace lsd {
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       size_t max_bytes) {
   LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kFileRead, path));
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
@@ -15,26 +19,32 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::string contents;
   char buffer[1 << 14];
   size_t n;
+  bool oversized = false;
   while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
     contents.append(buffer, n);
+    if (max_bytes != 0 && contents.size() > max_bytes) {
+      oversized = true;
+      break;
+    }
   }
-  bool failed = std::ferror(file) != 0;
+  bool failed = !oversized && std::ferror(file) != 0;
   std::fclose(file);
+  if (oversized) {
+    return Status::OutOfRange("file exceeds the " +
+                              std::to_string(max_bytes) + "-byte read cap: " +
+                              path);
+  }
   if (failed) return Status::Internal("read error: " + path);
   return contents;
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view contents) {
-  LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kFileWrite, path));
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::Internal("cannot open file for writing: " + path);
-  }
-  size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
-  bool failed = written != contents.size();
-  if (std::fclose(file) != 0) failed = true;
-  if (failed) return Status::Internal("write error: " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, contents);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
 }
 
 }  // namespace lsd

@@ -8,12 +8,26 @@
 
 namespace lsd {
 
-/// Reads an entire file into a string. Returns NotFound when the file
-/// cannot be opened and Internal on read errors.
-StatusOr<std::string> ReadFileToString(const std::string& path);
+/// Default byte cap for whole-file reads — matches the parser-facing
+/// `ParseLimits::max_input_bytes` default (xml/parse_report.h), so an
+/// oversized model or source file is rejected with the same kOutOfRange
+/// taxonomy as an oversized parse input.
+inline constexpr size_t kDefaultMaxFileBytes = 64u << 20;
 
-/// Writes `contents` to `path`, replacing any existing file.
+/// Reads an entire file into a string. Returns NotFound when the file
+/// cannot be opened, Internal on read errors, and OutOfRange when the file
+/// exceeds `max_bytes` (0 = unlimited).
+StatusOr<std::string> ReadFileToString(const std::string& path,
+                                       size_t max_bytes = kDefaultMaxFileBytes);
+
+/// Writes `contents` to `path`, replacing any existing file. Delegates to
+/// `WriteFileAtomic` (common/artifact_io.h): a crash or failure mid-write
+/// leaves the destination either absent or holding its previous complete
+/// contents, never a torn prefix.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+/// True when a file exists at `path` (any kind, following symlinks).
+bool FileExists(const std::string& path);
 
 }  // namespace lsd
 

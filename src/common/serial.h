@@ -74,6 +74,21 @@ class LineReader {
   size_t line_number_ = 0;
 };
 
+/// Requires `reader` to hold nothing but blank lines from here on; returns
+/// ParseError naming `what` otherwise. Deserializers call this after the
+/// last expected line: payloads now arrive exactly-bounded (CRC-framed
+/// artifact sections), so trailing content is damage or a framing bug, and
+/// silently ignoring it would mask both.
+inline Status ExpectAtEnd(LineReader& reader, const char* what) {
+  StatusOr<std::vector<std::string>> extra = reader.Next();
+  if (extra.ok()) {
+    return Status::ParseError(
+        StrFormat("%s: trailing content at line %zu ('%s'...)", what,
+                  reader.line_number(), extra->front().c_str()));
+  }
+  return Status::OK();
+}
+
 /// Percent-escapes `token` into a single non-empty whitespace-free field:
 /// '%', ASCII whitespace, other control bytes, and DEL become "%XX" (two
 /// uppercase hex digits); everything else (including UTF-8 bytes) passes

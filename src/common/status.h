@@ -24,6 +24,11 @@ enum class StatusCode {
   /// A Deadline (common/deadline.h) expired before the operation could
   /// complete and no anytime fallback was possible.
   kDeadlineExceeded,
+  /// Persisted bytes fail their integrity check (a CRC mismatch in an
+  /// artifact section — a bit flip, torn write, or hand edit). Distinct
+  /// from kParseError so callers can tell "this file was damaged after it
+  /// was written" from "this text never was a model".
+  kDataLoss,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +77,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

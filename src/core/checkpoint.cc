@@ -1,0 +1,277 @@
+#include "core/checkpoint.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/artifact_io.h"
+#include "common/metrics.h"
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+constexpr const char* kManifestKind = "checkpoint-manifest";
+constexpr const char* kFoldKind = "checkpoint-fold";
+constexpr const char* kLearnerKind = "checkpoint-learner";
+
+std::string FoldKey(const std::string& learner, size_t fold) {
+  return StrFormat("fold/%s/%zu", learner.c_str(), fold);
+}
+
+std::string LearnerKey(const std::string& name) { return "learner/" + name; }
+
+void AppendPrediction(const Prediction& prediction, std::string* out) {
+  out->append(StrFormat("p %zu", prediction.size()));
+  for (double score : prediction.scores) {
+    out->append(StrFormat(" %.17g", score));
+  }
+  out->push_back('\n');
+}
+
+StatusOr<Prediction> ReadPrediction(const std::vector<std::string>& fields,
+                                    size_t offset) {
+  LSD_ASSIGN_OR_RETURN(size_t n_scores, FieldToSize(fields[offset]));
+  if (fields.size() != offset + 1 + n_scores) {
+    return Status::ParseError("checkpoint: prediction field count mismatch");
+  }
+  Prediction prediction(n_scores);
+  for (size_t c = 0; c < n_scores; ++c) {
+    LSD_ASSIGN_OR_RETURN(prediction.scores[c],
+                         FieldToDouble(fields[offset + 1 + c]));
+  }
+  return prediction;
+}
+
+StatusOr<FoldPredictions> ParseFoldPayload(std::string_view payload) {
+  LineReader reader(payload);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("fold", 3));
+  if (header[1] != "1") {
+    return Status::FailedPrecondition("checkpoint-fold: unknown version");
+  }
+  LSD_ASSIGN_OR_RETURN(size_t n, FieldToSize(header[2]));
+  FoldPredictions out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         reader.Expect("p", 3));
+    LSD_ASSIGN_OR_RETURN(size_t index, FieldToSize(fields[1]));
+    LSD_ASSIGN_OR_RETURN(Prediction prediction, ReadPrediction(fields, 2));
+    out.emplace_back(index, std::move(prediction));
+  }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "checkpoint-fold"));
+  return out;
+}
+
+StatusOr<std::vector<Prediction>> ParseCvPayload(std::string_view payload) {
+  LineReader reader(payload);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("cv", 3));
+  if (header[1] != "1") {
+    return Status::FailedPrecondition("checkpoint-cv: unknown version");
+  }
+  LSD_ASSIGN_OR_RETURN(size_t n, FieldToSize(header[2]));
+  std::vector<Prediction> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         reader.Expect("p", 2));
+    LSD_ASSIGN_OR_RETURN(Prediction prediction, ReadPrediction(fields, 1));
+    out.push_back(std::move(prediction));
+  }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "checkpoint-cv"));
+  return out;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir) : dir_(std::move(dir)) {}
+
+std::string CheckpointManager::ManifestPath() const {
+  return dir_ + "/manifest.lsdckpt";
+}
+
+std::string CheckpointManager::FoldPath(const std::string& learner,
+                                        size_t fold) const {
+  return StrFormat("%s/fold-%s-%zu.lsdckpt", dir_.c_str(), learner.c_str(),
+                   fold);
+}
+
+std::string CheckpointManager::LearnerPath(const std::string& name) const {
+  return StrFormat("%s/learner-%s.lsdckpt", dir_.c_str(), name.c_str());
+}
+
+Status CheckpointManager::Open(uint64_t fingerprint, bool resume) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fingerprint_ = fingerprint;
+  done_.clear();
+  save_failures_ = 0;
+  restored_ = 0;
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::Internal("checkpoint: cannot create directory '" + dir_ +
+                            "': " + std::strerror(errno));
+  }
+  if (resume) {
+    // Adopt a prior run's progress only when its manifest validates and
+    // fingerprints the same problem; anything else (missing file, damage,
+    // different sources/seed/roster) silently starts fresh — resuming is
+    // an optimization, never a correctness dependency.
+    StatusOr<Artifact> manifest = ReadArtifact(ManifestPath(), kManifestKind);
+    if (manifest.ok()) {
+      const ArtifactSection* section = manifest->Find("manifest");
+      if (section != nullptr) {
+        LineReader reader(section->payload);
+        StatusOr<std::vector<std::string>> header = reader.Expect("ckpt", 3);
+        if (header.ok() && (*header)[1] == "1" &&
+            (*header)[2] == StrFormat("%016llx",
+                                      static_cast<unsigned long long>(
+                                          fingerprint))) {
+          std::set<std::string> adopted;
+          bool clean = true;
+          while (!reader.AtEnd()) {
+            StatusOr<std::vector<std::string>> line = reader.Next();
+            if (!line.ok()) break;  // trailing blank lines
+            if ((*line)[0] != "done" || line->size() != 2) {
+              clean = false;
+              break;
+            }
+            adopted.insert((*line)[1]);
+          }
+          if (clean) done_ = std::move(adopted);
+        }
+      }
+    }
+  }
+  // Persist the (possibly empty) adopted state so the manifest on disk
+  // always fingerprints the run in progress.
+  return WriteManifestLocked();
+}
+
+Status CheckpointManager::WriteManifestLocked() {
+  std::string payload = StrFormat(
+      "ckpt 1 %016llx\n", static_cast<unsigned long long>(fingerprint_));
+  for (const std::string& key : done_) {
+    payload += "done " + key + "\n";
+  }
+  Artifact artifact;
+  artifact.kind = kManifestKind;
+  artifact.sections.push_back({"manifest", std::move(payload)});
+  return WriteArtifact(ManifestPath(), artifact);
+}
+
+bool CheckpointManager::IsDone(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return done_.count(key) > 0;
+}
+
+void CheckpointManager::MarkDone(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  done_.insert(key);
+  Status written = WriteManifestLocked();
+  if (!written.ok()) {
+    ++save_failures_;
+    MetricsRegistry::Global().GetCounter("checkpoint.save_failures")
+        ->Increment();
+  }
+}
+
+bool CheckpointManager::LoadFold(const std::string& learner, size_t fold,
+                                 FoldPredictions* out) const {
+  if (!IsDone(FoldKey(learner, fold))) return false;
+  StatusOr<Artifact> artifact =
+      ReadArtifact(FoldPath(learner, fold), kFoldKind);
+  if (!artifact.ok()) return false;
+  const ArtifactSection* section = artifact->Find("predictions");
+  if (section == nullptr) return false;
+  StatusOr<FoldPredictions> parsed = ParseFoldPayload(section->payload);
+  if (!parsed.ok()) return false;
+  *out = std::move(parsed).value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++restored_;
+  }
+  return true;
+}
+
+void CheckpointManager::SaveFold(const std::string& learner, size_t fold,
+                                 const FoldPredictions& preds) {
+  std::string payload = StrFormat("fold 1 %zu\n", preds.size());
+  for (const auto& [index, prediction] : preds) {
+    payload += StrFormat("p %zu %zu", index, prediction.size());
+    for (double score : prediction.scores) {
+      payload += StrFormat(" %.17g", score);
+    }
+    payload.push_back('\n');
+  }
+  Artifact artifact;
+  artifact.kind = kFoldKind;
+  artifact.sections.push_back({"predictions", std::move(payload)});
+  Status written = WriteArtifact(FoldPath(learner, fold), artifact);
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++save_failures_;
+    MetricsRegistry::Global().GetCounter("checkpoint.save_failures")
+        ->Increment();
+    return;  // no manifest entry: a fold that didn't persist is not done
+  }
+  MarkDone(FoldKey(learner, fold));
+}
+
+bool CheckpointManager::LoadLearner(
+    const std::string& name, std::string* model,
+    std::vector<Prediction>* cv_predictions) const {
+  if (!IsDone(LearnerKey(name))) return false;
+  StatusOr<Artifact> artifact = ReadArtifact(LearnerPath(name), kLearnerKind);
+  if (!artifact.ok()) return false;
+  const ArtifactSection* model_section = artifact->Find("model");
+  const ArtifactSection* cv_section = artifact->Find("cv");
+  if (model_section == nullptr || cv_section == nullptr) return false;
+  StatusOr<std::vector<Prediction>> parsed =
+      ParseCvPayload(cv_section->payload);
+  if (!parsed.ok()) return false;
+  *model = model_section->payload;
+  *cv_predictions = std::move(parsed).value();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++restored_;
+  }
+  return true;
+}
+
+void CheckpointManager::SaveLearner(
+    const std::string& name, const std::string& model,
+    const std::vector<Prediction>& cv_predictions) {
+  std::string cv_payload = StrFormat("cv 1 %zu\n", cv_predictions.size());
+  for (const Prediction& prediction : cv_predictions) {
+    AppendPrediction(prediction, &cv_payload);
+  }
+  Artifact artifact;
+  artifact.kind = kLearnerKind;
+  artifact.sections.push_back({"model", model});
+  artifact.sections.push_back({"cv", std::move(cv_payload)});
+  Status written = WriteArtifact(LearnerPath(name), artifact);
+  if (!written.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++save_failures_;
+    MetricsRegistry::Global().GetCounter("checkpoint.save_failures")
+        ->Increment();
+    return;
+  }
+  MarkDone(LearnerKey(name));
+}
+
+size_t CheckpointManager::save_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return save_failures_;
+}
+
+size_t CheckpointManager::restored() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return restored_;
+}
+
+}  // namespace lsd

@@ -1,0 +1,111 @@
+#ifndef LSD_CORE_CHECKPOINT_H_
+#define LSD_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/cross_validation.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+
+/// Training checkpoint store: lets an interrupted `LsdSystem::Train` run
+/// resume without redoing finished work, with results bit-identical to an
+/// uninterrupted run.
+///
+/// Layout — one directory, all files in the crc-framed artifact format
+/// (common/artifact_io.h), every write atomic + fsynced:
+///
+///   manifest.lsdckpt            kind checkpoint-manifest; the fingerprint
+///                               of the training problem plus one `done`
+///                               key per completed unit of work
+///   fold-<learner>-<n>.lsdckpt  kind checkpoint-fold; the held-out
+///                               predictions of one finished CV fold
+///   learner-<name>.lsdckpt      kind checkpoint-learner; a finished
+///                               learner's serialized model and its full
+///                               stacking predictions
+///
+/// The manifest is the source of truth: a fold or learner file is only
+/// eligible for restore once its `done` key is in a manifest whose
+/// fingerprint matches the current problem, so stale files from an
+/// abandoned run (different sources, seed, roster, or fold count) are
+/// inert rather than silently wrong. The manifest is rewritten atomically
+/// after each fold and each learner completes — a crash at any instant
+/// leaves either the old or the new manifest, never a torn one.
+///
+/// Every save is best-effort: a checkpoint that fails to persist (disk
+/// full, injected fault) costs recomputation after the next crash, never
+/// correctness, so failures increment `save_failures()` and training
+/// continues. Loads are strict: a checkpoint that exists but fails
+/// validation is skipped and the work is redone.
+///
+/// Thread-safety: all methods may be called concurrently (Train runs
+/// learners and folds on a pool); the manifest is mutex-guarded, and
+/// fold/learner files are only ever written by the task that owns them.
+class CheckpointManager {
+ public:
+  /// `dir` is created if missing (one level).
+  explicit CheckpointManager(std::string dir);
+
+  /// Binds the store to a training problem. With `resume` set, an existing
+  /// manifest whose fingerprint equals `fingerprint` is adopted and its
+  /// completed work becomes restorable; a missing, corrupt, or
+  /// mismatched manifest — or `resume` false — starts empty. Errors only
+  /// when the directory cannot be created or the fresh manifest cannot be
+  /// written (checkpointing would be a no-op; the caller should disable it).
+  Status Open(uint64_t fingerprint, bool resume);
+
+  /// Whether the unit of work `key` completed in a prior adopted run.
+  bool IsDone(const std::string& key) const;
+
+  /// Records `key` as complete and atomically rewrites the manifest.
+  void MarkDone(const std::string& key);
+
+  /// Restores one CV fold's held-out predictions. True only when the fold
+  /// is marked done in the adopted manifest and its file validates.
+  bool LoadFold(const std::string& learner, size_t fold,
+                FoldPredictions* out) const;
+
+  /// Persists one finished fold, then marks it done.
+  void SaveFold(const std::string& learner, size_t fold,
+                const FoldPredictions& preds);
+
+  /// Restores a finished learner: its serialized model text and its
+  /// stacking predictions (one per training example).
+  bool LoadLearner(const std::string& name, std::string* model,
+                   std::vector<Prediction>* cv_predictions) const;
+
+  /// Persists a finished learner, then marks it done.
+  void SaveLearner(const std::string& name, const std::string& model,
+                   const std::vector<Prediction>& cv_predictions);
+
+  /// Checkpoint writes that failed (and were absorbed) since Open.
+  size_t save_failures() const;
+
+  /// Units of work restored from checkpoint since Open.
+  size_t restored() const;
+
+  /// The manifest path, exposed for tests and tooling.
+  std::string ManifestPath() const;
+
+ private:
+  std::string FoldPath(const std::string& learner, size_t fold) const;
+  std::string LearnerPath(const std::string& name) const;
+  /// Rewrites the manifest from `done_`; caller holds `mutex_`.
+  Status WriteManifestLocked();
+
+  std::string dir_;
+  uint64_t fingerprint_ = 0;
+  mutable std::mutex mutex_;
+  std::set<std::string> done_;
+  size_t save_failures_ = 0;
+  mutable size_t restored_ = 0;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_CORE_CHECKPOINT_H_

@@ -52,6 +52,20 @@ struct LsdConfig {
   size_t max_listings_match = 300;
   size_t max_instances_per_column_match = 60;
 
+  // --- Checkpointing ------------------------------------------------------
+  /// Directory for training checkpoints (empty = no checkpointing). When
+  /// set, Train() persists each completed CV fold and each finished
+  /// learner as atomic, checksummed artifacts (core/checkpoint.h) so an
+  /// interrupted run can pick up where it stopped. Checkpoint write
+  /// failures degrade (noted in train_report()) rather than fail training.
+  std::string checkpoint_dir;
+  /// With `checkpoint_dir` set: adopt checkpoints from a previous run of
+  /// the *same* training problem (sources, seed, folds, roster — verified
+  /// by fingerprint) and skip the completed work. The resumed system is
+  /// bit-identical to one trained in a single run. False starts fresh,
+  /// overwriting any prior checkpoints.
+  bool resume_from_checkpoint = false;
+
   // --- Execution ----------------------------------------------------------
   /// Threads used for training (per-learner CV + fit) and matching
   /// (per-column × per-learner prediction). 0 = hardware concurrency,

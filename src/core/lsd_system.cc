@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
+#include "common/artifact_io.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
 #include "common/logging.h"
@@ -10,6 +12,7 @@
 #include "common/serial.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "core/checkpoint.h"
 #include "learners/content_matcher.h"
 #include "learners/county_recognizer.h"
 #include "learners/format_learner.h"
@@ -19,11 +22,33 @@
 namespace lsd {
 namespace {
 
+/// Kind tag of model artifacts, and the magic of the pre-artifact text
+/// format (still loadable; see LoadModelFromLegacyText).
+constexpr const char* kModelArtifactKind = "model";
+constexpr const char* kLegacyModelMagic = "lsd-model";
+
 uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+// FNV-1a accumulators for the training-problem fingerprint.
+uint64_t HashBytes(uint64_t h, std::string_view bytes) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t HashNumber(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
 }
 
 }  // namespace
@@ -127,6 +152,33 @@ Status LsdSystem::AddTrainingSource(const DataSource& source,
   return Status::OK();
 }
 
+uint64_t LsdSystem::TrainingFingerprint() const {
+  uint64_t h = 14695981039346656037ULL;
+  for (const std::string& label : labels_.labels()) {
+    h = HashBytes(h, label);
+    h = HashBytes(h, "\x1f");
+  }
+  for (const auto& learner : learners_) {
+    h = HashBytes(h, learner->name());
+    h = HashBytes(h, "\x1f");
+  }
+  h = HashNumber(h, config_.seed);
+  h = HashNumber(h, config_.cv_folds);
+  h = HashNumber(h, training_examples_.size());
+  for (size_t i = 0; i < training_examples_.size(); ++i) {
+    const TrainingExample& example = training_examples_[i];
+    h = HashBytes(h, example.instance.tag_name);
+    h = HashBytes(h, "\x1f");
+    h = HashBytes(h, example.instance.name_path);
+    h = HashBytes(h, "\x1f");
+    h = HashBytes(h, example.instance.content);
+    h = HashBytes(h, "\x1f");
+    h = HashNumber(h, static_cast<uint64_t>(example.label));
+    h = HashNumber(h, static_cast<uint64_t>(training_group_ids_[i]));
+  }
+  return h;
+}
+
 std::vector<std::string> LsdSystem::QuarantinedLearners() const {
   std::vector<std::string> out;
   for (size_t l = 0; l < learners_.size(); ++l) {
@@ -180,32 +232,97 @@ Status LsdSystem::Train(const Deadline& deadline) {
   // never on thread scheduling.
   train_report_ = RunReport();
   train_healthy_.assign(learners_.size(), true);
+
+  // Optional crash-safety: checkpoint each completed fold and learner so a
+  // killed run resumes instead of restarting. The store is fingerprinted
+  // to this exact training problem; a checkpoint directory left over from
+  // different sources, seed, folds, or roster is ignored. Checkpointing
+  // that cannot even start (unwritable directory) is disabled with a note
+  // — it is an optimization, never a correctness dependency.
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!config_.checkpoint_dir.empty()) {
+    checkpoints = std::make_unique<CheckpointManager>(config_.checkpoint_dir);
+    Status opened = checkpoints->Open(TrainingFingerprint(),
+                                      config_.resume_from_checkpoint);
+    if (!opened.ok()) {
+      train_report_.notes.push_back("checkpointing disabled: " +
+                                    opened.message());
+      checkpoints.reset();
+    }
+  }
+
   std::vector<Status> outcomes(learners_.size(), Status::OK());
   LSD_RETURN_IF_ERROR(pool_.ParallelFor(
       learners_.size(), [&](size_t l) -> Status {
         TraceSpan span("train/learner", learners_[l]->name());
         auto start = std::chrono::steady_clock::now();
         outcomes[l] = [&]() -> Status {
+          const std::string name = learners_[l]->name();
+          // A learner that finished in a previous (interrupted) run is
+          // restored whole: its serialized model and its stacking
+          // predictions. Both were persisted with exact round-trip
+          // encodings, so the restored state is bit-identical to the state
+          // the interrupted run computed.
+          if (checkpoints != nullptr) {
+            std::string model;
+            std::vector<Prediction> cv;
+            if (checkpoints->LoadLearner(name, &model, &cv) &&
+                cv.size() == training_examples_.size()) {
+              Status loaded = learners_[l]->LoadModel(model);
+              if (loaded.ok()) {
+                cv_predictions_[l] = std::move(cv);
+                MetricsRegistry::Global()
+                    .GetCounter("checkpoint.learners_restored")
+                    ->Increment();
+                return Status::OK();
+              }
+            }
+          }
           if (deadline.expired()) {
             return Status::DeadlineExceeded(
-                "training deadline expired before learner '" +
-                learners_[l]->name() + "' started");
+                "training deadline expired before learner '" + name +
+                "' started");
           }
-          LSD_RETURN_IF_ERROR(
-              CheckFault(FaultSite::kLearnerTrain, learners_[l]->name()));
+          LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kLearnerTrain, name));
           // Stacking first (the learner must not have seen the held-out
           // folds), then the final model on the full training set.
+          CrossValidationOptions learner_cv = cv_options;
+          if (checkpoints != nullptr) {
+            CheckpointManager* store = checkpoints.get();
+            learner_cv.load_fold = [store, name](size_t fold,
+                                                 FoldPredictions* out) {
+              return store->LoadFold(name, fold, out);
+            };
+            learner_cv.save_fold = [store, name](
+                                       size_t fold,
+                                       const FoldPredictions& preds) {
+              store->SaveFold(name, fold, preds);
+            };
+          }
           LSD_ASSIGN_OR_RETURN(
               cv_predictions_[l],
               CrossValidatePredictions(*learners_[l], training_examples_,
-                                       labels_, cv_options));
-          return learners_[l]->Train(training_examples_, labels_);
+                                       labels_, learner_cv));
+          LSD_RETURN_IF_ERROR(
+              learners_[l]->Train(training_examples_, labels_));
+          if (checkpoints != nullptr) {
+            StatusOr<std::string> model = learners_[l]->SerializeModel();
+            if (model.ok()) {
+              checkpoints->SaveLearner(name, *model, cv_predictions_[l]);
+            }
+          }
+          return Status::OK();
         }();
         MetricsRegistry::Global()
             .GetHistogram("train.micros." + learners_[l]->name())
             ->Record(ElapsedMicros(start));
         return Status::OK();
       }));
+  if (checkpoints != nullptr && checkpoints->save_failures() > 0) {
+    train_report_.notes.push_back(StrFormat(
+        "%zu checkpoint write(s) failed; training completed but a crash "
+        "would redo that work", checkpoints->save_failures()));
+  }
 
   size_t survivors = 0;
   for (size_t l = 0; l < learners_.size(); ++l) {
@@ -630,38 +747,138 @@ Status LsdSystem::SaveModel(const std::string& path) const {
         "' is quarantined; a degraded ensemble cannot be persisted — retrain "
         "cleanly first");
   }
-  std::string out = "lsd-model 1\n";
-  out += StrFormat("labels %zu\n", labels_.size());
+  Artifact artifact;
+  artifact.kind = kModelArtifactKind;
+  std::string labels_payload = StrFormat("labels %zu\n", labels_.size());
   for (const std::string& label : labels_.labels()) {
-    out += "l " + label + "\n";
+    labels_payload += "l " + label + "\n";
   }
-  out += StrFormat("node-labels %zu\n", gold_node_labels_.size());
+  artifact.sections.push_back({"labels", std::move(labels_payload)});
+  std::string nl_payload =
+      StrFormat("node-labels %zu\n", gold_node_labels_.size());
   for (const auto& [tag, label] : gold_node_labels_) {
-    out += "nl " + tag + " " + label + "\n";
+    nl_payload += "nl " + tag + " " + label + "\n";
   }
+  artifact.sections.push_back({"node-labels", std::move(nl_payload)});
   for (const auto& learner : learners_) {
     LSD_ASSIGN_OR_RETURN(std::string payload, learner->SerializeModel());
-    out += StrFormat("learner %s %zu\n", learner->name().c_str(),
-                     CountLines(payload));
-    out += payload;
+    artifact.sections.push_back(
+        {"learner-" + learner->name(), std::move(payload)});
   }
-  std::string meta = full_meta_.Serialize();
-  out += StrFormat("meta-block %zu\n", CountLines(meta));
-  out += meta;
-  return WriteStringToFile(path, out);
+  artifact.sections.push_back({"meta", full_meta_.Serialize()});
+
+  // Publish in three steps so a failure at any point leaves a loadable
+  // model behind:
+  //   1. the new artifact lands fully (atomic, fsync'd) in a staging file
+  //      — a write fault here leaves the primary byte-identical;
+  //   2. a primary that still *validates* rotates to the .lastgood slot
+  //      (never rotate blindly: a corrupt primary must not evict the one
+  //      good copy left; a failed rotation just skips the backup);
+  //   3. the staging file renames over the primary. A crash between 2 and
+  //      3 leaves no primary but an intact .lastgood — LoadModel's
+  //      NotFound fallback covers exactly this window.
+  const std::string staging = path + ".staging";
+  LSD_RETURN_IF_ERROR(WriteArtifact(staging, artifact));
+  if (FileExists(path)) {
+    bool valid = ReadArtifact(path, kModelArtifactKind).ok();
+    if (!valid) {
+      // A legacy-format primary counts as a prior good generation too.
+      StatusOr<std::string> text = ReadFileToString(path);
+      valid = text.ok() && text->rfind(kLegacyModelMagic, 0) == 0;
+    }
+    if (valid) {
+      std::string backup = path + ".lastgood";
+      Status rotated = CheckFault(FaultSite::kFileRename, backup);
+      if (rotated.ok() && std::rename(path.c_str(), backup.c_str()) != 0) {
+        rotated = Status::Internal("rename to " + backup + " failed");
+      }
+      MetricsRegistry::Global()
+          .GetCounter(rotated.ok() ? "artifact.lastgood_rotations"
+                                   : "artifact.lastgood_rotation_failures")
+          ->Increment();
+    }
+  }
+  Status published = CheckFault(FaultSite::kFileRename, path);
+  if (published.ok() && std::rename(staging.c_str(), path.c_str()) != 0) {
+    published =
+        Status::Internal("SaveModel: publishing rename to " + path + " failed");
+  }
+  if (!published.ok()) {
+    std::remove(staging.c_str());
+    return published;
+  }
+  return Status::OK();
 }
 
-Status LsdSystem::LoadModel(const std::string& path) {
-  if (trained_) {
-    return Status::FailedPrecondition(
-        "LoadModel: system already trained; construct a fresh LsdSystem");
+Status LsdSystem::LoadModelFromArtifact(const Artifact& artifact) {
+  const ArtifactSection* labels_section = artifact.Find("labels");
+  const ArtifactSection* nl_section = artifact.Find("node-labels");
+  const ArtifactSection* meta_section = artifact.Find("meta");
+  if (labels_section == nullptr || nl_section == nullptr ||
+      meta_section == nullptr) {
+    return Status::ParseError("LoadModel: model artifact is missing a "
+                              "labels/node-labels/meta section");
   }
-  LSD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (artifact.sections.size() != 3 + learners_.size()) {
+    return Status::FailedPrecondition(
+        "LoadModel: model stores a different learner roster — construct the "
+        "system with the same LsdConfig");
+  }
+  {
+    LineReader reader(labels_section->payload);
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> labels_line,
+                         reader.Expect("labels", 2));
+    LSD_ASSIGN_OR_RETURN(size_t n_labels, FieldToSize(labels_line[1]));
+    if (n_labels != labels_.size()) {
+      return Status::FailedPrecondition(
+          "LoadModel: label count differs from the mediated schema");
+    }
+    for (size_t c = 0; c < n_labels; ++c) {
+      LSD_ASSIGN_OR_RETURN(std::vector<std::string> label_line,
+                           reader.Expect("l", 2));
+      if (label_line[1] != labels_.NameOf(static_cast<int>(c))) {
+        return Status::FailedPrecondition(
+            "LoadModel: label '" + label_line[1] +
+            "' does not match the mediated schema at position " +
+            std::to_string(c));
+      }
+    }
+    LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "model labels"));
+  }
+  {
+    LineReader reader(nl_section->payload);
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> nl_header,
+                         reader.Expect("node-labels", 2));
+    LSD_ASSIGN_OR_RETURN(size_t n_node_labels, FieldToSize(nl_header[1]));
+    gold_node_labels_.clear();
+    for (size_t i = 0; i < n_node_labels; ++i) {
+      LSD_ASSIGN_OR_RETURN(std::vector<std::string> nl,
+                           reader.Expect("nl", 3));
+      gold_node_labels_[nl[1]] = nl[2];
+    }
+    LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "model node-labels"));
+  }
+  for (auto& learner : learners_) {
+    const ArtifactSection* section =
+        artifact.Find("learner-" + learner->name());
+    if (section == nullptr) {
+      return Status::FailedPrecondition(
+          "LoadModel: model has no section for learner '" + learner->name() +
+          "' — construct the system with the same LsdConfig");
+    }
+    LSD_RETURN_IF_ERROR(learner->LoadModel(section->payload));
+  }
+  LSD_ASSIGN_OR_RETURN(full_meta_,
+                       MetaLearner::Deserialize(meta_section->payload));
+  return Status::OK();
+}
+
+Status LsdSystem::LoadModelFromLegacyText(std::string_view text) {
   LineReader reader(text);
   LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
                        reader.Expect("lsd-model", 2));
   if (header[1] != "1") {
-    return Status::ParseError("lsd-model: unknown version");
+    return Status::FailedPrecondition("lsd-model: unknown version");
   }
   LSD_ASSIGN_OR_RETURN(std::vector<std::string> labels_line,
                        reader.Expect("labels", 2));
@@ -706,6 +923,21 @@ Status LsdSystem::LoadModel(const std::string& path) {
   LSD_ASSIGN_OR_RETURN(size_t meta_lines, FieldToSize(meta_frame[1]));
   LSD_ASSIGN_OR_RETURN(std::string meta_payload, reader.TakeLines(meta_lines));
   LSD_ASSIGN_OR_RETURN(full_meta_, MetaLearner::Deserialize(meta_payload));
+  return ExpectAtEnd(reader, "lsd-model");
+}
+
+Status LsdSystem::LoadModelFile(const std::string& path) {
+  LSD_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.rfind(kLegacyModelMagic, 0) == 0) {
+    LSD_RETURN_IF_ERROR(LoadModelFromLegacyText(bytes));
+  } else {
+    StatusOr<Artifact> decoded = DecodeArtifact(bytes, kModelArtifactKind);
+    if (!decoded.ok()) {
+      return Status(decoded.status().code(),
+                    path + ": " + decoded.status().message());
+    }
+    LSD_RETURN_IF_ERROR(LoadModelFromArtifact(*decoded));
+  }
   if (full_meta_.learner_count() != learners_.size() ||
       full_meta_.label_count() != labels_.size()) {
     return Status::FailedPrecondition(
@@ -720,6 +952,35 @@ Status LsdSystem::LoadModel(const std::string& path) {
   train_healthy_.assign(learners_.size(), true);
   train_report_ = RunReport();
   trained_ = true;
+  return Status::OK();
+}
+
+Status LsdSystem::LoadModel(const std::string& path) {
+  if (trained_) {
+    return Status::FailedPrecondition(
+        "LoadModel: system already trained; construct a fresh LsdSystem");
+  }
+  loaded_from_last_good_ = false;
+  Status primary = LoadModelFile(path);
+  if (primary.ok()) return primary;
+  // Fall back to the newest last-good generation only for damage —
+  // corruption (bad magic, truncation, checksum mismatch) or a missing
+  // primary (a crash in SaveModel's rotate-then-write window leaves the
+  // backup as the only copy). Config mismatches and version skew are the
+  // caller's problem and must surface as-is.
+  bool recoverable = primary.code() == StatusCode::kParseError ||
+                     primary.code() == StatusCode::kDataLoss ||
+                     primary.code() == StatusCode::kOutOfRange ||
+                     primary.code() == StatusCode::kNotFound;
+  if (!recoverable) return primary;
+  Status fallback = LoadModelFile(path + ".lastgood");
+  if (!fallback.ok()) return primary;  // the primary's error says what broke
+  loaded_from_last_good_ = true;
+  train_report_.notes.push_back(
+      "model at '" + path + "' was unreadable (" + primary.message() +
+      "); recovered from the last-good artifact");
+  MetricsRegistry::Global().GetCounter("artifact.lastgood_recoveries")
+      ->Increment();
   return Status::OK();
 }
 

@@ -24,6 +24,8 @@
 
 namespace lsd {
 
+struct Artifact;
+
 /// All per-learner, per-instance predictions for one target source —
 /// computed once, reusable across `MatchOptions` (the evaluation harness
 /// exploits this to score many system configurations without re-running
@@ -143,10 +145,20 @@ class LsdSystem {
   const MetaLearner& meta_learner() const { return full_meta_; }
 
   /// Persists the trained system (every learner's model, the full-roster
-  /// meta-learner weights, and the gold node-label map) to `path` in the
-  /// library's text model format. Requires `trained()`. Constraints are
-  /// not part of the model file — keep them in a `.constraints` file
-  /// (constraints/constraint_parser.h) and re-register after loading.
+  /// meta-learner weights, and the gold node-label map) to `path` as a
+  /// checksummed artifact (common/artifact_io.h), written atomically.
+  /// Requires `trained()`. Constraints are not part of the model file —
+  /// keep them in a `.constraints` file (constraints/constraint_parser.h)
+  /// and re-register after loading.
+  ///
+  /// Last-good rotation: when `path` already holds a *valid* model, it is
+  /// first renamed to `path + ".lastgood"` so the previous generation
+  /// survives as a fallback; an invalid file at `path` is simply replaced
+  /// (never rotated — a corrupt primary must not displace a good backup).
+  /// A crash or injected fault mid-save leaves the primary either absent
+  /// (with the last-good intact) or holding complete old or new contents,
+  /// never a torn file.
+  ///
   /// A degraded system (quarantined learners) cannot be saved: the model
   /// format stores the full roster, and persisting a partial ensemble
   /// would silently bake the degradation into future sessions.
@@ -154,11 +166,25 @@ class LsdSystem {
 
   /// Restores a model saved by `SaveModel` into this system, which must be
   /// untrained and configured with the same mediated schema and learner
-  /// roster. Limitation: a loaded system has no stored cross-validation
+  /// roster. Both the artifact format and the legacy "lsd-model 1" text
+  /// format load (dispatch on magic).
+  ///
+  /// Recovery: when the primary is missing, truncated, or fails its
+  /// checksums, the loader falls back to the newest last-good artifact
+  /// (`path + ".lastgood"`); success sets `loaded_from_last_good()` and
+  /// leaves a note in `train_report()`. Config mismatches (wrong roster or
+  /// schema) do not trigger fallback — they mean the caller asked for the
+  /// wrong model, not that the bytes rotted.
+  ///
+  /// Limitation: a loaded system has no stored cross-validation
   /// predictions, so `MatchOptions::learners` subsets that need a freshly
   /// trained subset meta-learner are unavailable — match with the full
   /// roster (or with `use_meta_learner = false`).
   Status LoadModel(const std::string& path);
+
+  /// True when the last successful LoadModel recovered from the last-good
+  /// artifact because the primary was missing or corrupt.
+  bool loaded_from_last_good() const { return loaded_from_last_good_; }
 
  private:
   /// NodeLabeler backed by a tag→label map; the system points the XML
@@ -181,6 +207,12 @@ class LsdSystem {
   /// Index of the learner with `name` in `learners_`, or -1.
   int LearnerIndex(const std::string& name) const;
 
+  /// FNV-1a digest of the training problem — labels, roster, seed, fold
+  /// count, and every training example with its stacking group. Guards
+  /// checkpoint resume: checkpoints fingerprinted for a different problem
+  /// are ignored rather than silently restored.
+  uint64_t TrainingFingerprint() const;
+
   /// Resolves MatchOptions.learners to a mask over `learners_`.
   StatusOr<std::vector<bool>> ResolveLearnerMask(
       const std::vector<std::string>& names) const;
@@ -191,6 +223,16 @@ class LsdSystem {
   /// Subsamples a column's instances to `cap` in place (deterministic
   /// stride). No-op — and no copies — when no cap applies.
   static void CapInstances(std::vector<Instance>* instances, size_t cap);
+
+  /// Reads and applies the model file at `path` (either format). Factored
+  /// out of LoadModel so the last-good fallback can retry cleanly.
+  Status LoadModelFile(const std::string& path);
+
+  /// Applies a decoded model artifact's sections to this system.
+  Status LoadModelFromArtifact(const Artifact& artifact);
+
+  /// Applies the legacy "lsd-model 1" line format.
+  Status LoadModelFromLegacyText(std::string_view text);
 
   Dtd mediated_schema_;
   LsdConfig config_;
@@ -225,6 +267,7 @@ class LsdSystem {
   /// `config_.num_threads` (a size-1 pool runs everything inline).
   ThreadPool pool_;
   bool trained_ = false;
+  bool loaded_from_last_good_ = false;
 };
 
 }  // namespace lsd

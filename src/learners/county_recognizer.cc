@@ -79,7 +79,7 @@ Status CountyRecognizer::LoadModel(std::string_view text) {
   target_label_ = fields[2];
   LSD_ASSIGN_OR_RETURN(n_labels_, FieldToSize(fields[3]));
   LSD_ASSIGN_OR_RETURN(target_index_, FieldToInt(fields[4]));
-  return Status::OK();
+  return ExpectAtEnd(reader, "county");
 }
 
 

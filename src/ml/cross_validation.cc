@@ -80,10 +80,32 @@ StatusOr<std::vector<Prediction>> CrossValidatePredictions(
     }
     if (held_out.empty()) return Status::OK();
     if (train_split.empty()) return Status::OK();  // leaves uniform predictions
+    // A checkpointed fold is restored instead of retrained. The checkpoint
+    // stores exact (%.17g round-trip) predictions for this fold's held-out
+    // indices, so the stacking inputs — and hence the meta-learner — are
+    // bit-identical whether the fold was computed now or before a crash.
+    if (options.load_fold) {
+      FoldPredictions restored;
+      if (options.load_fold(fold, &restored)) {
+        for (auto& [index, prediction] : restored) {
+          if (index < out.size()) out[index] = std::move(prediction);
+        }
+        MetricsRegistry::Global()
+            .GetCounter("checkpoint.folds_restored")
+            ->Increment();
+        return Status::OK();
+      }
+    }
     std::unique_ptr<BaseLearner> model = prototype.CloneUntrained();
     LSD_RETURN_IF_ERROR(model->Train(train_split, labels));
     for (size_t index : held_out) {
       out[index] = model->Predict(examples[index].instance);
+    }
+    if (options.save_fold) {
+      FoldPredictions fresh;
+      fresh.reserve(held_out.size());
+      for (size_t index : held_out) fresh.emplace_back(index, out[index]);
+      options.save_fold(fold, fresh);
     }
     MetricsRegistry::Global().GetCounter("cv.folds_trained")->Increment();
     MetricsRegistry::Global()

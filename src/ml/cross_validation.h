@@ -2,6 +2,8 @@
 #define LSD_ML_CROSS_VALIDATION_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -11,6 +13,12 @@
 namespace lsd {
 
 class ThreadPool;
+
+/// The held-out predictions of one completed CV fold: (example index,
+/// prediction) pairs, in ascending index order. The unit of fold-level
+/// checkpointing — serializable with full precision, so a resumed run's
+/// stacking inputs are bit-identical to an uninterrupted one's.
+using FoldPredictions = std::vector<std::pair<size_t, Prediction>>;
 
 /// Options for `CrossValidatePredictions`.
 struct CrossValidationOptions {
@@ -29,6 +37,14 @@ struct CrossValidationOptions {
   /// is fixed by `seed` before any training starts, so predictions are
   /// bit-identical to the serial path). Null = serial.
   ThreadPool* pool = nullptr;
+  /// Checkpoint hooks (both optional, called from fold tasks — must be
+  /// thread-safe). `load_fold(fold, out)` returns true when a persisted
+  /// checkpoint for `fold` was restored into `out`, in which case the fold
+  /// clone is not trained at all. `save_fold(fold, preds)` persists a
+  /// freshly computed fold; failures are the callee's to absorb (a lost
+  /// checkpoint costs recomputation, never correctness).
+  std::function<bool(size_t fold, FoldPredictions* out)> load_fold;
+  std::function<void(size_t fold, const FoldPredictions& preds)> save_fold;
 };
 
 /// Computes the stacking set CV(L) of Section 3.1 step 5(a): randomly

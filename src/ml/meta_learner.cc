@@ -168,6 +168,7 @@ StatusOr<MetaLearner> MetaLearner::Deserialize(std::string_view text) {
     }
     out.weights_.push_back(std::move(weights));
   }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "meta"));
   out.trained_ = true;
   return out;
 }

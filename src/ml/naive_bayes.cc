@@ -200,6 +200,7 @@ StatusOr<NaiveBayesClassifier> NaiveBayesClassifier::Deserialize(
       bucket[id] = count;
     }
   }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "nb"));
   out.trained_ = true;
   return out;
 }

@@ -184,6 +184,7 @@ StatusOr<WhirlClassifier> WhirlClassifier::Deserialize(std::string_view text) {
     }
     out.examples_.push_back(std::move(example));
   }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "whirl"));
   out.trained_ = true;
   return out;
 }

@@ -163,6 +163,7 @@ StatusOr<TfIdfModel> TfIdfModel::Deserialize(std::string_view text) {
     LSD_ASSIGN_OR_RETURN(size_t df, FieldToSize(fields[2]));
     out.document_frequency_.push_back(df);
   }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "tfidf"));
   out.Finalize();
   return out;
 }

@@ -1,0 +1,447 @@
+// Unit tests for the crash-safe artifact layer (common/artifact_io.h) and
+// the training checkpoint store (core/checkpoint.h):
+//   - atomic writes that leave the destination untouched under injected
+//     write/sync/rename faults,
+//   - the framed encode/decode round trip and its corruption taxonomy
+//     (bad magic, version skew, truncation, bit flips, kind mismatch),
+//   - injected write-corruption rules (torn writes the loader must catch),
+//   - checkpoint manifest adoption, fingerprint gating, and fold/learner
+//     round trips.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/artifact_io.h"
+#include "common/fault_injection.h"
+#include "common/file_util.h"
+#include "common/status.h"
+#include "core/checkpoint.h"
+#include "gtest/gtest.h"
+#include "ml/prediction.h"
+
+namespace lsd {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/lsd_artifact_test_" + name;
+}
+
+Artifact SampleArtifact() {
+  Artifact a;
+  a.kind = "sample";
+  // Binary-safe payloads: embedded newlines, NULs, and header-lookalikes
+  // must survive framing untouched.
+  a.sections.push_back({"alpha", std::string("line one\nline two\n")});
+  a.sections.push_back({"binary", std::string("\x00\x01\xff---\ns x 0 0\n", 16)});
+  a.sections.push_back({"empty", std::string()});
+  return a;
+}
+
+TEST(Crc32Test, KnownVector) {
+  // The CRC-32 check value from the IEEE 802.3 specification.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(ArtifactCodecTest, RoundTripPreservesKindOrderAndBytes) {
+  Artifact original = SampleArtifact();
+  std::string encoded = EncodeArtifact(original);
+
+  StatusOr<Artifact> decoded = DecodeArtifact(encoded, "sample");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, "sample");
+  ASSERT_EQ(decoded->sections.size(), original.sections.size());
+  for (size_t i = 0; i < original.sections.size(); ++i) {
+    EXPECT_EQ(decoded->sections[i].name, original.sections[i].name);
+    EXPECT_EQ(decoded->sections[i].payload, original.sections[i].payload);
+  }
+  EXPECT_NE(decoded->Find("binary"), nullptr);
+  EXPECT_EQ(decoded->Find("missing"), nullptr);
+}
+
+TEST(ArtifactCodecTest, KindMismatchIsInvalidArgument) {
+  std::string encoded = EncodeArtifact(SampleArtifact());
+  StatusOr<Artifact> decoded = DecodeArtifact(encoded, "model");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArtifactCodecTest, BadMagicIsParseError) {
+  StatusOr<Artifact> decoded = DecodeArtifact("not an artifact at all\n");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+
+  // A legacy model file must classify as "not an artifact", not crash.
+  decoded = DecodeArtifact("lsd-model 1\nlabels 0\n");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+
+  decoded = DecodeArtifact("");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(ArtifactCodecTest, VersionSkewIsFailedPrecondition) {
+  std::string encoded = EncodeArtifact(SampleArtifact());
+  size_t pos = encoded.find(" 1 ");
+  ASSERT_NE(pos, std::string::npos);
+  encoded.replace(pos, 3, " 2 ");
+  StatusOr<Artifact> decoded = DecodeArtifact(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArtifactCodecTest, TruncationIsOutOfRange) {
+  std::string encoded = EncodeArtifact(SampleArtifact());
+  // Cut inside the payload region: the section table promises more bytes
+  // than remain.
+  StatusOr<Artifact> decoded = DecodeArtifact(
+      std::string_view(encoded).substr(0, encoded.size() - 5));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+
+  // Cut inside the section table (before the --- separator).
+  size_t sep = encoded.find("---\n");
+  ASSERT_NE(sep, std::string::npos);
+  decoded = DecodeArtifact(std::string_view(encoded).substr(0, sep - 2));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ArtifactCodecTest, PayloadBitFlipIsDataLoss) {
+  std::string encoded = EncodeArtifact(SampleArtifact());
+  size_t sep = encoded.find("---\n");
+  ASSERT_NE(sep, std::string::npos);
+  std::string flipped = encoded;
+  flipped[sep + 4] ^= 0x10;  // first payload byte
+  StatusOr<Artifact> decoded = DecodeArtifact(flipped);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ArtifactCodecTest, EveryPossibleBitFlipIsClassifiedNeverAccepted) {
+  // Exhaustive single-bit-flip sweep: no flip anywhere in the file may
+  // decode successfully with different contents, and every flip must map
+  // to one of the documented taxonomy codes (never Internal, never UB).
+  Artifact original = SampleArtifact();
+  std::string encoded = EncodeArtifact(original);
+  for (size_t byte = 0; byte < encoded.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = encoded;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      StatusOr<Artifact> decoded = DecodeArtifact(damaged, "sample");
+      if (decoded.ok()) {
+        // A flip inside a payload that still decodes would be silent
+        // corruption; the CRCs make this impossible.
+        ADD_FAILURE() << "bit flip at byte " << byte << " bit " << bit
+                      << " decoded successfully";
+        continue;
+      }
+      StatusCode code = decoded.status().code();
+      EXPECT_TRUE(code == StatusCode::kParseError ||
+                  code == StatusCode::kFailedPrecondition ||
+                  code == StatusCode::kOutOfRange ||
+                  code == StatusCode::kDataLoss ||
+                  code == StatusCode::kInvalidArgument)
+          << "byte " << byte << " bit " << bit << ": "
+          << decoded.status().ToString();
+    }
+  }
+}
+
+TEST(ArtifactCodecTest, EveryTruncationPointIsClassified) {
+  std::string encoded = EncodeArtifact(SampleArtifact());
+  for (size_t keep = 0; keep < encoded.size(); ++keep) {
+    StatusOr<Artifact> decoded =
+        DecodeArtifact(std::string_view(encoded).substr(0, keep), "sample");
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << keep << " bytes decoded";
+    StatusCode code = decoded.status().code();
+    EXPECT_TRUE(code == StatusCode::kParseError ||
+                code == StatusCode::kOutOfRange ||
+                code == StatusCode::kDataLoss)
+        << "prefix " << keep << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(AtomicWriteTest, WritesAndReplacesDurably) {
+  std::string path = TestPath("atomic.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "first generation").ok());
+  StatusOr<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "first generation");
+
+  ASSERT_TRUE(WriteFileAtomic(path, "second generation").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "second generation");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, FaultedWriteLeavesDestinationUntouched) {
+  // The mid-write-failure regression: a fault at any seam of the atomic
+  // writer (open/write, fsync, publish rename) must leave the previous
+  // contents byte-identical and leave no temp litter at the final path.
+  for (FaultSite site :
+       {FaultSite::kFileWrite, FaultSite::kFileSync, FaultSite::kFileRename}) {
+    std::string path = TestPath(std::string("faulted_") + FaultSiteName(site));
+    ASSERT_TRUE(WriteFileAtomic(path, "precious old bytes").ok());
+
+    FaultInjector injector(7);
+    injector.FailMatching(site, path, Status::Internal("injected"));
+    {
+      ScopedFaultInjection scope(&injector);
+      Status failed = WriteFileAtomic(path, "new bytes that must not land");
+      EXPECT_FALSE(failed.ok()) << FaultSiteName(site);
+    }
+    EXPECT_GE(injector.injected_count(), 1u) << FaultSiteName(site);
+
+    StatusOr<std::string> read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok()) << FaultSiteName(site);
+    EXPECT_EQ(*read, "precious old bytes") << FaultSiteName(site);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(AtomicWriteTest, FaultedFirstWriteLeavesNoFile) {
+  std::string path = TestPath("never_created.txt");
+  std::remove(path.c_str());
+  FaultInjector injector(7);
+  injector.FailMatching(FaultSite::kFileSync, path, Status::Internal("inj"));
+  {
+    ScopedFaultInjection scope(&injector);
+    EXPECT_FALSE(WriteFileAtomic(path, "doomed").ok());
+  }
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(AtomicWriteTest, CorruptionRulesDamageBytesButReportSuccess) {
+  // A torn write simulated via corruption rules: the writer reports OK but
+  // the persisted artifact must fail validation with the right taxonomy.
+  Artifact artifact = SampleArtifact();
+
+  std::string truncated = TestPath("torn_truncate.artifact");
+  {
+    FaultInjector injector(11);
+    injector.CorruptMatching(truncated, WriteCorruption::kTruncate, 99);
+    ScopedFaultInjection scope(&injector);
+    ASSERT_TRUE(WriteArtifact(truncated, artifact).ok());
+  }
+  StatusOr<Artifact> decoded = ReadArtifact(truncated, "sample");
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().code() == StatusCode::kOutOfRange ||
+              decoded.status().code() == StatusCode::kParseError ||
+              decoded.status().code() == StatusCode::kDataLoss)
+      << decoded.status().ToString();
+  std::remove(truncated.c_str());
+
+  std::string flipped = TestPath("torn_bitflip.artifact");
+  {
+    FaultInjector injector(11);
+    injector.CorruptMatching(flipped, WriteCorruption::kBitFlip, 99);
+    ScopedFaultInjection scope(&injector);
+    ASSERT_TRUE(WriteArtifact(flipped, artifact).ok());
+  }
+  decoded = ReadArtifact(flipped, "sample");
+  ASSERT_FALSE(decoded.ok());
+  std::remove(flipped.c_str());
+}
+
+TEST(AtomicWriteTest, CorruptionIsDeterministicAcrossRuns) {
+  Artifact artifact = SampleArtifact();
+  std::string a = TestPath("det_a.artifact");
+  std::string b = TestPath("det_b.artifact");
+  for (const std::string& path : {a, b}) {
+    FaultInjector injector(3);
+    injector.CorruptMatching("det_", WriteCorruption::kBitFlip, 17);
+    ScopedFaultInjection scope(&injector);
+    ASSERT_TRUE(WriteArtifact(path, artifact).ok());
+  }
+  // Same rule + same payload, but distinct keys: each file's damage is a
+  // pure function of (seed, key, size), so rewriting the same path twice
+  // produces identical bytes.
+  std::string again = TestPath("det_a.artifact");
+  {
+    FaultInjector injector(3);
+    injector.CorruptMatching("det_", WriteCorruption::kBitFlip, 17);
+    ScopedFaultInjection scope(&injector);
+    ASSERT_TRUE(WriteArtifact(again, artifact).ok());
+  }
+  StatusOr<std::string> first = ReadFileToString(a);
+  StatusOr<std::string> second = ReadFileToString(again);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ReadFileTest, ByteCapIsOutOfRange) {
+  std::string path = TestPath("cap.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, std::string(1024, 'x')).ok());
+  StatusOr<std::string> capped = ReadFileToString(path, 512);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
+  StatusOr<std::string> fits = ReadFileToString(path, 1024);
+  EXPECT_TRUE(fits.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReadArtifactTest, MissingFileIsNotFound) {
+  StatusOr<Artifact> decoded = ReadArtifact(TestPath("no_such.artifact"));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+}
+
+// --- CheckpointManager ------------------------------------------------------
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/lsd_ckpt_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    // Start from an empty directory regardless of prior runs.
+    std::string manifest = dir_ + "/manifest.lsdckpt";
+    std::remove(manifest.c_str());
+  }
+
+  FoldPredictions MakeFold() {
+    FoldPredictions preds;
+    Prediction p;
+    p.scores = {0.125, 0.5, 0.375};
+    preds.emplace_back(3, p);
+    p.scores = {1.0, 0.0, 0.0};
+    preds.emplace_back(7, p);
+    return preds;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, FoldRoundTrip) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(0xfeedfaceu, false).ok());
+  FoldPredictions saved = MakeFold();
+  store.SaveFold("naive-bayes", 2, saved);
+  EXPECT_TRUE(store.IsDone("fold/naive-bayes/2"));
+  EXPECT_EQ(store.save_failures(), 0u);
+
+  // A second manager resuming the same fingerprint restores the fold
+  // bit-exactly (%.17g round-trips doubles).
+  CheckpointManager resumed(dir_);
+  ASSERT_TRUE(resumed.Open(0xfeedfaceu, true).ok());
+  FoldPredictions loaded;
+  ASSERT_TRUE(resumed.LoadFold("naive-bayes", 2, &loaded));
+  ASSERT_EQ(loaded.size(), saved.size());
+  for (size_t i = 0; i < saved.size(); ++i) {
+    EXPECT_EQ(loaded[i].first, saved[i].first);
+    EXPECT_EQ(loaded[i].second.scores, saved[i].second.scores);
+  }
+  EXPECT_EQ(resumed.restored(), 1u);
+  EXPECT_FALSE(resumed.LoadFold("naive-bayes", 3, &loaded));
+}
+
+TEST_F(CheckpointTest, LearnerRoundTrip) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(1, false).ok());
+  std::vector<Prediction> cv(2);
+  cv[0].scores = {0.25, 0.75};
+  cv[1].scores = {0.625, 0.375};
+  store.SaveLearner("name-matcher", "serialized model\nbytes\n", cv);
+
+  CheckpointManager resumed(dir_);
+  ASSERT_TRUE(resumed.Open(1, true).ok());
+  std::string model;
+  std::vector<Prediction> restored;
+  ASSERT_TRUE(resumed.LoadLearner("name-matcher", &model, &restored));
+  EXPECT_EQ(model, "serialized model\nbytes\n");
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored[0].scores, cv[0].scores);
+  EXPECT_EQ(restored[1].scores, cv[1].scores);
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchIgnoresPriorRun) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(100, false).ok());
+  store.SaveFold("naive-bayes", 0, MakeFold());
+
+  // A different training problem must not adopt the old run's work.
+  CheckpointManager other(dir_);
+  ASSERT_TRUE(other.Open(200, true).ok());
+  EXPECT_FALSE(other.IsDone("fold/naive-bayes/0"));
+  FoldPredictions loaded;
+  EXPECT_FALSE(other.LoadFold("naive-bayes", 0, &loaded));
+}
+
+TEST_F(CheckpointTest, ResumeFalseStartsFresh) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(5, false).ok());
+  store.SaveFold("naive-bayes", 0, MakeFold());
+
+  CheckpointManager fresh(dir_);
+  ASSERT_TRUE(fresh.Open(5, false).ok());
+  EXPECT_FALSE(fresh.IsDone("fold/naive-bayes/0"));
+}
+
+TEST_F(CheckpointTest, CorruptManifestStartsFreshNotUB) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(9, false).ok());
+  store.SaveFold("naive-bayes", 1, MakeFold());
+
+  // Truncate the manifest mid-file: resume must classify and start empty.
+  StatusOr<std::string> bytes = ReadFileToString(store.ManifestPath());
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(store.ManifestPath(), bytes->substr(0, bytes->size() / 2))
+          .ok());
+
+  CheckpointManager resumed(dir_);
+  ASSERT_TRUE(resumed.Open(9, true).ok());
+  EXPECT_FALSE(resumed.IsDone("fold/naive-bayes/1"));
+}
+
+TEST_F(CheckpointTest, CorruptFoldFileIsSkippedNotRestored) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(13, false).ok());
+  store.SaveFold("naive-bayes", 0, MakeFold());
+
+  // Flip a payload bit in the fold file; the manifest still says done, but
+  // the strict loader must reject it so the fold is recomputed.
+  std::string fold_path = dir_ + "/fold-naive-bayes-0.lsdckpt";
+  StatusOr<std::string> bytes = ReadFileToString(fold_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = *bytes;
+  damaged[damaged.size() - 3] ^= 0x40;
+  ASSERT_TRUE(WriteFileAtomic(fold_path, damaged).ok());
+
+  CheckpointManager resumed(dir_);
+  ASSERT_TRUE(resumed.Open(13, true).ok());
+  EXPECT_TRUE(resumed.IsDone("fold/naive-bayes/0"));
+  FoldPredictions loaded;
+  EXPECT_FALSE(resumed.LoadFold("naive-bayes", 0, &loaded));
+  EXPECT_EQ(resumed.restored(), 0u);
+}
+
+TEST_F(CheckpointTest, SaveFailureIsAbsorbedAndCounted) {
+  CheckpointManager store(dir_);
+  ASSERT_TRUE(store.Open(21, false).ok());
+
+  FaultInjector injector(1);
+  injector.FailMatching(FaultSite::kFileSync, "fold-naive-bayes-0",
+                        Status::Internal("disk full"));
+  {
+    ScopedFaultInjection scope(&injector);
+    store.SaveFold("naive-bayes", 0, MakeFold());
+  }
+  EXPECT_GE(store.save_failures(), 1u);
+  // A fold that failed to persist must not be marked done: resuming from
+  // this state would otherwise skip work that never landed on disk.
+  EXPECT_FALSE(store.IsDone("fold/naive-bayes/0"));
+  CheckpointManager resumed(dir_);
+  ASSERT_TRUE(resumed.Open(21, true).ok());
+  FoldPredictions loaded;
+  EXPECT_FALSE(resumed.LoadFold("naive-bayes", 0, &loaded));
+}
+
+}  // namespace
+}  // namespace lsd

@@ -3,16 +3,20 @@
 // with graceful degradation, and anytime deadlines.
 
 #include <atomic>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/artifact_io.h"
 #include "common/deadline.h"
 #include "common/fault_injection.h"
 #include "common/file_util.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "constraints/constraint_parser.h"
+#include "core/checkpoint.h"
 #include "core/lsd_system.h"
 #include "gtest/gtest.h"
 #include "xml/dtd_parser.h"
@@ -513,6 +517,314 @@ TEST_F(RobustnessSystemTest, ExpiredTrainingDeadlineIsDeadlineExceeded) {
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   EXPECT_FALSE(system.trained());
+}
+
+// ---------------------------------------------------------------------------
+// Seam completeness: every FaultSite value must be reachable from the
+// standard pipeline (read source text, parse, train on a pool with
+// checkpointing, persist the model, reload, match). A newly added seam
+// that the pipeline never crosses fails here instead of going untested.
+
+TEST_F(RobustnessSystemTest, EveryFaultSeamFiresUnderTheStandardPipeline) {
+  // Trained cleanly up front so the prediction seam has a system to run.
+  auto clean = MakeTrainedSystem();
+
+  for (FaultSite site : kAllFaultSites) {
+    SCOPED_TRACE(FaultSiteName(site));
+    FaultInjector injector(5);
+    injector.FailMatching(site, "", Status::Internal("seam probe"));
+    ScopedFaultInjection scoped(&injector);
+
+    // File seams: an atomic write + read-back.
+    std::string probe = ::testing::TempDir() + "/lsd_seam_probe.txt";
+    (void)WriteStringToFile(probe, "probe");
+    (void)ReadFileToString(probe);
+
+    // Parser seams.
+    (void)ParseXmlLenient("<a>x</a>");
+    (void)ParseDtdLenient("<!ELEMENT a (#PCDATA)>");
+
+    // Training seams: learners + pool tasks (threads > 1 so the pool's
+    // deferred path runs too); checkpointing crosses the file seams again.
+    LsdConfig config;
+    config.num_threads = 2;
+    config.checkpoint_dir = ::testing::TempDir() + "/lsd_seam_ckpt";
+    LsdSystem trainee(mediated_, config);
+    (void)trainee.AddTrainingSource(source_a_, gold_a_);
+    (void)trainee.Train();
+
+    // Persistence + prediction seams on the clean system.
+    std::string model = ::testing::TempDir() + "/lsd_seam_model.artifact";
+    (void)clean->SaveModel(model);
+    (void)clean->MatchSource(target_);
+
+    EXPECT_GE(injector.injected_count(), 1u);
+    std::remove(probe.c_str());
+    std::remove(model.c_str());
+    std::remove((model + ".lastgood").c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe persistence: the corruption matrix over every durable
+// artifact kind, mid-write faults, torn saves, and last-good recovery.
+
+// Asserts that every truncation point and a sweep of single-bit flips of
+// `bytes` is classified by the decoder — one of the documented taxonomy
+// codes, never success, never a crash.
+void ExpectCorruptionClassified(const std::string& bytes,
+                                const std::string& kind) {
+  SCOPED_TRACE(kind);
+  auto classified = [](StatusCode code) {
+    return code == StatusCode::kParseError ||
+           code == StatusCode::kFailedPrecondition ||
+           code == StatusCode::kOutOfRange || code == StatusCode::kDataLoss ||
+           code == StatusCode::kInvalidArgument;
+  };
+  size_t stride = bytes.size() / 64 + 1;
+  for (size_t keep = 0; keep < bytes.size(); keep += stride) {
+    StatusOr<Artifact> decoded =
+        DecodeArtifact(std::string_view(bytes).substr(0, keep), kind);
+    ASSERT_FALSE(decoded.ok()) << "prefix " << keep;
+    EXPECT_TRUE(classified(decoded.status().code()))
+        << "prefix " << keep << ": " << decoded.status().ToString();
+  }
+  for (size_t at = 0; at < bytes.size(); at += stride) {
+    std::string flipped = bytes;
+    flipped[at] ^= 0x20;
+    StatusOr<Artifact> decoded = DecodeArtifact(flipped, kind);
+    if (decoded.ok()) {
+      ADD_FAILURE() << "bit flip at " << at << " decoded successfully";
+      continue;
+    }
+    EXPECT_TRUE(classified(decoded.status().code()))
+        << "flip " << at << ": " << decoded.status().ToString();
+  }
+}
+
+TEST_F(RobustnessSystemTest, CorruptionMatrixCoversEveryArtifactKind) {
+  // One real artifact of each durable kind the system writes.
+  auto system = MakeTrainedSystem();
+  std::string model_path = ::testing::TempDir() + "/lsd_matrix.model";
+  std::remove((model_path + ".lastgood").c_str());
+  ASSERT_TRUE(system->SaveModel(model_path).ok());
+  StatusOr<std::string> model_bytes = ReadFileToString(model_path);
+  ASSERT_TRUE(model_bytes.ok());
+  ExpectCorruptionClassified(*model_bytes, "model");
+
+  CheckpointManager store(::testing::TempDir() + "/lsd_matrix_ckpt");
+  ASSERT_TRUE(store.Open(0xabcdefu, false).ok());
+  store.MarkDone("fold/naive-bayes/0");
+  store.MarkDone("learner/naive-bayes");
+  StatusOr<std::string> manifest_bytes = ReadFileToString(store.ManifestPath());
+  ASSERT_TRUE(manifest_bytes.ok());
+  ExpectCorruptionClassified(*manifest_bytes, "checkpoint-manifest");
+
+  auto result = system->MatchSource(target_);
+  ASSERT_TRUE(result.ok());
+  Artifact report;
+  report.kind = "run-report";
+  report.sections.push_back({"report", result->report.ToString()});
+  report.sections.push_back(
+      {"metrics", MetricsRegistry::Global().Snapshot().ToJson()});
+  ExpectCorruptionClassified(EncodeArtifact(report), "run-report");
+
+  // A corrupt model with no last-good backup is a classified failure at
+  // the system level too — never a crash, never a half-loaded system.
+  std::string damaged = *model_bytes;
+  damaged[damaged.size() / 2] ^= 0x08;
+  ASSERT_TRUE(WriteFileAtomic(model_path, damaged).ok());
+  LsdSystem fresh(mediated_, LsdConfig());
+  Status loaded = fresh.LoadModel(model_path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(fresh.trained());
+  std::remove(model_path.c_str());
+}
+
+TEST_F(RobustnessSystemTest, SaveModelMidWriteFaultLeavesOldModelUntouched) {
+  auto system = MakeTrainedSystem();
+  std::string path = ::testing::TempDir() + "/lsd_midwrite.model";
+  std::remove((path + ".lastgood").c_str());
+  ASSERT_TRUE(system->SaveModel(path).ok());
+  StatusOr<std::string> before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+
+  for (FaultSite site :
+       {FaultSite::kFileWrite, FaultSite::kFileSync, FaultSite::kFileRename}) {
+    SCOPED_TRACE(FaultSiteName(site));
+    FaultInjector injector(9);
+    injector.FailMatching(site, "", Status::Internal("mid-write fault"));
+    ScopedFaultInjection scoped(&injector);
+    EXPECT_FALSE(system->SaveModel(path).ok());
+  }
+  // After every failed save the primary is byte-identical and loadable.
+  StatusOr<std::string> after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  LsdSystem fresh(mediated_, LsdConfig());
+  EXPECT_TRUE(fresh.LoadModel(path).ok());
+  EXPECT_FALSE(fresh.loaded_from_last_good());
+  std::remove(path.c_str());
+  std::remove((path + ".lastgood").c_str());
+}
+
+TEST_F(RobustnessSystemTest, TornSavePublishesDamageButLastGoodRecovers) {
+  auto system = MakeTrainedSystem();
+  std::string path = ::testing::TempDir() + "/lsd_torn.model";
+  std::remove((path + ".lastgood").c_str());
+  ASSERT_TRUE(system->SaveModel(path).ok());
+
+  // A torn write on the second save: the staging bytes land damaged (the
+  // writer "succeeds"), the valid first generation rotates to .lastgood.
+  {
+    FaultInjector injector(13);
+    injector.CorruptMatching(".staging", WriteCorruption::kTruncate, 31);
+    ScopedFaultInjection scoped(&injector);
+    ASSERT_TRUE(system->SaveModel(path).ok());
+  }
+  ASSERT_TRUE(FileExists(path + ".lastgood"));
+
+  uint64_t recoveries_before =
+      MetricsRegistry::Global().Snapshot().CounterOf(
+          "artifact.lastgood_recoveries");
+  LsdSystem fresh(mediated_, LsdConfig());
+  ASSERT_TRUE(fresh.LoadModel(path).ok());
+  EXPECT_TRUE(fresh.loaded_from_last_good());
+  EXPECT_FALSE(fresh.train_report().notes.empty());
+  EXPECT_GT(MetricsRegistry::Global().Snapshot().CounterOf(
+                "artifact.lastgood_recoveries"),
+            recoveries_before);
+  // The recovered system is fully usable.
+  EXPECT_TRUE(fresh.MatchSource(target_).ok());
+
+  // The torn-rename window: no primary at all, only the last-good.
+  std::remove(path.c_str());
+  LsdSystem fresh2(mediated_, LsdConfig());
+  ASSERT_TRUE(fresh2.LoadModel(path).ok());
+  EXPECT_TRUE(fresh2.loaded_from_last_good());
+  std::remove((path + ".lastgood").c_str());
+}
+
+TEST_F(RobustnessSystemTest, ConfigMismatchDoesNotTriggerLastGoodFallback) {
+  auto system = MakeTrainedSystem();
+  std::string path = ::testing::TempDir() + "/lsd_mismatch.model";
+  std::remove((path + ".lastgood").c_str());
+  ASSERT_TRUE(system->SaveModel(path).ok());
+  ASSERT_TRUE(system->SaveModel(path).ok());  // rotates a last-good into place
+  ASSERT_TRUE(FileExists(path + ".lastgood"));
+
+  // A wrong roster means the caller asked for the wrong model; falling
+  // back to the (equally mismatched) backup would only mask the bug.
+  LsdConfig other_roster;
+  other_roster.use_format_learner = true;
+  LsdSystem fresh(mediated_, other_roster);
+  Status loaded = fresh.LoadModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(fresh.loaded_from_last_good());
+  std::remove(path.c_str());
+  std::remove((path + ".lastgood").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume: an interrupted training run resumed from its
+// checkpoints produces a bit-identical model, at every thread count.
+
+TEST_F(RobustnessSystemTest, ResumedTrainingIsBitIdenticalAcrossThreadCounts) {
+  // Baseline: one uninterrupted, checkpoint-free run.
+  auto baseline_system = MakeTrainedSystem();
+  std::string baseline_path = ::testing::TempDir() + "/lsd_resume_base.model";
+  std::remove((baseline_path + ".lastgood").c_str());
+  ASSERT_TRUE(baseline_system->SaveModel(baseline_path).ok());
+  StatusOr<std::string> baseline = ReadFileToString(baseline_path);
+  ASSERT_TRUE(baseline.ok());
+  std::remove(baseline_path.c_str());
+
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    std::string dir =
+        ::testing::TempDir() + "/lsd_resume_ckpt_" + std::to_string(threads);
+
+    // "Kill" a run mid-training: naive-bayes dies before it can finish, so
+    // its work never reaches the checkpoint directory while every other
+    // learner's folds and final model do.
+    {
+      FaultInjector injector;
+      injector.FailMatching(FaultSite::kLearnerTrain, kNaiveBayesName,
+                            Status::Internal("simulated crash"));
+      ScopedFaultInjection scoped(&injector);
+      LsdConfig config;
+      config.num_threads = threads;
+      config.checkpoint_dir = dir;
+      LsdSystem interrupted(mediated_, config);
+      ASSERT_TRUE(interrupted.AddTrainingSource(source_a_, gold_a_).ok());
+      ASSERT_TRUE(interrupted.AddTrainingSource(source_b_, gold_b_).ok());
+      ASSERT_TRUE(interrupted.Train().ok());
+      EXPECT_TRUE(interrupted.train_report().IsQuarantined(kNaiveBayesName));
+    }
+
+    // Resume: the same training problem adopts the checkpoints, restores
+    // the finished learners, and redoes only the lost work.
+    uint64_t restored_before = MetricsRegistry::Global().Snapshot().CounterOf(
+        "checkpoint.learners_restored");
+    LsdConfig config;
+    config.num_threads = threads;
+    config.checkpoint_dir = dir;
+    config.resume_from_checkpoint = true;
+    LsdSystem resumed(mediated_, config);
+    ASSERT_TRUE(resumed.AddTrainingSource(source_a_, gold_a_).ok());
+    ASSERT_TRUE(resumed.AddTrainingSource(source_b_, gold_b_).ok());
+    ASSERT_TRUE(resumed.Train().ok());
+    EXPECT_TRUE(resumed.QuarantinedLearners().empty());
+    EXPECT_GT(MetricsRegistry::Global().Snapshot().CounterOf(
+                  "checkpoint.learners_restored"),
+              restored_before);
+
+    std::string path = ::testing::TempDir() + "/lsd_resume_" +
+                       std::to_string(threads) + ".model";
+    std::remove((path + ".lastgood").c_str());
+    ASSERT_TRUE(resumed.SaveModel(path).ok());
+    StatusOr<std::string> resumed_bytes = ReadFileToString(path);
+    ASSERT_TRUE(resumed_bytes.ok());
+    EXPECT_EQ(*resumed_bytes, *baseline);
+    std::remove(path.c_str());
+  }
+}
+
+TEST_F(RobustnessSystemTest, CheckpointWriteFaultsDegradeButDoNotFailTraining) {
+  std::string baseline;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(threads);
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kFileSync, "lsd_ckpt_faulted",
+                          Status::Internal("disk full"));
+    ScopedFaultInjection scoped(&injector);
+    LsdConfig config;
+    config.num_threads = threads;
+    config.checkpoint_dir = ::testing::TempDir() + "/lsd_ckpt_faulted_" +
+                            std::to_string(threads);
+    LsdSystem system(mediated_, config);
+    ASSERT_TRUE(system.AddTrainingSource(source_a_, gold_a_).ok());
+    ASSERT_TRUE(system.AddTrainingSource(source_b_, gold_b_).ok());
+    // Every checkpoint write fails, yet training completes cleanly and
+    // deterministically; the loss is noted, not fatal.
+    ASSERT_TRUE(system.Train().ok());
+    EXPECT_TRUE(system.QuarantinedLearners().empty());
+    bool noted = false;
+    for (const std::string& note : system.train_report().notes) {
+      if (note.find("checkpoint") != std::string::npos) noted = true;
+    }
+    EXPECT_TRUE(noted);
+    auto result = system.MatchSource(target_);
+    ASSERT_TRUE(result.ok());
+    std::string rendered = result->mapping.ToString();
+    if (baseline.empty()) {
+      baseline = rendered;
+    } else {
+      EXPECT_EQ(rendered, baseline);
+    }
+  }
 }
 
 }  // namespace

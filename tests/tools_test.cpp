@@ -2,6 +2,8 @@
 // generate a small benchmark to a temp directory, match one source, and
 // check the emitted mapping. Binary paths are injected by CMake.
 
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -70,6 +72,54 @@ TEST(ToolsTest, GenerateThenMatchEndToEnd) {
   for (const auto& [tag, label] : predicted->entries()) {
     EXPECT_NE(gold->Find(tag), nullptr) << tag;
   }
+}
+
+int RunForExitCode(const std::string& command) {
+  int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ToolsTest, ExitCodeTaxonomyForModelPersistence) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  std::string model = dir + "/trained.model";
+  std::string train = std::string(LSD_MATCH_BIN) + " --mediated '" + dir +
+                      "/mediated.dtd'";
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    train += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+             ".mapping'";
+  }
+  std::string target =
+      " --target '" + dir + "/source-4.dtd' '" + dir + "/source-4.xml'";
+  std::string quiet = " >/dev/null 2>/dev/null";
+
+  // Clean train + save: exit 0.
+  ASSERT_EQ(RunForExitCode(train + target + " --save-model '" + model + "'" +
+                           quiet),
+            0);
+  // Clean load: exit 0; re-saving rotates a last-good generation into place.
+  std::string load = std::string(LSD_MATCH_BIN) + " --mediated '" + dir +
+                     "/mediated.dtd' --load-model '" + model + "'" + target;
+  ASSERT_EQ(RunForExitCode(load + " --save-model '" + model + "'" + quiet), 0);
+  ASSERT_TRUE(FileExists(model + ".lastgood"));
+
+  // Corrupt the primary: the loader classifies the damage, falls back to
+  // the last-good artifact, and reports the recovery as exit 3.
+  auto bytes = ReadFileToString(model);
+  ASSERT_TRUE(bytes.ok());
+  std::string damaged = *bytes;
+  damaged[damaged.size() / 2] ^= 0x04;
+  ASSERT_TRUE(WriteStringToFile(model, damaged).ok());
+  EXPECT_EQ(RunForExitCode(load + quiet), 3);
+
+  // No last-good left: a corrupt primary is a hard failure, exit 1.
+  std::remove((model + ".lastgood").c_str());
+  EXPECT_EQ(RunForExitCode(load + quiet), 1);
 }
 
 TEST(ToolsTest, MatchRejectsMissingInputs) {

@@ -15,8 +15,13 @@
 //             [--threads N]          (0 = all cores, 1 = serial; default 1)
 //             [--strict | --lenient] (failure policy; default --strict)
 //             [--deadline-ms N]      (anytime matching budget)
+//             [--save-model FILE]    (persist the trained system)
+//             [--load-model FILE]    (skip training; restore a saved model)
+//             [--checkpoint DIR]     (checkpoint training progress to DIR)
+//             [--resume]             (adopt DIR's checkpoints from a prior run)
 //             [--metrics-out FILE]   (write a metrics-registry JSON snapshot)
 //             [--trace-out FILE]     (write Chrome trace_event JSON spans)
+//             [--report-out FILE]    (write the run report as an artifact)
 //
 // Failure policy:
 //   --strict   (default) any malformed input or degraded run is fatal.
@@ -27,6 +32,15 @@
 //              its mapping. The run report is printed to stderr; the exit
 //              code is nonzero only on total failure — no training source
 //              usable, no learner survived, or the target is unreadable.
+//
+// Exit codes (the chosen path is also printed to stderr as "result: ..."):
+//   0  clean run: full-strength mapping emitted.
+//   2  degraded-but-matched (--lenient): a mapping was emitted but learners
+//      were quarantined, a pass was skipped, or a deadline expired.
+//   3  corrupt-artifact-recovered: the --load-model file was missing or
+//      failed validation and the mapping came from its last-good backup.
+//   1  hard failure: bad usage, unreadable inputs, training/matching
+//      failed, or a degraded run under --strict.
 //
 // File formats:
 //   *.dtd         — <!ELEMENT ...> declarations (see xml/dtd_parser.h)
@@ -44,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "common/artifact_io.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -67,8 +82,20 @@ void Usage() {
                " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
                " [--county-label LABEL] [--threads N]"
                " [--strict|--lenient] [--deadline-ms N]"
-               " [--metrics-out FILE] [--trace-out FILE]\n");
+               " [--save-model FILE] [--load-model FILE]"
+               " [--checkpoint DIR] [--resume]"
+               " [--metrics-out FILE] [--trace-out FILE]"
+               " [--report-out FILE]\n");
 }
+
+/// Exit codes; see the file header. Every non-usage path prints which one
+/// it took so scripts (and humans) need not decode numbers.
+enum ExitCode {
+  kExitOk = 0,
+  kExitHardFailure = 1,
+  kExitDegradedButMatched = 2,
+  kExitRecoveredFromLastGood = 3,
+};
 
 void PrintDiagnostics(const std::string& path,
                       const std::vector<ParseDiagnostic>& diagnostics) {
@@ -127,7 +154,8 @@ int Run(int argc, char** argv) {
   MatchOptions options;
   bool lenient = false;
   long deadline_ms = -1;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, report_out;
+  std::string save_model, load_model;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -137,24 +165,24 @@ int Run(int argc, char** argv) {
       return true;
     };
     if (arg == "--mediated") {
-      if (!next(&mediated_path)) { Usage(); return 2; }
+      if (!next(&mediated_path)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--train") {
       TrainSpec spec;
       if (!next(&spec.dtd) || !next(&spec.xml) || !next(&spec.mapping)) {
         Usage();
-        return 2;
+        return kExitHardFailure;
       }
       train_specs.push_back(std::move(spec));
     } else if (arg == "--target") {
-      if (!next(&target_dtd) || !next(&target_xml)) { Usage(); return 2; }
+      if (!next(&target_dtd) || !next(&target_xml)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--constraints") {
-      if (!next(&constraints_path)) { Usage(); return 2; }
+      if (!next(&constraints_path)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--feedback") {
       std::string line;
-      if (!next(&line)) { Usage(); return 2; }
+      if (!next(&line)) { Usage(); return kExitHardFailure; }
       feedback_lines.push_back(std::move(line));
     } else if (arg == "--gold") {
-      if (!next(&gold_path)) { Usage(); return 2; }
+      if (!next(&gold_path)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--no-xml-learner") {
       config.use_xml_learner = false;
     } else if (arg == "--no-meta") {
@@ -162,19 +190,19 @@ int Run(int argc, char** argv) {
     } else if (arg == "--no-constraint-handler") {
       options.use_constraint_handler = false;
     } else if (arg == "--county-label") {
-      if (!next(&config.county_label)) { Usage(); return 2; }
+      if (!next(&config.county_label)) { Usage(); return kExitHardFailure; }
       config.use_county_recognizer = true;
     } else if (arg == "--threads") {
       // 0 = hardware concurrency, 1 = serial; the proposed mapping is
       // bit-identical either way.
       std::string value;
-      if (!next(&value)) { Usage(); return 2; }
+      if (!next(&value)) { Usage(); return kExitHardFailure; }
       char* end = nullptr;
       long parsed = std::strtol(value.c_str(), &end, 10);
       if (value.empty() || *end != '\0' || parsed < 0) {
         std::fprintf(stderr, "--threads expects a non-negative integer, got: %s\n",
                      value.c_str());
-        return 2;
+        return kExitHardFailure;
       }
       config.num_threads = static_cast<size_t>(parsed);
     } else if (arg == "--strict") {
@@ -183,29 +211,47 @@ int Run(int argc, char** argv) {
       lenient = true;
     } else if (arg == "--deadline-ms") {
       std::string value;
-      if (!next(&value)) { Usage(); return 2; }
+      if (!next(&value)) { Usage(); return kExitHardFailure; }
       char* end = nullptr;
       long parsed = std::strtol(value.c_str(), &end, 10);
       if (value.empty() || *end != '\0' || parsed < 0) {
         std::fprintf(stderr,
                      "--deadline-ms expects a non-negative integer, got: %s\n",
                      value.c_str());
-        return 2;
+        return kExitHardFailure;
       }
       deadline_ms = parsed;
+    } else if (arg == "--save-model") {
+      if (!next(&save_model)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--load-model") {
+      if (!next(&load_model)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--checkpoint") {
+      if (!next(&config.checkpoint_dir)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--resume") {
+      config.resume_from_checkpoint = true;
     } else if (arg == "--metrics-out") {
-      if (!next(&metrics_out)) { Usage(); return 2; }
+      if (!next(&metrics_out)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--trace-out") {
-      if (!next(&trace_out)) { Usage(); return 2; }
+      if (!next(&trace_out)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--report-out") {
+      if (!next(&report_out)) { Usage(); return kExitHardFailure; }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
-      return 2;
+      return kExitHardFailure;
     }
   }
-  if (mediated_path.empty() || train_specs.empty() || target_dtd.empty()) {
+  // --load-model replaces training, so --train becomes optional (and
+  // ignored, loudly, if given).
+  if (mediated_path.empty() || target_dtd.empty() ||
+      (train_specs.empty() && load_model.empty())) {
     Usage();
-    return 2;
+    return kExitHardFailure;
+  }
+  if (!load_model.empty() && !train_specs.empty()) {
+    std::fprintf(stderr,
+                 "warning: --train is ignored when --load-model is given\n");
+    train_specs.clear();
   }
   // Span recording is opt-in: without --trace-out, TraceSpan construction
   // is a single relaxed load.
@@ -214,12 +260,12 @@ int Run(int argc, char** argv) {
   auto mediated_text = ReadFileToString(mediated_path);
   if (!mediated_text.ok()) {
     std::fprintf(stderr, "%s\n", mediated_text.status().ToString().c_str());
-    return 1;
+    return kExitHardFailure;
   }
   auto mediated = ParseDtd(*mediated_text);
   if (!mediated.ok()) {
     std::fprintf(stderr, "%s\n", mediated.status().ToString().c_str());
-    return 1;
+    return kExitHardFailure;
   }
 
   LsdSystem system(*mediated, config);
@@ -244,7 +290,7 @@ int Run(int argc, char** argv) {
     if (!status.ok()) {
       if (!lenient) {
         std::fprintf(stderr, "%s\n", status.ToString().c_str());
-        return 1;
+        return kExitHardFailure;
       }
       std::fprintf(stderr, "warning: skipping training source %s: %s\n",
                    spec.dtd.c_str(), status.ToString().c_str());
@@ -252,41 +298,62 @@ int Run(int argc, char** argv) {
     }
     ++sources_used;
   }
-  if (sources_used == 0) {
+  if (load_model.empty() && sources_used == 0) {
     std::fprintf(stderr, "error: no usable training source\n");
-    return 1;
+    return kExitHardFailure;
   }
 
   if (!constraints_path.empty()) {
     auto text = ReadFileToString(constraints_path);
     if (!text.ok()) {
       std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
-      return 1;
+      return kExitHardFailure;
     }
     auto constraints = ParseConstraints(*text);
     if (!constraints.ok()) {
       std::fprintf(stderr, "%s\n", constraints.status().ToString().c_str());
-      return 1;
+      return kExitHardFailure;
     }
     for (auto& constraint : *constraints) {
       system.AddConstraint(std::move(constraint));
     }
   }
 
-  Status status = system.Train();
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
+  if (!load_model.empty()) {
+    Status loaded = system.LoadModel(load_model);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return kExitHardFailure;
+    }
+    std::fprintf(stderr, "loaded model %s (%zu learners)%s\n",
+                 load_model.c_str(), system.LearnerNames().size(),
+                 system.loaded_from_last_good()
+                     ? " — recovered from last-good backup"
+                     : "");
+  } else {
+    Status status = system.Train();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return kExitHardFailure;
+    }
+    std::fprintf(stderr, "trained %zu learners on %zu sources\n",
+                 system.LearnerNames().size(), sources_used);
   }
-  std::fprintf(stderr, "trained %zu learners on %zu sources\n",
-               system.LearnerNames().size(), sources_used);
+  if (!save_model.empty()) {
+    Status saved = system.SaveModel(save_model);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return kExitHardFailure;
+    }
+    std::fprintf(stderr, "saved model to %s\n", save_model.c_str());
+  }
 
   // The target must load in every mode — with no target there is nothing
   // to emit, which is total failure even leniently.
   auto target = LoadSource(target_dtd, target_dtd, target_xml, lenient);
   if (!target.ok()) {
     std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
-    return 1;
+    return kExitHardFailure;
   }
 
   std::vector<FeedbackConstraint> feedback;
@@ -299,7 +366,7 @@ int Run(int argc, char** argv) {
       std::fprintf(stderr, "bad --feedback '%s' (want \"tag <=> LABEL\" or "
                            "\"tag != LABEL\")\n",
                    line.c_str());
-      return 2;
+      return kExitHardFailure;
     }
     const auto& [tag, label] = *parsed->entries().begin();
     feedback.emplace_back(tag, label, must_equal);
@@ -312,7 +379,7 @@ int Run(int argc, char** argv) {
   auto result = system.MatchSource(*target, options, feedback);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
+    return kExitHardFailure;
   }
   std::fprintf(stderr, "%s", result->report.ToString().c_str());
   // Observability outputs are written for degraded runs too — those are
@@ -322,7 +389,7 @@ int Run(int argc, char** argv) {
         metrics_out, MetricsRegistry::Global().Snapshot().ToJson());
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+      return kExitHardFailure;
     }
   }
   if (!trace_out.empty()) {
@@ -330,15 +397,37 @@ int Run(int argc, char** argv) {
     Status written = TraceRecorder::Global().WriteChromeJson(trace_out);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+      return kExitHardFailure;
     }
   }
-  if (!lenient && result->report.degraded()) {
+  if (!report_out.empty()) {
+    // The run report as a checksummed artifact: the human rendering plus
+    // the metrics snapshot, loadable (and corruption-classified) by
+    // ReadArtifact like any model or checkpoint file.
+    Artifact artifact;
+    artifact.kind = "run-report";
+    artifact.sections.push_back({"report", result->report.ToString()});
+    artifact.sections.push_back({"metrics", result->report.metrics.ToJson()});
+    Status written = WriteArtifact(report_out, artifact);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return kExitHardFailure;
+    }
+  }
+
+  // A last-good recovery leaves exactly one trace: the recovery note. Any
+  // other report entry means the run itself degraded.
+  bool recovered = system.loaded_from_last_good();
+  bool degraded_beyond_recovery =
+      !result->report.incidents.empty() || result->report.deadline_hit ||
+      result->report.notes.size() > (recovered ? 1u : 0u);
+  if (!lenient && degraded_beyond_recovery) {
     std::fprintf(stderr,
                  "error: degraded run under --strict (re-run with --lenient "
                  "to accept the mapping above)\n");
     std::printf("%s", result->mapping.ToString().c_str());
-    return 1;
+    std::fprintf(stderr, "result: degraded under --strict (exit 1)\n");
+    return kExitHardFailure;
   }
 
   // Mapping to stdout (machine-readable, same format ParseMapping reads);
@@ -356,13 +445,22 @@ int Run(int argc, char** argv) {
     auto gold = LoadMapping(gold_path);
     if (!gold.ok()) {
       std::fprintf(stderr, "%s\n", gold.status().ToString().c_str());
-      return 1;
+      return kExitHardFailure;
     }
     AccuracyBreakdown score = ScoreMapping(result->mapping, *gold);
     std::fprintf(stderr, "matching accuracy: %.1f%% (%zu/%zu matchable)\n",
                  100.0 * score.accuracy(), score.correct, score.matchable);
   }
-  return 0;
+  if (recovered) {
+    std::fprintf(stderr, "result: recovered from last-good model (exit 3)\n");
+    return kExitRecoveredFromLastGood;
+  }
+  if (degraded_beyond_recovery) {
+    std::fprintf(stderr, "result: degraded but matched (exit 2)\n");
+    return kExitDegradedButMatched;
+  }
+  std::fprintf(stderr, "result: ok\n");
+  return kExitOk;
 }
 
 }  // namespace
