@@ -15,6 +15,7 @@
 // Flags:
 //   --listings=N       listings per source (default 60)
 //   --quick            30 listings, real-estate-1 only
+//   --domains=A,B      run only the named evaluation domains
 //   --out=PATH         trajectory JSON (BENCH_match.json; "" disables)
 //   --metrics-out=PATH also dump the serial run's metrics JSON snapshot
 
@@ -173,6 +174,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> domains =
       quick ? std::vector<std::string>{"real-estate-1"}
             : EvaluationDomainNames();
+  std::string domains_flag = StringFlag(argc, argv, "domains", "");
+  if (!domains_flag.empty()) {
+    domains.clear();
+    for (const std::string& name : Split(domains_flag, ',')) {
+      if (!name.empty()) domains.push_back(name);
+    }
+  }
 
   std::printf(
       "bench_match: observability pipeline, counter determinism vs threads\n"
@@ -229,6 +237,16 @@ int main(int argc, char** argv) {
         }
       }
       uint64_t expanded = run.snapshot.CounterOf("astar.expanded");
+      uint64_t pruned = run.snapshot.CounterOf("astar.pruned") +
+                        run.snapshot.CounterOf("astar.bound_pruned");
+      uint64_t truncated = run.snapshot.CounterOf("astar.truncated");
+      uint64_t heap_peak = run.snapshot.GaugeOf("astar.heap_peak");
+      double convert_seconds =
+          static_cast<double>(run.snapshot.HistogramSumOf(
+              "match.convert_micros")) / 1e6;
+      double search_seconds =
+          static_cast<double>(run.snapshot.HistogramSumOf(
+              "match.search_micros")) / 1e6;
       uint64_t tasks = run.snapshot.CounterOf("pool.tasks_run");
       uint64_t recovered = run.snapshot.CounterOf("xml.parse.recovered") +
                            run.snapshot.CounterOf("dtd.parse.recovered");
@@ -244,11 +262,18 @@ int main(int argc, char** argv) {
       json += StrFormat(
           "    {\"domain\": \"%s\", \"threads\": %zu, "
           "\"train_seconds\": %.4f, \"match_seconds\": %.4f, "
-          "\"astar_expanded\": %llu, \"pool_tasks_run\": %llu, "
+          "\"convert_seconds\": %.4f, \"search_seconds\": %.4f, "
+          "\"astar_expanded\": %llu, \"astar_pruned\": %llu, "
+          "\"astar_truncated\": %llu, \"astar_heap_peak\": %llu, "
+          "\"pool_tasks_run\": %llu, "
           "\"parse_recovered\": %llu, "
           "\"identical_to_serial\": %s, \"counters_identical\": %s}",
           name.c_str(), threads, run.train_seconds, run.match_seconds,
+          convert_seconds, search_seconds,
           static_cast<unsigned long long>(expanded),
+          static_cast<unsigned long long>(pruned),
+          static_cast<unsigned long long>(truncated),
+          static_cast<unsigned long long>(heap_peak),
           static_cast<unsigned long long>(tasks),
           static_cast<unsigned long long>(recovered),
           identical ? "true" : "false",

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification sweep: plain build + tests, the same tree under
 # AddressSanitizer + UndefinedBehaviorSanitizer, a ThreadSanitizer pass
-# over the threaded metrics/runtime tests, and a bench_match smoke run
-# whose emitted metrics JSON is validated against the checked-in schema.
+# over the threaded metrics/runtime tests, a bench_match smoke run whose
+# emitted metrics JSON is validated against the checked-in schema, and a
+# constraint-search perf-regression smoke (real-estate-2 must stay
+# optimally solvable under the expansion ceiling; validate_bench.py).
 # Usage:
 #
 #   scripts/check.sh [JOBS]
@@ -96,12 +98,24 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 echo "== bench_match smoke (metrics schema) =="
 cmake --build build -j "$JOBS" --target bench_match
 METRICS_TMP="$(mktemp)"
-trap 'rm -rf "${FUZZ_DIR:-}"; rm -f "${METRICS_TMP:-}"' EXIT
+BENCH_TMP="$(mktemp)"
+trap 'rm -rf "${FUZZ_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
 ./build/bench/bench_match --quick --out= --metrics-out="$METRICS_TMP"
 if command -v python3 >/dev/null 2>&1; then
     python3 scripts/validate_metrics.py "$METRICS_TMP"
 else
     echo "python3 unavailable; skipping metrics JSON validation"
+fi
+
+echo "== constraint-search perf regression smoke =="
+# The incremental searcher must keep the hardest standing domain
+# (real-estate-2) optimally solvable well under the expansion ceiling;
+# see scripts/validate_bench.py for what is enforced.
+./build/bench/bench_match --domains=real-estate-2 --out="$BENCH_TMP"
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_bench.py "$BENCH_TMP"
+else
+    echo "python3 unavailable; skipping bench trajectory validation"
 fi
 
 echo "check.sh: all green"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a bench_match trajectory JSON (BENCH_match.json).
+
+Usage: validate_bench.py BENCH_JSON [--max-expanded=N] [--domain=NAME]
+
+Guards the constraint-search performance envelope in CI:
+
+  * every row is well-formed and bit-identical to the serial run
+    (identical_to_serial and counters_identical both true),
+  * no row in the guarded domain truncated its A* search
+    (astar_truncated == 0 — the search proved optimality), and
+  * the guarded domain's astar_expanded stays under a checked-in ceiling,
+    so a heuristic or pruning regression that re-inflates the search
+    space fails loudly instead of just running slower.
+
+The default ceiling (80000) is ~4x the current real-estate-2 expansion
+count (~19k) — generous headroom for datagen drift, far below the 400k+
+the pre-incremental searcher needed. Exits nonzero with one line per
+problem. Stdlib only.
+"""
+
+import json
+import sys
+
+DEFAULT_DOMAIN = "real-estate-2"
+DEFAULT_MAX_EXPANDED = 80000
+
+ROW_FIELDS = (
+    "domain",
+    "threads",
+    "match_seconds",
+    "astar_expanded",
+    "astar_truncated",
+    "identical_to_serial",
+    "counters_identical",
+)
+
+
+def fail(errors):
+    for error in errors:
+        print("validate_bench: " + error, file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    path = None
+    domain = DEFAULT_DOMAIN
+    max_expanded = DEFAULT_MAX_EXPANDED
+    for arg in argv[1:]:
+        if arg.startswith("--max-expanded="):
+            max_expanded = int(arg.split("=", 1)[1])
+        elif arg.startswith("--domain="):
+            domain = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        elif path is None:
+            path = arg
+        else:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(path, encoding="utf-8") as f:
+        bench = json.load(f)
+
+    errors = []
+    rows = bench.get("results")
+    if not isinstance(rows, list) or not rows:
+        return fail(["missing or empty 'results' array"])
+
+    guarded = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append("row %d is not an object" % i)
+            continue
+        missing = [key for key in ROW_FIELDS if key not in row]
+        if missing:
+            errors.append("row %d lacks fields: %s" % (i, ", ".join(missing)))
+            continue
+        where = "%s@%s threads" % (row["domain"], row["threads"])
+        if row["identical_to_serial"] is not True:
+            errors.append(where + ": output differs from the serial run")
+        if row["counters_identical"] is not True:
+            errors.append(where + ": counters differ from the serial run")
+        if row["domain"] == domain:
+            guarded.append(row)
+
+    if not guarded:
+        errors.append("no rows for guarded domain %r" % domain)
+    for row in guarded:
+        where = "%s@%s threads" % (row["domain"], row["threads"])
+        if row["astar_truncated"] != 0:
+            errors.append(
+                where + ": astar_truncated=%s — search did not prove "
+                "optimality" % row["astar_truncated"]
+            )
+        if row["astar_expanded"] > max_expanded:
+            errors.append(
+                where + ": astar_expanded=%s exceeds ceiling %d — "
+                "heuristic/pruning regression" % (row["astar_expanded"], max_expanded)
+            )
+
+    if errors:
+        return fail(errors)
+    print(
+        "validate_bench: OK (%d rows; %s expanded max %s <= %d, never truncated)"
+        % (
+            len(rows),
+            domain,
+            max(row["astar_expanded"] for row in guarded),
+            max_expanded,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -347,6 +347,20 @@ uint64_t MetricsSnapshot::CounterOf(const std::string& name) const {
   return 0;
 }
 
+uint64_t MetricsSnapshot::GaugeOf(const std::string& name) const {
+  for (const GaugeValue& gauge : gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return 0;
+}
+
+uint64_t MetricsSnapshot::HistogramSumOf(const std::string& name) const {
+  for (const HistogramValue& histogram : histograms) {
+    if (histogram.name == name) return histogram.sum;
+  }
+  return 0;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::string out = "{\n  \"counters\": {";
   for (size_t i = 0; i < counters.size(); ++i) {

@@ -103,6 +103,12 @@ struct MetricsSnapshot {
   /// Counter value by name; 0 when absent.
   uint64_t CounterOf(const std::string& name) const;
 
+  /// Gauge high-water mark by name; 0 when absent.
+  uint64_t GaugeOf(const std::string& name) const;
+
+  /// Histogram total (sum of recorded values) by name; 0 when absent.
+  uint64_t HistogramSumOf(const std::string& name) const;
+
   /// Machine-readable rendering: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, max, buckets}}}. Stable key order.
   std::string ToJson() const;

@@ -46,13 +46,8 @@ size_t ResolveThreadCount(size_t requested) {
   return hardware == 0 ? 1 : std::min(hardware, kMaxThreads);
 }
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  size_t total = ResolveThreadCount(num_threads);
-  workers_.reserve(total - 1);
-  for (size_t i = 0; i + 1 < total; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
+ThreadPool::ThreadPool(size_t num_threads)
+    : total_(ResolveThreadCount(num_threads)) {}
 
 ThreadPool::~ThreadPool() {
   {
@@ -88,10 +83,18 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::RunBatch(Batch* batch) {
   for (;;) {
-    size_t index = batch->next.fetch_add(1, std::memory_order_relaxed);
-    if (index >= batch->n) return;
-    Status status;
-    if (!batch->failed.load(std::memory_order_acquire)) {
+    size_t begin = batch->next.fetch_add(batch->grain, std::memory_order_relaxed);
+    if (begin >= batch->n) return;
+    size_t end = std::min(begin + batch->grain, batch->n);
+    // Lowest-indexed error inside this chunk; merged under one lock below.
+    bool chunk_has_error = false;
+    size_t chunk_error_index = 0;
+    Status chunk_error;
+    for (size_t index = begin; index < end; ++index) {
+      if (chunk_has_error || batch->failed.load(std::memory_order_acquire)) {
+        break;  // drain: the remaining claimed indices are skipped
+      }
+      Status status;
       // Fault seam: tasks are addressed by index, so an injected failure
       // hits the same task on every run and thread count. Key construction
       // is gated on an active injector to keep the common path free.
@@ -105,24 +108,42 @@ void ThreadPool::RunBatch(Batch* batch) {
         metrics.task_micros->Record(ElapsedMicros(start));
         metrics.tasks_run->Increment();
       }
-    }
-    std::lock_guard<std::mutex> lock(batch->mu);
-    if (!status.ok()) {
-      batch->failed.store(true, std::memory_order_release);
-      if (!batch->has_error || index < batch->error_index) {
-        batch->has_error = true;
-        batch->error_index = index;
-        batch->error = std::move(status);
+      if (!status.ok()) {
+        batch->failed.store(true, std::memory_order_release);
+        chunk_has_error = true;
+        chunk_error_index = index;
+        chunk_error = std::move(status);
       }
     }
-    if (++batch->completed == batch->n) batch->done_cv.notify_all();
+    std::lock_guard<std::mutex> lock(batch->mu);
+    if (chunk_has_error &&
+        (!batch->has_error || chunk_error_index < batch->error_index)) {
+      batch->has_error = true;
+      batch->error_index = chunk_error_index;
+      batch->error = std::move(chunk_error);
+    }
+    batch->completed += end - begin;
+    if (batch->completed == batch->n) batch->done_cv.notify_all();
   }
 }
 
 Status ThreadPool::ParallelFor(size_t n,
-                               const std::function<Status(size_t)>& fn) {
+                               const std::function<Status(size_t)>& fn,
+                               size_t grain) {
   if (n == 0) return Status::OK();
-  if (workers_.empty() || n == 1) {
+  // Threads beyond the hardware's cannot run CPU-bound tasks any faster:
+  // they only add context switching. When the machine has a single core
+  // (or the pool a single thread), even the batch bookkeeping — shared
+  // batch allocation, chunk claiming, completion wait — is pure overhead,
+  // so an oversubscribed pool (num_threads=8 on one core) must take the
+  // inline serial path and match the serial cost exactly. With workers
+  // spawned lazily, such a pool also never leaves malloc's
+  // single-threaded fast path.
+  size_t hardware = std::thread::hardware_concurrency();
+  size_t effective = hardware == 0
+                         ? thread_count()
+                         : std::min(thread_count(), hardware);
+  if (thread_count() == 1 || n == 1 || effective == 1) {
     PoolMetrics& metrics = GetPoolMetrics();
     for (size_t i = 0; i < n; ++i) {
       if (FaultInjectionActive()) {
@@ -136,13 +157,37 @@ Status ThreadPool::ParallelFor(size_t n,
     }
     return Status::OK();
   }
-  auto batch = std::make_shared<Batch>(n, fn);
+  // Size chunks — and below, wake workers — for the parallelism the
+  // machine actually has, not the pool's nominal size.
+  if (grain == 0) {
+    // Auto: ~4 chunks per effective thread keeps claiming overhead
+    // per-chunk while leaving enough chunks to balance uneven task costs.
+    grain = std::max<size_t>(1, n / (effective * 4));
+  }
+  auto batch = std::make_shared<Batch>(n, grain, fn);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!workers_started_) {
+      workers_started_ = true;
+      workers_.reserve(total_ - 1);
+      for (size_t i = 0; i + 1 < total_; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+    }
     queue_.push_back(batch);
     GetPoolMetrics().queue_depth_peak->RecordMax(queue_.size());
   }
-  work_cv_.notify_all();
+  // The calling thread takes one chunk itself, so only enough workers for
+  // the remaining chunks need waking — and never more than can execute
+  // simultaneously. A small batch on a large pool must not pay for a
+  // wake-up storm of threads that would find nothing to claim.
+  size_t chunks = (n + grain - 1) / grain;
+  size_t to_wake = std::min({chunks - 1, workers_.size(), effective - 1});
+  if (to_wake == workers_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (size_t i = 0; i < to_wake; ++i) work_cv_.notify_one();
+  }
   // The calling thread works its own batch, so completion never depends
   // on a worker being free (this is what makes nested calls safe).
   RunBatch(batch.get());

@@ -2,29 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <queue>
+#include <unordered_map>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/trace.h"
 
 namespace lsd {
 namespace {
 
-struct Node {
-  Assignment assignment;
-  /// Number of tags (in search order) already assigned.
-  size_t level = 0;
-  /// Accumulated -α·log s(label|tag) over assigned tags.
-  double prob_cost = 0.0;
-  /// Accumulated soft-constraint cost of the partial assignment.
-  double soft_cost = 0.0;
-  /// g = prob_cost + soft_cost.
+/// Fixed seed for the per-search Zobrist table: the hash must be identical
+/// across searches, runs, and thread counts for the dominance table (and
+/// the determinism guarantees built on it) to be reproducible.
+constexpr uint64_t kZobristSeed = 0x5eac4c0de0a57a12ULL;
+
+/// Arena node: 32 bytes, parent-pointer path reconstruction instead of a
+/// full Assignment per open-list entry. Nodes are only ever appended, so
+/// indices stay stable for the whole search.
+struct PoolNode {
   double g = 0.0;
-  double f = 0.0;
+  /// Zobrist hash of the partial assignment (XOR over (tag, label)).
+  uint64_t hash = 0;
+  int32_t parent = -1;
+  int32_t tag = -1;
+  int32_t label = -1;
+  uint32_t level = 0;
 };
 
-struct NodeCompare {
-  bool operator()(const Node& a, const Node& b) const { return a.f > b.f; }
+/// Open-list entry: priority data plus the arena index.
+struct HeapEntry {
+  double f = 0.0;
+  double g = 0.0;
+  uint32_t node = 0;
+};
+
+/// Orders the open list: lowest f first; ties prefer the deeper node
+/// (higher g means more of f is real cost, not estimate), then the older
+/// arena index. The full tie-break keeps pop order — and therefore the
+/// returned assignment — deterministic.
+struct HeapCompare {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.f != b.f) return a.f > b.f;
+    if (a.g != b.g) return a.g < b.g;
+    return a.node > b.node;
+  }
 };
 
 }  // namespace
@@ -86,106 +110,253 @@ StatusOr<SearchResult> AStarSearcher::Search(
     }
   }
 
-  // Per-tag admissible lower bound on the probability term.
-  std::vector<double> best_label_cost(n_tags, 0.0);
-  for (size_t t = 0; t < n_tags; ++t) {
-    double best = kInfiniteCost;
-    for (int label : candidates[t]) {
-      best = std::min(best, label_cost(t, label));
-    }
-    best_label_cost[t] = best;
-  }
-
-  // Incremental constraint evaluation: index constraints by the labels
-  // that can affect them, so extending a partial assignment with (tag,
-  // label) only re-checks the constraints triggered by that label (plus
-  // the few that must always be re-checked). Constraint costs are
-  // monotone, so untouched constraints stay satisfied.
+  // Relevance index: extending with (tag, label) only re-evaluates
+  //   - constraints pinned to that tag (user feedback),
+  //   - constraints triggered by that label,
+  //   - constraints that must always be re-checked (minimum counts).
+  // Constraints whose tags/labels are all unknown are inert. Costs are
+  // monotone, so untouched constraints cannot newly violate.
+  std::vector<std::vector<size_t>> by_tag(n_tags);
   std::vector<std::vector<size_t>> by_label(n_labels);
   std::vector<size_t> always;
   for (size_t i = 0; i < constraints.size(); ++i) {
-    std::vector<std::string> triggers = constraints.at(i).TriggerLabels();
+    const Constraint& c = constraints.at(i);
+    std::vector<std::string> tags = c.RelevantTags();
+    if (!tags.empty()) {
+      for (const std::string& name : tags) {
+        int tag = context.TagIndex(name);
+        if (tag >= 0) by_tag[static_cast<size_t>(tag)].push_back(i);
+      }
+      continue;
+    }
+    std::vector<std::string> triggers = c.TriggerLabels();
     if (triggers.empty()) {
       always.push_back(i);
       continue;
     }
-    bool any_known = false;
     for (const std::string& name : triggers) {
       int label = labels.IndexOf(name);
-      if (label >= 0) {
-        by_label[static_cast<size_t>(label)].push_back(i);
-        any_known = true;
-      }
+      if (label >= 0) by_label[static_cast<size_t>(label)].push_back(i);
     }
-    // Constraints whose labels are all outside the label space are inert.
-    (void)any_known;
   }
-  // Dedupe per-label lists (a constraint may list a label twice).
   for (auto& list : by_label) {
     std::sort(list.begin(), list.end());
     list.erase(std::unique(list.begin(), list.end()), list.end());
   }
-
-  std::vector<size_t> order = TagOrder(context);
-  // Suffix sums of best costs along the search order.
-  std::vector<double> heuristic(n_tags + 1, 0.0);
-  for (size_t i = n_tags; i-- > 0;) {
-    heuristic[i] = heuristic[i + 1] + best_label_cost[order[i]];
+  for (auto& list : by_tag) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
   }
 
-  // Search-shape counters. Each Search call is single-threaded and the
-  // inputs are fixed before it starts, so these are deterministic for a
-  // given match run regardless of how calls are spread across the pool.
-  size_t pruned = 0;
-  size_t frontier_peak = 0;
-  auto flush_metrics = [&](size_t expanded, bool greedy, bool deadline_hit) {
-    MetricsRegistry& registry = MetricsRegistry::Global();
-    registry.GetCounter("astar.searches")->Increment();
-    registry.GetCounter("astar.expanded")->Increment(expanded);
-    registry.GetCounter("astar.pruned")->Increment(pruned);
-    registry.GetGauge("astar.frontier_peak")->RecordMax(frontier_peak);
-    if (greedy) registry.GetCounter("astar.greedy_fallbacks")->Increment();
-    if (deadline_hit) registry.GetCounter("astar.deadline_hits")->Increment();
+  // Soft delta of extending `state` by (tag, label), or kInfiniteCost when
+  // a hard constraint rejects the extension. Evaluation order (tag-pinned,
+  // label-triggered, always) is fixed so the float accumulation is
+  // deterministic.
+  auto delta_total = [&](size_t tag, int label,
+                         const SearchState& state) -> double {
+    double soft = 0.0;
+    auto apply = [&](size_t index) {
+      const Constraint& c = constraints.at(index);
+      double delta = c.DeltaCost(static_cast<int>(tag), label, state, labels,
+                                 context);
+      if (delta == kInfiniteCost) return false;
+      if (!c.IsHard()) soft += delta;
+      return true;
+    };
+    for (size_t index : by_tag[tag]) {
+      if (!apply(index)) return kInfiniteCost;
+    }
+    for (size_t index : by_label[static_cast<size_t>(label)]) {
+      if (!apply(index)) return kInfiniteCost;
+    }
+    for (size_t index : always) {
+      if (!apply(index)) return kInfiniteCost;
+    }
+    return soft;
   };
 
-  // Constraint-respecting greedy completion, used when A* exhausts its
-  // expansion budget or no feasible completion exists: assign tags in
+  // Drop candidates that are infeasible on their own (key violations,
+  // feedback pins): costs are monotone, so no feasible assignment can
+  // ever contain them. This shrinks the branching factor and tightens
+  // every per-tag bound below.
+  if (n_tags > 1) {
+    SearchState probe(n_tags, n_labels);
+    for (size_t t = 0; t < n_tags; ++t) {
+      std::vector<int> kept;
+      kept.reserve(candidates[t].size());
+      for (int label : candidates[t]) {
+        if (delta_total(t, label, probe) != kInfiniteCost) {
+          kept.push_back(label);
+        }
+      }
+      candidates[t] = std::move(kept);
+    }
+  }
+
+  // Per-tag admissible lower bound on the probability term, plus the
+  // cheapest alternative ("regret") used by the cap penalties below.
+  std::vector<double> best_cost(n_tags, 0.0);
+  std::vector<int> best_label(n_tags, -1);
+  std::vector<double> regret(n_tags, kInfiniteCost);
+  for (size_t t = 0; t < n_tags; ++t) {
+    double best = kInfiniteCost;
+    int best_l = -1;
+    for (int label : candidates[t]) {
+      double cost = label_cost(t, label);
+      if (cost < best) {
+        best = cost;
+        best_l = label;
+      }
+    }
+    best_cost[t] = best;
+    best_label[t] = best_l;
+    double second = kInfiniteCost;
+    for (int label : candidates[t]) {
+      if (label == best_l) continue;
+      second = std::min(second, label_cost(t, label));
+    }
+    regret[t] = second == kInfiniteCost ? kInfiniteCost : second - best;
+  }
+
+  // Caps declared by the constraints (hard frequency maxima, soft count
+  // limits), folded into the heuristic's collision penalties.
+  std::vector<std::vector<std::pair<size_t, double>>> caps_by_label(n_labels);
+  {
+    std::string cap_label;
+    size_t cap_count = 0;
+    double cap_weight = 0.0;
+    for (size_t i = 0; i < constraints.size(); ++i) {
+      if (!constraints.at(i).CountCap(&cap_label, &cap_count, &cap_weight)) {
+        continue;
+      }
+      int label = labels.IndexOf(cap_label);
+      if (label >= 0) {
+        caps_by_label[static_cast<size_t>(label)].emplace_back(cap_count,
+                                                               cap_weight);
+      }
+    }
+  }
+
+  std::vector<size_t> order = TagOrder(context);
+
+  // Static admissible heuristic, the searcher's floor bound. Base: suffix
+  // sums of each remaining tag's best-candidate cost. Tightening: when a
+  // capped label is the best candidate of more remaining tags than its
+  // cap admits, the extra tags must switch and pay at least their regret
+  // (hard caps), or at least min(regret, weight) each (soft count limits:
+  // stay over the cap and pay the weight, or switch). Assuming the full
+  // cap is still available — prefix assignments can only consume it —
+  // keeps this a lower bound.
+  std::vector<double> h_static(n_tags + 1, 0.0);
+  for (size_t i = n_tags; i-- > 0;) {
+    h_static[i] = h_static[i + 1] + best_cost[order[i]];
+  }
+  {
+    std::vector<std::vector<double>> group(n_labels);
+    for (size_t i = 0; i < n_tags; ++i) {
+      for (auto& g : group) g.clear();
+      for (size_t p = i; p < n_tags; ++p) {
+        size_t t = order[p];
+        if (best_label[t] >= 0) {
+          group[static_cast<size_t>(best_label[t])].push_back(regret[t]);
+        }
+      }
+      double penalty = 0.0;
+      for (size_t label = 0; label < n_labels; ++label) {
+        if (caps_by_label[label].empty() || group[label].size() <= 1) continue;
+        std::sort(group[label].begin(), group[label].end());
+        double label_penalty = 0.0;
+        for (const auto& [cap, weight] : caps_by_label[label]) {
+          if (group[label].size() <= cap) continue;
+          size_t extra = group[label].size() - cap;
+          double pen = 0.0;
+          for (size_t j = 0; j < extra; ++j) {
+            pen += weight == kInfiniteCost ? group[label][j]
+                                           : std::min(group[label][j], weight);
+          }
+          label_penalty = std::max(label_penalty, pen);
+        }
+        penalty += label_penalty;
+      }
+      h_static[i] += penalty;
+    }
+  }
+
+  // One full evaluation at the root; everything after is incremental.
+  Assignment empty(n_tags);
+  double root_cost = constraints.TotalCost(empty, labels, context);
+
+  // Constraint-respecting greedy completion, computed up front: it is both
+  // the anytime answer (budget/deadline truncation, infeasible search) and
+  // the incumbent upper bound that prunes the open list. Assign tags in
   // search order, picking each tag's cheapest candidate that keeps the
   // partial assignment feasible; when no candidate is feasible, prefer
-  // OTHER (it participates in no hard constraints), else the argmax.
-  auto greedy_fallback = [&](size_t expanded, bool deadline_hit) {
-    flush_metrics(expanded, /*greedy=*/true, deadline_hit);
-    SearchResult result;
-    result.deadline_hit = deadline_hit;
-    result.assignment = Assignment(n_tags);
+  // OTHER (it participates in no hard constraints), else the argmax —
+  // after which the assignment is poisoned and feasibility checks are
+  // moot, exactly as a full re-evaluation would report.
+  SearchResult greedy;
+  {
+    SearchState state(n_tags, n_labels);
+    bool poisoned = root_cost == kInfiniteCost;
     double total = 0.0;
     for (size_t t : order) {
       int chosen = -1;
       double chosen_cost = kInfiniteCost;
-      for (int label : candidates[t]) {
-        result.assignment.labels[t] = label;
-        if (constraints.TotalCost(result.assignment, labels, context) ==
-            kInfiniteCost) {
-          continue;
-        }
-        double cost = label_cost(t, label);
-        if (cost < chosen_cost) {
-          chosen = label;
-          chosen_cost = cost;
+      if (!poisoned) {
+        for (int label : candidates[t]) {
+          if (delta_total(t, label, state) == kInfiniteCost) continue;
+          double cost = label_cost(t, label);
+          if (cost < chosen_cost) {
+            chosen = label;
+            chosen_cost = cost;
+          }
         }
       }
       if (chosen < 0) {
         chosen = labels.other_index() >= 0 ? labels.other_index()
                                            : predictions[t].Best();
         chosen_cost = label_cost(t, chosen);
+        poisoned = true;
       }
-      result.assignment.labels[t] = chosen;
+      state.Assign(static_cast<int>(t), chosen);
       total += chosen_cost;
     }
-    double soft = constraints.TotalCost(result.assignment, labels, context);
-    result.cost = soft == kInfiniteCost ? kInfiniteCost : total + soft;
+    greedy.assignment = state.assignment();
+    double soft = constraints.TotalCost(greedy.assignment, labels, context);
+    greedy.cost = soft == kInfiniteCost ? kInfiniteCost : total + soft;
+    greedy.truncated = true;
+  }
+
+  // Search-shape counters. Each Search call is single-threaded and the
+  // inputs are fixed before it starts, so these are deterministic for a
+  // given match run regardless of how calls are spread across the pool.
+  size_t pruned = 0;
+  size_t bound_pruned = 0;
+  size_t dominated = 0;
+  size_t frontier_peak = 0;
+  size_t heap_peak = 0;
+  auto flush_metrics = [&](size_t expanded, bool greedy_returned,
+                           bool deadline_hit, bool truncated) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("astar.searches")->Increment();
+    registry.GetCounter("astar.expanded")->Increment(expanded);
+    registry.GetCounter("astar.pruned")->Increment(pruned);
+    registry.GetCounter("astar.bound_pruned")->Increment(bound_pruned);
+    registry.GetCounter("astar.dominated")->Increment(dominated);
+    registry.GetCounter("astar.truncated")->Increment(truncated ? 1 : 0);
+    registry.GetCounter("astar.greedy_fallbacks")
+        ->Increment(greedy_returned ? 1 : 0);
+    registry.GetCounter("astar.deadline_hits")
+        ->Increment(deadline_hit ? 1 : 0);
+    registry.GetGauge("astar.frontier_peak")->RecordMax(frontier_peak);
+    registry.GetGauge("astar.heap_peak")->RecordMax(heap_peak);
+  };
+  auto greedy_result = [&](size_t expanded, bool deadline_hit) {
+    flush_metrics(expanded, /*greedy_returned=*/true, deadline_hit,
+                  /*truncated=*/true);
+    SearchResult result = greedy;
     result.expanded = expanded;
-    result.truncated = true;
+    result.deadline_hit = deadline_hit;
     return result;
   };
 
@@ -193,85 +364,356 @@ StatusOr<SearchResult> AStarSearcher::Search(
   // expired) yields the greedy constraint-respecting completion instead of
   // an error. The in-loop check is amortized over 64 expansions so the
   // clock read never dominates the search.
-  if (deadline.expired()) return greedy_fallback(0, /*deadline_hit=*/true);
+  if (deadline.expired()) return greedy_result(0, /*deadline_hit=*/true);
+  if (root_cost == kInfiniteCost) return greedy_result(0, false);
 
-  std::priority_queue<Node, std::vector<Node>, NodeCompare> open;
-  Node root;
-  root.assignment = Assignment(n_tags);
-  // One full evaluation at the root; everything after is incremental.
-  double root_cost = constraints.TotalCost(root.assignment, labels, context);
-  if (root_cost == kInfiniteCost) return greedy_fallback(0, false);
-  root.soft_cost = root_cost;
-  root.g = root.soft_cost;
-  root.f = root.g + heuristic[0];
-  open.push(std::move(root));
+  // Incumbent bound: a goal must beat the greedy completion, so any node
+  // whose admissible f exceeds it can never lead to a better goal. The
+  // epsilon absorbs last-ulp differences between the greedy cost (summed
+  // per full evaluation) and the same assignment's incremental g.
+  double bound = kInfiniteCost;
+  if (greedy.cost != kInfiniteCost) {
+    bound = greedy.cost + 1e-9 * (1.0 + std::abs(greedy.cost));
+  }
+
+  // -------------------------------------------------------------------
+  // Forward checking: a per-search pairwise conflict matrix. Two
+  // candidate picks conflict when the two-tag assignment {t→l, t'→l'}
+  // already violates a hard constraint; by monotonicity no completion can
+  // contain a conflicting pair. Each pick owns a bitset row over all
+  // picks; OR-ing the rows of the assigned picks (once per pop, a few
+  // hundred word ops) yields the set of blocked candidates under the
+  // current partial assignment. The per-tag minimum over surviving
+  // candidates is a far tighter admissible bound than the static
+  // best-cost: it sees, at the moment a subtree is entered, which tags
+  // have been forced off their preferred labels (and onto OTHER's -log
+  // floor cost), and it detects dead ends — a tag with no surviving
+  // candidate — before expanding a single node below them.
+  // -------------------------------------------------------------------
+  std::vector<size_t> cand_offset(n_tags + 1, 0);
+  for (size_t t = 0; t < n_tags; ++t) {
+    cand_offset[t + 1] = cand_offset[t] + candidates[t].size();
+  }
+  const size_t n_cands = cand_offset[n_tags];
+  std::vector<double> cand_cost(n_cands, 0.0);
+  for (size_t t = 0; t < n_tags; ++t) {
+    for (size_t k = 0; k < candidates[t].size(); ++k) {
+      cand_cost[cand_offset[t] + k] = label_cost(t, candidates[t][k]);
+    }
+  }
+  auto ci_of = [&](size_t t, int label) -> int {
+    const std::vector<int>& c = candidates[t];
+    for (size_t k = 0; k < c.size(); ++k) {
+      if (c[k] == label) return static_cast<int>(k);
+    }
+    return -1;
+  };
+  // Word-aligned row per pick so rows can be OR-ed wholesale.
+  const size_t row_words = n_cands == 0 ? 1 : (n_cands + 63) / 64;
+  std::vector<uint64_t> conflict_rows(n_cands * row_words, 0);
+  auto conflicts = [&](size_t a, size_t b) -> bool {
+    return (conflict_rows[a * row_words + (b >> 6)] >> (b & 63)) & 1u;
+  };
+  {
+    auto set_conflict = [&](size_t a, size_t b) {
+      conflict_rows[a * row_words + (b >> 6)] |= uint64_t{1} << (b & 63);
+      conflict_rows[b * row_words + (a >> 6)] |= uint64_t{1} << (a & 63);
+    };
+    SearchState probe(n_tags, n_labels);
+    for (size_t t = 0; t + 1 < n_tags; ++t) {
+      for (size_t k = 0; k < candidates[t].size(); ++k) {
+        probe.Assign(static_cast<int>(t), candidates[t][k]);
+        for (size_t t2 = t + 1; t2 < n_tags; ++t2) {
+          for (size_t k2 = 0; k2 < candidates[t2].size(); ++k2) {
+            if (delta_total(t2, candidates[t2][k2], probe) == kInfiniteCost) {
+              set_conflict(cand_offset[t] + k, cand_offset[t2] + k2);
+            }
+          }
+        }
+        probe.Unassign(static_cast<int>(t), candidates[t][k]);
+      }
+    }
+  }
+
+  // Zobrist table for the dominance hash, seeded identically per search.
+  std::vector<uint64_t> zobrist(n_tags * n_labels);
+  {
+    Rng rng(kZobristSeed);
+    for (uint64_t& z : zobrist) z = rng.Next();
+  }
+
+  std::vector<PoolNode> pool;
+  pool.reserve(1024);
+  pool.push_back(PoolNode{root_cost, 0, -1, -1, -1, 0});
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare> open;
+
+  // The incremental state tracks one node's partial assignment at a time;
+  // switching to another popped node walks the tree between them via
+  // parent pointers (unassign up to the common ancestor, reassign down).
+  // The stack of assigned pick indices rides along so the blocked bitset
+  // can be rebuilt from their conflict rows after each move.
+  SearchState state(n_tags, n_labels);
+  std::vector<size_t> assigned_picks;
+  assigned_picks.reserve(n_tags);
+  std::vector<uint64_t> blocked(row_words, 0);
+  auto is_blocked = [&](size_t pick) -> bool {
+    return (blocked[pick >> 6] >> (pick & 63)) & 1u;
+  };
+  auto rebuild_blocked = [&]() {
+    std::fill(blocked.begin(), blocked.end(), 0);
+    for (size_t pick : assigned_picks) {
+      const uint64_t* row = &conflict_rows[pick * row_words];
+      for (size_t w = 0; w < row_words; ++w) blocked[w] |= row[w];
+    }
+  };
+  uint32_t state_node = 0;
+  std::vector<uint32_t> walk;
+  auto move_state_to = [&](uint32_t target) {
+    uint32_t a = state_node;
+    uint32_t b = target;
+    walk.clear();
+    while (pool[a].level > pool[b].level) {
+      state.Unassign(pool[a].tag, pool[a].label);
+      assigned_picks.pop_back();
+      a = static_cast<uint32_t>(pool[a].parent);
+    }
+    while (pool[b].level > pool[a].level) {
+      walk.push_back(b);
+      b = static_cast<uint32_t>(pool[b].parent);
+    }
+    while (a != b) {
+      state.Unassign(pool[a].tag, pool[a].label);
+      assigned_picks.pop_back();
+      a = static_cast<uint32_t>(pool[a].parent);
+      walk.push_back(b);
+      b = static_cast<uint32_t>(pool[b].parent);
+    }
+    for (auto it = walk.rbegin(); it != walk.rend(); ++it) {
+      const PoolNode& step = pool[*it];
+      state.Assign(step.tag, step.label);
+      assigned_picks.push_back(
+          cand_offset[static_cast<size_t>(step.tag)] +
+          static_cast<size_t>(ci_of(static_cast<size_t>(step.tag), step.label)));
+    }
+    state_node = target;
+    rebuild_blocked();
+  };
+
+  // Per-expansion forward-checking scan over the unassigned suffix:
+  // cheapest and second-cheapest surviving candidate per tag, refreshed
+  // once per pop and adjusted per child against the child's own pick.
+  std::vector<double> fc_min(n_tags, 0.0);
+  std::vector<double> fc_second(n_tags, 0.0);
+  std::vector<int> fc_min_ci(n_tags, -1);
+  auto scan_suffix = [&](size_t from_q) {
+    for (size_t q = from_q; q < n_tags; ++q) {
+      size_t t = order[q];
+      size_t base = cand_offset[t];
+      double m1 = kInfiniteCost, m2 = kInfiniteCost;
+      int mi = -1;
+      for (size_t k = 0; k < candidates[t].size(); ++k) {
+        if (is_blocked(base + k)) continue;
+        double cost = cand_cost[base + k];
+        if (cost < m1) {
+          m2 = m1;
+          m1 = cost;
+          mi = static_cast<int>(k);
+        } else if (cost < m2) {
+          m2 = cost;
+        }
+      }
+      fc_min[q] = m1;
+      fc_second[q] = m2;
+      fc_min_ci[q] = mi;
+    }
+  };
+
+  // Admissible bound on the cost of completing the suffix order[from_q..)
+  // given the current state plus (optionally) one extra pick `a`
+  // (candidate bit index; kNoPick for none) of `new_label`. Per tag:
+  // cheapest surviving candidate, recomputed under `a`'s conflicts when
+  // they hit the cached minimum. On top, cap-collision penalties: tags
+  // whose surviving best is the same capped label beyond the cap's
+  // remaining headroom must switch and pay their regret (hard caps) or
+  // min(regret, weight) (soft count limits). Infinite when some tag has
+  // no surviving candidate — a proven dead end.
+  constexpr size_t kNoPick = static_cast<size_t>(-1);
+  std::vector<std::vector<double>> pen_group(n_labels);
+  std::vector<size_t> pen_touched;
+  auto suffix_bound = [&](size_t from_q, size_t a, int new_label) -> double {
+    double total = 0.0;
+    pen_touched.clear();
+    for (size_t q = from_q; q < n_tags; ++q) {
+      size_t t = order[q];
+      size_t base = cand_offset[t];
+      double m1 = fc_min[q];
+      double m2 = fc_second[q];
+      int mi = fc_min_ci[q];
+      if (a != kNoPick && (mi < 0 || conflicts(a, base + static_cast<size_t>(mi)))) {
+        m1 = kInfiniteCost;
+        m2 = kInfiniteCost;
+        mi = -1;
+        for (size_t k = 0; k < candidates[t].size(); ++k) {
+          if (is_blocked(base + k) || conflicts(a, base + k)) continue;
+          double cost = cand_cost[base + k];
+          if (cost < m1) {
+            m2 = m1;
+            m1 = cost;
+            mi = static_cast<int>(k);
+          } else if (cost < m2) {
+            m2 = cost;
+          }
+        }
+      }
+      if (mi < 0) return kInfiniteCost;
+      total += m1;
+      size_t label = static_cast<size_t>(candidates[t][static_cast<size_t>(mi)]);
+      if (!caps_by_label[label].empty()) {
+        if (pen_group[label].empty()) pen_touched.push_back(label);
+        // m2 may itself conflict with `a`; using it anyway only lowers
+        // the regret, which keeps the bound admissible.
+        pen_group[label].push_back(m2 == kInfiniteCost ? kInfiniteCost
+                                                       : m2 - m1);
+      }
+    }
+    for (size_t label : pen_touched) {
+      std::vector<double>& regrets = pen_group[label];
+      size_t used = state.CountOf(static_cast<int>(label)) +
+                    (new_label >= 0 && static_cast<size_t>(new_label) == label
+                         ? 1
+                         : 0);
+      std::sort(regrets.begin(), regrets.end());
+      double label_penalty = 0.0;
+      for (const auto& [cap, weight] : caps_by_label[label]) {
+        size_t avail = cap > used ? cap - used : 0;
+        if (regrets.size() <= avail) continue;
+        size_t extra = regrets.size() - avail;
+        double pen = 0.0;
+        for (size_t j = 0; j < extra; ++j) {
+          pen += weight == kInfiniteCost ? regrets[j]
+                                         : std::min(regrets[j], weight);
+        }
+        label_penalty = std::max(label_penalty, pen);
+      }
+      total += label_penalty;
+      regrets.clear();
+    }
+    return total;
+  };
+
+  scan_suffix(0);
+  {
+    double h_root = std::max(suffix_bound(0, kNoPick, -1), h_static[0]);
+    open.push(HeapEntry{root_cost + h_root, root_cost, 0});
+  }
   frontier_peak = open.size();
+  heap_peak = pool.size();
 
+  // Dominance table keyed by (depth, assignment hash). On a key hit the
+  // stored node's assignment is compared exactly (walking both parent
+  // chains), so a hash collision can never prune a distinct state.
+  std::unordered_map<uint64_t, std::pair<uint32_t, double>> visited;
+  auto states_equal = [&](uint32_t a, uint32_t b) {
+    while (a != b) {
+      if (pool[a].tag != pool[b].tag || pool[a].label != pool[b].label) {
+        return false;
+      }
+      a = static_cast<uint32_t>(pool[a].parent);
+      b = static_cast<uint32_t>(pool[b].parent);
+    }
+    return true;
+  };
+
+  std::vector<ExpandedState> trace;
   size_t expanded = 0;
   while (!open.empty()) {
-    Node node = open.top();
+    HeapEntry top = open.top();
     open.pop();
+    PoolNode node = pool[top.node];
     if (node.level == n_tags) {
-      flush_metrics(expanded, /*greedy=*/false, /*deadline_hit=*/false);
+      flush_metrics(expanded, /*greedy_returned=*/false,
+                    /*deadline_hit=*/false, /*truncated=*/false);
       SearchResult result;
-      result.assignment = std::move(node.assignment);
-      result.cost = node.g;
+      result.assignment = Assignment(n_tags);
+      for (uint32_t cur = top.node; pool[cur].level > 0;
+           cur = static_cast<uint32_t>(pool[cur].parent)) {
+        result.assignment.labels[static_cast<size_t>(pool[cur].tag)] =
+            pool[cur].label;
+      }
+      result.cost = top.g;
       result.expanded = expanded;
       result.truncated = false;
+      result.trace = std::move(trace);
       return result;
     }
-    if (++expanded > options_.max_expansions) {
-      return greedy_fallback(expanded, false);
+    // Exact budget: a search never expands more than max_expansions nodes.
+    if (expanded >= options_.max_expansions) {
+      return greedy_result(expanded, false);
     }
+    ++expanded;
     if ((expanded & 63) == 0 && deadline.expired()) {
-      return greedy_fallback(expanded, /*deadline_hit=*/true);
+      return greedy_result(expanded, /*deadline_hit=*/true);
     }
+    move_state_to(top.node);
+    if (options_.record_trace) {
+      trace.push_back(ExpandedState{state.assignment(), top.g, top.f - top.g});
+    }
+    scan_suffix(node.level + 1);
     size_t tag = order[node.level];
-    for (int label : candidates[tag]) {
-      Node child;
-      child.assignment = node.assignment;
-      child.assignment.labels[tag] = label;
-      child.level = node.level + 1;
-      // Re-check only constraints this label (or "always" constraints) can
-      // affect. Hard violations prune; soft deltas accumulate into g.
-      bool feasible = true;
-      double soft_delta = 0.0;
-      auto check = [&](size_t index) {
-        const Constraint& c = constraints.at(index);
-        double child_cost = c.Cost(child.assignment, labels, context);
-        if (child_cost == kInfiniteCost) {
-          feasible = false;
-          return;
-        }
-        if (!c.IsHard()) {
-          soft_delta +=
-              child_cost - c.Cost(node.assignment, labels, context);
-        }
-      };
-      for (size_t index : by_label[static_cast<size_t>(label)]) {
-        check(index);
-        if (!feasible) break;
-      }
-      if (feasible) {
-        for (size_t index : always) {
-          check(index);
-          if (!feasible) break;
-        }
-      }
-      if (!feasible) {
+    for (size_t k = 0; k < candidates[tag].size(); ++k) {
+      int label = candidates[tag][k];
+      size_t pick = cand_offset[tag] + k;
+      if (is_blocked(pick)) {
         ++pruned;
         continue;
       }
-      child.prob_cost = node.prob_cost + label_cost(tag, label);
-      child.soft_cost = node.soft_cost + soft_delta;
-      child.g = child.prob_cost + child.soft_cost;
-      child.f = child.g + heuristic[child.level];
-      open.push(std::move(child));
+      double soft_delta = delta_total(tag, label, state);
+      if (soft_delta == kInfiniteCost) {
+        ++pruned;
+        continue;
+      }
+      double h_child = suffix_bound(node.level + 1, pick, label);
+      if (h_child == kInfiniteCost) {
+        // Forward checking proved some unassigned tag has no label
+        // compatible with this extension: a dead subtree.
+        ++pruned;
+        continue;
+      }
+      double g = top.g + cand_cost[pick] + soft_delta;
+      double f = g + std::max(h_child, h_static[node.level + 1]);
+      if (f > bound) {
+        ++bound_pruned;
+        continue;
+      }
+      uint64_t hash =
+          node.hash ^
+          zobrist[tag * n_labels + static_cast<size_t>(label)];
+      uint64_t key =
+          hash + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(node.level + 1);
+      pool.push_back(PoolNode{g, hash, static_cast<int32_t>(top.node),
+                              static_cast<int32_t>(tag), label,
+                              node.level + 1});
+      uint32_t child = static_cast<uint32_t>(pool.size() - 1);
+      auto it = visited.find(key);
+      if (it != visited.end() &&
+          pool[it->second.first].level == node.level + 1 &&
+          states_equal(it->second.first, child)) {
+        if (it->second.second <= g) {
+          ++dominated;
+          pool.pop_back();
+          continue;
+        }
+        it->second = {child, g};
+      } else if (it == visited.end()) {
+        visited.emplace(key, std::make_pair(child, g));
+      }
+      open.push(HeapEntry{f, g, child});
       frontier_peak = std::max(frontier_peak, open.size());
+      heap_peak = std::max(heap_peak, pool.size());
     }
   }
   // Every completion violated a hard constraint: fall back to greedy.
-  return greedy_fallback(expanded, false);
+  return greedy_result(expanded, false);
 }
 
 }  // namespace lsd

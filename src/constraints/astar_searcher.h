@@ -28,6 +28,18 @@ struct AStarOptions {
   /// argmax completion (keeps the matcher interactive; Section 7 notes
   /// the constraint handler can take minutes unoptimized).
   size_t max_expansions = 200000;
+  /// Record every expanded state with the heuristic value used for it
+  /// (`SearchResult::trace`). Test-only: materializes one Assignment per
+  /// expansion, exactly what the node pool exists to avoid.
+  bool record_trace = false;
+};
+
+/// One expanded node, recorded when `AStarOptions::record_trace` is set.
+struct ExpandedState {
+  Assignment assignment;
+  /// Cost-so-far and the admissible remaining-cost bound at expansion.
+  double g = 0.0;
+  double h = 0.0;
 };
 
 /// Result of a constraint-handler search.
@@ -40,15 +52,33 @@ struct SearchResult {
   bool truncated = false;
   /// True when the budget that ended the search was the deadline.
   bool deadline_hit = false;
+  /// Expanded states in pop order; empty unless
+  /// `AStarOptions::record_trace` was set.
+  std::vector<ExpandedState> trace;
 };
 
 /// A* search over the space of candidate 1-1 mappings (Section 4.2).
 /// States are partial assignments in a fixed tag order (most-structured
 /// tags first, the Section 6.3 ordering); successors extend the next tag
 /// with each candidate label. g = accumulated -α·log s(label|tag) plus
-/// soft-constraint costs; hard violations prune. h = Σ over unassigned
-/// tags of -α·log(best score) — admissible because soft costs are
-/// monotone and each tag's best label lower-bounds its contribution.
+/// soft-constraint costs; hard violations prune.
+///
+/// The hot path is incremental throughout: extending a node evaluates
+/// only the constraints relevant to the new (tag, label) via
+/// `Constraint::DeltaCost` against a `SearchState` that is walked between
+/// popped nodes through parent pointers, never copied. Nodes live in an
+/// arena pool (32 bytes each) with the open list holding (f, g, index)
+/// entries; the goal assignment is reconstructed from parent pointers.
+///
+/// h = Σ over unassigned tags of -α·log(best score), tightened with cap
+/// regrets: when a capped label (declared via `Constraint::CountCap`) is
+/// the best candidate of more remaining tags than its cap admits, the
+/// overflow tags must pay at least their switch regret. Both terms lower-
+/// bound the true remaining cost, so the heuristic stays admissible and
+/// the first goal popped is optimal. A greedy constraint-respecting
+/// completion computed up front serves as the anytime answer and as an
+/// incumbent upper bound that prunes the open list; a visited-state table
+/// keyed by (depth, assignment hash) discards dominated duplicates.
 class AStarSearcher {
  public:
   explicit AStarSearcher(AStarOptions options = AStarOptions())

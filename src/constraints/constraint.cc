@@ -195,6 +195,21 @@ bool ConstraintContext::ComputeFunctionalDependency(int a, int b, int c) const {
   return true;
 }
 
+double Constraint::DeltaCost(int tag, int label, const SearchState& state,
+                             const LabelSpace& labels,
+                             const ConstraintContext& context) const {
+  // Conservative fallback: two full evaluations. Callers guarantee the
+  // state itself is feasible (finite cost), so `after - before` is well
+  // defined. Hard constraints only ever move 0 -> inf, so their finite
+  // delta is always 0 and the `before` evaluation can be skipped.
+  Assignment extended = state.assignment();
+  extended.labels[static_cast<size_t>(tag)] = label;
+  double after = Cost(extended, labels, context);
+  if (after == kInfiniteCost) return kInfiniteCost;
+  if (IsHard()) return 0.0;
+  return after - Cost(state.assignment(), labels, context);
+}
+
 double ConstraintSet::TotalCost(const Assignment& assignment,
                                 const LabelSpace& labels,
                                 const ConstraintContext& context) const {
@@ -264,6 +279,23 @@ double FrequencyConstraint::Cost(const Assignment& assignment,
   return 0.0;
 }
 
+double FrequencyConstraint::DeltaCost(int tag, int label,
+                                      const SearchState& state,
+                                      const LabelSpace& labels,
+                                      const ConstraintContext& context) const {
+  (void)tag;
+  (void)context;
+  int target = labels.IndexOf(label_);
+  if (target < 0) return 0.0;
+  size_t count_after = state.CountOf(target) + (label == target ? 1 : 0);
+  size_t unassigned_after = state.unassigned_count() - 1;
+  if (count_after > max_count_) return kInfiniteCost;
+  // Even an unrelated assignment shrinks the pool of tags that could
+  // still satisfy a minimum count.
+  if (count_after + unassigned_after < min_count_) return kInfiniteCost;
+  return 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // NestingConstraint
 // ---------------------------------------------------------------------------
@@ -297,6 +329,31 @@ double NestingConstraint::Cost(const Assignment& assignment,
       bool nested = context.IsNestedIn(static_cast<int>(j), static_cast<int>(i));
       if (required_ && !nested) return kInfiniteCost;
       if (!required_ && nested) return kInfiniteCost;
+    }
+  }
+  return 0.0;
+}
+
+double NestingConstraint::DeltaCost(int tag, int label,
+                                    const SearchState& state,
+                                    const LabelSpace& labels,
+                                    const ConstraintContext& context) const {
+  int outer = labels.IndexOf(outer_label_);
+  int inner = labels.IndexOf(inner_label_);
+  if (outer < 0 || inner < 0) return 0.0;
+  // Only pairs involving the newly assigned tag can newly violate.
+  if (label == outer) {
+    for (int j : state.TagsWith(inner)) {
+      if (j == tag) continue;
+      bool nested = context.IsNestedIn(j, tag);
+      if (required_ != nested) return kInfiniteCost;
+    }
+  }
+  if (label == inner) {
+    for (int i : state.TagsWith(outer)) {
+      if (i == tag) continue;
+      bool nested = context.IsNestedIn(tag, i);
+      if (required_ != nested) return kInfiniteCost;
     }
   }
   return 0.0;
@@ -343,6 +400,55 @@ double ContiguityConstraint::Cost(const Assignment& assignment,
   return 0.0;
 }
 
+double ContiguityConstraint::DeltaCost(int tag, int label,
+                                       const SearchState& state,
+                                       const LabelSpace& labels,
+                                       const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  int other = labels.other_index();
+  const std::vector<int>& as = state.TagsWith(la);
+  const std::vector<int>& bs = state.TagsWith(lb);
+  // A pair (a_tag, b_tag) read against the *extended* assignment.
+  auto pair_violated = [&](int a_tag, int b_tag) {
+    if (!context.AreSiblings(a_tag, b_tag)) return true;
+    for (int between : context.TagsBetween(a_tag, b_tag)) {
+      int l = between == tag
+                  ? label
+                  : state.assignment().labels[static_cast<size_t>(between)];
+      if (l != Assignment::kUnassigned && l != other) return true;
+    }
+    return false;
+  };
+  // New pairs where the new tag is an endpoint. Mirrors Cost's full
+  // cross product: with label_a == label_b the degenerate (tag, tag)
+  // pair is checked too (and fails, since a tag is not its own sibling).
+  if (label == la) {
+    if (label == lb && pair_violated(tag, tag)) return kInfiniteCost;
+    for (int b : bs) {
+      if (pair_violated(tag, b)) return kInfiniteCost;
+    }
+  }
+  if (label == lb) {
+    for (int a : as) {
+      if (pair_violated(a, tag)) return kInfiniteCost;
+    }
+  }
+  // The new tag may land *between* an existing pair with a non-OTHER
+  // label, violating a pair that was previously fine.
+  if (label != other) {
+    for (int a : as) {
+      for (int b : bs) {
+        for (int between : context.TagsBetween(a, b)) {
+          if (between == tag) return kInfiniteCost;
+        }
+      }
+    }
+  }
+  return 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // ExclusivityConstraint
 // ---------------------------------------------------------------------------
@@ -371,6 +477,20 @@ double ExclusivityConstraint::Cost(const Assignment& assignment,
   return (has_a && has_b) ? kInfiniteCost : 0.0;
 }
 
+double ExclusivityConstraint::DeltaCost(int tag, int label,
+                                        const SearchState& state,
+                                        const LabelSpace& labels,
+                                        const ConstraintContext& context) const {
+  (void)tag;
+  (void)context;
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  bool has_a = label == la || state.CountOf(la) > 0;
+  bool has_b = label == lb || state.CountOf(lb) > 0;
+  return (has_a && has_b) ? kInfiniteCost : 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // KeyConstraint
 // ---------------------------------------------------------------------------
@@ -395,6 +515,15 @@ double KeyConstraint::Cost(const Assignment& assignment,
     }
   }
   return 0.0;
+}
+
+double KeyConstraint::DeltaCost(int tag, int label, const SearchState& state,
+                                const LabelSpace& labels,
+                                const ConstraintContext& context) const {
+  (void)state;
+  int target = labels.IndexOf(label_);
+  if (target < 0 || label != target) return 0.0;
+  return context.ColumnLooksLikeKey(tag) ? 0.0 : kInfiniteCost;
 }
 
 // ---------------------------------------------------------------------------
@@ -438,6 +567,35 @@ double FunctionalDependencyConstraint::Cost(
   return 0.0;
 }
 
+double FunctionalDependencyConstraint::DeltaCost(
+    int tag, int label, const SearchState& state, const LabelSpace& labels,
+    const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  int lc = labels.IndexOf(label_c_);
+  if (la < 0 || lb < 0 || lc < 0) return 0.0;
+  if (label != la && label != lb && label != lc) return 0.0;
+  // Enumerate the extended role sets but keep only triples the new tag
+  // participates in — everything else was checked when `state` was built.
+  auto extended = [&](int role_label) {
+    std::vector<int> out = state.TagsWith(role_label);
+    if (label == role_label) out.push_back(tag);
+    return out;
+  };
+  std::vector<int> as = extended(la);
+  std::vector<int> bs = extended(lb);
+  std::vector<int> cs = extended(lc);
+  for (int i : as) {
+    for (int j : bs) {
+      for (int k : cs) {
+        if (i != tag && j != tag && k != tag) continue;
+        if (!context.FunctionalDependencyHolds(i, j, k)) return kInfiniteCost;
+      }
+    }
+  }
+  return 0.0;
+}
+
 // ---------------------------------------------------------------------------
 // CountLimitSoftConstraint
 // ---------------------------------------------------------------------------
@@ -464,6 +622,22 @@ double CountLimitSoftConstraint::Cost(const Assignment& assignment,
   }
   if (count <= max_count_) return 0.0;
   return weight_ * static_cast<double>(count - max_count_);
+}
+
+double CountLimitSoftConstraint::DeltaCost(
+    int tag, int label, const SearchState& state, const LabelSpace& labels,
+    const ConstraintContext& context) const {
+  (void)tag;
+  (void)context;
+  int target = labels.IndexOf(label_);
+  if (target < 0 || label != target) return 0.0;
+  size_t count = state.CountOf(target);
+  size_t count_after = count + 1;
+  if (count_after <= max_count_) return 0.0;
+  double before =
+      count > max_count_ ? weight_ * static_cast<double>(count - max_count_)
+                         : 0.0;
+  return weight_ * static_cast<double>(count_after - max_count_) - before;
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +678,31 @@ double ProximitySoftConstraint::Cost(const Assignment& assignment,
   return total;
 }
 
+double ProximitySoftConstraint::DeltaCost(
+    int tag, int label, const SearchState& state, const LabelSpace& labels,
+    const ConstraintContext& context) const {
+  int la = labels.IndexOf(label_a_);
+  int lb = labels.IndexOf(label_b_);
+  if (la < 0 || lb < 0) return 0.0;
+  double delta = 0.0;
+  // New pairs with the new tag as either endpoint; when the labels
+  // coincide both orderings accrue, matching Cost's cross product. The
+  // degenerate (tag, tag) pair has distance 0 and contributes nothing.
+  if (label == la) {
+    for (int j : state.TagsWith(lb)) {
+      int distance = context.TreeDistance(tag, j);
+      if (distance > 2) delta += weight_ * static_cast<double>(distance - 2);
+    }
+  }
+  if (label == lb) {
+    for (int i : state.TagsWith(la)) {
+      int distance = context.TreeDistance(i, tag);
+      if (distance > 2) delta += weight_ * static_cast<double>(distance - 2);
+    }
+  }
+  return delta;
+}
+
 // ---------------------------------------------------------------------------
 // FeedbackConstraint
 // ---------------------------------------------------------------------------
@@ -524,6 +723,23 @@ double FeedbackConstraint::Cost(const Assignment& assignment,
   if (assigned == Assignment::kUnassigned) return 0.0;
   if (must_equal_ && assigned != label) return kInfiniteCost;
   if (!must_equal_ && assigned == label) return kInfiniteCost;
+  return 0.0;
+}
+
+double FeedbackConstraint::DeltaCost(int tag, int label,
+                                     const SearchState& state,
+                                     const LabelSpace& labels,
+                                     const ConstraintContext& context) const {
+  (void)state;
+  int my_tag = context.TagIndex(tag_);
+  int target = labels.IndexOf(label_);
+  if (my_tag < 0) return 0.0;
+  // A must-equal on a label absent from the space is unsatisfiable no
+  // matter what gets assigned (mirrors Cost).
+  if (target < 0) return must_equal_ ? kInfiniteCost : 0.0;
+  if (tag != my_tag) return 0.0;
+  if (must_equal_ && label != target) return kInfiniteCost;
+  if (!must_equal_ && label == target) return kInfiniteCost;
   return 0.0;
 }
 

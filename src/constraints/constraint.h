@@ -119,6 +119,54 @@ struct Assignment {
   }
 };
 
+/// Incremental view of a partial assignment, maintained by the A*
+/// searcher and consumed by `Constraint::DeltaCost`. Besides the raw
+/// assignment it keeps, per label, the ordered list of tags carrying that
+/// label — so a constraint can inspect exactly the tags it cares about
+/// instead of scanning all of them.
+///
+/// The searcher mutates the state strictly stack-wise: `Assign`/`Unassign`
+/// pairs nest (last assigned, first unassigned), which keeps the per-label
+/// tag lists in assignment order at all times.
+class SearchState {
+ public:
+  SearchState(size_t n_tags, size_t n_labels)
+      : assignment_(n_tags), tags_with_(n_labels) {}
+
+  /// Extends the partial assignment. `tag` must be unassigned and `label`
+  /// a valid label index.
+  void Assign(int tag, int label) {
+    assignment_.labels[static_cast<size_t>(tag)] = label;
+    tags_with_[static_cast<size_t>(label)].push_back(tag);
+    ++assigned_;
+  }
+
+  /// Retracts the most recent assignment of `label` (which must be `tag`).
+  void Unassign(int tag, int label) {
+    assignment_.labels[static_cast<size_t>(tag)] = Assignment::kUnassigned;
+    tags_with_[static_cast<size_t>(label)].pop_back();
+    --assigned_;
+  }
+
+  const Assignment& assignment() const { return assignment_; }
+  size_t assigned_count() const { return assigned_; }
+  size_t unassigned_count() const {
+    return assignment_.labels.size() - assigned_;
+  }
+  /// Tags currently assigned `label`, in assignment order.
+  const std::vector<int>& TagsWith(int label) const {
+    return tags_with_[static_cast<size_t>(label)];
+  }
+  size_t CountOf(int label) const {
+    return tags_with_[static_cast<size_t>(label)].size();
+  }
+
+ private:
+  Assignment assignment_;
+  std::vector<std::vector<int>> tags_with_;
+  size_t assigned_ = 0;
+};
+
 /// Base class for domain constraints (Section 4). `Cost` must be
 /// *monotone on partial assignments*: extending an assignment may only
 /// keep or increase the cost, never decrease it — this is what lets the
@@ -157,6 +205,46 @@ class Constraint {
   /// conservative default. Constraints whose trigger labels are all absent
   /// from the label space are inert and never evaluated.
   virtual std::vector<std::string> TriggerLabels() const { return {}; }
+
+  /// Source tags whose assignment can change this constraint's cost, or
+  /// empty for "any tag" — the conservative default. Only constraints
+  /// pinned to named tags (user feedback) narrow this; the searcher
+  /// intersects it with `TriggerLabels` when building its per-extension
+  /// evaluation index.
+  virtual std::vector<std::string> RelevantTags() const { return {}; }
+
+  /// Incremental ("delta") evaluation: the cost increase when the partial
+  /// assignment in `state` — which does NOT yet include the extension —
+  /// is extended by assigning `label` to `tag`. The contract mirrors the
+  /// monotonicity requirement on `Cost`:
+  ///
+  ///   DeltaCost(tag, label, state) == Cost(extended) - Cost(state)
+  ///
+  /// with `kInfiniteCost` meaning the extension violates a hard
+  /// constraint. Because costs are monotone and decomposable over the
+  /// newly created (tag, label) interactions, every built-in constraint
+  /// computes this from `state`'s per-label tag lists in time proportional
+  /// to the tags it actually touches. The base implementation falls back
+  /// to two full `Cost` evaluations — correct for any monotone constraint,
+  /// O(tags) per call — so external subclasses keep working unmodified.
+  virtual double DeltaCost(int tag, int label, const SearchState& state,
+                           const LabelSpace& labels,
+                           const ConstraintContext& context) const;
+
+  /// Heuristic hook: when this constraint caps how many tags may carry a
+  /// single label, fills the label name, the cap, and the per-extra-tag
+  /// cost (`kInfiniteCost` for hard caps) and returns true. The searcher
+  /// folds declared caps into its admissible heuristic — tags competing
+  /// for an over-subscribed label must pay at least their regret to
+  /// switch. Constraints without single-label cap semantics keep the
+  /// default.
+  virtual bool CountCap(std::string* label, size_t* max_count,
+                        double* weight) const {
+    (void)label;
+    (void)max_count;
+    (void)weight;
+    return false;
+  }
 };
 
 /// An ordered collection of constraints with convenience cost evaluation.
@@ -210,6 +298,16 @@ class FrequencyConstraint : public Constraint {
     if (min_count_ > 0) return {};
     return {label_};
   }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
+  bool CountCap(std::string* label, size_t* max_count,
+                double* weight) const override {
+    *label = label_;
+    *max_count = max_count_;
+    *weight = kInfiniteCost;
+    return true;
+  }
   std::string ToConfigLine() const override;
 
  private:
@@ -235,6 +333,9 @@ class NestingConstraint : public Constraint {
   std::vector<std::string> TriggerLabels() const override {
     return {outer_label_, inner_label_};
   }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -254,6 +355,9 @@ class ContiguityConstraint : public Constraint {
   std::string Describe() const override;
   double Cost(const Assignment& assignment, const LabelSpace& labels,
               const ConstraintContext& context) const override;
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -274,6 +378,9 @@ class ExclusivityConstraint : public Constraint {
   std::vector<std::string> TriggerLabels() const override {
     return {label_a_, label_b_};
   }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -292,6 +399,9 @@ class KeyConstraint : public Constraint {
   double Cost(const Assignment& assignment, const LabelSpace& labels,
               const ConstraintContext& context) const override;
   std::vector<std::string> TriggerLabels() const override { return {label_}; }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -315,6 +425,9 @@ class FunctionalDependencyConstraint : public Constraint {
   std::vector<std::string> TriggerLabels() const override {
     return {label_a_, label_b_, label_c_};
   }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -336,6 +449,16 @@ class CountLimitSoftConstraint : public Constraint {
   double Cost(const Assignment& assignment, const LabelSpace& labels,
               const ConstraintContext& context) const override;
   std::vector<std::string> TriggerLabels() const override { return {label_}; }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
+  bool CountCap(std::string* label, size_t* max_count,
+                double* weight) const override {
+    *label = label_;
+    *max_count = max_count_;
+    *weight = weight_;
+    return true;
+  }
   std::string ToConfigLine() const override;
 
  private:
@@ -362,6 +485,9 @@ class ProximitySoftConstraint : public Constraint {
   std::vector<std::string> TriggerLabels() const override {
     return {label_a_, label_b_};
   }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
   std::string ToConfigLine() const override;
 
  private:
@@ -381,6 +507,11 @@ class FeedbackConstraint : public Constraint {
   std::string Describe() const override;
   double Cost(const Assignment& assignment, const LabelSpace& labels,
               const ConstraintContext& context) const override;
+  /// Only this constraint's own tag can affect it.
+  std::vector<std::string> RelevantTags() const override { return {tag_}; }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& labels,
+                   const ConstraintContext& context) const override;
 
   const std::string& tag() const { return tag_; }
   const std::string& label() const { return label_; }

@@ -37,6 +37,18 @@ class ForwardConstraint : public Constraint {
   std::vector<std::string> TriggerLabels() const override {
     return inner_->TriggerLabels();
   }
+  std::vector<std::string> RelevantTags() const override {
+    return inner_->RelevantTags();
+  }
+  double DeltaCost(int tag, int label, const SearchState& state,
+                   const LabelSpace& l,
+                   const ConstraintContext& ctx) const override {
+    return inner_->DeltaCost(tag, label, state, l, ctx);
+  }
+  bool CountCap(std::string* label, size_t* max_count,
+                double* weight) const override {
+    return inner_->CountCap(label, max_count, weight);
+  }
 
  private:
   const Constraint* inner_;

@@ -645,6 +645,7 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
   }
   result.tags = predictions.tags;
   const size_t n_tags = predictions.tags.size();
+  auto convert_start = std::chrono::steady_clock::now();
   result.tag_predictions.reserve(n_tags);
   for (size_t t = 0; t < n_tags; ++t) {
     const size_t n_instances = predictions.columns[t].instances.size();
@@ -681,6 +682,9 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
     }
     result.tag_predictions.push_back(std::move(tag_pred));
   }
+  MetricsRegistry::Global()
+      .GetHistogram("match.convert_micros")
+      ->Record(ElapsedMicros(convert_start));
 
   ConstraintContext context(&source.schema, &predictions.columns);
   std::vector<const Constraint*> active_constraints;
@@ -700,15 +704,20 @@ StatusOr<MatchResult> LsdSystem::MatchWithPredictions(
   }
   if (options.use_constraint_handler &&
       (!active_constraints.empty() || !feedback.empty())) {
+    auto search_start = std::chrono::steady_clock::now();
     LSD_ASSIGN_OR_RETURN(
         HandlerResult handled,
         handler_.ComputeMapping(result.tag_predictions, active_constraints,
                                 feedback, labels_, context,
                                 options.deadline));
+    MetricsRegistry::Global()
+        .GetHistogram("match.search_micros")
+        ->Record(ElapsedMicros(search_start));
     result.mapping = std::move(handled.mapping);
     result.search_cost = handled.cost;
     result.search_expanded = handled.expanded;
     result.search_truncated = handled.truncated;
+    result.report.astar_truncated = handled.truncated;
     if (handled.deadline_hit) {
       result.report.deadline_hit = true;
       MetricsRegistry::Global().GetCounter("deadline.search_hits")->Increment();

@@ -35,6 +35,9 @@ std::string RunReport::ToString() const {
     out += "  note: " + note + "\n";
   }
   if (deadline_hit) out += "  deadline: expired (anytime fallback used)\n";
+  if (astar_truncated) {
+    out += "  search: expansion budget exhausted (greedy completion used)\n";
+  }
   if (!metrics.empty()) {
     out += "  metrics: " + std::to_string(metrics.counters.size()) +
            " counters, " + std::to_string(metrics.gauges.size()) +

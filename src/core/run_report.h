@@ -31,12 +31,17 @@ struct RunReport {
   /// True when a deadline expired somewhere in the run and an anytime
   /// fallback was substituted.
   bool deadline_hit = false;
+  /// True when the constraint search exhausted its expansion budget (or
+  /// deadline) and returned the greedy anytime completion instead of the
+  /// optimal assignment.
+  bool astar_truncated = false;
   /// Registry snapshot taken when the run finished (timings, search and
   /// parse counters). Purely informational: never affects degraded().
   MetricsSnapshot metrics;
 
   bool degraded() const {
-    return !incidents.empty() || !notes.empty() || deadline_hit;
+    return !incidents.empty() || !notes.empty() || deadline_hit ||
+           astar_truncated;
   }
 
   /// True if `learner` has an incident recorded (any stage).

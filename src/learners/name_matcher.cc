@@ -1,8 +1,21 @@
 #include "learners/name_matcher.h"
 
+#include <atomic>
+
 #include "text/tokenizer.h"
 
 namespace lsd {
+
+namespace {
+
+/// Monotone stamp handed to each (re)trained model; never reused, so a
+/// memoized prediction can only match the model that produced it.
+uint64_t NextModelGeneration() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 std::vector<std::string> NameMatcher::NameTokens(const Instance& instance) {
   // The element's own name is the strongest signal; path context and
@@ -30,12 +43,30 @@ Status NameMatcher::Train(const std::vector<TrainingExample>& examples,
     train_labels.push_back(example.label);
   }
   whirl_ = WhirlClassifier(options_);
+  model_generation_ = NextModelGeneration();
   return whirl_.Train(documents, train_labels, n_labels_);
 }
 
 Prediction NameMatcher::Predict(const Instance& instance) const {
   if (!whirl_.trained()) return Prediction::Uniform(n_labels_);
-  return whirl_.Predict(NameTokens(instance));
+  // Name features are column-level: every instance of a column carries the
+  // same (tag name, path, synonyms), and the runtime predicts a column's
+  // instances consecutively on one thread. A last-answer memo therefore
+  // collapses the per-instance cost to one Whirl query per column. Keyed
+  // on the model too, so a retrained/reloaded matcher never serves stale
+  // answers; thread_local keeps it safe under the parallel runtime.
+  thread_local uint64_t cached_generation = 0;
+  thread_local std::string cached_key;
+  thread_local Prediction cached_prediction;
+  std::string key = instance.tag_name + '\x1f' + instance.name_path + '\x1f' +
+                    instance.name_synonyms;
+  if (cached_generation == model_generation_ && cached_key == key) {
+    return cached_prediction;
+  }
+  cached_prediction = whirl_.Predict(NameTokens(instance));
+  cached_generation = model_generation_;
+  cached_key = std::move(key);
+  return cached_prediction;
 }
 
 StatusOr<std::string> NameMatcher::SerializeModel() const {
@@ -48,6 +79,7 @@ StatusOr<std::string> NameMatcher::SerializeModel() const {
 Status NameMatcher::LoadModel(std::string_view text) {
   LSD_ASSIGN_OR_RETURN(whirl_, WhirlClassifier::Deserialize(text));
   n_labels_ = whirl_.label_count();
+  model_generation_ = NextModelGeneration();
   return Status::OK();
 }
 

@@ -43,6 +43,10 @@ class NameMatcher : public BaseLearner {
   WhirlOptions options_;
   WhirlClassifier whirl_;
   size_t n_labels_ = 0;
+  /// Process-unique stamp of the current trained model (bumped by Train
+  /// and LoadModel); lets Predict's memo detect retraining even when a
+  /// matcher is rebuilt at a recycled address.
+  uint64_t model_generation_ = 0;
 };
 
 }  // namespace lsd

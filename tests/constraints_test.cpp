@@ -1,5 +1,9 @@
+#include <cmath>
 #include <memory>
+#include <utility>
+#include <vector>
 
+#include "common/rng.h"
 #include "constraints/astar_searcher.h"
 #include "constraints/constraint.h"
 #include "constraints/handler.h"
@@ -467,6 +471,270 @@ TEST_F(ConstraintFixture, BeamAlwaysIncludesOther) {
   }
   EXPECT_EQ(price_count, 1u);
   EXPECT_EQ(other_count, context_->tags().size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental evaluation: DeltaCost vs full Cost, exact budget accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(ConstraintFixture, DeltaCostMatchesFullCostDifference) {
+  // The incremental searcher relies on DeltaCost(tag, label, state) ==
+  // Cost(extended) - Cost(state) for every constraint type (0/inf for hard
+  // ones). Cross-check the specialized implementations against the full
+  // evaluations on randomized partial assignments.
+  std::vector<std::unique_ptr<Constraint>> all;
+  all.push_back(std::make_unique<FrequencyConstraint>("PRICE", 0, 1));
+  all.push_back(std::make_unique<FrequencyConstraint>("HOUSE", 1, 1));
+  all.push_back(std::make_unique<NestingConstraint>("HOUSE", "PRICE", true));
+  all.push_back(std::make_unique<NestingConstraint>("CONTACT", "PRICE", false));
+  all.push_back(std::make_unique<ContiguityConstraint>("BEDS", "BATHS"));
+  all.push_back(std::make_unique<ExclusivityConstraint>("PRICE", "BEDS"));
+  all.push_back(std::make_unique<KeyConstraint>("PRICE"));
+  all.push_back(std::make_unique<FunctionalDependencyConstraint>(
+      "AGENT-NAME", "AGENT-NAME", "AGENT-PHONE"));
+  all.push_back(std::make_unique<CountLimitSoftConstraint>("OTHER", 1, 0.4));
+  all.push_back(
+      std::make_unique<ProximitySoftConstraint>("AGENT-NAME", "AGENT-PHONE", 0.02));
+  all.push_back(std::make_unique<FeedbackConstraint>("price", "PRICE", true));
+  all.push_back(std::make_unique<FeedbackConstraint>("beds", "PRICE", false));
+
+  const size_t n_tags = context_->tags().size();
+  const size_t n_labels = labels_.size();
+  Rng rng(99);
+  size_t checked = 0;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    SearchState state(n_tags, n_labels);
+    std::vector<size_t> unassigned;
+    for (size_t t = 0; t < n_tags; ++t) {
+      if (rng.Bernoulli(0.5)) {
+        state.Assign(static_cast<int>(t),
+                     static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1)));
+      } else {
+        unassigned.push_back(t);
+      }
+    }
+    if (unassigned.empty()) continue;
+    size_t tag = unassigned[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(unassigned.size()) - 1))];
+    int label =
+        static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(n_labels) - 1));
+    Assignment extended = state.assignment();
+    extended.labels[tag] = label;
+    for (const auto& c : all) {
+      double before = c->Cost(state.assignment(), labels_, *context_);
+      if (before == kInfiniteCost) continue;  // contract: state is feasible
+      double after = c->Cost(extended, labels_, *context_);
+      double delta = c->DeltaCost(static_cast<int>(tag), label, state, labels_,
+                                  *context_);
+      ++checked;
+      if (after == kInfiniteCost) {
+        EXPECT_EQ(delta, kInfiniteCost)
+            << c->Describe() << " missed a violation at tag " << tag;
+      } else if (c->IsHard()) {
+        EXPECT_EQ(delta, 0.0)
+            << c->Describe() << " flagged a feasible extension at tag " << tag;
+      } else {
+        EXPECT_NEAR(delta, after - before, 1e-12)
+            << c->Describe() << " soft delta mismatch at tag " << tag;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);  // the loop actually exercised the contract
+}
+
+TEST_F(ConstraintFixture, TruncationReportsExactExpansionBudget) {
+  // The budget is exact: a truncated search reports expanded ==
+  // max_expansions, never budget+k. Finishing the 9-tag fixture needs at
+  // least 9 expansions, so a budget of 5 always truncates.
+  Assignment gold = GoldAssignment();
+  auto predictions = GoldLeaningPredictions(*context_, labels_, gold, 0.6);
+  ConstraintSet constraints;
+  constraints.Add(std::make_unique<FrequencyConstraint>("PRICE", 0, 1));
+  AStarOptions options;
+  options.max_expansions = 5;
+  AStarSearcher searcher(options);
+  auto result = searcher.Search(predictions, constraints, labels_, *context_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->expanded, 5u);
+  EXPECT_TRUE(result->assignment.IsComplete());
+}
+
+// ---------------------------------------------------------------------------
+// Search optimality and heuristic admissibility vs exhaustive enumeration
+// ---------------------------------------------------------------------------
+
+/// Five tags (root, a, b, grp, d) and five labels (R, L1, L2, L3, OTHER):
+/// 5^5 = 3125 complete assignments, small enough to enumerate exhaustively
+/// against the searcher. The d column is unique per listing (key-like);
+/// a and b repeat values.
+class SmallSearchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_.name = "small";
+    source_.schema = ParseDtd(R"(
+      <!ELEMENT root (a, b, grp)>
+      <!ELEMENT a (#PCDATA)>
+      <!ELEMENT b (#PCDATA)>
+      <!ELEMENT grp (d)>
+      <!ELEMENT d (#PCDATA)>
+    )").value();
+    const char* docs[] = {
+        R"(<root><a>x</a><b>y</b><grp><d>k1</d></grp></root>)",
+        R"(<root><a>x</a><b>y</b><grp><d>k2</d></grp></root>)",
+        R"(<root><a>x2</a><b>z</b><grp><d>k3</d></grp></root>)",
+    };
+    for (const char* doc : docs) {
+      source_.listings.push_back(ParseXml(doc).value());
+    }
+    columns_ = ExtractColumns(source_).value();
+    context_ = std::make_unique<ConstraintContext>(&source_.schema, &columns_);
+    labels_ = LabelSpace({"R", "L1", "L2", "L3"});
+  }
+
+  std::vector<Prediction> RandomPredictions(uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<Prediction> out;
+    for (size_t t = 0; t < context_->tags().size(); ++t) {
+      Prediction p(labels_.size());
+      for (double& score : p.scores) score = rng.Uniform(0.01, 1.0);
+      p.Normalize();
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  /// Two qualitatively different mixes: structural (nesting, frequency,
+  /// proximity) and column/feedback (key, FD, exclusivity, contiguity).
+  void BuildConstraints(int which, ConstraintSet* set) const {
+    for (const char* label : {"R", "L1", "L2", "L3"}) {
+      set->Add(std::make_unique<FrequencyConstraint>(label, 0, 1));
+    }
+    if (which == 0) {
+      set->Add(std::make_unique<FrequencyConstraint>("R", 1, 1));
+      set->Add(std::make_unique<NestingConstraint>("R", "L1", true));
+      set->Add(std::make_unique<NestingConstraint>("L1", "L2", false));
+      set->Add(std::make_unique<CountLimitSoftConstraint>("OTHER", 2, 0.4));
+      set->Add(std::make_unique<ProximitySoftConstraint>("L1", "L2", 0.05));
+    } else {
+      set->Add(std::make_unique<KeyConstraint>("L3"));
+      set->Add(std::make_unique<FunctionalDependencyConstraint>("L1", "L1", "L2"));
+      set->Add(std::make_unique<ExclusivityConstraint>("L2", "L3"));
+      set->Add(std::make_unique<ContiguityConstraint>("L1", "L2"));
+      set->Add(std::make_unique<FeedbackConstraint>("a", "L2", true));
+    }
+  }
+
+  double TotalWithProbability(const Assignment& assignment,
+                              const std::vector<Prediction>& predictions,
+                              const ConstraintSet& constraints,
+                              const AStarOptions& options) const {
+    double soft = constraints.TotalCost(assignment, labels_, *context_);
+    if (soft == kInfiniteCost) return kInfiniteCost;
+    double total = soft;
+    for (size_t t = 0; t < assignment.labels.size(); ++t) {
+      double score = std::max(
+          predictions[t].scores[static_cast<size_t>(assignment.labels[t])],
+          options.score_floor);
+      total += -options.alpha * std::log(score);
+    }
+    return total;
+  }
+
+  /// Minimum-cost completion of `partial` (kUnassigned slots range over
+  /// every label) by exhaustive enumeration.
+  std::pair<Assignment, double> BestCompletion(
+      const Assignment& partial, const std::vector<Prediction>& predictions,
+      const ConstraintSet& constraints, const AStarOptions& options) const {
+    std::vector<size_t> free_tags;
+    for (size_t t = 0; t < partial.labels.size(); ++t) {
+      if (partial.labels[t] == Assignment::kUnassigned) free_tags.push_back(t);
+    }
+    Assignment best(partial.labels.size());
+    double best_cost = kInfiniteCost;
+    Assignment current = partial;
+    std::vector<size_t> digits(free_tags.size(), 0);
+    for (;;) {
+      for (size_t i = 0; i < free_tags.size(); ++i) {
+        current.labels[free_tags[i]] = static_cast<int>(digits[i]);
+      }
+      double total =
+          TotalWithProbability(current, predictions, constraints, options);
+      if (total < best_cost) {
+        best_cost = total;
+        best = current;
+      }
+      size_t k = 0;
+      while (k < digits.size() && ++digits[k] == labels_.size()) {
+        digits[k] = 0;
+        ++k;
+      }
+      if (k == digits.size()) break;
+    }
+    return {best, best_cost};
+  }
+
+  DataSource source_;
+  std::vector<Column> columns_;
+  std::unique_ptr<ConstraintContext> context_;
+  LabelSpace labels_;
+};
+
+TEST_F(SmallSearchFixture, SearchMatchesExhaustiveEnumeration) {
+  // Property: on every (seeded) prediction draw and both constraint mixes,
+  // A* returns exactly the assignment and cost the brute-force enumeration
+  // of all 5^5 completions finds.
+  Assignment empty(context_->tags().size());
+  for (int which : {0, 1}) {
+    for (uint64_t seed : {11u, 23u, 47u, 101u}) {
+      ConstraintSet constraints;
+      BuildConstraints(which, &constraints);
+      auto predictions = RandomPredictions(seed);
+      AStarOptions options;
+      options.beam_width = 0;  // consider every label, as the enumeration does
+      AStarSearcher searcher(options);
+      auto result =
+          searcher.Search(predictions, constraints, labels_, *context_);
+      ASSERT_TRUE(result.ok());
+      auto [best, best_cost] =
+          BestCompletion(empty, predictions, constraints, options);
+      ASSERT_NE(best_cost, kInfiniteCost);
+      ASSERT_FALSE(result->truncated)
+          << "constraint mix " << which << " seed " << seed;
+      EXPECT_EQ(result->assignment.labels, best.labels)
+          << "constraint mix " << which << " seed " << seed;
+      EXPECT_NEAR(result->cost, best_cost, 1e-9 * (1.0 + std::abs(best_cost)))
+          << "constraint mix " << which << " seed " << seed;
+    }
+  }
+}
+
+TEST_F(SmallSearchFixture, HeuristicNeverOverestimates) {
+  // Admissibility along every path the search actually took: for each
+  // expanded state, g + h must lower-bound the cost of the best complete
+  // assignment extending that state. (If it ever exceeded it, the first
+  // goal popped could be suboptimal.)
+  for (int which : {0, 1}) {
+    ConstraintSet constraints;
+    BuildConstraints(which, &constraints);
+    auto predictions = RandomPredictions(7);
+    AStarOptions options;
+    options.beam_width = 0;
+    options.record_trace = true;
+    AStarSearcher searcher(options);
+    auto result = searcher.Search(predictions, constraints, labels_, *context_);
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->truncated);
+    ASSERT_FALSE(result->trace.empty());
+    for (const ExpandedState& state : result->trace) {
+      auto [best, best_cost] =
+          BestCompletion(state.assignment, predictions, constraints, options);
+      if (best_cost == kInfiniteCost) continue;  // dead state: any h is a bound
+      EXPECT_LE(state.g + state.h,
+                best_cost + 1e-9 * (1.0 + std::abs(best_cost)))
+          << "inadmissible h at a state with g=" << state.g;
+    }
+  }
 }
 
 }  // namespace

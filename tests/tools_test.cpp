@@ -23,7 +23,11 @@ namespace {
 #endif
 
 std::string TempDir() {
-  std::string dir = ::testing::TempDir() + "/lsd_tools_test";
+  // Suffixed with the test name: ctest runs each test in its own process,
+  // possibly concurrently, and a shared directory would be rm -rf'd under
+  // a sibling mid-run.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string dir = ::testing::TempDir() + "/lsd_tools_" + info->name();
   std::string command = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
   EXPECT_EQ(std::system(command.c_str()), 0);
   return dir;
