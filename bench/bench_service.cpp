@@ -1,0 +1,216 @@
+// Offered-load sweep for the MatchService: bursts of match requests are
+// pushed at a bounded service and we record what overload behavior costs —
+// throughput, latency percentiles of admitted requests, and the shed rate
+// once the burst exceeds the queue.
+//
+// Each (workers, burst) cell submits the whole burst at once (that IS the
+// offered load; admission control decides what fits) and waits for every
+// future. Latencies come from the service's own submit-to-terminal clock.
+//
+// Flags:
+//   --listings=N     listings per generated source (default 60)
+//   --quick          30 listings, smallest sweep
+//   --queue-depth=N  admission cap (default 32)
+//   --out=PATH       JSON output path, BENCH_service.json by default
+//                    ("" disables)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/strings.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "service/match_service.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+using namespace lsd;
+
+std::string StringFlag(int argc, char** argv, const char* key,
+                       const std::string& fallback) {
+  std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+/// Nearest-rank percentile of a sorted latency vector, in milliseconds.
+double PercentileMs(const std::vector<uint64_t>& sorted_micros, double p) {
+  if (sorted_micros.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(p * (sorted_micros.size() - 1) + 0.5);
+  return sorted_micros[std::min(rank, sorted_micros.size() - 1)] / 1000.0;
+}
+
+struct Cell {
+  size_t workers = 0;
+  size_t burst = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  size_t admitted = 0, shed = 0, failed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  size_t listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 30 : 60));
+  size_t queue_depth = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "queue-depth", 32));
+  std::string out_path = StringFlag(argc, argv, "out", "BENCH_service.json");
+
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     listings, /*seed=*/7);
+  if (!domain.ok()) {
+    std::fprintf(stderr, "error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+
+  // Request payloads: the two held-out sources serialized back to text,
+  // exactly what a front end would hand the service.
+  struct Payload {
+    std::string dtd_text, xml_text;
+  };
+  std::vector<Payload> payloads;
+  for (size_t s = 3; s < domain->sources.size(); ++s) {
+    const DataSource& source = domain->sources[s].source;
+    Payload payload;
+    payload.dtd_text = source.schema.ToString();
+    XmlNode wrapper("listings");
+    for (const XmlDocument& listing : source.listings) {
+      wrapper.children.push_back(listing.root);
+    }
+    payload.xml_text = WriteXml(wrapper);
+    payloads.push_back(std::move(payload));
+  }
+
+  auto factory = [&]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+    auto system = std::make_unique<LsdSystem>(domain->mediated, LsdConfig());
+    for (size_t s = 0; s < 3; ++s) {
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(
+          domain->sources[s].source, domain->sources[s].gold));
+    }
+    LSD_RETURN_IF_ERROR(system->Train());
+    return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+  };
+
+  const std::vector<size_t> worker_counts = quick ? std::vector<size_t>{1, 2}
+                                                  : std::vector<size_t>{1, 2, 4};
+  // The largest burst intentionally exceeds the queue so the table shows
+  // the shed rate, not just service time.
+  const std::vector<size_t> bursts =
+      quick ? std::vector<size_t>{4, queue_depth + 8}
+            : std::vector<size_t>{4, 16, queue_depth + 16};
+
+  std::printf(
+      "bench_service: offered-load sweep (listings/source=%zu, "
+      "queue-depth=%zu)\n",
+      listings, queue_depth);
+  bench::Rule(86);
+  std::printf("%7s | %6s | %8s %9s | %8s %8s %8s | %6s %5s\n", "Workers",
+              "Burst", "Wall s", "req/s", "p50 ms", "p95 ms", "p99 ms",
+              "Admit", "Shed");
+  bench::Rule(86);
+
+  std::vector<Cell> cells;
+  for (size_t workers : worker_counts) {
+    for (size_t burst : bursts) {
+      MatchServiceOptions options;
+      options.workers = workers;
+      options.max_queue_depth = queue_depth;
+      auto service = MatchService::Create(factory, options);
+      if (!service.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     service.status().ToString().c_str());
+        return 1;
+      }
+
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::future<ServiceResponse>> futures;
+      futures.reserve(burst);
+      for (size_t i = 0; i < burst; ++i) {
+        ServiceRequest request;
+        request.id = "b" + std::to_string(i);
+        request.dtd_text = payloads[i % payloads.size()].dtd_text;
+        request.xml_text = payloads[i % payloads.size()].xml_text;
+        futures.push_back((*service)->Submit(std::move(request)));
+      }
+      Cell cell;
+      cell.workers = workers;
+      cell.burst = burst;
+      std::vector<uint64_t> latencies;
+      for (auto& future : futures) {
+        ServiceResponse r = future.get();
+        switch (r.outcome) {
+          case RequestOutcome::kShed:
+            ++cell.shed;
+            break;
+          case RequestOutcome::kFailed:
+            ++cell.failed;
+            break;
+          default:
+            ++cell.admitted;
+            latencies.push_back(r.latency_micros);
+        }
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      (*service)->Stop();
+
+      cell.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      cell.throughput_rps =
+          cell.wall_seconds > 0.0 ? cell.admitted / cell.wall_seconds : 0.0;
+      std::sort(latencies.begin(), latencies.end());
+      cell.p50_ms = PercentileMs(latencies, 0.50);
+      cell.p95_ms = PercentileMs(latencies, 0.95);
+      cell.p99_ms = PercentileMs(latencies, 0.99);
+      if (cell.failed != 0) {
+        std::fprintf(stderr, "error: %zu requests failed outright\n",
+                     cell.failed);
+        return 1;
+      }
+      std::printf("%7zu | %6zu | %8.3f %9.1f | %8.1f %8.1f %8.1f | %6zu %5zu\n",
+                  cell.workers, cell.burst, cell.wall_seconds,
+                  cell.throughput_rps, cell.p50_ms, cell.p95_ms, cell.p99_ms,
+                  cell.admitted, cell.shed);
+      cells.push_back(cell);
+    }
+  }
+  bench::Rule(86);
+
+  std::string json = "{\n  \"bench\": \"bench_service\",\n";
+  json += StrFormat("  \"listings\": %zu,\n", listings);
+  json += StrFormat("  \"queue_depth\": %zu,\n", queue_depth);
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json += StrFormat(
+        "    {\"workers\": %zu, \"burst\": %zu, \"wall_seconds\": %.4f, "
+        "\"throughput_rps\": %.2f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, "
+        "\"p99_ms\": %.2f, \"admitted\": %zu, \"shed\": %zu}%s",
+        cell.workers, cell.burst, cell.wall_seconds, cell.throughput_rps,
+        cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.admitted, cell.shed,
+        i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  json += "  ]\n}\n";
+  if (!out_path.empty()) {
+    Status status = WriteStringToFile(out_path, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -15,5 +15,6 @@ cd /root/repo
   echo "=== micro_components ===";      build/bench/micro_components --benchmark_min_time=0.2; echo
   echo "=== profile_probe ===";         build/bench/profile_probe; echo
   echo "=== bench_parallel ===";        build/bench/bench_parallel --listings=80 --out=/root/repo/BENCH_parallel.json; echo
+  echo "=== bench_service ===";         build/bench/bench_service --out=/root/repo/BENCH_service.json; echo
   echo "=== DONE ==="
 } 2>&1 | grep -v "WARNING conda" > /root/repo/bench_output.txt

@@ -89,11 +89,17 @@ fi
 echo "== TSan build =="
 cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test
+cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test \
+    service_soak
 
 echo "== TSan tests (threaded metrics + runtime) =="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'MetricsTest|TraceTest|ThreadPool|Parallel'
+
+echo "== TSan service chaos soak =="
+# The full service stack — queue, workers, admission, retries, breakers —
+# under ThreadSanitizer, with outputs byte-compared across worker counts.
+./build-tsan/tests/service_soak --quick
 
 echo "== bench_match smoke (metrics schema) =="
 cmake --build build -j "$JOBS" --target bench_match
@@ -105,6 +111,27 @@ if command -v python3 >/dev/null 2>&1; then
     python3 scripts/validate_metrics.py "$METRICS_TMP"
 else
     echo "python3 unavailable; skipping metrics JSON validation"
+fi
+
+echo "== lsd_serve smoke (service metrics schema) =="
+cmake --build build -j "$JOBS" --target lsd_serve lsd_generate
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "${FUZZ_DIR:-}" "${SERVE_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
+./build/tools/lsd_generate --domain real-estate-1 \
+    --out "$SERVE_DIR" --listings 30 --seed 7 >/dev/null
+printf 'req-3 %s/source-3.dtd %s/source-3.xml\nreq-4 %s/source-4.dtd %s/source-4.xml 60000\n' \
+    "$SERVE_DIR" "$SERVE_DIR" "$SERVE_DIR" "$SERVE_DIR" > "$SERVE_DIR/stream.txt"
+./build/tools/lsd_serve --mediated "$SERVE_DIR/mediated.dtd" \
+    --train "$SERVE_DIR/source-0.dtd" "$SERVE_DIR/source-0.xml" \
+            "$SERVE_DIR/source-0.mapping" \
+    --train "$SERVE_DIR/source-1.dtd" "$SERVE_DIR/source-1.xml" \
+            "$SERVE_DIR/source-1.mapping" \
+    --requests "$SERVE_DIR/stream.txt" --workers 2 \
+    --metrics-out "$SERVE_DIR/metrics.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_metrics.py --profile service "$SERVE_DIR/metrics.json"
+else
+    echo "python3 unavailable; skipping service metrics validation"
 fi
 
 echo "== constraint-search perf regression smoke =="

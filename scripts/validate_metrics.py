@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Validates a --metrics-out snapshot against scripts/metrics_schema.json.
 
-Usage: validate_metrics.py METRICS_JSON [SCHEMA_JSON]
+Usage: validate_metrics.py [--profile NAME] METRICS_JSON [SCHEMA_JSON]
 
 Checks that the snapshot is well-formed (the three sections with the value
 shapes metrics.cc emits) and that every name the schema requires is
-present. Exits nonzero with one line per problem. Stdlib only.
+present. With --profile NAME the requirement lists come from the schema's
+"profiles" entry of that name instead of the top level — e.g.
+`--profile service` checks an lsd_serve snapshot for the service.*
+counters rather than the full-pipeline set. Exits nonzero with one line
+per problem. Stdlib only.
 """
 
 import json
@@ -20,19 +24,32 @@ def fail(errors):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
+    profile = None
+    args = list(argv[1:])
+    if args and args[0] == "--profile":
+        if len(args) < 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        profile = args[1]
+        args = args[2:]
+    if len(args) < 1 or len(args) > 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    metrics_path = argv[1]
+    metrics_path = args[0]
     schema_path = (
-        argv[2]
-        if len(argv) == 3
+        args[1]
+        if len(args) == 2
         else os.path.join(os.path.dirname(argv[0]), "metrics_schema.json")
     )
     with open(metrics_path, encoding="utf-8") as f:
         snapshot = json.load(f)
     with open(schema_path, encoding="utf-8") as f:
         schema = json.load(f)
+    if profile is not None:
+        profiles = schema.get("profiles", {})
+        if profile not in profiles:
+            return fail(["unknown profile: " + profile])
+        schema = profiles[profile]
 
     errors = []
 

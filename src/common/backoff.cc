@@ -1,0 +1,76 @@
+#include "common/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsd {
+namespace {
+
+/// FNV-1a over (seed, key, attempt) finished with a splitmix64 mix — the
+/// same construction the fault injector uses, so jitter is a pure function
+/// of its inputs on every platform.
+uint64_t HashKey(uint64_t seed, std::string_view key, size_t attempt) {
+  uint64_t h = 14695981039346656037ULL ^ seed;
+  auto mix_byte = [&h](unsigned char byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (char c : key) mix_byte(static_cast<unsigned char>(c));
+  for (int shift = 0; shift < 64; shift += 8) {
+    mix_byte(static_cast<unsigned char>((attempt >> shift) & 0xff));
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+int64_t Backoff::DelayMillis(std::string_view key, size_t attempt) const {
+  if (policy_.initial_ms <= 0) return 0;
+  double multiplier = std::max(policy_.multiplier, 1.0);
+  double delay = static_cast<double>(policy_.initial_ms);
+  double cap = static_cast<double>(std::max<int64_t>(policy_.max_ms, 0));
+  for (size_t i = 0; i < attempt && delay < cap; ++i) delay *= multiplier;
+  delay = std::min(delay, cap);
+
+  double jitter = std::clamp(policy_.jitter, 0.0, 1.0);
+  if (jitter > 0.0) {
+    double u = static_cast<double>(HashKey(seed_, key, attempt) >> 11) *
+               (1.0 / 9007199254740992.0);
+    delay *= 1.0 - jitter * u;
+  }
+  return static_cast<int64_t>(delay);
+}
+
+Status RetryWithBackoff(const Backoff& backoff, std::string_view key,
+                        const Deadline& deadline,
+                        const std::function<bool(const Status&)>& retryable,
+                        const std::function<void(int64_t)>& sleep_millis,
+                        const std::function<Status()>& fn, size_t* attempts,
+                        size_t* retries) {
+  size_t ran = 0;
+  size_t retried = 0;
+  Status status;
+  for (size_t attempt = 0;; ++attempt) {
+    status = fn();
+    ++ran;
+    if (status.ok()) break;
+    if (attempt >= backoff.policy().max_retries) break;
+    if (!retryable(status)) break;
+    int64_t delay = backoff.DelayMillis(key, attempt);
+    // A retry that cannot finish before the deadline is wasted work — and
+    // worse, it holds the worker past the request's budget. Give up with
+    // the attempt's own error, which is more diagnostic than a bare
+    // DeadlineExceeded.
+    if (deadline.remaining_millis() <= delay) break;
+    if (delay > 0) sleep_millis(delay);
+    ++retried;
+  }
+  if (attempts != nullptr) *attempts = ran;
+  if (retries != nullptr) *retries = retried;
+  return status;
+}
+
+}  // namespace lsd

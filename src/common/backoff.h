@@ -1,0 +1,73 @@
+#ifndef LSD_COMMON_BACKOFF_H_
+#define LSD_COMMON_BACKOFF_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace lsd {
+
+/// Retry policy: how many times to retry a retryable failure and how long
+/// to wait between attempts. Delays grow exponentially from `initial_ms`
+/// by `multiplier`, are capped at `max_ms`, and are then jittered downward
+/// so a burst of failing requests does not retry in lockstep (the classic
+/// thundering-herd fix). The jitter is *seeded*: the delay for a given
+/// (seed, key, attempt) triple is a pure function, so a retried run — and
+/// every thread count — waits identically. See DESIGN.md "Service layer &
+/// overload behavior".
+struct BackoffPolicy {
+  /// Retries after the first attempt (0 = never retry).
+  size_t max_retries = 2;
+  /// Delay before the first retry, pre-jitter.
+  int64_t initial_ms = 10;
+  /// Growth factor per retry (values < 1 are treated as 1).
+  double multiplier = 2.0;
+  /// Upper bound on the pre-jitter delay.
+  int64_t max_ms = 1000;
+  /// Fraction of the delay the jitter may remove: the actual delay is
+  /// uniform in [delay * (1 - jitter), delay]. 0 disables jitter; values
+  /// outside [0, 1] are clamped.
+  double jitter = 0.5;
+};
+
+/// Deterministic jittered-exponential-backoff schedule for one policy and
+/// seed. Stateless between calls: `DelayMillis` is a pure function of its
+/// arguments, which is what makes retry timing reproducible under test.
+class Backoff {
+ public:
+  Backoff(BackoffPolicy policy, uint64_t seed)
+      : policy_(policy), seed_(seed) {}
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+  /// Delay before retry number `attempt` (0-based: attempt 0 is the wait
+  /// before the first retry) of the work identified by `key`. Always in
+  /// [0, policy.max_ms].
+  int64_t DelayMillis(std::string_view key, size_t attempt) const;
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t seed_;
+};
+
+/// Runs `fn` up to `1 + policy.max_retries` times, sleeping the schedule's
+/// delay between attempts via `sleep_millis` (injectable so tests never
+/// really sleep). An attempt's error is retried only when `retryable(status)`
+/// says so AND the remaining deadline still covers the next delay — a retry
+/// that could not finish in budget is not started. Returns the final
+/// attempt's status; `*attempts` (optional) reports how many attempts ran
+/// and `*retries` (optional) how many of them were retries.
+Status RetryWithBackoff(
+    const Backoff& backoff, std::string_view key, const Deadline& deadline,
+    const std::function<bool(const Status&)>& retryable,
+    const std::function<void(int64_t)>& sleep_millis,
+    const std::function<Status()>& fn, size_t* attempts = nullptr,
+    size_t* retries = nullptr);
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_BACKOFF_H_

@@ -43,6 +43,10 @@ const char* FaultSiteName(FaultSite site) {
       return "learner-predict";
     case FaultSite::kPoolTask:
       return "pool-task";
+    case FaultSite::kServiceAdmit:
+      return "service-admit";
+    case FaultSite::kServiceExec:
+      return "service-exec";
   }
   return "unknown";
 }

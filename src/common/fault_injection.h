@@ -33,6 +33,14 @@ enum class FaultSite {
   kLearnerTrain,
   kLearnerPredict,
   kPoolTask,
+  /// MatchService admission (service/match_service.cc). Key: the request
+  /// id. A hit sheds the request with kUnavailable before it is queued —
+  /// the knob chaos tests use to force load-shedding decisions.
+  kServiceAdmit,
+  /// One MatchService execution attempt. Key: "<request-id>/attempt-<n>",
+  /// so a rule matching "/attempt-0" injects a *transient* fault (fails
+  /// once, succeeds on retry) while an id-only rule is persistent.
+  kServiceExec,
 };
 
 /// Every seam, for exhaustiveness tests: a parameterized test iterates this
@@ -44,11 +52,12 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kFileSync,     FaultSite::kFileRename,
     FaultSite::kXmlParse,     FaultSite::kDtdParse,
     FaultSite::kLearnerTrain, FaultSite::kLearnerPredict,
-    FaultSite::kPoolTask,
+    FaultSite::kPoolTask,     FaultSite::kServiceAdmit,
+    FaultSite::kServiceExec,
 };
 inline constexpr size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
-static_assert(static_cast<size_t>(FaultSite::kPoolTask) + 1 ==
+static_assert(static_cast<size_t>(FaultSite::kServiceExec) + 1 ==
                   kFaultSiteCount,
               "kAllFaultSites must list every FaultSite value");
 

@@ -29,6 +29,12 @@ enum class StatusCode {
   /// from kParseError so callers can tell "this file was damaged after it
   /// was written" from "this text never was a model".
   kDataLoss,
+  /// The service cannot take the work right now — a full request queue, a
+  /// deadline that admission control knows cannot be met, or a stopped
+  /// worker fleet. Unlike kDeadlineExceeded (the budget ran out mid-work),
+  /// kUnavailable is returned *before* any work is done: the caller may
+  /// retry elsewhere or later without wondering about partial effects.
+  kUnavailable,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -80,6 +86,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -101,6 +101,16 @@ enum class ConstraintFilter {
 struct MatchOptions {
   /// Learner names to use; empty = every trained learner.
   std::vector<std::string> learners;
+  /// Trained learners to treat as unavailable for this call without
+  /// invoking them: each is recorded as a "skipped" incident in the run
+  /// report and the ensemble renormalizes over the survivors — exactly the
+  /// path a predict-time failure takes, so the resulting mapping is
+  /// byte-identical to one where the learner failed, minus the cost of
+  /// the failure. This is the hook the service's per-learner circuit
+  /// breaker uses (service/match_service.h); unknown names are ignored.
+  /// Unlike `learners` (which retrains a subset meta-learner), skipping
+  /// keeps the full-roster meta-learner with survivor-mask weights.
+  std::vector<std::string> skip_learners;
   /// Combine with the stacking meta-learner (true) or a plain average of
   /// the participating learners' scores (false).
   bool use_meta_learner = true;

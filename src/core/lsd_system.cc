@@ -406,8 +406,9 @@ StatusOr<const MetaLearner*> LsdSystem::MetaForMask(
   return &inserted->second;
 }
 
-StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
-                                                     const Deadline& deadline) {
+StatusOr<SourcePredictions> LsdSystem::PredictSource(
+    const DataSource& source, const Deadline& deadline,
+    const std::vector<std::string>& skip_learners) {
   if (!trained_) {
     return Status::FailedPrecondition("PredictSource: call Train() first");
   }
@@ -415,6 +416,22 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(const DataSource& source,
   SourcePredictions out;
   out.learner_healthy = train_healthy_;
   out.report = train_report_;
+  // Breaker-style skips come first so every later stage (pass 1, the
+  // provisional node labels, the XML pass) sees the same health mask a
+  // predict-time failure of the same learner would have produced.
+  for (const std::string& name : skip_learners) {
+    int index = LearnerIndex(name);
+    if (index < 0 || !out.learner_healthy[static_cast<size_t>(index)]) {
+      continue;
+    }
+    out.learner_healthy[static_cast<size_t>(index)] = false;
+    out.report.Quarantine(
+        name, "skipped",
+        Status::Unavailable("skipped by caller (circuit breaker open)"));
+    MetricsRegistry::Global()
+        .GetCounter("predict.learners_skipped")
+        ->Increment();
+  }
   ExtractionOptions options;
   options.max_listings = config_.max_listings_match;
   options.synonyms = synonyms_;
@@ -741,7 +758,8 @@ StatusOr<MatchResult> LsdSystem::MatchSource(
     const DataSource& source, const MatchOptions& options,
     const std::vector<FeedbackConstraint>& feedback) {
   LSD_ASSIGN_OR_RETURN(SourcePredictions predictions,
-                       PredictSource(source, options.deadline));
+                       PredictSource(source, options.deadline,
+                                     options.skip_learners));
   return MatchWithPredictions(predictions, source, options, feedback);
 }
 

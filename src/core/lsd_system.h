@@ -124,9 +124,14 @@ class LsdSystem {
   /// on any column is marked unhealthy in the result (with an incident in
   /// its report) instead of failing the call; the call errors only when no
   /// learner survives. When `deadline` expires before the XML refinement
-  /// pass, that pass is skipped and noted.
+  /// pass, that pass is skipped and noted. Learners named in
+  /// `skip_learners` are marked unavailable up front — never invoked,
+  /// quarantined in the report with stage "skipped" — so the ensemble
+  /// renormalizes exactly as if they had failed (the circuit-breaker path;
+  /// unknown names are ignored).
   StatusOr<SourcePredictions> PredictSource(
-      const DataSource& source, const Deadline& deadline = Deadline());
+      const DataSource& source, const Deadline& deadline = Deadline(),
+      const std::vector<std::string>& skip_learners = {});
 
   /// Combines precomputed predictions into a mapping under `options` and
   /// `feedback`. Cheap relative to `PredictSource`.

@@ -1,0 +1,113 @@
+#include "service/circuit_breaker.h"
+
+namespace lsd {
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::Decision CircuitBreaker::NextDecision() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Decision::kExecute;
+    case BreakerState::kOpen:
+      if (options_.open_skips == 0 ||
+          ++skips_while_open_ >= options_.open_skips) {
+        // Enough requests served without the learner; time to probe. This
+        // request becomes the probe (skips_while_open_ kept so a failed
+        // probe reopens with a fresh skip budget).
+        state_ = BreakerState::kHalfOpen;
+        skips_while_open_ = 0;
+        probe_in_flight_ = true;
+        return Decision::kProbe;
+      }
+      return Decision::kSkip;
+    case BreakerState::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return Decision::kProbe;
+      }
+      return Decision::kSkip;
+  }
+  return Decision::kExecute;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = BreakerState::kClosed;
+  consecutive_failures_ = 0;
+  skips_while_open_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to open for another skip cycle.
+    state_ = BreakerState::kOpen;
+    skips_while_open_ = 0;
+    probe_in_flight_ = false;
+    ++open_transitions_;
+    return;
+  }
+  if (state_ == BreakerState::kOpen) return;  // already open; nothing new
+  ++consecutive_failures_;
+  if (options_.failure_threshold > 0 &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    skips_while_open_ = 0;
+    ++open_transitions_;
+  }
+}
+
+void CircuitBreaker::AbandonProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+size_t CircuitBreaker::open_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_transitions_;
+}
+
+CircuitBreaker* BreakerBank::Get(const std::string& learner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(learner);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(learner, std::make_unique<CircuitBreaker>(options_))
+             .first;
+  }
+  return it->second.get();
+}
+
+BreakerState BreakerBank::StateOf(const std::string& learner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(learner);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second->state();
+}
+
+size_t BreakerBank::TotalOpenTransitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, breaker] : breakers_) {
+    total += breaker->open_transitions();
+  }
+  return total;
+}
+
+}  // namespace lsd

@@ -1,0 +1,101 @@
+#ifndef LSD_SERVICE_CIRCUIT_BREAKER_H_
+#define LSD_SERVICE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsd {
+
+/// Breaker tuning shared by every learner's breaker in a service.
+struct CircuitBreakerOptions {
+  /// Consecutive predict failures that open the breaker. 0 disables the
+  /// breaker entirely (never opens).
+  size_t failure_threshold = 5;
+  /// Requests short-circuited while open before the breaker moves to
+  /// half-open and lets a single probe through.
+  size_t open_skips = 3;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+const char* BreakerStateName(BreakerState state);
+
+/// Per-learner circuit breaker, layered on the PR-2 quarantine: while the
+/// quarantine absorbs one request's learner failure *after paying for it*,
+/// the breaker notices a failure streak and stops paying — requests skip
+/// the learner up front (`MatchOptions::skip_learners`) and the ensemble
+/// serves renormalized, byte-identical to the paid-failure path.
+///
+/// State machine (transitions are counted in requests, not wall time, so
+/// a fixed request sequence drives the same transitions on every run and
+/// thread count):
+///
+///   closed --(failure_threshold consecutive failures)--> open
+///   open   --(open_skips short-circuited requests)-----> half-open
+///   half-open: exactly one in-flight probe executes the learner for real;
+///              the rest keep skipping.
+///   probe success --> closed (streak reset)   probe failure --> open
+///   probe abandoned (request died before the learner ran) --> half-open
+///
+/// Thread-safe: workers consult and report concurrently.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerOptions options)
+      : options_(options) {}
+
+  /// Decision for one request. `kSkip`: exclude the learner without
+  /// running it. `kExecute`: run it normally. `kProbe`: run it, and you
+  /// MUST later call exactly one of RecordSuccess / RecordFailure /
+  /// AbandonProbe so the probe token is released.
+  enum class Decision { kExecute, kSkip, kProbe };
+  Decision NextDecision();
+
+  /// The learner participated and produced usable predictions.
+  void RecordSuccess();
+  /// The learner failed (predict-time quarantine).
+  void RecordFailure();
+  /// A probe never reached the learner (the request failed elsewhere
+  /// first); returns the breaker to half-open with the token free.
+  void AbandonProbe();
+
+  BreakerState state() const;
+  /// Times the breaker transitioned closed/half-open -> open.
+  size_t open_transitions() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;  // guarded by mu_
+  size_t consecutive_failures_ = 0;             // guarded by mu_
+  size_t skips_while_open_ = 0;                 // guarded by mu_
+  bool probe_in_flight_ = false;                // guarded by mu_
+  size_t open_transitions_ = 0;                 // guarded by mu_
+};
+
+/// Name -> breaker map for a learner roster; breakers are created lazily
+/// and live as long as the bank.
+class BreakerBank {
+ public:
+  explicit BreakerBank(CircuitBreakerOptions options) : options_(options) {}
+
+  /// The breaker for `learner`, created on first use. Never null.
+  CircuitBreaker* Get(const std::string& learner);
+
+  /// State of `learner`'s breaker; kClosed when none exists yet.
+  BreakerState StateOf(const std::string& learner) const;
+
+  /// Sum of open transitions across every breaker.
+  size_t TotalOpenTransitions() const;
+
+ private:
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVICE_CIRCUIT_BREAKER_H_

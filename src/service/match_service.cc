@@ -1,0 +1,548 @@
+#include "service/match_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "schema/schema.h"
+#include "xml/dtd_parser.h"
+#include "xml/parse_report.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+/// Service-wide metric handles, interned once (handle pointers are stable
+/// for the process lifetime).
+struct ServiceMetrics {
+  Counter* submitted;
+  Counter* admitted;
+  Counter* shed;
+  Counter* ok;
+  Counter* degraded;
+  Counter* failed;
+  Counter* retried;
+  Counter* breaker_open;
+  Counter* breaker_skips;
+  Counter* replicas_rebuilt;
+  Counter* deadline_overruns;
+  Gauge* queue_depth_peak;
+  Histogram* request_micros;
+};
+
+ServiceMetrics& GetServiceMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static ServiceMetrics metrics{
+      registry.GetCounter("service.submitted"),
+      registry.GetCounter("service.admitted"),
+      registry.GetCounter("service.shed"),
+      registry.GetCounter("service.ok"),
+      registry.GetCounter("service.degraded"),
+      registry.GetCounter("service.failed"),
+      registry.GetCounter("service.retried"),
+      registry.GetCounter("service.breaker_open"),
+      registry.GetCounter("service.breaker_skips"),
+      registry.GetCounter("service.replicas_rebuilt"),
+      registry.GetCounter("service.deadline_overruns"),
+      registry.GetGauge("service.queue_depth_peak"),
+      registry.GetHistogram("service.request_micros")};
+  return metrics;
+}
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// Canonical rendering of a match outcome for determinism comparison: the
+/// mapping plus every tag's full-precision score vector. Two runs that
+/// produce the same fingerprint made bit-identical decisions.
+std::string Fingerprint(const MatchResult& result) {
+  std::string out = result.mapping.ToString();
+  out += "--\n";
+  for (size_t t = 0; t < result.tags.size(); ++t) {
+    out += result.tags[t];
+    for (double score : result.tag_predictions[t].scores) {
+      out += StrFormat(" %.17g", score);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kFailed:
+      return "failed";
+    case RequestOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+bool IsRetryableForService(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInternal:      // transient faults (injector defaults)
+    case StatusCode::kUnavailable:   // momentary refusals
+    case StatusCode::kParseError:    // recoverable parse errors
+      return true;
+    default:
+      return false;
+  }
+}
+
+StatusOr<std::unique_ptr<MatchService>> MatchService::Create(
+    ReplicaFactory factory, MatchServiceOptions options) {
+  if (!factory) {
+    return Status::InvalidArgument("MatchService: replica factory is null");
+  }
+  if (options.workers == 0) {
+    return Status::InvalidArgument("MatchService: workers must be >= 1");
+  }
+  if (options.max_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "MatchService: max_queue_depth must be >= 1");
+  }
+  std::unique_ptr<MatchService> service(
+      new MatchService(std::move(factory), std::move(options)));
+  LSD_RETURN_IF_ERROR(service->BuildReplicas());
+  service->StartWorkers();
+  return service;
+}
+
+MatchService::MatchService(ReplicaFactory factory, MatchServiceOptions options)
+    : factory_(std::move(factory)),
+      options_(std::move(options)),
+      backoff_(options_.backoff, options_.seed),
+      breakers_(options_.breaker) {}
+
+MatchService::~MatchService() { Stop(); }
+
+Status MatchService::BuildReplicas() {
+  replicas_.reserve(options_.workers);
+  for (size_t slot = 0; slot < options_.workers; ++slot) {
+    StatusOr<std::unique_ptr<LsdSystem>> replica = factory_();
+    if (!replica.ok()) {
+      return Status(replica.status().code(),
+                    StrFormat("MatchService: replica %zu failed to build: %s",
+                              slot, replica.status().message().c_str()));
+    }
+    if (*replica == nullptr || !(*replica)->trained()) {
+      return Status::FailedPrecondition(
+          "MatchService: the replica factory must return a trained system");
+    }
+    replicas_.push_back(std::move(*replica));
+  }
+  return Status::OK();
+}
+
+void MatchService::StartWorkers() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = true;
+    workers_live_ = true;
+  }
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  dispatcher_ = std::thread([this] {
+    // One long-lived task per worker slot, grain 1 so each slot is its own
+    // claim. On a machine whose hardware concurrency collapses the pool to
+    // the inline serial path, slot 0 serves the whole queue and the other
+    // slots start (and immediately exit) only after Stop() — the service
+    // still drains correctly, just without parallelism.
+    Status status = pool_->ParallelFor(
+        options_.workers,
+        [this](size_t slot) -> Status {
+          WorkerLoop(slot);
+          return Status::OK();
+        },
+        /*grain=*/1);
+    // Fleet gone — normal stop, or an injected pool fault killed it before
+    // the queue drained. Either way nothing will ever pop the queue again,
+    // so every pending promise must resolve now (no request may hang).
+    FailRemaining(status.ok() ? "service stopped"
+                              : "worker fleet died: " + status.ToString());
+  });
+}
+
+std::future<ServiceResponse> MatchService::Submit(ServiceRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->deadline_ms = pending->request.deadline_ms >= 0
+                             ? pending->request.deadline_ms
+                             : options_.default_deadline_ms;
+  // The deadline starts at Submit: queue wait spends the budget.
+  pending->deadline = Deadline::AfterMillis(pending->deadline_ms);
+  pending->submitted = std::chrono::steady_clock::now();
+  std::future<ServiceResponse> future = pending->promise.get_future();
+
+  Status admit = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    GetServiceMetrics().submitted->Increment();
+    if (!accepting_) {
+      admit = Status::Unavailable("service is not accepting requests");
+    }
+    if (admit.ok() && FaultInjectionActive()) {
+      admit = CheckFault(FaultSite::kServiceAdmit, pending->request.id);
+    }
+    if (admit.ok() && queue_.size() + in_flight_ >= options_.max_queue_depth) {
+      admit = Status::Unavailable(StrFormat(
+          "queue full: %zu queued + %zu executing at depth limit %zu",
+          queue_.size(), in_flight_, options_.max_queue_depth));
+    }
+    if (admit.ok() && pending->deadline_ms >= 0 && avg_exec_micros_ > 0.0) {
+      // Deadline-aware shedding: if the estimated queue wait alone exceeds
+      // the remaining budget plus grace, execution could not even start in
+      // time — fail fast instead of queueing doomed work. The estimate is
+      // deliberately optimistic (assumes every worker slot drains), so
+      // borderline requests are admitted and handled by the anytime path.
+      double estimated_wait_ms =
+          static_cast<double>(queue_.size() + in_flight_) * avg_exec_micros_ /
+          (1000.0 * static_cast<double>(options_.workers));
+      int64_t budget_ms = pending->deadline.remaining_millis();
+      if (estimated_wait_ms >
+          static_cast<double>(budget_ms) +
+              static_cast<double>(options_.grace_ms)) {
+        admit = Status::Unavailable(StrFormat(
+            "deadline unmeetable: estimated queue wait %.0f ms exceeds "
+            "remaining budget %lld ms + grace %lld ms",
+            estimated_wait_ms, static_cast<long long>(budget_ms),
+            static_cast<long long>(options_.grace_ms)));
+      }
+    }
+    if (admit.ok()) {
+      ++stats_.admitted;
+      GetServiceMetrics().admitted->Increment();
+      queue_.push_back(std::move(pending));
+      GetServiceMetrics().queue_depth_peak->RecordMax(queue_.size());
+    }
+  }
+  if (!admit.ok()) {
+    Shed(std::move(*pending), std::move(admit));
+    return future;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServiceResponse MatchService::Process(ServiceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void MatchService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void MatchService::WorkerLoop(size_t slot) {
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    ServiceResponse response = Execute(*pending, slot);
+    Finalize(*pending, std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+  }
+}
+
+void MatchService::FailRemaining(const std::string& reason) {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    workers_live_ = false;
+    orphans.swap(queue_);
+  }
+  for (std::unique_ptr<Pending>& pending : orphans) {
+    Shed(std::move(*pending), Status::Unavailable(reason));
+  }
+}
+
+void MatchService::Shed(Pending pending, Status status) {
+  ServiceResponse response;
+  response.id = pending.request.id;
+  response.outcome = RequestOutcome::kShed;
+  response.status = std::move(status);
+  response.latency_micros = ElapsedMicros(pending.submitted);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed;
+  }
+  GetServiceMetrics().shed->Increment();
+  pending.promise.set_value(std::move(response));
+}
+
+ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
+  ServiceResponse response;
+  response.id = pending.request.id;
+
+  // Consult the breakers over the replica's roster before paying for
+  // anything. Skips are threaded into MatchOptions::skip_learners; probes
+  // execute normally but owe the breaker a terminal report.
+  const std::vector<std::string> roster = replicas_[slot]->LearnerNames();
+  std::vector<std::string> skip;
+  std::vector<std::string> probes;
+  if (options_.breaker.failure_threshold > 0) {
+    for (const std::string& name : roster) {
+      switch (breakers_.Get(name)->NextDecision()) {
+        case CircuitBreaker::Decision::kSkip:
+          skip.push_back(name);
+          break;
+        case CircuitBreaker::Decision::kProbe:
+          probes.push_back(name);
+          break;
+        case CircuitBreaker::Decision::kExecute:
+          break;
+      }
+    }
+  }
+  response.breaker_skipped = !skip.empty();
+  if (!skip.empty()) GetServiceMetrics().breaker_skips->Increment();
+
+  StatusOr<MatchResult> result = Status::Internal("attempt never ran");
+  RunReport parse_notes;
+  bool replica_touched = false;
+  size_t attempt_index = 0;
+  std::function<void(int64_t)> sleep_fn = options_.sleep_millis;
+  if (!sleep_fn) {
+    sleep_fn = [](int64_t ms) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    };
+  }
+  size_t attempts = 0;
+  size_t retries = 0;
+  Status final_status = RetryWithBackoff(
+      backoff_, pending.request.id, pending.deadline, IsRetryableForService,
+      sleep_fn,
+      [&]() -> Status {
+        // Keyed per attempt so a rule matching "/attempt-0" injects a
+        // transient fault: the first execution fails, the retry succeeds.
+        std::string attempt_key =
+            pending.request.id + "/attempt-" + std::to_string(attempt_index);
+        ++attempt_index;
+        parse_notes = RunReport();
+        replica_touched = false;
+        result = Attempt(pending, attempt_key, slot, skip, &parse_notes,
+                         &replica_touched);
+        if (!result.ok() && replica_touched &&
+            result.status().code() != StatusCode::kDeadlineExceeded) {
+          // The error came out of the replica itself. Error paths inside
+          // PredictSource can leave the shared node labeler mid-swap, so a
+          // replica that errored is treated as poisoned: rebuild it from
+          // the factory before anyone (including our own retry) touches it
+          // again. On factory failure the old replica is kept — degraded
+          // isolation beats no worker.
+          StatusOr<std::unique_ptr<LsdSystem>> fresh = factory_();
+          if (fresh.ok() && *fresh != nullptr && (*fresh)->trained()) {
+            replicas_[slot] = std::move(*fresh);
+            GetServiceMetrics().replicas_rebuilt->Increment();
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.replicas_rebuilt;
+          }
+        }
+        return result.ok() ? Status::OK() : result.status();
+      },
+      &attempts, &retries);
+
+  // Settle the breakers. Only learners that were supposed to run owe a
+  // report; skip-listed ones stay untouched (that is the point of the
+  // skip — no information, no state change).
+  if (options_.breaker.failure_threshold > 0) {
+    const RunReport* report = result.ok() ? &result.value().report : nullptr;
+    for (const std::string& name : roster) {
+      if (std::find(skip.begin(), skip.end(), name) != skip.end()) continue;
+      bool probed =
+          std::find(probes.begin(), probes.end(), name) != probes.end();
+      if (report == nullptr) {
+        // The request died without a learner-level report (parse failure,
+        // exec fault, total ensemble loss): no evidence either way.
+        if (probed) breakers_.Get(name)->AbandonProbe();
+        continue;
+      }
+      bool predict_failed = false;
+      bool train_quarantined = false;
+      for (const LearnerIncident& incident : report->incidents) {
+        if (incident.learner != name) continue;
+        if (incident.stage == "predict") predict_failed = true;
+        if (incident.stage == "train") train_quarantined = true;
+      }
+      if (predict_failed) {
+        breakers_.Get(name)->RecordFailure();
+      } else if (train_quarantined) {
+        // Never ran; a probe learns nothing from it.
+        if (probed) breakers_.Get(name)->AbandonProbe();
+      } else {
+        breakers_.Get(name)->RecordSuccess();
+      }
+    }
+  }
+
+  response.attempts = attempts;
+  response.retries = retries;
+  if (final_status.ok()) {
+    MatchResult& match = result.value();
+    response.report = match.report;
+    for (const std::string& note : parse_notes.notes) {
+      response.report.notes.push_back(note);
+    }
+    response.mapping = match.mapping.ToString();
+    response.fingerprint = Fingerprint(match);
+    response.status = Status::OK();
+    response.outcome = response.report.degraded() ? RequestOutcome::kDegraded
+                                                  : RequestOutcome::kOk;
+  } else {
+    response.status = std::move(final_status);
+    response.report = std::move(parse_notes);
+    response.outcome = RequestOutcome::kFailed;
+  }
+  return response;
+}
+
+StatusOr<MatchResult> MatchService::Attempt(
+    const Pending& pending, const std::string& attempt_key, size_t slot,
+    const std::vector<std::string>& skip, RunReport* parse_notes,
+    bool* replica_touched) {
+  if (options_.execute_interceptor) {
+    options_.execute_interceptor(pending.request);
+  }
+  if (FaultInjectionActive()) {
+    LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kServiceExec, attempt_key));
+  }
+
+  // Parse the request text into a DataSource. Lenient mode recovers what
+  // it can and records the damage as degradation notes; strict mode turns
+  // the first malformation into a (retryable) kParseError.
+  DataSource source;
+  source.name = pending.request.id;
+  XmlDocument wrapper;
+  if (options_.lenient_parse) {
+    LSD_ASSIGN_OR_RETURN(DtdParseReport dtd_report,
+                         ParseDtdLenient(pending.request.dtd_text));
+    if (!dtd_report.clean()) {
+      parse_notes->notes.push_back(StrFormat(
+          "lenient DTD parse recovered: %zu diagnostics, %zu declarations "
+          "skipped",
+          dtd_report.diagnostics.size(), dtd_report.skipped_declarations));
+    }
+    source.schema = std::move(dtd_report.dtd);
+    LSD_ASSIGN_OR_RETURN(XmlParseReport xml_report,
+                         ParseXmlLenient(pending.request.xml_text));
+    if (!xml_report.clean()) {
+      parse_notes->notes.push_back(StrFormat(
+          "lenient XML parse recovered: %zu diagnostics, %zu elements "
+          "skipped",
+          xml_report.diagnostics.size(), xml_report.skipped_elements));
+    }
+    wrapper = std::move(xml_report.document);
+  } else {
+    LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(pending.request.dtd_text));
+    LSD_ASSIGN_OR_RETURN(wrapper, ParseXml(pending.request.xml_text));
+  }
+  if (wrapper.root.children.empty()) {
+    return Status::InvalidArgument(
+        pending.request.id + ": the XML root element must wrap the listings");
+  }
+  for (XmlNode& listing : wrapper.root.children) {
+    source.listings.emplace_back(std::move(listing));
+  }
+
+  MatchOptions match_options = options_.match_options;
+  match_options.deadline = pending.deadline;
+  match_options.skip_learners = skip;
+  *replica_touched = true;
+  return replicas_[slot]->MatchSource(source, match_options);
+}
+
+void MatchService::Finalize(Pending& pending, ServiceResponse response) {
+  response.latency_micros = ElapsedMicros(pending.submitted);
+  if (pending.deadline_ms >= 0) {
+    uint64_t allowed_micros =
+        static_cast<uint64_t>(pending.deadline_ms + options_.grace_ms) * 1000;
+    response.deadline_overrun = response.latency_micros > allowed_micros;
+  }
+  ServiceMetrics& metrics = GetServiceMetrics();
+  metrics.request_micros->Record(response.latency_micros);
+  if (response.retries > 0) metrics.retried->Increment(response.retries);
+  if (response.deadline_overrun) metrics.deadline_overruns->Increment();
+  switch (response.outcome) {
+    case RequestOutcome::kOk:
+      metrics.ok->Increment();
+      break;
+    case RequestOutcome::kDegraded:
+      metrics.degraded->Increment();
+      break;
+    default:
+      metrics.failed->Increment();
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (response.outcome) {
+      case RequestOutcome::kOk:
+        ++stats_.ok;
+        break;
+      case RequestOutcome::kDegraded:
+        ++stats_.degraded;
+        break;
+      default:
+        ++stats_.failed;
+        break;
+    }
+    stats_.retried += response.retries;
+    if (response.deadline_overrun) ++stats_.deadline_overruns;
+    // Smooth the execution-time estimate admission control consults.
+    double latency = static_cast<double>(response.latency_micros);
+    avg_exec_micros_ = avg_exec_micros_ == 0.0
+                           ? latency
+                           : 0.8 * avg_exec_micros_ + 0.2 * latency;
+    // Mirror breaker open transitions into the counter as a delta.
+    uint64_t total_opens =
+        static_cast<uint64_t>(breakers_.TotalOpenTransitions());
+    if (total_opens > stats_.breaker_open_transitions) {
+      metrics.breaker_open->Increment(total_opens -
+                                      stats_.breaker_open_transitions);
+      stats_.breaker_open_transitions = total_opens;
+    }
+  }
+  pending.promise.set_value(std::move(response));
+}
+
+MatchService::Stats MatchService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats snapshot = stats_;
+  snapshot.breaker_open_transitions =
+      static_cast<uint64_t>(breakers_.TotalOpenTransitions());
+  return snapshot;
+}
+
+BreakerState MatchService::breaker_state(const std::string& learner) const {
+  return breakers_.StateOf(learner);
+}
+
+}  // namespace lsd

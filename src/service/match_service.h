@@ -1,0 +1,256 @@
+#ifndef LSD_SERVICE_MATCH_SERVICE_H_
+#define LSD_SERVICE_MATCH_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/lsd_system.h"
+#include "service/circuit_breaker.h"
+
+namespace lsd {
+
+/// Terminal outcome of one service request. Every admitted request reaches
+/// exactly one of kOk / kDegraded / kFailed; a shed request is kShed and
+/// never executed.
+enum class RequestOutcome {
+  /// Full-strength mapping: clean run, no degradation.
+  kOk,
+  /// A mapping was produced but something degraded on the way: quarantined
+  /// or breaker-skipped learners, an expired deadline's anytime fallback,
+  /// or lenient parse recovery.
+  kDegraded,
+  /// No mapping: the terminal attempt's error is in `status`.
+  kFailed,
+  /// Rejected by admission control (or the service stopped) with
+  /// kUnavailable before any work was done.
+  kShed,
+};
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// One matching request: the target source as raw text, plus an optional
+/// per-request deadline. The mediated schema, training, and constraints
+/// live in the service's replicas.
+struct ServiceRequest {
+  /// Caller-chosen id; appears in fault-injection keys, logs, and metrics.
+  std::string id;
+  /// The target source's schema (<!ELEMENT ...> declarations).
+  std::string dtd_text;
+  /// The target listings: a single root element wrapping the listings.
+  std::string xml_text;
+  /// Budget in milliseconds, counted from Submit() — queue wait spends it.
+  /// Negative means "use the service default".
+  int64_t deadline_ms = -1;
+};
+
+struct ServiceResponse {
+  std::string id;
+  RequestOutcome outcome = RequestOutcome::kFailed;
+  /// OK for kOk/kDegraded; the shed or terminal-failure status otherwise.
+  Status status;
+  /// The proposed mapping (ParseMapping format); empty unless ok/degraded.
+  std::string mapping;
+  /// Mapping plus full-precision tag scores — what the determinism soak
+  /// compares across thread counts and against solo runs.
+  std::string fingerprint;
+  /// Degradation record for the terminal attempt.
+  RunReport report;
+  /// Executions paid for (1 + retries); 0 for shed requests.
+  size_t attempts = 0;
+  /// Backoff retries among those attempts.
+  size_t retries = 0;
+  /// Submit-to-terminal latency.
+  uint64_t latency_micros = 0;
+  /// True when at least one learner was short-circuited by an open breaker.
+  bool breaker_skipped = false;
+  /// True when the request finished later than deadline + grace — the
+  /// invariant the chaos soak asserts never happens.
+  bool deadline_overrun = false;
+};
+
+struct MatchServiceOptions {
+  /// Concurrent request executions; one LsdSystem replica is built per
+  /// worker (replicas are the isolation boundary — requests never share
+  /// mutable matcher state).
+  size_t workers = 2;
+  /// Admission bound on queued + executing requests; one more is shed.
+  size_t max_queue_depth = 32;
+  /// Deadline for requests that do not carry one (-1 = unbounded).
+  int64_t default_deadline_ms = -1;
+  /// Slack past the deadline a request may use for its anytime fallback
+  /// before it counts as a deadline overrun. Admission also uses it: a
+  /// request is shed when the estimated queue wait alone exceeds
+  /// remaining-deadline + grace (the anytime path could not even start).
+  int64_t grace_ms = 1000;
+  /// Parse request text with the recovering parsers (diagnostics become
+  /// report notes) instead of failing on the first malformation.
+  bool lenient_parse = true;
+  /// Base matching options applied to every request. `skip_learners` is
+  /// owned by the breaker layer and overwritten per request.
+  MatchOptions match_options;
+  /// Retry policy for retryable failures (see IsRetryableForService).
+  BackoffPolicy backoff;
+  /// Per-learner breaker tuning.
+  CircuitBreakerOptions breaker;
+  /// Seed for backoff jitter.
+  uint64_t seed = 42;
+  /// Chaos/test seam: invoked after dequeue before every execution
+  /// attempt; may block (the soak uses it to gate workers and build
+  /// deterministic overload). Null = no-op.
+  std::function<void(const ServiceRequest&)> execute_interceptor;
+  /// Injectable sleep for retry backoff; null = real sleep. Tests inject
+  /// a fake so no test ever sleeps for real.
+  std::function<void(int64_t)> sleep_millis;
+};
+
+/// Failure taxonomy for the retry policy (DESIGN.md "Service layer &
+/// overload behavior"): transient faults (kInternal, kUnavailable) and
+/// recoverable parse errors (kParseError) are retryable; contract and
+/// resource errors (kInvalidArgument, kFailedPrecondition, kNotFound,
+/// kOutOfRange, kDataLoss) and exhausted budgets (kDeadlineExceeded) are
+/// hard — retrying them cannot help and is never attempted.
+bool IsRetryableForService(const Status& status);
+
+/// A bounded, deadline-aware matching service over a trained LsdSystem:
+/// admission control and load shedding at the front, a request queue in
+/// the middle, and per-worker replica execution (with retries and
+/// per-learner circuit breakers) at the back, all on the existing
+/// ThreadPool. Construction trains/loads one replica per worker via the
+/// caller's factory; the factory must stay valid for the service lifetime
+/// (it is also used to rebuild a replica after a poisoning hard failure).
+///
+/// Determinism: request *content* outcomes are pure functions of the
+/// request bytes, the replica (identically seeded replicas are
+/// bit-identical), and the installed fault schedule — never of which
+/// worker ran the request or how many there are. Scheduling-dependent
+/// effects (queue waits, EWMA-based shedding, breaker timing under
+/// concurrency) are confined to *when* work runs, not what it computes;
+/// the chaos soak (tests/service_soak.cpp) pins the remaining freedom
+/// with gates and serial phases and asserts bit-identical outputs at
+/// 1/2/4/8 workers.
+class MatchService {
+ public:
+  using ReplicaFactory =
+      std::function<StatusOr<std::unique_ptr<LsdSystem>>()>;
+
+  /// Builds `options.workers` replicas via `factory` and starts the
+  /// worker fleet. Fails if any replica fails to build.
+  static StatusOr<std::unique_ptr<MatchService>> Create(
+      ReplicaFactory factory, MatchServiceOptions options);
+
+  /// Stop()s and joins.
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  /// Admission-controlled asynchronous submit. Shed requests resolve their
+  /// future immediately (fail fast) with outcome kShed / kUnavailable;
+  /// admitted requests resolve when execution reaches a terminal outcome.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  /// Submit + wait.
+  ServiceResponse Process(ServiceRequest request);
+
+  /// Stops accepting, lets the workers drain every admitted request, and
+  /// joins. Idempotent; the destructor calls it. Release any interceptor
+  /// gates first or the drain will block.
+  void Stop();
+
+  /// Monotonic service counters (also mirrored into the global metrics
+  /// registry under service.*).
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t ok = 0;
+    uint64_t degraded = 0;
+    uint64_t failed = 0;
+    uint64_t retried = 0;
+    uint64_t breaker_open_transitions = 0;
+    uint64_t replicas_rebuilt = 0;
+    uint64_t deadline_overruns = 0;
+  };
+  Stats stats() const;
+
+  /// Breaker state for one learner (kClosed before any traffic).
+  BreakerState breaker_state(const std::string& learner) const;
+
+ private:
+  /// One admitted request waiting for (or in) execution.
+  struct Pending {
+    ServiceRequest request;
+    Deadline deadline;
+    int64_t deadline_ms = -1;  // resolved budget; -1 = unbounded
+    std::chrono::steady_clock::time_point submitted;
+    std::promise<ServiceResponse> promise;
+  };
+
+  MatchService(ReplicaFactory factory, MatchServiceOptions options);
+
+  /// Builds the replicas; called once from Create.
+  Status BuildReplicas();
+  /// Starts the dispatcher thread that runs the worker loops on the pool.
+  void StartWorkers();
+  /// One worker: pulls from the queue until stopped, executing on its own
+  /// replica (slot-indexed, never shared).
+  void WorkerLoop(size_t slot);
+  /// Queue drain when the worker fleet exits (normal stop or an injected
+  /// pool fault): everything still queued resolves kShed/kUnavailable.
+  void FailRemaining(const std::string& reason);
+
+  /// Full execution of one admitted request: breaker consult, retry loop,
+  /// breaker bookkeeping, replica rebuild on poisoning failures.
+  ServiceResponse Execute(Pending& pending, size_t slot);
+  /// One attempt: interceptor, exec seam, parse, match. `skip` is the
+  /// breaker skip list for this request; `replica_touched` is set once the
+  /// attempt reaches the replica (so a failure there triggers a rebuild).
+  StatusOr<MatchResult> Attempt(const Pending& pending,
+                                const std::string& attempt_key, size_t slot,
+                                const std::vector<std::string>& skip,
+                                RunReport* parse_notes, bool* replica_touched);
+
+  /// Finalizes a response: latency, overrun check, outcome counters.
+  void Finalize(Pending& pending, ServiceResponse response);
+
+  /// Immediate kShed response (fail fast).
+  void Shed(Pending pending, Status status);
+
+  const ReplicaFactory factory_;
+  const MatchServiceOptions options_;
+  const Backoff backoff_;
+
+  /// Per-worker replicas; slot s is touched only by worker s.
+  std::vector<std::unique_ptr<LsdSystem>> replicas_;
+
+  BreakerBank breakers_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread dispatcher_;
+
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Pending>> queue_;  // guarded by mu_
+  std::condition_variable queue_cv_;
+  bool accepting_ = false;   // guarded by mu_
+  bool stopping_ = false;    // guarded by mu_
+  bool workers_live_ = false;  // guarded by mu_
+  size_t in_flight_ = 0;     // guarded by mu_
+  /// EWMA of execution micros, for admission's queue-wait estimate.
+  double avg_exec_micros_ = 0.0;  // guarded by mu_
+  Stats stats_;  // guarded by mu_ (breaker_open_transitions derived)
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVICE_MATCH_SERVICE_H_

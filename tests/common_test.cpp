@@ -1,6 +1,9 @@
 #include <cmath>
 #include <set>
+#include <vector>
 
+#include "common/backoff.h"
+#include "common/deadline.h"
 #include "common/linalg.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -392,6 +395,135 @@ TEST(LinalgTest, TransposeTimesSelf) {
   EXPECT_DOUBLE_EQ(ata.at(0, 1), 14.0);
   EXPECT_DOUBLE_EQ(ata.at(1, 0), 14.0);
   EXPECT_DOUBLE_EQ(ata.at(1, 1), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded jittered exponential backoff. Every test injects a fake sleep —
+// nothing here ever sleeps for real.
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, DelaysGrowExponentiallyUpToTheCap) {
+  BackoffPolicy policy;
+  policy.initial_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_ms = 50;
+  policy.jitter = 0.0;  // pure schedule, no randomness
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.DelayMillis("k", 0), 10);
+  EXPECT_EQ(backoff.DelayMillis("k", 1), 20);
+  EXPECT_EQ(backoff.DelayMillis("k", 2), 40);
+  EXPECT_EQ(backoff.DelayMillis("k", 3), 50);  // capped
+  EXPECT_EQ(backoff.DelayMillis("k", 9), 50);
+}
+
+TEST(BackoffTest, JitterIsDeterministicBoundedAndKeyDependent) {
+  BackoffPolicy policy;
+  policy.initial_ms = 100;
+  policy.multiplier = 1.0;
+  policy.max_ms = 100;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, 7);
+  // Deterministic: the same (key, attempt) always yields the same delay.
+  int64_t first = backoff.DelayMillis("req-1", 0);
+  EXPECT_EQ(backoff.DelayMillis("req-1", 0), first);
+  // Bounded: jitter only shrinks the delay, never below (1-jitter)*delay.
+  bool saw_spread = false;
+  for (int i = 0; i < 32; ++i) {
+    int64_t delay = backoff.DelayMillis("req-" + std::to_string(i), 0);
+    EXPECT_GE(delay, 50);
+    EXPECT_LE(delay, 100);
+    if (delay != first) saw_spread = true;
+  }
+  // Key-dependent: different requests desynchronize (thundering herd fix).
+  EXPECT_TRUE(saw_spread);
+  // Seed-dependent: a different seed reshuffles the schedule.
+  Backoff other(policy, 8);
+  bool seed_differs = false;
+  for (int i = 0; i < 8 && !seed_differs; ++i) {
+    std::string key = "req-" + std::to_string(i);
+    seed_differs = other.DelayMillis(key, 0) != backoff.DelayMillis(key, 0);
+  }
+  EXPECT_TRUE(seed_differs);
+}
+
+TEST(BackoffTest, RetryStopsAfterMaxRetriesAndSleepsTheSchedule) {
+  BackoffPolicy policy;
+  policy.max_retries = 3;
+  policy.initial_ms = 10;
+  policy.multiplier = 2.0;
+  policy.max_ms = 1000;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);
+  std::vector<int64_t> slept;
+  size_t attempts = 0, retries = 0;
+  size_t calls = 0;
+  Status status = RetryWithBackoff(
+      backoff, "job", Deadline(),
+      [](const Status&) { return true; },
+      [&slept](int64_t ms) { slept.push_back(ms); },
+      [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("still broken");
+      },
+      &attempts, &retries);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 4u);  // 1 first attempt + 3 retries
+  EXPECT_EQ(attempts, 4u);
+  EXPECT_EQ(retries, 3u);
+  EXPECT_EQ(slept, (std::vector<int64_t>{10, 20, 40}));
+}
+
+TEST(BackoffTest, RetrySucceedsMidwayAndStopsSleeping) {
+  Backoff backoff(BackoffPolicy{}, 1);
+  size_t calls = 0;
+  size_t attempts = 0, retries = 0;
+  Status status = RetryWithBackoff(
+      backoff, "job", Deadline(), [](const Status&) { return true; },
+      [](int64_t) {},
+      [&calls]() -> Status {
+        ++calls;
+        return calls < 2 ? Status::Internal("transient") : Status::OK();
+      },
+      &attempts, &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(attempts, 2u);
+  EXPECT_EQ(retries, 1u);
+}
+
+TEST(BackoffTest, NonRetryableErrorIsNeverRetried) {
+  Backoff backoff(BackoffPolicy{}, 1);
+  size_t calls = 0;
+  Status status = RetryWithBackoff(
+      backoff, "job", Deadline(),
+      [](const Status& s) { return s.code() == StatusCode::kInternal; },
+      [](int64_t) { FAIL() << "must not sleep"; },
+      [&calls]() -> Status {
+        ++calls;
+        return Status::InvalidArgument("hard error");
+      });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(BackoffTest, RetryThatCannotFitTheDeadlineIsNotStarted) {
+  BackoffPolicy policy;
+  policy.max_retries = 5;
+  policy.initial_ms = 1000;  // every delay overshoots a 0 ms budget
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);
+  size_t calls = 0;
+  Status status = RetryWithBackoff(
+      backoff, "job", Deadline::AfterMillis(0),
+      [](const Status&) { return true; },
+      [](int64_t) { FAIL() << "must not sleep past the deadline"; },
+      [&calls]() -> Status {
+        ++calls;
+        return Status::Internal("transient");
+      });
+  // The attempt's own (more diagnostic) error comes back, not a bare
+  // DeadlineExceeded; only one attempt ran.
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1u);
 }
 
 }  // namespace

@@ -145,7 +145,7 @@ TEST(ExperimentTest, RunDomainExperimentProducesAllVariants) {
   std::vector<SystemVariant> variants = {
       {"full", MatchOptions{}},
       {"argmax",
-       MatchOptions{{}, true, /*use_constraint_handler=*/false,
+       MatchOptions{{}, {}, true, /*use_constraint_handler=*/false,
                     ConstraintFilter::kAll}},
   };
   auto stats = RunDomainExperiment("faculty-listings", config, variants);

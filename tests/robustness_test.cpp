@@ -19,6 +19,7 @@
 #include "core/checkpoint.h"
 #include "core/lsd_system.h"
 #include "gtest/gtest.h"
+#include "service/match_service.h"
 #include "xml/dtd_parser.h"
 #include "xml/xml_parser.h"
 
@@ -557,6 +558,37 @@ TEST_F(RobustnessSystemTest, EveryFaultSeamFiresUnderTheStandardPipeline) {
     std::string model = ::testing::TempDir() + "/lsd_seam_model.artifact";
     (void)clean->SaveModel(model);
     (void)clean->MatchSource(target_);
+
+    // Service seams: one request through a tiny single-worker service.
+    // Under blanket rules for other sites the replica factory itself may
+    // fail (e.g. learner-train faults); that is fine — those sites already
+    // fired upstream.
+    MatchServiceOptions service_options;
+    service_options.workers = 1;
+    service_options.max_queue_depth = 2;
+    service_options.backoff.max_retries = 0;
+    service_options.breaker.failure_threshold = 0;
+    service_options.sleep_millis = [](int64_t) {};
+    auto service = MatchService::Create(
+        [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+          auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+          LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+          LSD_RETURN_IF_ERROR(system->Train());
+          return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+        },
+        service_options);
+    if (service.ok()) {
+      ServiceRequest request;
+      request.id = "seam-probe";
+      request.dtd_text =
+          "<!ELEMENT home (area, reach)>"
+          "<!ELEMENT area (#PCDATA)>"
+          "<!ELEMENT reach (#PCDATA)>";
+      request.xml_text =
+          "<listings><home><area>Miami, FL</area>"
+          "<reach>(555) 123 4567</reach></home></listings>";
+      (void)(*service)->Process(std::move(request));
+    }
 
     EXPECT_GE(injector.injected_count(), 1u);
     std::remove(probe.c_str());

@@ -1,0 +1,538 @@
+// Deterministic chaos soak for the MatchService (tier-2; also run under
+// TSan by scripts/check.sh). For every worker count in {1, 2, 4, 8} the
+// soak drives the service through five phases and asserts the service
+// invariants:
+//
+//   A  healthy waves          — all ok, outputs recorded
+//   B  gated overload         — exactly the overflow sheds, fail-fast,
+//                               every admitted request reaches a terminal
+//                               outcome once the gate opens
+//   C  chaos waves            — key-pure learner faults, transient and
+//                               persistent exec faults, corrupt payloads,
+//                               interleaved with healthy traffic
+//   D  breaker lifecycle      — paid failures open the breaker, skips are
+//                               byte-identical to the paid path, the probe
+//                               reopens under fault and closes after it
+//   E  expired deadlines      — 0 ms budgets degrade to the anytime path,
+//                               never fail, never overrun deadline+grace
+//
+// Every phase's per-request record (outcome, attempts, fingerprint or
+// error code) is compared byte-for-byte against the 1-worker baseline:
+// worker count must never change WHAT is computed, only when.
+//
+// Determinism levers: fault decisions are key-pure (request id / learner
+// name), retries use fake sleeps, deadlines are infinite except in phase E
+// (where they are already expired at submit), phase B pins scheduling with
+// an interceptor gate, and phase D serializes requests via Process().
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "core/lsd_system.h"
+#include "service/match_service.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+#define SOAK_CHECK(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n  ", __FILE__, __LINE__,   \
+                   #cond);                                             \
+      std::fprintf(stderr, __VA_ARGS__);                               \
+      std::fprintf(stderr, "\n");                                      \
+      std::exit(1);                                                    \
+    }                                                                  \
+  } while (0)
+
+// ---------------------------------------------------------------------------
+// Fixture: mediated schema, one training source, and three target-schema
+// variants so key-pure learner faults hit different learners per variant.
+// ---------------------------------------------------------------------------
+
+const char* kMediatedDtd = R"(
+  <!ELEMENT HOUSE (ADDRESS, DESCRIPTION, CONTACT-INFO)>
+  <!ELEMENT ADDRESS (#PCDATA)>
+  <!ELEMENT DESCRIPTION (#PCDATA)>
+  <!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+  <!ELEMENT AGENT-NAME (#PCDATA)>
+  <!ELEMENT AGENT-PHONE (#PCDATA)>
+)";
+
+struct SchemaVariant {
+  const char* dtd;
+  const char* tags[6];  // root, address, description, contact, name, phone
+};
+
+const SchemaVariant kVariants[] = {
+    {"<!ELEMENT home (area, extra-info, reach)>"
+     "<!ELEMENT area (#PCDATA)><!ELEMENT extra-info (#PCDATA)>"
+     "<!ELEMENT reach (realtor, work-phone)>"
+     "<!ELEMENT realtor (#PCDATA)><!ELEMENT work-phone (#PCDATA)>",
+     {"home", "area", "extra-info", "reach", "realtor", "work-phone"}},
+    {"<!ELEMENT casa (location, blurb, agent)>"
+     "<!ELEMENT location (#PCDATA)><!ELEMENT blurb (#PCDATA)>"
+     "<!ELEMENT agent (contact-name, contact-phone)>"
+     "<!ELEMENT contact-name (#PCDATA)><!ELEMENT contact-phone (#PCDATA)>",
+     {"casa", "location", "blurb", "agent", "contact-name", "contact-phone"}},
+    {"<!ELEMENT property (addr, remarks, seller)>"
+     "<!ELEMENT addr (#PCDATA)><!ELEMENT remarks (#PCDATA)>"
+     "<!ELEMENT seller (seller-name, seller-phone)>"
+     "<!ELEMENT seller-name (#PCDATA)><!ELEMENT seller-phone (#PCDATA)>",
+     {"property", "addr", "remarks", "seller", "seller-name",
+      "seller-phone"}},
+};
+constexpr size_t kVariantCount = sizeof(kVariants) / sizeof(kVariants[0]);
+
+ServiceRequest MakeRequest(const std::string& id, size_t schema_variant,
+                           size_t content_variant) {
+  static const char* kCities[] = {"Miami, FL", "Boston, MA", "Seattle, WA",
+                                  "Austin, TX"};
+  static const char* kDescs[] = {"Fantastic house great location",
+                                 "Beautiful home spacious yard",
+                                 "Great views close to river",
+                                 "Charming cottage near schools"};
+  static const char* kNames[] = {"Kate Richardson", "Mike Smith",
+                                 "Jane Kendall", "Matt Brown"};
+  const SchemaVariant& schema = kVariants[schema_variant % kVariantCount];
+  const auto& t = schema.tags;
+  ServiceRequest request;
+  request.id = id;
+  request.dtd_text = schema.dtd;
+  std::string xml = std::string("<listings>");
+  for (size_t i = 0; i < 4; ++i) {
+    size_t v = (content_variant + i) % 4;
+    xml += std::string("<") + t[0] + ">" +                              //
+           "<" + t[1] + ">" + kCities[v] + "</" + t[1] + ">" +          //
+           "<" + t[2] + ">" + kDescs[v] + "</" + t[2] + ">" +           //
+           "<" + t[3] + "><" + t[4] + ">" + kNames[v] + "</" + t[4] +   //
+           "><" + t[5] + ">(555) 444 " + std::to_string(3000 + 11 * i) +
+           "</" + t[5] + "></" + t[3] + ">" +                           //
+           "</" + t[0] + ">";
+  }
+  xml += "</listings>";
+  request.xml_text = std::move(xml);
+  return request;
+}
+
+class Fixture {
+ public:
+  Fixture() {
+    mediated_ = ParseDtd(kMediatedDtd).value();
+    source_a_ = MakeTrainingSource();
+    gold_a_.Set("house-listing", "HOUSE");
+    gold_a_.Set("location", "ADDRESS");
+    gold_a_.Set("comments", "DESCRIPTION");
+    gold_a_.Set("contact", "CONTACT-INFO");
+    gold_a_.Set("name", "AGENT-NAME");
+    gold_a_.Set("phone", "AGENT-PHONE");
+  }
+
+  MatchService::ReplicaFactory Factory() {
+    return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  }
+
+ private:
+  static DataSource MakeTrainingSource() {
+    static const char* kCities[] = {"Miami, FL", "Boston, MA", "Seattle, WA",
+                                    "Austin, TX"};
+    static const char* kDescs[] = {"Fantastic house great location",
+                                   "Beautiful home spacious yard",
+                                   "Great views close to river",
+                                   "Charming cottage near schools"};
+    static const char* kNames[] = {"Kate Richardson", "Mike Smith",
+                                   "Jane Kendall", "Matt Brown"};
+    DataSource source;
+    source.name = "train.com";
+    source.schema = ParseDtd(
+        "<!ELEMENT house-listing (location, comments, contact)>"
+        "<!ELEMENT location (#PCDATA)><!ELEMENT comments (#PCDATA)>"
+        "<!ELEMENT contact (name, phone)>"
+        "<!ELEMENT name (#PCDATA)><!ELEMENT phone (#PCDATA)>").value();
+    for (size_t i = 0; i < 12; ++i) {
+      std::string xml =
+          std::string("<house-listing><location>") + kCities[i % 4] +
+          "</location><comments>" + kDescs[i % 4] +
+          "</comments><contact><name>" + kNames[i % 4] +
+          "</name><phone>(555) 321 " + std::to_string(1000 + 7 * i) +
+          "</phone></contact></house-listing>";
+      source.listings.push_back(ParseXml(xml).value());
+    }
+    return source;
+  }
+
+  Dtd mediated_;
+  DataSource source_a_;
+  Mapping gold_a_;
+};
+
+/// Holds every request whose id starts with `prefix` until Open().
+class PrefixGate {
+ public:
+  explicit PrefixGate(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void operator()(const ServiceRequest& request) {
+    if (request.id.rfind(prefix_, 0) != 0) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  void AwaitArrivals(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  const std::string prefix_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  bool open_ = false;
+};
+
+/// One per-request record for cross-worker-count comparison: worker count
+/// must never change any of this.
+std::string Record(const ServiceResponse& r) {
+  std::string record = std::string(RequestOutcomeName(r.outcome)) +
+                       "|attempts=" + std::to_string(r.attempts) +
+                       "|retries=" + std::to_string(r.retries);
+  if (r.status.ok()) {
+    record += "|" + r.fingerprint;
+  } else {
+    record += std::string("|") + StatusCodeToString(r.status.code());
+  }
+  return record;
+}
+
+using RecordMap = std::map<std::string, std::string>;
+
+// ---------------------------------------------------------------------------
+// Phases. Each appends id -> record into `records`.
+// ---------------------------------------------------------------------------
+
+void NoOverrun(const ServiceResponse& r) {
+  SOAK_CHECK(!r.deadline_overrun, "request %s outlived deadline+grace",
+             r.id.c_str());
+}
+
+MatchServiceOptions BaseOptions(size_t workers) {
+  MatchServiceOptions options;
+  options.workers = workers;
+  options.max_queue_depth = 64;
+  options.breaker.failure_threshold = 0;  // phases enable it explicitly
+  options.sleep_millis = [](int64_t) {};  // retries never really sleep
+  return options;
+}
+
+void PhaseA_Healthy(Fixture& fixture, size_t workers, size_t waves,
+                    RecordMap* records) {
+  auto service = MatchService::Create(fixture.Factory(), BaseOptions(workers));
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+  std::vector<std::future<ServiceResponse>> futures;
+  for (size_t i = 0; i < waves; ++i) {
+    futures.push_back((*service)->Submit(
+        MakeRequest("a-" + std::to_string(i), i % kVariantCount, i % 4)));
+  }
+  for (auto& future : futures) {
+    ServiceResponse r = future.get();
+    SOAK_CHECK(r.outcome == RequestOutcome::kOk, "%s: %s", r.id.c_str(),
+               r.status.ToString().c_str());
+    SOAK_CHECK(r.attempts == 1, "%s took %zu attempts", r.id.c_str(),
+               r.attempts);
+    NoOverrun(r);
+    (*records)["A/" + r.id] = Record(r);
+  }
+  MatchService::Stats stats = (*service)->stats();
+  SOAK_CHECK(stats.ok == waves && stats.shed == 0, "A stats skewed");
+  SOAK_CHECK(stats.deadline_overruns == 0, "A overruns");
+}
+
+void PhaseB_GatedOverload(Fixture& fixture, size_t workers,
+                          RecordMap* records) {
+  auto gate = std::make_shared<PrefixGate>("f-");
+  MatchServiceOptions options = BaseOptions(workers);
+  // Fixed sizes (not scaled by worker count) so the request-id set — and
+  // therefore the cross-worker-count comparison map — is identical for
+  // every run. depth > 8 guarantees overload even with the largest fleet.
+  const size_t depth = 18;
+  const size_t overflow = 7;
+  options.max_queue_depth = depth;
+  options.execute_interceptor = [gate](const ServiceRequest& r) {
+    (*gate)(r);
+  };
+  auto service = MatchService::Create(fixture.Factory(), options);
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+
+  // Fill to the depth limit. None can finish while the gate is closed, so
+  // queued + executing == depth when the overflow arrives — regardless of
+  // how many workers have picked work up yet.
+  std::vector<std::future<ServiceResponse>> admitted;
+  for (size_t i = 0; i < depth; ++i) {
+    admitted.push_back((*service)->Submit(
+        MakeRequest("f-" + std::to_string(i), i % kVariantCount, i % 4)));
+  }
+  // Every overflow submission must shed immediately: kUnavailable, zero
+  // attempts, resolved without waiting for the gate.
+  for (size_t i = 0; i < overflow; ++i) {
+    ServiceResponse shed =
+        (*service)->Submit(MakeRequest("o-" + std::to_string(i), 0, 0)).get();
+    SOAK_CHECK(shed.outcome == RequestOutcome::kShed, "%s admitted past cap",
+               shed.id.c_str());
+    SOAK_CHECK(shed.status.code() == StatusCode::kUnavailable,
+               "%s shed with %s", shed.id.c_str(),
+               shed.status.ToString().c_str());
+    SOAK_CHECK(shed.attempts == 0, "%s executed after shed", shed.id.c_str());
+    (*records)["B/" + shed.id] = Record(shed);
+  }
+
+  gate->Open();
+  for (auto& future : admitted) {
+    ServiceResponse r = future.get();  // terminal outcome for every admit
+    SOAK_CHECK(r.outcome == RequestOutcome::kOk, "%s: %s", r.id.c_str(),
+               r.status.ToString().c_str());
+    NoOverrun(r);
+    (*records)["B/" + r.id] = Record(r);
+  }
+  MatchService::Stats stats = (*service)->stats();
+  SOAK_CHECK(stats.admitted == depth, "B admitted %llu != %zu",
+             (unsigned long long)stats.admitted, depth);
+  SOAK_CHECK(stats.shed == overflow, "B shed %llu != %zu",
+             (unsigned long long)stats.shed, overflow);
+  SOAK_CHECK(stats.ok + stats.degraded + stats.failed == stats.admitted,
+             "B: admitted request without terminal outcome");
+}
+
+void PhaseC_Chaos(Fixture& fixture, size_t workers, size_t waves,
+                  RecordMap* records) {
+  FaultInjector injector(/*seed=*/77);
+  // Key-pure learner chaos: whether a (learner, tag) predict call fails
+  // depends only on the key, so each schema variant loses the same
+  // learners on every run and worker count.
+  injector.FailWithProbability(FaultSite::kLearnerPredict, 0.10,
+                               Status::Internal("chaotic learner"));
+  // "-T" requests take a transient execution fault: attempt 0 fails, the
+  // backoff retry succeeds.
+  injector.FailMatching(FaultSite::kServiceExec, "-T/attempt-0",
+                        Status::Internal("transient exec fault"));
+  // "-P" requests fail persistently: every attempt dies.
+  injector.FailMatching(FaultSite::kServiceExec, "-P/attempt",
+                        Status::Internal("persistent exec fault"));
+  ScopedFaultInjection scoped(&injector);
+
+  MatchServiceOptions options = BaseOptions(workers);
+  options.backoff.max_retries = 2;
+  auto service = MatchService::Create(fixture.Factory(), options);
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+
+  std::vector<std::future<ServiceResponse>> futures;
+  for (size_t i = 0; i < waves; ++i) {
+    std::string kind;
+    switch (i % 5) {
+      case 1: kind = "-T"; break;  // transient exec fault
+      case 3: kind = "-P"; break;  // persistent exec fault
+      case 4: kind = "-X"; break;  // corrupt payload
+      default: kind = "-H"; break; // healthy
+    }
+    ServiceRequest request = MakeRequest("c" + std::to_string(i) + kind,
+                                         i % kVariantCount, i % 4);
+    if (kind == "-X") request.xml_text += "<torn><tail";
+    futures.push_back((*service)->Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    ServiceResponse r = future.get();
+    NoOverrun(r);
+    const std::string& id = r.id;
+    bool transient = id.find("-T") != std::string::npos;
+    bool persistent = id.find("-P") != std::string::npos;
+    bool corrupt = id.find("-X") != std::string::npos;
+    if (persistent) {
+      SOAK_CHECK(r.outcome == RequestOutcome::kFailed, "%s survived -P",
+                 id.c_str());
+      SOAK_CHECK(r.attempts == 3 && r.retries == 2,
+                 "%s attempts=%zu retries=%zu", id.c_str(), r.attempts,
+                 r.retries);
+    } else if (transient) {
+      // One retry heals the exec fault; learner chaos may still degrade
+      // (or, for an unlucky variant, fail) the match itself.
+      SOAK_CHECK(r.attempts == 2 && r.retries == 1,
+                 "%s attempts=%zu retries=%zu", id.c_str(), r.attempts,
+                 r.retries);
+    } else if (corrupt) {
+      SOAK_CHECK(r.outcome != RequestOutcome::kShed, "%s shed", id.c_str());
+    }
+    (*records)["C/" + id] = Record(r);
+  }
+  MatchService::Stats stats = (*service)->stats();
+  SOAK_CHECK(stats.ok + stats.degraded + stats.failed == stats.admitted,
+             "C: admitted request without terminal outcome");
+  SOAK_CHECK(stats.deadline_overruns == 0, "C overruns");
+}
+
+void PhaseD_BreakerLifecycle(Fixture& fixture, size_t workers,
+                             RecordMap* records) {
+  MatchServiceOptions options = BaseOptions(workers);
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_skips = 2;
+  auto service = MatchService::Create(fixture.Factory(), options);
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+
+  // Requests are serialized through Process(), so the breaker sees a total
+  // order and its transitions are identical for every worker count.
+  auto run = [&](const char* id) {
+    ServiceResponse r =
+        (*service)->Process(MakeRequest(id, /*schema=*/0, /*content=*/0));
+    NoOverrun(r);
+    (*records)[std::string("D/") + id] = Record(r);
+    return r;
+  };
+
+  std::string paid_fingerprint;
+  {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerPredict, kNaiveBayesName,
+                          Status::Internal("learner down"));
+    ScopedFaultInjection scoped(&injector);
+
+    ServiceResponse paid1 = run("d-paid1");
+    SOAK_CHECK(paid1.outcome == RequestOutcome::kDegraded &&
+                   !paid1.breaker_skipped,
+               "d-paid1 %s", RequestOutcomeName(paid1.outcome));
+    ServiceResponse paid2 = run("d-paid2");
+    SOAK_CHECK((*service)->breaker_state(kNaiveBayesName) ==
+                   BreakerState::kOpen,
+               "breaker closed after %llu paid failures",
+               (unsigned long long)2);
+    paid_fingerprint = paid2.fingerprint;
+
+    // Open: the skip serves renormalized without paying, byte-identical
+    // to the paid-failure mapping.
+    ServiceResponse skipped = run("d-skip1");
+    SOAK_CHECK(skipped.breaker_skipped, "d-skip1 paid");
+    SOAK_CHECK(skipped.fingerprint == paid_fingerprint,
+               "skip bytes != paid bytes");
+
+    // Skip budget spent: the probe runs the learner, still faulty, reopen.
+    ServiceResponse probe = run("d-probe1");
+    SOAK_CHECK(!probe.breaker_skipped, "d-probe1 skipped");
+    SOAK_CHECK((*service)->breaker_state(kNaiveBayesName) ==
+                   BreakerState::kOpen,
+               "failed probe left breaker %s",
+               BreakerStateName((*service)->breaker_state(kNaiveBayesName)));
+  }
+
+  // Fault cleared: one more skip, then the probe succeeds and closes.
+  ServiceResponse skip2 = run("d-skip2");
+  SOAK_CHECK(skip2.breaker_skipped, "d-skip2 paid");
+  SOAK_CHECK(skip2.fingerprint == paid_fingerprint,
+             "post-fault skip bytes diverged");
+  ServiceResponse probe2 = run("d-probe2");
+  SOAK_CHECK(!probe2.breaker_skipped && probe2.outcome == RequestOutcome::kOk,
+             "recovery probe %s", RequestOutcomeName(probe2.outcome));
+  SOAK_CHECK(
+      (*service)->breaker_state(kNaiveBayesName) == BreakerState::kClosed,
+      "breaker did not close after healthy probe");
+  ServiceResponse healthy = run("d-clean");
+  SOAK_CHECK(healthy.outcome == RequestOutcome::kOk && !healthy.breaker_skipped,
+             "post-recovery request degraded");
+  SOAK_CHECK((*service)->stats().breaker_open_transitions == 2,
+             "expected exactly 2 open transitions, got %llu",
+             (unsigned long long)(*service)->stats().breaker_open_transitions);
+}
+
+void PhaseE_Deadlines(Fixture& fixture, size_t workers, RecordMap* records) {
+  MatchServiceOptions options = BaseOptions(workers);
+  options.grace_ms = 60000;
+  auto service = MatchService::Create(fixture.Factory(), options);
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+  for (size_t i = 0; i < kVariantCount; ++i) {
+    ServiceRequest request =
+        MakeRequest("e-" + std::to_string(i), i, /*content=*/i);
+    request.deadline_ms = 0;  // expired on arrival: anytime path, always
+    ServiceResponse r = (*service)->Process(std::move(request));
+    SOAK_CHECK(r.outcome == RequestOutcome::kDegraded,
+               "%s with expired budget: %s (%s)", r.id.c_str(),
+               RequestOutcomeName(r.outcome), r.status.ToString().c_str());
+    SOAK_CHECK(r.report.deadline_hit, "%s missing deadline_hit",
+               r.id.c_str());
+    NoOverrun(r);
+    (*records)["E/" + r.id] = Record(r);
+  }
+  SOAK_CHECK((*service)->stats().deadline_overruns == 0, "E overruns");
+}
+
+RecordMap RunAllPhases(Fixture& fixture, size_t workers, size_t waves) {
+  RecordMap records;
+  PhaseA_Healthy(fixture, workers, waves, &records);
+  PhaseB_GatedOverload(fixture, workers, &records);
+  PhaseC_Chaos(fixture, workers, waves, &records);
+  PhaseD_BreakerLifecycle(fixture, workers, &records);
+  PhaseE_Deadlines(fixture, workers, &records);
+  return records;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const size_t waves = quick ? 10 : 40;
+
+  Fixture fixture;
+  RecordMap baseline;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    std::printf("service_soak: workers=%zu waves=%zu ...\n", workers, waves);
+    std::fflush(stdout);
+    RecordMap records = RunAllPhases(fixture, workers, waves);
+    if (workers == 1) {
+      baseline = std::move(records);
+      continue;
+    }
+    SOAK_CHECK(records.size() == baseline.size(),
+               "request set diverged: %zu vs %zu records", records.size(),
+               baseline.size());
+    for (const auto& [id, record] : records) {
+      auto it = baseline.find(id);
+      SOAK_CHECK(it != baseline.end(), "%s missing from baseline",
+                 id.c_str());
+      SOAK_CHECK(record == it->second,
+                 "%s diverged at %zu workers:\n  1: %s\n  %zu: %s",
+                 id.c_str(), workers, it->second.c_str(), workers,
+                 record.c_str());
+    }
+  }
+  std::printf(
+      "service_soak: PASS (%zu per-request records bit-identical at "
+      "1/2/4/8 workers)\n",
+      baseline.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace lsd
+
+int main(int argc, char** argv) { return lsd::Run(argc, argv); }

@@ -1,0 +1,605 @@
+// MatchService tests: circuit-breaker state machine, admission control and
+// load shedding, retry/backoff wiring, per-request deadlines, and strict
+// cross-request isolation. Every test that needs a blocked worker uses an
+// interceptor gate, and every retry test injects a fake sleep — nothing
+// here waits on wall-clock time.
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "core/lsd_system.h"
+#include "gtest/gtest.h"
+#include "service/circuit_breaker.h"
+#include "service/match_service.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker state machine
+// ---------------------------------------------------------------------------
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailuresOnly) {
+  CircuitBreaker breaker(CircuitBreakerOptions{/*failure_threshold=*/3,
+                                               /*open_skips=*/2});
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordFailure();  // third consecutive
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 1u);
+}
+
+TEST(CircuitBreakerTest, OpenServesSkipsThenProbesAndProbeSuccessCloses) {
+  CircuitBreaker breaker(CircuitBreakerOptions{/*failure_threshold=*/1,
+                                               /*open_skips=*/2});
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kSkip);
+  // Skip budget exhausted: the next request becomes the probe.
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // Only one probe at a time; concurrent requests keep skipping.
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kSkip);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kExecute);
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndAbandonReleasesTheToken) {
+  CircuitBreaker breaker(CircuitBreakerOptions{/*failure_threshold=*/1,
+                                               /*open_skips=*/1});
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kProbe);
+  breaker.RecordFailure();  // probe failed
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.open_transitions(), 2u);
+  // Fresh skip cycle, then a new probe whose request dies elsewhere:
+  // abandoning must release the token so the next request can probe.
+  ASSERT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kProbe);
+  breaker.AbandonProbe();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kProbe);
+}
+
+TEST(CircuitBreakerTest, ThresholdZeroDisablesTheBreaker) {
+  CircuitBreaker breaker(CircuitBreakerOptions{/*failure_threshold=*/0,
+                                               /*open_skips=*/1});
+  for (int i = 0; i < 10; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.NextDecision(), CircuitBreaker::Decision::kExecute);
+}
+
+TEST(CircuitBreakerTest, BankCreatesLazilyAndSumsTransitions) {
+  BreakerBank bank(CircuitBreakerOptions{/*failure_threshold=*/1,
+                                         /*open_skips=*/1});
+  EXPECT_EQ(bank.StateOf("naive-bayes"), BreakerState::kClosed);
+  EXPECT_EQ(bank.TotalOpenTransitions(), 0u);
+  bank.Get("naive-bayes")->RecordFailure();
+  bank.Get("name-matcher")->RecordFailure();
+  EXPECT_EQ(bank.StateOf("naive-bayes"), BreakerState::kOpen);
+  EXPECT_EQ(bank.StateOf("name-matcher"), BreakerState::kOpen);
+  EXPECT_EQ(bank.TotalOpenTransitions(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// MatchService fixture: the robustness suite's real-estate micro-domain,
+// with request payloads as raw text (the service parses them itself).
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mediated_ = ParseDtd(R"(
+      <!ELEMENT HOUSE (ADDRESS, DESCRIPTION, CONTACT-INFO)>
+      <!ELEMENT ADDRESS (#PCDATA)>
+      <!ELEMENT DESCRIPTION (#PCDATA)>
+      <!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+      <!ELEMENT AGENT-NAME (#PCDATA)>
+      <!ELEMENT AGENT-PHONE (#PCDATA)>
+    )").value();
+
+    source_a_ = MakeSource(
+        "a.com",
+        R"(<!ELEMENT house-listing (location, comments, contact)>
+           <!ELEMENT location (#PCDATA)>
+           <!ELEMENT comments (#PCDATA)>
+           <!ELEMENT contact (name, phone)>
+           <!ELEMENT name (#PCDATA)>
+           <!ELEMENT phone (#PCDATA)>)",
+        {"house-listing", "location", "comments", "contact", "name",
+         "phone"});
+    gold_a_.Set("house-listing", "HOUSE");
+    gold_a_.Set("location", "ADDRESS");
+    gold_a_.Set("comments", "DESCRIPTION");
+    gold_a_.Set("contact", "CONTACT-INFO");
+    gold_a_.Set("name", "AGENT-NAME");
+    gold_a_.Set("phone", "AGENT-PHONE");
+  }
+
+  static DataSource MakeSource(const std::string& name,
+                               const std::string& dtd_text,
+                               const std::vector<std::string>& tags) {
+    static const std::vector<std::string> kCities = {
+        "Miami, FL", "Boston, MA", "Seattle, WA", "Austin, TX"};
+    static const std::vector<std::string> kDescs = {
+        "Fantastic house great location", "Beautiful home spacious yard",
+        "Great views close to river", "Charming cottage near schools"};
+    static const std::vector<std::string> kNames = {
+        "Kate Richardson", "Mike Smith", "Jane Kendall", "Matt Brown"};
+    DataSource source;
+    source.name = name;
+    source.schema = ParseDtd(dtd_text).value();
+    for (size_t i = 0; i < 12; ++i) {
+      std::string phone = "(555) 321 " + std::to_string(1000 + 7 * i);
+      std::string xml =
+          "<" + tags[0] + ">" + "<" + tags[1] + ">" + kCities[i % 4] + "</" +
+          tags[1] + ">" + "<" + tags[2] + ">" + kDescs[i % 4] + "</" +
+          tags[2] + ">" + "<" + tags[3] + ">" + "<" + tags[4] + ">" +
+          kNames[i % 4] + "</" + tags[4] + ">" + "<" + tags[5] + ">" + phone +
+          "</" + tags[5] + ">" + "</" + tags[3] + ">" + "</" + tags[0] + ">";
+      source.listings.push_back(ParseXml(xml).value());
+    }
+    return source;
+  }
+
+  MatchService::ReplicaFactory Factory() {
+    return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  }
+
+  /// A healthy target request; the `variant` seeds distinct-but-fixed
+  /// content so different ids carry different payloads deterministically.
+  static ServiceRequest TargetRequest(const std::string& id,
+                                      size_t variant = 0) {
+    static const std::vector<std::string> kCities = {
+        "Portland, OR", "Denver, CO", "Miami, FL", "Boston, MA"};
+    ServiceRequest request;
+    request.id = id;
+    request.dtd_text =
+        "<!ELEMENT home (area, extra-info, reach)>"
+        "<!ELEMENT area (#PCDATA)>"
+        "<!ELEMENT extra-info (#PCDATA)>"
+        "<!ELEMENT reach (realtor, work-phone)>"
+        "<!ELEMENT realtor (#PCDATA)>"
+        "<!ELEMENT work-phone (#PCDATA)>";
+    std::string xml = "<listings>";
+    for (size_t i = 0; i < 4; ++i) {
+      xml += "<home><area>" + kCities[(variant + i) % 4] +
+             "</area><extra-info>Spacious home fantastic neighborhood"
+             "</extra-info><reach><realtor>Jane Kendall</realtor>"
+             "<work-phone>(555) 777 " + std::to_string(2000 + 13 * i) +
+             "</work-phone></reach></home>";
+    }
+    xml += "</listings>";
+    request.xml_text = std::move(xml);
+    return request;
+  }
+
+  /// Options tuned for tests: single worker, no real sleeping.
+  static MatchServiceOptions FastOptions() {
+    MatchServiceOptions options;
+    options.workers = 1;
+    options.max_queue_depth = 8;
+    options.breaker.failure_threshold = 0;  // off unless a test turns it on
+    options.sleep_millis = [](int64_t) {};
+    return options;
+  }
+
+  Dtd mediated_;
+  DataSource source_a_;
+  Mapping gold_a_;
+};
+
+/// A gate the tests hang on the execute interceptor to hold workers at a
+/// deterministic point: the test learns when a worker arrived (Await) and
+/// decides when it may proceed (Open).
+class Gate {
+ public:
+  void Hold(const std::string& id) { hold_id_ = id; }
+
+  void operator()(const ServiceRequest& request) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (request.id != hold_id_) return;
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  void Await(size_t n = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::string hold_id_;
+  size_t arrived_ = 0;
+  bool open_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Happy path and lifecycle
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, HealthyRequestMatchesCleanly) {
+  auto service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ServiceResponse response = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(response.outcome, RequestOutcome::kOk);
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(response.attempts, 1u);
+  EXPECT_EQ(response.retries, 0u);
+  EXPECT_FALSE(response.mapping.empty());
+  EXPECT_NE(response.mapping.find("area <=> ADDRESS"), std::string::npos);
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(ServiceTest, StoppedServiceShedsImmediately) {
+  auto service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(service.ok());
+  (*service)->Stop();
+  ServiceResponse response = (*service)->Process(TargetRequest("late"));
+  EXPECT_EQ(response.outcome, RequestOutcome::kShed);
+  EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*service)->stats().shed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and load shedding
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, QueueOverflowShedsWithUnavailableAndDrainsTheRest) {
+  auto gate = std::make_shared<Gate>();
+  gate->Hold("blocker");
+  MatchServiceOptions options = FastOptions();
+  options.max_queue_depth = 3;
+  options.execute_interceptor = [gate](const ServiceRequest& r) {
+    (*gate)(r);
+  };
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  // Fill the service: one request held mid-execution, two queued.
+  std::future<ServiceResponse> blocked =
+      (*service)->Submit(TargetRequest("blocker"));
+  gate->Await();
+  std::future<ServiceResponse> q1 = (*service)->Submit(TargetRequest("q1"));
+  std::future<ServiceResponse> q2 = (*service)->Submit(TargetRequest("q2"));
+
+  // Depth limit reached (1 executing + 2 queued): the next one sheds
+  // immediately — fail fast, no queueing, no execution.
+  ServiceResponse shed = (*service)->Submit(TargetRequest("overflow")).get();
+  EXPECT_EQ(shed.outcome, RequestOutcome::kShed);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("queue full"), std::string::npos);
+  EXPECT_EQ(shed.attempts, 0u);
+
+  gate->Open();
+  EXPECT_EQ(blocked.get().outcome, RequestOutcome::kOk);
+  EXPECT_EQ(q1.get().outcome, RequestOutcome::kOk);
+  EXPECT_EQ(q2.get().outcome, RequestOutcome::kOk);
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.ok, 3u);
+}
+
+TEST_F(ServiceTest, UnmeetableDeadlineIsShedAtAdmission) {
+  auto gate = std::make_shared<Gate>();
+  gate->Hold("blocker");  // only the blocker is held; warmup passes through
+  MatchServiceOptions options = FastOptions();
+  options.grace_ms = 0;  // no slack: any estimated wait kills a 0ms budget
+  options.execute_interceptor = [gate](const ServiceRequest& r) {
+    (*gate)(r);
+  };
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  // Prime the execution-time estimate with one completed request, then
+  // park a blocker mid-execution so later submissions see a wait.
+  ASSERT_EQ((*service)->Process(TargetRequest("warmup")).outcome,
+            RequestOutcome::kOk);
+  std::future<ServiceResponse> blocked =
+      (*service)->Submit(TargetRequest("blocker"));
+  gate->Await();
+
+  // A 0 ms budget cannot even cover the estimated queue wait behind the
+  // blocker: admission fails fast instead of queueing doomed work.
+  ServiceRequest doomed = TargetRequest("doomed");
+  doomed.deadline_ms = 0;
+  ServiceResponse shed = (*service)->Submit(std::move(doomed)).get();
+  EXPECT_EQ(shed.outcome, RequestOutcome::kShed);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("deadline unmeetable"),
+            std::string::npos);
+
+  gate->Open();
+  EXPECT_EQ(blocked.get().outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServiceTest, AdmissionFaultSeamShedsTheMatchingRequest) {
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kServiceAdmit, "shed-me",
+                        Status::Unavailable("injected admission refusal"));
+  ScopedFaultInjection scoped(&injector);
+  auto service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(service.ok());
+  ServiceResponse shed = (*service)->Process(TargetRequest("shed-me"));
+  EXPECT_EQ(shed.outcome, RequestOutcome::kShed);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  ServiceResponse ok = (*service)->Process(TargetRequest("other"));
+  EXPECT_EQ(ok.outcome, RequestOutcome::kOk);
+  EXPECT_GE(injector.injected_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retries and failure taxonomy
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, TransientExecFaultIsRetriedAndSucceeds) {
+  FaultInjector injector;
+  // "/attempt-0" marks the fault transient: attempt 0 fails, attempt 1 is
+  // a different key and passes.
+  injector.FailMatching(FaultSite::kServiceExec, "/attempt-0",
+                        Status::Internal("transient glitch"));
+  ScopedFaultInjection scoped(&injector);
+  std::vector<int64_t> slept;
+  MatchServiceOptions options = FastOptions();
+  options.sleep_millis = [&slept](int64_t ms) { slept.push_back(ms); };
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceResponse response = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(response.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(response.attempts, 2u);
+  EXPECT_EQ(response.retries, 1u);
+  ASSERT_EQ(slept.size(), 1u);
+  EXPECT_GT(slept[0], 0);
+  EXPECT_LE(slept[0], options.backoff.initial_ms);
+  EXPECT_EQ((*service)->stats().retried, 1u);
+}
+
+TEST_F(ServiceTest, PersistentExecFaultExhaustsRetriesAndFails) {
+  FaultInjector injector;
+  // Id-keyed rule: every attempt of r1 fails; other requests untouched.
+  injector.FailMatching(FaultSite::kServiceExec, "r1/",
+                        Status::Internal("persistent fault"));
+  ScopedFaultInjection scoped(&injector);
+  MatchServiceOptions options = FastOptions();
+  options.backoff.max_retries = 2;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceResponse failed = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(failed.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(failed.attempts, 3u);  // 1 + 2 retries
+  EXPECT_EQ(failed.retries, 2u);
+  ServiceResponse ok = (*service)->Process(TargetRequest("r2"));
+  EXPECT_EQ(ok.outcome, RequestOutcome::kOk);  // isolation: r2 unaffected
+}
+
+TEST_F(ServiceTest, HardErrorsAreNeverRetried) {
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kServiceExec, "r1/",
+                        Status::InvalidArgument("contract violation"));
+  ScopedFaultInjection scoped(&injector);
+  MatchServiceOptions options = FastOptions();
+  options.sleep_millis = [](int64_t) { FAIL() << "hard errors never sleep"; };
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceResponse response = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(response.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(response.attempts, 1u);
+  EXPECT_EQ(response.retries, 0u);
+}
+
+TEST_F(ServiceTest, StrictParseErrorIsRetryableLenientRecoversDegraded) {
+  // A healthy payload with a torn tail: garbage after the root element.
+  // Strict parsing rejects the document; lenient parsing recovers the good
+  // listings and records the damage.
+  ServiceRequest corrupt = TargetRequest("corrupt");
+  corrupt.xml_text += "<home><area>Torn St";
+
+  // Strict: a parse error is classified retryable (recoverable category),
+  // retried on the same bytes, and fails with kParseError.
+  MatchServiceOptions strict = FastOptions();
+  strict.lenient_parse = false;
+  strict.backoff.max_retries = 1;
+  auto strict_service = MatchService::Create(Factory(), strict);
+  ASSERT_TRUE(strict_service.ok());
+  ServiceResponse failed = (*strict_service)->Process(corrupt);
+  EXPECT_EQ(failed.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(failed.status.code(), StatusCode::kParseError);
+  EXPECT_EQ(failed.attempts, 2u);
+
+  // Lenient (the default): recovery succeeds, the damage is recorded, and
+  // the outcome is degraded — a mapping was still produced.
+  auto lenient_service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(lenient_service.ok());
+  ServiceResponse degraded = (*lenient_service)->Process(corrupt);
+  EXPECT_EQ(degraded.outcome, RequestOutcome::kDegraded);
+  EXPECT_TRUE(degraded.status.ok());
+  EXPECT_FALSE(degraded.mapping.empty());
+  ASSERT_FALSE(degraded.report.notes.empty());
+  EXPECT_NE(degraded.report.notes[0].find("lenient XML parse"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-learner circuit breaker through the service
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, BreakerOpensSkipsProbesAndRecoversByteIdentically) {
+  MatchServiceOptions options = FastOptions();
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_skips = 2;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  std::string paid_fingerprint;
+  {
+    // A key-pure rule: naive-bayes fails every predict call.
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kLearnerPredict, kNaiveBayesName,
+                          Status::Internal("learner keeps dying"));
+    ScopedFaultInjection scoped(&injector);
+
+    // Failures 1 and 2 pay full price: the learner runs, fails, and is
+    // quarantined per-request (PR-2 path). The second failure trips the
+    // breaker.
+    ServiceResponse paid1 = (*service)->Process(TargetRequest("p1"));
+    EXPECT_EQ(paid1.outcome, RequestOutcome::kDegraded);
+    EXPECT_FALSE(paid1.breaker_skipped);
+    EXPECT_TRUE(paid1.report.IsQuarantined(kNaiveBayesName));
+    EXPECT_EQ((*service)->breaker_state(kNaiveBayesName),
+              BreakerState::kClosed);
+    ServiceResponse paid2 = (*service)->Process(TargetRequest("p2"));
+    EXPECT_EQ((*service)->breaker_state(kNaiveBayesName), BreakerState::kOpen);
+    paid_fingerprint = paid2.fingerprint;
+
+    // Open: requests 3 and 4 skip the learner without paying for the
+    // failure — and the mapping bytes are identical to the paid path,
+    // because both reduce to the same survivor mask.
+    ServiceResponse skipped = (*service)->Process(TargetRequest("p2"));
+    EXPECT_EQ(skipped.outcome, RequestOutcome::kDegraded);
+    EXPECT_TRUE(skipped.breaker_skipped);
+    EXPECT_EQ(skipped.fingerprint, paid_fingerprint);
+    EXPECT_TRUE(skipped.report.IsQuarantined(kNaiveBayesName));
+
+    // Skip budget spent: the next request probes, the learner still fails,
+    // and the breaker reopens.
+    ServiceResponse probe = (*service)->Process(TargetRequest("p4"));
+    EXPECT_FALSE(probe.breaker_skipped);
+    EXPECT_EQ((*service)->breaker_state(kNaiveBayesName), BreakerState::kOpen);
+    EXPECT_GE((*service)->stats().breaker_open_transitions, 2u);
+  }
+
+  // Fault gone: one more skip (the second decision of the open cycle
+  // becomes the probe), then the recovery probe succeeds and the breaker
+  // closes — full-strength matching resumes.
+  ServiceResponse skip1 = (*service)->Process(TargetRequest("p5"));
+  EXPECT_TRUE(skip1.breaker_skipped);
+  ServiceResponse probe = (*service)->Process(TargetRequest("p6"));
+  EXPECT_FALSE(probe.breaker_skipped);
+  EXPECT_EQ(probe.outcome, RequestOutcome::kOk);
+  EXPECT_EQ((*service)->breaker_state(kNaiveBayesName), BreakerState::kClosed);
+  ServiceResponse healthy = (*service)->Process(TargetRequest("p7"));
+  EXPECT_EQ(healthy.outcome, RequestOutcome::kOk);
+  EXPECT_FALSE(healthy.breaker_skipped);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-request isolation
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, PoisonRequestsLeaveConcurrentHealthyOutputsByteIdentical) {
+  // Solo baselines: each healthy request processed alone on a clean
+  // single-worker service.
+  std::vector<std::string> solo_fingerprints;
+  {
+    auto solo = MatchService::Create(Factory(), FastOptions());
+    ASSERT_TRUE(solo.ok());
+    for (size_t variant = 0; variant < 3; ++variant) {
+      ServiceResponse response = (*solo)->Process(
+          TargetRequest("healthy-" + std::to_string(variant), variant));
+      ASSERT_EQ(response.outcome, RequestOutcome::kOk);
+      solo_fingerprints.push_back(response.fingerprint);
+    }
+  }
+
+  // Chaos run: the same healthy requests interleaved with a corrupt-XML
+  // request and an injected-fault request, all in flight together on two
+  // workers.
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kServiceExec, "poison/",
+                        Status::Internal("injected execution fault"));
+  ScopedFaultInjection scoped(&injector);
+  MatchServiceOptions options = FastOptions();
+  options.workers = 2;
+  options.max_queue_depth = 16;
+  options.backoff.max_retries = 1;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  ServiceRequest corrupt = TargetRequest("corrupt");
+  corrupt.xml_text += "<home><area>Torn St";
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.push_back((*service)->Submit(TargetRequest("healthy-0", 0)));
+  futures.push_back((*service)->Submit(std::move(corrupt)));
+  futures.push_back((*service)->Submit(TargetRequest("healthy-1", 1)));
+  futures.push_back((*service)->Submit(TargetRequest("poison")));
+  futures.push_back((*service)->Submit(TargetRequest("healthy-2", 2)));
+
+  ServiceResponse h0 = futures[0].get();
+  ServiceResponse corrupted = futures[1].get();
+  ServiceResponse h1 = futures[2].get();
+  ServiceResponse poisoned = futures[3].get();
+  ServiceResponse h2 = futures[4].get();
+
+  // The poison requests fail in their own lanes...
+  EXPECT_EQ(poisoned.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(poisoned.status.code(), StatusCode::kInternal);
+  // (corrupt recovers under lenient parse, but visibly degraded)
+  EXPECT_EQ(corrupted.outcome, RequestOutcome::kDegraded);
+
+  // ...and the healthy requests' outputs are byte-identical to their solo
+  // runs: no cross-request contamination through shared state.
+  EXPECT_EQ(h0.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(h1.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(h2.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(h0.fingerprint, solo_fingerprints[0]);
+  EXPECT_EQ(h1.fingerprint, solo_fingerprints[1]);
+  EXPECT_EQ(h2.fingerprint, solo_fingerprints[2]);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST_F(ServiceTest, ExpiredDeadlineDegradesToAnytimeResultNotFailure) {
+  MatchServiceOptions options = FastOptions();
+  options.grace_ms = 60000;  // generous: the anytime path must finish inside
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceRequest request = TargetRequest("rushed");
+  request.deadline_ms = 0;  // already expired at submit
+  ServiceResponse response = (*service)->Process(std::move(request));
+  EXPECT_EQ(response.outcome, RequestOutcome::kDegraded);
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_FALSE(response.mapping.empty());
+  EXPECT_TRUE(response.report.deadline_hit);
+  EXPECT_FALSE(response.deadline_overrun);
+}
+
+}  // namespace
+}  // namespace lsd

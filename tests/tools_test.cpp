@@ -21,6 +21,9 @@ namespace {
 #ifndef LSD_MATCH_BIN
 #define LSD_MATCH_BIN "lsd_match"
 #endif
+#ifndef LSD_SERVE_BIN
+#define LSD_SERVE_BIN "lsd_serve"
+#endif
 
 std::string TempDir() {
   // Suffixed with the test name: ctest runs each test in its own process,
@@ -132,6 +135,62 @@ TEST(ToolsTest, MatchRejectsMissingInputs) {
   EXPECT_NE(std::system(command.c_str()), 0);
   EXPECT_NE(std::system((std::string(LSD_MATCH_BIN) + " 2>/dev/null").c_str()),
             0);
+}
+
+TEST(ToolsTest, ServeReplaysARequestStream) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  // Two healthy targets (one with a generous per-line deadline), plus one
+  // request whose inputs do not exist — that request must fail without
+  // taking the stream down.
+  ASSERT_TRUE(WriteStringToFile(
+                  dir + "/stream.txt",
+                  "# id dtd xml [deadline_ms]\n"
+                  "req-3 " + dir + "/source-3.dtd " + dir + "/source-3.xml\n"
+                  "req-4 " + dir + "/source-4.dtd " + dir +
+                      "/source-4.xml 60000\n"
+                  "req-bad /nonexistent.dtd /nonexistent.xml\n")
+                  .ok());
+
+  std::string serve = std::string(LSD_SERVE_BIN) + " --mediated '" + dir +
+                      "/mediated.dtd'";
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    serve += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+             ".mapping'";
+  }
+  serve += " --requests '" + dir + "/stream.txt' --workers 2 --retries 1";
+  serve += " --metrics-out '" + dir + "/metrics.json'";
+  serve += " > '" + dir + "/outcomes.txt' 2>/dev/null";
+
+  // req-bad fails, so the stream is imperfect: exit 2, never 0 or 1.
+  EXPECT_EQ(RunForExitCode(serve), 2);
+
+  auto outcomes = ReadFileToString(dir + "/outcomes.txt");
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_NE(outcomes->find("req-3 ok"), std::string::npos) << *outcomes;
+  EXPECT_NE(outcomes->find("req-4 ok"), std::string::npos) << *outcomes;
+  EXPECT_NE(outcomes->find("req-bad failed"), std::string::npos) << *outcomes;
+
+  // The metrics snapshot carries the service counters.
+  auto metrics = ReadFileToString(dir + "/metrics.json");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("\"service.admitted\""), std::string::npos);
+  EXPECT_NE(metrics->find("\"service.request_micros\""), std::string::npos);
+}
+
+TEST(ToolsTest, ServeRejectsMalformedStreamAndMissingFlags) {
+  std::string dir = TempDir();
+  ASSERT_TRUE(WriteStringToFile(dir + "/bad.txt", "only-two fields\n").ok());
+  std::string command = std::string(LSD_SERVE_BIN) + " --mediated m.dtd" +
+                        " --train a b c --requests '" + dir +
+                        "/bad.txt' 2>/dev/null";
+  EXPECT_EQ(RunForExitCode(command), 1);
+  EXPECT_EQ(RunForExitCode(std::string(LSD_SERVE_BIN) + " 2>/dev/null"), 1);
 }
 
 TEST(ToolsTest, GenerateRejectsUnknownDomain) {

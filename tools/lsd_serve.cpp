@@ -1,0 +1,339 @@
+// lsd_serve: replay a match-request stream through the overload-safe
+// MatchService and report per-request outcomes plus service metrics.
+//
+// Where lsd_match runs ONE match end to end, lsd_serve stands the trained
+// system up behind the service layer — bounded queue, admission control,
+// deadlines, retries, per-learner circuit breakers — and pushes a whole
+// request stream through it, the way a mediator front end would.
+//
+// Usage:
+//   lsd_serve --mediated mediated.dtd
+//             --train src1.dtd src1.xml src1.mapping [--train ...]
+//             --requests stream.txt
+//             [--workers N]        (service worker slots; default 2)
+//             [--queue-depth N]    (admission cap; default 32)
+//             [--deadline-ms N]    (default per-request budget; -1 = none)
+//             [--grace-ms N]       (overrun slack; default 1000)
+//             [--retries N]        (max retries per request; default 2)
+//             [--breaker-threshold N] (consecutive failures to open; 0 = off)
+//             [--breaker-skips N]  (free skips while open before a probe)
+//             [--seed N]           (backoff jitter seed; default 42)
+//             [--strict]           (strict parsing; default is lenient)
+//             [--print-mappings]   (dump each successful mapping to stdout)
+//             [--metrics-out FILE] (write a metrics-registry JSON snapshot)
+//
+// Request-stream format (one request per line, '#' comments and blank
+// lines ignored):
+//   <id> <target.dtd> <target.xml> [deadline_ms]
+// A per-line deadline overrides --deadline-ms; -1 means no deadline.
+//
+// Output: one line per request on stdout,
+//   <id> <outcome> attempts=<n> retries=<n> latency_ms=<n> [note]
+// where <outcome> is ok | degraded | failed | shed, and the note carries
+// the error message for failed/shed requests. A service summary goes to
+// stderr.
+//
+// Exit codes:
+//   0  every request came back ok.
+//   2  every request reached a terminal outcome but some were degraded,
+//      failed, or shed — the summary says which.
+//   1  hard failure: bad usage, unreadable inputs, or training failed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "core/lsd_system.h"
+#include "service/match_service.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace lsd;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: lsd_serve --mediated M.dtd"
+               " --train S.dtd S.xml S.mapping [--train ...]"
+               " --requests FILE [--workers N] [--queue-depth N]"
+               " [--deadline-ms N] [--grace-ms N] [--retries N]"
+               " [--breaker-threshold N] [--breaker-skips N] [--seed N]"
+               " [--strict] [--print-mappings] [--metrics-out FILE]\n");
+}
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitHardFailure = 1,
+  kExitImperfectStream = 2,
+};
+
+struct RequestSpec {
+  std::string id;
+  std::string dtd_path;
+  std::string xml_path;
+  int64_t deadline_ms;
+};
+
+/// Parses the request-stream file: "<id> <dtd> <xml> [deadline_ms]" per
+/// line, '#' comments and blank lines skipped.
+StatusOr<std::vector<RequestSpec>> LoadRequestStream(const std::string& path,
+                                                     int64_t default_deadline) {
+  LSD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  std::vector<RequestSpec> specs;
+  size_t line_number = 0;
+  for (const std::string& raw : Split(text, '\n')) {
+    ++line_number;
+    std::string line = raw.substr(0, raw.find('#'));
+    std::vector<std::string> fields = SplitAny(line, " \t\r");
+    if (fields.empty()) continue;
+    if (fields.size() < 3 || fields.size() > 4) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": want \"<id> <dtd> <xml> [deadline_ms]\", got " +
+          std::to_string(fields.size()) + " fields");
+    }
+    RequestSpec spec;
+    spec.id = fields[0];
+    spec.dtd_path = fields[1];
+    spec.xml_path = fields[2];
+    spec.deadline_ms = default_deadline;
+    if (fields.size() == 4) {
+      char* end = nullptr;
+      long parsed = std::strtol(fields[3].c_str(), &end, 10);
+      if (*end != '\0') {
+        return Status::InvalidArgument(path + ":" +
+                                       std::to_string(line_number) +
+                                       ": bad deadline " + fields[3]);
+      }
+      spec.deadline_ms = parsed;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+bool ParseCount(const std::string& value, long* out) {
+  char* end = nullptr;
+  long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || parsed < 0) return false;
+  *out = parsed;
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  std::string mediated_path, requests_path, metrics_out;
+  struct TrainSpec {
+    std::string dtd, xml, mapping;
+  };
+  std::vector<TrainSpec> train_specs;
+  MatchServiceOptions options;
+  long deadline_ms = -1;
+  bool print_mappings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    auto next_count = [&](long* out) {
+      std::string value;
+      if (!next(&value) || !ParseCount(value, out)) {
+        std::fprintf(stderr, "%s expects a non-negative integer\n",
+                     arg.c_str());
+        return false;
+      }
+      return true;
+    };
+    long count = 0;
+    if (arg == "--mediated") {
+      if (!next(&mediated_path)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--train") {
+      TrainSpec spec;
+      if (!next(&spec.dtd) || !next(&spec.xml) || !next(&spec.mapping)) {
+        Usage();
+        return kExitHardFailure;
+      }
+      train_specs.push_back(std::move(spec));
+    } else if (arg == "--requests") {
+      if (!next(&requests_path)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--workers") {
+      if (!next_count(&count) || count == 0) { Usage(); return kExitHardFailure; }
+      options.workers = static_cast<size_t>(count);
+    } else if (arg == "--queue-depth") {
+      if (!next_count(&count) || count == 0) { Usage(); return kExitHardFailure; }
+      options.max_queue_depth = static_cast<size_t>(count);
+    } else if (arg == "--deadline-ms") {
+      std::string value;
+      if (!next(&value)) { Usage(); return kExitHardFailure; }
+      char* end = nullptr;
+      deadline_ms = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') { Usage(); return kExitHardFailure; }
+    } else if (arg == "--grace-ms") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.grace_ms = count;
+    } else if (arg == "--retries") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.backoff.max_retries = static_cast<size_t>(count);
+    } else if (arg == "--breaker-threshold") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.breaker.failure_threshold = static_cast<size_t>(count);
+    } else if (arg == "--breaker-skips") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.breaker.open_skips = static_cast<size_t>(count);
+    } else if (arg == "--seed") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.seed = static_cast<uint64_t>(count);
+    } else if (arg == "--strict") {
+      options.lenient_parse = false;
+    } else if (arg == "--print-mappings") {
+      print_mappings = true;
+    } else if (arg == "--metrics-out") {
+      if (!next(&metrics_out)) { Usage(); return kExitHardFailure; }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return kExitHardFailure;
+    }
+  }
+  if (mediated_path.empty() || requests_path.empty() || train_specs.empty()) {
+    Usage();
+    return kExitHardFailure;
+  }
+  options.default_deadline_ms = deadline_ms;
+
+  auto specs = LoadRequestStream(requests_path, deadline_ms);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "%s\n", specs.status().ToString().c_str());
+    return kExitHardFailure;
+  }
+
+  // The factory builds one trained replica per worker slot; it re-reads
+  // the training inputs so a rebuilt replica after a poisoning failure is
+  // pristine. Fail fast on the first replica, before serving anything.
+  auto factory = [&]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+    LSD_ASSIGN_OR_RETURN(std::string mediated_text,
+                         ReadFileToString(mediated_path));
+    LSD_ASSIGN_OR_RETURN(Dtd mediated, ParseDtd(mediated_text));
+    auto system = std::make_unique<LsdSystem>(mediated, LsdConfig());
+    std::vector<DataSource> sources;
+    sources.reserve(train_specs.size());
+    for (const TrainSpec& spec : train_specs) {
+      DataSource source;
+      source.name = spec.dtd;
+      LSD_ASSIGN_OR_RETURN(std::string dtd_text, ReadFileToString(spec.dtd));
+      LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(dtd_text));
+      LSD_ASSIGN_OR_RETURN(std::string xml_text, ReadFileToString(spec.xml));
+      LSD_ASSIGN_OR_RETURN(XmlDocument wrapper, ParseXml(xml_text));
+      for (XmlNode& listing : wrapper.root.children) {
+        source.listings.emplace_back(std::move(listing));
+      }
+      LSD_ASSIGN_OR_RETURN(std::string map_text,
+                           ReadFileToString(spec.mapping));
+      LSD_ASSIGN_OR_RETURN(Mapping gold, ParseMapping(map_text));
+      sources.push_back(std::move(source));
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(sources.back(), gold));
+    }
+    LSD_RETURN_IF_ERROR(system->Train());
+    return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+  };
+
+  auto service = MatchService::Create(factory, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return kExitHardFailure;
+  }
+  std::fprintf(stderr,
+               "serving %zu requests (workers=%zu queue-depth=%zu "
+               "retries=%zu breaker-threshold=%zu)\n",
+               specs->size(), options.workers, options.max_queue_depth,
+               options.backoff.max_retries,
+               options.breaker.failure_threshold);
+
+  // Submit the whole stream up front — that IS the offered load; admission
+  // control decides what fits — then collect in submission order.
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(specs->size());
+  for (const RequestSpec& spec : *specs) {
+    ServiceRequest request;
+    request.id = spec.id;
+    request.deadline_ms = spec.deadline_ms;
+    auto dtd_text = ReadFileToString(spec.dtd_path);
+    auto xml_text =
+        dtd_text.ok() ? ReadFileToString(spec.xml_path) : dtd_text;
+    if (!dtd_text.ok() || !xml_text.ok()) {
+      // An unreadable input is the request's failure, not the stream's:
+      // synthesize a request the parser will reject so the stream keeps
+      // flowing and the outcome line carries the file error.
+      const Status& error =
+          dtd_text.ok() ? xml_text.status() : dtd_text.status();
+      std::fprintf(stderr, "warning: %s: %s\n", spec.id.c_str(),
+                   error.ToString().c_str());
+      request.dtd_text = "";
+      request.xml_text = "";
+    } else {
+      request.dtd_text = std::move(*dtd_text);
+      request.xml_text = std::move(*xml_text);
+    }
+    futures.push_back((*service)->Submit(std::move(request)));
+  }
+
+  bool all_ok = true;
+  for (auto& future : futures) {
+    ServiceResponse r = future.get();
+    if (r.outcome != RequestOutcome::kOk) all_ok = false;
+    std::string note;
+    if (!r.status.ok()) {
+      note = " " + r.status.ToString();
+    } else if (r.breaker_skipped) {
+      note = " breaker-skip";
+    }
+    std::printf("%s %s attempts=%zu retries=%zu latency_ms=%lld%s\n",
+                r.id.c_str(), RequestOutcomeName(r.outcome), r.attempts,
+                r.retries,
+                static_cast<long long>(r.latency_micros / 1000),
+                note.c_str());
+    if (print_mappings && r.status.ok()) {
+      std::printf("%s", r.mapping.c_str());
+    }
+  }
+  (*service)->Stop();
+
+  MatchService::Stats stats = (*service)->stats();
+  std::fprintf(stderr,
+               "summary: submitted=%llu admitted=%llu shed=%llu ok=%llu "
+               "degraded=%llu failed=%llu retried=%llu breaker-opens=%llu "
+               "replicas-rebuilt=%llu deadline-overruns=%llu\n",
+               (unsigned long long)stats.submitted,
+               (unsigned long long)stats.admitted,
+               (unsigned long long)stats.shed, (unsigned long long)stats.ok,
+               (unsigned long long)stats.degraded,
+               (unsigned long long)stats.failed,
+               (unsigned long long)stats.retried,
+               (unsigned long long)stats.breaker_open_transitions,
+               (unsigned long long)stats.replicas_rebuilt,
+               (unsigned long long)stats.deadline_overruns);
+
+  if (!metrics_out.empty()) {
+    Status written = WriteStringToFile(
+        metrics_out, MetricsRegistry::Global().Snapshot().ToJson());
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return kExitHardFailure;
+    }
+  }
+  return all_ok ? kExitOk : kExitImperfectStream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
