@@ -45,20 +45,16 @@ std::string StringFlag(int argc, char** argv, const char* key,
   return fallback;
 }
 
-/// Nearest-rank percentile of a sorted latency vector, in milliseconds.
-double PercentileMs(const std::vector<uint64_t>& sorted_micros, double p) {
-  if (sorted_micros.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(p * (sorted_micros.size() - 1) + 0.5);
-  return sorted_micros[std::min(rank, sorted_micros.size() - 1)] / 1000.0;
-}
-
 struct Cell {
   size_t workers = 0;
   size_t burst = 0;
+  bool cache = false;
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   size_t admitted = 0, shed = 0, failed = 0;
+  /// Prediction-cache hit rate over the cell's traffic, percent.
+  double hit_rate_pct = 0.0;
 };
 
 }  // namespace
@@ -118,18 +114,22 @@ int main(int argc, char** argv) {
       "bench_service: offered-load sweep (listings/source=%zu, "
       "queue-depth=%zu)\n",
       listings, queue_depth);
-  bench::Rule(86);
-  std::printf("%7s | %6s | %8s %9s | %8s %8s %8s | %6s %5s\n", "Workers",
-              "Burst", "Wall s", "req/s", "p50 ms", "p95 ms", "p99 ms",
-              "Admit", "Shed");
-  bench::Rule(86);
+  bench::Rule(100);
+  std::printf("%7s | %6s | %5s | %8s %9s | %8s %8s %8s | %6s %5s | %5s\n",
+              "Workers", "Burst", "Cache", "Wall s", "req/s", "p50 ms",
+              "p95 ms", "p99 ms", "Admit", "Shed", "Hit%");
+  bench::Rule(100);
 
+  // The burst repeats the same two payloads, so a warm cache converts the
+  // repeats into lookups — the cache=on rows show what that buys.
   std::vector<Cell> cells;
   for (size_t workers : worker_counts) {
     for (size_t burst : bursts) {
+     for (bool cache : {false, true}) {
       MatchServiceOptions options;
       options.workers = workers;
       options.max_queue_depth = queue_depth;
+      if (!cache) options.pred_cache_entries = 0;  // on = service default
       auto service = MatchService::Create(factory, options);
       if (!service.ok()) {
         std::fprintf(stderr, "error: %s\n",
@@ -150,6 +150,7 @@ int main(int argc, char** argv) {
       Cell cell;
       cell.workers = workers;
       cell.burst = burst;
+      cell.cache = cache;
       std::vector<uint64_t> latencies;
       for (auto& future : futures) {
         ServiceResponse r = future.get();
@@ -166,28 +167,37 @@ int main(int argc, char** argv) {
         }
       }
       auto t1 = std::chrono::steady_clock::now();
+      MatchService::Stats stats = (*service)->stats();
       (*service)->Stop();
 
       cell.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
       cell.throughput_rps =
           cell.wall_seconds > 0.0 ? cell.admitted / cell.wall_seconds : 0.0;
       std::sort(latencies.begin(), latencies.end());
-      cell.p50_ms = PercentileMs(latencies, 0.50);
-      cell.p95_ms = PercentileMs(latencies, 0.95);
-      cell.p99_ms = PercentileMs(latencies, 0.99);
+      cell.p50_ms = bench::PercentileMs(latencies, 0.50);
+      cell.p95_ms = bench::PercentileMs(latencies, 0.95);
+      cell.p99_ms = bench::PercentileMs(latencies, 0.99);
+      uint64_t lookups = stats.pred_cache_hits + stats.pred_cache_misses;
+      cell.hit_rate_pct =
+          lookups == 0 ? 0.0
+                       : 100.0 * static_cast<double>(stats.pred_cache_hits) /
+                             static_cast<double>(lookups);
       if (cell.failed != 0) {
         std::fprintf(stderr, "error: %zu requests failed outright\n",
                      cell.failed);
         return 1;
       }
-      std::printf("%7zu | %6zu | %8.3f %9.1f | %8.1f %8.1f %8.1f | %6zu %5zu\n",
-                  cell.workers, cell.burst, cell.wall_seconds,
-                  cell.throughput_rps, cell.p50_ms, cell.p95_ms, cell.p99_ms,
-                  cell.admitted, cell.shed);
+      std::printf(
+          "%7zu | %6zu | %5s | %8.3f %9.1f | %8.1f %8.1f %8.1f | %6zu %5zu "
+          "| %5.1f\n",
+          cell.workers, cell.burst, cell.cache ? "on" : "off",
+          cell.wall_seconds, cell.throughput_rps, cell.p50_ms, cell.p95_ms,
+          cell.p99_ms, cell.admitted, cell.shed, cell.hit_rate_pct);
       cells.push_back(cell);
+     }
     }
   }
-  bench::Rule(86);
+  bench::Rule(100);
 
   std::string json = "{\n  \"bench\": \"bench_service\",\n";
   json += StrFormat("  \"listings\": %zu,\n", listings);
@@ -196,12 +206,15 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
     json += StrFormat(
-        "    {\"workers\": %zu, \"burst\": %zu, \"wall_seconds\": %.4f, "
+        "    {\"workers\": %zu, \"burst\": %zu, \"pred_cache\": %s, "
+        "\"wall_seconds\": %.4f, "
         "\"throughput_rps\": %.2f, \"p50_ms\": %.2f, \"p95_ms\": %.2f, "
-        "\"p99_ms\": %.2f, \"admitted\": %zu, \"shed\": %zu}%s",
-        cell.workers, cell.burst, cell.wall_seconds, cell.throughput_rps,
+        "\"p99_ms\": %.2f, \"admitted\": %zu, \"shed\": %zu, "
+        "\"hit_rate_pct\": %.1f}%s",
+        cell.workers, cell.burst, cell.cache ? "true" : "false",
+        cell.wall_seconds, cell.throughput_rps,
         cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.admitted, cell.shed,
-        i + 1 < cells.size() ? ",\n" : "\n");
+        cell.hit_rate_pct, i + 1 < cells.size() ? ",\n" : "\n");
   }
   json += "  ]\n}\n";
   if (!out_path.empty()) {

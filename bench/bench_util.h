@@ -1,16 +1,24 @@
 #ifndef LSD_BENCH_BENCH_UTIL_H_
 #define LSD_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace lsd::bench {
 
 /// Reads "--key=value" style flags from argv; returns `fallback` when the
-/// flag is absent. Benches accept a few flags so the full paper-scale
-/// protocol and a quick smoke run use the same binary:
+/// flag is absent. A malformed value (non-numeric, trailing junk, out of
+/// int range) exits with code 2 — a bench silently running with the wrong
+/// size would publish misleading numbers. Benches accept a few flags so
+/// the full paper-scale protocol and a quick smoke run use the same
+/// binary:
 ///   --samples=N     data samples per domain (paper: 3)
 ///   --listings=N    listings per source (paper: 300)
 ///   --quick         shrink everything for a fast sanity pass
@@ -18,10 +26,32 @@ inline int IntFlag(int argc, char** argv, const char* key, int fallback) {
   std::string prefix = std::string("--") + key + "=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::atoi(argv[i] + prefix.size());
+      const char* value = argv[i] + prefix.size();
+      char* end = nullptr;
+      errno = 0;
+      long parsed = std::strtol(value, &end, 10);
+      if (*value == '\0' || *end != '\0' || errno == ERANGE ||
+          parsed < INT_MIN || parsed > INT_MAX) {
+        std::fprintf(stderr, "--%s expects an integer, got: %s\n", key,
+                     value);
+        std::exit(2);
+      }
+      return static_cast<int>(parsed);
     }
   }
   return fallback;
+}
+
+/// Nearest-rank percentile of an ascending-sorted latency vector, in
+/// milliseconds. `p` is clamped to [0, 1]; an empty vector reads 0.
+inline double PercentileMs(const std::vector<uint64_t>& sorted_micros,
+                           double p) {
+  if (sorted_micros.empty()) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  size_t rank = static_cast<size_t>(p * (sorted_micros.size() - 1) + 0.5);
+  return static_cast<double>(
+             sorted_micros[std::min(rank, sorted_micros.size() - 1)]) /
+         1000.0;
 }
 
 inline bool BoolFlag(int argc, char** argv, const char* key) {

@@ -90,11 +90,11 @@ echo "== TSan build =="
 cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test \
-    service_soak
+    pred_cache_test service_soak
 
 echo "== TSan tests (threaded metrics + runtime) =="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'MetricsTest|TraceTest|ThreadPool|Parallel'
+    -R 'MetricsTest|TraceTest|ThreadPool|Parallel|PredCache'
 
 echo "== TSan service chaos soak =="
 # The full service stack — queue, workers, admission, retries, breakers —
@@ -133,6 +133,21 @@ if command -v python3 >/dev/null 2>&1; then
 else
     echo "python3 unavailable; skipping service metrics validation"
 fi
+
+echo "== prediction-cache parity smoke (cache on/off byte-compare) =="
+# The same match run with and without --pred-cache must print identical
+# bytes: the cache may change when predictions happen, never the result.
+cmake --build build -j "$JOBS" --target lsd_match
+MATCH_SMOKE_ARGS=(--mediated "$SERVE_DIR/mediated.dtd"
+                  --train "$SERVE_DIR/source-0.dtd" "$SERVE_DIR/source-0.xml"
+                          "$SERVE_DIR/source-0.mapping"
+                  --train "$SERVE_DIR/source-1.dtd" "$SERVE_DIR/source-1.xml"
+                          "$SERVE_DIR/source-1.mapping"
+                  --target "$SERVE_DIR/source-4.dtd" "$SERVE_DIR/source-4.xml")
+./build/tools/lsd_match "${MATCH_SMOKE_ARGS[@]}" > "$SERVE_DIR/match-off.txt"
+./build/tools/lsd_match "${MATCH_SMOKE_ARGS[@]}" --pred-cache 4096 \
+    > "$SERVE_DIR/match-on.txt"
+cmp "$SERVE_DIR/match-off.txt" "$SERVE_DIR/match-on.txt"
 
 echo "== constraint-search perf regression smoke =="
 # The incremental searcher must keep the hardest standing domain

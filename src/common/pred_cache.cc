@@ -1,0 +1,118 @@
+#include "common/pred_cache.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+
+namespace lsd {
+namespace {
+
+// Process-wide cache counters, interned once and shared by every PredCache.
+// The service metrics profile requires these names even at value zero; the
+// service layer interns the same handles on first use so a cache-off run
+// still carries them.
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* insertions;
+  Counter* evictions;
+};
+
+const CacheMetrics& GetCacheMetrics() {
+  static const CacheMetrics metrics = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    CacheMetrics m;
+    m.hits = registry.GetCounter("pred_cache.hits");
+    m.misses = registry.GetCounter("pred_cache.misses");
+    m.insertions = registry.GetCounter("pred_cache.insertions");
+    m.evictions = registry.GetCounter("pred_cache.evictions");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+PredCache::PredCache(size_t max_entries)
+    : max_entries_(max_entries),
+      shard_capacity_(std::max<size_t>(1, max_entries / kShards)) {}
+
+bool PredCache::Lookup(uint64_t learner_fp, uint64_t instance_hash,
+                       std::vector<double>* scores) {
+  Shard& shard = shards_[ShardIndex(instance_hash)];
+  const Key key{learner_fp, instance_hash};
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *scores = it->second->second;
+      ++shard.stats.hits;
+      GetCacheMetrics().hits->Increment();
+      return true;
+    }
+    ++shard.stats.misses;
+  }
+  GetCacheMetrics().misses->Increment();
+  return false;
+}
+
+void PredCache::Insert(uint64_t learner_fp, uint64_t instance_hash,
+                       const std::vector<double>& scores) {
+  Shard& shard = shards_[ShardIndex(instance_hash)];
+  const Key key{learner_fp, instance_hash};
+  size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Racing inserts of the same key carry identical bytes (both came
+      // from byte-identical computations), so refreshing is enough.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      it->second->second = scores;
+      return;
+    }
+    while (shard.lru.size() >= shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++shard.stats.evictions;
+      ++evicted;
+    }
+    shard.lru.emplace_front(key, scores);
+    shard.index.emplace(key, shard.lru.begin());
+    ++shard.stats.insertions;
+  }
+  GetCacheMetrics().insertions->Increment();
+  if (evicted > 0) GetCacheMetrics().evictions->Increment(evicted);
+}
+
+PredCache::Stats PredCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
+size_t PredCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+void PredCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+}  // namespace lsd

@@ -1,0 +1,156 @@
+#ifndef LSD_COMMON_PRED_CACHE_H_
+#define LSD_COMMON_PRED_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lsd {
+
+// ---------------------------------------------------------------------------
+// Content hashing for cache keys
+// ---------------------------------------------------------------------------
+
+/// FNV-1a offset basis; the seed for all cache-key hashing.
+inline constexpr uint64_t kCacheHashSeed = 14695981039346656037ULL;
+
+/// Folds `bytes` into an FNV-1a accumulator.
+inline uint64_t CacheHashBytes(uint64_t h, std::string_view bytes) {
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Folds a 64-bit value into an FNV-1a accumulator, byte by byte.
+inline uint64_t CacheHashU64(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The canonical learner fingerprint: a content hash of the learner's name
+/// and its serialized model bytes. Identically-trained learners — in
+/// particular the per-worker replicas a MatchService builds from one
+/// factory, and any replica it rebuilds after poisoning — serialize to the
+/// same bytes and therefore share cache entries. Never returns 0: that
+/// value is reserved to mean "uncacheable".
+inline uint64_t FingerprintModelBytes(std::string_view learner_name,
+                                      std::string_view model_bytes) {
+  uint64_t h = CacheHashBytes(kCacheHashSeed, learner_name);
+  h = CacheHashBytes(h, "\x1f");
+  h = CacheHashBytes(h, model_bytes);
+  return h == 0 ? 1 : h;
+}
+
+// ---------------------------------------------------------------------------
+// PredCache
+// ---------------------------------------------------------------------------
+
+/// A sharded, content-addressed cache of per-instance learner predictions.
+///
+/// Keys are (learner fingerprint, instance hash) pairs; values are the raw
+/// score vectors a learner's Predict produced, stored and returned
+/// verbatim. Because both key halves are content hashes — the fingerprint
+/// derives from the serialized model, the instance hash from the instance's
+/// value fields — a hit replays exactly the bytes a miss would recompute,
+/// and entries written through one replica are valid for every
+/// identically-trained replica. That is the safety invariant the service
+/// soak enforces: cache-on output is byte-identical to cache-off at any
+/// worker count.
+///
+/// Sharding: a fixed 16-way split keyed by the instance hash's low bits
+/// (fixed, never derived from core count, so eviction behavior is
+/// machine-independent). Each shard holds an LRU list under its own mutex;
+/// the traffic is read-mostly once warm, so contention is a short critical
+/// section per lookup. Capacity is divided evenly across shards (at least
+/// one entry each); eviction is strict per-shard LRU, which makes the
+/// eviction sequence deterministic for any serial access sequence.
+///
+/// Thread safety: all methods are safe to call concurrently.
+class PredCache {
+ public:
+  /// Aggregate counters, summed over shards. Deterministic for serial
+  /// access sequences; under concurrent access the hit/miss split may vary
+  /// with interleaving, but hits + misses always equals total lookups and
+  /// the cached *outputs* are interleaving-independent.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit PredCache(size_t max_entries);
+
+  PredCache(const PredCache&) = delete;
+  PredCache& operator=(const PredCache&) = delete;
+
+  /// Copies the cached score vector for (learner_fp, instance_hash) into
+  /// `*scores` and returns true on a hit; returns false (leaving `*scores`
+  /// untouched) on a miss. A hit refreshes the entry's LRU position.
+  bool Lookup(uint64_t learner_fp, uint64_t instance_hash,
+              std::vector<double>* scores);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's least-recently
+  /// used entry when the shard is full.
+  void Insert(uint64_t learner_fp, uint64_t instance_hash,
+              const std::vector<double>& scores);
+
+  Stats stats() const;
+
+  /// Total live entries across shards.
+  size_t size() const;
+
+  size_t max_entries() const { return max_entries_; }
+
+  /// Drops every entry. Stats are cumulative and survive a Clear.
+  void Clear();
+
+  /// The shard an instance hash maps to; exposed so tests can construct
+  /// same-shard key sequences and assert exact LRU eviction order.
+  static size_t ShardIndex(uint64_t instance_hash) {
+    return static_cast<size_t>(instance_hash & (kShards - 1));
+  }
+
+  static constexpr size_t kShards = 16;
+
+ private:
+  struct Key {
+    uint64_t fp;
+    uint64_t hash;
+    bool operator==(const Key& other) const {
+      return fp == other.fp && hash == other.hash;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key& key) const {
+      // Both halves are already FNV outputs; a multiply-mix decorrelates
+      // them from the shard selector's low bits.
+      return static_cast<size_t>((key.fp ^ key.hash) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  using LruList = std::list<std::pair<Key, std::vector<double>>>;
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;  // front = most recently used
+    std::unordered_map<Key, LruList::iterator, KeyHasher> index;
+    Stats stats;
+  };
+
+  size_t max_entries_;
+  size_t shard_capacity_;
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_COMMON_PRED_CACHE_H_

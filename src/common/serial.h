@@ -1,6 +1,8 @@
 #ifndef LSD_COMMON_SERIAL_H_
 #define LSD_COMMON_SERIAL_H_
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <string>
 #include <string_view>
@@ -159,7 +161,14 @@ inline StatusOr<size_t> FieldToSize(const std::string& field) {
   if (!IsAllDigits(field)) {
     return Status::ParseError("bad integer field: " + field);
   }
-  return static_cast<size_t>(std::strtoull(field.c_str(), nullptr, 10));
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' ||
+      value > static_cast<unsigned long long>(SIZE_MAX)) {
+    return Status::ParseError("integer field out of range: " + field);
+  }
+  return static_cast<size_t>(value);
 }
 
 inline StatusOr<int> FieldToInt(const std::string& field) {
@@ -169,8 +178,16 @@ inline StatusOr<int> FieldToInt(const std::string& field) {
   if (!IsAllDigits(digits)) {
     return Status::ParseError("bad integer field: " + field);
   }
-  int value = std::atoi(field.c_str());
-  return value;
+  // The digit gate above fixes the format; strtol (unlike the atoi this
+  // replaces) still has to police the value: a 20-digit field is valid
+  // syntax but silently became garbage through atoi's undefined overflow.
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(field.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0' || value < INT_MIN || value > INT_MAX) {
+    return Status::ParseError("integer field out of range: " + field);
+  }
+  return static_cast<int>(value);
 }
 
 /// Counts the lines of `text` (as written by the serializers: every line

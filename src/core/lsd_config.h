@@ -74,6 +74,14 @@ struct LsdConfig {
   /// and all randomness stays seeded per task (see DESIGN.md "Threading
   /// model & determinism").
   size_t num_threads = 1;
+  /// Capacity of the prediction cache (0 = no cache, the default for
+  /// standalone systems). When set, per-(learner, instance) predictions
+  /// are memoized across Match calls, keyed by content hashes of the
+  /// trained model and the instance's value fields, so cached output is
+  /// byte-identical to uncached. A MatchService overrides this with one
+  /// cache shared across all replicas (MatchServiceOptions::
+  /// pred_cache_entries).
+  size_t pred_cache_entries = 0;
 
   // --- Component options ---------------------------------------------------
   MetaLearnerOptions meta_options;

@@ -83,6 +83,9 @@ LsdSystem::LsdSystem(Dtd mediated_schema, LsdConfig config,
   if (config_.use_format_learner) {
     learners_.push_back(std::make_unique<FormatLearner>(config_.nb_alpha));
   }
+  if (config_.pred_cache_entries > 0) {
+    pred_cache_ = std::make_shared<PredCache>(config_.pred_cache_entries);
+  }
 }
 
 std::vector<std::string> LsdSystem::LearnerNames() const {
@@ -475,6 +478,30 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(
       pass1.emplace_back(t, l);
     }
   }
+  // Cache addressing, hoisted out of the per-pair tasks: each learner's
+  // model fingerprint (0 = uncacheable, e.g. the XML learner) and each
+  // instance's content hash, shared by every learner's lookups on that
+  // column. Both are pure content hashes, so entries written by any
+  // identically-trained system — another service replica, a rebuilt
+  // replica, an earlier request — replay byte-identically here.
+  PredCache* cache = pred_cache_.get();
+  std::vector<uint64_t> learner_fp(n_learners, 0);
+  std::vector<std::vector<uint64_t>> instance_hashes;
+  if (cache != nullptr) {
+    for (size_t l = 0; l < n_learners; ++l) {
+      if (static_cast<int>(l) == xml_index || !out.learner_healthy[l]) continue;
+      learner_fp[l] = learners_[l]->CacheFingerprint();
+    }
+    instance_hashes.assign(n_tags, {});
+    LSD_RETURN_IF_ERROR(pool_.ParallelFor(n_tags, [&](size_t t) -> Status {
+      const Column& column = out.columns[t];
+      instance_hashes[t].reserve(column.instances.size());
+      for (const Instance& instance : column.instances) {
+        instance_hashes[t].push_back(InstanceCacheHash(instance));
+      }
+      return Status::OK();
+    }));
+  }
   std::vector<Status> pair_outcomes(pass1.size(), Status::OK());
   LSD_RETURN_IF_ERROR(pool_.ParallelFor(pass1.size(), [&](size_t k) -> Status {
     const auto [t, l] = pass1[k];
@@ -487,15 +514,46 @@ StatusOr<SourcePredictions> LsdSystem::PredictSource(
     TraceSpan span("predict/learner", learners_[l]->name());
     auto start = std::chrono::steady_clock::now();
     const Column& column = out.columns[t];
+    const size_t n_instances = column.instances.size();
     auto& bucket = out.predictions[t][l];
-    bucket.reserve(column.instances.size());
-    for (const Instance& instance : column.instances) {
-      bucket.push_back(learners_[l]->Predict(instance));
+    size_t predicted = n_instances;
+    if (cache == nullptr || learner_fp[l] == 0) {
+      std::vector<const Instance*> batch;
+      batch.reserve(n_instances);
+      for (const Instance& instance : column.instances) {
+        batch.push_back(&instance);
+      }
+      learners_[l]->PredictBatch(batch, &bucket);
+    } else {
+      // Cached path: serve hits verbatim, batch-predict only the misses,
+      // then publish them. PredictBatch results are independent of batch
+      // composition (the learner contract), so mixing cached and fresh
+      // predictions is byte-identical to predicting everything.
+      bucket.assign(n_instances, Prediction());
+      std::vector<const Instance*> miss_batch;
+      std::vector<size_t> miss_index;
+      for (size_t i = 0; i < n_instances; ++i) {
+        if (!cache->Lookup(learner_fp[l], instance_hashes[t][i],
+                           &bucket[i].scores)) {
+          miss_batch.push_back(&column.instances[i]);
+          miss_index.push_back(i);
+        }
+      }
+      if (!miss_batch.empty()) {
+        std::vector<Prediction> fresh;
+        learners_[l]->PredictBatch(miss_batch, &fresh);
+        for (size_t j = 0; j < miss_index.size(); ++j) {
+          cache->Insert(learner_fp[l], instance_hashes[t][miss_index[j]],
+                        fresh[j].scores);
+          bucket[miss_index[j]] = std::move(fresh[j]);
+        }
+      }
+      predicted = miss_batch.size();
     }
     MetricsRegistry& registry = MetricsRegistry::Global();
     registry.GetHistogram("predict.micros." + learners_[l]->name())
         ->Record(ElapsedMicros(start));
-    registry.GetCounter("predict.instances")->Increment(column.instances.size());
+    registry.GetCounter("predict.instances")->Increment(predicted);
     return Status::OK();
   }));
   for (size_t k = 0; k < pass1.size(); ++k) {

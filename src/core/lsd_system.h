@@ -191,6 +191,26 @@ class LsdSystem {
   /// artifact because the primary was missing or corrupt.
   bool loaded_from_last_good() const { return loaded_from_last_good_; }
 
+  /// Replaces the prediction cache (null disables caching). A MatchService
+  /// injects one shared cache into every replica — including freshly
+  /// rebuilt ones — so replicas serve each other's warm entries; the
+  /// content-hash keys make that safe (see common/pred_cache.h).
+  void SetPredictionCache(std::shared_ptr<PredCache> cache) {
+    pred_cache_ = std::move(cache);
+    // Fingerprinting serializes each trained model once; paying that at
+    // injection time keeps it out of the first request's latency.
+    if (pred_cache_ != nullptr) {
+      for (const auto& learner : learners_) learner->CacheFingerprint();
+    }
+  }
+
+  /// The active prediction cache (null when caching is off). Constructed
+  /// from `config.pred_cache_entries` unless SetPredictionCache overrode
+  /// it.
+  const std::shared_ptr<PredCache>& prediction_cache() const {
+    return pred_cache_;
+  }
+
  private:
   /// NodeLabeler backed by a tag→label map; the system points the XML
   /// learner at one of these and swaps the contents between phases.
@@ -271,6 +291,8 @@ class LsdSystem {
   /// Shared worker pool for Train() and PredictSource(); sized from
   /// `config_.num_threads` (a size-1 pool runs everything inline).
   ThreadPool pool_;
+  /// Cross-call prediction cache; null when disabled.
+  std::shared_ptr<PredCache> pred_cache_;
   bool trained_ = false;
   bool loaded_from_last_good_ = false;
 };

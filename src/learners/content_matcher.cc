@@ -16,12 +16,27 @@ Status ContentMatcher::Train(const std::vector<TrainingExample>& examples,
     train_labels.push_back(example.label);
   }
   whirl_ = WhirlClassifier(options_);
+  fingerprint_ = 0;
   return whirl_.Train(documents, train_labels, n_labels_);
 }
 
 Prediction ContentMatcher::Predict(const Instance& instance) const {
   if (!whirl_.trained()) return Prediction::Uniform(n_labels_);
   return whirl_.Predict(Tokenize(instance.content));
+}
+
+void ContentMatcher::PredictBatch(const std::vector<const Instance*>& batch,
+                                  std::vector<Prediction>* out) const {
+  if (!whirl_.trained()) {
+    out->assign(batch.size(), Prediction::Uniform(n_labels_));
+    return;
+  }
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(batch.size());
+  for (const Instance* instance : batch) {
+    documents.push_back(Tokenize(instance->content));
+  }
+  whirl_.PredictBatch(documents, out);
 }
 
 StatusOr<std::string> ContentMatcher::SerializeModel() const {
@@ -34,6 +49,7 @@ StatusOr<std::string> ContentMatcher::SerializeModel() const {
 Status ContentMatcher::LoadModel(std::string_view text) {
   LSD_ASSIGN_OR_RETURN(whirl_, WhirlClassifier::Deserialize(text));
   n_labels_ = whirl_.label_count();
+  fingerprint_ = 0;
   return Status::OK();
 }
 

@@ -26,6 +26,18 @@ class ContentMatcher : public BaseLearner {
 
   Prediction Predict(const Instance& instance) const override;
 
+  void PredictBatch(const std::vector<const Instance*>& batch,
+                    std::vector<Prediction>* out) const override;
+
+  /// Lazily computed from the serialized model bytes, so identically
+  /// trained instances (e.g. service replicas) share one fingerprint.
+  uint64_t CacheFingerprint() const override {
+    if (fingerprint_ == 0 && whirl_.trained()) {
+      fingerprint_ = FingerprintModelBytes(name(), whirl_.Serialize());
+    }
+    return fingerprint_;
+  }
+
   std::unique_ptr<BaseLearner> CloneUntrained() const override {
     return std::make_unique<ContentMatcher>(options_);
   }
@@ -37,6 +49,7 @@ class ContentMatcher : public BaseLearner {
   WhirlOptions options_;
   WhirlClassifier whirl_;
   size_t n_labels_ = 0;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lsd

@@ -1,5 +1,7 @@
 #include "learners/county_recognizer.h"
 
+#include <algorithm>
+
 #include "common/serial.h"
 #include "common/strings.h"
 #include "text/tokenizer.h"
@@ -26,7 +28,28 @@ Status CountyRecognizer::Train(const std::vector<TrainingExample>& examples,
   (void)examples;  // the dictionary is fixed; training only binds the label
   n_labels_ = labels.size();
   target_index_ = labels.IndexOf(target_label_);
+  fingerprint_ = 0;
   return Status::OK();
+}
+
+uint64_t CountyRecognizer::CacheFingerprint() const {
+  if (fingerprint_ == 0 && n_labels_ > 0) {
+    StatusOr<std::string> model = SerializeModel();
+    if (!model.ok()) return 0;
+    // The dictionary lives outside the serialized model; fold it in via a
+    // sorted walk so the hash is independent of unordered_set layout.
+    std::vector<std::string_view> entries(dictionary_.begin(),
+                                          dictionary_.end());
+    std::sort(entries.begin(), entries.end());
+    uint64_t h = CacheHashBytes(kCacheHashSeed, *model);
+    for (std::string_view entry : entries) {
+      h = CacheHashBytes(h, entry);
+      h = CacheHashBytes(h, "\x1f");
+    }
+    fingerprint_ = FingerprintModelBytes(name(), StrFormat("%llu",
+        static_cast<unsigned long long>(h)));
+  }
+  return fingerprint_;
 }
 
 double CountyRecognizer::RecognitionScore(const std::string& content) const {
@@ -79,6 +102,7 @@ Status CountyRecognizer::LoadModel(std::string_view text) {
   target_label_ = fields[2];
   LSD_ASSIGN_OR_RETURN(n_labels_, FieldToSize(fields[3]));
   LSD_ASSIGN_OR_RETURN(target_index_, FieldToInt(fields[4]));
+  fingerprint_ = 0;
   return ExpectAtEnd(reader, "county");
 }
 

@@ -35,6 +35,11 @@ class CountyRecognizer : public BaseLearner {
 
   Prediction Predict(const Instance& instance) const override;
 
+  /// Covers the label binding *and* the dictionary contents — the
+  /// serialized model alone omits the (normally built-in) dictionary, but
+  /// a custom dictionary changes predictions and must change the key.
+  uint64_t CacheFingerprint() const override;
+
   std::unique_ptr<BaseLearner> CloneUntrained() const override;
 
   StatusOr<std::string> SerializeModel() const override;
@@ -49,6 +54,7 @@ class CountyRecognizer : public BaseLearner {
   std::unordered_set<std::string> dictionary_;
   size_t n_labels_ = 0;
   int target_index_ = -1;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lsd

@@ -92,12 +92,27 @@ Status FormatLearner::Train(const std::vector<TrainingExample>& examples,
     train_labels.push_back(example.label);
   }
   classifier_ = NaiveBayesClassifier(alpha_);
+  fingerprint_ = 0;
   return classifier_.Train(documents, train_labels, n_labels_);
 }
 
 Prediction FormatLearner::Predict(const Instance& instance) const {
   if (!classifier_.trained()) return Prediction::Uniform(n_labels_);
   return classifier_.Predict(FormatTokens(instance.content));
+}
+
+void FormatLearner::PredictBatch(const std::vector<const Instance*>& batch,
+                                 std::vector<Prediction>* out) const {
+  if (!classifier_.trained()) {
+    out->assign(batch.size(), Prediction::Uniform(n_labels_));
+    return;
+  }
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(batch.size());
+  for (const Instance* instance : batch) {
+    documents.push_back(FormatTokens(instance->content));
+  }
+  classifier_.PredictBatch(documents, out);
 }
 
 StatusOr<std::string> FormatLearner::SerializeModel() const {
@@ -110,6 +125,7 @@ StatusOr<std::string> FormatLearner::SerializeModel() const {
 Status FormatLearner::LoadModel(std::string_view text) {
   LSD_ASSIGN_OR_RETURN(classifier_, NaiveBayesClassifier::Deserialize(text));
   n_labels_ = classifier_.label_count();
+  fingerprint_ = 0;
   return Status::OK();
 }
 

@@ -16,12 +16,27 @@ Status NaiveBayesLearner::Train(const std::vector<TrainingExample>& examples,
     train_labels.push_back(example.label);
   }
   classifier_ = NaiveBayesClassifier(alpha_);
+  fingerprint_ = 0;
   return classifier_.Train(documents, train_labels, n_labels_);
 }
 
 Prediction NaiveBayesLearner::Predict(const Instance& instance) const {
   if (!classifier_.trained()) return Prediction::Uniform(n_labels_);
   return classifier_.Predict(Tokenize(instance.content));
+}
+
+void NaiveBayesLearner::PredictBatch(const std::vector<const Instance*>& batch,
+                                     std::vector<Prediction>* out) const {
+  if (!classifier_.trained()) {
+    out->assign(batch.size(), Prediction::Uniform(n_labels_));
+    return;
+  }
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(batch.size());
+  for (const Instance* instance : batch) {
+    documents.push_back(Tokenize(instance->content));
+  }
+  classifier_.PredictBatch(documents, out);
 }
 
 StatusOr<std::string> NaiveBayesLearner::SerializeModel() const {
@@ -34,6 +49,7 @@ StatusOr<std::string> NaiveBayesLearner::SerializeModel() const {
 Status NaiveBayesLearner::LoadModel(std::string_view text) {
   LSD_ASSIGN_OR_RETURN(classifier_, NaiveBayesClassifier::Deserialize(text));
   n_labels_ = classifier_.label_count();
+  fingerprint_ = 0;
   return Status::OK();
 }
 

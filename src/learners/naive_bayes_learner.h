@@ -27,6 +27,18 @@ class NaiveBayesLearner : public BaseLearner {
 
   Prediction Predict(const Instance& instance) const override;
 
+  void PredictBatch(const std::vector<const Instance*>& batch,
+                    std::vector<Prediction>* out) const override;
+
+  /// Lazily computed from the serialized model bytes, so identically
+  /// trained instances (e.g. service replicas) share one fingerprint.
+  uint64_t CacheFingerprint() const override {
+    if (fingerprint_ == 0 && classifier_.trained()) {
+      fingerprint_ = FingerprintModelBytes(name(), classifier_.Serialize());
+    }
+    return fingerprint_;
+  }
+
   std::unique_ptr<BaseLearner> CloneUntrained() const override {
     return std::make_unique<NaiveBayesLearner>(alpha_);
   }
@@ -38,6 +50,7 @@ class NaiveBayesLearner : public BaseLearner {
   double alpha_;
   NaiveBayesClassifier classifier_;
   size_t n_labels_ = 0;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lsd

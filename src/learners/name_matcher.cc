@@ -44,6 +44,7 @@ Status NameMatcher::Train(const std::vector<TrainingExample>& examples,
   }
   whirl_ = WhirlClassifier(options_);
   model_generation_ = NextModelGeneration();
+  fingerprint_ = 0;
   return whirl_.Train(documents, train_labels, n_labels_);
 }
 
@@ -80,6 +81,7 @@ Status NameMatcher::LoadModel(std::string_view text) {
   LSD_ASSIGN_OR_RETURN(whirl_, WhirlClassifier::Deserialize(text));
   n_labels_ = whirl_.label_count();
   model_generation_ = NextModelGeneration();
+  fingerprint_ = 0;
   return Status::OK();
 }
 

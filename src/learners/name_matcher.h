@@ -28,6 +28,18 @@ class NameMatcher : public BaseLearner {
 
   Prediction Predict(const Instance& instance) const override;
 
+  /// Content-based (hash of the serialized model), NOT the process-unique
+  /// model_generation_ stamp: identically-trained replicas must share one
+  /// fingerprint so a cross-replica cache can serve all of them. The
+  /// default PredictBatch (a Predict loop) is already batch-efficient here
+  /// thanks to Predict's per-column last-answer memo.
+  uint64_t CacheFingerprint() const override {
+    if (fingerprint_ == 0 && whirl_.trained()) {
+      fingerprint_ = FingerprintModelBytes(name(), whirl_.Serialize());
+    }
+    return fingerprint_;
+  }
+
   std::unique_ptr<BaseLearner> CloneUntrained() const override {
     return std::make_unique<NameMatcher>(options_);
   }
@@ -47,6 +59,7 @@ class NameMatcher : public BaseLearner {
   /// and LoadModel); lets Predict's memo detect retraining even when a
   /// matcher is rebuilt at a recycled address.
   uint64_t model_generation_ = 0;
+  mutable uint64_t fingerprint_ = 0;
 };
 
 }  // namespace lsd

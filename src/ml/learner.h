@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/pred_cache.h"
 #include "common/status.h"
 #include "ml/prediction.h"
 #include "xml/xml.h"
@@ -42,6 +43,23 @@ struct TrainingExample {
   int label = -1;
 };
 
+/// Stable content hash of the instance fields learners read — tag name,
+/// name path, synonyms, content — the instance half of a prediction-cache
+/// key. The `node` pointer and listing index are deliberately excluded:
+/// they are not value features, and any learner whose predictions depend
+/// on document structure must report itself uncacheable (fingerprint 0)
+/// rather than rely on this hash.
+inline uint64_t InstanceCacheHash(const Instance& instance) {
+  uint64_t h = CacheHashBytes(kCacheHashSeed, instance.tag_name);
+  h = CacheHashBytes(h, "\x1f");
+  h = CacheHashBytes(h, instance.name_path);
+  h = CacheHashBytes(h, "\x1f");
+  h = CacheHashBytes(h, instance.name_synonyms);
+  h = CacheHashBytes(h, "\x1f");
+  h = CacheHashBytes(h, instance.content);
+  return h;
+}
+
 /// The base-learner interface (Section 3.3). A learner is trained once on
 /// labeled instances, then produces a confidence-score distribution over
 /// labels for new instances. Implementations must be deterministic given
@@ -62,6 +80,33 @@ class BaseLearner {
   /// Predicts the label distribution for one instance. Requires a prior
   /// successful `Train`.
   virtual Prediction Predict(const Instance& instance) const = 0;
+
+  /// Predicts every instance in `batch`, writing one prediction per
+  /// instance into `*out` (cleared first). The contract is strict: each
+  /// result must be byte-identical to what a standalone Predict call on
+  /// the same instance returns — batching may share lookups and scratch
+  /// buffers but never change the arithmetic or its order. The prediction
+  /// cache depends on this: a result computed in one batch is replayed
+  /// verbatim into any other batch composition.
+  virtual void PredictBatch(const std::vector<const Instance*>& batch,
+                            std::vector<Prediction>* out) const {
+    out->clear();
+    out->reserve(batch.size());
+    for (const Instance* instance : batch) {
+      out->push_back(Predict(*instance));
+    }
+  }
+
+  /// Stable content fingerprint of the trained model — the learner half of
+  /// a prediction-cache key — or 0 when this learner's predictions cannot
+  /// be cached (they read state outside the instance's value fields, e.g.
+  /// the XML learner consults the mutable node-label map). Equal
+  /// fingerprints must imply byte-identical predictions for equal
+  /// instances; learners derive it from their serialized model bytes
+  /// (FingerprintModelBytes), so identically-trained service replicas
+  /// share cache entries and a rebuilt replica rejoins the shared cache
+  /// without invalidating it.
+  virtual uint64_t CacheFingerprint() const { return 0; }
 
   /// Creates an untrained copy configured identically — used by
   /// cross-validation to train per-fold models.

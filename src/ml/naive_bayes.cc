@@ -103,6 +103,71 @@ Prediction NaiveBayesClassifier::Predict(
   return out;
 }
 
+void NaiveBayesClassifier::PredictBatch(
+    const std::vector<std::vector<std::string>>& documents,
+    std::vector<Prediction>* out) const {
+  out->clear();
+  out->reserve(documents.size());
+  if (!trained_ || n_labels_ == 0) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      out->push_back(Prediction(n_labels_));
+    }
+    return;
+  }
+  const size_t vocab = token_index_.size();
+  const double vocab_d = static_cast<double>(vocab);
+  // memo[(id + 1) * n_labels_ + c] caches TokenLogProb for token id `id`
+  // and class c; slot 0 is the shared unseen-token estimate. Each value is
+  // computed with TokenLogProb's exact expression on first touch, so
+  // re-adding it later is bit-identical to recomputing it.
+  std::vector<double> memo((vocab + 1) * n_labels_);
+  std::vector<char> ready(vocab + 1, 0);
+  std::vector<int> ids;
+  std::vector<double> log_scores(n_labels_);
+  for (const std::vector<std::string>& tokens : documents) {
+    ids.clear();
+    ids.reserve(tokens.size());
+    for (const std::string& token : tokens) {
+      auto it = token_index_.find(token);
+      int id = it == token_index_.end() ? -1 : it->second;
+      size_t slot = static_cast<size_t>(id + 1);
+      if (!ready[slot]) {
+        for (size_t c = 0; c < n_labels_; ++c) {
+          double denom = label_token_totals_[c] + alpha_ * (vocab_d + 1.0);
+          double count = 0.0;
+          if (id >= 0) {
+            const auto& counts = token_counts_[c];
+            if (static_cast<size_t>(id) < counts.size()) {
+              count = counts[static_cast<size_t>(id)];
+            }
+          }
+          memo[slot * n_labels_ + c] = std::log((count + alpha_) / denom);
+        }
+        ready[slot] = 1;
+      }
+      ids.push_back(id);
+    }
+    // Same accumulation order as Predict: classes outer, tokens inner, in
+    // document order.
+    for (size_t c = 0; c < n_labels_; ++c) {
+      double score = log_priors_[c];
+      for (int id : ids) {
+        score += memo[static_cast<size_t>(id + 1) * n_labels_ + c];
+      }
+      log_scores[c] = score;
+    }
+    Prediction pred(n_labels_);
+    double max_score = *std::max_element(log_scores.begin(), log_scores.end());
+    double total = 0.0;
+    for (size_t c = 0; c < n_labels_; ++c) {
+      pred.scores[c] = std::exp(log_scores[c] - max_score);
+      total += pred.scores[c];
+    }
+    for (double& s : pred.scores) s /= total;
+    out->push_back(std::move(pred));
+  }
+}
+
 std::string NaiveBayesClassifier::Serialize() const {
   // Format version 2: token fields are EscapeToken-encoded so vocabulary
   // entries containing whitespace (possible via lenient-mode XML names)

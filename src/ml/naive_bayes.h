@@ -31,6 +31,15 @@ class NaiveBayesClassifier {
   /// toward the class priors.
   Prediction Predict(const std::vector<std::string>& tokens) const;
 
+  /// Predicts a batch of token bags, one prediction per document. Results
+  /// are bit-identical to calling Predict per document: the batch resolves
+  /// each token against the vocabulary once (instead of once per class)
+  /// and memoizes per-(token, class) log-probabilities, but every memoized
+  /// value is the exact double TokenLogProb computes and the per-class
+  /// additions keep the document's token order.
+  void PredictBatch(const std::vector<std::vector<std::string>>& documents,
+                    std::vector<Prediction>* out) const;
+
   bool trained() const { return trained_; }
   size_t vocabulary_size() const { return token_index_.size(); }
   size_t label_count() const { return n_labels_; }

@@ -43,7 +43,31 @@ Prediction WhirlClassifier::Predict(
     const std::vector<std::string>& tokens) const {
   Prediction out(n_labels_);
   if (!trained_) return out;
-  SparseVector query = tfidf_.Vectorize(tokens);
+  std::vector<std::pair<double, int>> neighbours;
+  return ScoreQuery(tfidf_.Vectorize(tokens), &neighbours);
+}
+
+void WhirlClassifier::PredictBatch(
+    const std::vector<std::vector<std::string>>& documents,
+    std::vector<Prediction>* out) const {
+  out->clear();
+  out->reserve(documents.size());
+  if (!trained_) {
+    for (size_t d = 0; d < documents.size(); ++d) {
+      out->push_back(Prediction(n_labels_));
+    }
+    return;
+  }
+  std::vector<std::pair<double, int>> neighbours;
+  for (const std::vector<std::string>& tokens : documents) {
+    out->push_back(ScoreQuery(tfidf_.Vectorize(tokens), &neighbours));
+  }
+}
+
+Prediction WhirlClassifier::ScoreQuery(
+    const SparseVector& query,
+    std::vector<std::pair<double, int>>* neighbours_scratch) const {
+  Prediction out(n_labels_);
   if (query.empty()) {
     out.Normalize();  // uniform: nothing to go on
     return out;
@@ -75,7 +99,8 @@ Prediction WhirlClassifier::Predict(
   // (similarity, example index); examples visited in index order purely
   // for tidiness — ties are broken by index below either way.
   std::sort(touched.begin(), touched.end());
-  std::vector<std::pair<double, int>> neighbours;
+  std::vector<std::pair<double, int>>& neighbours = *neighbours_scratch;
+  neighbours.clear();
   neighbours.reserve(touched.size());
   for (int example : touched) {
     double sim = accumulator[static_cast<size_t>(example)];

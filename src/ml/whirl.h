@@ -39,6 +39,14 @@ class WhirlClassifier {
   /// within the similarity threshold.
   Prediction Predict(const std::vector<std::string>& tokens) const;
 
+  /// Predicts a batch of token bags, one prediction per document. Each
+  /// result is bit-identical to a standalone Predict call — both paths run
+  /// the same scoring core (ScoreQuery) — while the batch reuses one
+  /// neighbour buffer and the per-thread accumulator slab across the whole
+  /// batch instead of regrowing them per call.
+  void PredictBatch(const std::vector<std::vector<std::string>>& documents,
+                    std::vector<Prediction>* out) const;
+
   bool trained() const { return trained_; }
   size_t example_count() const { return examples_.size(); }
   size_t label_count() const { return n_labels_; }
@@ -55,6 +63,13 @@ class WhirlClassifier {
     SparseVector vector;
     int label;
   };
+
+  /// The scoring core shared by Predict and PredictBatch: inverted-index
+  /// similarity accumulation, threshold, top-k, noisy-or. `neighbours` is
+  /// caller-provided scratch (cleared here) so batches can reuse one
+  /// allocation.
+  Prediction ScoreQuery(const SparseVector& query,
+                        std::vector<std::pair<double, int>>* neighbours) const;
 
   WhirlOptions options_;
   bool trained_ = false;

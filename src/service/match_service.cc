@@ -34,6 +34,13 @@ struct ServiceMetrics {
 
 ServiceMetrics& GetServiceMetrics() {
   MetricsRegistry& registry = MetricsRegistry::Global();
+  // The pred_cache.* counters are interned here as well as in
+  // pred_cache.cc so the metrics "service" profile always has them — a
+  // cache-off service still exports zeros instead of missing series.
+  registry.GetCounter("pred_cache.hits");
+  registry.GetCounter("pred_cache.misses");
+  registry.GetCounter("pred_cache.insertions");
+  registry.GetCounter("pred_cache.evictions");
   static ServiceMetrics metrics{
       registry.GetCounter("service.submitted"),
       registry.GetCounter("service.admitted"),
@@ -124,7 +131,13 @@ MatchService::MatchService(ReplicaFactory factory, MatchServiceOptions options)
     : factory_(std::move(factory)),
       options_(std::move(options)),
       backoff_(options_.backoff, options_.seed),
-      breakers_(options_.breaker) {}
+      breakers_(options_.breaker),
+      exec_slot_start_(options_.workers),
+      exec_slot_active_(options_.workers, 0) {
+  if (options_.pred_cache_entries > 0) {
+    pred_cache_ = std::make_shared<PredCache>(options_.pred_cache_entries);
+  }
+}
 
 MatchService::~MatchService() { Stop(); }
 
@@ -140,6 +153,9 @@ Status MatchService::BuildReplicas() {
     if (*replica == nullptr || !(*replica)->trained()) {
       return Status::FailedPrecondition(
           "MatchService: the replica factory must return a trained system");
+    }
+    if (pred_cache_ != nullptr) {
+      (*replica)->SetPredictionCache(pred_cache_);
     }
     replicas_.push_back(std::move(*replica));
   }
@@ -201,24 +217,48 @@ std::future<ServiceResponse> MatchService::Submit(ServiceRequest request) {
           "queue full: %zu queued + %zu executing at depth limit %zu",
           queue_.size(), in_flight_, options_.max_queue_depth));
     }
-    if (admit.ok() && pending->deadline_ms >= 0 && avg_exec_micros_ > 0.0) {
+    if (admit.ok() && pending->deadline_ms >= 0) {
       // Deadline-aware shedding: if the estimated queue wait alone exceeds
       // the remaining budget plus grace, execution could not even start in
       // time — fail fast instead of queueing doomed work. The estimate is
       // deliberately optimistic (assumes every worker slot drains), so
       // borderline requests are admitted and handled by the anytime path.
-      double estimated_wait_ms =
-          static_cast<double>(queue_.size() + in_flight_) * avg_exec_micros_ /
-          (1000.0 * static_cast<double>(options_.workers));
-      int64_t budget_ms = pending->deadline.remaining_millis();
-      if (estimated_wait_ms >
-          static_cast<double>(budget_ms) +
-              static_cast<double>(options_.grace_ms)) {
-        admit = Status::Unavailable(StrFormat(
-            "deadline unmeetable: estimated queue wait %.0f ms exceeds "
-            "remaining budget %lld ms + grace %lld ms",
-            estimated_wait_ms, static_cast<long long>(budget_ms),
-            static_cast<long long>(options_.grace_ms)));
+      double exec_estimate_micros = 0.0;
+      if (ewma_seeded_) {
+        exec_estimate_micros = avg_exec_micros_;
+      } else {
+        // Cold start: nothing has completed yet, so the EWMA is blind. The
+        // age of the oldest still-running execution bounds the per-request
+        // cost from below — enough to shed a zero-budget request stuck
+        // behind a long-runner without ever over-estimating. With no
+        // execution in flight the estimate stays 0 and everything admits
+        // (an idle service can start any request immediately).
+        auto now = std::chrono::steady_clock::now();
+        for (size_t s = 0; s < exec_slot_active_.size(); ++s) {
+          if (!exec_slot_active_[s]) continue;
+          double age = static_cast<double>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - exec_slot_start_[s])
+                  .count());
+          exec_estimate_micros = std::max(exec_estimate_micros, age);
+        }
+      }
+      if (exec_estimate_micros > 0.0) {
+        double estimated_wait_ms = static_cast<double>(queue_.size() +
+                                                       in_flight_) *
+                                   exec_estimate_micros /
+                                   (1000.0 *
+                                    static_cast<double>(options_.workers));
+        int64_t budget_ms = pending->deadline.remaining_millis();
+        if (estimated_wait_ms >
+            static_cast<double>(budget_ms) +
+                static_cast<double>(options_.grace_ms)) {
+          admit = Status::Unavailable(StrFormat(
+              "deadline unmeetable: estimated queue wait %.0f ms exceeds "
+              "remaining budget %lld ms + grace %lld ms",
+              estimated_wait_ms, static_cast<long long>(budget_ms),
+              static_cast<long long>(options_.grace_ms)));
+        }
       }
     }
     if (admit.ok()) {
@@ -261,12 +301,16 @@ void MatchService::WorkerLoop(size_t slot) {
       pending = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      pending->exec_start = std::chrono::steady_clock::now();
+      exec_slot_start_[slot] = pending->exec_start;
+      exec_slot_active_[slot] = 1;
     }
     ServiceResponse response = Execute(*pending, slot);
     Finalize(*pending, std::move(response));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      exec_slot_active_[slot] = 0;
     }
   }
 }
@@ -360,6 +404,13 @@ ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
           // isolation beats no worker.
           StatusOr<std::unique_ptr<LsdSystem>> fresh = factory_();
           if (fresh.ok() && *fresh != nullptr && (*fresh)->trained()) {
+            // Re-attach the shared prediction cache: the rebuilt replica
+            // is identically trained, so its content fingerprints match
+            // and the warm entries stay valid — a rebuild must not cost
+            // the fleet its cache.
+            if (pred_cache_ != nullptr) {
+              (*fresh)->SetPredictionCache(pred_cache_);
+            }
             replicas_[slot] = std::move(*fresh);
             GetServiceMetrics().replicas_rebuilt->Increment();
             std::lock_guard<std::mutex> lock(mu_);
@@ -517,10 +568,14 @@ void MatchService::Finalize(Pending& pending, ServiceResponse response) {
     stats_.retried += response.retries;
     if (response.deadline_overrun) ++stats_.deadline_overruns;
     // Smooth the execution-time estimate admission control consults.
-    double latency = static_cast<double>(response.latency_micros);
-    avg_exec_micros_ = avg_exec_micros_ == 0.0
-                           ? latency
-                           : 0.8 * avg_exec_micros_ + 0.2 * latency;
+    // Measured from dequeue, not Submit: folding queue wait into the
+    // estimate would let congestion inflate it, which inflates the wait
+    // estimate, which sheds harder — a positive feedback loop.
+    double exec_micros = static_cast<double>(ElapsedMicros(pending.exec_start));
+    avg_exec_micros_ = !ewma_seeded_
+                           ? exec_micros
+                           : 0.8 * avg_exec_micros_ + 0.2 * exec_micros;
+    ewma_seeded_ = true;
     // Mirror breaker open transitions into the counter as a delta.
     uint64_t total_opens =
         static_cast<uint64_t>(breakers_.TotalOpenTransitions());
@@ -538,6 +593,11 @@ MatchService::Stats MatchService::stats() const {
   Stats snapshot = stats_;
   snapshot.breaker_open_transitions =
       static_cast<uint64_t>(breakers_.TotalOpenTransitions());
+  if (pred_cache_ != nullptr) {
+    PredCache::Stats cache = pred_cache_->stats();
+    snapshot.pred_cache_hits = cache.hits;
+    snapshot.pred_cache_misses = cache.misses;
+  }
   return snapshot;
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/backoff.h"
 #include "common/deadline.h"
+#include "common/pred_cache.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/lsd_system.h"
@@ -96,6 +97,17 @@ struct MatchServiceOptions {
   /// Parse request text with the recovering parsers (diagnostics become
   /// report notes) instead of failing on the first malformation.
   bool lenient_parse = true;
+  /// Capacity of the prediction cache shared by every replica (0 = off).
+  /// Keys are content hashes of the trained model and the instance, so any
+  /// identically-trained replica — including one rebuilt after a poisoning
+  /// failure — reads and writes the same entries, and cached responses are
+  /// byte-identical to uncached ones. The service cache overrides whatever
+  /// `LsdConfig::pred_cache_entries` the factory's replicas were built
+  /// with. The default is sized for a few typical 50-60-listing sources
+  /// in flight at once (a source yields roughly tags × listings ×
+  /// cacheable-learners ≈ 6k entries); undersizing degrades gracefully
+  /// into LRU churn, never wrong answers.
+  size_t pred_cache_entries = 65536;
   /// Base matching options applied to every request. `skip_learners` is
   /// owned by the breaker layer and overwritten per request.
   MatchOptions match_options;
@@ -181,8 +193,19 @@ class MatchService {
     uint64_t breaker_open_transitions = 0;
     uint64_t replicas_rebuilt = 0;
     uint64_t deadline_overruns = 0;
+    /// Shared prediction-cache counters (0 when the cache is off). Hit and
+    /// miss totals depend on request interleaving under concurrency; only
+    /// hits + misses == lookups is scheduling-invariant.
+    uint64_t pred_cache_hits = 0;
+    uint64_t pred_cache_misses = 0;
   };
   Stats stats() const;
+
+  /// The replica-shared prediction cache (null when pred_cache_entries
+  /// was 0). Exposed for tests and operator tooling.
+  const std::shared_ptr<PredCache>& prediction_cache() const {
+    return pred_cache_;
+  }
 
   /// Breaker state for one learner (kClosed before any traffic).
   BreakerState breaker_state(const std::string& learner) const;
@@ -194,6 +217,9 @@ class MatchService {
     Deadline deadline;
     int64_t deadline_ms = -1;  // resolved budget; -1 = unbounded
     std::chrono::steady_clock::time_point submitted;
+    /// When a worker dequeued this request (set under mu_); the base of
+    /// the execution-time EWMA, so queue wait never inflates it.
+    std::chrono::steady_clock::time_point exec_start;
     std::promise<ServiceResponse> promise;
   };
 
@@ -234,6 +260,11 @@ class MatchService {
   /// Per-worker replicas; slot s is touched only by worker s.
   std::vector<std::unique_ptr<LsdSystem>> replicas_;
 
+  /// Prediction cache shared by every replica (null = off). Rebuilt
+  /// replicas are re-attached to the same cache; its content-hash keys
+  /// make their entries interchangeable with the old replica's.
+  std::shared_ptr<PredCache> pred_cache_;
+
   BreakerBank breakers_;
 
   std::unique_ptr<ThreadPool> pool_;
@@ -246,8 +277,17 @@ class MatchService {
   bool stopping_ = false;    // guarded by mu_
   bool workers_live_ = false;  // guarded by mu_
   size_t in_flight_ = 0;     // guarded by mu_
-  /// EWMA of execution micros, for admission's queue-wait estimate.
+  /// EWMA of execution micros (dequeue to terminal — queue wait excluded),
+  /// for admission's queue-wait estimate. `ewma_seeded_` distinguishes "no
+  /// completed request yet" from "measured ~0 µs": a 0.0 sentinel would
+  /// keep admission blind forever on sub-microsecond executions.
   double avg_exec_micros_ = 0.0;  // guarded by mu_
+  bool ewma_seeded_ = false;      // guarded by mu_
+  /// Per-slot execution start times for the cold-start admission estimate
+  /// (the age of the oldest in-flight execution bounds exec time from
+  /// below before any request has completed). Guarded by mu_.
+  std::vector<std::chrono::steady_clock::time_point> exec_slot_start_;
+  std::vector<char> exec_slot_active_;
   Stats stats_;  // guarded by mu_ (breaker_open_transitions derived)
 };
 

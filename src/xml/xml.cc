@@ -90,9 +90,10 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
-std::string XmlUnescape(std::string_view s) {
+std::string XmlUnescape(std::string_view s, size_t* n_bad) {
   std::string out;
   out.reserve(s.size());
+  size_t bad = 0;
   size_t i = 0;
   while (i < s.size()) {
     if (s[i] != '&') {
@@ -116,16 +117,40 @@ std::string XmlUnescape(std::string_view s) {
     } else if (entity == "apos") {
       out += '\'';
     } else if (!entity.empty() && entity[0] == '#') {
-      // Numeric character reference; emit as a single byte when it fits.
-      long code;
-      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
-        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
-      } else {
-        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      // Numeric character reference, parsed digit by digit: the strtol
+      // this replaces ignored its end pointer (so "&#12abc;" silently
+      // decoded as 12) and its range (so an overflowing reference decoded
+      // as LONG_MAX's low byte). Anything that is not pure digits in
+      // 1..U+10FFFF is rejected and kept verbatim.
+      bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      std::string_view digits = entity.substr(hex ? 2 : 1);
+      long code = 0;
+      bool valid = !digits.empty();
+      for (char c : digits) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (hex && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (hex && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          valid = false;
+          break;
+        }
+        code = code * (hex ? 16 : 10) + digit;
+        if (code > 0x10FFFF) {
+          valid = false;
+          break;
+        }
       }
-      if (code > 0 && code < 128) {
+      if (!valid || code == 0) {
+        out.append(s.substr(i, semi - i + 1));
+        ++bad;
+      } else if (code < 128) {
         out += static_cast<char>(code);
       } else {
+        // Representable only outside the byte-oriented data model.
         out += '?';
       }
     } else {
@@ -134,6 +159,7 @@ std::string XmlUnescape(std::string_view s) {
     }
     i = semi + 1;
   }
+  if (n_bad != nullptr) *n_bad = bad;
   return out;
 }
 

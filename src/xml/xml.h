@@ -84,8 +84,13 @@ std::string XmlEscape(std::string_view s);
 
 /// Reverses `XmlEscape` for the five predefined entities plus numeric
 /// character references (&#...; and &#x...;), leaving unknown entities
-/// verbatim.
-std::string XmlUnescape(std::string_view s);
+/// verbatim. Valid references decode to the byte for codes 1..127 and to
+/// '?' above that (the data model is byte-oriented). A malformed or
+/// out-of-range reference — no digits, a non-digit before the ';', code 0,
+/// or a code above U+10FFFF — is kept verbatim and counted in `*n_bad`
+/// when given, so callers can surface the damage instead of silently
+/// accepting garbage.
+std::string XmlUnescape(std::string_view s, size_t* n_bad = nullptr);
 
 }  // namespace lsd
 

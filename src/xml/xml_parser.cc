@@ -230,7 +230,18 @@ class Parser {
       size_t start = pos_;
       while (!AtEnd() && Peek() != quote) ++pos_;
       if (AtEnd()) return Error("unterminated attribute value");
-      std::string value = XmlUnescape(input_.substr(start, pos_ - start));
+      size_t bad_refs = 0;
+      std::string value =
+          XmlUnescape(input_.substr(start, pos_ - start), &bad_refs);
+      if (bad_refs > 0) {
+        // Malformed references were kept verbatim in `value`; strict mode
+        // rejects them, lenient mode records the recovery.
+        Status status = Error(StrFormat(
+            "%zu malformed character reference(s) in attribute '%s'",
+            bad_refs, key.c_str()));
+        if (!lenient_) return status;
+        if (!RecordDiagnostic(status)) return status;
+      }
       ++pos_;
       node->attributes.emplace_back(std::move(key), std::move(value));
     }
@@ -323,7 +334,17 @@ class Parser {
       }
       size_t start = pos_;
       while (!AtEnd() && Peek() != '<') ++pos_;
-      AppendText(node, XmlUnescape(input_.substr(start, pos_ - start)));
+      size_t bad_refs = 0;
+      std::string text =
+          XmlUnescape(input_.substr(start, pos_ - start), &bad_refs);
+      if (bad_refs > 0) {
+        Status status = Error(StrFormat(
+            "%zu malformed character reference(s) in text of element '%s'",
+            bad_refs, node->name.c_str()));
+        if (!lenient_) return status;
+        if (!RecordDiagnostic(status)) return status;
+      }
+      AppendText(node, text);
     }
   }
 

@@ -1,0 +1,62 @@
+// Unit tests for the bench harness helpers — PercentileMs in particular,
+// which every published latency table flows through.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gtest/gtest.h"
+
+namespace lsd {
+namespace {
+
+TEST(PercentileMsTest, EmptyVectorReadsZero) {
+  EXPECT_EQ(bench::PercentileMs({}, 0.5), 0.0);
+}
+
+TEST(PercentileMsTest, SingleElementIsEveryPercentile) {
+  std::vector<uint64_t> one = {1500};
+  EXPECT_EQ(bench::PercentileMs(one, 0.0), 1.5);
+  EXPECT_EQ(bench::PercentileMs(one, 0.5), 1.5);
+  EXPECT_EQ(bench::PercentileMs(one, 1.0), 1.5);
+}
+
+TEST(PercentileMsTest, NearestRankOverKnownVector) {
+  // 1..10 ms as micros.
+  std::vector<uint64_t> micros;
+  for (uint64_t v = 1; v <= 10; ++v) micros.push_back(v * 1000);
+  EXPECT_EQ(bench::PercentileMs(micros, 0.0), 1.0);
+  EXPECT_EQ(bench::PercentileMs(micros, 1.0), 10.0);
+  // rank = round(0.5 * 9) = 5 (0-indexed) -> 6 ms.
+  EXPECT_EQ(bench::PercentileMs(micros, 0.5), 6.0);
+  // rank = round(0.95 * 9) = 9 -> 10 ms.
+  EXPECT_EQ(bench::PercentileMs(micros, 0.95), 10.0);
+  // rank = round(0.25 * 9) = 2 -> 3 ms.
+  EXPECT_EQ(bench::PercentileMs(micros, 0.25), 3.0);
+}
+
+TEST(PercentileMsTest, OutOfRangePIsClamped) {
+  std::vector<uint64_t> micros = {1000, 2000, 3000};
+  EXPECT_EQ(bench::PercentileMs(micros, -0.5), 1.0);
+  EXPECT_EQ(bench::PercentileMs(micros, 7.0), 3.0);
+}
+
+TEST(PercentileMsTest, SubMillisecondValuesKeepPrecision) {
+  std::vector<uint64_t> micros = {250, 750};
+  EXPECT_EQ(bench::PercentileMs(micros, 0.0), 0.25);
+  EXPECT_EQ(bench::PercentileMs(micros, 1.0), 0.75);
+}
+
+TEST(IntFlagTest, ParsesPresentFlagAndFallsBack) {
+  const char* argv[] = {"bench", "--listings=25"};
+  EXPECT_EQ(bench::IntFlag(2, const_cast<char**>(argv), "listings", 60), 25);
+  EXPECT_EQ(bench::IntFlag(2, const_cast<char**>(argv), "samples", 3), 3);
+}
+
+TEST(BoolFlagTest, DetectsExactFlag) {
+  const char* argv[] = {"bench", "--quick"};
+  EXPECT_TRUE(bench::BoolFlag(2, const_cast<char**>(argv), "quick"));
+  EXPECT_FALSE(bench::BoolFlag(2, const_cast<char**>(argv), "slow"));
+}
+
+}  // namespace
+}  // namespace lsd

@@ -1,0 +1,415 @@
+// Prediction-cache tests: the PredCache container itself (LRU order,
+// sharding, counters, concurrency), the learner-side contracts it depends
+// on (content fingerprints, PredictBatch byte-identity with scalar
+// Predict), and the system-level invariant that justifies the whole
+// feature — cache-on output is byte-identical to cache-off, warm or cold.
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/pred_cache.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "gtest/gtest.h"
+#include "learners/content_matcher.h"
+#include "learners/format_learner.h"
+#include "learners/naive_bayes_learner.h"
+#include "learners/name_matcher.h"
+#include "ml/learner.h"
+
+namespace lsd {
+namespace {
+
+Instance MakeInstance(const std::string& tag, const std::string& path,
+                      const std::string& content) {
+  Instance instance;
+  instance.tag_name = tag;
+  instance.name_path = path;
+  instance.content = content;
+  return instance;
+}
+
+TrainingExample Example(const std::string& tag, const std::string& content,
+                        int label) {
+  TrainingExample e;
+  e.instance = MakeInstance(tag, tag, content);
+  e.label = label;
+  return e;
+}
+
+// A small real-estate training set: ADDRESS=0, DESCRIPTION=1, PHONE=2.
+std::vector<TrainingExample> RealEstateExamples() {
+  return {
+      Example("location", "Miami, FL", 0),
+      Example("location", "Boston, MA", 0),
+      Example("house-addr", "Seattle, WA", 0),
+      Example("house-addr", "Portland, OR", 0),
+      Example("comments", "Fantastic house great location", 1),
+      Example("comments", "Nice area close to river", 1),
+      Example("detailed-desc", "Great yard beautiful home", 1),
+      Example("detailed-desc", "Fantastic views must see", 1),
+      Example("contact", "(305) 729 0831", 2),
+      Example("contact", "(617) 253 1429", 2),
+      Example("phone", "(206) 753 2605", 2),
+      Example("phone", "(515) 273 4312", 2),
+  };
+}
+
+LabelSpace RealEstateLabels() {
+  return LabelSpace({"ADDRESS", "DESCRIPTION", "AGENT-PHONE"});
+}
+
+/// Instances the learner tests batch over; duplicates are intentional (a
+/// batch from a real column repeats values constantly).
+std::vector<Instance> ProbeInstances() {
+  return {
+      MakeInstance("location", "listing location", "Denver, CO"),
+      MakeInstance("phone", "listing phone", "(303) 555 0100"),
+      MakeInstance("comments", "listing comments", "charming house nice yard"),
+      MakeInstance("location", "listing location", "Denver, CO"),
+      MakeInstance("item", "listing item", ""),
+      MakeInstance("phone", "listing phone", "(303) 555 0100"),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// PredCache container
+// ---------------------------------------------------------------------------
+
+TEST(PredCacheTest, MissThenHitReturnsExactBytes) {
+  PredCache cache(64);
+  const std::vector<double> scores = {0.1 + 0.2, 1.0 / 3.0, 1e-300};
+  std::vector<double> out = {7.0};
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  EXPECT_EQ(out, std::vector<double>{7.0});  // miss leaves output untouched
+  cache.Insert(1, 2, scores);
+  ASSERT_TRUE(cache.Lookup(1, 2, &out));
+  ASSERT_EQ(out.size(), scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    // Bitwise equality, not approximate: a hit must replay the exact bytes.
+    EXPECT_EQ(out[i], scores[i]);
+  }
+  PredCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PredCacheTest, KeysAreLearnerScoped) {
+  PredCache cache(64);
+  cache.Insert(1, 42, {1.0});
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(2, 42, &out));  // other learner, same instance
+  EXPECT_TRUE(cache.Lookup(1, 42, &out));
+}
+
+TEST(PredCacheTest, LruEvictionIsDeterministicWithinAShard) {
+  // 32 entries over 16 shards = capacity 2 per shard. All three keys land
+  // in shard 3 (hash ≡ 3 mod 16), so the shard's LRU order is fully
+  // observable.
+  PredCache cache(32);
+  const uint64_t a = 3, b = 19, c = 35;
+  ASSERT_EQ(PredCache::ShardIndex(a), PredCache::ShardIndex(b));
+  ASSERT_EQ(PredCache::ShardIndex(a), PredCache::ShardIndex(c));
+  cache.Insert(1, a, {1.0});
+  cache.Insert(1, b, {2.0});
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Lookup(1, a, &out));  // refresh a: b is now LRU
+  cache.Insert(1, c, {3.0});              // evicts b
+  EXPECT_TRUE(cache.Lookup(1, a, &out));
+  EXPECT_TRUE(cache.Lookup(1, c, &out));
+  EXPECT_FALSE(cache.Lookup(1, b, &out));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PredCacheTest, CapacityFloorIsOneEntryPerShard) {
+  PredCache cache(1);  // far below kShards; every shard still holds one
+  cache.Insert(1, 5, {1.0});
+  cache.Insert(1, 21, {2.0});  // same shard as 5: evicts it
+  cache.Insert(1, 6, {3.0});   // different shard: coexists
+  std::vector<double> out;
+  EXPECT_FALSE(cache.Lookup(1, 5, &out));
+  EXPECT_TRUE(cache.Lookup(1, 21, &out));
+  EXPECT_TRUE(cache.Lookup(1, 6, &out));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PredCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  PredCache cache(64);
+  cache.Insert(1, 2, {1.0});
+  cache.Insert(1, 2, {1.0});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PredCacheTest, ClearDropsEntriesKeepsCumulativeStats) {
+  PredCache cache(64);
+  cache.Insert(1, 2, {1.0});
+  std::vector<double> out;
+  ASSERT_TRUE(cache.Lookup(1, 2, &out));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1, 2, &out));
+  PredCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(PredCacheTest, ConcurrentAccessKeepsCountersConsistent) {
+  // Also runs under TSan via scripts/check.sh. Hit/miss split varies with
+  // interleaving; hits + misses == lookups never does.
+  PredCache cache(128);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      std::vector<double> out;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t hash = static_cast<uint64_t>((t * 31 + i) % 200);
+        if (!cache.Lookup(1, hash, &out)) {
+          cache.Insert(1, hash, {static_cast<double>(hash)});
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  PredCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_GT(stats.hits, 0u);
+  // Values are keyed by content, so whatever survived is correct.
+  std::vector<double> out;
+  for (uint64_t hash = 0; hash < 200; ++hash) {
+    if (cache.Lookup(1, hash, &out)) {
+      ASSERT_EQ(out.size(), 1u);
+      EXPECT_EQ(out[0], static_cast<double>(hash));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instance hashing and learner fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(InstanceCacheHashTest, SensitiveToEveryValueField) {
+  Instance base = MakeInstance("phone", "listing phone", "(111) 222 3333");
+  base.name_synonyms = "telephone";
+  uint64_t h = InstanceCacheHash(base);
+  EXPECT_EQ(h, InstanceCacheHash(base));
+
+  Instance other = base;
+  other.content = "(111) 222 3334";
+  EXPECT_NE(InstanceCacheHash(other), h);
+  other = base;
+  other.tag_name = "fax";
+  EXPECT_NE(InstanceCacheHash(other), h);
+  other = base;
+  other.name_path = "listing contact phone";
+  EXPECT_NE(InstanceCacheHash(other), h);
+  other = base;
+  other.name_synonyms = "";
+  EXPECT_NE(InstanceCacheHash(other), h);
+
+  // Bookkeeping fields are excluded: the same value in a different listing
+  // must share one entry.
+  other = base;
+  other.listing_index = 99;
+  EXPECT_EQ(InstanceCacheHash(other), h);
+}
+
+TEST(FingerprintTest, ModelBytesFingerprintIsContentDetermined) {
+  EXPECT_EQ(FingerprintModelBytes("nb", "model-bytes"),
+            FingerprintModelBytes("nb", "model-bytes"));
+  EXPECT_NE(FingerprintModelBytes("nb", "model-bytes"),
+            FingerprintModelBytes("whirl", "model-bytes"));
+  EXPECT_NE(FingerprintModelBytes("nb", "model-bytes"),
+            FingerprintModelBytes("nb", "other-bytes"));
+  EXPECT_NE(FingerprintModelBytes("nb", ""), 0u);
+}
+
+TEST(FingerprintTest, UntrainedLearnersAreUncacheable) {
+  EXPECT_EQ(NaiveBayesLearner().CacheFingerprint(), 0u);
+  EXPECT_EQ(ContentMatcher().CacheFingerprint(), 0u);
+  EXPECT_EQ(FormatLearner().CacheFingerprint(), 0u);
+  EXPECT_EQ(NameMatcher().CacheFingerprint(), 0u);
+}
+
+TEST(FingerprintTest, IdenticallyTrainedLearnersShareAFingerprint) {
+  LabelSpace labels = RealEstateLabels();
+  NaiveBayesLearner a, b;
+  ASSERT_TRUE(a.Train(RealEstateExamples(), labels).ok());
+  ASSERT_TRUE(b.Train(RealEstateExamples(), labels).ok());
+  EXPECT_NE(a.CacheFingerprint(), 0u);
+  EXPECT_EQ(a.CacheFingerprint(), b.CacheFingerprint());
+
+  // A learner restored from the serialized model is the same content.
+  auto model = a.SerializeModel();
+  ASSERT_TRUE(model.ok());
+  NaiveBayesLearner restored;
+  ASSERT_TRUE(restored.LoadModel(*model).ok());
+  EXPECT_EQ(restored.CacheFingerprint(), a.CacheFingerprint());
+
+  // Different training data must produce a different fingerprint.
+  std::vector<TrainingExample> fewer = RealEstateExamples();
+  fewer.pop_back();
+  NaiveBayesLearner c;
+  ASSERT_TRUE(c.Train(fewer, labels).ok());
+  EXPECT_NE(c.CacheFingerprint(), a.CacheFingerprint());
+}
+
+TEST(FingerprintTest, RetrainingResetsTheFingerprint) {
+  LabelSpace labels = RealEstateLabels();
+  NaiveBayesLearner learner;
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), labels).ok());
+  uint64_t before = learner.CacheFingerprint();
+  std::vector<TrainingExample> fewer = RealEstateExamples();
+  fewer.pop_back();
+  ASSERT_TRUE(learner.Train(fewer, labels).ok());
+  EXPECT_NE(learner.CacheFingerprint(), before);
+}
+
+// ---------------------------------------------------------------------------
+// PredictBatch == Predict, bit for bit
+// ---------------------------------------------------------------------------
+
+void ExpectBatchMatchesScalar(const BaseLearner& learner) {
+  std::vector<Instance> instances = ProbeInstances();
+  std::vector<const Instance*> batch;
+  for (const Instance& instance : instances) batch.push_back(&instance);
+  std::vector<Prediction> batched;
+  learner.PredictBatch(batch, &batched);
+  ASSERT_EQ(batched.size(), instances.size());
+  for (size_t i = 0; i < instances.size(); ++i) {
+    Prediction scalar = learner.Predict(instances[i]);
+    ASSERT_EQ(batched[i].scores.size(), scalar.scores.size()) << i;
+    for (size_t c = 0; c < scalar.scores.size(); ++c) {
+      // Exact equality: the cache depends on batched predictions being
+      // byte-identical to scalar ones, not merely close.
+      EXPECT_EQ(batched[i].scores[c], scalar.scores[c])
+          << learner.name() << " instance " << i << " class " << c;
+    }
+  }
+}
+
+TEST(PredictBatchTest, NaiveBayesLearnerMatchesScalarExactly) {
+  NaiveBayesLearner learner;
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), RealEstateLabels()).ok());
+  ExpectBatchMatchesScalar(learner);
+}
+
+TEST(PredictBatchTest, ContentMatcherMatchesScalarExactly) {
+  ContentMatcher learner;
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), RealEstateLabels()).ok());
+  ExpectBatchMatchesScalar(learner);
+}
+
+TEST(PredictBatchTest, FormatLearnerMatchesScalarExactly) {
+  FormatLearner learner;
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), RealEstateLabels()).ok());
+  ExpectBatchMatchesScalar(learner);
+}
+
+TEST(PredictBatchTest, NameMatcherDefaultLoopMatchesScalarExactly) {
+  NameMatcher learner;
+  ASSERT_TRUE(learner.Train(RealEstateExamples(), RealEstateLabels()).ok());
+  ExpectBatchMatchesScalar(learner);
+}
+
+TEST(PredictBatchTest, UntrainedBatchMatchesUntrainedScalar) {
+  ExpectBatchMatchesScalar(NaiveBayesLearner());
+  ExpectBatchMatchesScalar(ContentMatcher());
+  ExpectBatchMatchesScalar(FormatLearner());
+}
+
+// ---------------------------------------------------------------------------
+// System-level: cache-on output is byte-identical to cache-off
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<LsdSystem> TrainedSystem(const Domain& domain,
+                                         size_t pred_cache_entries) {
+  LsdConfig config;
+  config.pred_cache_entries = pred_cache_entries;
+  auto system = std::make_unique<LsdSystem>(domain.mediated, config,
+                                            &domain.synonyms);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(system
+                    ->AddTrainingSource(domain.sources[s].source,
+                                        domain.sources[s].gold)
+                    .ok());
+  }
+  EXPECT_TRUE(system->Train().ok());
+  return system;
+}
+
+void ExpectIdenticalResults(const MatchResult& a, const MatchResult& b) {
+  EXPECT_EQ(a.mapping.ToString(), b.mapping.ToString());
+  ASSERT_EQ(a.tags, b.tags);
+  for (size_t t = 0; t < a.tags.size(); ++t) {
+    ASSERT_EQ(a.tag_predictions[t].scores.size(),
+              b.tag_predictions[t].scores.size());
+    for (size_t c = 0; c < a.tag_predictions[t].scores.size(); ++c) {
+      EXPECT_EQ(a.tag_predictions[t].scores[c], b.tag_predictions[t].scores[c])
+          << a.tags[t] << " class " << c;
+    }
+  }
+}
+
+TEST(PredCacheSystemTest, CachedMatchIsByteIdenticalColdAndWarm) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     /*listings=*/25, /*seed=*/7);
+  ASSERT_TRUE(domain.ok());
+  std::unique_ptr<LsdSystem> uncached = TrainedSystem(*domain, 0);
+  std::unique_ptr<LsdSystem> cached = TrainedSystem(*domain, 4096);
+  ASSERT_EQ(uncached->prediction_cache(), nullptr);
+  ASSERT_NE(cached->prediction_cache(), nullptr);
+
+  const DataSource& target = domain->sources[4].source;
+  auto baseline = uncached->MatchSource(target);
+  ASSERT_TRUE(baseline.ok());
+
+  // Cold pass: every lookup misses, output must not change.
+  auto cold = cached->MatchSource(target);
+  ASSERT_TRUE(cold.ok());
+  ExpectIdenticalResults(*baseline, *cold);
+  PredCache::Stats after_cold = cached->prediction_cache()->stats();
+  EXPECT_EQ(after_cold.hits, 0u);
+  EXPECT_GT(after_cold.insertions, 0u);
+
+  // Warm pass: the same request served from the cache, still identical.
+  auto warm = cached->MatchSource(target);
+  ASSERT_TRUE(warm.ok());
+  ExpectIdenticalResults(*baseline, *warm);
+  PredCache::Stats after_warm = cached->prediction_cache()->stats();
+  EXPECT_GT(after_warm.hits, 0u);
+}
+
+TEST(PredCacheSystemTest, ReplicasShareWarmEntriesThroughOneCache) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     /*listings=*/25, /*seed=*/7);
+  ASSERT_TRUE(domain.ok());
+  // Two independently trained (but identical) replicas attached to one
+  // cache — the MatchService topology. The second replica's first match
+  // must hit on entries the first replica wrote.
+  std::unique_ptr<LsdSystem> first = TrainedSystem(*domain, 0);
+  std::unique_ptr<LsdSystem> second = TrainedSystem(*domain, 0);
+  auto shared = std::make_shared<PredCache>(4096);
+  first->SetPredictionCache(shared);
+  second->SetPredictionCache(shared);
+
+  const DataSource& target = domain->sources[3].source;
+  auto through_first = first->MatchSource(target);
+  ASSERT_TRUE(through_first.ok());
+  uint64_t hits_before = shared->stats().hits;
+  auto through_second = second->MatchSource(target);
+  ASSERT_TRUE(through_second.ok());
+  EXPECT_GT(shared->stats().hits, hits_before);
+  ExpectIdenticalResults(*through_first, *through_second);
+}
+
+}  // namespace
+}  // namespace lsd

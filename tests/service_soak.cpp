@@ -15,6 +15,10 @@
 //                               reopens under fault and closes after it
 //   E  expired deadlines      — 0 ms budgets degrade to the anytime path,
 //                               never fail, never overrun deadline+grace
+//   F  prediction-cache parity— the same traffic through a cache-off and a
+//                               cache-on service yields byte-identical
+//                               responses, cold and warm, with nonzero
+//                               hits on the warm wave
 //
 // Every phase's per-request record (outcome, attempts, fingerprint or
 // error code) is compared byte-for-byte against the 1-worker baseline:
@@ -485,6 +489,66 @@ void PhaseE_Deadlines(Fixture& fixture, size_t workers, RecordMap* records) {
   SOAK_CHECK((*service)->stats().deadline_overruns == 0, "E overruns");
 }
 
+void PhaseF_CacheParity(Fixture& fixture, size_t workers, size_t waves,
+                        RecordMap* records) {
+  // Two identical services — one with the prediction cache disabled, one
+  // with it on — see the same two waves of traffic. The second wave is
+  // warm for the cached service, so it exercises the hit path end to end.
+  // The cache may only change when prediction work happens, never what a
+  // response contains, so every record must match byte for byte.
+  MatchServiceOptions off_options = BaseOptions(workers);
+  off_options.pred_cache_entries = 0;
+  MatchServiceOptions on_options = BaseOptions(workers);
+  on_options.pred_cache_entries = 4096;
+  auto off = MatchService::Create(fixture.Factory(), off_options);
+  auto on = MatchService::Create(fixture.Factory(), on_options);
+  SOAK_CHECK(off.ok(), "create: %s", off.status().ToString().c_str());
+  SOAK_CHECK(on.ok(), "create: %s", on.status().ToString().c_str());
+
+  auto drive = [&](MatchService* service) {
+    RecordMap out;
+    for (const char* pass : {"cold", "warm"}) {
+      std::vector<std::future<ServiceResponse>> futures;
+      for (size_t i = 0; i < waves; ++i) {
+        futures.push_back((*service).Submit(
+            MakeRequest(std::string("fc-") + pass + "-" + std::to_string(i),
+                        i % kVariantCount, i % 4)));
+      }
+      for (auto& future : futures) {
+        ServiceResponse r = future.get();
+        SOAK_CHECK(r.outcome == RequestOutcome::kOk, "%s: %s", r.id.c_str(),
+                   r.status.ToString().c_str());
+        NoOverrun(r);
+        out["F/" + r.id] = Record(r);
+      }
+    }
+    return out;
+  };
+
+  RecordMap off_records = drive((*off).get());
+  RecordMap on_records = drive((*on).get());
+  SOAK_CHECK(off_records.size() == on_records.size(),
+             "F request sets diverged");
+  for (const auto& [id, record] : off_records) {
+    auto it = on_records.find(id);
+    SOAK_CHECK(it != on_records.end(), "%s missing from cache-on run",
+               id.c_str());
+    SOAK_CHECK(record == it->second,
+               "%s: cache changed the bytes:\n  off: %s\n  on:  %s",
+               id.c_str(), record.c_str(), it->second.c_str());
+    (*records)[id] = record;
+  }
+
+  MatchService::Stats off_stats = (*off)->stats();
+  MatchService::Stats on_stats = (*on)->stats();
+  SOAK_CHECK(off_stats.pred_cache_hits == 0 && off_stats.pred_cache_misses == 0,
+             "cache-off service recorded cache traffic");
+  SOAK_CHECK(on_stats.pred_cache_hits > 0,
+             "warm wave produced no cache hits (misses=%llu)",
+             (unsigned long long)on_stats.pred_cache_misses);
+  SOAK_CHECK(on_stats.pred_cache_misses > 0, "cold wave never missed");
+}
+
 RecordMap RunAllPhases(Fixture& fixture, size_t workers, size_t waves) {
   RecordMap records;
   PhaseA_Healthy(fixture, workers, waves, &records);
@@ -492,6 +556,7 @@ RecordMap RunAllPhases(Fixture& fixture, size_t workers, size_t waves) {
   PhaseC_Chaos(fixture, workers, waves, &records);
   PhaseD_BreakerLifecycle(fixture, workers, &records);
   PhaseE_Deadlines(fixture, workers, &records);
+  PhaseF_CacheParity(fixture, workers, waves, &records);
   return records;
 }
 

@@ -5,11 +5,13 @@
 // here waits on wall-clock time.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -345,6 +347,58 @@ TEST_F(ServiceTest, UnmeetableDeadlineIsShedAtAdmission) {
 
   gate->Open();
   EXPECT_EQ(blocked.get().outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServiceTest, ColdStartShedsBehindALongRunnerBeforeAnyCompletion) {
+  // Before any request completes, the execution-time EWMA is unseeded;
+  // admission falls back to the age of the oldest in-flight execution.
+  // A zero-budget, zero-grace request stuck behind a held worker must be
+  // shed even in that cold window — the old sentinel-based gate admitted
+  // everything until the first completion.
+  auto gate = std::make_shared<Gate>();
+  gate->Hold("blocker");
+  MatchServiceOptions options = FastOptions();
+  options.grace_ms = 0;
+  options.execute_interceptor = [gate](const ServiceRequest& r) {
+    (*gate)(r);
+  };
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  // No warmup: the first submission goes straight to the gate.
+  std::future<ServiceResponse> blocked =
+      (*service)->Submit(TargetRequest("blocker"));
+  gate->Await();
+  // Let the in-flight execution age measurably (the estimate only needs
+  // any nonzero age; a couple of milliseconds keeps it robust).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+  ServiceRequest doomed = TargetRequest("doomed");
+  doomed.deadline_ms = 0;
+  ServiceResponse shed = (*service)->Submit(std::move(doomed)).get();
+  EXPECT_EQ(shed.outcome, RequestOutcome::kShed);
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(shed.status.message().find("deadline unmeetable"),
+            std::string::npos);
+
+  gate->Open();
+  EXPECT_EQ(blocked.get().outcome, RequestOutcome::kOk);
+}
+
+TEST_F(ServiceTest, ColdStartAdmitsDeadlineRequestsOnAnIdleService) {
+  // The other half of the cold-start contract: with nothing queued and
+  // nothing executing, a cold service has no evidence of cost and must
+  // admit even a zero-budget request (it degrades through the anytime
+  // path rather than being shed).
+  MatchServiceOptions options = FastOptions();
+  options.grace_ms = 0;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceRequest request = TargetRequest("expired-but-idle");
+  request.deadline_ms = 0;
+  ServiceResponse response = (*service)->Process(std::move(request));
+  EXPECT_NE(response.outcome, RequestOutcome::kShed);
+  EXPECT_TRUE(response.status.ok()) << response.status.ToString();
 }
 
 TEST_F(ServiceTest, AdmissionFaultSeamShedsTheMatchingRequest) {

@@ -70,6 +70,43 @@ TEST(XmlEscapeTest, NumericReferences) {
   EXPECT_EQ(XmlUnescape("&unknown;"), "&unknown;");
 }
 
+TEST(XmlEscapeTest, MalformedNumericReferencesKeptVerbatimAndCounted) {
+  size_t bad = 0;
+  // Non-digit garbage after the prefix.
+  EXPECT_EQ(XmlUnescape("&#12abc;", &bad), "&#12abc;");
+  EXPECT_EQ(bad, 1u);
+  // Overflow past any valid code point (previously wrapped via atoi/strtol
+  // truncation instead of being rejected).
+  EXPECT_EQ(XmlUnescape("&#99999999999999999999;", &bad),
+            "&#99999999999999999999;");
+  EXPECT_EQ(bad, 1u);
+  // NUL is never a valid character reference.
+  EXPECT_EQ(XmlUnescape("&#0;&#x0;", &bad), "&#0;&#x0;");
+  EXPECT_EQ(bad, 2u);
+  // Empty digit payloads.
+  EXPECT_EQ(XmlUnescape("&#;&#x;", &bad), "&#;&#x;");
+  EXPECT_EQ(bad, 2u);
+  // Mixed good and bad in one string: only the bad ones survive verbatim.
+  EXPECT_EQ(XmlUnescape("&#65;&#xZZ;&#66;", &bad), "A&#xZZ;B");
+  EXPECT_EQ(bad, 1u);
+}
+
+TEST(XmlEscapeTest, SupplementaryCodePointsDegradeToPlaceholder) {
+  // Valid references above ASCII are in-range XML but outside this
+  // byte-oriented pipeline's alphabet; they decode to '?' and do not
+  // count as malformed.
+  size_t bad = 0;
+  EXPECT_EQ(XmlUnescape("&#x1F600;", &bad), "?");
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(XmlUnescape("&#233;", &bad), "?");  // e-acute
+  EXPECT_EQ(bad, 0u);
+  // The maximum Unicode scalar is valid; one past it is not.
+  EXPECT_EQ(XmlUnescape("&#x10FFFF;", &bad), "?");
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(XmlUnescape("&#x110000;", &bad), "&#x110000;");
+  EXPECT_EQ(bad, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // XML parser
 // ---------------------------------------------------------------------------
@@ -111,6 +148,37 @@ TEST(XmlParserTest, ParsesAttributes) {
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->root.Attribute("id"), "1");
   EXPECT_EQ(doc->root.Attribute("name"), "two & three");
+}
+
+TEST(XmlParserTest, StrictModeRejectsMalformedCharacterReferences) {
+  // In text content.
+  auto doc = ParseXml("<a>bad &#12abc; ref</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("malformed character reference"),
+            std::string::npos);
+  // In an attribute value.
+  auto attr = ParseXml(R"(<a name="x&#xZZ;y"/>)");
+  ASSERT_FALSE(attr.ok());
+  EXPECT_EQ(attr.status().code(), StatusCode::kParseError);
+  EXPECT_NE(attr.status().message().find("attribute"), std::string::npos);
+}
+
+TEST(XmlParserTest, LenientModeRecordsMalformedReferencesAsDiagnostics) {
+  auto report = ParseXmlLenient(
+      R"(<a name="x&#xZZ;"><b>keep &#0; going</b></a>)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->document.root.name, "a");
+  // The malformed references stay verbatim in the recovered document...
+  EXPECT_EQ(report->document.root.Attribute("name"), "x&#xZZ;");
+  ASSERT_EQ(report->document.root.children.size(), 1u);
+  EXPECT_EQ(report->document.root.children[0].text, "keep &#0; going");
+  // ...and each site is reported.
+  ASSERT_EQ(report->diagnostics.size(), 2u);
+  EXPECT_NE(report->diagnostics[0].message.find("attribute"),
+            std::string::npos);
+  EXPECT_NE(report->diagnostics[1].message.find("text of element"),
+            std::string::npos);
 }
 
 TEST(XmlParserTest, SelfClosingTag) {

@@ -65,15 +65,36 @@ int Run(int argc, char** argv) {
     } else if (arg == "--sources") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      sources = static_cast<size_t>(std::atoi(v));
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--sources expects a non-negative integer, got: %s\n", v);
+        return 2;
+      }
+      sources = static_cast<size_t>(parsed);
     } else if (arg == "--listings") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      listings = static_cast<size_t>(std::atoi(v));
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--listings expects a non-negative integer, got: %s\n", v);
+        return 2;
+      }
+      listings = static_cast<size_t>(parsed);
     } else if (arg == "--seed") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      seed = static_cast<uint64_t>(std::atoll(v));
+      char* end = nullptr;
+      unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *end != '\0') {
+        std::fprintf(stderr, "--seed expects an unsigned integer, got: %s\n",
+                     v);
+        return 2;
+      }
+      seed = static_cast<uint64_t>(parsed);
     } else if (arg == "--threads") {
       const char* v = next_value();
       if (v == nullptr) return 2;

@@ -13,6 +13,7 @@
 //             [--gold tgt.mapping] [--no-xml-learner] [--no-meta]
 //             [--no-constraint-handler] [--county-label LABEL]
 //             [--threads N]          (0 = all cores, 1 = serial; default 1)
+//             [--pred-cache N]       (prediction cache capacity; 0 = off)
 //             [--strict | --lenient] (failure policy; default --strict)
 //             [--deadline-ms N]      (anytime matching budget)
 //             [--save-model FILE]    (persist the trained system)
@@ -80,7 +81,7 @@ void Usage() {
                " --target T.dtd T.xml [--constraints F]"
                " [--feedback \"tag <=> LABEL\"] [--gold T.mapping]"
                " [--no-xml-learner] [--no-meta] [--no-constraint-handler]"
-               " [--county-label LABEL] [--threads N]"
+               " [--county-label LABEL] [--threads N] [--pred-cache N]"
                " [--strict|--lenient] [--deadline-ms N]"
                " [--save-model FILE] [--load-model FILE]"
                " [--checkpoint DIR] [--resume]"
@@ -205,6 +206,20 @@ int Run(int argc, char** argv) {
         return kExitHardFailure;
       }
       config.num_threads = static_cast<size_t>(parsed);
+    } else if (arg == "--pred-cache") {
+      // Caching changes only speed: cached output is byte-identical to
+      // uncached (the invariant check.sh's cache smoke compares).
+      std::string value;
+      if (!next(&value)) { Usage(); return kExitHardFailure; }
+      char* end = nullptr;
+      long parsed = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "--pred-cache expects a non-negative integer, got: %s\n",
+                     value.c_str());
+        return kExitHardFailure;
+      }
+      config.pred_cache_entries = static_cast<size_t>(parsed);
     } else if (arg == "--strict") {
       lenient = false;
     } else if (arg == "--lenient") {

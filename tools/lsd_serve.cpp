@@ -17,6 +17,8 @@
 //             [--retries N]        (max retries per request; default 2)
 //             [--breaker-threshold N] (consecutive failures to open; 0 = off)
 //             [--breaker-skips N]  (free skips while open before a probe)
+//             [--pred-cache N]     (shared prediction-cache capacity;
+//                                   0 = off; default 65536)
 //             [--seed N]           (backoff jitter seed; default 42)
 //             [--strict]           (strict parsing; default is lenient)
 //             [--print-mappings]   (dump each successful mapping to stdout)
@@ -65,7 +67,8 @@ void Usage() {
                " --train S.dtd S.xml S.mapping [--train ...]"
                " --requests FILE [--workers N] [--queue-depth N]"
                " [--deadline-ms N] [--grace-ms N] [--retries N]"
-               " [--breaker-threshold N] [--breaker-skips N] [--seed N]"
+               " [--breaker-threshold N] [--breaker-skips N]"
+               " [--pred-cache N] [--seed N]"
                " [--strict] [--print-mappings] [--metrics-out FILE]\n");
 }
 
@@ -190,6 +193,9 @@ int Run(int argc, char** argv) {
     } else if (arg == "--breaker-skips") {
       if (!next_count(&count)) return kExitHardFailure;
       options.breaker.open_skips = static_cast<size_t>(count);
+    } else if (arg == "--pred-cache") {
+      if (!next_count(&count)) return kExitHardFailure;
+      options.pred_cache_entries = static_cast<size_t>(count);
     } else if (arg == "--seed") {
       if (!next_count(&count)) return kExitHardFailure;
       options.seed = static_cast<uint64_t>(count);
@@ -322,6 +328,15 @@ int Run(int argc, char** argv) {
                (unsigned long long)stats.breaker_open_transitions,
                (unsigned long long)stats.replicas_rebuilt,
                (unsigned long long)stats.deadline_overruns);
+  uint64_t lookups = stats.pred_cache_hits + stats.pred_cache_misses;
+  std::fprintf(stderr,
+               "pred-cache: hits=%llu misses=%llu hit-rate=%.1f%%\n",
+               (unsigned long long)stats.pred_cache_hits,
+               (unsigned long long)stats.pred_cache_misses,
+               lookups == 0 ? 0.0
+                            : 100.0 * static_cast<double>(
+                                          stats.pred_cache_hits) /
+                                  static_cast<double>(lookups));
 
   if (!metrics_out.empty()) {
     Status written = WriteStringToFile(
