@@ -7,6 +7,11 @@
 // offered load; admission control decides what fits) and waits for every
 // future. Latencies come from the service's own submit-to-terminal clock.
 //
+// A second table measures reload-under-load: a full-queue burst with one
+// shadow-validated hot swap issued mid-drain, reporting the latency
+// percentiles beside the Reload() wall time — the p99 delta against the
+// plain burst is what a live model swap costs concurrent traffic.
+//
 // Flags:
 //   --listings=N     listings per generated source (default 60)
 //   --quick          30 listings, smallest sweep
@@ -55,6 +60,19 @@ struct Cell {
   size_t admitted = 0, shed = 0, failed = 0;
   /// Prediction-cache hit rate over the cell's traffic, percent.
   double hit_rate_pct = 0.0;
+};
+
+/// One reload-under-load measurement: the same burst, with one
+/// shadow-validated hot swap issued while the burst is draining.
+struct ReloadCell {
+  size_t workers = 0;
+  size_t burst = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  /// Wall time of the Reload() call itself: candidate builds + shadow
+  /// validation + epoch publication, all off the request hot path.
+  double reload_ms = 0.0;
+  size_t admitted = 0, shed = 0, failed = 0;
 };
 
 }  // namespace
@@ -199,6 +217,98 @@ int main(int argc, char** argv) {
   }
   bench::Rule(100);
 
+  // Reload-under-load: one shadow-validated hot swap (identically trained
+  // candidate, golden-gated) issued while a full-queue burst drains. The
+  // p99 here against the cache-off row above is the latency price of a
+  // live swap; admitted/shed must match the plain burst exactly — the
+  // swap itself may never cost a request.
+  std::vector<ReloadCell> reload_cells;
+  const size_t reload_burst = queue_depth;
+  std::printf("\nreload under load: one hot swap mid-burst (burst=%zu)\n",
+              reload_burst);
+  bench::Rule(100);
+  std::printf("%7s | %6s | %8s | %8s %8s %8s | %9s | %6s %5s\n", "Workers",
+              "Burst", "Wall s", "p50 ms", "p95 ms", "p99 ms", "Reload ms",
+              "Admit", "Shed");
+  bench::Rule(100);
+  for (size_t workers : worker_counts) {
+    MatchServiceOptions options;
+    options.workers = workers;
+    options.max_queue_depth = queue_depth;
+    for (size_t g = 0; g < payloads.size(); ++g) {
+      ServiceRequest golden;
+      golden.id = "golden-" + std::to_string(g);
+      golden.dtd_text = payloads[g].dtd_text;
+      golden.xml_text = payloads[g].xml_text;
+      options.golden_requests.push_back(std::move(golden));
+    }
+    auto service = MatchService::Create(factory, options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<ServiceResponse>> futures;
+    futures.reserve(reload_burst);
+    for (size_t i = 0; i < reload_burst; ++i) {
+      ServiceRequest request;
+      request.id = "r" + std::to_string(i);
+      request.dtd_text = payloads[i % payloads.size()].dtd_text;
+      request.xml_text = payloads[i % payloads.size()].xml_text;
+      futures.push_back((*service)->Submit(std::move(request)));
+    }
+    MatchService::ReloadOptions reload;
+    reload.factory = factory;
+    auto r0 = std::chrono::steady_clock::now();
+    auto report = (*service)->Reload(std::move(reload));
+    auto r1 = std::chrono::steady_clock::now();
+    if (!report.ok() || !report->swapped) {
+      std::fprintf(stderr, "error: reload under load not adopted: %s\n",
+                   report.ok() ? report->rejection.c_str()
+                               : report.status().ToString().c_str());
+      return 1;
+    }
+    ReloadCell cell;
+    cell.workers = workers;
+    cell.burst = reload_burst;
+    cell.reload_ms =
+        std::chrono::duration<double, std::milli>(r1 - r0).count();
+    std::vector<uint64_t> latencies;
+    for (auto& future : futures) {
+      ServiceResponse r = future.get();
+      switch (r.outcome) {
+        case RequestOutcome::kShed:
+          ++cell.shed;
+          break;
+        case RequestOutcome::kFailed:
+          ++cell.failed;
+          break;
+        default:
+          ++cell.admitted;
+          latencies.push_back(r.latency_micros);
+      }
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    (*service)->Stop();
+    if (cell.failed != 0 || cell.shed != 0) {
+      std::fprintf(stderr,
+                   "error: hot swap cost traffic: %zu failed, %zu shed\n",
+                   cell.failed, cell.shed);
+      return 1;
+    }
+    cell.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    std::sort(latencies.begin(), latencies.end());
+    cell.p50_ms = bench::PercentileMs(latencies, 0.50);
+    cell.p95_ms = bench::PercentileMs(latencies, 0.95);
+    cell.p99_ms = bench::PercentileMs(latencies, 0.99);
+    std::printf("%7zu | %6zu | %8.3f | %8.1f %8.1f %8.1f | %9.1f | %6zu %5zu\n",
+                cell.workers, cell.burst, cell.wall_seconds, cell.p50_ms,
+                cell.p95_ms, cell.p99_ms, cell.reload_ms, cell.admitted,
+                cell.shed);
+    reload_cells.push_back(cell);
+  }
+  bench::Rule(100);
+
   std::string json = "{\n  \"bench\": \"bench_service\",\n";
   json += StrFormat("  \"listings\": %zu,\n", listings);
   json += StrFormat("  \"queue_depth\": %zu,\n", queue_depth);
@@ -215,6 +325,17 @@ int main(int argc, char** argv) {
         cell.wall_seconds, cell.throughput_rps,
         cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.admitted, cell.shed,
         cell.hit_rate_pct, i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  json += "  ],\n  \"reload_results\": [\n";
+  for (size_t i = 0; i < reload_cells.size(); ++i) {
+    const ReloadCell& cell = reload_cells[i];
+    json += StrFormat(
+        "    {\"workers\": %zu, \"burst\": %zu, \"wall_seconds\": %.4f, "
+        "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+        "\"reload_ms\": %.2f, \"admitted\": %zu, \"shed\": %zu}%s",
+        cell.workers, cell.burst, cell.wall_seconds, cell.p50_ms, cell.p95_ms,
+        cell.p99_ms, cell.reload_ms, cell.admitted, cell.shed,
+        i + 1 < reload_cells.size() ? ",\n" : "\n");
   }
   json += "  ]\n}\n";
   if (!out_path.empty()) {

@@ -90,22 +90,62 @@ echo "== TSan build =="
 cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test \
-    pred_cache_test service_soak
+    pred_cache_test service_test service_soak
 
-echo "== TSan tests (threaded metrics + runtime) =="
+echo "== TSan tests (threaded metrics + runtime + model lifecycle) =="
+# The ServiceTest filter pins the hot-reload machinery (shadow validation,
+# epoch swap, probation rollback) and the Submit/Stop race under TSan.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'MetricsTest|TraceTest|ThreadPool|Parallel|PredCache'
+    -R 'MetricsTest|TraceTest|ThreadPool|Parallel|PredCache|ServiceTest.Reload|ServiceTest.Shadow|ServiceTest.Probation|ServiceTest.Swap|ServiceTest.Concurrent'
 
 echo "== TSan service chaos soak =="
-# The full service stack — queue, workers, admission, retries, breakers —
-# under ThreadSanitizer, with outputs byte-compared across worker counts.
+# The full service stack — queue, workers, admission, retries, breakers,
+# hot reload and rollback — under ThreadSanitizer, with outputs
+# byte-compared across worker counts.
 ./build-tsan/tests/service_soak --quick
+
+echo "== TSan reload-under-load smoke (lsd_serve RELOAD) =="
+# End-to-end hot swap through the CLI under ThreadSanitizer: requests in
+# flight on both sides of a RELOAD directive, golden-gated through the
+# on-disk registry. Training is deterministic, so the re-loaded model is
+# byte-identical to the serving baseline and the swap must be adopted.
+cmake --build build-tsan -j "$JOBS" --target lsd_serve lsd_match lsd_generate
+TSAN_DIR="$(mktemp -d)"
+trap 'rm -rf "${FUZZ_DIR:-}" "${TSAN_DIR:-}"; rm -f "${METRICS_TMP:-}"' EXIT
+./build-tsan/tools/lsd_generate --domain real-estate-1 \
+    --out "$TSAN_DIR" --listings 30 --seed 7 >/dev/null
+TSAN_TRAIN=(--train "$TSAN_DIR/source-0.dtd" "$TSAN_DIR/source-0.xml"
+                    "$TSAN_DIR/source-0.mapping"
+            --train "$TSAN_DIR/source-1.dtd" "$TSAN_DIR/source-1.xml"
+                    "$TSAN_DIR/source-1.mapping")
+./build-tsan/tools/lsd_match --mediated "$TSAN_DIR/mediated.dtd" \
+    "${TSAN_TRAIN[@]}" \
+    --target "$TSAN_DIR/source-4.dtd" "$TSAN_DIR/source-4.xml" \
+    --save-model "$TSAN_DIR/same.model" >/dev/null
+printf 'golden-3 %s/source-3.dtd %s/source-3.xml\n' \
+    "$TSAN_DIR" "$TSAN_DIR" > "$TSAN_DIR/golden.txt"
+{
+    for i in 0 1 2 3; do
+        printf 'pre-%s %s/source-4.dtd %s/source-4.xml\n' \
+            "$i" "$TSAN_DIR" "$TSAN_DIR"
+    done
+    printf 'RELOAD %s/same.model\n' "$TSAN_DIR"
+    for i in 0 1 2 3; do
+        printf 'post-%s %s/source-4.dtd %s/source-4.xml\n' \
+            "$i" "$TSAN_DIR" "$TSAN_DIR"
+    done
+} > "$TSAN_DIR/stream.txt"
+./build-tsan/tools/lsd_serve --mediated "$TSAN_DIR/mediated.dtd" \
+    "${TSAN_TRAIN[@]}" \
+    --requests "$TSAN_DIR/stream.txt" --golden "$TSAN_DIR/golden.txt" \
+    --registry "$TSAN_DIR/registry" --workers 2 > "$TSAN_DIR/outcomes.txt"
+grep -q "swapped version=2 golden=1/1" "$TSAN_DIR/outcomes.txt"
 
 echo "== bench_match smoke (metrics schema) =="
 cmake --build build -j "$JOBS" --target bench_match
 METRICS_TMP="$(mktemp)"
 BENCH_TMP="$(mktemp)"
-trap 'rm -rf "${FUZZ_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
+trap 'rm -rf "${FUZZ_DIR:-}" "${TSAN_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
 ./build/bench/bench_match --quick --out= --metrics-out="$METRICS_TMP"
 if command -v python3 >/dev/null 2>&1; then
     python3 scripts/validate_metrics.py "$METRICS_TMP"
@@ -116,7 +156,7 @@ fi
 echo "== lsd_serve smoke (service metrics schema) =="
 cmake --build build -j "$JOBS" --target lsd_serve lsd_generate
 SERVE_DIR="$(mktemp -d)"
-trap 'rm -rf "${FUZZ_DIR:-}" "${SERVE_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
+trap 'rm -rf "${FUZZ_DIR:-}" "${TSAN_DIR:-}" "${SERVE_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
 ./build/tools/lsd_generate --domain real-estate-1 \
     --out "$SERVE_DIR" --listings 30 --seed 7 >/dev/null
 printf 'req-3 %s/source-3.dtd %s/source-3.xml\nreq-4 %s/source-4.dtd %s/source-4.xml 60000\n' \

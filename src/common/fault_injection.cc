@@ -47,6 +47,10 @@ const char* FaultSiteName(FaultSite site) {
       return "service-admit";
     case FaultSite::kServiceExec:
       return "service-exec";
+    case FaultSite::kShadowEval:
+      return "shadow-eval";
+    case FaultSite::kModelSwap:
+      return "model-swap";
   }
   return "unknown";
 }

@@ -41,6 +41,17 @@ enum class FaultSite {
   /// so a rule matching "/attempt-0" injects a *transient* fault (fails
   /// once, succeeds on retry) while an id-only rule is persistent.
   kServiceExec,
+  /// One golden-request replay during MatchService::Reload shadow
+  /// validation. Key: the golden request id. A hit fails the shadow
+  /// evaluation, so the candidate is rejected (and quarantined in the
+  /// registry) while serving stays untouched.
+  kShadowEval,
+  /// The epoch-swap publication point of MatchService::Reload, after a
+  /// candidate passed shadow validation. Key:
+  /// "swap/registry-<id>" (id 0 for untracked reloads). A hit aborts the
+  /// swap: serving keeps the old version and the candidate stays a
+  /// candidate — simulating a crash between validation and publication.
+  kModelSwap,
 };
 
 /// Every seam, for exhaustiveness tests: a parameterized test iterates this
@@ -53,11 +64,12 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kXmlParse,     FaultSite::kDtdParse,
     FaultSite::kLearnerTrain, FaultSite::kLearnerPredict,
     FaultSite::kPoolTask,     FaultSite::kServiceAdmit,
-    FaultSite::kServiceExec,
+    FaultSite::kServiceExec,  FaultSite::kShadowEval,
+    FaultSite::kModelSwap,
 };
 inline constexpr size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
-static_assert(static_cast<size_t>(FaultSite::kServiceExec) + 1 ==
+static_assert(static_cast<size_t>(FaultSite::kModelSwap) + 1 ==
                   kFaultSiteCount,
               "kAllFaultSites must list every FaultSite value");
 

@@ -6,7 +6,9 @@
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "schema/schema.h"
+#include "service/model_registry.h"
 #include "xml/dtd_parser.h"
 #include "xml/parse_report.h"
 #include "xml/xml_parser.h"
@@ -28,8 +30,13 @@ struct ServiceMetrics {
   Counter* breaker_skips;
   Counter* replicas_rebuilt;
   Counter* deadline_overruns;
+  Counter* reloads;
+  Counter* reload_rejections;
+  Counter* rollbacks;
   Gauge* queue_depth_peak;
+  Gauge* model_version;
   Histogram* request_micros;
+  Histogram* shed_micros;
 };
 
 ServiceMetrics& GetServiceMetrics() {
@@ -53,8 +60,13 @@ ServiceMetrics& GetServiceMetrics() {
       registry.GetCounter("service.breaker_skips"),
       registry.GetCounter("service.replicas_rebuilt"),
       registry.GetCounter("service.deadline_overruns"),
+      registry.GetCounter("service.reloads"),
+      registry.GetCounter("service.reload_rejections"),
+      registry.GetCounter("service.rollbacks"),
       registry.GetGauge("service.queue_depth_peak"),
-      registry.GetHistogram("service.request_micros")};
+      registry.GetGauge("service.model_version"),
+      registry.GetHistogram("service.request_micros"),
+      registry.GetHistogram("service.shed_micros")};
   return metrics;
 }
 
@@ -79,6 +91,48 @@ std::string Fingerprint(const MatchResult& result) {
     out += "\n";
   }
   return out;
+}
+
+/// Parses a request's DTD/XML text into `source`. Lenient mode recovers
+/// what it can and records the damage as degradation notes; strict mode
+/// turns the first malformation into a (retryable) kParseError. Shared by
+/// the hot execution path and golden-request shadow evaluation so both
+/// see byte-identical inputs.
+Status ParseRequestSource(const ServiceRequest& request, bool lenient,
+                          DataSource* source, RunReport* parse_notes) {
+  source->name = request.id;
+  XmlDocument wrapper;
+  if (lenient) {
+    LSD_ASSIGN_OR_RETURN(DtdParseReport dtd_report,
+                         ParseDtdLenient(request.dtd_text));
+    if (!dtd_report.clean()) {
+      parse_notes->notes.push_back(StrFormat(
+          "lenient DTD parse recovered: %zu diagnostics, %zu declarations "
+          "skipped",
+          dtd_report.diagnostics.size(), dtd_report.skipped_declarations));
+    }
+    source->schema = std::move(dtd_report.dtd);
+    LSD_ASSIGN_OR_RETURN(XmlParseReport xml_report,
+                         ParseXmlLenient(request.xml_text));
+    if (!xml_report.clean()) {
+      parse_notes->notes.push_back(StrFormat(
+          "lenient XML parse recovered: %zu diagnostics, %zu elements "
+          "skipped",
+          xml_report.diagnostics.size(), xml_report.skipped_elements));
+    }
+    wrapper = std::move(xml_report.document);
+  } else {
+    LSD_ASSIGN_OR_RETURN(source->schema, ParseDtd(request.dtd_text));
+    LSD_ASSIGN_OR_RETURN(wrapper, ParseXml(request.xml_text));
+  }
+  if (wrapper.root.children.empty()) {
+    return Status::InvalidArgument(
+        request.id + ": the XML root element must wrap the listings");
+  }
+  for (XmlNode& listing : wrapper.root.children) {
+    source->listings.emplace_back(std::move(listing));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -120,9 +174,17 @@ StatusOr<std::unique_ptr<MatchService>> MatchService::Create(
     return Status::InvalidArgument(
         "MatchService: max_queue_depth must be >= 1");
   }
+  for (const ServiceRequest& golden : options.golden_requests) {
+    // Golden ids key the kShadowEval fault seam and label eval spans.
+    if (golden.id.empty()) {
+      return Status::InvalidArgument(
+          "MatchService: golden requests must carry an id");
+    }
+  }
   std::unique_ptr<MatchService> service(
       new MatchService(std::move(factory), std::move(options)));
   LSD_RETURN_IF_ERROR(service->BuildReplicas());
+  LSD_RETURN_IF_ERROR(service->InitGoldenBaseline());
   service->StartWorkers();
   return service;
 }
@@ -142,7 +204,8 @@ MatchService::MatchService(ReplicaFactory factory, MatchServiceOptions options)
 MatchService::~MatchService() { Stop(); }
 
 Status MatchService::BuildReplicas() {
-  replicas_.reserve(options_.workers);
+  slots_.resize(options_.workers);
+  current_.systems.reserve(options_.workers);
   for (size_t slot = 0; slot < options_.workers; ++slot) {
     StatusOr<std::unique_ptr<LsdSystem>> replica = factory_();
     if (!replica.ok()) {
@@ -154,12 +217,51 @@ Status MatchService::BuildReplicas() {
       return Status::FailedPrecondition(
           "MatchService: the replica factory must return a trained system");
     }
+    std::shared_ptr<LsdSystem> system(std::move(*replica));
     if (pred_cache_ != nullptr) {
-      (*replica)->SetPredictionCache(pred_cache_);
+      system->SetPredictionCache(pred_cache_);
     }
-    replicas_.push_back(std::move(*replica));
+    slots_[slot].system = system;
+    slots_[slot].factory = factory_;
+    slots_[slot].version = 1;
+    current_.systems.push_back(std::move(system));
+  }
+  current_.factory = factory_;
+  current_.version = last_version_ = 1;
+  return Status::OK();
+}
+
+Status MatchService::InitGoldenBaseline() {
+  // Runs before StartWorkers: single-threaded, on the slot-0 replica. The
+  // baseline a Reload validates against is always what the *serving*
+  // generation answered on the golden set (each adopted swap re-baselines
+  // from its own shadow run).
+  for (const ServiceRequest& golden : options_.golden_requests) {
+    StatusOr<MatchResult> result = EvalGolden(*slots_[0].system, golden);
+    if (!result.ok()) {
+      return Status(result.status().code(),
+                    StrFormat("MatchService: golden request '%s' failed on "
+                              "the initial replicas: %s",
+                              golden.id.c_str(),
+                              result.status().message().c_str()));
+    }
+    current_.golden_fingerprints.push_back(Fingerprint(*result));
+    current_.golden_mappings.push_back(result->mapping.ToString());
   }
   return Status::OK();
+}
+
+StatusOr<MatchResult> MatchService::EvalGolden(LsdSystem& system,
+                                               const ServiceRequest& golden) {
+  DataSource source;
+  RunReport parse_notes;
+  LSD_RETURN_IF_ERROR(ParseRequestSource(golden, options_.lenient_parse,
+                                         &source, &parse_notes));
+  MatchOptions match_options = options_.match_options;
+  // Shadow evaluation is off the hot path: no deadline, no breaker skips.
+  match_options.deadline = Deadline();
+  match_options.skip_learners.clear();
+  return system.MatchSource(source, match_options);
 }
 
 void MatchService::StartWorkers() {
@@ -168,6 +270,7 @@ void MatchService::StartWorkers() {
     accepting_ = true;
     workers_live_ = true;
   }
+  GetServiceMetrics().model_version->RecordMax(1);
   pool_ = std::make_unique<ThreadPool>(options_.workers);
   dispatcher_ = std::thread([this] {
     // One long-lived task per worker slot, grain 1 so each slot is its own
@@ -290,9 +393,205 @@ void MatchService::Stop() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
+uint64_t MatchService::model_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.version;
+}
+
+StatusOr<MatchService::ReloadReport> MatchService::Reload(
+    ReloadOptions reload) {
+  if (!reload.factory) {
+    return Status::InvalidArgument("Reload: candidate factory is null");
+  }
+  if (!reload.require_identical &&
+      (reload.min_accuracy < 0.0 || reload.min_accuracy > 1.0)) {
+    return Status::InvalidArgument("Reload: min_accuracy must be in [0, 1]");
+  }
+  // One reload at a time; live traffic keeps flowing (builds and shadow
+  // validation never hold mu_).
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  std::vector<std::string> base_fingerprints;
+  std::vector<std::string> base_mappings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !workers_live_) {
+      return Status::Unavailable("Reload: service is stopping");
+    }
+    if (probation_active_) {
+      return Status::FailedPrecondition(
+          "Reload: the previous swap is still in probation; its window "
+          "must resolve first so the rollback target stays well-defined");
+    }
+    base_fingerprints = current_.golden_fingerprints;
+    base_mappings = current_.golden_mappings;
+  }
+  TraceSpan reload_span("service.reload");
+  ServiceMetrics& metrics = GetServiceMetrics();
+  ReloadReport report;
+  report.golden_total = options_.golden_requests.size();
+
+  auto reject = [&](std::string why) -> StatusOr<ReloadReport> {
+    report.swapped = false;
+    report.rejection = std::move(why);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.reload_rejections;
+    }
+    metrics.reload_rejections->Increment();
+    if (options_.registry != nullptr && reload.registry_version != 0) {
+      (void)options_.registry->Quarantine(reload.registry_version);
+    }
+    return report;
+  };
+
+  auto build_one = [&]() -> StatusOr<std::shared_ptr<LsdSystem>> {
+    StatusOr<std::unique_ptr<LsdSystem>> built = reload.factory();
+    if (!built.ok()) return built.status();
+    if (*built == nullptr || !(*built)->trained()) {
+      return Status::FailedPrecondition(
+          "the reload factory must return a trained system");
+    }
+    std::shared_ptr<LsdSystem> system(std::move(*built));
+    // The shared cache needs no flush across versions: entries are keyed
+    // by content-addressed model fingerprints, so two differently trained
+    // generations can never read each other's entries.
+    if (pred_cache_ != nullptr) system->SetPredictionCache(pred_cache_);
+    return system;
+  };
+
+  // Build ONE candidate first and shadow-validate it before paying for
+  // the rest of the fleet — a rejected reload costs one build, not W.
+  StatusOr<std::shared_ptr<LsdSystem>> probe = build_one();
+  if (!probe.ok()) {
+    return reject("candidate failed to build: " + probe.status().ToString());
+  }
+  std::vector<std::string> new_fingerprints;
+  std::vector<std::string> new_mappings;
+  for (size_t i = 0; i < options_.golden_requests.size(); ++i) {
+    const ServiceRequest& golden = options_.golden_requests[i];
+    TraceSpan eval_span("service.shadow_eval", golden.id);
+    if (FaultInjectionActive()) {
+      Status fault = CheckFault(FaultSite::kShadowEval, golden.id);
+      if (!fault.ok()) {
+        return reject(StrFormat("shadow evaluation of '%s' failed: %s",
+                                golden.id.c_str(),
+                                fault.ToString().c_str()));
+      }
+    }
+    StatusOr<MatchResult> result = EvalGolden(**probe, golden);
+    if (!result.ok()) {
+      return reject(StrFormat("golden request '%s' failed on the candidate: "
+                              "%s",
+                              golden.id.c_str(),
+                              result.status().ToString().c_str()));
+    }
+    std::string fingerprint = Fingerprint(*result);
+    std::string mapping = result->mapping.ToString();
+    bool matched = reload.require_identical
+                       ? fingerprint == base_fingerprints[i]
+                       : mapping == base_mappings[i];
+    if (matched) ++report.golden_matched;
+    new_fingerprints.push_back(std::move(fingerprint));
+    new_mappings.push_back(std::move(mapping));
+  }
+  bool accepted =
+      reload.require_identical
+          ? report.golden_matched == report.golden_total
+          : report.golden_total == 0 ||
+                static_cast<double>(report.golden_matched) >=
+                    reload.min_accuracy *
+                        static_cast<double>(report.golden_total);
+  if (!accepted) {
+    return reject(StrFormat(
+        "shadow validation matched %zu/%zu golden requests (mode: %s)",
+        report.golden_matched, report.golden_total,
+        reload.require_identical
+            ? "byte-identical fingerprints"
+            : StrFormat("mapping accuracy floor %.2f", reload.min_accuracy)
+                  .c_str()));
+  }
+
+  // Validated: build the rest of the fleet (still off the hot path).
+  std::vector<std::shared_ptr<LsdSystem>> candidates;
+  candidates.reserve(options_.workers);
+  candidates.push_back(std::move(*probe));
+  for (size_t slot = 1; slot < options_.workers; ++slot) {
+    StatusOr<std::shared_ptr<LsdSystem>> built = build_one();
+    if (!built.ok()) {
+      return reject(StrFormat("candidate replica %zu failed to build: %s",
+                              slot, built.status().ToString().c_str()));
+    }
+    candidates.push_back(std::move(*built));
+  }
+
+  // Publication point. A fault here simulates a crash between validation
+  // and swap: the error propagates, serving is untouched, and the
+  // candidate stays a registry candidate (it is NOT quarantined — its
+  // bytes were never found wanting).
+  if (FaultInjectionActive()) {
+    LSD_RETURN_IF_ERROR(CheckFault(
+        FaultSite::kModelSwap,
+        StrFormat("swap/registry-%llu", static_cast<unsigned long long>(
+                                            reload.registry_version))));
+  }
+
+  std::vector<std::shared_ptr<LsdSystem>> retire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || !workers_live_) {
+      return Status::Unavailable("Reload: service is stopping");
+    }
+    retire = std::move(parked_.systems);
+    parked_ = std::move(current_);
+    current_ = Generation();
+    current_.systems = std::move(candidates);
+    current_.factory = reload.factory;
+    current_.version = ++last_version_;
+    current_.registry_version = reload.registry_version;
+    current_.golden_fingerprints = std::move(new_fingerprints);
+    current_.golden_mappings = std::move(new_mappings);
+    report.model_version = current_.version;
+    if (reload.probation_requests > 0) {
+      probation_active_ = true;
+      probation_version_ = current_.version;
+      probation_remaining_ = reload.probation_requests;
+      probation_failures_ = 0;
+      probation_breaker_base_ =
+          static_cast<uint64_t>(breakers_.TotalOpenTransitions());
+      probation_overrun_base_ = stats_.deadline_overruns;
+      probation_limits_.max_failures = reload.probation_max_failures;
+      probation_limits_.max_breaker_opens = reload.probation_max_breaker_opens;
+      probation_limits_.max_overruns = reload.probation_max_overruns;
+    } else {
+      // No probation, no rollback target: the previous generation's
+      // replicas retire as each worker adopts the new one at its next
+      // request boundary (the fleet's last references drop there).
+      for (std::shared_ptr<LsdSystem>& system : parked_.systems) {
+        retire.push_back(std::move(system));
+      }
+      parked_ = Generation();
+    }
+    ++stats_.reloads;
+  }
+  metrics.reloads->Increment();
+  metrics.model_version->RecordMax(report.model_version);
+  if (options_.registry != nullptr && reload.registry_version != 0) {
+    // Best effort; serving state lives in the service, the registry is
+    // the durable record of it.
+    (void)options_.registry->SetServing(reload.registry_version);
+    if (reload.probation_requests == 0) {
+      (void)options_.registry->MarkLastGood(reload.registry_version);
+    }
+  }
+  report.swapped = true;
+  retire.clear();
+  return report;
+}
+
 void MatchService::WorkerLoop(size_t slot) {
   for (;;) {
     std::unique_ptr<Pending> pending;
+    std::shared_ptr<LsdSystem> retired;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock,
@@ -301,10 +600,22 @@ void MatchService::WorkerLoop(size_t slot) {
       pending = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      // Epoch adoption at the request boundary: if a reload (or rollback)
+      // published a new generation, this worker switches replicas *now*,
+      // before touching the request — so every request executes against
+      // exactly one model version. The displaced replica is destroyed
+      // outside mu_ once the lock drops (it may be the last reference).
+      if (slots_[slot].version != current_.version) {
+        retired = std::move(slots_[slot].system);
+        slots_[slot].system = current_.systems[slot];
+        slots_[slot].factory = current_.factory;
+        slots_[slot].version = current_.version;
+      }
       pending->exec_start = std::chrono::steady_clock::now();
       exec_slot_start_[slot] = pending->exec_start;
       exec_slot_active_[slot] = 1;
     }
+    retired.reset();
     ServiceResponse response = Execute(*pending, slot);
     Finalize(*pending, std::move(response));
     {
@@ -338,18 +649,27 @@ void MatchService::Shed(Pending pending, Status status) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shed;
   }
-  GetServiceMetrics().shed->Increment();
+  ServiceMetrics& metrics = GetServiceMetrics();
+  metrics.shed->Increment();
+  // Shed latency (submit-to-shed) gets its own histogram so operator
+  // latency accounting covers every terminal outcome — request_micros
+  // only sees executed requests.
+  metrics.shed_micros->Record(response.latency_micros);
   pending.promise.set_value(std::move(response));
 }
 
 ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
   ServiceResponse response;
   response.id = pending.request.id;
+  // The slot's version was settled at the dequeue boundary and cannot
+  // change until this worker dequeues again — the whole request, retries
+  // and rebuilds included, is attributable to exactly this version.
+  response.model_version = slots_[slot].version;
 
   // Consult the breakers over the replica's roster before paying for
   // anything. Skips are threaded into MatchOptions::skip_learners; probes
   // execute normally but owe the breaker a terminal report.
-  const std::vector<std::string> roster = replicas_[slot]->LearnerNames();
+  const std::vector<std::string> roster = slots_[slot].system->LearnerNames();
   std::vector<std::string> skip;
   std::vector<std::string> probes;
   if (options_.breaker.failure_threshold > 0) {
@@ -399,10 +719,12 @@ ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
           // The error came out of the replica itself. Error paths inside
           // PredictSource can leave the shared node labeler mid-swap, so a
           // replica that errored is treated as poisoned: rebuild it from
-          // the factory before anyone (including our own retry) touches it
-          // again. On factory failure the old replica is kept — degraded
+          // its *own generation's* factory before anyone (including our
+          // own retry) touches it again — the factory travels with the
+          // model version so a rebuild can never mix versions mid-request.
+          // On factory failure the old replica is kept — degraded
           // isolation beats no worker.
-          StatusOr<std::unique_ptr<LsdSystem>> fresh = factory_();
+          StatusOr<std::unique_ptr<LsdSystem>> fresh = slots_[slot].factory();
           if (fresh.ok() && *fresh != nullptr && (*fresh)->trained()) {
             // Re-attach the shared prediction cache: the rebuilt replica
             // is identically trained, so its content fingerprints match
@@ -411,7 +733,8 @@ ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
             if (pred_cache_ != nullptr) {
               (*fresh)->SetPredictionCache(pred_cache_);
             }
-            replicas_[slot] = std::move(*fresh);
+            slots_[slot].system =
+                std::shared_ptr<LsdSystem>(std::move(*fresh));
             GetServiceMetrics().replicas_rebuilt->Increment();
             std::lock_guard<std::mutex> lock(mu_);
             ++stats_.replicas_rebuilt;
@@ -486,48 +809,15 @@ StatusOr<MatchResult> MatchService::Attempt(
     LSD_RETURN_IF_ERROR(CheckFault(FaultSite::kServiceExec, attempt_key));
   }
 
-  // Parse the request text into a DataSource. Lenient mode recovers what
-  // it can and records the damage as degradation notes; strict mode turns
-  // the first malformation into a (retryable) kParseError.
   DataSource source;
-  source.name = pending.request.id;
-  XmlDocument wrapper;
-  if (options_.lenient_parse) {
-    LSD_ASSIGN_OR_RETURN(DtdParseReport dtd_report,
-                         ParseDtdLenient(pending.request.dtd_text));
-    if (!dtd_report.clean()) {
-      parse_notes->notes.push_back(StrFormat(
-          "lenient DTD parse recovered: %zu diagnostics, %zu declarations "
-          "skipped",
-          dtd_report.diagnostics.size(), dtd_report.skipped_declarations));
-    }
-    source.schema = std::move(dtd_report.dtd);
-    LSD_ASSIGN_OR_RETURN(XmlParseReport xml_report,
-                         ParseXmlLenient(pending.request.xml_text));
-    if (!xml_report.clean()) {
-      parse_notes->notes.push_back(StrFormat(
-          "lenient XML parse recovered: %zu diagnostics, %zu elements "
-          "skipped",
-          xml_report.diagnostics.size(), xml_report.skipped_elements));
-    }
-    wrapper = std::move(xml_report.document);
-  } else {
-    LSD_ASSIGN_OR_RETURN(source.schema, ParseDtd(pending.request.dtd_text));
-    LSD_ASSIGN_OR_RETURN(wrapper, ParseXml(pending.request.xml_text));
-  }
-  if (wrapper.root.children.empty()) {
-    return Status::InvalidArgument(
-        pending.request.id + ": the XML root element must wrap the listings");
-  }
-  for (XmlNode& listing : wrapper.root.children) {
-    source.listings.emplace_back(std::move(listing));
-  }
+  LSD_RETURN_IF_ERROR(ParseRequestSource(
+      pending.request, options_.lenient_parse, &source, parse_notes));
 
   MatchOptions match_options = options_.match_options;
   match_options.deadline = pending.deadline;
   match_options.skip_learners = skip;
   *replica_touched = true;
-  return replicas_[slot]->MatchSource(source, match_options);
+  return slots_[slot].system->MatchSource(source, match_options);
 }
 
 void MatchService::Finalize(Pending& pending, ServiceResponse response) {
@@ -552,6 +842,13 @@ void MatchService::Finalize(Pending& pending, ServiceResponse response) {
       metrics.failed->Increment();
       break;
   }
+  bool rolled_back = false;
+  bool promoted = false;
+  uint64_t rollback_epoch = 0;
+  uint64_t quarantine_registry = 0;
+  uint64_t restore_registry = 0;
+  uint64_t promote_registry = 0;
+  std::vector<std::shared_ptr<LsdSystem>> retire;
   {
     std::lock_guard<std::mutex> lock(mu_);
     switch (response.outcome) {
@@ -584,13 +881,72 @@ void MatchService::Finalize(Pending& pending, ServiceResponse response) {
                                       stats_.breaker_open_transitions);
       stats_.breaker_open_transitions = total_opens;
     }
+    // Probation accounting. Only responses produced by the probation
+    // version count — old-generation stragglers finishing after the swap
+    // must never charge (or clear) the new model.
+    if (probation_active_ && response.model_version == probation_version_) {
+      if (response.outcome == RequestOutcome::kFailed) ++probation_failures_;
+      bool breached =
+          probation_failures_ > probation_limits_.max_failures ||
+          total_opens - probation_breaker_base_ >
+              probation_limits_.max_breaker_opens ||
+          stats_.deadline_overruns - probation_overrun_base_ >
+              probation_limits_.max_overruns;
+      if (breached) {
+        // Auto-rollback: restore the parked generation under a fresh
+        // epoch. Workers adopt it at their next request boundary; the
+        // regressed generation's replicas retire as they do.
+        probation_active_ = false;
+        rolled_back = true;
+        quarantine_registry = current_.registry_version;
+        restore_registry = parked_.registry_version;
+        retire = std::move(current_.systems);
+        current_ = std::move(parked_);
+        parked_ = Generation();
+        current_.version = ++last_version_;
+        rollback_epoch = current_.version;
+        ++stats_.rollbacks;
+      } else if (--probation_remaining_ == 0) {
+        // Probation survived: the previous generation is no longer a
+        // rollback target, so its replicas can finally retire.
+        probation_active_ = false;
+        promoted = true;
+        promote_registry = current_.registry_version;
+        retire = std::move(parked_.systems);
+        parked_ = Generation();
+      }
+    }
   }
+  if (rolled_back) {
+    TraceSpan rollback_span("service.rollback",
+                            StrFormat("epoch %llu",
+                                      static_cast<unsigned long long>(
+                                          rollback_epoch)));
+    metrics.rollbacks->Increment();
+    metrics.model_version->RecordMax(rollback_epoch);
+    if (options_.registry != nullptr) {
+      // Best effort: the swap itself is already done in memory; registry
+      // bookkeeping failing (e.g. injected disk faults) must not block
+      // the response.
+      if (quarantine_registry != 0) {
+        (void)options_.registry->Quarantine(quarantine_registry);
+      }
+      if (restore_registry != 0) {
+        (void)options_.registry->SetServing(restore_registry);
+      }
+    }
+  }
+  if (promoted && options_.registry != nullptr && promote_registry != 0) {
+    (void)options_.registry->MarkLastGood(promote_registry);
+  }
+  retire.clear();
   pending.promise.set_value(std::move(response));
 }
 
 MatchService::Stats MatchService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats snapshot = stats_;
+  snapshot.model_version = current_.version;
   snapshot.breaker_open_transitions =
       static_cast<uint64_t>(breakers_.TotalOpenTransitions());
   if (pred_cache_ != nullptr) {

@@ -22,6 +22,8 @@
 
 namespace lsd {
 
+class ModelRegistry;
+
 /// Terminal outcome of one service request. Every admitted request reaches
 /// exactly one of kOk / kDegraded / kFailed; a shed request is kShed and
 /// never executed.
@@ -78,6 +80,11 @@ struct ServiceResponse {
   /// True when the request finished later than deadline + grace — the
   /// invariant the chaos soak asserts never happens.
   bool deadline_overrun = false;
+  /// The service model version (epoch) whose replica produced the terminal
+  /// attempt; 0 for shed requests (never executed). Every executed request
+  /// is attributable to exactly one version — a request never observes two
+  /// models, even across retries and replica rebuilds.
+  uint64_t model_version = 0;
 };
 
 struct MatchServiceOptions {
@@ -124,6 +131,15 @@ struct MatchServiceOptions {
   /// Injectable sleep for retry backoff; null = real sleep. Tests inject
   /// a fake so no test ever sleeps for real.
   std::function<void(int64_t)> sleep_millis;
+  /// Golden request set for hot reload. At Create the serving replicas
+  /// establish a baseline (mapping + fingerprint per request); every
+  /// Reload() shadow-validates its candidate against the current baseline
+  /// before any traffic can reach it. Empty = reloads skip validation.
+  std::vector<ServiceRequest> golden_requests;
+  /// Optional registry recording lifecycle transitions (serving /
+  /// last-good / quarantined) for reloads that carry a registry version.
+  /// Caller-owned; must outlive the service. Null = untracked.
+  ModelRegistry* registry = nullptr;
 };
 
 /// Failure taxonomy for the retry policy (DESIGN.md "Service layer &
@@ -180,6 +196,69 @@ class MatchService {
   /// gates first or the drain will block.
   void Stop();
 
+  /// How a Reload() builds, validates, and guards a new model version.
+  struct ReloadOptions {
+    /// Builds the candidate replicas (one per worker), off the hot path.
+    ReplicaFactory factory;
+    /// Registry id of the candidate (0 = untracked). When the service has
+    /// a registry, a rejected or rolled-back candidate is quarantined and
+    /// an adopted one becomes serving (and last-good once probation ends).
+    uint64_t registry_version = 0;
+    /// Shadow-validation mode: true byte-compares golden fingerprints
+    /// (mapping + full-precision scores) against the serving baseline —
+    /// the right gate for a rebuilt-but-equivalent model; false compares
+    /// mappings only and accepts when at least `min_accuracy` of the
+    /// golden set agrees — the gate for an intentionally retrained model.
+    bool require_identical = true;
+    /// Fraction of golden mappings that must match the baseline when
+    /// `require_identical` is false. In [0, 1].
+    double min_accuracy = 1.0;
+    /// Probation window: the number of post-swap responses (from the new
+    /// version) observed before the version is marked last-good. 0 = no
+    /// probation (the version is trusted immediately; rollback disabled).
+    size_t probation_requests = 0;
+    /// Regression thresholds during probation. Exceeding any of them
+    /// (strictly) triggers an automatic rollback to the previous
+    /// generation and quarantines the candidate.
+    size_t probation_max_failures = 0;
+    size_t probation_max_breaker_opens = 0;
+    size_t probation_max_overruns = 0;
+  };
+
+  /// What a Reload() did.
+  struct ReloadReport {
+    /// True when the candidate was adopted; false = shadow validation
+    /// rejected it (`rejection` says why) and serving was left untouched.
+    bool swapped = false;
+    /// The new service model version (epoch) when swapped.
+    uint64_t model_version = 0;
+    size_t golden_total = 0;
+    size_t golden_matched = 0;
+    std::string rejection;
+  };
+
+  /// Hot model reload: builds candidate replicas off the hot path, shadow-
+  /// validates them by replaying the golden request set, then performs an
+  /// epoch-based swap — each worker adopts the new replica at a request
+  /// boundary, and old replicas retire only when idle, so no request ever
+  /// observes two model versions. Live traffic is never paused and never
+  /// shed on account of a reload.
+  ///
+  /// A rejected candidate returns OK with `swapped == false` (and is
+  /// quarantined in the registry); an error Status means the reload could
+  /// not run at all (stopping, probation pending, invalid options, or an
+  /// injected kModelSwap publication fault) and serving is untouched
+  /// either way. Concurrent Reload() calls are serialized; a reload is
+  /// refused (kFailedPrecondition) while a previous swap is still in
+  /// probation, so the rollback target is always the immediately previous
+  /// generation.
+  StatusOr<ReloadReport> Reload(ReloadOptions reload);
+
+  /// The currently serving model version (epoch). Starts at 1; every
+  /// adopted swap — including a rollback, which re-serves the previous
+  /// model under a fresh epoch — increments it.
+  uint64_t model_version() const;
+
   /// Monotonic service counters (also mirrored into the global metrics
   /// registry under service.*).
   struct Stats {
@@ -193,6 +272,14 @@ class MatchService {
     uint64_t breaker_open_transitions = 0;
     uint64_t replicas_rebuilt = 0;
     uint64_t deadline_overruns = 0;
+    /// Adopted hot swaps (rollbacks not included).
+    uint64_t reloads = 0;
+    /// Candidates rejected by shadow validation (or a failed build).
+    uint64_t reload_rejections = 0;
+    /// Probation breaches that auto-rolled back to the previous model.
+    uint64_t rollbacks = 0;
+    /// Currently serving model version (epoch).
+    uint64_t model_version = 0;
     /// Shared prediction-cache counters (0 when the cache is off). Hit and
     /// miss totals depend on request interleaving under concurrency; only
     /// hits + misses == lookups is scheduling-invariant.
@@ -211,6 +298,35 @@ class MatchService {
   BreakerState breaker_state(const std::string& learner) const;
 
  private:
+  /// One worker's serving state. Slot s is touched only by worker s
+  /// (adoption of a new generation happens under mu_ at the request
+  /// boundary in WorkerLoop; Execute reads it lock-free afterwards).
+  struct Slot {
+    std::shared_ptr<LsdSystem> system;
+    ReplicaFactory factory;
+    uint64_t version = 0;
+  };
+
+  /// One model generation: the replica set workers adopt, the factory
+  /// that rebuilds a poisoned member of it, and the golden baseline the
+  /// *next* reload validates against. `current_` is what new work adopts;
+  /// `parked_` is the previous generation, kept alive while the current
+  /// one is in probation so rollback can restore it intact.
+  struct Generation {
+    std::vector<std::shared_ptr<LsdSystem>> systems;
+    ReplicaFactory factory;
+    uint64_t version = 0;
+    uint64_t registry_version = 0;
+    std::vector<std::string> golden_fingerprints;
+    std::vector<std::string> golden_mappings;
+  };
+
+  struct ProbationLimits {
+    size_t max_failures = 0;
+    size_t max_breaker_opens = 0;
+    size_t max_overruns = 0;
+  };
+
   /// One admitted request waiting for (or in) execution.
   struct Pending {
     ServiceRequest request;
@@ -227,6 +343,14 @@ class MatchService {
 
   /// Builds the replicas; called once from Create.
   Status BuildReplicas();
+  /// Replays the golden request set against the freshly built replicas
+  /// (single-threaded, before workers start) to establish the baseline
+  /// reloads validate against; called once from Create.
+  Status InitGoldenBaseline();
+  /// Runs one golden request against `system` with no deadline, no breaker
+  /// skips, and no interceptor — the shadow-evaluation primitive.
+  StatusOr<MatchResult> EvalGolden(LsdSystem& system,
+                                   const ServiceRequest& golden);
   /// Starts the dispatcher thread that runs the worker loops on the pool.
   void StartWorkers();
   /// One worker: pulls from the queue until stopped, executing on its own
@@ -257,8 +381,35 @@ class MatchService {
   const MatchServiceOptions options_;
   const Backoff backoff_;
 
-  /// Per-worker replicas; slot s is touched only by worker s.
-  std::vector<std::unique_ptr<LsdSystem>> replicas_;
+  /// Per-worker serving state; slot s is touched only by worker s (see
+  /// Slot). Replicas are the isolation boundary — requests never share
+  /// mutable matcher state.
+  std::vector<Slot> slots_;
+
+  /// The generation new work adopts (guarded by mu_). Workers compare
+  /// their slot's version against current_.version at every dequeue.
+  Generation current_;
+  /// The previous generation, parked while current_ is in probation so a
+  /// breach can roll back to it; empty otherwise. Guarded by mu_.
+  Generation parked_;
+  /// Highest epoch assigned so far (guarded by mu_); monotonic, never
+  /// reused — a rollback re-serves old systems under a *new* epoch.
+  uint64_t last_version_ = 0;
+
+  /// Probation state (guarded by mu_): counts only responses produced by
+  /// probation_version_, so old-generation stragglers never charge the
+  /// new model.
+  bool probation_active_ = false;
+  uint64_t probation_version_ = 0;
+  size_t probation_remaining_ = 0;
+  size_t probation_failures_ = 0;
+  uint64_t probation_breaker_base_ = 0;
+  uint64_t probation_overrun_base_ = 0;
+  ProbationLimits probation_limits_;
+
+  /// Serializes Reload() calls (candidate builds and shadow validation run
+  /// outside mu_ so live traffic keeps flowing).
+  std::mutex reload_mu_;
 
   /// Prediction cache shared by every replica (null = off). Rebuilt
   /// replicas are re-attached to the same cache; its content-hash keys

@@ -1,0 +1,314 @@
+#include "service/model_registry.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/artifact_io.h"
+#include "common/file_util.h"
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace {
+
+constexpr const char* kManifestKind = "model-registry";
+constexpr const char* kManifestName = "registry.manifest";
+constexpr const char* kModelKind = "model";
+constexpr uint32_t kManifestFormatVersion = 1;
+
+StatusOr<uint64_t> FieldToU64(const std::string& field) {
+  LSD_ASSIGN_OR_RETURN(size_t value, FieldToSize(field));
+  return static_cast<uint64_t>(value);
+}
+
+bool ParseHexU32(const std::string& field, uint32_t* out) {
+  if (field.empty() || field.size() > 8) return false;
+  uint32_t value = 0;
+  for (char c : field) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint32_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+const char* ModelVersionStatusName(ModelVersionStatus status) {
+  switch (status) {
+    case ModelVersionStatus::kCandidate:
+      return "candidate";
+    case ModelVersionStatus::kServing:
+      return "serving";
+    case ModelVersionStatus::kRetired:
+      return "retired";
+    case ModelVersionStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+StatusOr<ModelVersionStatus> ParseModelVersionStatus(std::string_view name) {
+  if (name == "candidate") return ModelVersionStatus::kCandidate;
+  if (name == "serving") return ModelVersionStatus::kServing;
+  if (name == "retired") return ModelVersionStatus::kRetired;
+  if (name == "quarantined") return ModelVersionStatus::kQuarantined;
+  return Status::ParseError("unknown model version status: " +
+                            std::string(name));
+}
+
+ModelRegistry::ModelRegistry(std::string dir) : dir_(std::move(dir)) {}
+
+std::string ModelRegistry::ManifestPath() const {
+  return dir_ + "/" + kManifestName;
+}
+
+std::string ModelRegistry::VersionPath(uint64_t id) const {
+  return StrFormat("%s/v%llu.model", dir_.c_str(),
+                   static_cast<unsigned long long>(id));
+}
+
+Status ModelRegistry::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::OK();
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create model registry dir '" + dir_ +
+                            "': " + std::strerror(errno));
+  }
+  if (!FileExists(ManifestPath())) {
+    // Fresh registry: publish an empty manifest immediately so a reopen
+    // (or a crash right after Open) finds a well-formed registry.
+    open_ = true;
+    Status written = WriteManifestLocked();
+    if (!written.ok()) open_ = false;
+    return written;
+  }
+  LSD_ASSIGN_OR_RETURN(Artifact manifest,
+                       ReadArtifact(ManifestPath(), kManifestKind));
+  const ArtifactSection* state = manifest.Find("state");
+  if (state == nullptr) {
+    return Status::ParseError("registry manifest missing 'state' section");
+  }
+  LineReader reader(state->payload);
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                       reader.Expect("model-registry", 2));
+  LSD_ASSIGN_OR_RETURN(uint64_t format, FieldToU64(header[1]));
+  if (format > kManifestFormatVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("registry manifest format %llu is newer than this build",
+                  static_cast<unsigned long long>(format)));
+  }
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> next,
+                       reader.Expect("next-version", 2));
+  LSD_ASSIGN_OR_RETURN(next_version_, FieldToU64(next[1]));
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> serving,
+                       reader.Expect("serving", 2));
+  LSD_ASSIGN_OR_RETURN(serving_, FieldToU64(serving[1]));
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> last_good,
+                       reader.Expect("last-good", 2));
+  LSD_ASSIGN_OR_RETURN(last_good_, FieldToU64(last_good[1]));
+  LSD_ASSIGN_OR_RETURN(std::vector<std::string> count,
+                       reader.Expect("versions", 2));
+  LSD_ASSIGN_OR_RETURN(size_t n, FieldToSize(count[1]));
+  versions_.clear();
+  versions_.reserve(n);
+  uint64_t previous_id = 0;
+  for (size_t i = 0; i < n; ++i) {
+    LSD_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                         reader.Expect("v", 5));
+    ModelVersionInfo info;
+    LSD_ASSIGN_OR_RETURN(info.id, FieldToU64(fields[1]));
+    LSD_ASSIGN_OR_RETURN(info.status, ParseModelVersionStatus(fields[2]));
+    uint32_t crc = 0;
+    if (!ParseHexU32(fields[3], &crc)) {
+      return Status::ParseError("bad crc field in registry manifest: " +
+                                fields[3]);
+    }
+    info.crc32 = crc;
+    LSD_ASSIGN_OR_RETURN(info.size_bytes, FieldToU64(fields[4]));
+    if (info.id == 0 || info.id <= previous_id || info.id >= next_version_) {
+      return Status::ParseError(
+          "registry manifest version ids must be ascending and below "
+          "next-version");
+    }
+    previous_id = info.id;
+    versions_.push_back(info);
+  }
+  LSD_RETURN_IF_ERROR(ExpectAtEnd(reader, "registry manifest"));
+  open_ = true;
+  return Status::OK();
+}
+
+Status ModelRegistry::WriteManifestLocked() {
+  std::string payload =
+      StrFormat("model-registry %u\n", kManifestFormatVersion);
+  payload += StrFormat("next-version %llu\n",
+                       static_cast<unsigned long long>(next_version_));
+  payload += StrFormat("serving %llu\n",
+                       static_cast<unsigned long long>(serving_));
+  payload += StrFormat("last-good %llu\n",
+                       static_cast<unsigned long long>(last_good_));
+  payload += StrFormat("versions %zu\n", versions_.size());
+  for (const ModelVersionInfo& info : versions_) {
+    payload += StrFormat("v %llu %s %08x %llu\n",
+                         static_cast<unsigned long long>(info.id),
+                         ModelVersionStatusName(info.status), info.crc32,
+                         static_cast<unsigned long long>(info.size_bytes));
+  }
+  Artifact manifest;
+  manifest.kind = kManifestKind;
+  manifest.sections.push_back({"state", std::move(payload)});
+  return WriteArtifact(ManifestPath(), manifest);
+}
+
+StatusOr<size_t> ModelRegistry::FindLocked(uint64_t id) const {
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    if (versions_[i].id == id) return i;
+  }
+  return Status::NotFound(StrFormat(
+      "model version %llu is not registered",
+      static_cast<unsigned long long>(id)));
+}
+
+StatusOr<uint64_t> ModelRegistry::AddVersion(const std::string& source_path) {
+  LSD_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(source_path));
+  // Validate before copying: junk must never gain a version id.
+  LSD_RETURN_IF_ERROR(DecodeArtifact(bytes, kModelKind).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("registry is not open");
+  ModelVersionInfo info;
+  info.id = next_version_;
+  info.status = ModelVersionStatus::kCandidate;
+  info.crc32 = Crc32(bytes);
+  info.size_bytes = bytes.size();
+  LSD_RETURN_IF_ERROR(WriteFileAtomic(VersionPath(info.id), bytes));
+  ++next_version_;
+  versions_.push_back(info);
+  Status written = WriteManifestLocked();
+  if (!written.ok()) {
+    // Roll the in-memory state back so the store matches the durable
+    // manifest; the copied file is orphaned bytes, not a version.
+    versions_.pop_back();
+    --next_version_;
+    return written;
+  }
+  return info.id;
+}
+
+StatusOr<std::string> ModelRegistry::VerifiedModelPath(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("registry is not open");
+  LSD_ASSIGN_OR_RETURN(size_t index, FindLocked(id));
+  ModelVersionInfo& info = versions_[index];
+  if (info.status == ModelVersionStatus::kQuarantined) {
+    return Status::FailedPrecondition(
+        StrFormat("model version %llu is quarantined",
+                  static_cast<unsigned long long>(id)));
+  }
+  std::string path = VersionPath(id);
+  Status verdict = Status::OK();
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) {
+    verdict = bytes.status();
+  } else if (bytes->size() != info.size_bytes || Crc32(*bytes) != info.crc32) {
+    verdict = Status::DataLoss(
+        StrFormat("model version %llu does not match its manifest "
+                  "fingerprint (stored bytes damaged or replaced)",
+                  static_cast<unsigned long long>(id)));
+  } else {
+    Status decoded = DecodeArtifact(*bytes, kModelKind).status();
+    if (!decoded.ok()) verdict = decoded;
+  }
+  if (!verdict.ok()) {
+    info.status = ModelVersionStatus::kQuarantined;
+    if (serving_ == id) serving_ = 0;
+    if (last_good_ == id) last_good_ = 0;
+    (void)WriteManifestLocked();  // best effort; the verdict is the story
+    return verdict;
+  }
+  return path;
+}
+
+Status ModelRegistry::SetServing(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("registry is not open");
+  LSD_ASSIGN_OR_RETURN(size_t index, FindLocked(id));
+  if (versions_[index].status == ModelVersionStatus::kQuarantined) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot serve quarantined model version %llu",
+                  static_cast<unsigned long long>(id)));
+  }
+  if (serving_ == id) return Status::OK();
+  if (serving_ != 0) {
+    StatusOr<size_t> old_index = FindLocked(serving_);
+    if (old_index.ok() &&
+        versions_[*old_index].status == ModelVersionStatus::kServing) {
+      versions_[*old_index].status = ModelVersionStatus::kRetired;
+    }
+  }
+  versions_[index].status = ModelVersionStatus::kServing;
+  serving_ = id;
+  return WriteManifestLocked();
+}
+
+Status ModelRegistry::MarkLastGood(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("registry is not open");
+  LSD_ASSIGN_OR_RETURN(size_t index, FindLocked(id));
+  if (versions_[index].status == ModelVersionStatus::kQuarantined) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot mark quarantined model version %llu last-good",
+                  static_cast<unsigned long long>(id)));
+  }
+  if (last_good_ == id) return Status::OK();
+  last_good_ = id;
+  return WriteManifestLocked();
+}
+
+Status ModelRegistry::Quarantine(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("registry is not open");
+  LSD_ASSIGN_OR_RETURN(size_t index, FindLocked(id));
+  if (versions_[index].status == ModelVersionStatus::kQuarantined) {
+    return Status::OK();
+  }
+  versions_[index].status = ModelVersionStatus::kQuarantined;
+  if (serving_ == id) serving_ = 0;
+  if (last_good_ == id) last_good_ = 0;
+  return WriteManifestLocked();
+}
+
+StatusOr<ModelVersionInfo> ModelRegistry::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LSD_ASSIGN_OR_RETURN(size_t index, FindLocked(id));
+  return versions_[index];
+}
+
+std::vector<ModelVersionInfo> ModelRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_;
+}
+
+uint64_t ModelRegistry::serving() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serving_;
+}
+
+uint64_t ModelRegistry::last_good() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_good_;
+}
+
+}  // namespace lsd

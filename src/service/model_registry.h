@@ -1,0 +1,131 @@
+#ifndef LSD_SERVICE_MODEL_REGISTRY_H_
+#define LSD_SERVICE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lsd {
+
+/// Lifecycle state of one model version in the registry.
+///
+///     candidate --SetServing--> serving --SetServing(other)--> retired
+///         |                       |
+///         +----Quarantine---------+----> quarantined   (terminal)
+///
+/// `retired` versions may be re-promoted (rollback re-serves a previous
+/// version); `quarantined` versions may not — quarantine records that the
+/// bytes failed integrity re-verification or that the version was rejected
+/// by shadow validation / rolled back by probation, and the registry
+/// refuses to hand them out again.
+enum class ModelVersionStatus {
+  kCandidate,
+  kServing,
+  kRetired,
+  kQuarantined,
+};
+
+/// Stable lowercase name ("candidate", "serving", ...), used in the
+/// manifest and in operator output.
+const char* ModelVersionStatusName(ModelVersionStatus status);
+
+/// Inverse of ModelVersionStatusName; kParseError on unknown names.
+StatusOr<ModelVersionStatus> ParseModelVersionStatus(std::string_view name);
+
+/// Manifest entry for one registered model version.
+struct ModelVersionInfo {
+  uint64_t id = 0;
+  ModelVersionStatus status = ModelVersionStatus::kCandidate;
+  /// CRC32 and size of the stored artifact bytes, recorded at AddVersion
+  /// time and re-verified by VerifiedModelPath.
+  uint32_t crc32 = 0;
+  uint64_t size_bytes = 0;
+};
+
+/// A versioned, crash-safe store of model artifacts backing the matching
+/// service's hot-reload path.
+///
+/// Layout: one directory holding `v<id>.model` files (each a framed
+/// artifact of kind "model", copied in via the atomic writer) plus
+/// `registry.manifest`, a framed artifact of kind "model-registry" that
+/// records every version's id, status, fingerprint (CRC32 + size), the
+/// currently serving version, and the last-good pointer. The manifest is
+/// rewritten atomically on every mutation, so a crash at any point leaves
+/// a previous complete manifest — the same guarantee the PR-4 artifact
+/// layer gives model bytes.
+///
+/// Version ids are monotonic and never reused, even across reopen: the
+/// manifest persists `next-version`. All methods are thread-safe.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string dir);
+
+  /// Creates the directory (one level) if needed and loads or initializes
+  /// the manifest. Must be called (and succeed) before any other method.
+  /// A corrupt manifest is reported, never silently reset — the registry
+  /// is the source of truth for which model bytes are trustworthy.
+  Status Open();
+
+  /// Registers the model artifact at `source_path`: validates that the
+  /// bytes decode as a "model" artifact, copies them into the registry
+  /// directory under a fresh monotonic id, and records the version as
+  /// `candidate`. Returns the new id.
+  StatusOr<uint64_t> AddVersion(const std::string& source_path);
+
+  /// Path of version `id`'s bytes after integrity re-verification: the
+  /// stored file must match the manifest's size and CRC32 and still decode
+  /// as a "model" artifact. On mismatch the version is quarantined and
+  /// kDataLoss is returned; quarantined versions are refused outright
+  /// (kFailedPrecondition).
+  StatusOr<std::string> VerifiedModelPath(uint64_t id);
+
+  /// Marks `id` as serving; the previously serving version (if different)
+  /// becomes `retired`. Quarantined versions are refused.
+  Status SetServing(uint64_t id);
+
+  /// Moves the last-good pointer to `id` (typically after a version
+  /// survives its post-swap probation window). Quarantined versions are
+  /// refused.
+  Status MarkLastGood(uint64_t id);
+
+  /// Quarantines `id` (shadow-validation rejection, probation rollback, or
+  /// integrity failure). If it was serving, the registry no longer has a
+  /// serving version until SetServing is called with the rollback target;
+  /// if it was last-good, the pointer is cleared.
+  Status Quarantine(uint64_t id);
+
+  /// Manifest entry for `id`; kNotFound if absent.
+  StatusOr<ModelVersionInfo> Get(uint64_t id) const;
+
+  /// All versions, ascending by id.
+  std::vector<ModelVersionInfo> List() const;
+
+  /// Currently serving version id, 0 if none.
+  uint64_t serving() const;
+
+  /// Last-good version id, 0 if none.
+  uint64_t last_good() const;
+
+  const std::string& dir() const { return dir_; }
+  std::string ManifestPath() const;
+
+ private:
+  Status WriteManifestLocked();
+  StatusOr<size_t> FindLocked(uint64_t id) const;
+  std::string VersionPath(uint64_t id) const;
+
+  const std::string dir_;
+  mutable std::mutex mu_;
+  bool open_ = false;
+  uint64_t next_version_ = 1;
+  uint64_t serving_ = 0;
+  uint64_t last_good_ = 0;
+  std::vector<ModelVersionInfo> versions_;
+};
+
+}  // namespace lsd
+
+#endif  // LSD_SERVICE_MODEL_REGISTRY_H_

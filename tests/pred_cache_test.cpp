@@ -411,5 +411,48 @@ TEST(PredCacheSystemTest, ReplicasShareWarmEntriesThroughOneCache) {
   ExpectIdenticalResults(*through_first, *through_second);
 }
 
+TEST(PredCacheSystemTest, DifferentlyTrainedReplicasNeverShareEntries) {
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     /*listings=*/25, /*seed=*/7);
+  ASSERT_TRUE(domain.ok());
+  // Two *different* models behind one cache — the hot-reload topology
+  // while an old generation drains next to a new one. Keys embed each
+  // learner's content fingerprint, so version A's entries must be
+  // invisible to version B: stale scores crossing a model swap would be
+  // silent wrong answers.
+  std::unique_ptr<LsdSystem> version_a = TrainedSystem(*domain, 0);
+  LsdConfig config;
+  auto version_b = std::make_unique<LsdSystem>(domain->mediated, config,
+                                               &domain->synonyms);
+  for (size_t s = 0; s < 2; ++s) {  // one source fewer than version_a
+    ASSERT_TRUE(version_b
+                    ->AddTrainingSource(domain->sources[s].source,
+                                        domain->sources[s].gold)
+                    .ok());
+  }
+  ASSERT_TRUE(version_b->Train().ok());
+
+  // Solo baseline for version B, no cache anywhere.
+  const DataSource& target = domain->sources[4].source;
+  auto solo_b = version_b->MatchSource(target);
+  ASSERT_TRUE(solo_b.ok());
+
+  auto shared = std::make_shared<PredCache>(4096);
+  version_a->SetPredictionCache(shared);
+  version_b->SetPredictionCache(shared);
+
+  // Version A fills the cache for this target.
+  ASSERT_TRUE(version_a->MatchSource(target).ok());
+  PredCache::Stats after_a = shared->stats();
+  EXPECT_GT(after_a.insertions, 0u);
+
+  // Version B matches the same target through the same cache: zero hits
+  // on A's entries, and output byte-identical to its cache-free solo run.
+  auto through_b = version_b->MatchSource(target);
+  ASSERT_TRUE(through_b.ok());
+  EXPECT_EQ(shared->stats().hits, after_a.hits);
+  ExpectIdenticalResults(*solo_b, *through_b);
+}
+
 }  // namespace
 }  // namespace lsd

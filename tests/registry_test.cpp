@@ -1,0 +1,277 @@
+// Unit tests for the versioned model registry (service/model_registry.h):
+//   - monotonic id assignment and candidate registration,
+//   - kind validation at AddVersion time,
+//   - integrity re-verification on load (tampered bytes -> kDataLoss +
+//     quarantine; quarantined versions refused outright),
+//   - the candidate/serving/retired/quarantined lifecycle and the
+//     serving / last-good pointers,
+//   - manifest persistence across reopen (ids never reused) and the
+//     corrupt-manifest-is-an-error guarantee.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/artifact_io.h"
+#include "common/file_util.h"
+#include "common/status.h"
+#include "gtest/gtest.h"
+#include "service/model_registry.h"
+
+namespace lsd {
+namespace {
+
+// A fresh registry directory per test. The directory may survive a
+// previous run of the same test binary, so stale manifest and version
+// files are removed up front.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/lsd_registry_test_" + name;
+  std::remove((dir + "/registry.manifest").c_str());
+  for (int id = 1; id <= 64; ++id) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "/v%d.model", id);
+    std::remove((dir + buf).c_str());
+  }
+  return dir;
+}
+
+// Writes a minimal framed "model" artifact whose payload is `payload`,
+// returning its path. Cheap stand-in for a trained model: the registry
+// only validates framing and kind, never learner contents.
+std::string WriteFakeModel(const std::string& path,
+                           const std::string& payload) {
+  Artifact artifact;
+  artifact.kind = "model";
+  artifact.sections.push_back({"state", payload});
+  Status status = WriteArtifact(path, artifact);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return path;
+}
+
+TEST(ModelRegistryTest, AddVersionAssignsMonotonicIdsAsCandidates) {
+  ModelRegistry registry(FreshDir("monotonic"));
+  ASSERT_TRUE(registry.Open().ok());
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_a.artifact", "alpha");
+
+  StatusOr<uint64_t> v1 = registry.AddVersion(src);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  StatusOr<uint64_t> v2 = registry.AddVersion(src);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(*v1, 1u);
+  EXPECT_EQ(*v2, 2u);
+
+  StatusOr<ModelVersionInfo> info = registry.Get(*v1);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->status, ModelVersionStatus::kCandidate);
+  EXPECT_GT(info->size_bytes, 0u);
+  EXPECT_EQ(registry.serving(), 0u);
+  EXPECT_EQ(registry.last_good(), 0u);
+  EXPECT_EQ(registry.List().size(), 2u);
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, AddVersionRejectsNonModelArtifacts) {
+  ModelRegistry registry(FreshDir("kind"));
+  ASSERT_TRUE(registry.Open().ok());
+
+  // Structurally valid artifact of the wrong kind.
+  std::string wrong_kind = ::testing::TempDir() + "/lsd_registry_wrong.artifact";
+  Artifact artifact;
+  artifact.kind = "run-report";
+  artifact.sections.push_back({"state", "not a model"});
+  ASSERT_TRUE(WriteArtifact(wrong_kind, artifact).ok());
+  EXPECT_FALSE(registry.AddVersion(wrong_kind).ok());
+
+  // Raw bytes that are not an artifact at all.
+  std::string garbage = ::testing::TempDir() + "/lsd_registry_garbage.bin";
+  ASSERT_TRUE(WriteStringToFile(garbage, "garbage bytes").ok());
+  EXPECT_FALSE(registry.AddVersion(garbage).ok());
+
+  // Missing file.
+  EXPECT_FALSE(registry.AddVersion(garbage + ".missing").ok());
+
+  // Failed registrations must not burn version ids.
+  std::string good = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_good.artifact", "ok");
+  StatusOr<uint64_t> id = registry.AddVersion(good);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 1u);
+  std::remove(wrong_kind.c_str());
+  std::remove(garbage.c_str());
+  std::remove(good.c_str());
+}
+
+TEST(ModelRegistryTest, VerifiedModelPathReturnsIntactBytes) {
+  ModelRegistry registry(FreshDir("verify"));
+  ASSERT_TRUE(registry.Open().ok());
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_v.artifact", "payload-v");
+  StatusOr<uint64_t> id = registry.AddVersion(src);
+  ASSERT_TRUE(id.ok());
+
+  StatusOr<std::string> path = registry.VerifiedModelPath(*id);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  StatusOr<std::string> stored = ReadFileToString(*path);
+  StatusOr<std::string> original = ReadFileToString(src);
+  ASSERT_TRUE(stored.ok());
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(*stored, *original);
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, TamperedBytesAreQuarantinedOnLoad) {
+  ModelRegistry registry(FreshDir("tamper"));
+  ASSERT_TRUE(registry.Open().ok());
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_t.artifact", "payload-t");
+  StatusOr<uint64_t> id = registry.AddVersion(src);
+  ASSERT_TRUE(id.ok());
+
+  // Flip a payload byte in the stored copy, keeping the length intact.
+  std::string stored_path = registry.dir() + "/v1.model";
+  StatusOr<std::string> bytes = ReadFileToString(stored_path);
+  ASSERT_TRUE(bytes.ok());
+  std::string mangled = *bytes;
+  mangled[mangled.size() - 2] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(stored_path, mangled).ok());
+
+  StatusOr<std::string> path = registry.VerifiedModelPath(*id);
+  ASSERT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kDataLoss);
+  StatusOr<ModelVersionInfo> info = registry.Get(*id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->status, ModelVersionStatus::kQuarantined);
+
+  // Quarantine is sticky: even restoring the bytes does not un-poison the
+  // version, and further loads are refused with a distinct code.
+  ASSERT_TRUE(WriteStringToFile(stored_path, *bytes).ok());
+  StatusOr<std::string> again = registry.VerifiedModelPath(*id);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, ServingLifecycleAndRollbackRepromotion) {
+  ModelRegistry registry(FreshDir("lifecycle"));
+  ASSERT_TRUE(registry.Open().ok());
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_l.artifact", "payload-l");
+  StatusOr<uint64_t> v1 = registry.AddVersion(src);
+  StatusOr<uint64_t> v2 = registry.AddVersion(src);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  ASSERT_TRUE(registry.SetServing(*v1).ok());
+  ASSERT_TRUE(registry.MarkLastGood(*v1).ok());
+  EXPECT_EQ(registry.serving(), *v1);
+  EXPECT_EQ(registry.last_good(), *v1);
+
+  // Promoting v2 retires v1.
+  ASSERT_TRUE(registry.SetServing(*v2).ok());
+  EXPECT_EQ(registry.serving(), *v2);
+  EXPECT_EQ(registry.Get(*v1)->status, ModelVersionStatus::kRetired);
+  EXPECT_EQ(registry.Get(*v2)->status, ModelVersionStatus::kServing);
+
+  // Rollback: quarantine v2, re-promote the retired v1.
+  ASSERT_TRUE(registry.Quarantine(*v2).ok());
+  EXPECT_EQ(registry.serving(), 0u);
+  ASSERT_TRUE(registry.SetServing(*v1).ok());
+  EXPECT_EQ(registry.serving(), *v1);
+  EXPECT_EQ(registry.Get(*v1)->status, ModelVersionStatus::kServing);
+
+  // Quarantine is terminal: no promotion, no last-good, no load.
+  EXPECT_FALSE(registry.SetServing(*v2).ok());
+  EXPECT_FALSE(registry.MarkLastGood(*v2).ok());
+  EXPECT_FALSE(registry.VerifiedModelPath(*v2).ok());
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, QuarantineClearsLastGoodPointer) {
+  ModelRegistry registry(FreshDir("lastgood"));
+  ASSERT_TRUE(registry.Open().ok());
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_g.artifact", "payload-g");
+  StatusOr<uint64_t> v1 = registry.AddVersion(src);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(registry.SetServing(*v1).ok());
+  ASSERT_TRUE(registry.MarkLastGood(*v1).ok());
+  ASSERT_TRUE(registry.Quarantine(*v1).ok());
+  EXPECT_EQ(registry.serving(), 0u);
+  EXPECT_EQ(registry.last_good(), 0u);
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, ManifestPersistsAcrossReopenAndIdsNeverReused) {
+  std::string dir = FreshDir("reopen");
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_r.artifact", "payload-r");
+  {
+    ModelRegistry registry(dir);
+    ASSERT_TRUE(registry.Open().ok());
+    StatusOr<uint64_t> v1 = registry.AddVersion(src);
+    StatusOr<uint64_t> v2 = registry.AddVersion(src);
+    ASSERT_TRUE(v1.ok());
+    ASSERT_TRUE(v2.ok());
+    ASSERT_TRUE(registry.SetServing(*v2).ok());
+    ASSERT_TRUE(registry.MarkLastGood(*v2).ok());
+    ASSERT_TRUE(registry.Quarantine(*v1).ok());
+  }
+  ModelRegistry reopened(dir);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.serving(), 2u);
+  EXPECT_EQ(reopened.last_good(), 2u);
+  ASSERT_EQ(reopened.List().size(), 2u);
+  EXPECT_EQ(reopened.Get(1)->status, ModelVersionStatus::kQuarantined);
+  EXPECT_EQ(reopened.Get(2)->status, ModelVersionStatus::kServing);
+  // Integrity metadata survives the reopen: the stored copy still loads.
+  EXPECT_TRUE(reopened.VerifiedModelPath(2).ok());
+  // Ids continue past the persisted high-water mark — never reused.
+  StatusOr<uint64_t> v3 = reopened.AddVersion(src);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, 3u);
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, CorruptManifestIsAnErrorNotASilentReset) {
+  std::string dir = FreshDir("corrupt");
+  std::string src = WriteFakeModel(
+      ::testing::TempDir() + "/lsd_registry_src_c.artifact", "payload-c");
+  {
+    ModelRegistry registry(dir);
+    ASSERT_TRUE(registry.Open().ok());
+    ASSERT_TRUE(registry.AddVersion(src).ok());
+  }
+  ModelRegistry corrupted(dir);
+  std::string manifest = corrupted.ManifestPath();
+  StatusOr<std::string> bytes = ReadFileToString(manifest);
+  ASSERT_TRUE(bytes.ok());
+  std::string mangled = *bytes;
+  mangled[mangled.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteStringToFile(manifest, mangled).ok());
+  EXPECT_FALSE(corrupted.Open().ok());
+  std::remove(src.c_str());
+}
+
+TEST(ModelRegistryTest, MethodsRequireOpen) {
+  ModelRegistry registry(FreshDir("unopened"));
+  EXPECT_FALSE(registry.AddVersion("anything").ok());
+  EXPECT_FALSE(registry.VerifiedModelPath(1).ok());
+  EXPECT_FALSE(registry.SetServing(1).ok());
+  EXPECT_FALSE(registry.MarkLastGood(1).ok());
+  EXPECT_FALSE(registry.Quarantine(1).ok());
+}
+
+TEST(ModelRegistryTest, StatusNamesRoundTrip) {
+  for (ModelVersionStatus status :
+       {ModelVersionStatus::kCandidate, ModelVersionStatus::kServing,
+        ModelVersionStatus::kRetired, ModelVersionStatus::kQuarantined}) {
+    StatusOr<ModelVersionStatus> parsed =
+        ParseModelVersionStatus(ModelVersionStatusName(status));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, status);
+  }
+  EXPECT_FALSE(ParseModelVersionStatus("bogus").ok());
+}
+
+}  // namespace
+}  // namespace lsd

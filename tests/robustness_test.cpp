@@ -569,25 +569,34 @@ TEST_F(RobustnessSystemTest, EveryFaultSeamFiresUnderTheStandardPipeline) {
     service_options.backoff.max_retries = 0;
     service_options.breaker.failure_threshold = 0;
     service_options.sleep_millis = [](int64_t) {};
-    auto service = MatchService::Create(
-        [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
-          auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
-          LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
-          LSD_RETURN_IF_ERROR(system->Train());
-          return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
-        },
-        service_options);
+    // A golden request makes Reload() cross the shadow-eval seam; the
+    // swap attempt itself crosses the model-swap seam.
+    ServiceRequest golden;
+    golden.id = "seam-golden";
+    golden.dtd_text =
+        "<!ELEMENT home (area, reach)>"
+        "<!ELEMENT area (#PCDATA)>"
+        "<!ELEMENT reach (#PCDATA)>";
+    golden.xml_text =
+        "<listings><home><area>Miami, FL</area>"
+        "<reach>(555) 123 4567</reach></home></listings>";
+    service_options.golden_requests.push_back(golden);
+    auto factory = [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+    auto service = MatchService::Create(factory, service_options);
     if (service.ok()) {
       ServiceRequest request;
       request.id = "seam-probe";
-      request.dtd_text =
-          "<!ELEMENT home (area, reach)>"
-          "<!ELEMENT area (#PCDATA)>"
-          "<!ELEMENT reach (#PCDATA)>";
-      request.xml_text =
-          "<listings><home><area>Miami, FL</area>"
-          "<reach>(555) 123 4567</reach></home></listings>";
+      request.dtd_text = golden.dtd_text;
+      request.xml_text = golden.xml_text;
       (void)(*service)->Process(std::move(request));
+      MatchService::ReloadOptions reload;
+      reload.factory = factory;
+      (void)(*service)->Reload(std::move(reload));
     }
 
     EXPECT_GE(injector.injected_count(), 1u);

@@ -19,16 +19,30 @@
 //                               cache-on service yields byte-identical
 //                               responses, cold and warm, with nonzero
 //                               hits on the warm wave
+//   G  model lifecycle        — hot reload under gated load (every response
+//                               attributable to exactly one version, zero
+//                               swap-caused failures or sheds), a distinct
+//                               retrained model swapped in through the
+//                               shared prediction cache without stale
+//                               reads, rejection/abort paths that leave
+//                               serving untouched, and an injected
+//                               post-swap regression that auto-rolls back
+//                               within its probation window
+//   H  submit/stop race       — submissions racing a concurrent Stop()
+//                               always resolve their futures (executed or
+//                               shed), never hang
 //
 // Every phase's per-request record (outcome, attempts, fingerprint or
 // error code) is compared byte-for-byte against the 1-worker baseline:
-// worker count must never change WHAT is computed, only when.
+// worker count must never change WHAT is computed, only when. (Phase H
+// races real threads on purpose and records nothing.)
 //
 // Determinism levers: fault decisions are key-pure (request id / learner
 // name), retries use fake sleeps, deadlines are infinite except in phase E
 // (where they are already expired at submit), phase B pins scheduling with
 // an interceptor gate, and phase D serializes requests via Process().
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
@@ -38,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -148,6 +163,20 @@ class Fixture {
     return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
       auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
       LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  }
+
+  /// A deliberately different model: the text-field gold labels are
+  /// swapped, so this generation's outputs cannot match Factory()'s.
+  MatchService::ReplicaFactory DivergentFactory() {
+    return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      Mapping inverted = gold_a_;
+      inverted.Set("location", "DESCRIPTION");
+      inverted.Set("comments", "ADDRESS");
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, inverted));
       LSD_RETURN_IF_ERROR(system->Train());
       return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
     };
@@ -549,6 +578,279 @@ void PhaseF_CacheParity(Fixture& fixture, size_t workers, size_t waves,
   SOAK_CHECK(on_stats.pred_cache_misses > 0, "cold wave never missed");
 }
 
+/// Options with a golden request set, so reloads shadow-validate.
+MatchServiceOptions GoldenOptions(size_t workers) {
+  MatchServiceOptions options = BaseOptions(workers);
+  options.golden_requests.push_back(MakeRequest("golden-0", 0, 0));
+  options.golden_requests.push_back(MakeRequest("golden-1", 1, 1));
+  return options;
+}
+
+void PhaseG_ModelLifecycle(Fixture& fixture, size_t workers,
+                           RecordMap* records) {
+  // G1: hot swap of an identically trained model while the service is
+  // under gated load. Every worker is parked mid-execution when the swap
+  // publishes, a backlog is queued behind them, and nothing is ever shed
+  // or failed on account of the swap. Each response is attributable to
+  // exactly one version: the parked requests finish on the old one, the
+  // backlog adopts the new one at its request boundary. Fingerprints are
+  // version-independent here (same training data), so the records stay
+  // comparable across worker counts even though version attribution
+  // depends on scheduling.
+  {
+    auto gate = std::make_shared<PrefixGate>("g1h-");
+    MatchServiceOptions options = GoldenOptions(workers);
+    options.execute_interceptor = [gate](const ServiceRequest& r) {
+      (*gate)(r);
+    };
+    auto service = MatchService::Create(fixture.Factory(), options);
+    SOAK_CHECK(service.ok(), "create: %s",
+               service.status().ToString().c_str());
+    const size_t held = 8;    // >= the largest worker fleet
+    const size_t queued = 8;  // fixed, so the record set never varies
+    std::vector<std::future<ServiceResponse>> futures;
+    for (size_t i = 0; i < held; ++i) {
+      futures.push_back((*service)->Submit(MakeRequest(
+          "g1h-" + std::to_string(i), i % kVariantCount, i % 4)));
+    }
+    // The pool collapses to one executor when the hardware has fewer
+    // cores than the fleet (single-core CI), so wait only for as many
+    // parked workers as can physically execute at once.
+    const size_t executors = std::max<size_t>(
+        1, std::min<size_t>(workers, std::thread::hardware_concurrency()));
+    gate->AwaitArrivals(std::min(executors, held));
+    for (size_t i = 0; i < queued; ++i) {
+      futures.push_back((*service)->Submit(MakeRequest(
+          "g1q-" + std::to_string(i), i % kVariantCount, i % 4)));
+    }
+
+    MatchService::ReloadOptions reload;
+    reload.factory = fixture.Factory();
+    auto report = (*service)->Reload(std::move(reload));
+    SOAK_CHECK(report.ok(), "G1 reload: %s",
+               report.status().ToString().c_str());
+    SOAK_CHECK(report->swapped, "G1 identical candidate rejected: %s",
+               report->rejection.c_str());
+    SOAK_CHECK(report->model_version == 2, "G1 version %llu",
+               (unsigned long long)report->model_version);
+    SOAK_CHECK(report->golden_matched == report->golden_total,
+               "G1 golden %zu/%zu", report->golden_matched,
+               report->golden_total);
+
+    gate->Open();
+    for (auto& future : futures) {
+      ServiceResponse r = future.get();
+      SOAK_CHECK(r.outcome == RequestOutcome::kOk,
+                 "%s %s during hot swap: %s", r.id.c_str(),
+                 RequestOutcomeName(r.outcome), r.status.ToString().c_str());
+      SOAK_CHECK(r.model_version == 1 || r.model_version == 2,
+                 "%s attributed to version %llu", r.id.c_str(),
+                 (unsigned long long)r.model_version);
+      NoOverrun(r);
+      (*records)["G1/" + r.id] = Record(r);
+    }
+    MatchService::Stats stats = (*service)->stats();
+    SOAK_CHECK(stats.shed == 0 && stats.failed == 0,
+               "G1 swap-attributable damage: shed=%llu failed=%llu",
+               (unsigned long long)stats.shed,
+               (unsigned long long)stats.failed);
+    SOAK_CHECK(stats.reloads == 1 && stats.model_version == 2,
+               "G1 stats reloads=%llu version=%llu",
+               (unsigned long long)stats.reloads,
+               (unsigned long long)stats.model_version);
+  }
+
+  // G2: an intentionally retrained (divergent) model swapped in under the
+  // accuracy-floor gate, through the always-on shared prediction cache.
+  // The new generation's outputs must differ from the old one's on the
+  // same request bytes — stale cache entries crossing the swap would
+  // reproduce the old scores, so this doubles as the cross-version cache
+  // isolation check.
+  {
+    auto service = MatchService::Create(fixture.Factory(),
+                                        GoldenOptions(workers));
+    SOAK_CHECK(service.ok(), "create: %s",
+               service.status().ToString().c_str());
+    std::vector<std::string> pre_fingerprints;
+    for (size_t i = 0; i < kVariantCount; ++i) {
+      ServiceResponse r = (*service)->Process(
+          MakeRequest("g2-pre-" + std::to_string(i), i, i));
+      SOAK_CHECK(r.outcome == RequestOutcome::kOk, "%s: %s", r.id.c_str(),
+                 r.status.ToString().c_str());
+      pre_fingerprints.push_back(r.fingerprint);
+      (*records)["G2/" + r.id] = Record(r);
+    }
+    MatchService::ReloadOptions reload;
+    reload.factory = fixture.DivergentFactory();
+    reload.require_identical = false;
+    reload.min_accuracy = 0.0;
+    auto report = (*service)->Reload(std::move(reload));
+    SOAK_CHECK(report.ok() && report->swapped, "G2 floor reload not adopted");
+    for (size_t i = 0; i < kVariantCount; ++i) {
+      ServiceResponse r = (*service)->Process(
+          MakeRequest("g2-post-" + std::to_string(i), i, i));
+      SOAK_CHECK(r.outcome == RequestOutcome::kOk, "%s: %s", r.id.c_str(),
+                 r.status.ToString().c_str());
+      SOAK_CHECK(r.model_version == 2, "%s on version %llu", r.id.c_str(),
+                 (unsigned long long)r.model_version);
+      SOAK_CHECK(r.fingerprint != pre_fingerprints[i],
+                 "%s reproduced the old generation's bytes — stale "
+                 "cross-version cache read",
+                 r.id.c_str());
+      (*records)["G2/" + r.id] = Record(r);
+    }
+  }
+
+  // G3: every non-adoption path leaves serving untouched — shadow
+  // rejection of a divergent candidate, an injected publication fault,
+  // and an injected shadow-eval fault.
+  {
+    auto service = MatchService::Create(fixture.Factory(),
+                                        GoldenOptions(workers));
+    SOAK_CHECK(service.ok(), "create: %s",
+               service.status().ToString().c_str());
+    ServiceResponse base = (*service)->Process(MakeRequest("g3-base", 0, 0));
+    SOAK_CHECK(base.outcome == RequestOutcome::kOk, "g3-base: %s",
+               base.status.ToString().c_str());
+    (*records)["G3/" + base.id] = Record(base);
+
+    MatchService::ReloadOptions divergent;
+    divergent.factory = fixture.DivergentFactory();
+    auto rejected = (*service)->Reload(std::move(divergent));
+    SOAK_CHECK(rejected.ok() && !rejected->swapped,
+               "G3 divergent candidate not rejected");
+    {
+      FaultInjector injector;
+      injector.FailMatching(FaultSite::kModelSwap, "swap/",
+                            Status::Internal("injected publication fault"));
+      ScopedFaultInjection scoped(&injector);
+      MatchService::ReloadOptions aborted;
+      aborted.factory = fixture.Factory();
+      auto outcome = (*service)->Reload(std::move(aborted));
+      SOAK_CHECK(!outcome.ok(), "G3 swap fault did not abort the reload");
+    }
+    {
+      FaultInjector injector;
+      injector.FailMatching(FaultSite::kShadowEval, "golden-0",
+                            Status::Internal("injected shadow-eval fault"));
+      ScopedFaultInjection scoped(&injector);
+      MatchService::ReloadOptions shadow;
+      shadow.factory = fixture.Factory();
+      auto outcome = (*service)->Reload(std::move(shadow));
+      SOAK_CHECK(outcome.ok() && !outcome->swapped,
+                 "G3 shadow-eval fault did not reject the candidate");
+    }
+    SOAK_CHECK((*service)->model_version() == 1,
+               "G3 serving version moved to %llu",
+               (unsigned long long)(*service)->model_version());
+    ServiceResponse after = (*service)->Process(MakeRequest("g3-after", 0, 0));
+    SOAK_CHECK(after.outcome == RequestOutcome::kOk &&
+                   after.fingerprint == base.fingerprint,
+               "G3 serving outputs changed without an adopted swap");
+    (*records)["G3/" + after.id] = Record(after);
+    MatchService::Stats stats = (*service)->stats();
+    SOAK_CHECK(stats.reloads == 0 && stats.reload_rejections == 2,
+               "G3 stats reloads=%llu rejections=%llu",
+               (unsigned long long)stats.reloads,
+               (unsigned long long)stats.reload_rejections);
+  }
+
+  // G4: post-swap regression -> automatic rollback within the probation
+  // window. The regressed version's failures (and only its own) breach
+  // the threshold; the previous generation returns under a fresh epoch
+  // with byte-identical outputs.
+  {
+    MatchServiceOptions options = GoldenOptions(workers);
+    options.backoff.max_retries = 0;
+    auto service = MatchService::Create(fixture.Factory(), options);
+    SOAK_CHECK(service.ok(), "create: %s",
+               service.status().ToString().c_str());
+    ServiceResponse base = (*service)->Process(MakeRequest("g4-base", 0, 0));
+    SOAK_CHECK(base.outcome == RequestOutcome::kOk, "g4-base: %s",
+               base.status.ToString().c_str());
+    (*records)["G4/" + base.id] = Record(base);
+
+    MatchService::ReloadOptions reload;
+    reload.factory = fixture.Factory();
+    reload.probation_requests = 6;
+    reload.probation_max_failures = 0;
+    auto report = (*service)->Reload(std::move(reload));
+    SOAK_CHECK(report.ok() && report->swapped, "G4 swap not adopted");
+    SOAK_CHECK(report->model_version == 2, "G4 version %llu",
+               (unsigned long long)report->model_version);
+    {
+      FaultInjector injector;
+      injector.FailMatching(FaultSite::kServiceExec, "g4-bad/",
+                            Status::Internal("post-swap regression"));
+      ScopedFaultInjection scoped(&injector);
+      ServiceResponse bad = (*service)->Process(MakeRequest("g4-bad", 1, 1));
+      SOAK_CHECK(bad.outcome == RequestOutcome::kFailed &&
+                     bad.model_version == 2,
+                 "g4-bad %s on version %llu",
+                 RequestOutcomeName(bad.outcome),
+                 (unsigned long long)bad.model_version);
+      (*records)["G4/" + bad.id] = Record(bad);
+    }
+    MatchService::Stats stats = (*service)->stats();
+    SOAK_CHECK(stats.rollbacks == 1, "G4 rollbacks=%llu",
+               (unsigned long long)stats.rollbacks);
+    SOAK_CHECK((*service)->model_version() == 3,
+               "G4 post-rollback version %llu",
+               (unsigned long long)(*service)->model_version());
+    ServiceResponse restored =
+        (*service)->Process(MakeRequest("g4-restored", 0, 0));
+    SOAK_CHECK(restored.outcome == RequestOutcome::kOk &&
+                   restored.model_version == 3 &&
+                   restored.fingerprint == base.fingerprint,
+               "G4 rollback did not restore the last-good outputs");
+    (*records)["G4/" + restored.id] = Record(restored);
+  }
+}
+
+void PhaseH_SubmitStopRace(Fixture& fixture, size_t workers) {
+  // Real thread chaos on purpose: several submitters race one Stop().
+  // The invariant is liveness plus taxonomy — every future resolves as
+  // executed-before-drain or shed-with-kUnavailable — so this phase
+  // records nothing for the cross-worker-count comparison.
+  auto service = MatchService::Create(fixture.Factory(),
+                                      BaseOptions(workers));
+  SOAK_CHECK(service.ok(), "create: %s", service.status().ToString().c_str());
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 6;
+  std::vector<std::future<ServiceResponse>> futures[kThreads];
+  std::vector<std::thread> submitters;
+  std::atomic<size_t> started{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      started.fetch_add(1);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back((*service)->Submit(MakeRequest(
+            "h-" + std::to_string(t) + "-" + std::to_string(i),
+            i % kVariantCount, i % 4)));
+      }
+    });
+  }
+  while (started.load() < kThreads) std::this_thread::yield();
+  (*service)->Stop();
+  for (std::thread& thread : submitters) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (std::future<ServiceResponse>& future : futures[t]) {
+      SOAK_CHECK(future.wait_for(std::chrono::seconds(60)) ==
+                     std::future_status::ready,
+                 "a submission racing Stop() never resolved its future");
+      ServiceResponse r = future.get();
+      if (r.outcome == RequestOutcome::kShed) {
+        SOAK_CHECK(r.status.code() == StatusCode::kUnavailable,
+                   "%s shed with %s", r.id.c_str(),
+                   r.status.ToString().c_str());
+      } else {
+        SOAK_CHECK(r.outcome != RequestOutcome::kFailed, "%s failed: %s",
+                   r.id.c_str(), r.status.ToString().c_str());
+      }
+    }
+  }
+}
+
 RecordMap RunAllPhases(Fixture& fixture, size_t workers, size_t waves) {
   RecordMap records;
   PhaseA_Healthy(fixture, workers, waves, &records);
@@ -557,6 +859,8 @@ RecordMap RunAllPhases(Fixture& fixture, size_t workers, size_t waves) {
   PhaseD_BreakerLifecycle(fixture, workers, &records);
   PhaseE_Deadlines(fixture, workers, &records);
   PhaseF_CacheParity(fixture, workers, waves, &records);
+  PhaseG_ModelLifecycle(fixture, workers, &records);
+  PhaseH_SubmitStopRace(fixture, workers);
   return records;
 }
 

@@ -14,12 +14,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/artifact_io.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/lsd_system.h"
 #include "gtest/gtest.h"
 #include "service/circuit_breaker.h"
 #include "service/match_service.h"
+#include "service/model_registry.h"
 #include "xml/dtd_parser.h"
 #include "xml/xml_parser.h"
 
@@ -166,6 +169,30 @@ class ServiceTest : public ::testing::Test {
       LSD_RETURN_IF_ERROR(system->Train());
       return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
     };
+  }
+
+  /// Factory for a deliberately different model: the text-field gold
+  /// labels are swapped, so training converges to a model whose golden
+  /// fingerprints cannot match the serving baseline.
+  MatchService::ReplicaFactory DivergentFactory() {
+    return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      Mapping inverted = gold_a_;
+      inverted.Set("location", "DESCRIPTION");
+      inverted.Set("comments", "ADDRESS");
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, inverted));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  }
+
+  /// FastOptions plus a two-request golden set, so Reload() actually
+  /// shadow-validates.
+  static MatchServiceOptions GoldenOptions() {
+    MatchServiceOptions options = FastOptions();
+    options.golden_requests.push_back(TargetRequest("golden-0", 0));
+    options.golden_requests.push_back(TargetRequest("golden-1", 1));
+    return options;
   }
 
   /// A healthy target request; the `variant` seeds distinct-but-fixed
@@ -653,6 +680,363 @@ TEST_F(ServiceTest, ExpiredDeadlineDegradesToAnytimeResultNotFailure) {
   EXPECT_FALSE(response.mapping.empty());
   EXPECT_TRUE(response.report.deadline_hit);
   EXPECT_FALSE(response.deadline_overrun);
+}
+
+// ---------------------------------------------------------------------------
+// Hot model reload, shadow validation, probation, and rollback
+// ---------------------------------------------------------------------------
+
+/// Histogram observation count by name from a global-metrics snapshot.
+uint64_t HistogramCountOf(const MetricsSnapshot& snapshot,
+                          const std::string& name) {
+  for (const MetricsSnapshot::HistogramValue& h : snapshot.histograms) {
+    if (h.name == name) return h.count;
+  }
+  return 0;
+}
+
+TEST_F(ServiceTest, ReloadSwapsIdenticalModelWithoutDisturbingOutputs) {
+  auto service = MatchService::Create(Factory(), GoldenOptions());
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->model_version(), 1u);
+
+  ServiceResponse before = (*service)->Process(TargetRequest("r1"));
+  ASSERT_EQ(before.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(before.model_version, 1u);
+
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->swapped);
+  EXPECT_EQ(report->model_version, 2u);
+  EXPECT_EQ(report->golden_total, 2u);
+  EXPECT_EQ(report->golden_matched, 2u);
+  EXPECT_EQ((*service)->model_version(), 2u);
+
+  // The same request after the swap: attributed to the new version, byte-
+  // identical bytes (the reload factory retrains the same model).
+  uint64_t hits_before = (*service)->stats().pred_cache_hits;
+  ServiceResponse after = (*service)->Process(TargetRequest("r1"));
+  ASSERT_EQ(after.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(after.model_version, 2u);
+  EXPECT_EQ(after.fingerprint, before.fingerprint);
+  // The shared prediction cache needed no flush: the identically trained
+  // replica's content-addressed keys line up with the warm entries.
+  EXPECT_GT((*service)->stats().pred_cache_hits, hits_before);
+
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.reload_rejections, 0u);
+  EXPECT_EQ(stats.rollbacks, 0u);
+  EXPECT_EQ(stats.model_version, 2u);
+}
+
+TEST_F(ServiceTest, ShadowValidationRejectsDivergentCandidate) {
+  auto service = MatchService::Create(Factory(), GoldenOptions());
+  ASSERT_TRUE(service.ok());
+  ServiceResponse before = (*service)->Process(TargetRequest("r1"));
+  ASSERT_EQ(before.outcome, RequestOutcome::kOk);
+
+  MatchService::ReloadOptions reload;
+  reload.factory = DivergentFactory();
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->swapped);
+  EXPECT_FALSE(report->rejection.empty());
+  EXPECT_LT(report->golden_matched, report->golden_total);
+
+  // Serving is untouched: same version, same bytes.
+  EXPECT_EQ((*service)->model_version(), 1u);
+  ServiceResponse after = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(after.model_version, 1u);
+  EXPECT_EQ(after.fingerprint, before.fingerprint);
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(stats.reload_rejections, 1u);
+}
+
+TEST_F(ServiceTest, AccuracyFloorAdmitsIntentionallyRetrainedModel) {
+  auto service = MatchService::Create(Factory(), GoldenOptions());
+  ASSERT_TRUE(service.ok());
+
+  // The same candidate the byte-identical gate rejects is admissible
+  // under an explicit accuracy floor of 0 — the operator's escape hatch
+  // for an intentional retrain that changes outputs.
+  MatchService::ReloadOptions reload;
+  reload.factory = DivergentFactory();
+  reload.require_identical = false;
+  reload.min_accuracy = 0.0;
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->swapped);
+  EXPECT_EQ((*service)->model_version(), 2u);
+  ServiceResponse response = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(response.model_version, 2u);
+  EXPECT_NE(response.outcome, RequestOutcome::kShed);
+}
+
+TEST_F(ServiceTest, SwapFaultSeamAbortsReloadLeavingServingUntouched) {
+  FaultInjector injector;
+  injector.FailMatching(FaultSite::kModelSwap, "swap/",
+                        Status::Internal("injected publication fault"));
+  ScopedFaultInjection scoped(&injector);
+  auto service = MatchService::Create(Factory(), GoldenOptions());
+  ASSERT_TRUE(service.ok());
+
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInternal);
+  EXPECT_GE(injector.injected_count(), 1u);
+
+  // Not a rejection, not a swap: serving traffic continues on version 1.
+  EXPECT_EQ((*service)->model_version(), 1u);
+  ServiceResponse response = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(response.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(response.model_version, 1u);
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.reloads, 0u);
+  EXPECT_EQ(stats.reload_rejections, 0u);
+}
+
+TEST_F(ServiceTest, ProbationBreachRollsBackToLastGoodAutomatically) {
+  MatchServiceOptions options = GoldenOptions();
+  options.backoff.max_retries = 0;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+  ServiceResponse baseline = (*service)->Process(TargetRequest("r1"));
+  ASSERT_EQ(baseline.outcome, RequestOutcome::kOk);
+
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  reload.probation_requests = 8;
+  reload.probation_max_failures = 1;
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->swapped);
+  ASSERT_EQ(report->model_version, 2u);
+
+  // While the swap is on probation, another reload is refused — the
+  // rollback target must stay the immediately previous generation.
+  MatchService::ReloadOptions second;
+  second.factory = Factory();
+  StatusOr<MatchService::ReloadReport> refused =
+      (*service)->Reload(std::move(second));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // Two injected hard failures against the new version: the first is
+  // within the threshold, the second breaches it and triggers rollback.
+  {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kServiceExec, "bad-1/",
+                          Status::Internal("post-swap regression"));
+    injector.FailMatching(FaultSite::kServiceExec, "bad-2/",
+                          Status::Internal("post-swap regression"));
+    ScopedFaultInjection scoped(&injector);
+    ServiceResponse bad1 = (*service)->Process(TargetRequest("bad-1"));
+    EXPECT_EQ(bad1.outcome, RequestOutcome::kFailed);
+    EXPECT_EQ(bad1.model_version, 2u);
+    EXPECT_EQ((*service)->stats().rollbacks, 0u);
+    ServiceResponse bad2 = (*service)->Process(TargetRequest("bad-2"));
+    EXPECT_EQ(bad2.outcome, RequestOutcome::kFailed);
+    EXPECT_EQ(bad2.model_version, 2u);
+  }
+
+  // Rolled back: the previous generation serves again under a fresh
+  // epoch, and its outputs are byte-identical to the pre-swap baseline.
+  MatchService::Stats stats = (*service)->stats();
+  EXPECT_EQ(stats.rollbacks, 1u);
+  EXPECT_EQ(stats.model_version, 3u);
+  ServiceResponse restored = (*service)->Process(TargetRequest("r1"));
+  EXPECT_EQ(restored.outcome, RequestOutcome::kOk);
+  EXPECT_EQ(restored.model_version, 3u);
+  EXPECT_EQ(restored.fingerprint, baseline.fingerprint);
+
+  // Probation is over: a new reload is admissible again.
+  MatchService::ReloadOptions third;
+  third.factory = Factory();
+  StatusOr<MatchService::ReloadReport> again =
+      (*service)->Reload(std::move(third));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->swapped);
+}
+
+TEST_F(ServiceTest, ProbationPassPromotesTheNewVersion) {
+  auto service = MatchService::Create(Factory(), GoldenOptions());
+  ASSERT_TRUE(service.ok());
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  reload.probation_requests = 2;
+  reload.probation_max_failures = 0;
+  StatusOr<MatchService::ReloadReport> report =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->swapped);
+
+  EXPECT_EQ((*service)->Process(TargetRequest("p1")).model_version, 2u);
+  EXPECT_EQ((*service)->Process(TargetRequest("p2")).model_version, 2u);
+  // Probation cleared without a rollback; the next reload proceeds.
+  EXPECT_EQ((*service)->stats().rollbacks, 0u);
+  MatchService::ReloadOptions next;
+  next.factory = Factory();
+  StatusOr<MatchService::ReloadReport> after =
+      (*service)->Reload(std::move(next));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->swapped);
+  EXPECT_EQ((*service)->model_version(), 3u);
+}
+
+TEST_F(ServiceTest, RegistryRecordsServingLastGoodAndQuarantine) {
+  // The registry only needs structurally valid "model" bytes; the service
+  // never loads them (the reload factory is the loader).
+  std::string dir = ::testing::TempDir() + "/lsd_service_registry_test";
+  std::remove((dir + "/registry.manifest").c_str());
+  for (int id = 1; id <= 8; ++id) {
+    std::remove((dir + "/v" + std::to_string(id) + ".model").c_str());
+  }
+  std::string fake = ::testing::TempDir() + "/lsd_service_fake.model";
+  Artifact artifact;
+  artifact.kind = "model";
+  artifact.sections.push_back({"state", "stand-in model bytes"});
+  ASSERT_TRUE(WriteArtifact(fake, artifact).ok());
+
+  ModelRegistry registry(dir);
+  ASSERT_TRUE(registry.Open().ok());
+  StatusOr<uint64_t> v1 = registry.AddVersion(fake);
+  StatusOr<uint64_t> v2 = registry.AddVersion(fake);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+
+  MatchServiceOptions options = GoldenOptions();
+  options.backoff.max_retries = 0;
+  options.registry = &registry;
+  auto service = MatchService::Create(Factory(), options);
+  ASSERT_TRUE(service.ok());
+
+  // Adopted with a one-request probation: serving immediately, last-good
+  // only after the probation request clears.
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  reload.registry_version = *v1;
+  reload.probation_requests = 1;
+  StatusOr<MatchService::ReloadReport> adopted =
+      (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  ASSERT_TRUE(adopted->swapped);
+  EXPECT_EQ(registry.serving(), *v1);
+  EXPECT_EQ(registry.last_good(), 0u);
+  ASSERT_EQ((*service)->Process(TargetRequest("ok")).outcome,
+            RequestOutcome::kOk);
+  EXPECT_EQ(registry.last_good(), *v1);
+
+  // A shadow-validation rejection quarantines its registry version.
+  MatchService::ReloadOptions rejected;
+  rejected.factory = DivergentFactory();
+  rejected.registry_version = *v2;
+  StatusOr<MatchService::ReloadReport> rejection =
+      (*service)->Reload(std::move(rejected));
+  ASSERT_TRUE(rejection.ok());
+  EXPECT_FALSE(rejection->swapped);
+  EXPECT_EQ(registry.Get(*v2)->status, ModelVersionStatus::kQuarantined);
+  EXPECT_EQ(registry.serving(), *v1);
+
+  // A probation breach quarantines the regressed version and restores
+  // the previous one as serving.
+  StatusOr<uint64_t> v3 = registry.AddVersion(fake);
+  ASSERT_TRUE(v3.ok());
+  MatchService::ReloadOptions regressed;
+  regressed.factory = Factory();
+  regressed.registry_version = *v3;
+  regressed.probation_requests = 4;
+  regressed.probation_max_failures = 0;
+  StatusOr<MatchService::ReloadReport> swapped =
+      (*service)->Reload(std::move(regressed));
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(swapped->swapped);
+  EXPECT_EQ(registry.serving(), *v3);
+  {
+    FaultInjector injector;
+    injector.FailMatching(FaultSite::kServiceExec, "regress/",
+                          Status::Internal("post-swap regression"));
+    ScopedFaultInjection scoped(&injector);
+    EXPECT_EQ((*service)->Process(TargetRequest("regress")).outcome,
+              RequestOutcome::kFailed);
+  }
+  EXPECT_EQ((*service)->stats().rollbacks, 1u);
+  EXPECT_EQ(registry.Get(*v3)->status, ModelVersionStatus::kQuarantined);
+  EXPECT_EQ(registry.serving(), *v1);
+  EXPECT_EQ(registry.last_good(), *v1);
+  std::remove(fake.c_str());
+}
+
+TEST_F(ServiceTest, ShedResponsesCarryLatencyAndFeedTheShedHistogram) {
+  uint64_t before = HistogramCountOf(MetricsRegistry::Global().Snapshot(),
+                                     "service.shed_micros");
+  auto service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(service.ok());
+  (*service)->Stop();
+  ServiceResponse shed = (*service)->Process(TargetRequest("late"));
+  ASSERT_EQ(shed.outcome, RequestOutcome::kShed);
+  // Shed responses are part of the operator's latency story: the decision
+  // time is on the response and in its own histogram, separate from
+  // service.request_micros (which only sees executed requests).
+  uint64_t after = HistogramCountOf(MetricsRegistry::Global().Snapshot(),
+                                    "service.shed_micros");
+  EXPECT_EQ(after, before + 1);
+}
+
+TEST_F(ServiceTest, ConcurrentSubmitAndStopAlwaysResolveEveryFuture) {
+  // Submissions racing a concurrent Stop() from several threads: every
+  // future must resolve — either executed before the drain or shed — and
+  // none may hang. Run under TSan by scripts/check.sh.
+  auto service = MatchService::Create(Factory(), FastOptions());
+  ASSERT_TRUE(service.ok());
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 8;
+  std::vector<std::future<ServiceResponse>> futures[kThreads];
+  std::vector<std::thread> submitters;
+  std::atomic<size_t> started{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      started.fetch_add(1);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back((*service)->Submit(TargetRequest(
+            "race-" + std::to_string(t) + "-" + std::to_string(i), i)));
+      }
+    });
+  }
+  while (started.load() < kThreads) std::this_thread::yield();
+  (*service)->Stop();
+  for (std::thread& thread : submitters) thread.join();
+
+  size_t resolved = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (std::future<ServiceResponse>& future : futures[t]) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready)
+          << "a submission racing Stop() never resolved its future";
+      ServiceResponse response = future.get();
+      ++resolved;
+      // Anything admitted before the drain finished normally; everything
+      // else shed with kUnavailable. Nothing else is acceptable.
+      if (response.outcome == RequestOutcome::kShed) {
+        EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+      } else {
+        EXPECT_NE(response.outcome, RequestOutcome::kFailed)
+            << response.status.ToString();
+      }
+    }
+  }
+  EXPECT_EQ(resolved, kThreads * kPerThread);
 }
 
 }  // namespace

@@ -193,6 +193,134 @@ TEST(ToolsTest, ServeRejectsMalformedStreamAndMissingFlags) {
   EXPECT_EQ(RunForExitCode(std::string(LSD_SERVE_BIN) + " 2>/dev/null"), 1);
 }
 
+TEST(ToolsTest, ServeCountsMalformedLinesAsDiagnosedImperfection) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  // One healthy request between two malformed lines: the stream keeps
+  // flowing, each malformed line gets a diagnostic naming its position,
+  // and the damaged-stream count makes the run imperfect (exit 2).
+  ASSERT_TRUE(WriteStringToFile(dir + "/stream.txt",
+                                "only-two fields\n"
+                                "req-3 " + dir + "/source-3.dtd " + dir +
+                                    "/source-3.xml\n"
+                                "req-x a.dtd a.xml not-a-deadline\n")
+                  .ok());
+  std::string serve = std::string(LSD_SERVE_BIN) + " --mediated '" + dir +
+                      "/mediated.dtd'";
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    serve += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+             ".mapping'";
+  }
+  serve += " --requests '" + dir + "/stream.txt'";
+  serve += " > '" + dir + "/outcomes.txt' 2> '" + dir + "/err.txt'";
+  EXPECT_EQ(RunForExitCode(serve), 2);
+
+  auto outcomes = ReadFileToString(dir + "/outcomes.txt");
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_NE(outcomes->find("req-3 ok"), std::string::npos) << *outcomes;
+  auto err = ReadFileToString(dir + "/err.txt");
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->find(":1: malformed line"), std::string::npos) << *err;
+  EXPECT_NE(err->find(":3: malformed line"), std::string::npos) << *err;
+  EXPECT_NE(err->find("malformed=2"), std::string::npos) << *err;
+}
+
+TEST(ToolsTest, ServeReloadDirectiveHotSwapsASavedModel) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  // Save a model trained on exactly the sources lsd_serve will train on:
+  // training is deterministic, so the loaded candidate is bit-identical
+  // to the serving baseline and passes the byte-identical golden gate.
+  std::string train_args;
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    train_args += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+                  ".mapping'";
+  }
+  std::string same_model = dir + "/same.model";
+  ASSERT_EQ(RunForExitCode(std::string(LSD_MATCH_BIN) + " --mediated '" +
+                           dir + "/mediated.dtd'" + train_args +
+                           " --target '" + dir + "/source-4.dtd' '" + dir +
+                           "/source-4.xml' --save-model '" + same_model +
+                           "' >/dev/null 2>/dev/null"),
+            0);
+  // And a *different* model (fewer training sources): its golden
+  // fingerprints cannot match, so its RELOAD must be rejected.
+  std::string other_model = dir + "/other.model";
+  ASSERT_EQ(RunForExitCode(std::string(LSD_MATCH_BIN) + " --mediated '" +
+                           dir + "/mediated.dtd' --train '" + dir +
+                           "/source-0.dtd' '" + dir + "/source-0.xml' '" +
+                           dir + "/source-0.mapping' --target '" + dir +
+                           "/source-4.dtd' '" + dir +
+                           "/source-4.xml' --save-model '" + other_model +
+                           "' >/dev/null 2>/dev/null"),
+            0);
+
+  ASSERT_TRUE(WriteStringToFile(dir + "/golden.txt",
+                                "golden-3 " + dir + "/source-3.dtd " + dir +
+                                    "/source-3.xml\n")
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(
+                  dir + "/stream.txt",
+                  "req-before " + dir + "/source-4.dtd " + dir +
+                      "/source-4.xml\n"
+                  "RELOAD " + same_model + "\n"
+                  "req-after " + dir + "/source-4.dtd " + dir +
+                      "/source-4.xml\n")
+                  .ok());
+
+  std::string serve = std::string(LSD_SERVE_BIN) + " --mediated '" + dir +
+                      "/mediated.dtd'" + train_args + " --requests '" + dir +
+                      "/stream.txt' --golden '" + dir + "/golden.txt'" +
+                      " --registry '" + dir + "/registry'";
+  std::string run = serve + " > '" + dir + "/outcomes.txt' 2> '" + dir +
+                    "/err.txt'";
+  EXPECT_EQ(RunForExitCode(run), 0);
+  auto outcomes = ReadFileToString(dir + "/outcomes.txt");
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_NE(outcomes->find("RELOAD " + same_model +
+                           " swapped version=2 golden=1/1"),
+            std::string::npos)
+      << *outcomes;
+  EXPECT_NE(outcomes->find("req-before ok"), std::string::npos) << *outcomes;
+  EXPECT_NE(outcomes->find("req-after ok"), std::string::npos) << *outcomes;
+  auto err = ReadFileToString(dir + "/err.txt");
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->find("reloads=1"), std::string::npos) << *err;
+  EXPECT_NE(err->find("model-version=2"), std::string::npos) << *err;
+  // The adopted candidate is durably recorded in the registry.
+  EXPECT_TRUE(FileExists(dir + "/registry/registry.manifest"));
+  EXPECT_TRUE(FileExists(dir + "/registry/v1.model"));
+
+  // Second run: the divergent model's RELOAD is rejected out loud and the
+  // stream still completes on the untouched serving model — but the run
+  // is imperfect (exit 2).
+  ASSERT_TRUE(WriteStringToFile(dir + "/stream.txt",
+                                "RELOAD " + other_model + "\n"
+                                "req-after " + dir + "/source-4.dtd " + dir +
+                                    "/source-4.xml\n")
+                  .ok());
+  EXPECT_EQ(RunForExitCode(run), 2);
+  outcomes = ReadFileToString(dir + "/outcomes.txt");
+  ASSERT_TRUE(outcomes.ok());
+  EXPECT_NE(outcomes->find("RELOAD " + other_model + " rejected:"),
+            std::string::npos)
+      << *outcomes;
+  EXPECT_NE(outcomes->find("req-after ok"), std::string::npos) << *outcomes;
+  err = ReadFileToString(dir + "/err.txt");
+  ASSERT_TRUE(err.ok());
+  EXPECT_NE(err->find("reload-rejections=1"), std::string::npos) << *err;
+}
+
 TEST(ToolsTest, GenerateRejectsUnknownDomain) {
   std::string dir = TempDir();
   std::string command = std::string(LSD_GENERATE_BIN) +

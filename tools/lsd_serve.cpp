@@ -23,22 +23,45 @@
 //             [--strict]           (strict parsing; default is lenient)
 //             [--print-mappings]   (dump each successful mapping to stdout)
 //             [--metrics-out FILE] (write a metrics-registry JSON snapshot)
+//             [--golden FILE]      (golden request set replayed to shadow-
+//                                   validate every RELOAD candidate)
+//             [--golden-floor F]   (accept a candidate when >= F of the
+//                                   golden mappings match the baseline;
+//                                   default: byte-identical fingerprints)
+//             [--registry DIR]     (versioned model registry; RELOAD'ed
+//                                   models are added, integrity-verified,
+//                                   and tracked serving/last-good/
+//                                   quarantined there)
+//             [--probation N]      (post-swap probation window: N responses
+//                                   from the new version with zero failures
+//                                   or the service auto-rolls back; 0 = off)
 //
 // Request-stream format (one request per line, '#' comments and blank
 // lines ignored):
 //   <id> <target.dtd> <target.xml> [deadline_ms]
+//   RELOAD <model-artifact-path>
 // A per-line deadline overrides --deadline-ms; -1 means no deadline.
+// A RELOAD directive hot-swaps the serving model at that point in the
+// stream — earlier requests may still be in flight; none are disturbed.
+// Malformed lines are counted, diagnosed on stderr, and skipped; they make
+// the run imperfect (exit 2), never silent.
 //
 // Output: one line per request on stdout,
 //   <id> <outcome> attempts=<n> retries=<n> latency_ms=<n> [note]
 // where <outcome> is ok | degraded | failed | shed, and the note carries
-// the error message for failed/shed requests. A service summary goes to
-// stderr.
+// the error message for failed/shed requests. Each RELOAD directive also
+// prints one line:
+//   RELOAD <path> swapped version=<v> golden=<matched>/<total>
+//   RELOAD <path> rejected: <why>        (candidate quarantined)
+//   RELOAD <path> failed: <status>       (reload could not run)
+// A service summary goes to stderr.
 //
 // Exit codes:
-//   0  every request came back ok.
+//   0  every request came back ok, no malformed lines, every RELOAD
+//      swapped.
 //   2  every request reached a terminal outcome but some were degraded,
-//      failed, or shed — the summary says which.
+//      failed, or shed — or the stream had malformed lines, or a RELOAD
+//      was rejected/failed; the summary says which.
 //   1  hard failure: bad usage, unreadable inputs, or training failed.
 
 #include <cstdio>
@@ -54,6 +77,7 @@
 #include "common/strings.h"
 #include "core/lsd_system.h"
 #include "service/match_service.h"
+#include "service/model_registry.h"
 #include "xml/dtd_parser.h"
 #include "xml/xml_parser.h"
 
@@ -69,7 +93,9 @@ void Usage() {
                " [--deadline-ms N] [--grace-ms N] [--retries N]"
                " [--breaker-threshold N] [--breaker-skips N]"
                " [--pred-cache N] [--seed N]"
-               " [--strict] [--print-mappings] [--metrics-out FILE]\n");
+               " [--strict] [--print-mappings] [--metrics-out FILE]"
+               " [--golden FILE] [--golden-floor F] [--registry DIR]"
+               " [--probation N]\n");
 }
 
 enum ExitCode {
@@ -85,42 +111,104 @@ struct RequestSpec {
   int64_t deadline_ms;
 };
 
-/// Parses the request-stream file: "<id> <dtd> <xml> [deadline_ms]" per
-/// line, '#' comments and blank lines skipped.
-StatusOr<std::vector<RequestSpec>> LoadRequestStream(const std::string& path,
-                                                     int64_t default_deadline) {
+/// One stream entry in order: a request to submit or a RELOAD directive.
+struct StreamItem {
+  bool is_reload = false;
+  RequestSpec spec;         // when !is_reload
+  std::string reload_path;  // when is_reload
+};
+
+struct RequestStream {
+  std::vector<StreamItem> items;
+  /// Malformed lines: each got a diagnostic on stderr and was skipped.
+  /// Nonzero makes the run imperfect (exit 2) — never a silent skip, and
+  /// never a reason to drop the well-formed remainder of the stream.
+  size_t malformed = 0;
+};
+
+/// Parses the request-stream file: "<id> <dtd> <xml> [deadline_ms]" or
+/// "RELOAD <model-path>" per line, '#' comments and blank lines skipped.
+/// Only an unreadable file is a hard error; malformed lines are counted
+/// and diagnosed.
+StatusOr<RequestStream> LoadRequestStream(const std::string& path,
+                                          int64_t default_deadline) {
   LSD_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
-  std::vector<RequestSpec> specs;
+  RequestStream stream;
   size_t line_number = 0;
   for (const std::string& raw : Split(text, '\n')) {
     ++line_number;
     std::string line = raw.substr(0, raw.find('#'));
     std::vector<std::string> fields = SplitAny(line, " \t\r");
     if (fields.empty()) continue;
-    if (fields.size() < 3 || fields.size() > 4) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_number) +
-          ": want \"<id> <dtd> <xml> [deadline_ms]\", got " +
-          std::to_string(fields.size()) + " fields");
+    if (fields[0] == "RELOAD") {
+      if (fields.size() != 2) {
+        std::fprintf(stderr,
+                     "%s:%zu: malformed line: want \"RELOAD <model-path>\", "
+                     "got %zu fields\n",
+                     path.c_str(), line_number, fields.size());
+        ++stream.malformed;
+        continue;
+      }
+      StreamItem item;
+      item.is_reload = true;
+      item.reload_path = fields[1];
+      stream.items.push_back(std::move(item));
+      continue;
     }
-    RequestSpec spec;
-    spec.id = fields[0];
-    spec.dtd_path = fields[1];
-    spec.xml_path = fields[2];
-    spec.deadline_ms = default_deadline;
+    if (fields.size() < 3 || fields.size() > 4) {
+      std::fprintf(stderr,
+                   "%s:%zu: malformed line: want \"<id> <dtd> <xml> "
+                   "[deadline_ms]\", got %zu fields\n",
+                   path.c_str(), line_number, fields.size());
+      ++stream.malformed;
+      continue;
+    }
+    StreamItem item;
+    item.spec.id = fields[0];
+    item.spec.dtd_path = fields[1];
+    item.spec.xml_path = fields[2];
+    item.spec.deadline_ms = default_deadline;
     if (fields.size() == 4) {
       char* end = nullptr;
       long parsed = std::strtol(fields[3].c_str(), &end, 10);
-      if (*end != '\0') {
-        return Status::InvalidArgument(path + ":" +
-                                       std::to_string(line_number) +
-                                       ": bad deadline " + fields[3]);
+      if (fields[3].empty() || *end != '\0') {
+        std::fprintf(stderr, "%s:%zu: malformed line: bad deadline '%s'\n",
+                     path.c_str(), line_number, fields[3].c_str());
+        ++stream.malformed;
+        continue;
       }
-      spec.deadline_ms = parsed;
+      item.spec.deadline_ms = parsed;
     }
-    specs.push_back(std::move(spec));
+    stream.items.push_back(std::move(item));
   }
-  return specs;
+  return stream;
+}
+
+/// Loads the --golden file (same "<id> <dtd> <xml>" line format) into
+/// in-memory requests. Golden sets are operator configuration: any
+/// malformed line, RELOAD directive, or unreadable input is a hard error.
+StatusOr<std::vector<ServiceRequest>> LoadGoldenRequests(
+    const std::string& path) {
+  LSD_ASSIGN_OR_RETURN(RequestStream stream, LoadRequestStream(path, -1));
+  if (stream.malformed != 0) {
+    return Status::InvalidArgument(
+        path + ": golden set has malformed lines (diagnostics above)");
+  }
+  std::vector<ServiceRequest> goldens;
+  for (const StreamItem& item : stream.items) {
+    if (item.is_reload) {
+      return Status::InvalidArgument(
+          path + ": RELOAD directives are not allowed in a golden set");
+    }
+    ServiceRequest request;
+    request.id = item.spec.id;
+    LSD_ASSIGN_OR_RETURN(request.dtd_text,
+                         ReadFileToString(item.spec.dtd_path));
+    LSD_ASSIGN_OR_RETURN(request.xml_text,
+                         ReadFileToString(item.spec.xml_path));
+    goldens.push_back(std::move(request));
+  }
+  return goldens;
 }
 
 bool ParseCount(const std::string& value, long* out) {
@@ -133,6 +221,7 @@ bool ParseCount(const std::string& value, long* out) {
 
 int Run(int argc, char** argv) {
   std::string mediated_path, requests_path, metrics_out;
+  std::string golden_path, registry_dir;
   struct TrainSpec {
     std::string dtd, xml, mapping;
   };
@@ -140,6 +229,8 @@ int Run(int argc, char** argv) {
   MatchServiceOptions options;
   long deadline_ms = -1;
   bool print_mappings = false;
+  double golden_floor = -1.0;  // < 0 = byte-identical fingerprints
+  long probation = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -205,6 +296,19 @@ int Run(int argc, char** argv) {
       print_mappings = true;
     } else if (arg == "--metrics-out") {
       if (!next(&metrics_out)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--golden") {
+      if (!next(&golden_path)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--golden-floor") {
+      std::string value;
+      if (!next(&value) || !ParseDouble(value, &golden_floor) ||
+          golden_floor < 0.0 || golden_floor > 1.0) {
+        std::fprintf(stderr, "--golden-floor expects a fraction in [0, 1]\n");
+        return kExitHardFailure;
+      }
+    } else if (arg == "--registry") {
+      if (!next(&registry_dir)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--probation") {
+      if (!next_count(&probation)) return kExitHardFailure;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       Usage();
@@ -217,10 +321,30 @@ int Run(int argc, char** argv) {
   }
   options.default_deadline_ms = deadline_ms;
 
-  auto specs = LoadRequestStream(requests_path, deadline_ms);
-  if (!specs.ok()) {
-    std::fprintf(stderr, "%s\n", specs.status().ToString().c_str());
+  auto stream = LoadRequestStream(requests_path, deadline_ms);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
     return kExitHardFailure;
+  }
+
+  if (!golden_path.empty()) {
+    auto goldens = LoadGoldenRequests(golden_path);
+    if (!goldens.ok()) {
+      std::fprintf(stderr, "%s\n", goldens.status().ToString().c_str());
+      return kExitHardFailure;
+    }
+    options.golden_requests = std::move(*goldens);
+  }
+
+  std::unique_ptr<ModelRegistry> registry;
+  if (!registry_dir.empty()) {
+    registry = std::make_unique<ModelRegistry>(registry_dir);
+    Status opened = registry->Open();
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+      return kExitHardFailure;
+    }
+    options.registry = registry.get();
   }
 
   // The factory builds one trained replica per worker slot; it re-reads
@@ -259,17 +383,81 @@ int Run(int argc, char** argv) {
     return kExitHardFailure;
   }
   std::fprintf(stderr,
-               "serving %zu requests (workers=%zu queue-depth=%zu "
+               "serving %zu stream items (workers=%zu queue-depth=%zu "
                "retries=%zu breaker-threshold=%zu)\n",
-               specs->size(), options.workers, options.max_queue_depth,
-               options.backoff.max_retries,
+               stream->items.size(), options.workers,
+               options.max_queue_depth, options.backoff.max_retries,
                options.breaker.failure_threshold);
 
-  // Submit the whole stream up front — that IS the offered load; admission
-  // control decides what fits — then collect in submission order.
+  // A RELOAD candidate is loaded from its artifact (via the registry when
+  // one is configured) onto a fresh untrained system — never retrained
+  // from the --train inputs, which belong to the bootstrap generation.
+  auto make_reload_factory = [&](std::string model_path) {
+    return [&mediated_path, model_path]()
+               -> StatusOr<std::unique_ptr<LsdSystem>> {
+      LSD_ASSIGN_OR_RETURN(std::string mediated_text,
+                           ReadFileToString(mediated_path));
+      LSD_ASSIGN_OR_RETURN(Dtd mediated, ParseDtd(mediated_text));
+      auto system = std::make_unique<LsdSystem>(mediated, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->LoadModel(model_path));
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  };
+
+  // Walk the stream in order: requests are submitted asynchronously (the
+  // whole burst IS the offered load; admission control decides what fits)
+  // and a RELOAD directive hot-swaps at its position — requests submitted
+  // before it may still be queued or in flight, which is the point.
   std::vector<std::future<ServiceResponse>> futures;
-  futures.reserve(specs->size());
-  for (const RequestSpec& spec : *specs) {
+  size_t reload_rejected = 0, reload_failed = 0;
+  for (const StreamItem& item : stream->items) {
+    if (item.is_reload) {
+      std::string model_path = item.reload_path;
+      uint64_t registry_version = 0;
+      if (registry != nullptr) {
+        auto version = registry->AddVersion(model_path);
+        if (!version.ok()) {
+          std::printf("RELOAD %s failed: %s\n", item.reload_path.c_str(),
+                      version.status().ToString().c_str());
+          ++reload_failed;
+          continue;
+        }
+        auto verified = registry->VerifiedModelPath(*version);
+        if (!verified.ok()) {
+          std::printf("RELOAD %s failed: %s\n", item.reload_path.c_str(),
+                      verified.status().ToString().c_str());
+          ++reload_failed;
+          continue;
+        }
+        registry_version = *version;
+        model_path = std::move(*verified);
+      }
+      MatchService::ReloadOptions reload;
+      reload.factory = make_reload_factory(std::move(model_path));
+      reload.registry_version = registry_version;
+      if (golden_floor >= 0.0) {
+        reload.require_identical = false;
+        reload.min_accuracy = golden_floor;
+      }
+      reload.probation_requests = static_cast<size_t>(probation);
+      auto outcome = (*service)->Reload(std::move(reload));
+      if (!outcome.ok()) {
+        std::printf("RELOAD %s failed: %s\n", item.reload_path.c_str(),
+                    outcome.status().ToString().c_str());
+        ++reload_failed;
+      } else if (outcome->swapped) {
+        std::printf("RELOAD %s swapped version=%llu golden=%zu/%zu\n",
+                    item.reload_path.c_str(),
+                    (unsigned long long)outcome->model_version,
+                    outcome->golden_matched, outcome->golden_total);
+      } else {
+        std::printf("RELOAD %s rejected: %s\n", item.reload_path.c_str(),
+                    outcome->rejection.c_str());
+        ++reload_rejected;
+      }
+      continue;
+    }
+    const RequestSpec& spec = item.spec;
     ServiceRequest request;
     request.id = spec.id;
     request.deadline_ms = spec.deadline_ms;
@@ -318,7 +506,9 @@ int Run(int argc, char** argv) {
   std::fprintf(stderr,
                "summary: submitted=%llu admitted=%llu shed=%llu ok=%llu "
                "degraded=%llu failed=%llu retried=%llu breaker-opens=%llu "
-               "replicas-rebuilt=%llu deadline-overruns=%llu\n",
+               "replicas-rebuilt=%llu deadline-overruns=%llu "
+               "reloads=%llu reload-rejections=%llu rollbacks=%llu "
+               "model-version=%llu malformed=%zu\n",
                (unsigned long long)stats.submitted,
                (unsigned long long)stats.admitted,
                (unsigned long long)stats.shed, (unsigned long long)stats.ok,
@@ -327,7 +517,12 @@ int Run(int argc, char** argv) {
                (unsigned long long)stats.retried,
                (unsigned long long)stats.breaker_open_transitions,
                (unsigned long long)stats.replicas_rebuilt,
-               (unsigned long long)stats.deadline_overruns);
+               (unsigned long long)stats.deadline_overruns,
+               (unsigned long long)stats.reloads,
+               (unsigned long long)stats.reload_rejections,
+               (unsigned long long)stats.rollbacks,
+               (unsigned long long)stats.model_version,
+               stream->malformed);
   uint64_t lookups = stats.pred_cache_hits + stats.pred_cache_misses;
   std::fprintf(stderr,
                "pred-cache: hits=%llu misses=%llu hit-rate=%.1f%%\n",
@@ -346,7 +541,9 @@ int Run(int argc, char** argv) {
       return kExitHardFailure;
     }
   }
-  return all_ok ? kExitOk : kExitImperfectStream;
+  bool clean = all_ok && stream->malformed == 0 && reload_rejected == 0 &&
+               reload_failed == 0;
+  return clean ? kExitOk : kExitImperfectStream;
 }
 
 }  // namespace
