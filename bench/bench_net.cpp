@@ -1,0 +1,265 @@
+// Loopback sweep for the network transport: concurrent NetClients hammer a
+// NetServer in front of a bounded MatchService and we record what the wire
+// adds — client-observed round-trip latency percentiles, end-to-end
+// throughput, the shed rate once the offered load exceeds the queue, and
+// the transport's own counters (bytes moved, read throttles).
+//
+// Latencies here are *client* clocks (connect + frame + queue + match +
+// response), unlike bench_service whose latencies are the service's
+// submit-to-terminal clock: the delta between the two tables is the
+// transport overhead.
+//
+// Flags:
+//   --listings=N     listings per generated source (default 60)
+//   --quick          30 listings, smallest sweep
+//   --queue-depth=N  admission cap (default 32)
+//   --out=PATH       JSON output path, BENCH_net.json by default
+//                    ("" disables)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/file_util.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "core/lsd_system.h"
+#include "datagen/domains.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "service/match_service.h"
+#include "xml/xml_writer.h"
+
+namespace {
+
+using namespace lsd;
+
+std::string StringFlag(int argc, char** argv, const char* key,
+                       const std::string& fallback) {
+  std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+struct Cell {
+  size_t clients = 0;
+  size_t per_client = 0;
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  size_t ok = 0, degraded = 0, shed = 0, failed = 0, transport_errors = 0;
+  uint64_t bytes_read = 0, bytes_written = 0, read_throttles = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::BoolFlag(argc, argv, "quick");
+  size_t listings = static_cast<size_t>(
+      bench::IntFlag(argc, argv, "listings", quick ? 30 : 60));
+  size_t queue_depth =
+      static_cast<size_t>(bench::IntFlag(argc, argv, "queue-depth", 32));
+  std::string out_path = StringFlag(argc, argv, "out", "BENCH_net.json");
+
+  auto domain = MakeEvaluationDomain("real-estate-1", /*num_sources=*/5,
+                                     listings, /*seed=*/7);
+  if (!domain.ok()) {
+    std::fprintf(stderr, "error: %s\n", domain.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Payload {
+    std::string dtd_text, xml_text;
+  };
+  std::vector<Payload> payloads;
+  for (size_t s = 3; s < domain->sources.size(); ++s) {
+    const DataSource& source = domain->sources[s].source;
+    Payload payload;
+    payload.dtd_text = source.schema.ToString();
+    XmlNode wrapper("listings");
+    for (const XmlDocument& listing : source.listings) {
+      wrapper.children.push_back(listing.root);
+    }
+    payload.xml_text = WriteXml(wrapper);
+    payloads.push_back(std::move(payload));
+  }
+
+  auto factory = [&]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+    auto system = std::make_unique<LsdSystem>(domain->mediated, LsdConfig());
+    for (size_t s = 0; s < 3; ++s) {
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(
+          domain->sources[s].source, domain->sources[s].gold));
+    }
+    LSD_RETURN_IF_ERROR(system->Train());
+    return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+  };
+
+  const std::vector<size_t> client_counts =
+      quick ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4};
+  const size_t per_client = quick ? 6 : 12;
+
+  std::printf(
+      "bench_net: loopback offered-load sweep (listings/source=%zu, "
+      "queue-depth=%zu, workers=2)\n",
+      listings, queue_depth);
+  bench::Rule(110);
+  std::printf(
+      "%7s | %7s | %8s %9s | %8s %8s %8s | %4s %4s %4s | %9s %9s | %5s\n",
+      "Clients", "Req/cli", "Wall s", "req/s", "p50 ms", "p95 ms", "p99 ms",
+      "OK", "Shed", "Xerr", "B read", "B written", "Thrtl");
+  bench::Rule(110);
+
+  std::vector<Cell> cells;
+  for (size_t clients : client_counts) {
+    MatchServiceOptions options;
+    options.workers = 2;
+    options.max_queue_depth = queue_depth;
+    auto service = MatchService::Create(factory, options);
+    if (!service.ok()) {
+      std::fprintf(stderr, "error: %s\n", service.status().ToString().c_str());
+      return 1;
+    }
+    auto server = net::NetServer::Create(service->get(), net::NetServerOptions());
+    if (!server.ok()) {
+      std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+      return 1;
+    }
+
+    MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+    Cell cell;
+    cell.clients = clients;
+    cell.per_client = per_client;
+    std::atomic<size_t> ok{0}, degraded{0}, shed{0}, failed{0}, xerr{0};
+    std::vector<std::vector<uint64_t>> latencies(clients);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::NetClientOptions client_options;
+        client_options.port = (*server)->port();
+        client_options.backoff_seed = c + 1;
+        net::NetClient client(client_options);
+        for (size_t i = 0; i < per_client; ++i) {
+          net::WireRequest request;
+          request.id = "c" + std::to_string(c) + "-" + std::to_string(i);
+          const Payload& payload = payloads[(c + i) % payloads.size()];
+          request.dtd_text = payload.dtd_text;
+          request.xml_text = payload.xml_text;
+          auto w0 = std::chrono::steady_clock::now();
+          auto response = client.Call(request);
+          auto w1 = std::chrono::steady_clock::now();
+          if (!response.ok()) {
+            ++xerr;
+            continue;
+          }
+          switch (response->outcome) {
+            case net::WireOutcome::kOk:
+              ++ok;
+              break;
+            case net::WireOutcome::kDegraded:
+              ++degraded;
+              break;
+            case net::WireOutcome::kShed:
+              ++shed;
+              continue;  // Immediate answers would skew the percentiles.
+            default:
+              ++failed;
+              continue;
+          }
+          latencies[c].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(w1 - w0)
+                  .count()));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    auto t1 = std::chrono::steady_clock::now();
+    (*server)->Stop();
+    (*service)->Stop();
+    MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+
+    cell.ok = ok;
+    cell.degraded = degraded;
+    cell.shed = shed;
+    cell.failed = failed;
+    cell.transport_errors = xerr;
+    cell.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    size_t answered = cell.ok + cell.degraded;
+    cell.throughput_rps =
+        cell.wall_seconds > 0.0 ? answered / cell.wall_seconds : 0.0;
+    std::vector<uint64_t> merged;
+    for (const auto& per_thread : latencies) {
+      merged.insert(merged.end(), per_thread.begin(), per_thread.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    cell.p50_ms = bench::PercentileMs(merged, 0.50);
+    cell.p95_ms = bench::PercentileMs(merged, 0.95);
+    cell.p99_ms = bench::PercentileMs(merged, 0.99);
+    cell.bytes_read =
+        after.CounterOf("net.bytes_read") - before.CounterOf("net.bytes_read");
+    cell.bytes_written = after.CounterOf("net.bytes_written") -
+                         before.CounterOf("net.bytes_written");
+    cell.read_throttles = after.CounterOf("net.read_throttles") -
+                          before.CounterOf("net.read_throttles");
+    if (cell.failed != 0 || cell.transport_errors != 0) {
+      std::fprintf(stderr,
+                   "error: loopback run not clean: %zu failed, %zu "
+                   "transport errors\n",
+                   cell.failed, cell.transport_errors);
+      return 1;
+    }
+    std::printf(
+        "%7zu | %7zu | %8.3f %9.1f | %8.1f %8.1f %8.1f | %4zu %4zu %4zu | "
+        "%9llu %9llu | %5llu\n",
+        cell.clients, cell.per_client, cell.wall_seconds, cell.throughput_rps,
+        cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.ok, cell.shed,
+        cell.transport_errors, (unsigned long long)cell.bytes_read,
+        (unsigned long long)cell.bytes_written,
+        (unsigned long long)cell.read_throttles);
+    cells.push_back(cell);
+  }
+  bench::Rule(110);
+
+  std::string json = "{\n  \"bench\": \"bench_net\",\n";
+  json += StrFormat("  \"listings\": %zu,\n", listings);
+  json += StrFormat("  \"queue_depth\": %zu,\n", queue_depth);
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    json += StrFormat(
+        "    {\"clients\": %zu, \"requests_per_client\": %zu, "
+        "\"wall_seconds\": %.4f, \"throughput_rps\": %.2f, "
+        "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+        "\"ok\": %zu, \"degraded\": %zu, \"shed\": %zu, "
+        "\"transport_errors\": %zu, \"bytes_read\": %llu, "
+        "\"bytes_written\": %llu, \"read_throttles\": %llu}%s",
+        cell.clients, cell.per_client, cell.wall_seconds, cell.throughput_rps,
+        cell.p50_ms, cell.p95_ms, cell.p99_ms, cell.ok, cell.degraded,
+        cell.shed, cell.transport_errors,
+        (unsigned long long)cell.bytes_read,
+        (unsigned long long)cell.bytes_written,
+        (unsigned long long)cell.read_throttles,
+        i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  json += "  ]\n}\n";
+  if (!out_path.empty()) {
+    Status status = WriteStringToFile(out_path, json);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -16,5 +16,6 @@ cd /root/repo
   echo "=== profile_probe ===";         build/bench/profile_probe; echo
   echo "=== bench_parallel ===";        build/bench/bench_parallel --listings=80 --out=/root/repo/BENCH_parallel.json; echo
   echo "=== bench_service ===";         build/bench/bench_service --out=/root/repo/BENCH_service.json; echo
+  echo "=== bench_net ===";             build/bench/bench_net --out=/root/repo/BENCH_net.json; echo
   echo "=== DONE ==="
 } 2>&1 | grep -v "WARNING conda" > /root/repo/bench_output.txt

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep: plain build + tests, the same tree under
 # AddressSanitizer + UndefinedBehaviorSanitizer, a ThreadSanitizer pass
-# over the threaded metrics/runtime tests, a bench_match smoke run whose
+# over the threaded metrics/runtime/network tests plus the loopback soak,
+# an ASan loopback transport smoke (lsd_serve --listen + concurrent
+# lsd_clients, net.* metrics validated), a bench_match smoke run whose
 # emitted metrics JSON is validated against the checked-in schema, and a
 # constraint-search perf-regression smoke (real-estate-2 must stay
 # optimally solvable under the expansion ceiling; validate_bench.py).
@@ -90,13 +92,19 @@ echo "== TSan build =="
 cmake -S . -B build-tsan -DLSD_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target metrics_test parallel_test \
-    pred_cache_test service_test service_soak
+    pred_cache_test service_test service_soak net_test
 
-echo "== TSan tests (threaded metrics + runtime + model lifecycle) =="
+echo "== TSan tests (threaded metrics + runtime + model lifecycle + net) =="
 # The ServiceTest filter pins the hot-reload machinery (shadow validation,
-# epoch swap, probation rollback) and the Submit/Stop race under TSan.
+# epoch swap, probation rollback) and the Submit/Stop race under TSan; the
+# Net filters put the epoll I/O thread, the response router, and the
+# worker-thread response callbacks under it.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'MetricsTest|TraceTest|ThreadPool|Parallel|PredCache|ServiceTest.Reload|ServiceTest.Shadow|ServiceTest.Probation|ServiceTest.Swap|ServiceTest.Concurrent'
+    -R 'MetricsTest|TraceTest|ThreadPool|Parallel|PredCache|ServiceTest.Reload|ServiceTest.Shadow|ServiceTest.Probation|ServiceTest.Swap|ServiceTest.Concurrent|NetLoopbackTest|NetFrameDecoderTest'
+
+echo "== TSan loopback soak (concurrent clients + mid-flight reloads) =="
+./build-tsan/tests/net_test --gtest_filter='NetSoakTest.*' \
+    --gtest_also_run_disabled_tests
 
 echo "== TSan service chaos soak =="
 # The full service stack — queue, workers, admission, retries, breakers,
@@ -172,6 +180,53 @@ if command -v python3 >/dev/null 2>&1; then
     python3 scripts/validate_metrics.py --profile service "$SERVE_DIR/metrics.json"
 else
     echo "python3 unavailable; skipping service metrics validation"
+fi
+
+echo "== ASan loopback transport smoke (lsd_serve --listen + lsd_client) =="
+# The epoll server and blocking client end to end under ASan/UBSan:
+# concurrent clients against an ephemeral-port server, outcome lines
+# byte-compared between the two clients, clean SIGTERM shutdown, and the
+# exported net.* counters validated against the schema.
+cmake --build build-asan -j "$JOBS" --target lsd_serve lsd_client lsd_generate
+NET_DIR="$(mktemp -d)"
+trap 'rm -rf "${FUZZ_DIR:-}" "${TSAN_DIR:-}" "${SERVE_DIR:-}" "${NET_DIR:-}"; rm -f "${METRICS_TMP:-}" "${BENCH_TMP:-}"' EXIT
+./build-asan/tools/lsd_generate --domain real-estate-1 \
+    --out "$NET_DIR" --listings 30 --seed 7 >/dev/null
+printf 'req-3 %s/source-3.dtd %s/source-3.xml\nreq-4 %s/source-4.dtd %s/source-4.xml 60000\n' \
+    "$NET_DIR" "$NET_DIR" "$NET_DIR" "$NET_DIR" > "$NET_DIR/stream.txt"
+./build-asan/tools/lsd_serve --mediated "$NET_DIR/mediated.dtd" \
+    --train "$NET_DIR/source-0.dtd" "$NET_DIR/source-0.xml" \
+            "$NET_DIR/source-0.mapping" \
+    --train "$NET_DIR/source-1.dtd" "$NET_DIR/source-1.xml" \
+            "$NET_DIR/source-1.mapping" \
+    --listen 0 --workers 2 --metrics-out "$NET_DIR/net-metrics.json" \
+    > "$NET_DIR/server.txt" 2>/dev/null &
+SERVE_PID=$!
+NET_PORT=""
+for _ in $(seq 1 600); do
+    NET_PORT="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$NET_DIR/server.txt" 2>/dev/null || true)"
+    [ -n "$NET_PORT" ] && break
+    sleep 0.1
+done
+[ -n "$NET_PORT" ] || { echo "lsd_serve --listen never printed its port" >&2; exit 1; }
+./build-asan/tools/lsd_client --port "$NET_PORT" \
+    --requests "$NET_DIR/stream.txt" > "$NET_DIR/client-1.txt" 2>/dev/null &
+CLIENT_PID=$!
+./build-asan/tools/lsd_client --port "$NET_PORT" \
+    --requests "$NET_DIR/stream.txt" > "$NET_DIR/client-2.txt" 2>/dev/null
+wait "$CLIENT_PID"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q 'req-3 ok' "$NET_DIR/client-1.txt"
+grep -q 'req-4 ok' "$NET_DIR/client-1.txt"
+# Concurrent clients saw identical outcomes (latency is wall clock).
+cmp <(sed 's/latency_ms=[0-9]*/latency_ms=X/' "$NET_DIR/client-1.txt") \
+    <(sed 's/latency_ms=[0-9]*/latency_ms=X/' "$NET_DIR/client-2.txt")
+if command -v python3 >/dev/null 2>&1; then
+    python3 scripts/validate_metrics.py --profile net "$NET_DIR/net-metrics.json"
+else
+    echo "python3 unavailable; skipping net metrics validation"
 fi
 
 echo "== prediction-cache parity smoke (cache on/off byte-compare) =="

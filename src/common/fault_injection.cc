@@ -51,6 +51,12 @@ const char* FaultSiteName(FaultSite site) {
       return "shadow-eval";
     case FaultSite::kModelSwap:
       return "model-swap";
+    case FaultSite::kNetAccept:
+      return "net-accept";
+    case FaultSite::kNetRead:
+      return "net-read";
+    case FaultSite::kNetWrite:
+      return "net-write";
   }
   return "unknown";
 }

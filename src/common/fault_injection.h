@@ -52,6 +52,18 @@ enum class FaultSite {
   /// swap: serving keeps the old version and the candidate stays a
   /// candidate — simulating a crash between validation and publication.
   kModelSwap,
+  /// One accepted TCP connection at the net server (net/server.cc). Key:
+  /// "conn-<n>" (n = monotonic accept counter). A hit closes the fresh
+  /// connection immediately — the client sees a clean connection reset,
+  /// the transport-transient case its retry policy must cover.
+  kNetAccept,
+  /// One readiness-driven read pass over a connection. Key: "conn-<n>".
+  /// A hit closes the connection mid-stream: any response the client was
+  /// waiting for arrives as an EOF instead.
+  kNetRead,
+  /// One write flush over a connection. Key: "conn-<n>". A hit closes the
+  /// connection with responses still queued — the torn-response case.
+  kNetWrite,
 };
 
 /// Every seam, for exhaustiveness tests: a parameterized test iterates this
@@ -65,11 +77,12 @@ inline constexpr FaultSite kAllFaultSites[] = {
     FaultSite::kLearnerTrain, FaultSite::kLearnerPredict,
     FaultSite::kPoolTask,     FaultSite::kServiceAdmit,
     FaultSite::kServiceExec,  FaultSite::kShadowEval,
-    FaultSite::kModelSwap,
+    FaultSite::kModelSwap,    FaultSite::kNetAccept,
+    FaultSite::kNetRead,      FaultSite::kNetWrite,
 };
 inline constexpr size_t kFaultSiteCount =
     sizeof(kAllFaultSites) / sizeof(kAllFaultSites[0]);
-static_assert(static_cast<size_t>(FaultSite::kModelSwap) + 1 ==
+static_assert(static_cast<size_t>(FaultSite::kNetWrite) + 1 ==
                   kFaultSiteCount,
               "kAllFaultSites must list every FaultSite value");
 

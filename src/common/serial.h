@@ -171,6 +171,22 @@ inline StatusOr<size_t> FieldToSize(const std::string& field) {
   return static_cast<size_t>(value);
 }
 
+inline StatusOr<int64_t> FieldToInt64(const std::string& field) {
+  std::string digits = field;
+  bool negative = !digits.empty() && digits[0] == '-';
+  if (negative) digits.erase(0, 1);
+  if (!IsAllDigits(digits)) {
+    return Status::ParseError("bad integer field: " + field);
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(field.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0') {
+    return Status::ParseError("integer field out of range: " + field);
+  }
+  return static_cast<int64_t>(value);
+}
+
 inline StatusOr<int> FieldToInt(const std::string& field) {
   std::string digits = field;
   bool negative = !digits.empty() && digits[0] == '-';

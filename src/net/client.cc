@@ -1,0 +1,199 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/deadline.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace net {
+namespace {
+
+/// Transport failures are all kUnavailable: that is the class the retry
+/// policy fires on, and it matches what the service itself uses for
+/// transient trouble.
+Status Transport(const std::string& what) {
+  return Status::Unavailable(what);
+}
+
+/// Polls `fd` for `events` within the deadline. kUnavailable on timeout.
+Status PollFor(int fd, short events, const Deadline& deadline,
+               const char* what) {
+  while (true) {
+    int64_t remaining = deadline.remaining_millis();
+    if (remaining <= 0) return Transport(StrFormat("%s timed out", what));
+    if (remaining > 1000000) remaining = 1000000;
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int n = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Transport(StrFormat("%s: poll: %s", what, strerror(errno)));
+    }
+    if (n == 0) continue;  // Re-check the deadline.
+    return Status::OK();
+  }
+}
+
+}  // namespace
+
+NetClient::NetClient(NetClientOptions options)
+    : options_(std::move(options)),
+      backoff_(options_.backoff, options_.backoff_seed) {}
+
+NetClient::~NetClient() { Disconnect(); }
+
+void NetClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A fresh connection is a fresh byte stream: drop any sticky decode
+  // error and any half-frame from the dead one.
+  decoder_ = FrameDecoder();
+}
+
+Status NetClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Transport(StrFormat("socket(): %s", strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    // A bad address is a configuration error, not a transient: no retry.
+    return Status::InvalidArgument("bad host address: " + options_.host);
+  }
+  Deadline deadline = Deadline::AfterMillis(options_.connect_timeout_ms);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      Status status =
+          Transport(StrFormat("connect(%s:%u): %s", options_.host.c_str(),
+                              static_cast<unsigned>(options_.port),
+                              strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    Status ready = PollFor(fd, POLLOUT, deadline, "connect");
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      Status status = Transport(
+          StrFormat("connect(%s:%u): %s", options_.host.c_str(),
+                    static_cast<unsigned>(options_.port),
+                    strerror(err != 0 ? err : errno)));
+      ::close(fd);
+      return status;
+    }
+  }
+  int nodelay = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return Status::OK();
+}
+
+Status NetClient::SendAll(const std::string& bytes, const Deadline& deadline) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        LSD_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline, "send"));
+        continue;
+      }
+      return Transport(StrFormat("send(): %s", strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<WireResponse> NetClient::ReadResponse(const Deadline& deadline) {
+  char buf[64 * 1024];
+  while (true) {
+    DecodedFrame frame;
+    LSD_ASSIGN_OR_RETURN(bool got, decoder_.Next(&frame));
+    if (got) {
+      if (frame.type != FrameType::kResponse) {
+        return Status::ParseError("server sent a non-response frame");
+      }
+      return DecodeResponsePayload(frame.payload);
+    }
+    LSD_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, "receive"));
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // The ambiguous outcome: the server closed with our request possibly
+      // executed. Matching is idempotent, so the retry policy may resend.
+      return Transport("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Transport(StrFormat("recv(): %s", strerror(errno)));
+    }
+    decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Status NetClient::CallOnce(const WireRequest& request,
+                           WireResponse* response) {
+  Status status = EnsureConnected();
+  if (status.ok()) {
+    Deadline io = Deadline::AfterMillis(options_.io_timeout_ms);
+    status = SendAll(EncodeRequestFrame(request), io);
+    if (status.ok()) {
+      StatusOr<WireResponse> result = ReadResponse(io);
+      if (result.ok()) {
+        *response = std::move(*result);
+        return Status::OK();
+      }
+      status = result.status();
+    }
+  }
+  // Any per-attempt failure poisons the connection state (bytes may be
+  // half-sent or half-read); reconnect before the next attempt.
+  Disconnect();
+  return status;
+}
+
+StatusOr<WireResponse> NetClient::Call(const WireRequest& request) {
+  WireResponse response;
+  Status status = RetryWithBackoff(
+      backoff_, request.id, Deadline::Infinite(),
+      /*retryable=*/
+      [](const Status& s) { return s.code() == StatusCode::kUnavailable; },
+      /*sleep_millis=*/
+      [](int64_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      },
+      [&] { return CallOnce(request, &response); });
+  if (!status.ok()) return status;
+  return response;
+}
+
+}  // namespace net
+}  // namespace lsd

@@ -1,0 +1,73 @@
+#ifndef LSD_NET_CLIENT_H_
+#define LSD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace lsd {
+namespace net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// TCP connect timeout.
+  int64_t connect_timeout_ms = 2000;
+  /// Per-call send/receive timeout: the whole request frame must go out
+  /// and the whole response frame must come back within this budget each.
+  /// Independent of the *service* deadline (WireRequest.deadline_ms),
+  /// which bounds matching work server-side; this bounds the transport.
+  int64_t io_timeout_ms = 30000;
+  /// Retry policy for *transport* failures. Retries reconnect first — the
+  /// common transient is a dropped connection, not a broken payload.
+  BackoffPolicy backoff;
+  /// Seed for the deterministic retry jitter.
+  uint64_t backoff_seed = 1;
+};
+
+/// Blocking client for the LSD wire protocol. One connection, serial
+/// request/response (the server happily pipelines, but the blocking API
+/// has no need to); not thread-safe — use one client per thread.
+///
+/// Retry discipline (see DESIGN.md): only *transient transport* failures
+/// are retried — refused/failed connects, dropped connections, timeouts —
+/// all of which surface as kUnavailable. Server-side answers, including
+/// shed kUnavailable *responses*, are returned to the caller verbatim:
+/// the service already ran its own admission and retry machinery, and the
+/// client re-driving it from outside would double-retry. Frame damage
+/// (kDataLoss, kParseError, kFailedPrecondition, kOutOfRange) is never
+/// retried: resending bytes does not fix version skew or a corrupt peer.
+class NetClient {
+ public:
+  explicit NetClient(NetClientOptions options);
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Sends one request and blocks for its response, reconnecting and
+  /// retrying per the options' backoff policy on transient failures.
+  StatusOr<WireResponse> Call(const WireRequest& request);
+
+  /// Closes the connection (the next Call reconnects).
+  void Disconnect();
+
+ private:
+  Status EnsureConnected();
+  Status SendAll(const std::string& bytes, const Deadline& deadline);
+  StatusOr<WireResponse> ReadResponse(const Deadline& deadline);
+  Status CallOnce(const WireRequest& request, WireResponse* response);
+
+  NetClientOptions options_;
+  Backoff backoff_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace lsd
+
+#endif  // LSD_NET_CLIENT_H_

@@ -1,0 +1,588 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace lsd {
+namespace net {
+namespace {
+
+struct NetMetrics {
+  Counter* accepted;
+  Counter* rejected_at_capacity;
+  Counter* requests;
+  Counter* responses;
+  Counter* payload_errors;
+  Counter* frame_errors;
+  Counter* responses_dropped;
+  Counter* read_throttles;
+  Counter* write_overflow_closes;
+  Counter* connections_closed;
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Gauge* connections_peak;
+  Gauge* write_buffer_peak;
+  Histogram* request_micros;
+};
+
+/// Interns every net.* series at first use so a server that never sees a
+/// given event still exports the zero — the metrics "net" profile
+/// (scripts/metrics_schema.json) depends on the full set being present.
+NetMetrics& GetNetMetrics() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static NetMetrics metrics{
+      registry.GetCounter("net.accepted"),
+      registry.GetCounter("net.rejected_at_capacity"),
+      registry.GetCounter("net.requests"),
+      registry.GetCounter("net.responses"),
+      registry.GetCounter("net.payload_errors"),
+      registry.GetCounter("net.frame_errors"),
+      registry.GetCounter("net.responses_dropped"),
+      registry.GetCounter("net.read_throttles"),
+      registry.GetCounter("net.write_overflow_closes"),
+      registry.GetCounter("net.connections_closed"),
+      registry.GetCounter("net.bytes_read"),
+      registry.GetCounter("net.bytes_written"),
+      registry.GetGauge("net.connections_peak"),
+      registry.GetGauge("net.write_buffer_peak"),
+      registry.GetHistogram("net.request_micros")};
+  return metrics;
+}
+
+WireOutcome ToWireOutcome(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return WireOutcome::kOk;
+    case RequestOutcome::kDegraded:
+      return WireOutcome::kDegraded;
+    case RequestOutcome::kFailed:
+      return WireOutcome::kFailed;
+    case RequestOutcome::kShed:
+      return WireOutcome::kShed;
+  }
+  return WireOutcome::kFailed;
+}
+
+WireResponse ToWireResponse(const ServiceResponse& response) {
+  WireResponse wire;
+  wire.id = response.id;
+  wire.outcome = ToWireOutcome(response.outcome);
+  wire.status_code = response.status.code();
+  wire.status_message = response.status.message();
+  wire.mapping = response.mapping;
+  wire.fingerprint = response.fingerprint;
+  wire.attempts = response.attempts;
+  wire.retries = response.retries;
+  wire.latency_micros = response.latency_micros;
+  wire.model_version = response.model_version;
+  wire.breaker_skipped = response.breaker_skipped;
+  wire.deadline_overrun = response.deadline_overrun;
+  return wire;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+/// Per-connection state machine. Owned by the I/O thread; nothing here is
+/// touched from any other thread (responses cross over via the Router).
+struct NetServer::Connection {
+  int fd = -1;
+  uint64_t id = 0;
+  /// Fault-injection key, fixed at accept: "conn-<n>" in accept order —
+  /// a pure function of arrival order, so seeded runs are reproducible.
+  std::string key;
+  FrameDecoder decoder;
+  /// Unsent response bytes; out_off tracks the partially-written prefix.
+  std::string outbuf;
+  size_t out_off = 0;
+  /// Requests submitted to the service whose responses have not yet been
+  /// routed back. Drives read throttling.
+  size_t in_flight = 0;
+  bool read_paused = false;
+  /// The epoll event mask currently installed, to elide no-op MOD calls.
+  uint32_t installed_mask = 0;
+
+  size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+/// Hand-off point between service worker threads (which complete requests)
+/// and the I/O thread (which owns the sockets). Worker callbacks push
+/// encoded response frames here and tickle the eventfd; the I/O thread
+/// drains on wakeup. The router is held by shared_ptr from the server and
+/// from every in-flight callback, so a callback firing after Stop() — or
+/// after the whole server is destroyed — finds `alive == false` and drops
+/// the response instead of touching freed state.
+struct NetServer::Router {
+  std::mutex mu;
+  bool alive = true;
+  int event_fd = -1;
+  /// (connection id, encoded response frame, request service micros).
+  std::vector<std::tuple<uint64_t, std::string, uint64_t>> ready;
+
+  ~Router() { CloseFd(event_fd); }
+
+  void Push(uint64_t conn_id, std::string frame, uint64_t micros) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!alive) return;
+    ready.emplace_back(conn_id, std::move(frame), micros);
+    Wake();
+  }
+
+  /// Must hold mu or be called before the I/O thread could close shop.
+  void Wake() const {
+    uint64_t one = 1;
+    ssize_t n = ::write(event_fd, &one, sizeof(one));
+    (void)n;  // The counter saturating still leaves the fd readable.
+  }
+};
+
+StatusOr<std::unique_ptr<NetServer>> NetServer::Create(
+    MatchService* service, NetServerOptions options) {
+  LSD_CHECK(service != nullptr);
+  GetNetMetrics();  // Intern the series before any traffic.
+
+  int listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd < 0) {
+    return Status::Unavailable(StrFormat("socket(): %s", strerror(errno)));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::Unavailable(
+        StrFormat("bind(%s:%u): %s", options.bind_address.c_str(),
+                  static_cast<unsigned>(options.port), strerror(errno)));
+    CloseFd(listen_fd);
+    return status;
+  }
+  if (::listen(listen_fd, 128) < 0) {
+    Status status =
+        Status::Unavailable(StrFormat("listen(): %s", strerror(errno)));
+    CloseFd(listen_fd);
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    Status status =
+        Status::Unavailable(StrFormat("getsockname(): %s", strerror(errno)));
+    CloseFd(listen_fd);
+    return status;
+  }
+
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    Status status =
+        Status::Unavailable(StrFormat("epoll_create1(): %s", strerror(errno)));
+    CloseFd(listen_fd);
+    return status;
+  }
+  int event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (event_fd < 0) {
+    Status status =
+        Status::Unavailable(StrFormat("eventfd(): %s", strerror(errno)));
+    CloseFd(epoll_fd);
+    CloseFd(listen_fd);
+    return status;
+  }
+
+  auto server = std::unique_ptr<NetServer>(new NetServer());
+  server->service_ = service;
+  server->options_ = std::move(options);
+  server->port_ = ntohs(addr.sin_port);
+  server->listen_fd_ = listen_fd;
+  server->epoll_fd_ = epoll_fd;
+  server->router_ = std::make_shared<Router>();
+  server->router_->event_fd = event_fd;
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) < 0) {
+    return Status::Unavailable(
+        StrFormat("epoll_ctl(listen): %s", strerror(errno)));
+  }
+  ev.data.fd = event_fd;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &ev) < 0) {
+    return Status::Unavailable(
+        StrFormat("epoll_ctl(eventfd): %s", strerror(errno)));
+  }
+
+  server->io_thread_ = std::thread([raw = server.get()] { raw->IoLoop(); });
+  return server;
+}
+
+NetServer::~NetServer() { Stop(); }
+
+void NetServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  router_->Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  {
+    // Late service callbacks now drop their responses instead of pushing
+    // frames nothing will ever drain.
+    std::lock_guard<std::mutex> lock(router_->mu);
+    router_->alive = false;
+    router_->ready.clear();
+  }
+  CloseFd(listen_fd_);
+  CloseFd(epoll_fd_);
+  listen_fd_ = -1;
+  epoll_fd_ = -1;
+}
+
+void NetServer::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd broken — only happens when tearing down.
+    }
+    for (int i = 0; i < n; ++i) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == router_->event_fd) {
+        DrainRouter();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Closed earlier this batch.
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(conn, "hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        HandleWritable(conn);
+        // The write path may have closed the connection.
+        if (conns_.find(fd) == conns_.end()) continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        HandleReadable(conn);
+      }
+    }
+  }
+  // Teardown on the I/O thread so connection state needs no locking.
+  std::vector<Connection*> open;
+  open.reserve(conns_.size());
+  for (auto& entry : conns_) open.push_back(entry.second.get());
+  for (Connection* conn : open) CloseConnection(conn, "server stop");
+}
+
+void NetServer::HandleAccept() {
+  TraceSpan span("net-accept");
+  NetMetrics& metrics = GetNetMetrics();
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: wait for epoll.
+    }
+    uint64_t id = next_conn_id_++;
+    std::string key = StrFormat("conn-%llu", static_cast<unsigned long long>(id));
+    metrics.accepted->Increment();
+    if (conns_.size() >= options_.max_connections) {
+      metrics.rejected_at_capacity->Increment();
+      CloseFd(fd);
+      continue;
+    }
+    if (FaultInjectionActive() &&
+        !CheckFault(FaultSite::kNetAccept, key).ok()) {
+      // Injected accept failure: the client sees an immediate close, the
+      // same observable a crashed peer or exhausted fd table produces.
+      CloseFd(fd);
+      continue;
+    }
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = id;
+    conn->key = std::move(key);
+    Connection* raw = conn.get();
+    conns_[fd] = std::move(conn);
+    conns_by_id_[id] = raw;
+    metrics.connections_peak->RecordMax(conns_.size());
+
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      conns_by_id_.erase(id);
+      conns_.erase(fd);
+      CloseFd(fd);
+      continue;
+    }
+    raw->installed_mask = EPOLLIN;
+  }
+}
+
+void NetServer::HandleReadable(Connection* conn) {
+  NetMetrics& metrics = GetNetMetrics();
+  if (FaultInjectionActive() &&
+      !CheckFault(FaultSite::kNetRead, conn->key).ok()) {
+    // Injected mid-stream failure: the peer sees EOF with requests
+    // possibly unanswered — exactly what a dropped TCP session looks like.
+    CloseConnection(conn, "injected read fault");
+    return;
+  }
+  char buf[64 * 1024];
+  const int fd = conn->fd;  // Survives conn being freed by a close below.
+  while (true) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      CloseConnection(conn, "peer closed");
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn, "read error");
+      return;
+    }
+    metrics.bytes_read->Increment(static_cast<uint64_t>(n));
+    conn->decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    // Drain every complete frame already in memory; read throttling only
+    // stops *further* socket reads, so buffered work is bounded by one
+    // recv buffer plus the decoder's partial frame.
+    while (true) {
+      DecodedFrame frame;
+      StatusOr<bool> got = conn->decoder.Next(&frame);
+      if (!got.ok()) {
+        // Framing damage: the stream offset cannot be trusted, so there
+        // is no safe way to keep parsing — close, per the wire contract.
+        metrics.frame_errors->Increment();
+        CloseConnection(conn, "framing error");
+        return;
+      }
+      if (!*got) break;
+      if (frame.type != FrameType::kRequest) {
+        metrics.frame_errors->Increment();
+        CloseConnection(conn, "unexpected frame type");
+        return;
+      }
+      OnRequestFrame(conn, frame.payload);
+      if (conns_.find(fd) == conns_.end()) return;  // Overflow close.
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) break;  // Drained the socket.
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::OnRequestFrame(Connection* conn, const std::string& payload) {
+  NetMetrics& metrics = GetNetMetrics();
+  TraceSpan span("net-request");
+  StatusOr<WireRequest> request = DecodeRequestPayload(payload);
+  if (!request.ok()) {
+    // The frame was intact (CRC passed) but the payload does not decode:
+    // the stream is still in sync, so answer instead of closing.
+    metrics.payload_errors->Increment();
+    WireResponse error;
+    error.outcome = WireOutcome::kFailed;
+    error.status_code = request.status().code();
+    error.status_message = request.status().message();
+    QueueResponse(conn, error);
+    return;
+  }
+  ServiceRequest service_request;
+  service_request.id = request->id;
+  service_request.dtd_text = std::move(request->dtd_text);
+  service_request.xml_text = std::move(request->xml_text);
+  // Relative-deadline propagation: the client's budget enters the service
+  // here, where Submit starts the clock — queue wait and the anytime-A*
+  // path both spend the client's milliseconds, not a server default.
+  service_request.deadline_ms = request->deadline_ms;
+
+  ++conn->in_flight;
+  metrics.requests->Increment();
+  std::shared_ptr<Router> router = router_;
+  uint64_t conn_id = conn->id;
+  auto start = std::chrono::steady_clock::now();
+  // Sheds fire this callback inline (still on the I/O thread) and become
+  // an immediate kUnavailable response; executed requests fire it on a
+  // service worker thread, which also pays for the frame encode so the
+  // I/O thread only memcpys.
+  service_->SubmitAsync(
+      std::move(service_request),
+      [router, conn_id, start](ServiceResponse response) {
+        std::string frame = EncodeResponseFrame(ToWireResponse(response));
+        uint64_t micros = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count());
+        router->Push(conn_id, std::move(frame), micros);
+      });
+  UpdateInterest(conn);
+}
+
+void NetServer::DrainRouter() {
+  TraceSpan span("net-respond");
+  NetMetrics& metrics = GetNetMetrics();
+  uint64_t drained = 0;
+  ssize_t n = ::read(router_->event_fd, &drained, sizeof(drained));
+  (void)n;
+  std::vector<std::tuple<uint64_t, std::string, uint64_t>> ready;
+  {
+    std::lock_guard<std::mutex> lock(router_->mu);
+    ready.swap(router_->ready);
+  }
+  for (auto& [conn_id, frame, micros] : ready) {
+    metrics.request_micros->Record(micros);
+    auto it = conns_by_id_.find(conn_id);
+    if (it == conns_by_id_.end()) {
+      // The connection died while its request executed.
+      metrics.responses_dropped->Increment();
+      continue;
+    }
+    Connection* conn = it->second;
+    LSD_CHECK(conn->in_flight > 0);
+    --conn->in_flight;
+    QueueFrame(conn, std::move(frame));
+    if (conns_by_id_.find(conn_id) != conns_by_id_.end()) {
+      UpdateInterest(conn);
+    }
+  }
+}
+
+void NetServer::QueueResponse(Connection* conn, const WireResponse& response) {
+  const int fd = conn->fd;  // Survives conn being freed by an overflow close.
+  QueueFrame(conn, EncodeResponseFrame(response));
+  if (conns_.find(fd) != conns_.end()) UpdateInterest(conn);
+}
+
+void NetServer::QueueFrame(Connection* conn, std::string frame) {
+  NetMetrics& metrics = GetNetMetrics();
+  if (conn->pending_out() + frame.size() > options_.max_write_buffer_bytes) {
+    // The peer stopped reading while responses piled up; holding the
+    // bytes forever is unbounded memory, so the connection pays instead.
+    metrics.write_overflow_closes->Increment();
+    CloseConnection(conn, "write buffer overflow");
+    return;
+  }
+  if (conn->out_off > 0 && conn->out_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+  }
+  conn->outbuf.append(frame);
+  metrics.responses->Increment();
+  metrics.write_buffer_peak->RecordMax(conn->pending_out());
+  // Opportunistic write: most responses fit the socket buffer, so this
+  // usually drains in one call and EPOLLOUT never needs to be armed.
+  HandleWritable(conn);
+}
+
+void NetServer::HandleWritable(Connection* conn) {
+  NetMetrics& metrics = GetNetMetrics();
+  if (conn->pending_out() == 0) {
+    UpdateInterest(conn);
+    return;
+  }
+  if (FaultInjectionActive() &&
+      !CheckFault(FaultSite::kNetWrite, conn->key).ok()) {
+    // Injected write failure with responses queued: the client observes
+    // a close after the request was accepted — the retry-ambiguity case.
+    CloseConnection(conn, "injected write fault");
+    return;
+  }
+  while (conn->pending_out() > 0) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                       conn->pending_out(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn, "write error");
+      return;
+    }
+    metrics.bytes_written->Increment(static_cast<uint64_t>(n));
+    conn->out_off += static_cast<size_t>(n);
+  }
+  if (conn->out_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+  }
+  UpdateInterest(conn);
+}
+
+void NetServer::UpdateInterest(Connection* conn) {
+  NetMetrics& metrics = GetNetMetrics();
+  // Backpressure rule: stop reading while this connection has a full
+  // complement of requests in flight or a backlog of unsent bytes; resume
+  // when both drain. Deterministic in the request/response counts, so
+  // tests can force the paused state exactly.
+  bool want_read =
+      conn->in_flight < options_.max_in_flight_per_connection &&
+      conn->pending_out() < options_.resume_read_below_bytes;
+  if (!want_read && !conn->read_paused) {
+    conn->read_paused = true;
+    metrics.read_throttles->Increment();
+  } else if (want_read && conn->read_paused) {
+    conn->read_paused = false;
+  }
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (conn->pending_out() > 0) mask |= EPOLLOUT;
+  if (mask == conn->installed_mask) return;
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = mask;
+  ev.data.fd = conn->fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->installed_mask = mask;
+  }
+}
+
+void NetServer::CloseConnection(Connection* conn, const char* reason) {
+  (void)reason;
+  GetNetMetrics().connections_closed->Increment();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  CloseFd(conn->fd);
+  conns_by_id_.erase(conn->id);
+  conns_.erase(conn->fd);  // Frees conn.
+}
+
+}  // namespace net
+}  // namespace lsd

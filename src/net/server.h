@@ -1,0 +1,109 @@
+#ifndef LSD_NET_SERVER_H_
+#define LSD_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "service/match_service.h"
+
+namespace lsd {
+namespace net {
+
+struct NetServerOptions {
+  /// Address to bind; the default keeps every test and the check.sh smoke
+  /// on loopback.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+  /// Accept bound: a connection past this is accepted and immediately
+  /// closed (counted in net.rejected_at_capacity) so the backlog cannot
+  /// grow unbounded sockets.
+  size_t max_connections = 64;
+  /// Read-throttle threshold: when a connection has this many requests
+  /// submitted but unanswered, the server stops reading from it (EPOLLIN
+  /// off) until responses drain. Backpressure, not an error.
+  size_t max_in_flight_per_connection = 8;
+  /// Hard bound on a connection's queued unsent response bytes. A client
+  /// that stops reading while responses accumulate past this is closed
+  /// (net.write_overflow_closes) — the alternative is unbounded memory.
+  size_t max_write_buffer_bytes = 8u << 20;
+  /// Reading resumes (EPOLLIN back on) once the write buffer drains below
+  /// this and in-flight is back under the cap.
+  size_t resume_read_below_bytes = 1u << 20;
+};
+
+/// Epoll-based non-blocking TCP front end for a MatchService.
+///
+/// One I/O thread owns the listening socket, every connection's state
+/// machine, and an eventfd the response router uses to hand completed
+/// responses back from service worker threads. Frames arrive through
+/// `FrameDecoder` (framing damage is connection-fatal; payload decode
+/// errors get an error response frame), requests enter the service via
+/// `SubmitAsync` so the I/O thread never blocks, and admission-control
+/// sheds come back inline as immediate kUnavailable responses. See
+/// DESIGN.md "Network transport & wire protocol".
+///
+/// Fault seams (deterministic, keyed "conn-<n>" in accept order):
+/// kNetAccept closes a connection at accept, kNetRead closes it instead
+/// of reading, kNetWrite closes it instead of writing.
+class NetServer {
+ public:
+  /// Binds, listens, and starts the I/O thread. Fails with kUnavailable
+  /// if the socket cannot be bound.
+  static StatusOr<std::unique_ptr<NetServer>> Create(MatchService* service,
+                                                     NetServerOptions options);
+
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the real one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes every connection, and joins the I/O thread.
+  /// Safe to call more than once. Responses still in flight inside the
+  /// service resolve against a dead router and are dropped.
+  void Stop();
+
+ private:
+  struct Connection;
+  struct Router;
+
+  NetServer() = default;
+
+  void IoLoop();
+  void HandleAccept();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  void DrainRouter();
+  void OnRequestFrame(Connection* conn, const std::string& payload);
+  void QueueResponse(Connection* conn, const WireResponse& response);
+  void QueueFrame(Connection* conn, std::string frame);
+  void UpdateInterest(Connection* conn);
+  void CloseConnection(Connection* conn, const char* reason);
+
+  MatchService* service_ = nullptr;
+  NetServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::shared_ptr<Router> router_;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  // I/O-thread-only state: every access happens on io_thread_.
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<uint64_t, Connection*> conns_by_id_;
+};
+
+}  // namespace net
+}  // namespace lsd
+
+#endif  // LSD_NET_SERVER_H_

@@ -1,0 +1,309 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/artifact_io.h"
+#include "common/logging.h"
+#include "common/serial.h"
+#include "common/strings.h"
+
+namespace lsd {
+namespace net {
+namespace {
+
+constexpr char kRequestKind[] = "net-request";
+constexpr char kResponseKind[] = "net-response";
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+uint32_t ReadU32(const char* bytes) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+/// Validates the 16-byte header prefix of `bytes` (which must hold at
+/// least kFrameHeaderBytes). Classification order is part of the protocol
+/// contract — see wire.h.
+Status CheckHeader(const char* bytes, size_t max_payload, FrameType* type,
+                   uint32_t* payload_len, uint32_t* payload_crc) {
+  if (std::memcmp(bytes, kWireMagic, sizeof(kWireMagic)) != 0) {
+    return Status::ParseError("not an LSD wire frame (bad magic)");
+  }
+  uint8_t version = static_cast<uint8_t>(bytes[4]);
+  if (version != kWireVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("unsupported wire version %u (this build speaks %u)",
+                  version, kWireVersion));
+  }
+  uint8_t raw_type = static_cast<uint8_t>(bytes[5]);
+  if (raw_type != static_cast<uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<uint8_t>(FrameType::kResponse)) {
+    return Status::ParseError(StrFormat("unknown frame type %u", raw_type));
+  }
+  if (bytes[6] != 0 || bytes[7] != 0) {
+    return Status::ParseError("nonzero reserved bytes in frame header");
+  }
+  *type = static_cast<FrameType>(raw_type);
+  *payload_len = ReadU32(bytes + 8);
+  *payload_crc = ReadU32(bytes + 12);
+  if (*payload_len > max_payload) {
+    return Status::OutOfRange(
+        StrFormat("frame payload of %u bytes exceeds the %zu-byte limit",
+                  *payload_len, max_payload));
+  }
+  return Status::OK();
+}
+
+/// Fetches the payload of the first section named `name`, or kParseError.
+StatusOr<std::string> RequireSection(const Artifact& artifact,
+                                     std::string_view name) {
+  const ArtifactSection* section = artifact.Find(name);
+  if (section == nullptr) {
+    return Status::ParseError(artifact.kind + " payload lacks section '" +
+                              std::string(name) + "'");
+  }
+  return section->payload;
+}
+
+StatusOr<uint64_t> SectionToU64(const Artifact& artifact,
+                                std::string_view name) {
+  LSD_ASSIGN_OR_RETURN(std::string field, RequireSection(artifact, name));
+  LSD_ASSIGN_OR_RETURN(size_t value, FieldToSize(field));
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<bool> SectionToBool(const Artifact& artifact, std::string_view name) {
+  LSD_ASSIGN_OR_RETURN(std::string field, RequireSection(artifact, name));
+  if (field == "0") return false;
+  if (field == "1") return true;
+  return Status::ParseError("bad boolean field '" + field + "' in section '" +
+                            std::string(name) + "'");
+}
+
+StatusOr<WireOutcome> ParseOutcome(const std::string& name) {
+  for (WireOutcome outcome :
+       {WireOutcome::kOk, WireOutcome::kDegraded, WireOutcome::kFailed,
+        WireOutcome::kShed}) {
+    if (name == WireOutcomeName(outcome)) return outcome;
+  }
+  return Status::ParseError("unknown wire outcome: " + name);
+}
+
+StatusOr<StatusCode> ParseStatusCode(const std::string& name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kParseError,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kDataLoss,
+        StatusCode::kUnavailable}) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return Status::ParseError("unknown status code: " + name);
+}
+
+}  // namespace
+
+const char* WireOutcomeName(WireOutcome outcome) {
+  switch (outcome) {
+    case WireOutcome::kOk:
+      return "ok";
+    case WireOutcome::kDegraded:
+      return "degraded";
+    case WireOutcome::kFailed:
+      return "failed";
+    case WireOutcome::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Status WireResponse::ToStatus() const {
+  if (status_code == StatusCode::kOk) return Status::OK();
+  return Status(status_code, status_message);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  LSD_CHECK(payload.size() <= kMaxFramePayloadBytes);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kWireMagic, sizeof(kWireMagic));
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(type));
+  out.push_back(0);
+  out.push_back(0);
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU32(&out, Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeRequestPayload(const WireRequest& request) {
+  Artifact artifact;
+  artifact.kind = kRequestKind;
+  artifact.sections.push_back({"id", request.id});
+  artifact.sections.push_back(
+      {"deadline-ms", StrFormat("%lld",
+                                static_cast<long long>(request.deadline_ms))});
+  artifact.sections.push_back({"dtd", request.dtd_text});
+  artifact.sections.push_back({"xml", request.xml_text});
+  return EncodeArtifact(artifact);
+}
+
+std::string EncodeResponsePayload(const WireResponse& response) {
+  Artifact artifact;
+  artifact.kind = kResponseKind;
+  artifact.sections.push_back({"id", response.id});
+  artifact.sections.push_back(
+      {"outcome", WireOutcomeName(response.outcome)});
+  artifact.sections.push_back(
+      {"status-code", StatusCodeToString(response.status_code)});
+  artifact.sections.push_back({"status-message", response.status_message});
+  artifact.sections.push_back({"mapping", response.mapping});
+  artifact.sections.push_back({"fingerprint", response.fingerprint});
+  artifact.sections.push_back(
+      {"attempts", StrFormat("%llu",
+                             (unsigned long long)response.attempts)});
+  artifact.sections.push_back(
+      {"retries", StrFormat("%llu", (unsigned long long)response.retries)});
+  artifact.sections.push_back(
+      {"latency-micros",
+       StrFormat("%llu", (unsigned long long)response.latency_micros)});
+  artifact.sections.push_back(
+      {"model-version",
+       StrFormat("%llu", (unsigned long long)response.model_version)});
+  artifact.sections.push_back(
+      {"breaker-skipped", response.breaker_skipped ? "1" : "0"});
+  artifact.sections.push_back(
+      {"deadline-overrun", response.deadline_overrun ? "1" : "0"});
+  return EncodeArtifact(artifact);
+}
+
+StatusOr<WireRequest> DecodeRequestPayload(std::string_view payload) {
+  LSD_ASSIGN_OR_RETURN(Artifact artifact,
+                       DecodeArtifact(payload, kRequestKind));
+  WireRequest request;
+  LSD_ASSIGN_OR_RETURN(request.id, RequireSection(artifact, "id"));
+  LSD_ASSIGN_OR_RETURN(std::string deadline,
+                       RequireSection(artifact, "deadline-ms"));
+  LSD_ASSIGN_OR_RETURN(request.deadline_ms, FieldToInt64(deadline));
+  LSD_ASSIGN_OR_RETURN(request.dtd_text, RequireSection(artifact, "dtd"));
+  LSD_ASSIGN_OR_RETURN(request.xml_text, RequireSection(artifact, "xml"));
+  return request;
+}
+
+StatusOr<WireResponse> DecodeResponsePayload(std::string_view payload) {
+  LSD_ASSIGN_OR_RETURN(Artifact artifact,
+                       DecodeArtifact(payload, kResponseKind));
+  WireResponse response;
+  LSD_ASSIGN_OR_RETURN(response.id, RequireSection(artifact, "id"));
+  LSD_ASSIGN_OR_RETURN(std::string outcome,
+                       RequireSection(artifact, "outcome"));
+  LSD_ASSIGN_OR_RETURN(response.outcome, ParseOutcome(outcome));
+  LSD_ASSIGN_OR_RETURN(std::string code,
+                       RequireSection(artifact, "status-code"));
+  LSD_ASSIGN_OR_RETURN(response.status_code, ParseStatusCode(code));
+  LSD_ASSIGN_OR_RETURN(response.status_message,
+                       RequireSection(artifact, "status-message"));
+  LSD_ASSIGN_OR_RETURN(response.mapping, RequireSection(artifact, "mapping"));
+  LSD_ASSIGN_OR_RETURN(response.fingerprint,
+                       RequireSection(artifact, "fingerprint"));
+  LSD_ASSIGN_OR_RETURN(response.attempts, SectionToU64(artifact, "attempts"));
+  LSD_ASSIGN_OR_RETURN(response.retries, SectionToU64(artifact, "retries"));
+  LSD_ASSIGN_OR_RETURN(response.latency_micros,
+                       SectionToU64(artifact, "latency-micros"));
+  LSD_ASSIGN_OR_RETURN(response.model_version,
+                       SectionToU64(artifact, "model-version"));
+  LSD_ASSIGN_OR_RETURN(response.breaker_skipped,
+                       SectionToBool(artifact, "breaker-skipped"));
+  LSD_ASSIGN_OR_RETURN(response.deadline_overrun,
+                       SectionToBool(artifact, "deadline-overrun"));
+  return response;
+}
+
+std::string EncodeRequestFrame(const WireRequest& request) {
+  return EncodeFrame(FrameType::kRequest, EncodeRequestPayload(request));
+}
+
+std::string EncodeResponseFrame(const WireResponse& response) {
+  return EncodeFrame(FrameType::kResponse, EncodeResponsePayload(response));
+}
+
+StatusOr<DecodedFrame> DecodeFrame(std::string_view bytes,
+                                   size_t max_payload) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::OutOfRange(
+        StrFormat("frame truncated: %zu bytes is shorter than the %zu-byte "
+                  "header",
+                  bytes.size(), kFrameHeaderBytes));
+  }
+  DecodedFrame frame;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+  LSD_RETURN_IF_ERROR(CheckHeader(bytes.data(), max_payload, &frame.type,
+                                  &payload_len, &payload_crc));
+  size_t total = kFrameHeaderBytes + payload_len;
+  if (bytes.size() < total) {
+    return Status::OutOfRange(
+        StrFormat("frame truncated: header promises %u payload bytes, %zu "
+                  "remain",
+                  payload_len, bytes.size() - kFrameHeaderBytes));
+  }
+  if (bytes.size() > total) {
+    return Status::ParseError(
+        StrFormat("%zu trailing bytes after a complete frame",
+                  bytes.size() - total));
+  }
+  std::string_view payload = bytes.substr(kFrameHeaderBytes, payload_len);
+  if (Crc32(payload) != payload_crc) {
+    return Status::DataLoss("frame payload fails its CRC32 check");
+  }
+  frame.payload.assign(payload);
+  return frame;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact lazily: drop consumed bytes once they dominate the buffer so a
+  // long-lived connection doesn't grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+StatusOr<bool> FrameDecoder::Next(DecodedFrame* frame) {
+  if (!failed_.ok()) return failed_;
+  size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+  const char* head = buffer_.data() + consumed_;
+  FrameType type = FrameType::kRequest;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+  Status header =
+      CheckHeader(head, max_payload_, &type, &payload_len, &payload_crc);
+  if (!header.ok()) {
+    failed_ = header;
+    return failed_;
+  }
+  if (available < kFrameHeaderBytes + payload_len) return false;
+  std::string_view payload(head + kFrameHeaderBytes, payload_len);
+  if (Crc32(payload) != payload_crc) {
+    failed_ = Status::DataLoss("frame payload fails its CRC32 check");
+    return failed_;
+  }
+  frame->type = type;
+  frame->payload.assign(payload);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return true;
+}
+
+}  // namespace net
+}  // namespace lsd

@@ -1,0 +1,164 @@
+#ifndef LSD_NET_WIRE_H_
+#define LSD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace lsd {
+namespace net {
+
+/// The LSD wire protocol: length-prefixed, CRC32-framed, versioned frames
+/// carrying match requests and responses between the client library and
+/// the epoll server (see DESIGN.md "Network transport & wire protocol").
+///
+/// Frame layout (16-byte header, little-endian integers):
+///
+///     offset  size  field
+///          0     4  magic "LSDN"
+///          4     1  wire version (kWireVersion)
+///          5     1  frame type (FrameType)
+///          6     2  reserved, must be zero
+///          8     4  payload length in bytes (uint32)
+///         12     4  CRC32 of the payload (uint32, IEEE 802.3)
+///         16     n  payload
+///
+/// The payload is itself an encoded artifact (common/artifact_io.h) of
+/// kind "net-request" / "net-response", so structural damage inside a
+/// frame is classified by the same validated-framing discipline the
+/// persistence layer uses. Decode failures map onto the existing error
+/// taxonomy — the same classes the artifact loader uses:
+///
+///     not this protocol (bad magic / reserved)   -> kParseError
+///     version skew (unknown wire version)        -> kFailedPrecondition
+///     oversized length prefix                    -> kOutOfRange
+///     truncation (frame ends early, one-shot)    -> kOutOfRange
+///     checksum mismatch (bit flip)               -> kDataLoss
+///     structurally valid but wrong content       -> kParseError /
+///                                                   kInvalidArgument
+///
+/// Framing errors are connection-fatal: after a bad magic byte or CRC
+/// mismatch the stream offset can no longer be trusted, so the server
+/// closes the connection instead of guessing where the next frame starts.
+/// A *payload* that frames correctly but decodes badly is not fatal — the
+/// stream is still in sync, so the server answers with an error response.
+
+inline constexpr char kWireMagic[4] = {'L', 'S', 'D', 'N'};
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Ceiling on a frame payload; a length prefix above this is rejected with
+/// kOutOfRange before any buffering happens, so a hostile or corrupt
+/// 4-byte prefix cannot make the peer allocate gigabytes.
+inline constexpr size_t kMaxFramePayloadBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Request-side terminal outcome, mirroring service RequestOutcome without
+/// making the wire codec depend on the service layer (the client library
+/// links only lsd_net + lsd_common).
+enum class WireOutcome : uint8_t {
+  kOk = 0,
+  kDegraded = 1,
+  kFailed = 2,
+  kShed = 3,
+};
+const char* WireOutcomeName(WireOutcome outcome);
+
+/// One match request as it crosses the wire. Mirrors ServiceRequest: the
+/// deadline is *relative* (milliseconds of budget, spent from the moment
+/// the server submits it; negative = server default), so client and server
+/// clocks never need to agree.
+struct WireRequest {
+  std::string id;
+  int64_t deadline_ms = -1;
+  std::string dtd_text;
+  std::string xml_text;
+};
+
+/// One match response. `status_code`/`status_message` carry the service
+/// Status for failed/shed outcomes; `mapping` and `fingerprint` are the
+/// exact bytes the service produced, which is what lets the loopback
+/// tests byte-compare network responses against file-replay runs.
+struct WireResponse {
+  std::string id;
+  WireOutcome outcome = WireOutcome::kFailed;
+  StatusCode status_code = StatusCode::kOk;
+  std::string status_message;
+  std::string mapping;
+  std::string fingerprint;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t latency_micros = 0;
+  uint64_t model_version = 0;
+  bool breaker_skipped = false;
+  bool deadline_overrun = false;
+
+  /// The response's Status object (OK for ok/degraded outcomes).
+  Status ToStatus() const;
+};
+
+/// Encodes a frame around an already-encoded payload.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Payload codecs (artifact-framed, see file comment).
+std::string EncodeRequestPayload(const WireRequest& request);
+std::string EncodeResponsePayload(const WireResponse& response);
+StatusOr<WireRequest> DecodeRequestPayload(std::string_view payload);
+StatusOr<WireResponse> DecodeResponsePayload(std::string_view payload);
+
+/// EncodeFrame over the encoded payload.
+std::string EncodeRequestFrame(const WireRequest& request);
+std::string EncodeResponseFrame(const WireResponse& response);
+
+/// A decoded frame: its type plus the raw (CRC-verified) payload bytes.
+struct DecodedFrame {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+};
+
+/// One-shot decode: `bytes` must hold exactly one complete frame.
+/// Truncation anywhere — header or payload — is kOutOfRange; trailing
+/// bytes after the frame are kParseError. Used by tests and anywhere a
+/// frame arrives pre-delimited.
+StatusOr<DecodedFrame> DecodeFrame(std::string_view bytes,
+                                   size_t max_payload = kMaxFramePayloadBytes);
+
+/// Incremental frame decoder for a byte stream: feed socket reads in, pull
+/// complete frames out. Validation order pins the taxonomy: magic first
+/// (kParseError), then version (kFailedPrecondition), then the reserved
+/// bytes (kParseError), then the length prefix against `max_payload`
+/// (kOutOfRange, before buffering the payload), then the payload CRC
+/// (kDataLoss). Any error is sticky: the stream offset is untrustworthy,
+/// so every later call returns the same error.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxFramePayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends bytes read from the transport.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame. Returns true and fills `*frame`
+  /// when one is available, false when more bytes are needed, or the
+  /// classifying error on damage (sticky).
+  StatusOr<bool> Next(DecodedFrame* frame);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status failed_ = Status::OK();
+};
+
+}  // namespace net
+}  // namespace lsd
+
+#endif  // LSD_NET_WIRE_H_

@@ -296,13 +296,26 @@ void MatchService::StartWorkers() {
 std::future<ServiceResponse> MatchService::Submit(ServiceRequest request) {
   auto pending = std::make_unique<Pending>();
   pending->request = std::move(request);
+  std::future<ServiceResponse> future = pending->promise.get_future();
+  SubmitImpl(std::move(pending));
+  return future;
+}
+
+void MatchService::SubmitAsync(ServiceRequest request,
+                               std::function<void(ServiceResponse)> done) {
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->done = std::move(done);
+  SubmitImpl(std::move(pending));
+}
+
+void MatchService::SubmitImpl(std::unique_ptr<Pending> pending) {
   pending->deadline_ms = pending->request.deadline_ms >= 0
                              ? pending->request.deadline_ms
                              : options_.default_deadline_ms;
-  // The deadline starts at Submit: queue wait spends the budget.
+  // The deadline starts at submit: queue wait spends the budget.
   pending->deadline = Deadline::AfterMillis(pending->deadline_ms);
   pending->submitted = std::chrono::steady_clock::now();
-  std::future<ServiceResponse> future = pending->promise.get_future();
 
   Status admit = Status::OK();
   {
@@ -373,10 +386,9 @@ std::future<ServiceResponse> MatchService::Submit(ServiceRequest request) {
   }
   if (!admit.ok()) {
     Shed(std::move(*pending), std::move(admit));
-    return future;
+    return;
   }
   queue_cv_.notify_one();
-  return future;
 }
 
 ServiceResponse MatchService::Process(ServiceRequest request) {
@@ -655,7 +667,15 @@ void MatchService::Shed(Pending pending, Status status) {
   // latency accounting covers every terminal outcome — request_micros
   // only sees executed requests.
   metrics.shed_micros->Record(response.latency_micros);
-  pending.promise.set_value(std::move(response));
+  Deliver(pending, std::move(response));
+}
+
+void MatchService::Deliver(Pending& pending, ServiceResponse response) {
+  if (pending.done) {
+    pending.done(std::move(response));
+  } else {
+    pending.promise.set_value(std::move(response));
+  }
 }
 
 ServiceResponse MatchService::Execute(Pending& pending, size_t slot) {
@@ -940,7 +960,7 @@ void MatchService::Finalize(Pending& pending, ServiceResponse response) {
     (void)options_.registry->MarkLastGood(promote_registry);
   }
   retire.clear();
-  pending.promise.set_value(std::move(response));
+  Deliver(pending, std::move(response));
 }
 
 MatchService::Stats MatchService::stats() const {

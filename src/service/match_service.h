@@ -188,6 +188,16 @@ class MatchService {
   /// admitted requests resolve when execution reaches a terminal outcome.
   std::future<ServiceResponse> Submit(ServiceRequest request);
 
+  /// Callback flavor of Submit for callers that must never block on a
+  /// future (the epoll transport in net/server.cc). `done` is invoked with
+  /// the terminal response exactly once: inline on the submitting thread
+  /// when the request is shed (fail fast — the caller can turn an
+  /// admission-control shed into an immediate kUnavailable wire response),
+  /// or on a worker thread when execution finishes. The callback must not
+  /// re-enter the service.
+  void SubmitAsync(ServiceRequest request,
+                   std::function<void(ServiceResponse)> done);
+
   /// Submit + wait.
   ServiceResponse Process(ServiceRequest request);
 
@@ -337,6 +347,9 @@ class MatchService {
     /// the execution-time EWMA, so queue wait never inflates it.
     std::chrono::steady_clock::time_point exec_start;
     std::promise<ServiceResponse> promise;
+    /// Callback-submitted requests (SubmitAsync) deliver here instead of
+    /// the promise; null for future-based submits.
+    std::function<void(ServiceResponse)> done;
   };
 
   MatchService(ReplicaFactory factory, MatchServiceOptions options);
@@ -370,6 +383,13 @@ class MatchService {
                                 const std::string& attempt_key, size_t slot,
                                 const std::vector<std::string>& skip,
                                 RunReport* parse_notes, bool* replica_touched);
+
+  /// Shared admission path behind Submit/SubmitAsync: sheds or enqueues.
+  void SubmitImpl(std::unique_ptr<Pending> pending);
+
+  /// Resolves a terminal response into the pending request's promise or
+  /// callback (exactly one of the two).
+  static void Deliver(Pending& pending, ServiceResponse response);
 
   /// Finalizes a response: latency, overrun check, outcome counters.
   void Finalize(Pending& pending, ServiceResponse response);

@@ -1,0 +1,964 @@
+// Network transport tests: wire-protocol round trips, hostile-input
+// classification (truncation, bit flips, oversized prefixes, version
+// skew), the streaming FrameDecoder, and loopback end-to-end coverage of
+// NetServer + NetClient in front of a real MatchService — ok/degraded/
+// shed/expired-deadline/reload-under-traffic responses byte-compared
+// against direct in-process Process() calls at 1/2/4/8 workers, plus the
+// kNetAccept/kNetRead/kNetWrite fault seams and both backpressure rules.
+//
+// The NetSoakTest.DISABLED_* cases are tier2: skipped in the default ctest
+// pass, run explicitly by the `net_loopback_soak` ctest entry and by
+// scripts/check.sh under TSan.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/lsd_system.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "service/match_service.h"
+#include "xml/dtd_parser.h"
+#include "xml/xml_parser.h"
+
+namespace lsd {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol: round trips
+// ---------------------------------------------------------------------------
+
+WireRequest SampleRequest() {
+  WireRequest request;
+  request.id = "req-42";
+  request.deadline_ms = 1500;
+  request.dtd_text = "<!ELEMENT a (#PCDATA)>\n";
+  request.xml_text = "<listings><a>x</a></listings>\n";
+  return request;
+}
+
+WireResponse SampleResponse() {
+  WireResponse response;
+  response.id = "req-42";
+  response.outcome = WireOutcome::kDegraded;
+  response.status_code = StatusCode::kOk;
+  response.status_message = "";
+  response.mapping = "a <=> ADDRESS\n";
+  response.fingerprint = "a <=> ADDRESS\n--\na ADDRESS 0.5\n";
+  response.attempts = 2;
+  response.retries = 1;
+  response.latency_micros = 12345;
+  response.model_version = 7;
+  response.breaker_skipped = true;
+  response.deadline_overrun = false;
+  return response;
+}
+
+TEST(NetWireTest, RequestRoundTripPreservesEveryField) {
+  WireRequest request = SampleRequest();
+  std::string frame = EncodeRequestFrame(request);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, FrameType::kRequest);
+  auto round = DecodeRequestPayload(decoded->payload);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->id, request.id);
+  EXPECT_EQ(round->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(round->dtd_text, request.dtd_text);
+  EXPECT_EQ(round->xml_text, request.xml_text);
+}
+
+TEST(NetWireTest, NegativeDeadlineSurvivesTheRoundTrip) {
+  WireRequest request = SampleRequest();
+  request.deadline_ms = -1;
+  auto decoded = DecodeFrame(EncodeRequestFrame(request));
+  ASSERT_TRUE(decoded.ok());
+  auto round = DecodeRequestPayload(decoded->payload);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->deadline_ms, -1);
+}
+
+TEST(NetWireTest, ResponseRoundTripPreservesEveryField) {
+  WireResponse response = SampleResponse();
+  response.status_code = StatusCode::kUnavailable;
+  response.status_message = "queue full";
+  response.outcome = WireOutcome::kShed;
+  auto decoded = DecodeFrame(EncodeResponseFrame(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, FrameType::kResponse);
+  auto round = DecodeResponsePayload(decoded->payload);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->id, response.id);
+  EXPECT_EQ(round->outcome, WireOutcome::kShed);
+  EXPECT_EQ(round->status_code, StatusCode::kUnavailable);
+  EXPECT_EQ(round->status_message, "queue full");
+  EXPECT_EQ(round->mapping, response.mapping);
+  EXPECT_EQ(round->fingerprint, response.fingerprint);
+  EXPECT_EQ(round->attempts, 2u);
+  EXPECT_EQ(round->retries, 1u);
+  EXPECT_EQ(round->latency_micros, 12345u);
+  EXPECT_EQ(round->model_version, 7u);
+  EXPECT_TRUE(round->breaker_skipped);
+  EXPECT_FALSE(round->deadline_overrun);
+  EXPECT_EQ(round->ToStatus().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetWireTest, PayloadKindMismatchIsInvalidArgument) {
+  // A response payload in a request frame is structurally a valid frame;
+  // the artifact kind check is what catches the crossed wires.
+  std::string frame =
+      EncodeFrame(FrameType::kRequest, EncodeResponsePayload(SampleResponse()));
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok());
+  auto request = DecodeRequestPayload(decoded->payload);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: hostile-input classification. Damage must always land in
+// the documented taxonomy and never crash, hang, or decode to garbage.
+// ---------------------------------------------------------------------------
+
+bool InDamageTaxonomy(StatusCode code) {
+  return code == StatusCode::kParseError ||
+         code == StatusCode::kFailedPrecondition ||
+         code == StatusCode::kOutOfRange || code == StatusCode::kDataLoss;
+}
+
+TEST(NetHostileTest, EveryTruncationPointIsOutOfRange) {
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    auto decoded = DecodeFrame(std::string_view(frame).substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kOutOfRange)
+        << "cut at " << cut << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(NetHostileTest, EverySingleBitFlipIsClassified) {
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = frame;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      auto decoded = DecodeFrame(damaged);
+      if (decoded.ok()) {
+        // The only flips a frame-level check cannot see are inside the
+        // length field in ways that keep both length and CRC consistent —
+        // impossible for a single bit — so a clean decode means the flip
+        // landed in the payload AND the CRC missed it. CRC32 catches all
+        // single-bit errors; reaching here is a bug.
+        ADD_FAILURE() << "bit flip at byte " << byte << " bit " << bit
+                      << " decoded cleanly";
+        continue;
+      }
+      EXPECT_TRUE(InDamageTaxonomy(decoded.status().code()))
+          << "byte " << byte << " bit " << bit << ": "
+          << decoded.status().ToString();
+    }
+  }
+}
+
+TEST(NetHostileTest, OversizedLengthPrefixRejectedFromHeaderAlone) {
+  // Construct a header promising far more payload than the decoder's
+  // limit; the decoder must reject it with only the header in hand, not
+  // wait for (or buffer) gigabytes that never arrive.
+  WireRequest request = SampleRequest();
+  std::string frame = EncodeRequestFrame(request);
+  const uint32_t huge = 1u << 30;
+  for (int i = 0; i < 4; ++i) {
+    frame[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  FrameDecoder decoder(/*max_payload=*/1 << 20);
+  decoder.Feed(std::string_view(frame).substr(0, kFrameHeaderBytes));
+  DecodedFrame out;
+  auto got = decoder.Next(&out);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(NetHostileTest, VersionSkewIsFailedPrecondition) {
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  frame[4] = static_cast<char>(kWireVersion + 1);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetHostileTest, BadMagicIsParseError) {
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  frame[0] = 'X';
+  auto decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+TEST(NetHostileTest, CorruptPayloadIsDataLoss) {
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  frame[kFrameHeaderBytes + 3] ^= 0x40;
+  auto decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(NetHostileTest, TrailingBytesAfterAFrameAreParseError) {
+  std::string frame = EncodeRequestFrame(SampleRequest()) + "x";
+  auto decoded = DecodeFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kParseError);
+}
+
+// Property test: random mutations of valid frames and pure-garbage byte
+// strings, both one-shot and streamed. Every decode either succeeds (the
+// mutation missed, possible only for multi-bit payload flips CRC32 can
+// theoretically alias — still correct framing), needs more bytes, or
+// classifies into the taxonomy. It never crashes and never misreads type
+// or payload size.
+TEST(NetHostileTest, RandomlyMutatedFramesAlwaysClassify) {
+  Rng rng(20260808);
+  const std::string base = EncodeRequestFrame(SampleRequest());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes = base;
+    // 1-8 random mutations: flips, truncation, or growth.
+    int mutations = 1 + static_cast<int>(rng.Next() % 8);
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.Next() % 3) {
+        case 0: {  // bit flip
+          size_t at = rng.Next() % bytes.size();
+          bytes[at] = static_cast<char>(bytes[at] ^ (1 << (rng.Next() % 8)));
+          break;
+        }
+        case 1:  // truncate
+          bytes.resize(rng.Next() % (bytes.size() + 1));
+          break;
+        default:  // append garbage
+          bytes.push_back(static_cast<char>(rng.Next() & 0xff));
+      }
+      if (bytes.empty()) bytes = base;
+    }
+    auto one_shot = DecodeFrame(bytes);
+    if (!one_shot.ok()) {
+      EXPECT_TRUE(InDamageTaxonomy(one_shot.status().code()))
+          << one_shot.status().ToString();
+    }
+    // Stream the same bytes in random-sized chunks.
+    FrameDecoder decoder;
+    size_t fed = 0;
+    while (fed < bytes.size()) {
+      size_t chunk = 1 + rng.Next() % 37;
+      chunk = std::min(chunk, bytes.size() - fed);
+      decoder.Feed(std::string_view(bytes).substr(fed, chunk));
+      fed += chunk;
+      DecodedFrame frame;
+      auto got = decoder.Next(&frame);
+      if (!got.ok()) {
+        EXPECT_TRUE(InDamageTaxonomy(got.status().code()))
+            << got.status().ToString();
+        break;
+      }
+    }
+  }
+}
+
+TEST(NetHostileTest, PureGarbageNeverDecodes) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.Next() % 256;
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Next() & 0xff));
+    }
+    auto decoded = DecodeFrame(garbage);
+    if (decoded.ok()) {
+      // A random 16+ byte string opening with "LSDN", version 1, a sane
+      // type, zero reserved bytes, AND a matching CRC is beyond chance.
+      ADD_FAILURE() << "garbage of " << len << " bytes decoded";
+    } else {
+      EXPECT_TRUE(InDamageTaxonomy(decoded.status().code()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder: streaming reassembly and sticky failure
+// ---------------------------------------------------------------------------
+
+TEST(NetFrameDecoderTest, ReassemblesFramesFedOneByteAtATime) {
+  WireRequest first = SampleRequest();
+  WireRequest second = SampleRequest();
+  second.id = "req-43";
+  std::string stream = EncodeRequestFrame(first) + EncodeRequestFrame(second);
+
+  FrameDecoder decoder;
+  std::vector<std::string> ids;
+  for (char c : stream) {
+    decoder.Feed(std::string_view(&c, 1));
+    DecodedFrame frame;
+    auto got = decoder.Next(&frame);
+    ASSERT_TRUE(got.ok());
+    if (*got) {
+      auto request = DecodeRequestPayload(frame.payload);
+      ASSERT_TRUE(request.ok());
+      ids.push_back(request->id);
+    }
+  }
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "req-42");
+  EXPECT_EQ(ids[1], "req-43");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(NetFrameDecoderTest, ErrorIsSticky) {
+  FrameDecoder decoder;
+  std::string frame = EncodeRequestFrame(SampleRequest());
+  frame[0] = 'X';
+  decoder.Feed(frame);
+  DecodedFrame out;
+  auto first = decoder.Next(&out);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kParseError);
+  // Even feeding a pristine frame afterwards cannot resynchronize: the
+  // transport must tear the connection down instead.
+  decoder.Feed(EncodeRequestFrame(SampleRequest()));
+  auto second = decoder.Next(&out);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Loopback end-to-end: NetServer + NetClient against a real MatchService.
+// The fixture mirrors tests/service_test.cpp's micro-domain.
+// ---------------------------------------------------------------------------
+
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mediated_ = ParseDtd(R"(
+      <!ELEMENT HOUSE (ADDRESS, DESCRIPTION, CONTACT-INFO)>
+      <!ELEMENT ADDRESS (#PCDATA)>
+      <!ELEMENT DESCRIPTION (#PCDATA)>
+      <!ELEMENT CONTACT-INFO (AGENT-NAME, AGENT-PHONE)>
+      <!ELEMENT AGENT-NAME (#PCDATA)>
+      <!ELEMENT AGENT-PHONE (#PCDATA)>
+    )").value();
+
+    source_a_.name = "a.com";
+    source_a_.schema = ParseDtd(
+        R"(<!ELEMENT house-listing (location, comments, contact)>
+           <!ELEMENT location (#PCDATA)>
+           <!ELEMENT comments (#PCDATA)>
+           <!ELEMENT contact (name, phone)>
+           <!ELEMENT name (#PCDATA)>
+           <!ELEMENT phone (#PCDATA)>)").value();
+    static const char* kCities[] = {"Miami, FL", "Boston, MA", "Seattle, WA",
+                                    "Austin, TX"};
+    static const char* kDescs[] = {
+        "Fantastic house great location", "Beautiful home spacious yard",
+        "Great views close to river", "Charming cottage near schools"};
+    static const char* kNames[] = {"Kate Richardson", "Mike Smith",
+                                   "Jane Kendall", "Matt Brown"};
+    for (size_t i = 0; i < 12; ++i) {
+      std::string xml = std::string("<house-listing><location>") +
+                        kCities[i % 4] + "</location><comments>" +
+                        kDescs[i % 4] + "</comments><contact><name>" +
+                        kNames[i % 4] + "</name><phone>(555) 321 " +
+                        std::to_string(1000 + 7 * i) +
+                        "</phone></contact></house-listing>";
+      source_a_.listings.push_back(ParseXml(xml).value());
+    }
+    gold_a_.Set("house-listing", "HOUSE");
+    gold_a_.Set("location", "ADDRESS");
+    gold_a_.Set("comments", "DESCRIPTION");
+    gold_a_.Set("contact", "CONTACT-INFO");
+    gold_a_.Set("name", "AGENT-NAME");
+    gold_a_.Set("phone", "AGENT-PHONE");
+  }
+
+  MatchService::ReplicaFactory Factory() {
+    return [this]() -> StatusOr<std::unique_ptr<LsdSystem>> {
+      auto system = std::make_unique<LsdSystem>(mediated_, LsdConfig());
+      LSD_RETURN_IF_ERROR(system->AddTrainingSource(source_a_, gold_a_));
+      LSD_RETURN_IF_ERROR(system->Train());
+      return StatusOr<std::unique_ptr<LsdSystem>>(std::move(system));
+    };
+  }
+
+  static MatchServiceOptions ServiceOptions(size_t workers) {
+    MatchServiceOptions options;
+    options.workers = workers;
+    options.max_queue_depth = 64;
+    options.breaker.failure_threshold = 0;
+    options.sleep_millis = [](int64_t) {};
+    return options;
+  }
+
+  /// A healthy target request; `variant` seeds distinct-but-fixed content.
+  static ServiceRequest TargetRequest(const std::string& id,
+                                      size_t variant = 0) {
+    static const char* kCities[] = {"Portland, OR", "Denver, CO", "Miami, FL",
+                                    "Boston, MA"};
+    ServiceRequest request;
+    request.id = id;
+    request.dtd_text =
+        "<!ELEMENT home (area, extra-info, reach)>"
+        "<!ELEMENT area (#PCDATA)>"
+        "<!ELEMENT extra-info (#PCDATA)>"
+        "<!ELEMENT reach (realtor, work-phone)>"
+        "<!ELEMENT realtor (#PCDATA)>"
+        "<!ELEMENT work-phone (#PCDATA)>";
+    std::string xml = "<listings>";
+    for (size_t i = 0; i < 4; ++i) {
+      xml += "<home><area>" + std::string(kCities[(variant + i) % 4]) +
+             "</area><extra-info>Spacious home fantastic neighborhood"
+             "</extra-info><reach><realtor>Jane Kendall</realtor>"
+             "<work-phone>(555) 777 " + std::to_string(2000 + 13 * i) +
+             "</work-phone></reach></home>";
+    }
+    xml += "</listings>";
+    request.xml_text = std::move(xml);
+    return request;
+  }
+
+  static WireRequest ToWire(const ServiceRequest& request) {
+    WireRequest wire;
+    wire.id = request.id;
+    wire.deadline_ms = request.deadline_ms;
+    wire.dtd_text = request.dtd_text;
+    wire.xml_text = request.xml_text;
+    return wire;
+  }
+
+  static NetClientOptions ClientFor(const NetServer& server) {
+    NetClientOptions options;
+    options.port = server.port();
+    options.backoff.max_retries = 3;
+    options.backoff.initial_ms = 1;
+    options.backoff.max_ms = 20;
+    return options;
+  }
+
+  Dtd mediated_;
+  DataSource source_a_;
+  Mapping gold_a_;
+};
+
+TEST_F(NetLoopbackTest, OkResponsesAreByteIdenticalAcrossWorkerCounts) {
+  // The reference: the same request answered in process, no network.
+  auto reference_service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(reference_service.ok());
+  std::vector<ServiceResponse> reference;
+  for (size_t variant = 0; variant < 3; ++variant) {
+    reference.push_back((*reference_service)
+                            ->Process(TargetRequest(
+                                "ref-" + std::to_string(variant), variant)));
+    ASSERT_EQ(reference.back().outcome, RequestOutcome::kOk);
+  }
+  (*reference_service)->Stop();
+
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto service = MatchService::Create(Factory(), ServiceOptions(workers));
+    ASSERT_TRUE(service.ok());
+    auto server = NetServer::Create(service->get(), NetServerOptions());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    NetClient client(ClientFor(**server));
+    for (size_t variant = 0; variant < 3; ++variant) {
+      auto response = client.Call(ToWire(
+          TargetRequest("net-" + std::to_string(variant), variant)));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->outcome, WireOutcome::kOk);
+      // The byte-identity contract: what crossed the wire is exactly what
+      // an in-process caller gets, at every worker count.
+      EXPECT_EQ(response->mapping, reference[variant].mapping);
+      EXPECT_EQ(response->fingerprint, reference[variant].fingerprint);
+      EXPECT_EQ(response->model_version, 1u);
+    }
+    (*server)->Stop();
+    (*service)->Stop();
+  }
+}
+
+TEST_F(NetLoopbackTest, ExpiredDeadlineDegradesIdenticallyOverTheWire) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+
+  // Reference: a zero-budget request in process — already expired at
+  // submit, so the anytime fallback answers (degraded, deterministic).
+  ServiceRequest direct = TargetRequest("direct-expired");
+  direct.deadline_ms = 0;
+  ServiceResponse expected = (*service)->Process(std::move(direct));
+  ASSERT_EQ(expected.outcome, RequestOutcome::kDegraded);
+
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+  NetClient client(ClientFor(**server));
+  ServiceRequest over_wire = TargetRequest("net-expired");
+  over_wire.deadline_ms = 0;
+  auto response = client.Call(ToWire(over_wire));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->outcome, WireOutcome::kDegraded);
+  EXPECT_EQ(response->mapping, expected.mapping);
+  EXPECT_EQ(response->fingerprint, expected.fingerprint);
+  EXPECT_FALSE(response->deadline_overrun);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, AdmissionShedBecomesImmediateUnavailableResponse) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  FaultInjector injector(11);
+  injector.FailMatching(FaultSite::kServiceAdmit, "shed-me",
+                        Status::Unavailable("injected admission shed"));
+  ScopedFaultInjection scoped(&injector);
+
+  NetClient client(ClientFor(**server));
+  auto shed = client.Call(ToWire(TargetRequest("shed-me")));
+  // A shed is a *response*, not a transport failure: the client must hand
+  // it back verbatim instead of burning its own transport retries.
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->outcome, WireOutcome::kShed);
+  EXPECT_EQ(shed->status_code, StatusCode::kUnavailable);
+  EXPECT_EQ(shed->attempts, 0u);
+  EXPECT_TRUE(shed->mapping.empty());
+
+  // The same connection still serves healthy requests afterwards.
+  auto healthy = client.Call(ToWire(TargetRequest("healthy-after-shed")));
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->outcome, WireOutcome::kOk);
+  EXPECT_GE(injector.injected_count(), 1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, MalformedPayloadGetsErrorResponseNotDisconnect) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  // Hand-roll a frame whose payload is a response artifact: frames fine,
+  // decodes as a request with kInvalidArgument. The stream stays in sync,
+  // so the server must answer (failed) and keep the connection.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string bad =
+      EncodeFrame(FrameType::kRequest, EncodeResponsePayload(SampleResponse()));
+  std::string good = EncodeRequestFrame(ToWire(TargetRequest("after-bad")));
+  std::string stream = bad + good;
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+
+  FrameDecoder decoder;
+  std::vector<WireResponse> responses;
+  char buf[4096];
+  while (responses.size() < 2) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server disconnected instead of answering";
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (true) {
+      DecodedFrame frame;
+      auto got = decoder.Next(&frame);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      auto response = DecodeResponsePayload(frame.payload);
+      ASSERT_TRUE(response.ok());
+      responses.push_back(std::move(*response));
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(responses[0].outcome, WireOutcome::kFailed);
+  EXPECT_EQ(responses[0].status_code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(responses[1].id, "after-bad");
+  EXPECT_EQ(responses[1].outcome, WireOutcome::kOk);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, FramingDamageClosesTheConnection) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string garbage = "this is definitely not an LSDN frame";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  char buf[64];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // Blocks until close.
+  EXPECT_EQ(n, 0) << "expected EOF after framing damage";
+  ::close(fd);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterOf("net.frame_errors") -
+                before.CounterOf("net.frame_errors"),
+            1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, ReloadUnderTrafficKeepsResponsesByteIdentical) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(2));
+  ASSERT_TRUE(service.ok());
+  ServiceResponse expected = (*service)->Process(TargetRequest("expected"));
+  ASSERT_EQ(expected.outcome, RequestOutcome::kOk);
+
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> completed{0};
+  std::thread traffic([&] {
+    NetClient client(ClientFor(**server));
+    int i = 0;
+    while (!stop.load()) {
+      auto response =
+          client.Call(ToWire(TargetRequest("traffic-" + std::to_string(i++))));
+      if (!response.ok()) continue;  // Transport blips are not the point.
+      ++completed;
+      if (response->outcome == WireOutcome::kOk ||
+          response->outcome == WireOutcome::kDegraded) {
+        // The reload swaps in an identically-trained model, so every
+        // response before, during, and after must carry the same bytes.
+        if (response->mapping != expected.mapping ||
+            response->fingerprint != expected.fingerprint) {
+          ++mismatches;
+        }
+      }
+    }
+  });
+
+  // Hot-swap while the client hammers. Same factory: the shadow
+  // validation is against an identical model, so the swap must land.
+  MatchService::ReloadOptions reload;
+  reload.factory = Factory();
+  auto outcome = (*service)->Reload(std::move(reload));
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->swapped);
+
+  // A few more requests against the new version, then stop.
+  while (completed.load() < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  traffic.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GE(completed.load(), 6);
+
+  auto post = (*service)->Process(TargetRequest("post-reload"));
+  EXPECT_EQ(post.model_version, 2u);
+  EXPECT_EQ(post.mapping, expected.mapping);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, ConcurrentClientsAllGetIdenticalBytes) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(4));
+  ASSERT_TRUE(service.ok());
+  ServiceResponse expected = (*service)->Process(TargetRequest("expected"));
+  ASSERT_EQ(expected.outcome, RequestOutcome::kOk);
+
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 5;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client(ClientFor(**server));
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        auto response = client.Call(ToWire(TargetRequest(
+            "c" + std::to_string(c) + "-" + std::to_string(i))));
+        if (!response.ok() || response->outcome != WireOutcome::kOk ||
+            response->mapping != expected.mapping ||
+            response->fingerprint != expected.fingerprint) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Fault seams: deterministic "conn-<n>" keys in accept order
+// ---------------------------------------------------------------------------
+
+TEST_F(NetLoopbackTest, AcceptFaultClosesFirstConnectionAndRetryRecovers) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  FaultInjector injector(3);
+  injector.FailMatching(FaultSite::kNetAccept, "conn-0",
+                        Status::Internal("injected accept fault"));
+  ScopedFaultInjection scoped(&injector);
+
+  NetClient client(ClientFor(**server));
+  auto response = client.Call(ToWire(TargetRequest("accept-fault")));
+  // conn-0 was killed at accept; the client's transport retry reconnected
+  // as conn-1, which is past the fault rule.
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->outcome, WireOutcome::kOk);
+  EXPECT_GE(injector.injected_count(), 1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, ReadFaultDropsMidStreamAndRetryRecovers) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  FaultInjector injector(3);
+  injector.FailMatching(FaultSite::kNetRead, "conn-0",
+                        Status::Internal("injected read fault"));
+  ScopedFaultInjection scoped(&injector);
+
+  NetClient client(ClientFor(**server));
+  auto response = client.Call(ToWire(TargetRequest("read-fault")));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->outcome, WireOutcome::kOk);
+  EXPECT_GE(injector.injected_count(), 1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, WriteFaultDropsQueuedResponseAndRetryRecovers) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  FaultInjector injector(3);
+  injector.FailMatching(FaultSite::kNetWrite, "conn-0",
+                        Status::Internal("injected write fault"));
+  ScopedFaultInjection scoped(&injector);
+
+  NetClient client(ClientFor(**server));
+  // conn-0 accepts the request and even executes it, but the connection
+  // dies with the response queued — the retry-ambiguity case. Matching is
+  // idempotent, so the client's resend on conn-1 is safe and succeeds.
+  auto response = client.Call(ToWire(TargetRequest("write-fault")));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->outcome, WireOutcome::kOk);
+  EXPECT_GE(injector.injected_count(), 1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure: read throttling and the write-buffer bound
+// ---------------------------------------------------------------------------
+
+TEST_F(NetLoopbackTest, PipelinedBurstTripsReadThrottlingAndStillAnswers) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  NetServerOptions options;
+  options.max_in_flight_per_connection = 1;  // Throttle on the 1st request.
+  auto server = NetServer::Create(service->get(), options);
+  ASSERT_TRUE(server.ok());
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  constexpr int kBurst = 4;
+  std::string stream;
+  for (int i = 0; i < kBurst; ++i) {
+    stream += EncodeRequestFrame(
+        ToWire(TargetRequest("burst-" + std::to_string(i))));
+  }
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+
+  FrameDecoder decoder;
+  int answered = 0;
+  char buf[8192];
+  while (answered < kBurst) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (true) {
+      DecodedFrame frame;
+      auto got = decoder.Next(&frame);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      auto response = DecodeResponsePayload(frame.payload);
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response->outcome, WireOutcome::kOk);
+      ++answered;
+    }
+  }
+  ::close(fd);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  // Backpressure engaged (EPOLLIN came off at least once) but every
+  // request was still answered: throttling delays, never drops.
+  EXPECT_GE(after.CounterOf("net.read_throttles") -
+                before.CounterOf("net.read_throttles"),
+            1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, WriteBufferOverflowClosesTheConnection) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  NetServerOptions options;
+  // Far below one response frame: queueing any response overflows. This
+  // simulates a peer that never drains multi-megabyte backlogs without
+  // needing to actually fill kernel socket buffers.
+  options.max_write_buffer_bytes = 8;
+  auto server = NetServer::Create(service->get(), options);
+  ASSERT_TRUE(server.ok());
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string frame = EncodeRequestFrame(ToWire(TargetRequest("overflow")));
+  ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+            static_cast<ssize_t>(frame.size()));
+  char buf[64];
+  ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_EQ(n, 0) << "expected EOF from the overflow close";
+  ::close(fd);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(after.CounterOf("net.write_overflow_closes") -
+                before.CounterOf("net.write_overflow_closes"),
+            1u);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Soak (tier2): sustained concurrent traffic with mixed deadlines and a
+// mid-flight reload. Run by the `net_loopback_soak` ctest entry and under
+// TSan in scripts/check.sh; DISABLED_ keeps it out of the tier-1 pass.
+// ---------------------------------------------------------------------------
+
+using NetSoakTest = NetLoopbackTest;
+
+TEST_F(NetSoakTest, DISABLED_LoopbackSoakStaysDeterministic) {
+  auto service = MatchService::Create(Factory(), ServiceOptions(4));
+  ASSERT_TRUE(service.ok());
+  ServiceResponse expected = (*service)->Process(TargetRequest("expected"));
+  ASSERT_EQ(expected.outcome, RequestOutcome::kOk);
+  ServiceRequest zero = TargetRequest("expected-zero");
+  zero.deadline_ms = 0;
+  ServiceResponse expected_degraded = (*service)->Process(std::move(zero));
+  ASSERT_EQ(expected_degraded.outcome, RequestOutcome::kDegraded);
+
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> wrong_bytes{0};
+  std::atomic<int> transport_failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      NetClient client(ClientFor(**server));
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServiceRequest request = TargetRequest(
+            "soak-c" + std::to_string(c) + "-" + std::to_string(i));
+        if (i % 5 == 4) request.deadline_ms = 0;  // Exercise the anytime path.
+        auto response = client.Call(ToWire(request));
+        if (!response.ok()) {
+          ++transport_failures;
+          continue;
+        }
+        if (response->outcome == WireOutcome::kOk) {
+          if (response->mapping != expected.mapping ||
+              response->fingerprint != expected.fingerprint) {
+            ++wrong_bytes;
+          }
+        } else if (response->outcome == WireOutcome::kDegraded) {
+          if (response->mapping != expected_degraded.mapping) ++wrong_bytes;
+        }
+        // Sheds are legitimate under load; anything else is terminal too —
+        // the guarantee is determinism of the bytes, not zero shedding.
+      }
+    });
+  }
+
+  // Two reloads while the fleet hammers.
+  for (int r = 0; r < 2; ++r) {
+    MatchService::ReloadOptions reload;
+    reload.factory = Factory();
+    auto outcome = (*service)->Reload(std::move(reload));
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->swapped);
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(wrong_bytes.load(), 0);
+  EXPECT_EQ(transport_failures.load(), 0);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace lsd

@@ -19,6 +19,8 @@
 #include "core/checkpoint.h"
 #include "core/lsd_system.h"
 #include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "service/match_service.h"
 #include "xml/dtd_parser.h"
 #include "xml/xml_parser.h"
@@ -597,6 +599,26 @@ TEST_F(RobustnessSystemTest, EveryFaultSeamFiresUnderTheStandardPipeline) {
       MatchService::ReloadOptions reload;
       reload.factory = factory;
       (void)(*service)->Reload(std::move(reload));
+
+      // Network seams: one request through a loopback NetServer in front
+      // of the same service. Under blanket accept/read/write rules the
+      // call fails after the client's retries — reaching the seam is the
+      // point, not the outcome.
+      auto server = net::NetServer::Create(service->get(), net::NetServerOptions());
+      if (server.ok()) {
+        net::NetClientOptions client_options;
+        client_options.port = (*server)->port();
+        client_options.backoff.max_retries = 1;
+        client_options.backoff.initial_ms = 1;
+        client_options.backoff.max_ms = 1;
+        net::NetClient client(client_options);
+        net::WireRequest wire;
+        wire.id = "seam-net-probe";
+        wire.dtd_text = golden.dtd_text;
+        wire.xml_text = golden.xml_text;
+        (void)client.Call(wire);
+        (*server)->Stop();
+      }
     }
 
     EXPECT_GE(injector.injected_count(), 1u);

@@ -4,9 +4,12 @@
 
 #include <sys/wait.h>
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "common/file_util.h"
 #include "gtest/gtest.h"
@@ -23,6 +26,9 @@ namespace {
 #endif
 #ifndef LSD_SERVE_BIN
 #define LSD_SERVE_BIN "lsd_serve"
+#endif
+#ifndef LSD_CLIENT_BIN
+#define LSD_CLIENT_BIN "lsd_client"
 #endif
 
 std::string TempDir() {
@@ -181,6 +187,104 @@ TEST(ToolsTest, ServeReplaysARequestStream) {
   ASSERT_TRUE(metrics.ok());
   EXPECT_NE(metrics->find("\"service.admitted\""), std::string::npos);
   EXPECT_NE(metrics->find("\"service.request_micros\""), std::string::npos);
+}
+
+/// Strips the wall-clock latency field so network and replay outcome
+/// lines can be byte-compared (everything else must match exactly).
+std::string NormalizeLatency(std::string text) {
+  const std::string kField = "latency_ms=";
+  size_t at = 0;
+  while ((at = text.find(kField, at)) != std::string::npos) {
+    size_t digits = at + kField.size();
+    size_t end = digits;
+    while (end < text.size() && std::isdigit(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    text.replace(digits, end - digits, "X");
+    at = digits;
+  }
+  return text;
+}
+
+TEST(ToolsTest, ServeListenModeMatchesFileReplayByteForByte) {
+  std::string dir = TempDir();
+  std::string generate = std::string(LSD_GENERATE_BIN) +
+                         " --domain real-estate-1 --out '" + dir +
+                         "' --listings 40 --seed 7 2>/dev/null";
+  ASSERT_EQ(std::system(generate.c_str()), 0);
+
+  // Two healthy requests, one with a generous per-line deadline that must
+  // propagate over the wire the same way it does through the replay path.
+  ASSERT_TRUE(WriteStringToFile(
+                  dir + "/stream.txt",
+                  "req-3 " + dir + "/source-3.dtd " + dir + "/source-3.xml\n"
+                  "req-4 " + dir + "/source-4.dtd " + dir +
+                      "/source-4.xml 60000\n")
+                  .ok());
+
+  std::string common = std::string(LSD_SERVE_BIN) + " --mediated '" + dir +
+                       "/mediated.dtd'";
+  for (int s = 0; s < 3; ++s) {
+    std::string base = dir + "/source-" + std::to_string(s);
+    common += " --train '" + base + ".dtd' '" + base + ".xml' '" + base +
+              ".mapping'";
+  }
+  common += " --workers 2";
+
+  // Reference: the same stream through file replay.
+  std::string replay = common + " --requests '" + dir +
+                       "/stream.txt' --print-mappings > '" + dir +
+                       "/replay.txt' 2>/dev/null";
+  ASSERT_EQ(RunForExitCode(replay), 0);
+
+  // Network: lsd_serve --listen 0 in the background; the ephemeral-port
+  // contract is the "listening on 127.0.0.1:<port>" line on stdout.
+  std::string serve = common + " --listen 0 > '" + dir +
+                      "/server_out.txt' 2>/dev/null & echo $! > '" + dir +
+                      "/server.pid'";
+  ASSERT_EQ(std::system(serve.c_str()), 0);
+  int port = -1;
+  for (int i = 0; i < 600 && port < 0; ++i) {
+    auto out = ReadFileToString(dir + "/server_out.txt");
+    if (out.ok()) {
+      const std::string kBanner = "listening on 127.0.0.1:";
+      size_t at = out->find(kBanner);
+      if (at != std::string::npos &&
+          out->find('\n', at) != std::string::npos) {
+        port = std::atoi(out->c_str() + at + kBanner.size());
+      }
+    }
+    if (port < 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_GT(port, 0) << "server never printed its port";
+
+  std::string client = std::string(LSD_CLIENT_BIN) + " --port " +
+                       std::to_string(port) + " --requests '" + dir +
+                       "/stream.txt' --print-mappings > '" + dir +
+                       "/net.txt' 2>/dev/null";
+  EXPECT_EQ(RunForExitCode(client), 0);
+
+  // Clean shutdown on SIGTERM.
+  ASSERT_EQ(std::system(("kill -TERM $(cat '" + dir + "/server.pid')")
+                            .c_str()),
+            0);
+  for (int i = 0; i < 100; ++i) {
+    if (std::system(("kill -0 $(cat '" + dir +
+                     "/server.pid') 2>/dev/null")
+                        .c_str()) != 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // The byte-identity contract: outcome lines and mapping dumps match the
+  // replay run exactly, modulo wall-clock latency.
+  auto replay_text = ReadFileToString(dir + "/replay.txt");
+  auto net_text = ReadFileToString(dir + "/net.txt");
+  ASSERT_TRUE(replay_text.ok());
+  ASSERT_TRUE(net_text.ok());
+  EXPECT_FALSE(net_text->empty());
+  EXPECT_EQ(NormalizeLatency(*replay_text), NormalizeLatency(*net_text));
 }
 
 TEST(ToolsTest, ServeRejectsMalformedStreamAndMissingFlags) {

@@ -1,0 +1,232 @@
+// lsd_client: send match requests to a running `lsd_serve --listen` over
+// the LSD wire protocol and print per-request outcomes.
+//
+// The output line format is identical to lsd_serve's file-replay output,
+//   <id> <outcome> attempts=<n> retries=<n> latency_ms=<n> [note]
+// so a network run can be diffed against a replay of the same stream
+// (latency is wall-clock and must be normalized before comparing; the
+// check.sh smoke and tests/tools_test.cpp do exactly that). attempts/
+// retries are the *service-side* numbers from the response; transport
+// retries the client performed are reported separately on stderr.
+//
+// Usage:
+//   lsd_client --port P --requests stream.txt
+//              [--host H]              (default 127.0.0.1)
+//              [--deadline-ms N]       (default per-request budget; -1 = none)
+//              [--retries N]           (transport retries; default 2)
+//              [--connect-timeout-ms N]
+//              [--io-timeout-ms N]
+//              [--seed N]              (retry jitter seed; default 42)
+//              [--print-mappings]      (dump each successful mapping)
+//              [--print-fingerprints]  (dump each response fingerprint)
+//
+// The stream file reuses lsd_serve's request format — "<id> <dtd> <xml>
+// [deadline_ms]" per line, '#' comments — without RELOAD directives
+// (reload is an operator action on the server, not a client verb).
+//
+// Exit codes: 0 = every request ok; 2 = some request degraded, failed,
+// shed, or undeliverable; 1 = bad usage or unreadable inputs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/serial.h"
+#include "common/strings.h"
+#include "net/client.h"
+
+namespace {
+
+using namespace lsd;
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: lsd_client --port P --requests FILE [--host H]"
+               " [--deadline-ms N] [--retries N] [--connect-timeout-ms N]"
+               " [--io-timeout-ms N] [--seed N] [--print-mappings]"
+               " [--print-fingerprints]\n");
+}
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitHardFailure = 1,
+  kExitImperfect = 2,
+};
+
+struct RequestLine {
+  std::string id;
+  std::string dtd_path;
+  std::string xml_path;
+  int64_t deadline_ms;
+};
+
+int Run(int argc, char** argv) {
+  net::NetClientOptions options;
+  std::string requests_path;
+  int64_t default_deadline = -1;
+  long port = -1;
+  bool print_mappings = false;
+  bool print_fingerprints = false;
+  options.backoff_seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    auto next_int = [&](int64_t* out) {
+      std::string value;
+      if (!next(&value)) return false;
+      StatusOr<int64_t> parsed = FieldToInt64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s expects an integer\n", arg.c_str());
+        return false;
+      }
+      *out = *parsed;
+      return true;
+    };
+    int64_t value = 0;
+    if (arg == "--port") {
+      if (!next_int(&value) || value < 0 || value > 65535) {
+        std::fprintf(stderr, "--port expects a port in [0, 65535]\n");
+        return kExitHardFailure;
+      }
+      port = static_cast<long>(value);
+    } else if (arg == "--host") {
+      if (!next(&options.host)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--requests") {
+      if (!next(&requests_path)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--deadline-ms") {
+      if (!next_int(&default_deadline)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--retries") {
+      if (!next_int(&value) || value < 0) { Usage(); return kExitHardFailure; }
+      options.backoff.max_retries = static_cast<size_t>(value);
+    } else if (arg == "--connect-timeout-ms") {
+      if (!next_int(&value) || value <= 0) { Usage(); return kExitHardFailure; }
+      options.connect_timeout_ms = value;
+    } else if (arg == "--io-timeout-ms") {
+      if (!next_int(&value) || value <= 0) { Usage(); return kExitHardFailure; }
+      options.io_timeout_ms = value;
+    } else if (arg == "--seed") {
+      if (!next_int(&value) || value < 0) { Usage(); return kExitHardFailure; }
+      options.backoff_seed = static_cast<uint64_t>(value);
+    } else if (arg == "--print-mappings") {
+      print_mappings = true;
+    } else if (arg == "--print-fingerprints") {
+      print_fingerprints = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage();
+      return kExitHardFailure;
+    }
+  }
+  if (port < 0 || requests_path.empty()) {
+    Usage();
+    return kExitHardFailure;
+  }
+  options.port = static_cast<uint16_t>(port);
+
+  auto text = ReadFileToString(requests_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return kExitHardFailure;
+  }
+  std::vector<RequestLine> lines;
+  size_t line_number = 0;
+  size_t malformed = 0;
+  for (const std::string& raw : Split(*text, '\n')) {
+    ++line_number;
+    std::string line = raw.substr(0, raw.find('#'));
+    std::vector<std::string> fields = SplitAny(line, " \t\r");
+    if (fields.empty()) continue;
+    if (fields.size() < 3 || fields.size() > 4) {
+      std::fprintf(stderr,
+                   "%s:%zu: malformed line: want \"<id> <dtd> <xml> "
+                   "[deadline_ms]\", got %zu fields\n",
+                   requests_path.c_str(), line_number, fields.size());
+      ++malformed;
+      continue;
+    }
+    RequestLine request;
+    request.id = fields[0];
+    request.dtd_path = fields[1];
+    request.xml_path = fields[2];
+    request.deadline_ms = default_deadline;
+    if (fields.size() == 4) {
+      StatusOr<int64_t> parsed = FieldToInt64(fields[3]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s:%zu: malformed line: bad deadline '%s'\n",
+                     requests_path.c_str(), line_number, fields[3].c_str());
+        ++malformed;
+        continue;
+      }
+      request.deadline_ms = *parsed;
+    }
+    lines.push_back(std::move(request));
+  }
+
+  net::NetClient client(options);
+  bool all_ok = true;
+  size_t delivered = 0, undeliverable = 0;
+  for (const RequestLine& line : lines) {
+    net::WireRequest request;
+    request.id = line.id;
+    request.deadline_ms = line.deadline_ms;
+    auto dtd_text = ReadFileToString(line.dtd_path);
+    auto xml_text = dtd_text.ok() ? ReadFileToString(line.xml_path) : dtd_text;
+    if (!dtd_text.ok() || !xml_text.ok()) {
+      // Mirror lsd_serve: an unreadable input is the request's failure —
+      // send empty text the server-side parser will reject, keeping the
+      // outcome line (and the diff against a replay run) flowing.
+      const Status& error =
+          dtd_text.ok() ? xml_text.status() : dtd_text.status();
+      std::fprintf(stderr, "warning: %s: %s\n", line.id.c_str(),
+                   error.ToString().c_str());
+    } else {
+      request.dtd_text = std::move(*dtd_text);
+      request.xml_text = std::move(*xml_text);
+    }
+
+    StatusOr<net::WireResponse> response = client.Call(request);
+    if (!response.ok()) {
+      // Transport-dead after retries: synthesize a failed outcome line so
+      // every request in the stream is accounted for on stdout.
+      all_ok = false;
+      ++undeliverable;
+      std::printf("%s failed attempts=0 retries=0 latency_ms=0 %s\n",
+                  line.id.c_str(), response.status().ToString().c_str());
+      continue;
+    }
+    ++delivered;
+    if (response->outcome != net::WireOutcome::kOk) all_ok = false;
+    std::string note;
+    if (response->status_code != StatusCode::kOk) {
+      note = " " + response->ToStatus().ToString();
+    } else if (response->breaker_skipped) {
+      note = " breaker-skip";
+    }
+    std::printf("%s %s attempts=%llu retries=%llu latency_ms=%llu%s\n",
+                response->id.c_str(), net::WireOutcomeName(response->outcome),
+                (unsigned long long)response->attempts,
+                (unsigned long long)response->retries,
+                (unsigned long long)(response->latency_micros / 1000),
+                note.c_str());
+    if (print_mappings && response->status_code == StatusCode::kOk) {
+      std::printf("%s", response->mapping.c_str());
+    }
+    if (print_fingerprints) {
+      std::printf("%s", response->fingerprint.c_str());
+    }
+  }
+  std::fprintf(stderr, "client: delivered=%zu undeliverable=%zu malformed=%zu\n",
+               delivered, undeliverable, malformed);
+  return (all_ok && malformed == 0) ? kExitOk : kExitImperfect;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -31,6 +31,7 @@
 
 #include "common/file_util.h"
 #include "common/metrics.h"
+#include "common/serial.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -65,47 +66,43 @@ int Run(int argc, char** argv) {
     } else if (arg == "--sources") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (*v == '\0' || *end != '\0' || parsed < 0) {
+      StatusOr<size_t> parsed = FieldToSize(v);
+      if (!parsed.ok()) {
         std::fprintf(stderr,
                      "--sources expects a non-negative integer, got: %s\n", v);
         return 2;
       }
-      sources = static_cast<size_t>(parsed);
+      sources = *parsed;
     } else if (arg == "--listings") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (*v == '\0' || *end != '\0' || parsed < 0) {
+      StatusOr<size_t> parsed = FieldToSize(v);
+      if (!parsed.ok()) {
         std::fprintf(stderr,
                      "--listings expects a non-negative integer, got: %s\n", v);
         return 2;
       }
-      listings = static_cast<size_t>(parsed);
+      listings = *parsed;
     } else if (arg == "--seed") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      char* end = nullptr;
-      unsigned long long parsed = std::strtoull(v, &end, 10);
-      if (*v == '\0' || *end != '\0') {
+      StatusOr<size_t> parsed = FieldToSize(v);
+      if (!parsed.ok()) {
         std::fprintf(stderr, "--seed expects an unsigned integer, got: %s\n",
                      v);
         return 2;
       }
-      seed = static_cast<uint64_t>(parsed);
+      seed = static_cast<uint64_t>(*parsed);
     } else if (arg == "--threads") {
       const char* v = next_value();
       if (v == nullptr) return 2;
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (*v == '\0' || *end != '\0' || parsed < 0) {
+      StatusOr<size_t> parsed = FieldToSize(v);
+      if (!parsed.ok()) {
         std::fprintf(stderr,
                      "--threads expects a non-negative integer, got: %s\n", v);
         return 2;
       }
-      threads = static_cast<size_t>(parsed);
+      threads = *parsed;
     } else if (arg == "--lenient") {
       lenient = true;
     } else if (arg == "--metrics-out") {

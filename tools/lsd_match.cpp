@@ -62,6 +62,7 @@
 #include "common/artifact_io.h"
 #include "common/file_util.h"
 #include "common/metrics.h"
+#include "common/serial.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "constraints/constraint_parser.h"
@@ -198,28 +199,26 @@ int Run(int argc, char** argv) {
       // bit-identical either way.
       std::string value;
       if (!next(&value)) { Usage(); return kExitHardFailure; }
-      char* end = nullptr;
-      long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 0) {
+      StatusOr<size_t> parsed = FieldToSize(value);
+      if (!parsed.ok()) {
         std::fprintf(stderr, "--threads expects a non-negative integer, got: %s\n",
                      value.c_str());
         return kExitHardFailure;
       }
-      config.num_threads = static_cast<size_t>(parsed);
+      config.num_threads = *parsed;
     } else if (arg == "--pred-cache") {
       // Caching changes only speed: cached output is byte-identical to
       // uncached (the invariant check.sh's cache smoke compares).
       std::string value;
       if (!next(&value)) { Usage(); return kExitHardFailure; }
-      char* end = nullptr;
-      long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 0) {
+      StatusOr<size_t> parsed = FieldToSize(value);
+      if (!parsed.ok()) {
         std::fprintf(stderr,
                      "--pred-cache expects a non-negative integer, got: %s\n",
                      value.c_str());
         return kExitHardFailure;
       }
-      config.pred_cache_entries = static_cast<size_t>(parsed);
+      config.pred_cache_entries = *parsed;
     } else if (arg == "--strict") {
       lenient = false;
     } else if (arg == "--lenient") {
@@ -227,15 +226,14 @@ int Run(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       std::string value;
       if (!next(&value)) { Usage(); return kExitHardFailure; }
-      char* end = nullptr;
-      long parsed = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0' || parsed < 0) {
+      StatusOr<int64_t> parsed = FieldToInt64(value);
+      if (!parsed.ok() || *parsed < 0) {
         std::fprintf(stderr,
                      "--deadline-ms expects a non-negative integer, got: %s\n",
                      value.c_str());
         return kExitHardFailure;
       }
-      deadline_ms = parsed;
+      deadline_ms = *parsed;
     } else if (arg == "--save-model") {
       if (!next(&save_model)) { Usage(); return kExitHardFailure; }
     } else if (arg == "--load-model") {

@@ -9,7 +9,7 @@
 // Usage:
 //   lsd_serve --mediated mediated.dtd
 //             --train src1.dtd src1.xml src1.mapping [--train ...]
-//             --requests stream.txt
+//             --requests stream.txt | --listen PORT
 //             [--workers N]        (service worker slots; default 2)
 //             [--queue-depth N]    (admission cap; default 32)
 //             [--deadline-ms N]    (default per-request budget; -1 = none)
@@ -35,6 +35,14 @@
 //             [--probation N]      (post-swap probation window: N responses
 //                                   from the new version with zero failures
 //                                   or the service auto-rolls back; 0 = off)
+//
+// Network mode: `--listen PORT` (instead of `--requests`) stands the same
+// trained service up behind the epoll TCP front end (src/net/server.h) on
+// 127.0.0.1. PORT 0 binds an ephemeral port; either way the bound port is
+// announced on stdout as "listening on 127.0.0.1:<port>" so scripts and
+// tests can scrape it. The process serves until SIGINT/SIGTERM, then stops
+// the server and service, prints the usual summary, and exits 0. File
+// replay (`--requests`) is unchanged; the two modes are mutually exclusive.
 //
 // Request-stream format (one request per line, '#' comments and blank
 // lines ignored):
@@ -64,9 +72,11 @@
 //      was rejected/failed; the summary says which.
 //   1  hard failure: bad usage, unreadable inputs, or training failed.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <future>
 #include <memory>
 #include <string>
@@ -74,7 +84,9 @@
 
 #include "common/file_util.h"
 #include "common/metrics.h"
+#include "common/serial.h"
 #include "common/strings.h"
+#include "net/server.h"
 #include "core/lsd_system.h"
 #include "service/match_service.h"
 #include "service/model_registry.h"
@@ -89,7 +101,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: lsd_serve --mediated M.dtd"
                " --train S.dtd S.xml S.mapping [--train ...]"
-               " --requests FILE [--workers N] [--queue-depth N]"
+               " (--requests FILE | --listen PORT)"
+               " [--workers N] [--queue-depth N]"
                " [--deadline-ms N] [--grace-ms N] [--retries N]"
                " [--breaker-threshold N] [--breaker-skips N]"
                " [--pred-cache N] [--seed N]"
@@ -103,6 +116,10 @@ enum ExitCode {
   kExitHardFailure = 1,
   kExitImperfectStream = 2,
 };
+
+/// Set by SIGINT/SIGTERM in --listen mode; the serve loop polls it.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
 
 struct RequestSpec {
   std::string id;
@@ -169,15 +186,16 @@ StatusOr<RequestStream> LoadRequestStream(const std::string& path,
     item.spec.xml_path = fields[2];
     item.spec.deadline_ms = default_deadline;
     if (fields.size() == 4) {
-      char* end = nullptr;
-      long parsed = std::strtol(fields[3].c_str(), &end, 10);
-      if (fields[3].empty() || *end != '\0') {
+      // Checked conversion: a 20-digit or trailing-garbage deadline is a
+      // malformed line, not a silently-wrapped budget.
+      StatusOr<int64_t> parsed = FieldToInt64(fields[3]);
+      if (!parsed.ok()) {
         std::fprintf(stderr, "%s:%zu: malformed line: bad deadline '%s'\n",
                      path.c_str(), line_number, fields[3].c_str());
         ++stream.malformed;
         continue;
       }
-      item.spec.deadline_ms = parsed;
+      item.spec.deadline_ms = *parsed;
     }
     stream.items.push_back(std::move(item));
   }
@@ -212,10 +230,9 @@ StatusOr<std::vector<ServiceRequest>> LoadGoldenRequests(
 }
 
 bool ParseCount(const std::string& value, long* out) {
-  char* end = nullptr;
-  long parsed = std::strtol(value.c_str(), &end, 10);
-  if (value.empty() || *end != '\0' || parsed < 0) return false;
-  *out = parsed;
+  StatusOr<int64_t> parsed = FieldToInt64(value);
+  if (!parsed.ok() || *parsed < 0 || *parsed > LONG_MAX) return false;
+  *out = static_cast<long>(*parsed);
   return true;
 }
 
@@ -231,6 +248,7 @@ int Run(int argc, char** argv) {
   bool print_mappings = false;
   double golden_floor = -1.0;  // < 0 = byte-identical fingerprints
   long probation = 0;
+  long listen_port = -1;  // >= 0: network mode (0 = ephemeral port)
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -260,6 +278,11 @@ int Run(int argc, char** argv) {
       train_specs.push_back(std::move(spec));
     } else if (arg == "--requests") {
       if (!next(&requests_path)) { Usage(); return kExitHardFailure; }
+    } else if (arg == "--listen") {
+      if (!next_count(&listen_port) || listen_port > 65535) {
+        std::fprintf(stderr, "--listen expects a port in [0, 65535]\n");
+        return kExitHardFailure;
+      }
     } else if (arg == "--workers") {
       if (!next_count(&count) || count == 0) { Usage(); return kExitHardFailure; }
       options.workers = static_cast<size_t>(count);
@@ -269,9 +292,12 @@ int Run(int argc, char** argv) {
     } else if (arg == "--deadline-ms") {
       std::string value;
       if (!next(&value)) { Usage(); return kExitHardFailure; }
-      char* end = nullptr;
-      deadline_ms = std::strtol(value.c_str(), &end, 10);
-      if (value.empty() || *end != '\0') { Usage(); return kExitHardFailure; }
+      StatusOr<int64_t> parsed = FieldToInt64(value);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--deadline-ms expects an integer (-1 = none)\n");
+        return kExitHardFailure;
+      }
+      deadline_ms = *parsed;
     } else if (arg == "--grace-ms") {
       if (!next_count(&count)) return kExitHardFailure;
       options.grace_ms = count;
@@ -315,16 +341,22 @@ int Run(int argc, char** argv) {
       return kExitHardFailure;
     }
   }
-  if (mediated_path.empty() || requests_path.empty() || train_specs.empty()) {
+  const bool listen_mode = listen_port >= 0;
+  if (mediated_path.empty() || train_specs.empty() ||
+      (requests_path.empty() && !listen_mode) ||
+      (!requests_path.empty() && listen_mode)) {
     Usage();
     return kExitHardFailure;
   }
   options.default_deadline_ms = deadline_ms;
 
-  auto stream = LoadRequestStream(requests_path, deadline_ms);
-  if (!stream.ok()) {
-    std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
-    return kExitHardFailure;
+  StatusOr<RequestStream> stream{RequestStream()};
+  if (!listen_mode) {
+    stream = LoadRequestStream(requests_path, deadline_ms);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+      return kExitHardFailure;
+    }
   }
 
   if (!golden_path.empty()) {
@@ -382,12 +414,21 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
     return kExitHardFailure;
   }
-  std::fprintf(stderr,
-               "serving %zu stream items (workers=%zu queue-depth=%zu "
-               "retries=%zu breaker-threshold=%zu)\n",
-               stream->items.size(), options.workers,
-               options.max_queue_depth, options.backoff.max_retries,
-               options.breaker.failure_threshold);
+  if (listen_mode) {
+    std::fprintf(stderr,
+                 "serving on the network (workers=%zu queue-depth=%zu "
+                 "retries=%zu breaker-threshold=%zu)\n",
+                 options.workers, options.max_queue_depth,
+                 options.backoff.max_retries,
+                 options.breaker.failure_threshold);
+  } else {
+    std::fprintf(stderr,
+                 "serving %zu stream items (workers=%zu queue-depth=%zu "
+                 "retries=%zu breaker-threshold=%zu)\n",
+                 stream->items.size(), options.workers,
+                 options.max_queue_depth, options.backoff.max_retries,
+                 options.breaker.failure_threshold);
+  }
 
   // A RELOAD candidate is loaded from its artifact (via the registry when
   // one is configured) onto a fresh untrained system — never retrained
@@ -404,10 +445,35 @@ int Run(int argc, char** argv) {
     };
   };
 
+  if (listen_mode) {
+    net::NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(listen_port);
+    auto server = net::NetServer::Create(service->get(), net_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+      return kExitHardFailure;
+    }
+    // The announced port is the scripting contract for --listen 0: tests
+    // and check.sh scrape it to find the ephemeral port.
+    std::printf("listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>((*server)->port()));
+    std::fflush(stdout);
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    while (g_stop_requested == 0) {
+      timespec nap{0, 50 * 1000 * 1000};  // 50 ms between signal polls
+      nanosleep(&nap, nullptr);
+    }
+    std::fprintf(stderr, "stop signal received; draining\n");
+    (*server)->Stop();
+  }
+
   // Walk the stream in order: requests are submitted asynchronously (the
   // whole burst IS the offered load; admission control decides what fits)
   // and a RELOAD directive hot-swaps at its position — requests submitted
   // before it may still be queued or in flight, which is the point.
+  // (In --listen mode the stream is empty and this falls through to the
+  // shared shutdown/summary path.)
   std::vector<std::future<ServiceResponse>> futures;
   size_t reload_rejected = 0, reload_failed = 0;
   for (const StreamItem& item : stream->items) {
