@@ -161,10 +161,20 @@ StatusOr<WireResponse> NetClient::ReadResponse(const Deadline& deadline) {
 
 Status NetClient::CallOnce(const WireRequest& request,
                            WireResponse* response) {
+  std::string payload = EncodeRequestPayload(request);
+  if (payload.size() > kMaxFramePayloadBytes) {
+    // The server would reject this length prefix from the header alone;
+    // fail locally with the same class (non-retryable) instead of
+    // LSD_CHECK-aborting inside EncodeFrame.
+    return Status::OutOfRange(
+        StrFormat("request payload of %zu bytes exceeds the %zu-byte frame "
+                  "limit",
+                  payload.size(), kMaxFramePayloadBytes));
+  }
   Status status = EnsureConnected();
   if (status.ok()) {
     Deadline io = Deadline::AfterMillis(options_.io_timeout_ms);
-    status = SendAll(EncodeRequestFrame(request), io);
+    status = SendAll(EncodeFrame(FrameType::kRequest, payload), io);
     if (status.ok()) {
       StatusOr<WireResponse> result = ReadResponse(io);
       if (result.ok()) {

@@ -102,6 +102,12 @@ void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
+/// Epoll registration tokens (epoll_event.data.u64). Connections are
+/// registered under their id; the listening socket and the router eventfd
+/// use reserved values the monotonic id counter can never reach.
+constexpr uint64_t kListenToken = ~0ull;
+constexpr uint64_t kWakeToken = ~0ull - 1;
+
 }  // namespace
 
 /// Per-connection state machine. Owned by the I/O thread; nothing here is
@@ -231,12 +237,12 @@ StatusOr<std::unique_ptr<NetServer>> NetServer::Create(
   epoll_event ev;
   std::memset(&ev, 0, sizeof(ev));
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd;
+  ev.data.u64 = kListenToken;
   if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) < 0) {
     return Status::Unavailable(
         StrFormat("epoll_ctl(listen): %s", strerror(errno)));
   }
-  ev.data.fd = event_fd;
+  ev.data.u64 = kWakeToken;
   if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, event_fd, &ev) < 0) {
     return Status::Unavailable(
         StrFormat("epoll_ctl(eventfd): %s", strerror(errno)));
@@ -277,17 +283,20 @@ void NetServer::IoLoop() {
     }
     for (int i = 0; i < n; ++i) {
       if (stopping_.load(std::memory_order_acquire)) break;
-      int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
+      uint64_t token = events[i].data.u64;
+      if (token == kListenToken) {
         HandleAccept();
         continue;
       }
-      if (fd == router_->event_fd) {
+      if (token == kWakeToken) {
         DrainRouter();
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // Closed earlier this batch.
+      // Ids are never reused, so a stale event for a connection closed
+      // earlier this batch misses here — it cannot hit a connection that
+      // was accepted later in the batch onto the recycled fd number.
+      auto it = conns_.find(token);
+      if (it == conns_.end()) continue;
       Connection* conn = it->second.get();
       if (events[i].events & (EPOLLERR | EPOLLHUP)) {
         CloseConnection(conn, "hangup");
@@ -296,7 +305,7 @@ void NetServer::IoLoop() {
       if (events[i].events & EPOLLOUT) {
         HandleWritable(conn);
         // The write path may have closed the connection.
-        if (conns_.find(fd) == conns_.end()) continue;
+        if (conns_.find(token) == conns_.end()) continue;
       }
       if (events[i].events & EPOLLIN) {
         HandleReadable(conn);
@@ -322,7 +331,6 @@ void NetServer::HandleAccept() {
     }
     uint64_t id = next_conn_id_++;
     std::string key = StrFormat("conn-%llu", static_cast<unsigned long long>(id));
-    metrics.accepted->Increment();
     if (conns_.size() >= options_.max_connections) {
       metrics.rejected_at_capacity->Increment();
       CloseFd(fd);
@@ -335,6 +343,10 @@ void NetServer::HandleAccept() {
       CloseFd(fd);
       continue;
     }
+    // Only admitted connections count: net.accepted minus
+    // net.connections_closed is the live-connection figure, which
+    // capacity rejects and injected accept failures must not skew.
+    metrics.accepted->Increment();
     int nodelay = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
 
@@ -343,17 +355,16 @@ void NetServer::HandleAccept() {
     conn->id = id;
     conn->key = std::move(key);
     Connection* raw = conn.get();
-    conns_[fd] = std::move(conn);
-    conns_by_id_[id] = raw;
+    conns_[id] = std::move(conn);
     metrics.connections_peak->RecordMax(conns_.size());
 
     epoll_event ev;
     std::memset(&ev, 0, sizeof(ev));
     ev.events = EPOLLIN;
-    ev.data.fd = fd;
+    ev.data.u64 = id;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      conns_by_id_.erase(id);
-      conns_.erase(fd);
+      metrics.connections_closed->Increment();
+      conns_.erase(id);
       CloseFd(fd);
       continue;
     }
@@ -371,7 +382,7 @@ void NetServer::HandleReadable(Connection* conn) {
     return;
   }
   char buf[64 * 1024];
-  const int fd = conn->fd;  // Survives conn being freed by a close below.
+  const uint64_t conn_id = conn->id;  // Survives conn freed by a close below.
   while (true) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n == 0) {
@@ -406,7 +417,7 @@ void NetServer::HandleReadable(Connection* conn) {
         return;
       }
       OnRequestFrame(conn, frame.payload);
-      if (conns_.find(fd) == conns_.end()) return;  // Overflow close.
+      if (conns_.find(conn_id) == conns_.end()) return;  // Overflow close.
     }
     if (static_cast<size_t>(n) < sizeof(buf)) break;  // Drained the socket.
   }
@@ -449,7 +460,11 @@ void NetServer::OnRequestFrame(Connection* conn, const std::string& payload) {
   service_->SubmitAsync(
       std::move(service_request),
       [router, conn_id, start](ServiceResponse response) {
-        std::string frame = EncodeResponseFrame(ToWireResponse(response));
+        // Bounded encode: a response too large to frame (or one whose
+        // status message echoes hostile request bytes) degrades to a
+        // small error frame instead of LSD_CHECK-aborting the server.
+        std::string frame =
+            EncodeBoundedResponseFrame(ToWireResponse(response));
         uint64_t micros = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::microseconds>(
                 std::chrono::steady_clock::now() - start)
@@ -472,26 +487,27 @@ void NetServer::DrainRouter() {
   }
   for (auto& [conn_id, frame, micros] : ready) {
     metrics.request_micros->Record(micros);
-    auto it = conns_by_id_.find(conn_id);
-    if (it == conns_by_id_.end()) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) {
       // The connection died while its request executed.
       metrics.responses_dropped->Increment();
       continue;
     }
-    Connection* conn = it->second;
+    Connection* conn = it->second.get();
     LSD_CHECK(conn->in_flight > 0);
     --conn->in_flight;
     QueueFrame(conn, std::move(frame));
-    if (conns_by_id_.find(conn_id) != conns_by_id_.end()) {
+    if (conns_.find(conn_id) != conns_.end()) {
       UpdateInterest(conn);
     }
   }
 }
 
 void NetServer::QueueResponse(Connection* conn, const WireResponse& response) {
-  const int fd = conn->fd;  // Survives conn being freed by an overflow close.
-  QueueFrame(conn, EncodeResponseFrame(response));
-  if (conns_.find(fd) != conns_.end()) UpdateInterest(conn);
+  // Survives conn being freed by an overflow close.
+  const uint64_t conn_id = conn->id;
+  QueueFrame(conn, EncodeBoundedResponseFrame(response));
+  if (conns_.find(conn_id) != conns_.end()) UpdateInterest(conn);
 }
 
 void NetServer::QueueFrame(Connection* conn, std::string frame) {
@@ -569,7 +585,7 @@ void NetServer::UpdateInterest(Connection* conn) {
   epoll_event ev;
   std::memset(&ev, 0, sizeof(ev));
   ev.events = mask;
-  ev.data.fd = conn->fd;
+  ev.data.u64 = conn->id;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
     conn->installed_mask = mask;
   }
@@ -580,8 +596,7 @@ void NetServer::CloseConnection(Connection* conn, const char* reason) {
   GetNetMetrics().connections_closed->Increment();
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   CloseFd(conn->fd);
-  conns_by_id_.erase(conn->id);
-  conns_.erase(conn->fd);  // Frees conn.
+  conns_.erase(conn->id);  // Frees conn.
 }
 
 }  // namespace net

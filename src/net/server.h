@@ -21,8 +21,9 @@ struct NetServerOptions {
   /// TCP port; 0 picks an ephemeral port (read it back via `port()`).
   uint16_t port = 0;
   /// Accept bound: a connection past this is accepted and immediately
-  /// closed (counted in net.rejected_at_capacity) so the backlog cannot
-  /// grow unbounded sockets.
+  /// closed (counted in net.rejected_at_capacity, not in net.accepted,
+  /// which counts only admitted connections) so the backlog cannot grow
+  /// unbounded sockets.
   size_t max_connections = 64;
   /// Read-throttle threshold: when a connection has this many requests
   /// submitted but unanswered, the server stops reading from it (EPOLLIN
@@ -99,8 +100,12 @@ class NetServer {
 
   // I/O-thread-only state: every access happens on io_thread_.
   uint64_t next_conn_id_ = 0;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
-  std::unordered_map<uint64_t, Connection*> conns_by_id_;
+  /// Keyed by connection id, which is also the epoll registration token
+  /// (epoll_event.data.u64). Ids are never reused, so a stale event left
+  /// in an epoll_wait batch by a connection closed earlier in that batch
+  /// cannot be misdelivered — even when the kernel has already recycled
+  /// the fd number for a connection accepted later in the same batch.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
 };
 
 }  // namespace net

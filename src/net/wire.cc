@@ -87,6 +87,19 @@ StatusOr<bool> SectionToBool(const Artifact& artifact, std::string_view name) {
                             std::string(name) + "'");
 }
 
+/// Clamps a status message to kMaxStatusMessageBytes (marker included).
+/// Decode-error messages quote client-controlled bytes, so without the
+/// clamp a hostile multi-megabyte section would be echoed into the error
+/// response and could push its payload past kMaxFramePayloadBytes.
+std::string ClampStatusMessage(std::string_view message) {
+  if (message.size() <= kMaxStatusMessageBytes) return std::string(message);
+  constexpr char kMarker[] = " ...[truncated]";
+  constexpr size_t kKeep = kMaxStatusMessageBytes - (sizeof(kMarker) - 1);
+  std::string clamped(message.substr(0, kKeep));
+  clamped.append(kMarker);
+  return clamped;
+}
+
 StatusOr<WireOutcome> ParseOutcome(const std::string& name) {
   for (WireOutcome outcome :
        {WireOutcome::kOk, WireOutcome::kDegraded, WireOutcome::kFailed,
@@ -165,7 +178,8 @@ std::string EncodeResponsePayload(const WireResponse& response) {
       {"outcome", WireOutcomeName(response.outcome)});
   artifact.sections.push_back(
       {"status-code", StatusCodeToString(response.status_code)});
-  artifact.sections.push_back({"status-message", response.status_message});
+  artifact.sections.push_back(
+      {"status-message", ClampStatusMessage(response.status_message)});
   artifact.sections.push_back({"mapping", response.mapping});
   artifact.sections.push_back({"fingerprint", response.fingerprint});
   artifact.sections.push_back(
@@ -234,6 +248,28 @@ std::string EncodeRequestFrame(const WireRequest& request) {
 
 std::string EncodeResponseFrame(const WireResponse& response) {
   return EncodeFrame(FrameType::kResponse, EncodeResponsePayload(response));
+}
+
+std::string EncodeBoundedResponseFrame(const WireResponse& response) {
+  std::string payload = EncodeResponsePayload(response);
+  if (payload.size() <= kMaxFramePayloadBytes) {
+    return EncodeFrame(FrameType::kResponse, payload);
+  }
+  WireResponse fallback;
+  fallback.id = response.id;
+  fallback.outcome = WireOutcome::kFailed;
+  fallback.status_code = StatusCode::kOutOfRange;
+  fallback.status_message =
+      StrFormat("response payload of %zu bytes exceeds the %zu-byte frame "
+                "limit; mapping withheld",
+                payload.size(), kMaxFramePayloadBytes);
+  fallback.attempts = response.attempts;
+  fallback.retries = response.retries;
+  fallback.latency_micros = response.latency_micros;
+  fallback.model_version = response.model_version;
+  fallback.breaker_skipped = response.breaker_skipped;
+  fallback.deadline_overrun = response.deadline_overrun;
+  return EncodeFrame(FrameType::kResponse, EncodeResponsePayload(fallback));
 }
 
 StatusOr<DecodedFrame> DecodeFrame(std::string_view bytes,

@@ -52,6 +52,13 @@ inline constexpr size_t kFrameHeaderBytes = 16;
 /// kOutOfRange before any buffering happens, so a hostile or corrupt
 /// 4-byte prefix cannot make the peer allocate gigabytes.
 inline constexpr size_t kMaxFramePayloadBytes = 16u << 20;
+/// Ceiling on the status-message section of an encoded response. Decode
+/// errors quote the offending bytes ("bad integer field: ..."), which are
+/// client-controlled; EncodeResponsePayload clamps the section to this
+/// many bytes so an error response stays small no matter how large the
+/// request that provoked it was — an unclamped echo could push the error
+/// response itself past kMaxFramePayloadBytes.
+inline constexpr size_t kMaxStatusMessageBytes = 4096;
 
 enum class FrameType : uint8_t {
   kRequest = 1,
@@ -114,6 +121,13 @@ StatusOr<WireResponse> DecodeResponsePayload(std::string_view payload);
 /// EncodeFrame over the encoded payload.
 std::string EncodeRequestFrame(const WireRequest& request);
 std::string EncodeResponseFrame(const WireResponse& response);
+
+/// EncodeResponseFrame that can never abort on size: when the encoded
+/// payload would exceed kMaxFramePayloadBytes (an enormous mapping), the
+/// response is replaced by a kFailed/kOutOfRange error frame carrying the
+/// same id and scalar fields, so a server answers instead of LSD_CHECKing
+/// the whole process down. The server uses this for every response.
+std::string EncodeBoundedResponseFrame(const WireResponse& response);
 
 /// A decoded frame: its type plus the raw (CRC-verified) payload bytes.
 struct DecodedFrame {

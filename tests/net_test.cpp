@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/artifact_io.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -118,6 +119,52 @@ TEST(NetWireTest, ResponseRoundTripPreservesEveryField) {
   EXPECT_TRUE(round->breaker_skipped);
   EXPECT_FALSE(round->deadline_overrun);
   EXPECT_EQ(round->ToStatus().code(), StatusCode::kUnavailable);
+}
+
+TEST(NetWireTest, OversizedStatusMessageIsClampedOnEncode) {
+  // Error messages echo client-controlled bytes (a payload decode error
+  // quotes the offending field). Unclamped, a hostile near-limit request
+  // would produce an error response payload past kMaxFramePayloadBytes
+  // and abort in EncodeFrame — the single-frame remote-DoS shape.
+  WireResponse response = SampleResponse();
+  response.status_code = StatusCode::kParseError;
+  response.status_message = std::string(kMaxFramePayloadBytes, 'x');
+  std::string frame = EncodeResponseFrame(response);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto round = DecodeResponsePayload(decoded->payload);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_LE(round->status_message.size(), kMaxStatusMessageBytes);
+  EXPECT_NE(round->status_message.find("[truncated]"), std::string::npos);
+  // Everything else round-trips untouched.
+  EXPECT_EQ(round->id, response.id);
+  EXPECT_EQ(round->mapping, response.mapping);
+
+  // At and below the limit the message is preserved byte-for-byte.
+  response.status_message = std::string(kMaxStatusMessageBytes, 'y');
+  auto exact = DecodeResponsePayload(
+      DecodeFrame(EncodeResponseFrame(response))->payload);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->status_message, response.status_message);
+}
+
+TEST(NetWireTest, OversizedResponsePayloadFallsBackToBoundedError) {
+  // A mapping too large for any frame must degrade to a small error
+  // response that preserves id and scalar fields — never an abort.
+  WireResponse response = SampleResponse();
+  response.outcome = WireOutcome::kOk;
+  response.mapping = std::string(kMaxFramePayloadBytes + 1, 'm');
+  std::string frame = EncodeBoundedResponseFrame(response);
+  auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  auto round = DecodeResponsePayload(decoded->payload);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_EQ(round->id, response.id);
+  EXPECT_EQ(round->outcome, WireOutcome::kFailed);
+  EXPECT_EQ(round->status_code, StatusCode::kOutOfRange);
+  EXPECT_TRUE(round->mapping.empty());
+  EXPECT_EQ(round->attempts, response.attempts);
+  EXPECT_EQ(round->model_version, response.model_version);
 }
 
 TEST(NetWireTest, PayloadKindMismatchIsInvalidArgument) {
@@ -599,6 +646,108 @@ TEST_F(NetLoopbackTest, MalformedPayloadGetsErrorResponseNotDisconnect) {
   EXPECT_EQ(responses[0].status_code, StatusCode::kInvalidArgument);
   EXPECT_EQ(responses[1].id, "after-bad");
   EXPECT_EQ(responses[1].outcome, WireOutcome::kOk);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, HostileDeadlineSectionGetsClampedErrorResponse) {
+  // The reviewer-reported remote-DoS shape: a CRC-valid request whose
+  // deadline-ms section is megabytes of junk. The decode error quotes the
+  // field, so unclamped it would be echoed back verbatim; the server must
+  // instead answer with a bounded error and keep the connection healthy.
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  auto server = NetServer::Create(service->get(), NetServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  Artifact hostile;
+  hostile.kind = "net-request";
+  hostile.sections.push_back({"id", "hostile"});
+  hostile.sections.push_back({"deadline-ms", std::string(1u << 20, 'z')});
+  hostile.sections.push_back({"dtd", ""});
+  hostile.sections.push_back({"xml", ""});
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string stream =
+      EncodeFrame(FrameType::kRequest, EncodeArtifact(hostile)) +
+      EncodeRequestFrame(ToWire(TargetRequest("after-hostile")));
+  for (size_t off = 0; off < stream.size();) {
+    ssize_t n = ::send(fd, stream.data() + off, stream.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+
+  FrameDecoder decoder;
+  std::vector<WireResponse> responses;
+  char buf[8192];
+  while (responses.size() < 2) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server disconnected (or died) instead of answering";
+    decoder.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    while (true) {
+      DecodedFrame frame;
+      auto got = decoder.Next(&frame);
+      ASSERT_TRUE(got.ok());
+      if (!*got) break;
+      auto response = DecodeResponsePayload(frame.payload);
+      ASSERT_TRUE(response.ok());
+      responses.push_back(std::move(*response));
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(responses[0].outcome, WireOutcome::kFailed);
+  EXPECT_EQ(responses[0].status_code, StatusCode::kParseError);
+  EXPECT_LE(responses[0].status_message.size(), kMaxStatusMessageBytes);
+  EXPECT_EQ(responses[1].id, "after-hostile");
+  EXPECT_EQ(responses[1].outcome, WireOutcome::kOk);
+  (*server)->Stop();
+  (*service)->Stop();
+}
+
+TEST_F(NetLoopbackTest, CapacityRejectsDoNotCountAsAccepted) {
+  // net.accepted minus net.connections_closed is the live-connection
+  // figure; a connection rejected at capacity must inflate neither side.
+  auto service = MatchService::Create(Factory(), ServiceOptions(1));
+  ASSERT_TRUE(service.ok());
+  NetServerOptions options;
+  options.max_connections = 1;
+  auto server = NetServer::Create(service->get(), options);
+  ASSERT_TRUE(server.ok());
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+
+  // Fill the single slot and prove it is registered (a full round trip).
+  NetClient admitted(ClientFor(**server));
+  auto response = admitted.Call(ToWire(TargetRequest("fills-capacity")));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  // The second connection is accepted and immediately closed.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0) << "expected capacity EOF";
+  ::close(fd);
+
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(after.CounterOf("net.accepted") - before.CounterOf("net.accepted"),
+            1u);
+  EXPECT_EQ(after.CounterOf("net.rejected_at_capacity") -
+                before.CounterOf("net.rejected_at_capacity"),
+            1u);
   (*server)->Stop();
   (*service)->Stop();
 }
